@@ -1,0 +1,246 @@
+//! Silicon area model.
+//!
+//! The paper takes analog-IP areas from datasheets and logic areas from
+//! their chip's Verilog; neither is available, so this is a parametric
+//! 12 nm model calibrated to the one quantitative anchor the paper gives:
+//! under the Simba-granularity architecture "nearly 40%" of compute-die
+//! area goes to D2D interfaces (Sec. VI-B1). All constants are public so
+//! experiments can re-calibrate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ArchConfig;
+
+/// Kind of die in the package.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DieKind {
+    /// Computing chiplet (cores + D2D).
+    Compute,
+    /// IO chiplet (DRAM PHY + controller + other IO + D2D).
+    Io,
+    /// Single monolithic die (cores + integrated IO, no D2D).
+    Monolithic,
+}
+
+/// One die type and how many instances the package holds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Die {
+    /// Die kind.
+    pub kind: DieKind,
+    /// Silicon area of one instance in mm^2.
+    pub area_mm2: f64,
+    /// Instances in the package.
+    pub count: u32,
+}
+
+/// Area of one computing core, by module.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct CoreArea {
+    /// PE array.
+    pub mac: f64,
+    /// Global buffer SRAM.
+    pub glb: f64,
+    /// Router + DMA (scales with NoC bandwidth).
+    pub router: f64,
+    /// Control + vector unit.
+    pub misc: f64,
+}
+
+impl CoreArea {
+    /// Total core area in mm^2.
+    pub fn total(&self) -> f64 {
+        self.mac + self.glb + self.router + self.misc
+    }
+}
+
+/// Full area breakdown of an architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaBreakdown {
+    /// Per-core module areas.
+    pub core: CoreArea,
+    /// D2D PHY+controller area per interface (0 for monolithic).
+    pub d2d_per_interface: f64,
+    /// Area of one computing chiplet.
+    pub compute_chiplet_mm2: f64,
+    /// Area of one IO chiplet (`None` for monolithic designs).
+    pub io_chiplet_mm2: Option<f64>,
+    /// All die types in the package.
+    pub dies: Vec<Die>,
+    /// Fraction of compute-die area spent on D2D interfaces.
+    pub d2d_fraction: f64,
+}
+
+impl AreaBreakdown {
+    /// Total silicon area of the package in mm^2.
+    pub fn total_silicon_mm2(&self) -> f64 {
+        self.dies.iter().map(|d| d.area_mm2 * d.count as f64).sum()
+    }
+}
+
+/// Parametric 12 nm area model. All values in mm^2 (or mm^2 per unit).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Area per int8 MAC (datapath + pipeline registers).
+    pub mm2_per_mac: f64,
+    /// Area per MiB of GLB SRAM.
+    pub mm2_per_mib_sram: f64,
+    /// Router + DMA base area.
+    pub router_base: f64,
+    /// Router + DMA area per GB/s of NoC link bandwidth.
+    pub router_per_gbps: f64,
+    /// Control + vector unit area per core.
+    pub core_misc: f64,
+    /// D2D interface (PHY + controller) base area.
+    pub d2d_base: f64,
+    /// D2D interface area per GB/s of D2D bandwidth.
+    pub d2d_per_gbps: f64,
+    /// DRAM PHY area per 32 GB/s channel.
+    pub dram_phy_per_channel: f64,
+    /// DRAM channel granularity in GB/s (GDDR6 die: 32 GB/s).
+    pub dram_channel_gbps: f64,
+    /// DRAM controller area per IO chiplet.
+    pub dram_ctrl: f64,
+    /// Host/other IO (PCIe etc.) area per IO chiplet.
+    pub other_io: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self {
+            mm2_per_mac: 8.0e-4,
+            mm2_per_mib_sram: 0.8,
+            router_base: 0.1,
+            router_per_gbps: 1.5e-3,
+            core_misc: 0.3,
+            d2d_base: 0.28,
+            d2d_per_gbps: 2.0e-3,
+            dram_phy_per_channel: 1.2,
+            dram_channel_gbps: 32.0,
+            dram_ctrl: 0.5,
+            other_io: 2.0,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Evaluates the area of every die in the package.
+    pub fn evaluate(&self, arch: &ArchConfig) -> AreaBreakdown {
+        let core = CoreArea {
+            mac: arch.macs_per_core() as f64 * self.mm2_per_mac,
+            glb: arch.glb_bytes() as f64 / (1024.0 * 1024.0) * self.mm2_per_mib_sram,
+            router: self.router_base + arch.noc_bw() * self.router_per_gbps,
+            misc: self.core_misc,
+        };
+        let io_logic = self.io_logic_area(arch);
+
+        if arch.is_monolithic() {
+            let die = arch.n_cores() as f64 * core.total() + io_logic;
+            return AreaBreakdown {
+                core,
+                d2d_per_interface: 0.0,
+                compute_chiplet_mm2: die,
+                io_chiplet_mm2: None,
+                dies: vec![Die { kind: DieKind::Monolithic, area_mm2: die, count: 1 }],
+                d2d_fraction: 0.0,
+            };
+        }
+
+        let d2d_if = self.d2d_base + arch.d2d_bw() * self.d2d_per_gbps;
+        let (cx, cy) = arch.chiplet_dims();
+        let cores_per_chiplet = (cx * cy) as f64;
+        let d2d_area = arch.d2d_per_chiplet() as f64 * d2d_if;
+        let compute = cores_per_chiplet * core.total() + d2d_area;
+
+        // IO chiplet: its D2D interfaces face one grid edge (as many
+        // interfaces as ports on its band).
+        let ports = arch.dram_ports(0).len() as f64;
+        let io = io_logic / arch.n_io_chiplets() as f64 + ports * d2d_if;
+
+        AreaBreakdown {
+            core,
+            d2d_per_interface: d2d_if,
+            compute_chiplet_mm2: compute,
+            io_chiplet_mm2: Some(io),
+            dies: vec![
+                Die { kind: DieKind::Compute, area_mm2: compute, count: arch.n_chiplets() },
+                Die { kind: DieKind::Io, area_mm2: io, count: arch.n_io_chiplets() },
+            ],
+            d2d_fraction: d2d_area / compute,
+        }
+    }
+
+    /// DRAM PHY + controller + other IO logic for the whole package.
+    fn io_logic_area(&self, arch: &ArchConfig) -> f64 {
+        let channels = (arch.dram_bw() / self.dram_channel_gbps).ceil();
+        channels * self.dram_phy_per_channel
+            + arch.dram_count() as f64 * (self.dram_ctrl + self.other_io)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn simba_granularity_spends_about_40pct_on_d2d() {
+        // The paper's calibration anchor (Sec. VI-B1): at Simba's chiplet
+        // granularity "an excessive amount of chip area is used for D2D
+        // interfaces (nearly 40%)".
+        let bd = AreaModel::default().evaluate(&presets::simba_s_arch());
+        assert!(
+            (0.30..0.50).contains(&bd.d2d_fraction),
+            "D2D fraction {:.2} should be near 0.4",
+            bd.d2d_fraction
+        );
+    }
+
+    #[test]
+    fn g_arch_spends_much_less_on_d2d() {
+        let bd = AreaModel::default().evaluate(&presets::g_arch_72());
+        assert!(bd.d2d_fraction < 0.2, "got {}", bd.d2d_fraction);
+    }
+
+    #[test]
+    fn monolithic_has_no_d2d_and_one_die() {
+        let arch = crate::ArchConfig::builder().cores(6, 6).cuts(1, 1).build().unwrap();
+        let bd = AreaModel::default().evaluate(&arch);
+        assert_eq!(bd.d2d_fraction, 0.0);
+        assert_eq!(bd.dies.len(), 1);
+        assert!(bd.io_chiplet_mm2.is_none());
+        assert_eq!(bd.dies[0].kind, DieKind::Monolithic);
+    }
+
+    #[test]
+    fn total_silicon_consistent() {
+        let arch = presets::g_arch_72();
+        let bd = AreaModel::default().evaluate(&arch);
+        let manual = bd.compute_chiplet_mm2 * arch.n_chiplets() as f64
+            + bd.io_chiplet_mm2.unwrap() * arch.n_io_chiplets() as f64;
+        assert!((bd.total_silicon_mm2() - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finer_chiplets_cost_more_total_d2d_area() {
+        // Same 36-core fabric cut into 2 vs 36 chiplets: the 36-way cut
+        // must burn strictly more silicon on D2D.
+        let coarse = crate::ArchConfig::builder().cores(6, 6).cuts(2, 1).build().unwrap();
+        let fine = crate::ArchConfig::builder().cores(6, 6).cuts(6, 6).build().unwrap();
+        let m = AreaModel::default();
+        let a = m.evaluate(&coarse);
+        let b = m.evaluate(&fine);
+        let d2d_total = |bd: &AreaBreakdown, n: u32| bd.d2d_fraction * bd.compute_chiplet_mm2 * n as f64;
+        assert!(d2d_total(&b, 36) > d2d_total(&a, 2) * 3.0);
+    }
+
+    #[test]
+    fn bigger_glb_means_bigger_core() {
+        let small = crate::ArchConfig::builder().glb_kb(256).build().unwrap();
+        let big = crate::ArchConfig::builder().glb_kb(8192).build().unwrap();
+        let m = AreaModel::default();
+        assert!(
+            m.evaluate(&big).core.glb > 10.0 * m.evaluate(&small).core.glb,
+            "GLB area must scale with capacity"
+        );
+    }
+}

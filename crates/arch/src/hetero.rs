@@ -1,0 +1,372 @@
+//! Heterogeneous chiplet configurations (Sec. V-D of the paper).
+//!
+//! The paper's future-work section singles out "the heterogeneity of
+//! chiplet" as a compelling research direction: *"Questions around
+//! scheduling LP mapping on heterogeneous chiplets and, reciprocally,
+//! exploring architectural designs for heterogeneous accelerators in the
+//! context of LP mapping are of particular interest."* This module
+//! implements that extension on top of the scalable template.
+//!
+//! A [`HeteroSpec`] assigns every computing chiplet of an [`ArchConfig`]
+//! a [`CoreClass`] — a (MACs, GLB) resource point that overrides the
+//! homogeneous per-core parameters. The mesh geometry, cut grid, NoC and
+//! D2D bandwidths stay uniform (they are package-level properties); what
+//! varies per chiplet is the compute/storage substance of its cores,
+//! exactly the degree of freedom chiplet reuse gives a vendor (mix
+//! previously-taped-out "big" and "little" compute dies in one package).
+//!
+//! The LP-SPM encoding is unchanged: partitions still split layers into
+//! approximately equal workloads, so a *mapping* must compensate for
+//! heterogeneity through the `CG` attribute — giving layers fewer big
+//! cores or more little cores. The SA engine does this automatically
+//! (its cost comes from the heterogeneity-aware evaluator), which is the
+//! "scheduling LP mapping on heterogeneous chiplets" question the paper
+//! poses. See `crates/bench/benches/hetero_explore.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use gemini_arch::hetero::{CoreClass, HeteroSpec};
+//! use gemini_arch::ArchConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 6x6 cores in 2x1 chiplets: west chiplet big cores, east little.
+//! let arch = ArchConfig::builder().cores(6, 6).cuts(2, 1).build()?;
+//! let spec = HeteroSpec::new(
+//!     vec![
+//!         CoreClass { macs: 2048, glb_bytes: 4 << 20 },
+//!         CoreClass { macs: 512, glb_bytes: 1 << 20 },
+//!     ],
+//!     vec![0, 1],
+//!     &arch,
+//! )?;
+//! assert!(spec.tops(&arch) > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::area::{AreaModel, CoreArea, Die, DieKind};
+use crate::config::ArchConfig;
+use crate::geometry::CoreId;
+
+/// Per-core compute/storage resources of one chiplet class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreClass {
+    /// MACs in the PE array of one core.
+    pub macs: u32,
+    /// GLB capacity per core in bytes.
+    pub glb_bytes: u64,
+}
+
+impl CoreClass {
+    /// Peak int8 TOPS of one core of this class at `freq_ghz`.
+    pub fn core_tops(&self, freq_ghz: f64) -> f64 {
+        self.macs as f64 * 2.0 * freq_ghz / 1e3
+    }
+}
+
+/// Errors from [`HeteroSpec::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeteroError {
+    /// No classes were given.
+    NoClasses,
+    /// The chiplet-class list length does not equal the chiplet count.
+    ChipletArity {
+        /// Chiplets in the architecture.
+        chiplets: u32,
+        /// Entries provided.
+        given: usize,
+    },
+    /// A chiplet references a class index that does not exist.
+    BadClassIndex {
+        /// Offending chiplet.
+        chiplet: u32,
+        /// The out-of-range index.
+        class: u8,
+    },
+    /// A class has zero MACs or GLB.
+    EmptyClass(usize),
+}
+
+impl std::fmt::Display for HeteroError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeteroError::NoClasses => write!(f, "no core classes given"),
+            HeteroError::ChipletArity { chiplets, given } => {
+                write!(f, "{given} chiplet-class entries for {chiplets} chiplets")
+            }
+            HeteroError::BadClassIndex { chiplet, class } => {
+                write!(f, "chiplet {chiplet} references unknown class {class}")
+            }
+            HeteroError::EmptyClass(i) => write!(f, "class {i} has zero MACs or GLB"),
+        }
+    }
+}
+
+impl std::error::Error for HeteroError {}
+
+/// Per-chiplet core-class assignment over an [`ArchConfig`].
+///
+/// Chiplets are indexed row-major over the cut grid (the same order as
+/// [`ArchConfig::chiplet_of`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeteroSpec {
+    classes: Vec<CoreClass>,
+    class_of_chiplet: Vec<u8>,
+}
+
+impl HeteroSpec {
+    /// Builds and validates a heterogeneous assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeteroError`] when `class_of_chiplet` does not have one
+    /// entry per chiplet of `arch`, references a missing class, or a
+    /// class has zero resources.
+    pub fn new(
+        classes: Vec<CoreClass>,
+        class_of_chiplet: Vec<u8>,
+        arch: &ArchConfig,
+    ) -> Result<Self, HeteroError> {
+        if classes.is_empty() {
+            return Err(HeteroError::NoClasses);
+        }
+        for (i, c) in classes.iter().enumerate() {
+            if c.macs == 0 || c.glb_bytes == 0 {
+                return Err(HeteroError::EmptyClass(i));
+            }
+        }
+        let chiplets = arch.n_chiplets();
+        if class_of_chiplet.len() != chiplets as usize {
+            return Err(HeteroError::ChipletArity { chiplets, given: class_of_chiplet.len() });
+        }
+        for (chiplet, &class) in class_of_chiplet.iter().enumerate() {
+            if class as usize >= classes.len() {
+                return Err(HeteroError::BadClassIndex { chiplet: chiplet as u32, class });
+            }
+        }
+        Ok(Self { classes, class_of_chiplet })
+    }
+
+    /// A homogeneous spec replicating the architecture's own per-core
+    /// parameters (useful as a baseline in comparisons).
+    pub fn uniform(arch: &ArchConfig) -> Self {
+        Self {
+            classes: vec![CoreClass { macs: arch.macs_per_core(), glb_bytes: arch.glb_bytes() }],
+            class_of_chiplet: vec![0; arch.n_chiplets() as usize],
+        }
+    }
+
+    /// The distinct core classes.
+    pub fn classes(&self) -> &[CoreClass] {
+        &self.classes
+    }
+
+    /// Class index of each chiplet (row-major cut-grid order).
+    pub fn class_of_chiplet(&self) -> &[u8] {
+        &self.class_of_chiplet
+    }
+
+    /// Class index of the chiplet containing `core`.
+    pub fn class_of_core(&self, arch: &ArchConfig, core: CoreId) -> u8 {
+        let chiplet = arch.chiplet_of(arch.coord(core));
+        self.class_of_chiplet[chiplet as usize]
+    }
+
+    /// The [`CoreClass`] of `core`.
+    pub fn core_class(&self, arch: &ArchConfig, core: CoreId) -> CoreClass {
+        self.classes[self.class_of_core(arch, core) as usize]
+    }
+
+    /// Whether every chiplet uses the same class.
+    pub fn is_uniform(&self) -> bool {
+        self.class_of_chiplet.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Peak int8 TOPS summed over all cores.
+    pub fn tops(&self, arch: &ArchConfig) -> f64 {
+        let (cx, cy) = arch.chiplet_dims();
+        let cores_per_chiplet = (cx * cy) as f64;
+        self.class_of_chiplet
+            .iter()
+            .map(|&c| cores_per_chiplet * self.classes[c as usize].core_tops(arch.freq_ghz()))
+            .sum()
+    }
+
+    /// Throughput weight of each core relative to the fastest core
+    /// (1.0 = fastest class). Mapping heuristics can use this to bias
+    /// core-group sizes.
+    pub fn core_weights(&self, arch: &ArchConfig) -> Vec<f64> {
+        let max_macs =
+            self.classes.iter().map(|c| c.macs).max().expect("validated non-empty") as f64;
+        arch.cores()
+            .map(|id| self.core_class(arch, id).macs as f64 / max_macs)
+            .collect()
+    }
+
+    /// Evaluates the per-die areas of the heterogeneous package: one
+    /// [`Die`] entry per distinct (class, count) compute die plus the IO
+    /// dies, using the same parametric model as the homogeneous path.
+    pub fn area_dies(&self, arch: &ArchConfig, model: &AreaModel) -> Vec<Die> {
+        let (cx, cy) = arch.chiplet_dims();
+        let cores_per_chiplet = (cx * cy) as f64;
+        let homog = model.evaluate(arch);
+
+        if arch.is_monolithic() {
+            // One die holding every class's cores plus integrated IO.
+            let cores_area: f64 = self
+                .class_of_chiplet
+                .iter()
+                .map(|&c| {
+                    cores_per_chiplet * self.class_core_area(c as usize, arch, model).total()
+                })
+                .sum();
+            let io_logic = homog.total_silicon_mm2()
+                - arch.n_cores() as f64 * homog.core.total();
+            return vec![Die {
+                kind: DieKind::Monolithic,
+                area_mm2: cores_area + io_logic,
+                count: 1,
+            }];
+        }
+
+        let d2d_if = homog.d2d_per_interface;
+        let d2d_area = arch.d2d_per_chiplet() as f64 * d2d_if;
+        let mut dies: Vec<Die> = Vec::new();
+        for class in 0..self.classes.len() {
+            let count =
+                self.class_of_chiplet.iter().filter(|&&c| c as usize == class).count() as u32;
+            if count == 0 {
+                continue;
+            }
+            let area = cores_per_chiplet * self.class_core_area(class, arch, model).total()
+                + d2d_area;
+            dies.push(Die { kind: DieKind::Compute, area_mm2: area, count });
+        }
+        if let Some(io) = homog.io_chiplet_mm2 {
+            dies.push(Die { kind: DieKind::Io, area_mm2: io, count: arch.n_io_chiplets() });
+        }
+        dies
+    }
+
+    /// Core module areas for one class (router/misc follow the shared
+    /// template; MAC and GLB follow the class).
+    fn class_core_area(&self, class: usize, arch: &ArchConfig, model: &AreaModel) -> CoreArea {
+        let c = self.classes[class];
+        CoreArea {
+            mac: c.macs as f64 * model.mm2_per_mac,
+            glb: c.glb_bytes as f64 / (1024.0 * 1024.0) * model.mm2_per_mib_sram,
+            router: model.router_base + arch.noc_bw() * model.router_per_gbps,
+            misc: model.core_misc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn big_little() -> (ArchConfig, HeteroSpec) {
+        let arch = ArchConfig::builder().cores(6, 6).cuts(2, 1).build().unwrap();
+        let spec = HeteroSpec::new(
+            vec![
+                CoreClass { macs: 2048, glb_bytes: 4 << 20 },
+                CoreClass { macs: 512, glb_bytes: 1 << 20 },
+            ],
+            vec![0, 1],
+            &arch,
+        )
+        .unwrap();
+        (arch, spec)
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let arch = ArchConfig::builder().cores(6, 6).cuts(2, 1).build().unwrap();
+        assert_eq!(HeteroSpec::new(vec![], vec![], &arch), Err(HeteroError::NoClasses));
+        let one = vec![CoreClass { macs: 1024, glb_bytes: 1 << 20 }];
+        assert!(matches!(
+            HeteroSpec::new(one.clone(), vec![0], &arch),
+            Err(HeteroError::ChipletArity { chiplets: 2, given: 1 })
+        ));
+        assert!(matches!(
+            HeteroSpec::new(one.clone(), vec![0, 3], &arch),
+            Err(HeteroError::BadClassIndex { chiplet: 1, class: 3 })
+        ));
+        assert_eq!(
+            HeteroSpec::new(vec![CoreClass { macs: 0, glb_bytes: 1 }], vec![0, 0], &arch),
+            Err(HeteroError::EmptyClass(0))
+        );
+    }
+
+    #[test]
+    fn class_of_core_follows_chiplet_membership() {
+        let (arch, spec) = big_little();
+        // West chiplet = columns 0..3 -> class 0; east -> class 1.
+        assert_eq!(spec.class_of_core(&arch, arch.core_at(0, 0)), 0);
+        assert_eq!(spec.class_of_core(&arch, arch.core_at(2, 5)), 0);
+        assert_eq!(spec.class_of_core(&arch, arch.core_at(3, 0)), 1);
+        assert_eq!(spec.class_of_core(&arch, arch.core_at(5, 5)), 1);
+        assert_eq!(spec.core_class(&arch, arch.core_at(0, 0)).macs, 2048);
+    }
+
+    #[test]
+    fn uniform_spec_matches_arch_tops() {
+        let arch = presets::g_arch_72();
+        let spec = HeteroSpec::uniform(&arch);
+        assert!(spec.is_uniform());
+        assert!((spec.tops(&arch) - arch.tops()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn big_little_tops_is_class_weighted() {
+        let (arch, spec) = big_little();
+        // 18 cores x 2048 + 18 cores x 512 MACs @ 2 ops @ 1 GHz.
+        let expected = (18.0 * 2048.0 + 18.0 * 512.0) * 2.0 / 1e3;
+        assert!((spec.tops(&arch) - expected).abs() < 1e-9);
+        assert!(!spec.is_uniform());
+    }
+
+    #[test]
+    fn core_weights_normalized_to_fastest() {
+        let (arch, spec) = big_little();
+        let w = spec.core_weights(&arch);
+        assert_eq!(w.len(), 36);
+        assert_eq!(w[0], 1.0, "west big core");
+        assert_eq!(w[5], 0.25, "east little core is 512/2048");
+    }
+
+    #[test]
+    fn hetero_area_lists_one_die_per_class() {
+        let (arch, spec) = big_little();
+        let dies = spec.area_dies(&arch, &AreaModel::default());
+        let compute: Vec<_> = dies.iter().filter(|d| d.kind == DieKind::Compute).collect();
+        assert_eq!(compute.len(), 2);
+        assert!(compute[0].area_mm2 > compute[1].area_mm2, "big-core die is larger");
+        assert!(dies.iter().any(|d| d.kind == DieKind::Io));
+    }
+
+    #[test]
+    fn uniform_area_matches_homogeneous_model() {
+        let arch = presets::g_arch_72();
+        let spec = HeteroSpec::uniform(&arch);
+        let dies = spec.area_dies(&arch, &AreaModel::default());
+        let total: f64 = dies.iter().map(|d| d.area_mm2 * d.count as f64).sum();
+        let homog = AreaModel::default().evaluate(&arch).total_silicon_mm2();
+        assert!((total - homog).abs() < 1e-9, "hetero {total} vs homog {homog}");
+    }
+
+    #[test]
+    fn monolithic_hetero_area_single_die() {
+        let arch = ArchConfig::builder().cores(6, 6).cuts(1, 1).build().unwrap();
+        let spec = HeteroSpec::uniform(&arch);
+        let dies = spec.area_dies(&arch, &AreaModel::default());
+        assert_eq!(dies.len(), 1);
+        assert_eq!(dies[0].kind, DieKind::Monolithic);
+        let homog = AreaModel::default().evaluate(&arch).total_silicon_mm2();
+        assert!((dies[0].area_mm2 - homog).abs() < 1e-9);
+    }
+}

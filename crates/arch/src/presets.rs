@@ -1,0 +1,164 @@
+//! Named architecture presets used throughout the paper's evaluation.
+
+use crate::config::{ArchConfig, Topology};
+
+/// S-Arch: the Simba baseline at 72 TOPs (Sec. VI-A4).
+///
+/// 36 chiplets of one 1024-MAC core each (6x6 package mesh), 1024 KB GLB
+/// per core (per the Simba-series Magnet exploration), 2 GB/s-per-TOPs
+/// DRAM via added IO dies, GRS D2D links at a quarter of the on-chip
+/// link bandwidth.
+pub fn simba_s_arch() -> ArchConfig {
+    ArchConfig::builder()
+        .cores(6, 6)
+        .cuts(6, 6)
+        .noc_bw(32.0)
+        .d2d_bw(8.0)
+        .dram_bw(144.0)
+        .glb_kb(1024)
+        .macs_per_core(1024)
+        .build()
+        .expect("preset is valid")
+}
+
+/// G-Arch at 72 TOPs: the architecture Gemini's DSE finds
+/// (Sec. VI-B1): `(2, 36, 144GB/s, 32GB/s, 16GB/s, 2MB, 1024)`.
+pub fn g_arch_72() -> ArchConfig {
+    ArchConfig::builder()
+        .cores(6, 6)
+        .cuts(2, 1)
+        .noc_bw(32.0)
+        .d2d_bw(16.0)
+        .dram_bw(144.0)
+        .glb_kb(2048)
+        .macs_per_core(1024)
+        .build()
+        .expect("preset is valid")
+}
+
+/// T-Arch: a 120-core monolithic accelerator with Tenstorrent
+/// Grayskull-like parameters on a folded-torus NoC (Sec. VI-B2).
+pub fn t_arch() -> ArchConfig {
+    ArchConfig::builder()
+        .cores(12, 10)
+        .cuts(1, 1)
+        .topology(Topology::FoldedTorus)
+        .noc_bw(64.0)
+        .d2d_bw(16.0) // unused: monolithic
+        .dram_bw(100.0)
+        .glb_kb(1024)
+        .macs_per_core(512)
+        .build()
+        .expect("preset is valid")
+}
+
+/// The Gemini-explored counterpart of [`t_arch`] (Sec. VI-B2):
+/// `(6, 60, 480GB/s, 64GB/s, 32GB/s, 2MB, 2048)` on a folded torus.
+pub fn g_arch_vs_tarch() -> ArchConfig {
+    ArchConfig::builder()
+        .cores(10, 6)
+        .cuts(2, 3)
+        .topology(Topology::FoldedTorus)
+        .noc_bw(64.0)
+        .d2d_bw(32.0)
+        .dram_bw(480.0)
+        .glb_kb(2048)
+        .macs_per_core(2048)
+        .build()
+        .expect("preset is valid")
+}
+
+/// The four 128-TOPs architectures that are optimal under the four
+/// objectives of Fig. 7, in the paper's left-to-right order:
+/// energy-optimal, delay-optimal, MC-optimal, MC·E·D-optimal.
+pub fn fig7_archs() -> [ArchConfig; 4] {
+    [
+        // (1, 16, 128GB/s, 32GB/s, None, 4MB, 4096)
+        ArchConfig::builder()
+            .cores(4, 4)
+            .cuts(1, 1)
+            .noc_bw(32.0)
+            .dram_bw(128.0)
+            .glb_kb(4096)
+            .macs_per_core(4096)
+            .build()
+            .expect("preset is valid"),
+        // (1, 8, 128GB/s, 32GB/s, None, 4MB, 8192)
+        ArchConfig::builder()
+            .cores(4, 2)
+            .cuts(1, 1)
+            .noc_bw(32.0)
+            .dram_bw(128.0)
+            .glb_kb(4096)
+            .macs_per_core(8192)
+            .build()
+            .expect("preset is valid"),
+        // (4, 32, 256GB/s, 64GB/s, 32GB/s, 2MB, 2048)
+        ArchConfig::builder()
+            .cores(8, 4)
+            .cuts(2, 2)
+            .noc_bw(64.0)
+            .d2d_bw(32.0)
+            .dram_bw(256.0)
+            .glb_kb(2048)
+            .macs_per_core(2048)
+            .build()
+            .expect("preset is valid"),
+        // (2, 32, 128GB/s, 32GB/s, 16GB/s, 2MB, 2048)
+        ArchConfig::builder()
+            .cores(8, 4)
+            .cuts(2, 1)
+            .noc_bw(32.0)
+            .d2d_bw(16.0)
+            .dram_bw(128.0)
+            .glb_kb(2048)
+            .macs_per_core(2048)
+            .build()
+            .expect("preset is valid"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_build() {
+        let _ = simba_s_arch();
+        let _ = g_arch_72();
+        let _ = t_arch();
+        let _ = g_arch_vs_tarch();
+        let _ = fig7_archs();
+    }
+
+    #[test]
+    fn simba_is_36_single_core_chiplets() {
+        let a = simba_s_arch();
+        assert_eq!(a.n_chiplets(), 36);
+        assert_eq!(a.chiplet_dims(), (1, 1));
+        assert!((a.tops() - 73.728).abs() < 0.01);
+    }
+
+    #[test]
+    fn t_arch_is_torus_monolith() {
+        let a = t_arch();
+        assert!(a.is_monolithic());
+        assert_eq!(a.topology(), Topology::FoldedTorus);
+        assert_eq!(a.n_cores(), 120);
+    }
+
+    #[test]
+    fn fig7_archs_are_128_tops_class() {
+        for a in fig7_archs() {
+            let tops = a.tops();
+            assert!((125.0..135.0).contains(&tops), "{} has {tops} TOPS", a.paper_tuple());
+        }
+    }
+
+    #[test]
+    fn g_arch_vs_tarch_is_about_2x_tarch_tops() {
+        // (6, 60, ..., 2048 MACs) is a ~246-TOPs design, roughly 2x the
+        // 120-core T-Arch as in the paper's Sec. VI-B2 setup.
+        assert!(g_arch_vs_tarch().tops() > 1.9 * t_arch().tops());
+    }
+}

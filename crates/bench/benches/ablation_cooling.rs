@@ -1,0 +1,77 @@
+//! SA cooling-schedule ablation.
+//!
+//! The paper specifies Metropolis acceptance "with a probability which
+//! decreases as the number of iterations increases" but leaves the
+//! schedule open. Our engine uses geometric cooling from `t0` to
+//! `t_end`; this harness sweeps both knobs (plus a greedy descent,
+//! `t0 -> 0`) at a fixed move budget to show the mapping quality is
+//! robust to the schedule — the operators and the encoding, not the
+//! temperature curve, carry the result.
+//!
+//! Writes `bench_results/ablation_cooling.csv`.
+
+use gemini_arch::presets;
+use gemini_bench::{banner, geomean, results_dir, sa_iters, sig6, write_csv};
+use gemini_core::engine::{MappingEngine, MappingOptions};
+use gemini_core::sa::SaOptions;
+use gemini_model::zoo;
+use gemini_sim::Evaluator;
+
+fn main() {
+    banner("SA cooling-schedule ablation (Transformer, 72-TOPs G-Arch)");
+    let arch = presets::g_arch_72();
+    let dnn = zoo::transformer_base();
+    let batch = 16;
+    let iters = sa_iters(800, 5000);
+    let ev = Evaluator::new(&arch);
+    let engine = MappingEngine::new(&ev);
+    let seeds = [1u64, 2, 3];
+
+    let schedules: [(&str, f64, f64); 5] = [
+        ("default (0.2 -> 1e-3)", 0.2, 1e-3),
+        ("hot (0.8 -> 1e-3)", 0.8, 1e-3),
+        ("cold (0.05 -> 1e-3)", 0.05, 1e-3),
+        ("slow-freeze (0.2 -> 0.05)", 0.2, 0.05),
+        ("greedy (1e-9 -> 1e-9)", 1e-9, 1e-9),
+    ];
+
+    println!("\n{:<28} {:>12} {:>10} {:>10}", "schedule", "EDP (J*s)", "vs default", "accepted");
+    let mut rows = Vec::new();
+    let mut base = 0.0;
+    for (label, t0, t_end) in schedules {
+        let mut edps = Vec::new();
+        let mut accepted = 0u32;
+        for &seed in &seeds {
+            let opts = MappingOptions {
+                sa: SaOptions { iters, seed, t0, t_end, ..Default::default() },
+                ..Default::default()
+            };
+            let m = engine.map(&dnn, batch, &opts);
+            edps.push(m.report.edp());
+            accepted += m.sa_stats.expect("annealed").accepted;
+        }
+        let mean = geomean(&edps);
+        if base == 0.0 {
+            base = mean;
+        }
+        println!(
+            "{:<28} {:>12.4e} {:>9.1}% {:>10}",
+            label,
+            mean,
+            (mean / base - 1.0) * 100.0,
+            accepted / seeds.len() as u32
+        );
+        rows.push(format!("{label},{},{}", sig6(mean), sig6(mean / base)));
+    }
+    println!("\nexpected: quality varies by only a few percent across schedules —");
+    println!("the SA keeps its best-visited state, so even greedy descent lands");
+    println!("close; hotter schedules accept more but wander longer.");
+
+    write_csv(
+        results_dir().join("ablation_cooling.csv"),
+        "schedule,edp_mean,edp_vs_default",
+        rows,
+    )
+    .expect("write csv");
+    println!("wrote {}", results_dir().join("ablation_cooling.csv").display());
+}

@@ -1,0 +1,161 @@
+//! Fig. 5 — Overall comparison among G-Arch, G-Map, S-Arch and T-Map.
+//!
+//! Reproduces the paper's headline experiment: five DNNs x two batch
+//! sizes, three configurations (S-Arch+T-Map baseline, S-Arch+G-Map,
+//! G-Arch+G-Map), reporting normalized delay and the energy breakdown
+//! (network / intra-tile / DRAM), plus the headline averages
+//! (paper: 1.98x performance, 1.41x energy efficiency, +14.3% MC).
+//!
+//! Writes `bench_results/fig5.csv`.
+
+use std::sync::Mutex;
+
+use gemini_arch::presets;
+use gemini_bench::{banner, g_map, geomean, results_dir, sa_iters, sig6, t_map, write_csv};
+use gemini_cost::CostModel;
+use gemini_model::zoo;
+use gemini_sim::Evaluator;
+
+struct Row {
+    dnn: String,
+    batch: u32,
+    config: &'static str,
+    delay_s: f64,
+    e_net: f64,
+    e_intra: f64,
+    e_dram: f64,
+}
+
+fn main() {
+    banner("Fig. 5: overall comparison (S-Arch/G-Arch x T-Map/G-Map)");
+    let iters = sa_iters(600, 4000);
+    let s_arch = presets::simba_s_arch();
+    let g_arch = presets::g_arch_72();
+    println!("S-Arch {}   G-Arch {}   SA iters {iters}", s_arch.paper_tuple(), g_arch.paper_tuple());
+
+    let workloads = zoo::paper_workloads();
+    let batches = [64u32, 1];
+    let tasks: Vec<(usize, u32)> = (0..workloads.len())
+        .flat_map(|i| batches.iter().map(move |&b| (i, b)))
+        .collect();
+
+    let rows: Mutex<Vec<Row>> = Mutex::new(Vec::new());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(tasks.len());
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if t >= tasks.len() {
+                    break;
+                }
+                let (wi, batch) = tasks[t];
+                let dnn = &workloads[wi];
+                let ev_s = Evaluator::new(&s_arch);
+                let ev_g = Evaluator::new(&g_arch);
+                let runs = [
+                    ("S-Arch+T-Map", t_map(&ev_s, dnn, batch), &ev_s),
+                    ("S-Arch+G-Map", g_map(&ev_s, dnn, batch, iters, 17), &ev_s),
+                    ("G-Arch+G-Map", g_map(&ev_g, dnn, batch, iters, 17), &ev_g),
+                ];
+                let mut out = Vec::new();
+                for (config, m, _ev) in runs {
+                    let e = m.report.energy;
+                    out.push(Row {
+                        dnn: dnn.name().to_string(),
+                        batch,
+                        config,
+                        delay_s: m.report.delay_s,
+                        e_net: e.network(),
+                        e_intra: e.intra_tile(),
+                        e_dram: e.dram,
+                    });
+                }
+                rows.lock().expect("rows").extend(out);
+            });
+        }
+    })
+    .expect("fig5 worker panicked");
+
+    let rows = rows.into_inner().expect("rows");
+    // Normalize each (dnn, batch) to its S-Arch+T-Map baseline.
+    println!(
+        "\n{:<8} {:>5}  {:<14} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "DNN", "batch", "config", "delay", "energy", "net", "intra", "dram"
+    );
+    let mut speedups = Vec::new();
+    let mut egains = Vec::new();
+    let mut map_only_speedups = Vec::new();
+    for dnn in zoo::paper_workloads() {
+        for &batch in &batches {
+            let find = |cfg: &str| {
+                rows.iter()
+                    .find(|r| r.dnn == dnn.name() && r.batch == batch && r.config == cfg)
+                    .expect("row present")
+            };
+            let base = find("S-Arch+T-Map");
+            let base_e = base.e_net + base.e_intra + base.e_dram;
+            for cfg in ["S-Arch+T-Map", "S-Arch+G-Map", "G-Arch+G-Map"] {
+                let r = find(cfg);
+                let e = r.e_net + r.e_intra + r.e_dram;
+                println!(
+                    "{:<8} {:>5}  {:<14} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                    r.dnn,
+                    r.batch,
+                    r.config,
+                    r.delay_s / base.delay_s,
+                    e / base_e,
+                    r.e_net / base_e,
+                    r.e_intra / base_e,
+                    r.e_dram / base_e
+                );
+            }
+            let ours = find("G-Arch+G-Map");
+            speedups.push(base.delay_s / ours.delay_s);
+            egains.push(base_e / (ours.e_net + ours.e_intra + ours.e_dram));
+            let smap = find("S-Arch+G-Map");
+            map_only_speedups.push(base.delay_s / smap.delay_s);
+        }
+    }
+
+    let cost = CostModel::default();
+    let mc_s = cost.evaluate(&s_arch).total();
+    let mc_g = cost.evaluate(&g_arch).total();
+
+    banner("Fig. 5 headline");
+    println!(
+        "G-Arch+G-Map vs S-Arch+T-Map : {:.2}x performance (paper: 1.98x)",
+        geomean(&speedups)
+    );
+    println!(
+        "                               {:.2}x energy efficiency (paper: 1.41x)",
+        geomean(&egains)
+    );
+    println!(
+        "monetary cost                : {:+.1}% (paper: +14.3%)  [S ${:.2} -> G ${:.2}]",
+        (mc_g / mc_s - 1.0) * 100.0,
+        mc_s,
+        mc_g
+    );
+    println!(
+        "mapping alone (S-Arch+G-Map) : {:.2}x performance over T-Map",
+        geomean(&map_only_speedups)
+    );
+
+    let csv_rows = rows.iter().map(|r| {
+        format!(
+            "{},{},{},{},{},{},{}",
+            r.dnn,
+            r.batch,
+            r.config,
+            sig6(r.delay_s),
+            sig6(r.e_net),
+            sig6(r.e_intra),
+            sig6(r.e_dram)
+        )
+    });
+    let path = results_dir().join("fig5.csv");
+    write_csv(&path, "dnn,batch,config,delay_s,e_network_j,e_intra_j,e_dram_j", csv_rows)
+        .expect("write fig5.csv");
+    println!("\nwrote {}", path.display());
+}

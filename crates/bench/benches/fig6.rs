@@ -1,0 +1,131 @@
+//! Fig. 6 — EDP and MC of the architecture candidates in the design
+//! space for 128- and 512-TOPs accelerators.
+//!
+//! For each scale: the DSE scatter (EDP vs MC per candidate), colored by
+//! (a) chiplet count and (b) core count, with EDP and MC normalized to
+//! the `MC*E*D`-best architecture, plus the globally optimal
+//! architectures under the four objectives (MC*E*D, E*D, D, E).
+//!
+//! Expected shapes (Sec. VII-A): the optimal chiplet count is small
+//! (1-4); overly fine chiplet partitions worsen everything. EDP first
+//! improves then flattens/regresses as cores get finer while MC keeps
+//! rising.
+//!
+//! Writes `bench_results/fig6_<tops>.csv`.
+
+use std::collections::BTreeMap;
+
+use gemini_bench::{banner, mapping_opts, mode, results_dir, sa_iters, sig6, write_csv, Mode};
+use gemini_core::dse::{run_dse, DseOptions, DseRecord, DseSpec, Objective};
+use gemini_model::zoo;
+
+fn scatter(tops: f64) -> Vec<DseRecord> {
+    let spec = DseSpec::table1(tops);
+    // Large-scale candidates (hundreds of cores) evaluate slowly;
+    // subsample them harder in quick mode.
+    let stride = if mode() == Mode::Full {
+        1
+    } else if tops > 256.0 {
+        79
+    } else {
+        31
+    };
+    let iters = sa_iters(250, 2000);
+    let opts = DseOptions {
+        objective: Objective::mc_e_d(),
+        batch: 64,
+        mapping: mapping_opts(iters, 1),
+        stride,
+        ..Default::default()
+    };
+    let dnns = vec![zoo::transformer_base()];
+    let t0 = std::time::Instant::now();
+    let res = run_dse(&dnns, &spec, &opts);
+    println!(
+        "{tops} TOPs: explored {} candidates (stride {stride}) in {:.1?}",
+        res.records.len(),
+        t0.elapsed()
+    );
+
+    let best = res.best_record();
+    let (mc0, edp0) = (best.mc, best.edp());
+    println!("  MC*E*D optimum: {}", best.arch.paper_tuple());
+    for (name, obj) in [
+        ("E*D ", Objective::e_d()),
+        ("D   ", Objective::d_only()),
+        ("E   ", Objective::e_only()),
+    ] {
+        let b = res.best_under(obj);
+        println!("  {name} optimum: {}", b.arch.paper_tuple());
+    }
+
+    // Fig. 6(a): best normalized (EDP, MC) per chiplet count.
+    let mut by_chiplet: BTreeMap<u32, (f64, f64)> = BTreeMap::new();
+    let mut by_cores: BTreeMap<u32, (f64, f64)> = BTreeMap::new();
+    for r in &res.records {
+        let e = r.edp() / edp0;
+        let m = r.mc / mc0;
+        let c = by_chiplet.entry(r.arch.n_chiplets()).or_insert((f64::INFINITY, f64::INFINITY));
+        if e < c.0 {
+            *c = (e, m);
+        }
+        let k = by_cores.entry(r.arch.n_cores()).or_insert((f64::INFINITY, f64::INFINITY));
+        if e < k.0 {
+            *k = (e, m);
+        }
+    }
+    println!("  (a) best candidate per chiplet count  [EDP x, MC x vs optimum]");
+    for (n, (e, m)) in &by_chiplet {
+        println!("      {n:>3} chiplets: EDP {e:>7.3}  MC {m:>6.3}");
+    }
+    println!("  (b) best candidate per core count");
+    for (n, (e, m)) in &by_cores {
+        println!("      {n:>3} cores   : EDP {e:>7.3}  MC {m:>6.3}");
+    }
+
+    let rows = res.records.iter().map(|r| {
+        format!(
+            "\"{}\",{},{},{},{},{},{}",
+            r.arch.paper_tuple(),
+            r.arch.n_chiplets(),
+            r.arch.n_cores(),
+            sig6(r.mc / mc0),
+            sig6(r.edp() / edp0),
+            sig6(r.energy),
+            sig6(r.delay)
+        )
+    });
+    let path = results_dir().join(format!("fig6_{}.csv", tops as u32));
+    write_csv(&path, "arch,chiplets,cores,mc_norm,edp_norm,energy_j,delay_s", rows)
+        .expect("write csv");
+    println!("  wrote {}", path.display());
+    res.records
+}
+
+fn main() {
+    banner("Fig. 6: EDP/MC scatter of the 128- and 512-TOPs design spaces");
+    let r128 = scatter(128.0);
+    let r512 = scatter(512.0);
+
+    banner("Fig. 6 shape checks");
+    for (tops, recs) in [(128u32, &r128), (512u32, &r512)] {
+        let best = recs
+            .iter()
+            .min_by(|a, b| {
+                (a.mc * a.energy * a.delay).partial_cmp(&(b.mc * b.energy * b.delay)).expect("finite")
+            })
+            .expect("non-empty");
+        let max_chiplets = recs.iter().map(|r| r.arch.n_chiplets()).max().expect("some");
+        let finest_best_edp = recs
+            .iter()
+            .filter(|r| r.arch.n_chiplets() == max_chiplets)
+            .map(|r| r.edp())
+            .fold(f64::INFINITY, f64::min);
+        println!(
+            "{tops} TOPs: optimal chiplet count {} (paper: 1-4); finest granularity ({}) EDP is {:.2}x the optimum",
+            best.arch.n_chiplets(),
+            max_chiplets,
+            finest_best_edp / best.edp()
+        );
+    }
+}

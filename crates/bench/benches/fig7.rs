@@ -1,0 +1,126 @@
+//! Fig. 7 — Comparative analysis of energy, MC and delay for the optimal
+//! 128-TOPs architectures explored under four different optimization
+//! objectives.
+//!
+//! The paper's four optima (left to right: energy-optimal, delay-optimal
+//! — both monolithic; then the two MC-aware optima with 2-4 chiplets):
+//!
+//! 1. `(1, 16, 128GB/s, 32GB/s, None, 4MB, 4096)`
+//! 2. `(1, 8, 128GB/s, 32GB/s, None, 4MB, 8192)`
+//! 3. `(4, 32, 256GB/s, 64GB/s, 32GB/s, 2MB, 2048)`
+//! 4. `(2, 32, 128GB/s, 32GB/s, 16GB/s, 2MB, 2048)`
+//!
+//! For each we report the full energy breakdown (DRAM/D2D/NoC/intra),
+//! the MC breakdown (silicon/DRAM/substrate) and delay, all normalized
+//! to the 4th (the paper's `MC*E*D` reference), plus the average number
+//! of layers processed simultaneously (paper: 5.4 / 4.1 / 10.2 / 8.1).
+//!
+//! Writes `bench_results/fig7.csv`.
+
+use gemini_arch::presets;
+use gemini_bench::{banner, g_map, results_dir, sa_iters, sig6, write_csv};
+use gemini_cost::CostModel;
+use gemini_model::zoo;
+use gemini_sim::Evaluator;
+
+struct Out {
+    label: &'static str,
+    tuple: String,
+    delay: f64,
+    e_dram: f64,
+    e_d2d: f64,
+    e_noc: f64,
+    e_intra: f64,
+    mc_si: f64,
+    mc_dram: f64,
+    mc_sub: f64,
+    layers_conc: f64,
+}
+
+fn main() {
+    banner("Fig. 7: optimal archs under four objectives (128 TOPs)");
+    let iters = sa_iters(800, 4000);
+    let archs = presets::fig7_archs();
+    let labels = ["E-opt   ", "D-opt   ", "MCED-a  ", "MCED-b  "];
+    let dnn = zoo::transformer_base();
+    let cost = CostModel::default();
+
+    let mut outs = Vec::new();
+    for (arch, label) in archs.iter().zip(labels) {
+        let ev = Evaluator::new(arch);
+        let m = g_map(&ev, &dnn, 64, iters, 7);
+        let mc = cost.evaluate(arch);
+        let e = m.report.energy;
+        outs.push(Out {
+            label,
+            tuple: arch.paper_tuple(),
+            delay: m.report.delay_s,
+            e_dram: e.dram,
+            e_d2d: e.d2d,
+            e_noc: e.noc,
+            e_intra: e.intra_tile(),
+            mc_si: mc.silicon,
+            mc_dram: mc.dram,
+            mc_sub: mc.package,
+            layers_conc: m.partition.avg_layers_concurrent(&dnn),
+        });
+    }
+
+    // Normalize to the 4th arch, the paper's MC*E*D reference.
+    let refr = &outs[3];
+    let (d0, e0, m0) = (
+        refr.delay,
+        refr.e_dram + refr.e_d2d + refr.e_noc + refr.e_intra,
+        refr.mc_si + refr.mc_dram + refr.mc_sub,
+    );
+
+    println!(
+        "\n{:<9} {:<48} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8}",
+        "objective", "architecture", "delay", "energy", "eDRAM", "eD2D", "MC", "mcDRAM", "layers||"
+    );
+    for o in &outs {
+        let e = o.e_dram + o.e_d2d + o.e_noc + o.e_intra;
+        let m = o.mc_si + o.mc_dram + o.mc_sub;
+        println!(
+            "{:<9} {:<48} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>8.1}",
+            o.label,
+            o.tuple,
+            o.delay / d0,
+            e / e0,
+            o.e_dram / e0,
+            o.e_d2d / e0,
+            m / m0,
+            o.mc_dram / m0,
+            o.layers_conc
+        );
+    }
+    println!("\npaper's avg layers processed simultaneously: 5.4 / 4.1 / 10.2 / 8.1");
+    println!(
+        "paper shape: monolithic optima win E or D; MC-aware optima trade a little E/D for lower MC"
+    );
+
+    let rows = outs.iter().map(|o| {
+        format!(
+            "{},\"{}\",{},{},{},{},{},{},{},{},{}",
+            o.label.trim(),
+            o.tuple,
+            sig6(o.delay),
+            sig6(o.e_dram),
+            sig6(o.e_d2d),
+            sig6(o.e_noc),
+            sig6(o.e_intra),
+            sig6(o.mc_si),
+            sig6(o.mc_dram),
+            sig6(o.mc_sub),
+            sig6(o.layers_conc)
+        )
+    });
+    let path = results_dir().join("fig7.csv");
+    write_csv(
+        &path,
+        "objective,arch,delay_s,e_dram_j,e_d2d_j,e_noc_j,e_intra_j,mc_silicon,mc_dram,mc_substrate,avg_layers_concurrent",
+        rows,
+    )
+    .expect("write csv");
+    println!("wrote {}", path.display());
+}

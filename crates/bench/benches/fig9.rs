@@ -1,0 +1,149 @@
+//! Fig. 9 — Network-traffic heatmap of the optimal SPM scheme explored
+//! by Tangram and by Gemini on the 72-TOPs G-Arch.
+//!
+//! The paper's figure maps a three-layer Transformer slice (layer widths
+//! 256 -> 2048 -> 2048 -> 256, with heavy data dependencies between
+//! consecutive layers) as one layer group and compares the per-link
+//! traffic of the Tangram stripe scheme against Gemini's SA scheme: the
+//! red (congested) links disappear, total hop count drops by 34.2% and
+//! hop count on the intermediate D2D links by 74%.
+//!
+//! D2D links are pressure-weighted by the NoC/D2D bandwidth ratio, as in
+//! the paper's figure. Writes `bench_results/fig9_{tangram,gemini}.csv`.
+
+use gemini_arch::presets;
+use gemini_bench::{banner, results_dir, sa_iters};
+use gemini_core::encoding::GroupSpec;
+use gemini_core::partition::GraphPartition;
+use gemini_core::sa::{optimize, SaOptions};
+use gemini_core::stripe::{stripe_lms, stripe_lms_with};
+use gemini_model::{DnnBuilder, FmapShape, LayerKind};
+use gemini_model::layer::ConvParams;
+use gemini_noc::Heatmap;
+use gemini_sim::{DramSel, Evaluator};
+
+fn main() {
+    banner("Fig. 9: SPM traffic heatmap, Tangram vs Gemini (72-TOPs G-Arch)");
+    let arch = presets::g_arch_72();
+
+    // The paper's three-layer Transformer slice: token-wise projections
+    // of widths 256 -> 2048 -> 2048 -> 256 over a 128-token sequence.
+    let mut b = DnnBuilder::new("tf-slice");
+    let seq = 128;
+    let x = b.input(FmapShape::new(seq, 1, 256));
+    let l1 = b
+        .add(
+            "ff_up",
+            LayerKind::Conv(ConvParams::dense((1, 1), (1, 1), (0, 0), 256)),
+            FmapShape::new(seq, 1, 2048),
+            &[x],
+        )
+        .expect("valid");
+    let l2 = b
+        .add(
+            "ff_mid",
+            LayerKind::Conv(ConvParams::dense((1, 1), (1, 1), (0, 0), 2048)),
+            FmapShape::new(seq, 1, 2048),
+            &[l1],
+        )
+        .expect("valid");
+    let l3 = b
+        .add(
+            "ff_down",
+            LayerKind::Conv(ConvParams::dense((1, 1), (1, 1), (0, 0), 2048)),
+            FmapShape::new(seq, 1, 256),
+            &[l2],
+        )
+        .expect("valid");
+    let dnn = b.build();
+
+    let batch = 16;
+    let bu = 4;
+    let spec = GroupSpec { members: vec![l1, l2, l3], batch_unit: bu };
+    let partition = GraphPartition { groups: vec![spec.clone()] };
+    let ev = Evaluator::new(&arch);
+
+    // Tangram as the paper's figure depicts it: plain fmap stripes
+    // (weights duplicated across each layer's cores). The
+    // capacity-aware variant used as SA's initial state elsewhere is
+    // also reported for reference.
+    let t_lms = stripe_lms_with(&dnn, &arch, &spec, false);
+    let t_gm = t_lms.parse(&dnn, &spec, &|_| DramSel::Interleaved);
+    let rt = ev.evaluate_group(&dnn, &t_gm, batch);
+    let tcap_lms = stripe_lms(&dnn, &arch, &spec);
+    let tcap_gm = tcap_lms.parse(&dnn, &spec, &|_| DramSel::Interleaved);
+    let rtc = ev.evaluate_group(&dnn, &tcap_gm, batch);
+
+    // Gemini: anneal from the (capacity-aware) stripe scheme.
+    let iters = sa_iters(3000, 12000);
+    let opts = SaOptions { iters, seed: 9, ..Default::default() };
+    let out = optimize(&dnn, &ev, &partition, vec![tcap_lms], batch, &opts);
+    let rg = &out.reports[0];
+
+    let ht = Heatmap::build(ev.network(), &rt.traffic);
+    let hg = Heatmap::build(ev.network(), &rg.traffic);
+
+    println!("\nTangram SPM (per-core pressure, 0-9):");
+    print!("{}", ht.render_ascii());
+    println!("\nGemini SPM (after {iters} SA iterations):");
+    print!("{}", hg.render_ascii());
+
+    let net = ev.network();
+    let (t_hop, t_d2d) = (rt.traffic.total_hop_bytes(), rt.traffic.d2d_hop_bytes(net));
+    let (g_hop, g_d2d) = (rg.traffic.total_hop_bytes(), rg.traffic.d2d_hop_bytes(net));
+
+    banner("Fig. 9 metrics");
+    println!(
+        "total hop-bytes : Tangram {:.3e}  Gemini {:.3e}  -> {:.1}% reduction (paper: 34.2%)",
+        t_hop,
+        g_hop,
+        (1.0 - g_hop / t_hop) * 100.0
+    );
+    println!(
+        "D2D hop-bytes   : Tangram {:.3e}  Gemini {:.3e}  -> {:.1}% reduction (paper: 74%)",
+        t_d2d,
+        g_d2d,
+        (1.0 - g_d2d / t_d2d.max(1.0)) * 100.0
+    );
+    println!(
+        "peak pressure   : Tangram {:.3e}  Gemini {:.3e}  ({:+.1}%; red links should fade)",
+        ht.peak_pressure(),
+        hg.peak_pressure(),
+        (hg.peak_pressure() / ht.peak_pressure() - 1.0) * 100.0
+    );
+    println!(
+        "stage time      : Tangram {:.3} us  Gemini {:.3} us",
+        rt.stage_time_s * 1e6,
+        rg.stage_time_s * 1e6
+    );
+    // The paper's qualitative claim "overall network traffic is more
+    // evenly distributed", quantified two ways. In our reproduction the
+    // claim manifests through the *absolute* peak collapse above: our
+    // SA removes so much volume (95%+) that the relative shape of the
+    // tiny residual traffic — peak/mean over loaded links, or the
+    // all-links Gini — is free to drift and may even look spikier.
+    println!(
+        "peak/mean load  : Tangram {:.2}x  Gemini {:.2}x  (relative shape of residual)",
+        rt.traffic.peak_to_mean(net),
+        rg.traffic.peak_to_mean(net)
+    );
+    println!(
+        "utilization Gini: Tangram {:.3}  Gemini {:.3}  (all links incl. idle)",
+        rt.traffic.utilization_gini(net),
+        rg.traffic.utilization_gini(net)
+    );
+    println!(
+        "group E*D       : Tangram {:.3e}  Gemini {:.3e}",
+        rt.energy.total() * rt.delay_s,
+        rg.energy.total() * rg.delay_s
+    );
+    println!(
+        "capacity-aware stripe (our stronger T-Map): hop-bytes {:.3e}, E*D {:.3e}",
+        rtc.traffic.total_hop_bytes(),
+        rtc.energy.total() * rtc.delay_s
+    );
+
+    std::fs::write(results_dir().join("fig9_tangram.csv"), ht.to_csv()).expect("write csv");
+    std::fs::write(results_dir().join("fig9_gemini.csv"), hg.to_csv()).expect("write csv");
+    println!("wrote {}", results_dir().join("fig9_{{tangram,gemini}}.csv").display());
+}

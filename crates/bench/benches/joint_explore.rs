@@ -1,0 +1,82 @@
+//! Joint partition+SPM exploration vs the staged pipeline (the paper's
+//! future-work direction, Sec. V-D).
+//!
+//! The staged pipeline fixes layer groups with the DP partitioner and
+//! anneals only the spatial mapping; the joint annealer also mutates
+//! group boundaries and batch units (operators JP1..JP4). With equal
+//! iteration budgets, joint exploration should match or beat staged on
+//! E*D, at the price of slower convergence per iteration.
+//!
+//! Writes `bench_results/joint_explore.csv`.
+
+use gemini_arch::presets;
+use gemini_bench::{banner, results_dir, sa_iters, sig6, write_csv};
+use gemini_core::joint::{optimize_joint, JointOptions};
+use gemini_core::partition::{partition_graph, PartitionOptions};
+use gemini_core::sa::{optimize, SaOptions};
+use gemini_core::stripe::stripe_lms;
+use gemini_model::zoo;
+use gemini_sim::Evaluator;
+
+fn main() {
+    banner("Joint partition+SPM exploration vs staged DP+SA (Sec. V-D)");
+    let arch = presets::g_arch_72();
+    let ev = Evaluator::new(&arch);
+    let iters = sa_iters(1200, 6000);
+    let batch = 16;
+
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>9} {:>8} {:>8}",
+        "DNN", "staged E*D", "joint E*D", "joint/st", "groups", "jp moves"
+    );
+    let mut rows = Vec::new();
+    for dnn in [zoo::resnet50(), zoo::transformer_base(), zoo::googlenet()] {
+        let init = partition_graph(&dnn, &arch, batch, &PartitionOptions::default());
+        let staged = optimize(
+            &dnn,
+            &ev,
+            &init,
+            init.groups.iter().map(|g| stripe_lms(&dnn, &arch, g)).collect(),
+            batch,
+            &SaOptions { iters, seed: 3, ..Default::default() },
+        );
+        let joint = optimize_joint(
+            &dnn,
+            &ev,
+            init.clone(),
+            batch,
+            &JointOptions {
+                sa: SaOptions { iters, seed: 3, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        let jp: u32 = joint.partition_applied.iter().sum();
+        println!(
+            "{:<10} {:>12.4e} {:>12.4e} {:>9.3} {:>3}->{:<3} {:>8}",
+            dnn.name(),
+            staged.cost,
+            joint.cost,
+            joint.cost / staged.cost,
+            init.groups.len(),
+            joint.partition.groups.len(),
+            jp
+        );
+        rows.push(format!(
+            "{},{},{},{},{},{}",
+            dnn.name(),
+            sig6(staged.cost),
+            sig6(joint.cost),
+            init.groups.len(),
+            joint.partition.groups.len(),
+            jp
+        ));
+    }
+    println!("\nratios <= 1 mean the joint space pays off at this budget.");
+    write_csv(
+        results_dir().join("joint_explore.csv"),
+        "dnn,staged_cost,joint_cost,init_groups,joint_groups,partition_moves",
+        rows,
+    )
+    .expect("write csv");
+    println!("wrote {}", results_dir().join("joint_explore.csv").display());
+}

@@ -1,0 +1,175 @@
+//! Criterion micro-benchmarks of the framework's hot components:
+//! routing, traffic accumulation, intra-core search, group evaluation,
+//! SA iteration throughput and monetary-cost evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use gemini_arch::presets;
+use gemini_core::encoding::GroupSpec;
+use gemini_core::engine::{MappingEngine, MappingOptions};
+use gemini_core::partition::{partition_graph, PartitionOptions};
+use gemini_core::sa::SaOptions;
+use gemini_core::stripe::stripe_lms;
+use gemini_cost::CostModel;
+use gemini_intracore::{CoreParams, IntraCoreExplorer, PartWorkload};
+use gemini_model::{zoo, LayerId};
+use gemini_noc::{Network, TrafficMap};
+use gemini_sim::{DramSel, Evaluator};
+
+fn bench_routing(c: &mut Criterion) {
+    let arch = presets::g_arch_72();
+    let net = Network::new(&arch);
+    let mut path = Vec::with_capacity(16);
+    c.bench_function("noc/xy_route_corner_to_corner", |b| {
+        b.iter(|| {
+            path.clear();
+            net.route_cores(arch.core_at(0, 0), arch.core_at(5, 5), &mut path);
+            std::hint::black_box(path.len())
+        })
+    });
+    let dests: Vec<_> = (0..6).map(|x| arch.core_at(x, 5)).collect();
+    let mut tree = Vec::with_capacity(64);
+    c.bench_function("noc/multicast_row", |b| {
+        b.iter(|| {
+            net.multicast_cores(arch.core_at(0, 0), &dests, &mut tree);
+            std::hint::black_box(tree.len())
+        })
+    });
+}
+
+fn bench_traffic(c: &mut Criterion) {
+    let arch = presets::g_arch_72();
+    let net = Network::new(&arch);
+    let mut t = TrafficMap::new(&net);
+    let mut path = Vec::new();
+    net.route_cores(arch.core_at(0, 0), arch.core_at(5, 5), &mut path);
+    c.bench_function("noc/traffic_bottleneck", |b| {
+        t.add_path(&path, 1024.0);
+        b.iter(|| std::hint::black_box(t.bottleneck_time(&net)))
+    });
+}
+
+fn bench_intracore(c: &mut Criterion) {
+    let wl = PartWorkload {
+        h: 28,
+        w: 28,
+        k: 64,
+        b: 1,
+        red_c: 128,
+        kernel_elems: 9,
+        weight_bytes: 9 * 128 * 64,
+        in_bytes: 30 * 30 * 128,
+        vector_ops: 28 * 28 * 64,
+    };
+    c.bench_function("intracore/search_uncached", |b| {
+        b.iter_batched(
+            || IntraCoreExplorer::new(CoreParams::from_arch(1024, 2 << 20)),
+            |e| std::hint::black_box(e.explore(&wl)),
+            BatchSize::SmallInput,
+        )
+    });
+    let e = IntraCoreExplorer::new(CoreParams::from_arch(1024, 2 << 20));
+    e.explore(&wl);
+    c.bench_function("intracore/search_cached", |b| {
+        b.iter(|| std::hint::black_box(e.explore(&wl)))
+    });
+}
+
+fn bench_group_eval(c: &mut Criterion) {
+    let arch = presets::g_arch_72();
+    let dnn = zoo::tiny_resnet();
+    let ev = Evaluator::new(&arch);
+    let members: Vec<LayerId> = dnn.compute_ids().collect();
+    let spec = GroupSpec { members, batch_unit: 2 };
+    let lms = stripe_lms(&dnn, &arch, &spec);
+    let gm = lms.parse(&dnn, &spec, &|_| DramSel::Interleaved);
+    c.bench_function("sim/evaluate_group_tiny_resnet", |b| {
+        b.iter(|| std::hint::black_box(ev.evaluate_group(&dnn, &gm, 8).delay_s))
+    });
+}
+
+fn bench_sa(c: &mut Criterion) {
+    let arch = presets::g_arch_72();
+    let dnn = zoo::two_conv_example();
+    let ev = Evaluator::new(&arch);
+    let engine = MappingEngine::new(&ev);
+    c.bench_function("sa/100_iterations_two_conv", |b| {
+        b.iter(|| {
+            let opts = MappingOptions {
+                sa: SaOptions { iters: 100, seed: 1, ..Default::default() },
+                ..Default::default()
+            };
+            std::hint::black_box(engine.map(&dnn, 2, &opts).report.delay_s)
+        })
+    });
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let arch = presets::g_arch_72();
+    let dnn = zoo::resnet50();
+    c.bench_function("partition/resnet50_dp", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                partition_graph(&dnn, &arch, 64, &PartitionOptions::default()).len(),
+            )
+        })
+    });
+}
+
+fn bench_cost(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let arch = presets::g_arch_72();
+    c.bench_function("cost/evaluate_arch", |b| {
+        b.iter(|| std::hint::black_box(cost.evaluate(&arch).total()))
+    });
+}
+
+fn bench_packetsim(c: &mut Criterion) {
+    use gemini_noc::flowsim::Flow;
+    use gemini_noc::packetsim::{simulate_packets, PacketSimConfig};
+    let arch = presets::g_arch_72();
+    let net = Network::new(&arch);
+    let mut flows = Vec::new();
+    for y in 0..6u32 {
+        let mut path = Vec::new();
+        net.route_cores(arch.core_at(0, y), arch.core_at(5, 5 - y), &mut path);
+        flows.push(Flow { path, bytes: 8_192.0 });
+    }
+    let cfg = PacketSimConfig::default();
+    c.bench_function("noc/packetsim_6_flows_8kB", |b| {
+        b.iter(|| std::hint::black_box(simulate_packets(&net, &flows, &cfg).cycles))
+    });
+}
+
+fn bench_hetero_eval(c: &mut Criterion) {
+    // Heterogeneous evaluation must cost about the same as homogeneous
+    // (the per-core profile is an O(1) lookup).
+    let arch =
+        gemini_arch::ArchConfig::builder().cores(6, 6).cuts(1, 2).build().unwrap();
+    let spec = gemini_arch::HeteroSpec::new(
+        vec![
+            gemini_arch::CoreClass { macs: 1536, glb_bytes: 3 << 20 },
+            gemini_arch::CoreClass { macs: 512, glb_bytes: 1 << 20 },
+        ],
+        vec![0, 1],
+        &arch,
+    )
+    .unwrap();
+    let dnn = zoo::tiny_resnet();
+    let ev = Evaluator::hetero(&arch, &spec);
+    let members: Vec<LayerId> = dnn.compute_ids().collect();
+    let gspec = GroupSpec { members, batch_unit: 2 };
+    let lms = stripe_lms(&dnn, &arch, &gspec);
+    let gm = lms.parse(&dnn, &gspec, &|_| DramSel::Interleaved);
+    ev.evaluate_group(&dnn, &gm, 8); // warm the per-class memo caches
+    c.bench_function("sim/evaluate_group_hetero", |b| {
+        b.iter(|| std::hint::black_box(ev.evaluate_group(&dnn, &gm, 8).delay_s))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_routing, bench_traffic, bench_intracore, bench_group_eval, bench_sa, bench_partition, bench_cost, bench_packetsim, bench_hetero_eval
+}
+criterion_main!(benches);

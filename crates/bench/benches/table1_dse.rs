@@ -1,0 +1,92 @@
+//! Table I — the DSE parameter grid, and the 72-TOPs design-space
+//! exploration of Sec. VI-B1.
+//!
+//! Enumerates the candidate grids for 72/128/512 TOPs (validity-filtered
+//! as in the paper), then runs the 72-TOPs DSE with the Transformer at
+//! batch 64 under `MC*E*D` and prints the winning architecture — the
+//! paper's run converges to `(2, 36, 144GB/s, 32GB/s, 16GB/s, 2MB,
+//! 1024)`.
+//!
+//! Quick mode subsamples the grid; `GEMINI_DSE_MODE=full` explores all
+//! of it. Writes `bench_results/table1_dse72.csv`.
+
+use gemini_bench::{banner, mapping_opts, mode, results_dir, sa_iters, sig6, write_csv, Mode};
+use gemini_core::dse::{run_dse, DseOptions, DseSpec, Objective};
+use gemini_model::zoo;
+
+fn main() {
+    banner("Table I: DSE parameter grids");
+    for tops in [72.0, 128.0, 512.0] {
+        let spec = DseSpec::table1(tops);
+        let n = spec.candidates().len();
+        println!("{tops:>5} TOPs: {n:>5} valid candidates  (cuts {:?})", spec.cuts);
+        for &macs in &spec.macs {
+            if let Some((x, y)) = spec.grid_for(macs) {
+                println!("    {macs:>5} MAC/core -> {:>3} cores ({x}x{y})", x * y);
+            }
+        }
+    }
+
+    banner("72-TOPs DSE under MC*E*D (Transformer, batch 64)");
+    let spec = DseSpec::table1(72.0);
+    let stride = if mode() == Mode::Full { 1 } else { 29 };
+    let iters = sa_iters(300, 2000);
+    let opts = DseOptions {
+        objective: Objective::mc_e_d(),
+        batch: 64,
+        mapping: mapping_opts(iters, 1),
+        stride,
+        ..Default::default()
+    };
+    let dnns = vec![zoo::transformer_base()];
+    let t0 = std::time::Instant::now();
+    let res = run_dse(&dnns, &spec, &opts);
+    println!(
+        "explored {} candidates (stride {stride}, SA {iters}) in {:.1?}",
+        res.records.len(),
+        t0.elapsed()
+    );
+
+    let mut ranked: Vec<_> = res.records.iter().collect();
+    ranked.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite"));
+    println!("\ntop 10:");
+    println!(
+        "{:<52} {:>8} {:>10} {:>10} {:>11}",
+        "architecture", "MC ($)", "E (mJ)", "D (ms)", "MC*E*D"
+    );
+    for r in ranked.iter().take(10) {
+        println!(
+            "{:<52} {:>8.2} {:>10.3} {:>10.3} {:>11.3e}",
+            r.arch.paper_tuple(),
+            r.mc,
+            r.energy * 1e3,
+            r.delay * 1e3,
+            r.score
+        );
+    }
+    let best = res.best_record();
+    println!("\nbest arch  : {}", best.arch.paper_tuple());
+    println!("paper found: (2, 36, 144GB/s, 32GB/s, 16GB/s, 2048KB, 1024)");
+    println!(
+        "best chiplet count {} / core count {} (paper: 2 / 36)",
+        best.arch.n_chiplets(),
+        best.arch.n_cores()
+    );
+
+    let rows = res.records.iter().map(|r| {
+        format!(
+            "\"{}\",{},{},{},{},{},{}",
+            r.arch.paper_tuple(),
+            r.arch.n_chiplets(),
+            r.arch.n_cores(),
+            sig6(r.mc),
+            sig6(r.energy),
+            sig6(r.delay),
+            sig6(r.score)
+        )
+    });
+    let path = results_dir().join("table1_dse72.csv");
+    write_csv(&path, "arch,chiplets,cores,mc_usd,energy_j,delay_s,score", rows)
+        .expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,84 @@
+//! Sec. VI-B2 — Comparison with T-Arch (Tenstorrent Grayskull-like
+//! parameters) under a folded-torus NoC, demonstrating the framework's
+//! topology generality.
+//!
+//! Paper result: Gemini's explored `(6, 60, 480GB/s, 64GB/s, 32GB/s,
+//! 2MB, 2048)` with G-Map achieves 1.74x performance and 1.13x energy
+//! efficiency over the 120-core monolithic T-Arch with T-Map, while
+//! *reducing* MC by 40.1%.
+//!
+//! Writes `bench_results/torus_tarch.csv`.
+
+use gemini_arch::presets;
+use gemini_bench::{banner, g_map, geomean, results_dir, sa_iters, sig6, t_map, write_csv};
+use gemini_cost::CostModel;
+use gemini_model::zoo;
+use gemini_sim::Evaluator;
+
+fn main() {
+    banner("Sec. VI-B2: T-Arch (folded torus) vs Gemini-explored arch");
+    let t_arch = presets::t_arch();
+    let g_arch = presets::g_arch_vs_tarch();
+    println!("T-Arch: {} on {:?}", t_arch.paper_tuple(), t_arch.topology());
+    println!("G-Arch: {} on {:?}", g_arch.paper_tuple(), g_arch.topology());
+
+    let iters = sa_iters(800, 4000);
+    let cost = CostModel::default();
+    let ev_t = Evaluator::new(&t_arch);
+    let ev_g = Evaluator::new(&g_arch);
+
+    let mut speedups = Vec::new();
+    let mut egains = Vec::new();
+    let mut rows = Vec::new();
+    println!(
+        "\n{:<8} {:>6}  {:>12} {:>12} {:>10} {:>10}",
+        "DNN", "batch", "T delay(ms)", "G delay(ms)", "T E(mJ)", "G E(mJ)"
+    );
+    for dnn in [zoo::resnet50(), zoo::transformer_base()] {
+        for batch in [64u32, 1] {
+            let mt = t_map(&ev_t, &dnn, batch);
+            let mg = g_map(&ev_g, &dnn, batch, iters, 23);
+            println!(
+                "{:<8} {:>6}  {:>12.3} {:>12.3} {:>10.3} {:>10.3}",
+                dnn.name(),
+                batch,
+                mt.report.delay_s * 1e3,
+                mg.report.delay_s * 1e3,
+                mt.report.energy.total() * 1e3,
+                mg.report.energy.total() * 1e3
+            );
+            speedups.push(mt.report.delay_s / mg.report.delay_s);
+            egains.push(mt.report.energy.total() / mg.report.energy.total());
+            rows.push(format!(
+                "{},{},{},{},{},{}",
+                dnn.name(),
+                batch,
+                sig6(mt.report.delay_s),
+                sig6(mg.report.delay_s),
+                sig6(mt.report.energy.total()),
+                sig6(mg.report.energy.total())
+            ));
+        }
+    }
+
+    let mc_t = cost.evaluate(&t_arch).total();
+    let mc_g = cost.evaluate(&g_arch).total();
+    banner("Headline");
+    println!("performance      : {:.2}x (paper: 1.74x)", geomean(&speedups));
+    println!("energy efficiency: {:.2}x (paper: 1.13x)", geomean(&egains));
+    println!(
+        "monetary cost    : {:+.1}% (paper: -40.1%)  [T ${:.2} -> G ${:.2}]",
+        (mc_g / mc_t - 1.0) * 100.0,
+        mc_t,
+        mc_g
+    );
+    println!("note: G-Arch here is ~2x the TOPS of T-Arch, as in the paper's setup");
+
+    write_csv(
+        results_dir().join("torus_tarch.csv"),
+        "dnn,batch,t_delay_s,g_delay_s,t_energy_j,g_energy_j",
+        rows,
+    )
+    .expect("write csv");
+    println!("wrote {}", results_dir().join("torus_tarch.csv").display());
+}

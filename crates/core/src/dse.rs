@@ -1,0 +1,463 @@
+//! Architecture design-space exploration (Sec. V-A and Table I).
+//!
+//! All architecture-parameter candidates are enumerated exhaustively and
+//! each is scored `MC^alpha * E^beta * D^gamma`, with E and D the
+//! geometric means over the input DNNs of the energy and delay achieved
+//! by the mapping engine on that candidate. Exploration parallelizes
+//! over candidates with a crossbeam worker pool.
+//!
+//! [`scale_arch`] supports the chiplet-reuse study (Sec. VII-B): it
+//! builds a higher-compute accelerator out of more instances of the same
+//! computing chiplet.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use gemini_arch::{arrange_cores, ArchConfig, Topology};
+use gemini_cost::CostModel;
+use gemini_model::Dnn;
+use gemini_sim::Evaluator;
+
+use crate::engine::{MappingEngine, MappingOptions};
+
+/// Objective exponents for `MC^alpha * E^beta * D^gamma`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Objective {
+    /// Monetary-cost exponent.
+    pub alpha: f64,
+    /// Energy exponent.
+    pub beta: f64,
+    /// Delay exponent.
+    pub gamma: f64,
+}
+
+impl Objective {
+    /// The paper's default DSE objective `MC * E * D`.
+    pub fn mc_e_d() -> Self {
+        Self { alpha: 1.0, beta: 1.0, gamma: 1.0 }
+    }
+
+    /// Energy-delay product (mapping-level objective).
+    pub fn e_d() -> Self {
+        Self { alpha: 0.0, beta: 1.0, gamma: 1.0 }
+    }
+
+    /// Delay only.
+    pub fn d_only() -> Self {
+        Self { alpha: 0.0, beta: 0.0, gamma: 1.0 }
+    }
+
+    /// Energy only.
+    pub fn e_only() -> Self {
+        Self { alpha: 0.0, beta: 1.0, gamma: 0.0 }
+    }
+
+    /// Scores a candidate.
+    pub fn score(&self, mc: f64, e: f64, d: f64) -> f64 {
+        mc.powf(self.alpha) * e.powf(self.beta) * d.powf(self.gamma)
+    }
+}
+
+/// The DSE parameter grid (Table I of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DseSpec {
+    /// Target computing power in TOPS.
+    pub tops: f64,
+    /// Candidate XCut/YCut values (must divide the core grid).
+    pub cuts: Vec<u32>,
+    /// DRAM bandwidth per TOPS (GB/s/TOPS).
+    pub dram_bw_per_tops: Vec<f64>,
+    /// NoC link bandwidths (GB/s).
+    pub noc_bw: Vec<f64>,
+    /// D2D bandwidth as a fraction of NoC bandwidth.
+    pub d2d_ratio: Vec<f64>,
+    /// GLB capacities per core (KiB).
+    pub glb_kb: Vec<u64>,
+    /// MACs per core.
+    pub macs: Vec<u32>,
+    /// Operating frequency (GHz).
+    pub freq_ghz: f64,
+}
+
+impl DseSpec {
+    /// Table I for the given computing power: 72 TOPs uses cuts
+    /// {1,2,3,6}; 128/512 TOPs use {1,2,4,8}.
+    pub fn table1(tops: f64) -> Self {
+        let cuts = if (tops - 72.0).abs() < 16.0 { vec![1, 2, 3, 6] } else { vec![1, 2, 4, 8] };
+        Self {
+            tops,
+            cuts,
+            dram_bw_per_tops: vec![0.5, 1.0, 2.0],
+            noc_bw: vec![8.0, 16.0, 32.0, 64.0, 128.0],
+            d2d_ratio: vec![0.25, 0.5, 1.0],
+            glb_kb: vec![256, 512, 1024, 2048, 4096, 8192],
+            macs: vec![512, 1024, 2048, 4096, 8192],
+            freq_ghz: 1.0,
+        }
+    }
+
+    /// Core count and near-square grid for a MAC/core choice.
+    ///
+    /// The paper keeps total computing power at-or-just-above the target
+    /// and arranges cores near-square (36 -> 6x6, 18 -> 6x3, 72 -> 9x8).
+    /// We search the first few counts at/above `tops / (2*macs*freq)`
+    /// and pick the one admitting the most valid (XCut, YCut) pairs,
+    /// breaking ties by squareness and then by count.
+    pub fn grid_for(&self, macs: u32) -> Option<(u32, u32)> {
+        let target = self.tops * 1e12 / (2.0 * macs as f64 * self.freq_ghz * 1e9);
+        let lo = target.ceil().max(1.0) as u32;
+        let hi = ((target * 1.08).ceil() as u32 + 2).max(lo);
+        let mut best: Option<((i64, i64, i64), (u32, u32))> = None;
+        for n in lo..=hi {
+            let (x, y) = arrange_cores(n);
+            let pairs = self.cuts.iter().filter(|&&c| x % c == 0).count()
+                * self.cuts.iter().filter(|&&c| y % c == 0).count();
+            // Sort key: most cut pairs, then lowest aspect, then lowest n.
+            let aspect_milli = (x as f64 / y as f64 * 1000.0) as i64;
+            let key = (-(pairs as i64), aspect_milli, n as i64);
+            if best.map_or(true, |(k, _)| key < k) {
+                best = Some((key, (x, y)));
+            }
+        }
+        best.map(|(_, g)| g)
+    }
+
+    /// Enumerates every valid architecture candidate of the grid.
+    pub fn candidates(&self) -> Vec<ArchConfig> {
+        let mut out = Vec::new();
+        for &macs in &self.macs {
+            let Some((x, y)) = self.grid_for(macs) else { continue };
+            for &xcut in &self.cuts {
+                if x % xcut != 0 {
+                    continue;
+                }
+                for &ycut in &self.cuts {
+                    if y % ycut != 0 {
+                        continue;
+                    }
+                    let monolithic = xcut == 1 && ycut == 1;
+                    for &dpt in &self.dram_bw_per_tops {
+                        for &noc in &self.noc_bw {
+                            for (ri, &ratio) in self.d2d_ratio.iter().enumerate() {
+                                // Monolithic candidates have no D2D links:
+                                // the ratio sweep would only duplicate them.
+                                if monolithic && ri > 0 {
+                                    continue;
+                                }
+                                for &glb in &self.glb_kb {
+                                    if let Ok(a) = ArchConfig::builder()
+                                        .cores(x, y)
+                                        .cuts(xcut, ycut)
+                                        .noc_bw(noc)
+                                        .d2d_bw(noc * ratio)
+                                        .dram_bw(dpt * self.tops)
+                                        .glb_kb(glb)
+                                        .macs_per_core(macs)
+                                        .freq_ghz(self.freq_ghz)
+                                        .build()
+                                    {
+                                        out.push(a);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One explored candidate with its metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DseRecord {
+    /// The architecture.
+    pub arch: ArchConfig,
+    /// Monetary cost in dollars.
+    pub mc: f64,
+    /// MC breakdown (silicon, dram, package).
+    pub mc_breakdown: (f64, f64, f64),
+    /// Geometric-mean energy over the DNNs (J).
+    pub energy: f64,
+    /// Geometric-mean delay over the DNNs (s).
+    pub delay: f64,
+    /// Objective score.
+    pub score: f64,
+    /// Per-DNN (name, energy, delay).
+    pub per_dnn: Vec<(String, f64, f64)>,
+}
+
+impl DseRecord {
+    /// Energy-delay product of the geometric means.
+    pub fn edp(&self) -> f64 {
+        self.energy * self.delay
+    }
+}
+
+/// DSE options.
+#[derive(Debug, Clone)]
+pub struct DseOptions {
+    /// Objective exponents.
+    pub objective: Objective,
+    /// Batch size per DNN (the paper's DSE uses 64).
+    pub batch: u32,
+    /// Mapping options (SA budget etc.).
+    pub mapping: MappingOptions,
+    /// Worker threads.
+    pub threads: usize,
+    /// Keep only every candidate whose index is divisible by this stride
+    /// (1 = full grid); lets the quick mode subsample Table I.
+    pub stride: usize,
+}
+
+impl Default for DseOptions {
+    fn default() -> Self {
+        Self {
+            objective: Objective::mc_e_d(),
+            batch: 64,
+            mapping: MappingOptions::default(),
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            stride: 1,
+        }
+    }
+}
+
+/// DSE result: all evaluated records plus the best index.
+#[derive(Debug, Clone)]
+pub struct DseResult {
+    /// Evaluated candidates.
+    pub records: Vec<DseRecord>,
+    /// Index of the best record under the objective.
+    pub best: usize,
+}
+
+impl DseResult {
+    /// The best architecture found.
+    pub fn best_record(&self) -> &DseRecord {
+        &self.records[self.best]
+    }
+
+    /// Re-ranks under a different objective without re-running mappings.
+    pub fn best_under(&self, obj: Objective) -> &DseRecord {
+        self.records
+            .iter()
+            .min_by(|a, b| {
+                let sa = obj.score(a.mc, a.energy, a.delay);
+                let sb = obj.score(b.mc, b.energy, b.delay);
+                sa.partial_cmp(&sb).expect("finite scores")
+            })
+            .expect("non-empty DSE")
+    }
+}
+
+/// Evaluates one candidate architecture on all DNNs.
+pub fn evaluate_candidate(
+    arch: &ArchConfig,
+    dnns: &[Dnn],
+    cost: &CostModel,
+    opts: &DseOptions,
+) -> DseRecord {
+    let mc_rep = cost.evaluate(arch);
+    let ev = Evaluator::new(arch);
+    let engine = MappingEngine::new(&ev);
+    let mut per_dnn = Vec::with_capacity(dnns.len());
+    let mut log_e = 0.0;
+    let mut log_d = 0.0;
+    for dnn in dnns {
+        let mapped = engine.map(dnn, opts.batch, &opts.mapping);
+        let e = mapped.report.energy.total();
+        let d = mapped.report.delay_s;
+        log_e += e.ln();
+        log_d += d.ln();
+        per_dnn.push((dnn.name().to_string(), e, d));
+    }
+    let n = dnns.len().max(1) as f64;
+    let energy = (log_e / n).exp();
+    let delay = (log_d / n).exp();
+    let mc = mc_rep.total();
+    DseRecord {
+        arch: arch.clone(),
+        mc,
+        mc_breakdown: (mc_rep.silicon, mc_rep.dram, mc_rep.package),
+        energy,
+        delay,
+        score: opts.objective.score(mc, energy, delay),
+        per_dnn,
+    }
+}
+
+/// Runs the exhaustive DSE over a parameter grid.
+///
+/// # Panics
+///
+/// Panics if the grid produces no valid candidates.
+pub fn run_dse(dnns: &[Dnn], spec: &DseSpec, opts: &DseOptions) -> DseResult {
+    let candidates: Vec<ArchConfig> = spec
+        .candidates()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| i % opts.stride.max(1) == 0)
+        .map(|(_, a)| a)
+        .collect();
+    run_dse_over(&candidates, dnns, opts)
+}
+
+/// Runs the DSE over an explicit candidate list (used by the reuse
+/// study and the torus comparison).
+pub fn run_dse_over(candidates: &[ArchConfig], dnns: &[Dnn], opts: &DseOptions) -> DseResult {
+    assert!(!candidates.is_empty(), "no valid DSE candidates");
+    let cost = CostModel::default();
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<DseRecord>>> = Mutex::new(vec![None; candidates.len()]);
+
+    let workers = opts.threads.clamp(1, candidates.len());
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= candidates.len() {
+                    break;
+                }
+                let rec = evaluate_candidate(&candidates[i], dnns, &cost, opts);
+                slots.lock().expect("worker poisoned the record list")[i] = Some(rec);
+            });
+        }
+    })
+    .expect("DSE worker panicked");
+
+    let records: Vec<DseRecord> = slots
+        .into_inner()
+        .expect("lock poisoned")
+        .into_iter()
+        .map(|r| r.expect("all candidates evaluated"))
+        .collect();
+    let best = records
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.score.partial_cmp(&b.score).expect("finite scores"))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    DseResult { records, best }
+}
+
+/// Builds a larger accelerator out of `factor` times the computing
+/// chiplets of `base` (the chiplet-reuse construction of Sec. VII-B).
+/// The chiplet itself — cores per chiplet, MACs, GLB, NoC/D2D bandwidth —
+/// is unchanged; the chiplet grid is re-arranged near-square and the
+/// DRAM bandwidth scales with compute. Returns `None` if the base cannot
+/// be tiled by that factor.
+pub fn scale_arch(base: &ArchConfig, factor: u32) -> Option<ArchConfig> {
+    if factor == 0 {
+        return None;
+    }
+    let (cdx, cdy) = base.chiplet_dims();
+    let total_chiplets = base.n_chiplets() * factor;
+    let (gx, gy) = arrange_cores(total_chiplets);
+    ArchConfig::builder()
+        .cores(gx * cdx, gy * cdy)
+        .cuts(gx, gy)
+        .noc_bw(base.noc_bw())
+        .d2d_bw(base.d2d_bw())
+        .dram_bw(base.dram_bw() * factor as f64)
+        .dram_count(base.dram_count())
+        .glb_kb(base.glb_bytes() / 1024)
+        .macs_per_core(base.macs_per_core())
+        .freq_ghz(base.freq_ghz())
+        .topology(if factor == 1 { base.topology() } else { Topology::Mesh })
+        .build()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sa::SaOptions;
+    use gemini_model::zoo;
+
+    #[test]
+    fn objective_presets() {
+        let o = Objective::mc_e_d();
+        assert_eq!(o.score(2.0, 3.0, 4.0), 24.0);
+        assert_eq!(Objective::d_only().score(2.0, 3.0, 4.0), 4.0);
+        assert_eq!(Objective::e_d().score(2.0, 3.0, 4.0), 12.0);
+    }
+
+    #[test]
+    fn table1_grid_matches_paper_examples() {
+        let spec = DseSpec::table1(72.0);
+        assert_eq!(spec.grid_for(1024), Some((6, 6)));
+        assert_eq!(spec.grid_for(2048), Some((6, 3)));
+        assert_eq!(spec.grid_for(4096), Some((3, 3)));
+        assert_eq!(spec.grid_for(512), Some((9, 8)));
+    }
+
+    #[test]
+    fn candidates_respect_cut_divisibility() {
+        let spec = DseSpec::table1(72.0);
+        for a in spec.candidates() {
+            assert_eq!(a.x_cores() % a.xcut(), 0);
+            assert_eq!(a.y_cores() % a.ycut(), 0);
+            let tops = a.tops();
+            assert!((50.0..100.0).contains(&tops), "{} has {tops} TOPS", a.paper_tuple());
+        }
+    }
+
+    #[test]
+    fn candidate_count_is_substantial() {
+        let spec = DseSpec::table1(72.0);
+        let n = spec.candidates().len();
+        // 5 MAC choices x cut combos x 3 DRAM x 5 NoC x 3 D2D x 6 GLB:
+        // thousands of points.
+        assert!(n > 1000, "only {n} candidates");
+    }
+
+    #[test]
+    fn mini_dse_finds_a_best() {
+        let dnns = vec![zoo::two_conv_example()];
+        // A tiny explicit candidate list keeps this test fast.
+        let candidates = vec![
+            gemini_arch::presets::simba_s_arch(),
+            gemini_arch::presets::g_arch_72(),
+        ];
+        let opts = DseOptions {
+            batch: 2,
+            mapping: MappingOptions {
+                sa: SaOptions { iters: 40, seed: 2, ..Default::default() },
+                ..Default::default()
+            },
+            threads: 2,
+            ..Default::default()
+        };
+        let res = run_dse_over(&candidates, &dnns, &opts);
+        assert_eq!(res.records.len(), 2);
+        assert!(res.best < 2);
+        let best = res.best_record();
+        assert!(best.score > 0.0);
+        assert!(best.mc > 0.0);
+        // Re-ranking under D-only must pick the lower-delay record.
+        let d_best = res.best_under(Objective::d_only());
+        assert!(res.records.iter().all(|r| d_best.delay <= r.delay));
+    }
+
+    #[test]
+    fn scale_arch_tiles_chiplets() {
+        let base = gemini_arch::presets::g_arch_72(); // 2 chiplets of 3x6
+        let scaled = scale_arch(&base, 4).unwrap(); // 8 chiplets
+        assert_eq!(scaled.n_chiplets(), 8);
+        assert_eq!(scaled.chiplet_dims(), base.chiplet_dims());
+        assert_eq!(scaled.macs_per_core(), base.macs_per_core());
+        assert!((scaled.tops() - 4.0 * base.tops()).abs() < 1.0);
+        assert!((scaled.dram_bw() - 4.0 * base.dram_bw()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_arch_identity() {
+        let base = gemini_arch::presets::g_arch_72();
+        let same = scale_arch(&base, 1).unwrap();
+        assert_eq!(same.n_chiplets(), base.n_chiplets());
+        assert_eq!(same.n_cores(), base.n_cores());
+    }
+}

@@ -1,0 +1,248 @@
+//! LP mapping on heterogeneous chiplets (Sec. V-D of the paper).
+//!
+//! The paper's future-work section asks how to schedule LP mappings when
+//! chiplets differ in compute substance. Two pieces answer it here:
+//!
+//! 1. **Throughput-weighted stripe initialization**
+//!    ([`hetero_stripe_lms`]): the plain stripe heuristic allocates
+//!    *core counts* proportional to layer FLOPs, which over-serves
+//!    layers that land on big-core chiplets and starves those on little
+//!    cores. The weighted variant allocates *throughput* instead: walk
+//!    the snake order accumulating each core's MAC weight and cut layer
+//!    boundaries at cumulative-throughput targets.
+//! 2. **SA refinement**: the annealer of Sec. V-B1 needs no changes —
+//!    its cost comes from the heterogeneity-aware evaluator
+//!    ([`gemini_sim::Evaluator::hetero`]), so OP2/OP3/OP4 moves that
+//!    trade big cores against little ones are accepted exactly when
+//!    they help. [`MappingEngine::map`] on a hetero evaluator therefore
+//!    already "schedules LP mapping on heterogeneous chiplets"; this
+//!    module only improves its starting point and exposes convenience
+//!    plumbing.
+//!
+//! The `hetero_explore` bench quantifies both effects.
+
+use gemini_arch::{ArchConfig, CoreId, HeteroSpec};
+use gemini_model::Dnn;
+
+use crate::encoding::{CoreGroup, GroupSpec, Lms, Ms};
+use crate::factor::{largest_factorable, stripe_part_capacity};
+use crate::stripe::{default_fd, snake_order};
+
+/// Allocates contiguous snake-order runs of cores to the group's member
+/// layers so every layer receives approximately its FLOP-share of the
+/// *weighted throughput* (`core_weights`, parallel to `order`).
+///
+/// Every layer gets at least one core; the allocations sum to
+/// `order.len()` exactly.
+///
+/// # Panics
+///
+/// Panics if the group has more members than cores.
+pub fn weighted_allocation(
+    dnn: &Dnn,
+    spec: &GroupSpec,
+    core_weights: &[f64],
+) -> Vec<u32> {
+    let n = spec.members.len();
+    let n_cores = core_weights.len();
+    assert!(n <= n_cores, "group of {n} layers exceeds {n_cores} cores");
+
+    let layer_w: Vec<f64> = spec
+        .members
+        .iter()
+        .map(|&id| {
+            let l = dnn.layer(id);
+            let macs = l.macs(spec.batch_unit) as f64;
+            let vec_ops = l.ofmap.elems() as f64
+                * spec.batch_unit as f64
+                * l.vector_ops_per_out() as f64;
+            (macs + vec_ops * 0.05).max(1.0)
+        })
+        .collect();
+    let total_layer: f64 = layer_w.iter().sum();
+    let total_cap: f64 = core_weights.iter().sum();
+
+    let mut alloc = vec![0u32; n];
+    let mut cum_target = 0.0;
+    let mut cum_cap = 0.0;
+    let mut cursor = 0usize;
+    for i in 0..n {
+        cum_target += layer_w[i] / total_layer * total_cap;
+        if i + 1 == n {
+            // Last layer takes everything left.
+            alloc[i] = (n_cores - cursor) as u32;
+            break;
+        }
+        let max_take = n_cores - cursor - (n - i - 1);
+        let mut k = 0usize;
+        while k < max_take && (k == 0 || cum_cap < cum_target) {
+            cum_cap += core_weights[cursor + k];
+            k += 1;
+        }
+        alloc[i] = k as u32;
+        cursor += k;
+    }
+    debug_assert_eq!(alloc.iter().sum::<u32>() as usize, n_cores);
+    alloc
+}
+
+/// Builds a throughput-weighted stripe [`Lms`] for a heterogeneous
+/// chiplet assignment.
+///
+/// Differences from [`crate::stripe::stripe_lms`]:
+///
+/// * layer boundaries fall at cumulative *throughput* targets, so a run
+///   of big cores serves the same FLOPs with fewer cores;
+/// * the capacity-aware K-split uses the smallest GLB within each
+///   layer's run (the binding constraint for weight residency).
+pub fn hetero_stripe_lms(
+    dnn: &Dnn,
+    arch: &ArchConfig,
+    spec: &GroupSpec,
+    hetero: &HeteroSpec,
+) -> Lms {
+    let order = snake_order(arch);
+    let weights: Vec<f64> =
+        order.iter().map(|&c| hetero.core_class(arch, c).macs as f64).collect();
+    let alloc = weighted_allocation(dnn, spec, &weights);
+
+    let mut cursor = 0usize;
+    let mut schemes = Vec::with_capacity(spec.members.len());
+    for (i, &id) in spec.members.iter().enumerate() {
+        let shape = dnn.layer(id).ofmap;
+        let usable = largest_factorable(alloc[i], shape, spec.batch_unit);
+        let run: Vec<CoreId> = order[cursor..cursor + usable as usize].to_vec();
+        let min_glb = run
+            .iter()
+            .map(|&c| hetero.core_class(arch, c).glb_bytes)
+            .min()
+            .expect("run is non-empty");
+        let part = stripe_part_capacity(
+            usable,
+            shape,
+            spec.batch_unit,
+            dnn.layer(id).weight_bytes(),
+            min_glb,
+        )
+        .expect("largest_factorable guarantees a valid Part");
+        cursor += alloc[i] as usize;
+        schemes.push(Ms { part, cg: CoreGroup(run), fd: default_fd(dnn, spec, id) });
+    }
+    Lms { schemes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_arch::CoreClass;
+    use gemini_model::{zoo, LayerId};
+
+    fn big_little_arch() -> (ArchConfig, HeteroSpec) {
+        let arch = ArchConfig::builder().cores(6, 6).cuts(2, 1).build().unwrap();
+        let spec = HeteroSpec::new(
+            vec![
+                CoreClass { macs: 2048, glb_bytes: 2 << 20 },
+                CoreClass { macs: 512, glb_bytes: 1 << 20 },
+            ],
+            vec![0, 1],
+            &arch,
+        )
+        .unwrap();
+        (arch, spec)
+    }
+
+    #[test]
+    fn weighted_allocation_sums_and_floors() {
+        let dnn = zoo::two_conv_example();
+        let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 2 };
+        let w = vec![1.0; 36];
+        let alloc = weighted_allocation(&dnn, &spec, &w);
+        assert_eq!(alloc.iter().sum::<u32>(), 36);
+        assert!(alloc.iter().all(|&a| a >= 1));
+    }
+
+    #[test]
+    fn uniform_weights_match_proportional_shape() {
+        // With equal core weights the boundaries must land close to the
+        // plain proportional allocation (within rounding).
+        let dnn = zoo::two_conv_example();
+        let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 2 };
+        let weighted = weighted_allocation(&dnn, &spec, &vec![1.0; 36]);
+        let plain = crate::stripe::proportional_allocation(&dnn, &spec, 36);
+        for (a, b) in weighted.iter().zip(&plain) {
+            assert!(a.abs_diff(*b) <= 1, "weighted {weighted:?} vs plain {plain:?}");
+        }
+    }
+
+    #[test]
+    fn big_core_run_takes_fewer_cores() {
+        // Two equal-FLOP layers on a big-north/little-south fabric: the
+        // row-snake order covers all big cores first, so layer 1 should
+        // need fewer cores than layer 2 for the same throughput share.
+        // (A west/east cut would interleave classes every half-row and
+        // leave the boundary near the homogeneous position.)
+        let arch = ArchConfig::builder().cores(6, 6).cuts(1, 2).build().unwrap();
+        let hs = HeteroSpec::new(
+            vec![
+                CoreClass { macs: 2048, glb_bytes: 2 << 20 },
+                CoreClass { macs: 512, glb_bytes: 1 << 20 },
+            ],
+            vec![0, 1],
+            &arch,
+        )
+        .unwrap();
+        let dnn = zoo::two_conv_example();
+        let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 2 };
+        let order = snake_order(&arch);
+        let weights: Vec<f64> =
+            order.iter().map(|&c| hs.core_class(&arch, c).macs as f64).collect();
+        let alloc = weighted_allocation(&dnn, &spec, &weights);
+        assert!(
+            alloc[0] < alloc[1],
+            "big-core layer should take fewer cores: {alloc:?}"
+        );
+    }
+
+    #[test]
+    fn hetero_stripe_validates_and_parses() {
+        let (arch, hs) = big_little_arch();
+        let dnn = zoo::two_conv_example();
+        let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 2 };
+        let lms = hetero_stripe_lms(&dnn, &arch, &spec, &hs);
+        lms.validate(&dnn, &arch, &spec).unwrap();
+        let gm = lms.parse(&dnn, &spec, &|_| gemini_sim::DramSel::Interleaved);
+        gm.validate(&dnn).unwrap();
+    }
+
+    #[test]
+    fn hetero_stripe_on_uniform_spec_equals_plain_stripe_counts() {
+        let arch = gemini_arch::presets::g_arch_72();
+        let hs = HeteroSpec::uniform(&arch);
+        let dnn = zoo::two_conv_example();
+        let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 2 };
+        let h = hetero_stripe_lms(&dnn, &arch, &spec, &hs);
+        let p = crate::stripe::stripe_lms(&dnn, &arch, &spec);
+        for (a, b) in h.schemes.iter().zip(&p.schemes) {
+            assert!(
+                (a.cg.len() as i64 - b.cg.len() as i64).abs() <= 1,
+                "uniform hetero stripe should mirror the plain stripe"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_group_allocation_is_exact() {
+        let (arch, hs) = big_little_arch();
+        let dnn = zoo::resnet50();
+        let members: Vec<LayerId> = dnn.compute_ids().take(12).collect();
+        let spec = GroupSpec { members, batch_unit: 1 };
+        let order = snake_order(&arch);
+        let weights: Vec<f64> =
+            order.iter().map(|&c| hs.core_class(&arch, c).macs as f64).collect();
+        let alloc = weighted_allocation(&dnn, &spec, &weights);
+        assert_eq!(alloc.iter().sum::<u32>(), 36);
+        assert!(alloc.iter().all(|&a| a >= 1));
+        let lms = hetero_stripe_lms(&dnn, &arch, &spec, &hs);
+        lms.validate(&dnn, &arch, &spec).unwrap();
+    }
+}

@@ -1,0 +1,541 @@
+//! Joint graph-partition + spatial-mapping exploration.
+//!
+//! The paper's future-work section (Sec. V-D) proposes co-exploring the
+//! SPM dimension with the graph-level dimension "such as the composite
+//! spatial-temporal dimension defined by SET", instead of fixing the
+//! layer groups up front with the DP partitioner. This module implements
+//! that extension: a single annealer whose move set contains both the
+//! five SPM operators (OP1..OP5) and four partition-level operators:
+//!
+//! * **JP1** — move a boundary layer between adjacent groups;
+//! * **JP2** — split a group at a random internal boundary;
+//! * **JP3** — merge two adjacent groups;
+//! * **JP4** — re-draw a group's batch unit.
+//!
+//! Partition moves re-initialize the affected groups with the stripe
+//! heuristic (their SPM is then re-refined by subsequent SPM moves), and
+//! invalidate exactly the groups whose flow requirements changed.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use gemini_model::{Dnn, LayerId};
+use gemini_sim::{DramSel, Evaluator, GroupReport};
+
+use crate::encoding::{flow_needs, GroupSpec, Lms};
+use crate::partition::{GraphPartition, PartitionOptions};
+use crate::sa::{apply_op_public, SaOptions, SaStats};
+use crate::stripe::stripe_lms;
+
+/// Options for the joint exploration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointOptions {
+    /// Base SA options (iterations, temperatures, seed, SPM operator
+    /// mask, objective exponents).
+    pub sa: SaOptions,
+    /// Probability that an iteration applies a partition-level operator
+    /// instead of an SPM operator.
+    pub partition_op_prob: f64,
+    /// Structural limits shared with the DP partitioner.
+    pub partition: PartitionOptions,
+}
+
+impl Default for JointOptions {
+    fn default() -> Self {
+        Self { sa: SaOptions::default(), partition_op_prob: 0.15, partition: PartitionOptions::default() }
+    }
+}
+
+/// Outcome of a joint exploration.
+#[derive(Debug, Clone)]
+pub struct JointOutcome {
+    /// The explored partition.
+    pub partition: GraphPartition,
+    /// Schemes per group.
+    pub lms: Vec<Lms>,
+    /// Reports per group.
+    pub reports: Vec<GroupReport>,
+    /// Final cost `E^beta * D^gamma`.
+    pub cost: f64,
+    /// Statistics (SPM move stats; partition moves counted in
+    /// `partition_applied`).
+    pub stats: SaStats,
+    /// Applied partition-level moves (JP1..JP4).
+    pub partition_applied: [u32; 4],
+}
+
+struct State {
+    partition: GraphPartition,
+    lms: Vec<Lms>,
+    reports: Vec<GroupReport>,
+    e_total: f64,
+    d_total: f64,
+}
+
+impl State {
+    fn cost(&self, opts: &SaOptions) -> f64 {
+        self.e_total.powf(opts.beta) * self.d_total.powf(opts.gamma)
+    }
+}
+
+/// Runs the joint partition + SPM annealer.
+///
+/// `init` is the starting partition (typically from
+/// [`crate::partition::partition_graph`]); its schemes are initialized
+/// with the stripe heuristic.
+pub fn optimize_joint(
+    dnn: &Dnn,
+    ev: &Evaluator,
+    init: GraphPartition,
+    batch: u32,
+    opts: &JointOptions,
+) -> JointOutcome {
+    let arch = ev.arch().clone();
+    let mut rng = StdRng::seed_from_u64(opts.sa.seed);
+
+    let lms: Vec<Lms> = init.groups.iter().map(|g| stripe_lms(dnn, &arch, g)).collect();
+    let mut st = State { partition: init, lms, reports: Vec::new(), e_total: 0.0, d_total: 0.0 };
+    reevaluate_all(dnn, ev, &mut st, batch);
+    let mut cost = st.cost(&opts.sa);
+
+    let mut stats = SaStats { init_cost: cost, ..Default::default() };
+    let mut partition_applied = [0u32; 4];
+
+    let mut best = (
+        st.partition.clone(),
+        st.lms.clone(),
+        st.reports.clone(),
+        cost,
+    );
+
+    let max_len = opts.partition.max_group_layers.min(arch.n_cores() as usize).max(1);
+    let units: Vec<u32> = opts
+        .partition
+        .batch_units
+        .iter()
+        .map(|&u| u.min(batch).max(1))
+        .collect();
+
+    let enabled: Vec<usize> = (0..5).filter(|&i| opts.sa.enabled_ops[i]).collect();
+
+    for iter in 0..opts.sa.iters {
+        stats.iters = iter + 1;
+        let t = opts.sa.t0
+            * (opts.sa.t_end / opts.sa.t0).powf(iter as f64 / opts.sa.iters.max(1) as f64);
+
+        let use_partition_op =
+            rng.gen::<f64>() < opts.partition_op_prob || enabled.is_empty();
+        let (trial, op_kind) = if use_partition_op {
+            let Some((s, k)) = partition_move(dnn, ev, &st, batch, max_len, &units, &mut rng)
+            else {
+                stats.failed_ops += 1;
+                continue;
+            };
+            (s, PartitionOrSpm::Partition(k))
+        } else {
+            let Some((s, op)) = spm_move(dnn, ev, &st, batch, &enabled, &mut rng) else {
+                stats.failed_ops += 1;
+                continue;
+            };
+            (s, PartitionOrSpm::Spm(op))
+        };
+
+        let new_cost = trial.cost(&opts.sa);
+        let delta = (new_cost - cost) / cost.max(f64::MIN_POSITIVE);
+        if delta <= 0.0 || rng.gen::<f64>() < (-delta / t).exp() {
+            if new_cost < cost {
+                stats.improved += 1;
+            }
+            stats.accepted += 1;
+            match op_kind {
+                PartitionOrSpm::Spm(op) => stats.op_applied[op] += 1,
+                PartitionOrSpm::Partition(k) => partition_applied[k] += 1,
+            }
+            st = trial;
+            cost = new_cost;
+            if cost < best.3 {
+                best = (st.partition.clone(), st.lms.clone(), st.reports.clone(), cost);
+            }
+        }
+    }
+
+    stats.final_cost = best.3;
+    JointOutcome {
+        partition: best.0,
+        lms: best.1,
+        reports: best.2,
+        cost: best.3,
+        stats,
+        partition_applied,
+    }
+}
+
+enum PartitionOrSpm {
+    Spm(usize),
+    Partition(usize),
+}
+
+/// Applies one SPM operator to a random group of a cloned state.
+fn spm_move(
+    dnn: &Dnn,
+    ev: &Evaluator,
+    st: &State,
+    batch: u32,
+    enabled: &[usize],
+    rng: &mut StdRng,
+) -> Option<(State, usize)> {
+    if st.partition.groups.is_empty() {
+        return None;
+    }
+    let g = rng.gen_range(0..st.partition.groups.len());
+    let op = enabled[rng.gen_range(0..enabled.len())];
+    let spec = &st.partition.groups[g];
+    let mut lms = st.lms[g].clone();
+    if !apply_op_public(op, dnn, ev.arch(), spec, &mut lms, rng) {
+        return None;
+    }
+    let mut trial = State {
+        partition: st.partition.clone(),
+        lms: st.lms.clone(),
+        reports: st.reports.clone(),
+        e_total: st.e_total,
+        d_total: st.d_total,
+    };
+    trial.lms[g] = lms;
+    // SPM moves may change this group's FD (OP5), which redirects its
+    // consumers; conservatively re-evaluate the group and its consumers.
+    let mut affected = vec![g];
+    affected.extend(consumers_of(dnn, &trial.partition, g));
+    reevaluate(dnn, ev, &mut trial, batch, &affected);
+    Some((trial, op))
+}
+
+/// Applies one partition-level operator (JP1..JP4) to a cloned state.
+fn partition_move(
+    dnn: &Dnn,
+    ev: &Evaluator,
+    st: &State,
+    batch: u32,
+    max_len: usize,
+    units: &[u32],
+    rng: &mut StdRng,
+) -> Option<(State, usize)> {
+    let n = st.partition.groups.len();
+    if n == 0 {
+        return None;
+    }
+    let kind = rng.gen_range(0..4usize);
+    let mut part = st.partition.clone();
+    let changed: Vec<usize> = match kind {
+        // JP1: move a boundary layer between adjacent groups.
+        0 => {
+            if n < 2 {
+                return None;
+            }
+            let g = rng.gen_range(0..n - 1);
+            if rng.gen::<bool>() {
+                // Last layer of g moves to the front of g+1.
+                if part.groups[g].members.len() < 2
+                    || part.groups[g + 1].members.len() >= max_len
+                {
+                    return None;
+                }
+                let l = part.groups[g].members.pop().expect("non-empty");
+                part.groups[g + 1].members.insert(0, l);
+            } else {
+                // First layer of g+1 moves to the back of g.
+                if part.groups[g + 1].members.len() < 2
+                    || part.groups[g].members.len() >= max_len
+                {
+                    return None;
+                }
+                let l = part.groups[g + 1].members.remove(0);
+                part.groups[g].members.push(l);
+            }
+            vec![g, g + 1]
+        }
+        // JP2: split a group.
+        1 => {
+            let g = rng.gen_range(0..n);
+            let len = part.groups[g].members.len();
+            if len < 2 {
+                return None;
+            }
+            let cut = rng.gen_range(1..len);
+            let tail = part.groups[g].members.split_off(cut);
+            let bu = part.groups[g].batch_unit;
+            part.groups.insert(g + 1, GroupSpec { members: tail, batch_unit: bu });
+            vec![g, g + 1]
+        }
+        // JP3: merge two adjacent groups.
+        2 => {
+            if n < 2 {
+                return None;
+            }
+            let g = rng.gen_range(0..n - 1);
+            if part.groups[g].members.len() + part.groups[g + 1].members.len() > max_len {
+                return None;
+            }
+            let tail = part.groups.remove(g + 1);
+            part.groups[g].members.extend(tail.members);
+            vec![g]
+        }
+        // JP4: re-draw a batch unit.
+        _ => {
+            let g = rng.gen_range(0..n);
+            let cur = part.groups[g].batch_unit;
+            let choices: Vec<u32> = units.iter().copied().filter(|&u| u != cur).collect();
+            if choices.is_empty() {
+                return None;
+            }
+            part.groups[g].batch_unit = choices[rng.gen_range(0..choices.len())];
+            vec![g]
+        }
+    };
+
+    // Re-stripe every group whose membership or flow requirements
+    // changed: the changed groups plus any group holding a pred/succ of
+    // a changed layer (their OF explicitness may flip).
+    let mut trial = State {
+        partition: part,
+        lms: st.lms.clone(),
+        reports: st.reports.clone(),
+        e_total: st.e_total,
+        d_total: st.d_total,
+    };
+    // Rebuild the lms vector to the new group count.
+    let mut lms = Vec::with_capacity(trial.partition.groups.len());
+    let mut reports = Vec::with_capacity(trial.partition.groups.len());
+    // Map old groups to new by membership signature where unchanged.
+    let mut old_idx: HashMap<LayerId, usize> = HashMap::new();
+    for (i, g) in st.partition.groups.iter().enumerate() {
+        old_idx.insert(g.members[0], i);
+    }
+    for g in &trial.partition.groups {
+        match old_idx.get(&g.members[0]) {
+            Some(&i)
+                if st.partition.groups[i].members == g.members
+                    && st.partition.groups[i].batch_unit == g.batch_unit =>
+            {
+                lms.push(st.lms[i].clone());
+                reports.push(st.reports[i].clone());
+            }
+            _ => {
+                lms.push(stripe_lms(dnn, ev.arch(), g));
+                // Placeholder; re-evaluated below.
+                reports.push(st.reports[0].clone());
+            }
+        }
+    }
+    trial.lms = lms;
+    trial.reports = reports;
+
+    // Determine all groups to (re-)evaluate: any group whose scheme we
+    // re-striped, plus neighbours touching the changed layers.
+    let mut affected: Vec<usize> = Vec::new();
+    for (gi, g) in trial.partition.groups.iter().enumerate() {
+        let unchanged = old_idx
+            .get(&g.members[0])
+            .map(|&i| {
+                st.partition.groups[i].members == g.members
+                    && st.partition.groups[i].batch_unit == g.batch_unit
+            })
+            .unwrap_or(false);
+        if !unchanged {
+            affected.push(gi);
+        }
+    }
+    let _ = changed;
+    // Re-stripe groups whose flow needs changed because a neighbour's
+    // membership changed (their schemes may now have wrong FD
+    // explicitness), then evaluate everything affected + consumers.
+    let mut to_fix: Vec<usize> = Vec::new();
+    for (gi, g) in trial.partition.groups.iter().enumerate() {
+        if affected.contains(&gi) {
+            continue;
+        }
+        let lms_g = &trial.lms[gi];
+        let ok = lms_g.validate(dnn, ev.arch(), g).is_ok();
+        if !ok {
+            to_fix.push(gi);
+        }
+    }
+    for gi in to_fix {
+        trial.lms[gi] = stripe_lms(dnn, ev.arch(), &trial.partition.groups[gi]);
+        affected.push(gi);
+    }
+    let mut eval_set = affected.clone();
+    for &a in &affected {
+        eval_set.extend(consumers_of(dnn, &trial.partition, a));
+    }
+    eval_set.sort_unstable();
+    eval_set.dedup();
+    reevaluate(dnn, ev, &mut trial, batch, &eval_set);
+    Some((trial, kind))
+}
+
+/// Groups consuming outputs of group `g`.
+fn consumers_of(dnn: &Dnn, partition: &GraphPartition, g: usize) -> Vec<usize> {
+    let mut group_of: HashMap<LayerId, usize> = HashMap::new();
+    for (gi, gr) in partition.groups.iter().enumerate() {
+        for &m in &gr.members {
+            group_of.insert(m, gi);
+        }
+    }
+    let mut out = Vec::new();
+    for &m in &partition.groups[g].members {
+        for &s in dnn.succs(m) {
+            if let Some(&cg) = group_of.get(&s) {
+                if cg != g && !out.contains(&cg) {
+                    out.push(cg);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn of_map(dnn: &Dnn, st: &State) -> HashMap<LayerId, DramSel> {
+    let mut map = HashMap::new();
+    for (spec, lms) in st.partition.groups.iter().zip(&st.lms) {
+        for (ms, &id) in lms.schemes.iter().zip(&spec.members) {
+            if flow_needs(dnn, spec, id).explicit_of {
+                if let Some(sel) = DramSel::from_fd(ms.fd.ofm) {
+                    map.insert(id, sel);
+                }
+            }
+        }
+    }
+    map
+}
+
+fn reevaluate(dnn: &Dnn, ev: &Evaluator, st: &mut State, batch: u32, groups: &[usize]) {
+    let map = of_map(dnn, st);
+    let resolver = |p: LayerId| map.get(&p).copied().unwrap_or(DramSel::Interleaved);
+    for &g in groups {
+        let spec = &st.partition.groups[g];
+        let gm = st.lms[g].parse(dnn, spec, &resolver);
+        st.reports[g] = ev.evaluate_group(dnn, &gm, batch);
+    }
+    st.e_total = st.reports.iter().map(|r| r.energy.total()).sum();
+    st.d_total = st.reports.iter().map(|r| r.delay_s).sum();
+}
+
+fn reevaluate_all(dnn: &Dnn, ev: &Evaluator, st: &mut State, batch: u32) {
+    let map = of_map(dnn, st);
+    let resolver = |p: LayerId| map.get(&p).copied().unwrap_or(DramSel::Interleaved);
+    st.reports = st
+        .partition
+        .groups
+        .iter()
+        .zip(&st.lms)
+        .map(|(spec, lms)| {
+            let gm = lms.parse(dnn, spec, &resolver);
+            ev.evaluate_group(dnn, &gm, batch)
+        })
+        .collect();
+    st.e_total = st.reports.iter().map(|r| r.energy.total()).sum();
+    st.d_total = st.reports.iter().map(|r| r.delay_s).sum();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition_graph;
+    use gemini_arch::presets;
+    use gemini_model::zoo;
+
+    fn setup() -> (Dnn, Evaluator, GraphPartition) {
+        let dnn = zoo::tiny_resnet();
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let partition = partition_graph(&dnn, &arch, 8, &PartitionOptions::default());
+        (dnn, ev, partition)
+    }
+
+    #[test]
+    fn joint_never_regresses_best() {
+        let (dnn, ev, init) = setup();
+        let opts = JointOptions {
+            sa: SaOptions { iters: 200, seed: 5, ..Default::default() },
+            ..Default::default()
+        };
+        let out = optimize_joint(&dnn, &ev, init, 8, &opts);
+        assert!(out.cost <= out.stats.init_cost * (1.0 + 1e-9));
+        assert_eq!(out.lms.len(), out.partition.groups.len());
+        assert_eq!(out.reports.len(), out.partition.groups.len());
+    }
+
+    #[test]
+    fn joint_outcome_is_valid() {
+        let (dnn, ev, init) = setup();
+        let opts = JointOptions {
+            sa: SaOptions { iters: 300, seed: 11, ..Default::default() },
+            partition_op_prob: 0.4,
+            ..Default::default()
+        };
+        let out = optimize_joint(&dnn, &ev, init, 8, &opts);
+        // Partition still tiles the computable layers contiguously.
+        let layers: Vec<LayerId> = dnn.compute_ids().collect();
+        let mut idx = 0;
+        for g in &out.partition.groups {
+            assert!(!g.members.is_empty());
+            for &m in &g.members {
+                assert_eq!(m, layers[idx], "partition must stay a contiguous tiling");
+                idx += 1;
+            }
+        }
+        assert_eq!(idx, layers.len());
+        // All schemes validate against their groups.
+        for (lms, spec) in out.lms.iter().zip(&out.partition.groups) {
+            lms.validate(&dnn, ev.arch(), spec).unwrap();
+        }
+    }
+
+    #[test]
+    fn partition_moves_fire() {
+        let (dnn, ev, init) = setup();
+        let opts = JointOptions {
+            sa: SaOptions { iters: 400, seed: 2, t0: 0.5, ..Default::default() },
+            partition_op_prob: 0.8,
+            ..Default::default()
+        };
+        let out = optimize_joint(&dnn, &ev, init, 8, &opts);
+        let total: u32 = out.partition_applied.iter().sum();
+        assert!(total > 0, "partition-level moves should be applied: {:?}", out.partition_applied);
+    }
+
+    #[test]
+    fn joint_matches_or_beats_staged_on_small_net() {
+        let (dnn, ev, init) = setup();
+        let staged = crate::sa::optimize(
+            &dnn,
+            &ev,
+            &init,
+            init.groups.iter().map(|g| stripe_lms(&dnn, ev.arch(), g)).collect(),
+            8,
+            &SaOptions { iters: 250, seed: 7, ..Default::default() },
+        );
+        let joint = optimize_joint(
+            &dnn,
+            &ev,
+            init,
+            8,
+            &JointOptions {
+                sa: SaOptions { iters: 250, seed: 7, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        // Joint explores a superset of the space; allow a small slack
+        // because its budget is split across dimensions.
+        assert!(
+            joint.cost <= staged.cost * 1.15,
+            "joint {} should stay competitive with staged {}",
+            joint.cost,
+            staged.cost
+        );
+    }
+}

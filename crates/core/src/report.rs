@@ -1,0 +1,61 @@
+//! CSV report helpers for the experiment harnesses.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes a CSV file (creating parent directories) with a header line
+/// and pre-formatted rows.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    header: &str,
+    rows: impl IntoIterator<Item = String>,
+) -> io::Result<()> {
+    if let Some(dir) = path.as_ref().parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut f = fs::File::create(path)?;
+    writeln!(f, "{header}")?;
+    for r in rows {
+        writeln!(f, "{r}")?;
+    }
+    Ok(())
+}
+
+/// Formats a float with enough precision for the CSVs while staying
+/// readable (6 significant digits).
+pub fn sig6(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    let mag = x.abs().log10().floor() as i32;
+    let decimals = (5 - mag).clamp(0, 12) as usize;
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_reads_back() {
+        let dir = std::env::temp_dir().join("gemini_report_test");
+        let path = dir.join("t.csv");
+        write_csv(&path, "a,b", vec!["1,2".to_string(), "3,4".to_string()]).unwrap();
+        let s = fs::read_to_string(&path).unwrap();
+        assert_eq!(s, "a,b\n1,2\n3,4\n");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sig6_formats() {
+        assert_eq!(sig6(0.0), "0");
+        assert_eq!(sig6(1.0), "1.00000");
+        assert_eq!(sig6(123456.0), "123456");
+        assert!(sig6(0.000123).starts_with("0.000123"));
+    }
+}

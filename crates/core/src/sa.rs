@@ -1,0 +1,672 @@
+//! The SA-based LP-SPM exploration engine (Sec. V-B1 of the paper).
+//!
+//! Simulated annealing over the space defined by the layer-centric
+//! encoding, with the paper's five operators:
+//!
+//! * **OP1** — re-draw a random layer's `Part` (respecting its
+//!   constraints);
+//! * **OP2** — swap two cores within one layer's `CG`;
+//! * **OP3** — swap two cores across two layers' `CG`s;
+//! * **OP4** — move a core from one layer's `CG` to another's, re-drawing
+//!   both `Part`s to match the new sizes;
+//! * **OP5** — re-draw one non-negative `FD` entry within `0..=D`.
+//!
+//! Each iteration picks a layer group with probability proportional to
+//! its optimization-space size (Sec. IV-B), applies one operator, and
+//! accepts by the Metropolis criterion on `E^beta * D^gamma`. Because
+//! D2D links are slow and energy-hungry, moves that add D2D traffic are
+//! naturally rejected more often — this is how Gemini "automatically
+//! optimizes D2D communication" without a dedicated objective term.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use gemini_arch::ArchConfig;
+use gemini_model::{Dnn, LayerId};
+use gemini_sim::{DramSel, Evaluator, GroupReport};
+
+use crate::encoding::{GroupSpec, Lms};
+use crate::factor::random_part;
+use crate::partition::GraphPartition;
+use crate::space::group_weight;
+
+/// Options for the SA engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaOptions {
+    /// Total iterations across all layer groups.
+    pub iters: u32,
+    /// Initial relative temperature (fraction of current cost a move may
+    /// exceed and still be accepted with probability 1/e).
+    pub t0: f64,
+    /// Final relative temperature.
+    pub t_end: f64,
+    /// RNG seed (explorations are deterministic given the seed).
+    pub seed: u64,
+    /// Which of OP1..OP5 are enabled (for the ablation study).
+    pub enabled_ops: [bool; 5],
+    /// Energy exponent of the mapping objective `E^beta * D^gamma`.
+    pub beta: f64,
+    /// Delay exponent.
+    pub gamma: f64,
+}
+
+impl Default for SaOptions {
+    fn default() -> Self {
+        Self {
+            iters: 1000,
+            t0: 0.2,
+            t_end: 1e-3,
+            seed: 0xC0FFEE,
+            enabled_ops: [true; 5],
+            beta: 1.0,
+            gamma: 1.0,
+        }
+    }
+}
+
+impl SaOptions {
+    /// Default options with the iteration budget taken from the
+    /// `GEMINI_SA_ITERS` environment variable when set (the paper ran
+    /// on 80-thread servers; scaled-down budgets keep the suite
+    /// laptop-friendly, see DESIGN.md).
+    pub fn from_env() -> Self {
+        let mut o = Self::default();
+        if let Ok(v) = std::env::var("GEMINI_SA_ITERS") {
+            if let Ok(n) = v.parse::<u32>() {
+                o.iters = n;
+            }
+        }
+        o
+    }
+}
+
+/// Statistics of one SA run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SaStats {
+    /// Iterations executed.
+    pub iters: u32,
+    /// Accepted moves.
+    pub accepted: u32,
+    /// Moves that strictly improved the cost.
+    pub improved: u32,
+    /// Operator applications that failed to produce a change.
+    pub failed_ops: u32,
+    /// Per-operator application counts (successful mutations).
+    pub op_applied: [u32; 5],
+    /// Cost of the initial (stripe) scheme.
+    pub init_cost: f64,
+    /// Cost of the returned scheme.
+    pub final_cost: f64,
+}
+
+/// Result of an SA exploration over a whole DNN's groups.
+#[derive(Debug, Clone)]
+pub struct SaOutcome {
+    /// Optimized schemes, parallel to the partition's groups.
+    pub lms: Vec<Lms>,
+    /// Evaluation reports, parallel to the groups.
+    pub reports: Vec<GroupReport>,
+    /// Final cost `E^beta * D^gamma`.
+    pub cost: f64,
+    /// Run statistics.
+    pub stats: SaStats,
+}
+
+/// Outcome of one operator application.
+pub(crate) struct OpOutcome {
+    applied: bool,
+    changed_of: bool,
+}
+
+const FAILED: OpOutcome = OpOutcome { applied: false, changed_of: false };
+const APPLIED: OpOutcome = OpOutcome { applied: true, changed_of: false };
+
+/// Runs the SA exploration for all groups of a partitioned DNN.
+///
+/// `init` supplies the initial scheme per group (normally the stripe
+/// heuristic). The returned outcome holds the best state visited.
+pub fn optimize(
+    dnn: &Dnn,
+    ev: &Evaluator,
+    partition: &GraphPartition,
+    init: Vec<Lms>,
+    batch: u32,
+    opts: &SaOptions,
+) -> SaOutcome {
+    assert_eq!(init.len(), partition.groups.len(), "one Lms per group");
+    let arch = ev.arch().clone();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let n_groups = partition.groups.len();
+
+    // Committed state.
+    let mut lms = init;
+    let mut of_map = build_of_map(dnn, partition, &lms);
+    let mut reports: Vec<GroupReport> = (0..n_groups)
+        .map(|g| eval_group(dnn, ev, partition, &lms[g], g, &of_map, &HashMap::new(), batch))
+        .collect();
+    let mut e_total: f64 = reports.iter().map(|r| r.energy.total()).sum();
+    let mut d_total: f64 = reports.iter().map(|r| r.delay_s).sum();
+    let mut cost = cost_of(e_total, d_total, opts);
+
+    let mut stats = SaStats { init_cost: cost, ..Default::default() };
+
+    // Best state seen.
+    let mut best_lms = lms.clone();
+    let mut best_reports = reports.clone();
+    let mut best_cost = cost;
+
+    // Group-selection weights proportional to space size.
+    let weights: Vec<f64> = partition
+        .groups
+        .iter()
+        .map(|g| group_weight(arch.n_cores() as u64, g.members.len() as u64))
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+
+    // Consumers of each group's outputs (for OF-change invalidation).
+    let consumers = consumer_groups(dnn, partition);
+
+    let enabled: Vec<usize> =
+        (0..5).filter(|&i| opts.enabled_ops[i]).collect();
+    if enabled.is_empty() || n_groups == 0 {
+        stats.final_cost = cost;
+        return SaOutcome { lms, reports, cost, stats };
+    }
+
+    for iter in 0..opts.iters {
+        stats.iters = iter + 1;
+        let g = pick_weighted(&weights, total_w, &mut rng);
+        let op = enabled[rng.gen_range(0..enabled.len())];
+
+        let spec = &partition.groups[g];
+        let mut trial = lms[g].clone();
+        let outcome = apply_op(op, dnn, &arch, spec, &mut trial, &mut rng);
+        if !outcome.applied {
+            stats.failed_ops += 1;
+            continue;
+        }
+        debug_assert!(trial.validate(dnn, &arch, spec).is_ok(), "operator broke invariants");
+
+        // OF changes redirect where consumer groups read from.
+        let mut overlay = HashMap::new();
+        if outcome.changed_of {
+            collect_of(dnn, spec, &trial, &mut overlay);
+        }
+        let mut affected = vec![g];
+        if outcome.changed_of {
+            affected.extend(consumers[g].iter().copied());
+        }
+
+        // Re-evaluate affected groups.
+        let mut new_reports: Vec<(usize, GroupReport)> = Vec::with_capacity(affected.len());
+        for &a in &affected {
+            let l = if a == g { &trial } else { &lms[a] };
+            new_reports.push((a, eval_group(dnn, ev, partition, l, a, &of_map, &overlay, batch)));
+        }
+        let mut e_new = e_total;
+        let mut d_new = d_total;
+        for (a, r) in &new_reports {
+            e_new += r.energy.total() - reports[*a].energy.total();
+            d_new += r.delay_s - reports[*a].delay_s;
+        }
+        let new_cost = cost_of(e_new, d_new, opts);
+
+        // Metropolis acceptance on the relative cost change.
+        let t = opts.t0 * (opts.t_end / opts.t0).powf(iter as f64 / opts.iters.max(1) as f64);
+        let delta = (new_cost - cost) / cost.max(f64::MIN_POSITIVE);
+        let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / t).exp();
+        if accept {
+            if new_cost < cost {
+                stats.improved += 1;
+            }
+            stats.accepted += 1;
+            stats.op_applied[op] += 1;
+            lms[g] = trial;
+            for (a, r) in new_reports {
+                reports[a] = r;
+            }
+            for (k, v) in overlay {
+                of_map.insert(k, v);
+            }
+            e_total = e_new;
+            d_total = d_new;
+            cost = new_cost;
+            if cost < best_cost {
+                best_cost = cost;
+                best_lms = lms.clone();
+                best_reports = reports.clone();
+            }
+        }
+    }
+
+    stats.final_cost = best_cost;
+    SaOutcome { lms: best_lms, reports: best_reports, cost: best_cost, stats }
+}
+
+fn cost_of(e: f64, d: f64, opts: &SaOptions) -> f64 {
+    e.powf(opts.beta) * d.powf(opts.gamma)
+}
+
+fn pick_weighted<R: Rng + ?Sized>(weights: &[f64], total: f64, rng: &mut R) -> usize {
+    let mut x = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Gathers the OF selections of every layer whose output is explicitly
+/// managed, across all groups.
+fn build_of_map(dnn: &Dnn, partition: &GraphPartition, lms: &[Lms]) -> HashMap<LayerId, DramSel> {
+    let mut map = HashMap::new();
+    for (spec, l) in partition.groups.iter().zip(lms) {
+        collect_of(dnn, spec, l, &mut map);
+    }
+    map
+}
+
+fn collect_of(dnn: &Dnn, spec: &GroupSpec, lms: &Lms, map: &mut HashMap<LayerId, DramSel>) {
+    for (ms, &id) in lms.schemes.iter().zip(&spec.members) {
+        if crate::encoding::flow_needs(dnn, spec, id).explicit_of {
+            if let Some(sel) = DramSel::from_fd(ms.fd.ofm) {
+                map.insert(id, sel);
+            }
+        }
+    }
+}
+
+/// Groups that consume outputs of each group.
+fn consumer_groups(dnn: &Dnn, partition: &GraphPartition) -> Vec<Vec<usize>> {
+    let mut group_of: HashMap<LayerId, usize> = HashMap::new();
+    for (gi, g) in partition.groups.iter().enumerate() {
+        for &m in &g.members {
+            group_of.insert(m, gi);
+        }
+    }
+    let mut out = vec![Vec::new(); partition.groups.len()];
+    for (gi, g) in partition.groups.iter().enumerate() {
+        for &m in &g.members {
+            for &s in dnn.succs(m) {
+                if let Some(&cg) = group_of.get(&s) {
+                    if cg != gi && !out[gi].contains(&cg) {
+                        out[gi].push(cg);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_group(
+    dnn: &Dnn,
+    ev: &Evaluator,
+    partition: &GraphPartition,
+    lms: &Lms,
+    g: usize,
+    of_map: &HashMap<LayerId, DramSel>,
+    overlay: &HashMap<LayerId, DramSel>,
+    batch: u32,
+) -> GroupReport {
+    let spec = &partition.groups[g];
+    let resolver = |p: LayerId| {
+        overlay
+            .get(&p)
+            .or_else(|| of_map.get(&p))
+            .copied()
+            .unwrap_or(DramSel::Interleaved)
+    };
+    let gm = lms.parse(dnn, spec, &resolver);
+    ev.evaluate_group(dnn, &gm, batch)
+}
+
+/// Applies one of the five SPM operators (0-based OP1..OP5) to a
+/// group's scheme, for external explorers such as the joint
+/// partition+SPM engine; returns whether a mutation was applied.
+pub fn apply_op_public(
+    op: usize,
+    dnn: &Dnn,
+    arch: &ArchConfig,
+    spec: &GroupSpec,
+    lms: &mut Lms,
+    rng: &mut StdRng,
+) -> bool {
+    apply_op(op, dnn, arch, spec, lms, rng).applied
+}
+
+/// Applies operator `op` (0-based OP1..OP5) to a group's scheme.
+pub(crate) fn apply_op(
+    op: usize,
+    dnn: &Dnn,
+    arch: &ArchConfig,
+    spec: &GroupSpec,
+    lms: &mut Lms,
+    rng: &mut StdRng,
+) -> OpOutcome {
+    match op {
+        0 => op1_change_part(dnn, spec, lms, rng),
+        1 => op2_swap_within(lms, rng),
+        2 => op3_swap_across(lms, rng),
+        3 => op4_move_core(dnn, arch, spec, lms, rng),
+        4 => op5_change_fd(arch, lms, rng),
+        _ => unreachable!("five operators"),
+    }
+}
+
+/// OP1: re-draw one layer's Part.
+fn op1_change_part(dnn: &Dnn, spec: &GroupSpec, lms: &mut Lms, rng: &mut StdRng) -> OpOutcome {
+    let li = rng.gen_range(0..lms.schemes.len());
+    let id = spec.members[li];
+    let shape = dnn.layer(id).ofmap;
+    let ms = &mut lms.schemes[li];
+    let nc = ms.cg.len() as u32;
+    match random_part(nc, shape, spec.batch_unit, Some(ms.part), rng) {
+        Some(p) if p != ms.part => {
+            ms.part = p;
+            APPLIED
+        }
+        _ => FAILED,
+    }
+}
+
+/// OP2: swap two cores within one layer's CG.
+fn op2_swap_within(lms: &mut Lms, rng: &mut StdRng) -> OpOutcome {
+    let candidates: Vec<usize> =
+        (0..lms.schemes.len()).filter(|&i| lms.schemes[i].cg.len() >= 2).collect();
+    if candidates.is_empty() {
+        return FAILED;
+    }
+    let li = candidates[rng.gen_range(0..candidates.len())];
+    let cg = &mut lms.schemes[li].cg.0;
+    let a = rng.gen_range(0..cg.len());
+    let mut b = rng.gen_range(0..cg.len() - 1);
+    if b >= a {
+        b += 1;
+    }
+    cg.swap(a, b);
+    APPLIED
+}
+
+/// OP3: swap a core of one layer with a core of another layer.
+fn op3_swap_across(lms: &mut Lms, rng: &mut StdRng) -> OpOutcome {
+    if lms.schemes.len() < 2 {
+        return FAILED;
+    }
+    for _ in 0..8 {
+        let l1 = rng.gen_range(0..lms.schemes.len());
+        let mut l2 = rng.gen_range(0..lms.schemes.len() - 1);
+        if l2 >= l1 {
+            l2 += 1;
+        }
+        let p1 = rng.gen_range(0..lms.schemes[l1].cg.len());
+        let p2 = rng.gen_range(0..lms.schemes[l2].cg.len());
+        let c1 = lms.schemes[l1].cg.0[p1];
+        let c2 = lms.schemes[l2].cg.0[p2];
+        if c1 == c2 || lms.schemes[l1].cg.contains(c2) || lms.schemes[l2].cg.contains(c1) {
+            continue;
+        }
+        lms.schemes[l1].cg.0[p1] = c2;
+        lms.schemes[l2].cg.0[p2] = c1;
+        return APPLIED;
+    }
+    FAILED
+}
+
+/// OP4: move a core from one layer's CG to another's, re-drawing both
+/// Parts.
+fn op4_move_core(
+    dnn: &Dnn,
+    _arch: &ArchConfig,
+    spec: &GroupSpec,
+    lms: &mut Lms,
+    rng: &mut StdRng,
+) -> OpOutcome {
+    if lms.schemes.len() < 2 {
+        return FAILED;
+    }
+    for _ in 0..8 {
+        let from = rng.gen_range(0..lms.schemes.len());
+        if lms.schemes[from].cg.len() < 2 {
+            continue;
+        }
+        let mut to = rng.gen_range(0..lms.schemes.len() - 1);
+        if to >= from {
+            to += 1;
+        }
+        let pos = rng.gen_range(0..lms.schemes[from].cg.len());
+        let core = lms.schemes[from].cg.0[pos];
+        if lms.schemes[to].cg.contains(core) {
+            continue;
+        }
+        // Check both new sizes admit Parts before mutating.
+        let shape_from = dnn.layer(spec.members[from]).ofmap;
+        let shape_to = dnn.layer(spec.members[to]).ofmap;
+        let n_from = lms.schemes[from].cg.len() as u32 - 1;
+        let n_to = lms.schemes[to].cg.len() as u32 + 1;
+        let part_from = random_part(n_from, shape_from, spec.batch_unit, None, rng);
+        let part_to = random_part(n_to, shape_to, spec.batch_unit, None, rng);
+        let (Some(pf), Some(pt)) = (part_from, part_to) else {
+            continue;
+        };
+        lms.schemes[from].cg.0.remove(pos);
+        let insert_at = rng.gen_range(0..=lms.schemes[to].cg.len());
+        lms.schemes[to].cg.0.insert(insert_at, core);
+        lms.schemes[from].part = pf;
+        lms.schemes[to].part = pt;
+        return APPLIED;
+    }
+    FAILED
+}
+
+/// OP5: re-draw one explicit FD entry within `0..=D`.
+fn op5_change_fd(arch: &ArchConfig, lms: &mut Lms, rng: &mut StdRng) -> OpOutcome {
+    // Collect (layer index, slot) pairs with explicit entries.
+    let mut slots = Vec::new();
+    for (li, ms) in lms.schemes.iter().enumerate() {
+        if ms.fd.ifm >= 0 {
+            slots.push((li, 0u8));
+        }
+        if ms.fd.wgt >= 0 {
+            slots.push((li, 1));
+        }
+        if ms.fd.ofm >= 0 {
+            slots.push((li, 2));
+        }
+    }
+    if slots.is_empty() {
+        return FAILED;
+    }
+    let d = arch.dram_count() as i32;
+    if d == 0 {
+        return FAILED;
+    }
+    let (li, slot) = slots[rng.gen_range(0..slots.len())];
+    let fd = &mut lms.schemes[li].fd;
+    let cur = match slot {
+        0 => fd.ifm,
+        1 => fd.wgt,
+        _ => fd.ofm,
+    };
+    // Values range over 0..=D; exclude the current one.
+    let mut v = rng.gen_range(0..d); // d possible "other" values
+    if v >= cur {
+        v += 1;
+    }
+    match slot {
+        0 => fd.ifm = v,
+        1 => fd.wgt = v,
+        _ => fd.ofm = v,
+    }
+    OpOutcome { applied: true, changed_of: slot == 2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{CoreGroup, FlowOfData, Ms, Part};
+    use crate::partition::{partition_graph, PartitionOptions};
+    use crate::stripe::stripe_lms;
+    use gemini_arch::presets;
+    use gemini_model::zoo;
+
+    fn setup(batch: u32) -> (Dnn, Evaluator, GraphPartition, Vec<Lms>) {
+        let dnn = zoo::two_conv_example();
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let partition = partition_graph(&dnn, &arch, batch, &PartitionOptions::default());
+        let init: Vec<Lms> =
+            partition.groups.iter().map(|g| stripe_lms(&dnn, &arch, g)).collect();
+        (dnn, ev, partition, init)
+    }
+
+    #[test]
+    fn sa_never_returns_worse_than_init() {
+        let (dnn, ev, partition, init) = setup(4);
+        let opts = SaOptions { iters: 120, seed: 42, ..Default::default() };
+        let out = optimize(&dnn, &ev, &partition, init, 4, &opts);
+        assert!(
+            out.cost <= out.stats.init_cost * (1.0 + 1e-9),
+            "best-state tracking must not regress: {} vs {}",
+            out.cost,
+            out.stats.init_cost
+        );
+        assert_eq!(out.lms.len(), partition.groups.len());
+    }
+
+    #[test]
+    fn sa_improves_stripe_on_small_example() {
+        let (dnn, ev, partition, init) = setup(8);
+        let opts = SaOptions { iters: 400, seed: 7, ..Default::default() };
+        let out = optimize(&dnn, &ev, &partition, init, 8, &opts);
+        assert!(
+            out.stats.final_cost < out.stats.init_cost,
+            "400 iterations should find something better than stripe ({} -> {})",
+            out.stats.init_cost,
+            out.stats.final_cost
+        );
+        assert!(out.stats.accepted > 0);
+    }
+
+    #[test]
+    fn sa_outcome_validates() {
+        let (dnn, ev, partition, init) = setup(4);
+        let arch = presets::g_arch_72();
+        let opts = SaOptions { iters: 150, seed: 3, ..Default::default() };
+        let out = optimize(&dnn, &ev, &partition, init, 4, &opts);
+        for (lms, spec) in out.lms.iter().zip(&partition.groups) {
+            lms.validate(&dnn, &arch, spec).unwrap();
+        }
+    }
+
+    #[test]
+    fn sa_deterministic_per_seed() {
+        let (dnn, ev, partition, init) = setup(4);
+        let opts = SaOptions { iters: 100, seed: 99, ..Default::default() };
+        let a = optimize(&dnn, &ev, &partition, init.clone(), 4, &opts);
+        let b = optimize(&dnn, &ev, &partition, init, 4, &opts);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.lms, b.lms);
+    }
+
+    #[test]
+    fn disabled_ops_are_never_applied() {
+        let (dnn, ev, partition, init) = setup(4);
+        let mut opts = SaOptions { iters: 200, seed: 5, ..Default::default() };
+        opts.enabled_ops = [true, false, false, false, false]; // OP1 only
+        let out = optimize(&dnn, &ev, &partition, init, 4, &opts);
+        assert_eq!(out.stats.op_applied[1], 0);
+        assert_eq!(out.stats.op_applied[2], 0);
+        assert_eq!(out.stats.op_applied[3], 0);
+        assert_eq!(out.stats.op_applied[4], 0);
+    }
+
+    fn fig3_like() -> (Dnn, ArchConfig, GroupSpec, Lms) {
+        let dnn = zoo::two_conv_example();
+        let arch = ArchConfig::builder().cores(3, 2).cuts(1, 1).build().unwrap();
+        let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 2 };
+        let lms = Lms {
+            schemes: vec![
+                Ms {
+                    part: Part { h: 1, w: 1, b: 2, k: 2 },
+                    cg: CoreGroup(vec![
+                        gemini_arch::CoreId(1),
+                        gemini_arch::CoreId(0),
+                        gemini_arch::CoreId(4),
+                        gemini_arch::CoreId(3),
+                    ]),
+                    fd: FlowOfData { ifm: 1, wgt: 1, ofm: -1 },
+                },
+                Ms {
+                    part: Part { h: 1, w: 1, b: 2, k: 1 },
+                    cg: CoreGroup(vec![gemini_arch::CoreId(2), gemini_arch::CoreId(5)]),
+                    fd: FlowOfData { ifm: -1, wgt: 2, ofm: 2 },
+                },
+            ],
+        };
+        (dnn, arch, spec, lms)
+    }
+
+    #[test]
+    fn ops_preserve_invariants_fuzz() {
+        // Apply thousands of random operators; the scheme must stay
+        // valid after every application (the reachability argument of
+        // the paper's anonymous proof link relies on closure).
+        let (dnn, arch, spec, mut lms) = fig3_like();
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut applied = [0u32; 5];
+        for i in 0..4000 {
+            let op = i % 5;
+            let out = apply_op(op, &dnn, &arch, &spec, &mut lms, &mut rng);
+            if out.applied {
+                applied[op] += 1;
+            }
+            lms.validate(&dnn, &arch, &spec)
+                .unwrap_or_else(|e| panic!("op {} broke scheme at iter {}: {}", op + 1, i, e));
+        }
+        // Every operator must fire at least sometimes on this scheme.
+        for (op, &n) in applied.iter().enumerate() {
+            assert!(n > 0, "OP{} never applied", op + 1);
+        }
+    }
+
+    #[test]
+    fn op4_reaches_all_cg_sizes() {
+        // Fig. 3's claim: "the size of CG1 can be modified to any number
+        // from 1 to 5 through a series of OP4 operations".
+        let (dnn, arch, spec, mut lms) = fig3_like();
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..6000 {
+            let _ = apply_op(3, &dnn, &arch, &spec, &mut lms, &mut rng);
+            seen.insert(lms.schemes[0].cg.len());
+            lms.validate(&dnn, &arch, &spec).unwrap();
+        }
+        for size in 1..=5usize {
+            assert!(seen.contains(&size), "CG1 never reached size {size}; saw {seen:?}");
+        }
+    }
+
+    #[test]
+    fn op5_changes_only_explicit_entries() {
+        let (dnn, arch, spec, mut lms) = fig3_like();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..500 {
+            let _ = apply_op(4, &dnn, &arch, &spec, &mut lms, &mut rng);
+            // Inferred entries must remain -1.
+            assert_eq!(lms.schemes[0].fd.ofm, -1);
+            assert_eq!(lms.schemes[1].fd.ifm, -1);
+            // Explicit entries must stay in range.
+            assert!((0..=2).contains(&lms.schemes[0].fd.ifm));
+            assert!((0..=2).contains(&lms.schemes[1].fd.ofm));
+        }
+        let _ = dnn;
+        let _ = arch;
+    }
+}

@@ -1,0 +1,174 @@
+//! Optimization-space size calculation (Sec. IV-B of the paper).
+//!
+//! The paper conservatively lower-bounds the LP-SPM space for mapping `N`
+//! layers onto `M` cores with `D` DRAMs at
+//!
+//! ```text
+//! M! * sum_{i=0}^{N-1} C(N, i) * C(M-N-1, N-i-1) * 4^{N-i}
+//! ```
+//!
+//! and upper-bounds the Tangram heuristic's space at `N * part(M)` where
+//! `part` is the integer-partition function. Sizes are astronomically
+//! large, so everything here works in log2 space; the SA controller also
+//! uses these values as group-selection weights.
+
+/// log2(n!) via direct summation (exact enough for n <= a few thousand).
+pub fn log2_factorial(n: u64) -> f64 {
+    (2..=n).map(|i| (i as f64).log2()).sum()
+}
+
+/// log2 of the binomial coefficient C(n, k); `None` when the coefficient
+/// is zero (k > n).
+pub fn log2_binomial(n: u64, k: u64) -> Option<f64> {
+    if k > n {
+        return None;
+    }
+    Some(log2_factorial(n) - log2_factorial(k) - log2_factorial(n - k))
+}
+
+/// log2 of a sum of terms given in log2 space (log-sum-exp in base 2).
+fn log2_sum(terms: &[f64]) -> f64 {
+    let max = terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = terms.iter().map(|t| (t - max).exp2()).sum();
+    max + sum.log2()
+}
+
+/// log2 of the paper's lower bound on the Gemini LP-SPM space for `n`
+/// layers on `m` cores.
+///
+/// Returns `f64::NEG_INFINITY` when the bound degenerates (e.g. `m <= n`:
+/// fewer cores than layers leaves no room for the counted schemes).
+pub fn gemini_space_log2(m: u64, n: u64) -> f64 {
+    if n == 0 || m == 0 {
+        return f64::NEG_INFINITY;
+    }
+    let mut terms = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        let a = match log2_binomial(n, i) {
+            Some(v) => v,
+            None => continue,
+        };
+        let b = if m >= n + 1 {
+            match log2_binomial(m - n - 1, n - i - 1) {
+                Some(v) => v,
+                None => continue,
+            }
+        } else {
+            continue;
+        };
+        let c = (n - i) as f64 * 2.0; // log2(4^{n-i})
+        terms.push(a + b + c);
+    }
+    if terms.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    log2_factorial(m) + log2_sum(&terms)
+}
+
+/// The integer-partition function `part(m)` (number of multisets of
+/// positive integers summing to `m`), computed by the classic DP.
+/// Saturates at `u64::MAX` (first exceeds u64 near m = 416).
+pub fn partition_count(m: u64) -> u64 {
+    let m = m as usize;
+    let mut p = vec![0u64; m + 1];
+    p[0] = 1;
+    for part in 1..=m {
+        for total in part..=m {
+            p[total] = p[total].saturating_add(p[total - part]);
+        }
+    }
+    p[m]
+}
+
+/// log2 of the paper's upper bound on the Tangram heuristic space:
+/// `N * part(M)`.
+pub fn tangram_space_log2(m: u64, n: u64) -> f64 {
+    if n == 0 {
+        return f64::NEG_INFINITY;
+    }
+    (n as f64).log2() + (partition_count(m) as f64).log2()
+}
+
+/// Group-selection weight for the SA controller: proportional to the
+/// log-space-size of the group (groups with larger optimization spaces
+/// are picked more often, per Sec. V-B1), floored at 1 so degenerate
+/// groups remain reachable.
+pub fn group_weight(m_cores: u64, n_layers: u64) -> f64 {
+    gemini_space_log2(m_cores, n_layers).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorial_logs() {
+        assert_eq!(log2_factorial(0), 0.0);
+        assert_eq!(log2_factorial(1), 0.0);
+        assert!((log2_factorial(4) - (24f64).log2()).abs() < 1e-12);
+        assert!((log2_factorial(10) - (3628800f64).log2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binomials() {
+        assert_eq!(log2_binomial(5, 6), None);
+        assert!((log2_binomial(5, 2).unwrap() - (10f64).log2()).abs() < 1e-12);
+        assert!((log2_binomial(10, 0).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_numbers_match_oeis() {
+        // OEIS A000041.
+        let expected = [1u64, 1, 2, 3, 5, 7, 11, 15, 22, 30, 42];
+        for (m, &e) in expected.iter().enumerate() {
+            assert_eq!(partition_count(m as u64), e, "part({m})");
+        }
+        assert_eq!(partition_count(36), 17977);
+        assert_eq!(partition_count(100), 190569292);
+    }
+
+    #[test]
+    fn gemini_space_dwarfs_tangram() {
+        // The paper's headline claim about the space sizes: for any
+        // realistic (M, N) the Gemini space is astronomically larger.
+        for &(m, n) in &[(36u64, 4u64), (36, 8), (64, 10), (144, 12)] {
+            let g = gemini_space_log2(m, n);
+            let t = tangram_space_log2(m, n);
+            assert!(
+                g > t + 30.0,
+                "M={m} N={n}: gemini 2^{g:.1} should dwarf tangram 2^{t:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_grows_with_cores_and_layers() {
+        assert!(gemini_space_log2(64, 6) > gemini_space_log2(36, 6));
+        assert!(gemini_space_log2(36, 8) > gemini_space_log2(36, 4));
+    }
+
+    #[test]
+    fn degenerate_spaces() {
+        assert_eq!(gemini_space_log2(4, 0), f64::NEG_INFINITY);
+        assert_eq!(gemini_space_log2(0, 3), f64::NEG_INFINITY);
+        // More layers than cores: the bound's combinatorics vanish.
+        assert_eq!(gemini_space_log2(3, 8), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn hand_check_small_case() {
+        // M=4, N=1: sum has a single term i=0:
+        // C(1,0) * C(2, 0) * 4 = 4; total = 4! * 4 = 96.
+        let got = gemini_space_log2(4, 1);
+        assert!((got - (96f64).log2()).abs() < 1e-9, "got 2^{got}");
+    }
+
+    #[test]
+    fn group_weight_floored() {
+        assert_eq!(group_weight(3, 8), 1.0);
+        assert!(group_weight(36, 8) > 1.0);
+    }
+}

@@ -1,0 +1,35 @@
+//! DNN workload substrate for the Gemini framework.
+//!
+//! This crate provides everything the mapping engine needs to know about a
+//! DNN *workload*: a layer intermediate representation ([`Layer`],
+//! [`LayerKind`]), four-dimensional output regions with halo-aware input
+//! inference ([`Region`]), a directed-acyclic-graph container ([`Dnn`]) and
+//! a programmatic model zoo ([`zoo`]) covering the networks evaluated in
+//! the paper (ResNet-50, ResNeXt-50, Inception-ResNet-v1, PNASNet,
+//! GoogLeNet, Transformer).
+//!
+//! All tensors are `int8` (1 byte/element), matching the Simba baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use gemini_model::zoo;
+//!
+//! let dnn = zoo::resnet50();
+//! // ResNet-50 performs ~4.1 GMACs per 224x224 sample.
+//! let gmacs = dnn.total_macs(1) as f64 / 1e9;
+//! assert!((3.5..4.5).contains(&gmacs), "got {gmacs}");
+//! ```
+
+pub mod graph;
+pub mod layer;
+pub mod region;
+pub mod zoo;
+
+pub use graph::{Dnn, DnnBuilder, DnnSummary, LayerId};
+pub use layer::{ActKind, ConvParams, Layer, LayerKind, MatmulOperand, PoolKind, PoolParams};
+pub use region::{split_dim, FmapShape, Range1, Region};
+
+/// Bytes per tensor element. The framework models int8 inference end to
+/// end (the Simba baseline is an int8 accelerator).
+pub const BYTES_PER_ELEM: u64 = 1;

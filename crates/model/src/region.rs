@@ -1,0 +1,288 @@
+//! Four-dimensional tensor regions.
+//!
+//! A [`Region`] is a half-open box over the four dimensions of a layer's
+//! output cube used by the Gemini encoding (Sec. IV-A of the paper):
+//! ofmap height `H`, ofmap width `W`, ofmap channel `K` and batch `B`.
+//! Regions are the currency of the whole evaluator: partitioned workloads,
+//! halo-inferred input requirements and producer/consumer flow volumes are
+//! all expressed as regions and region intersections.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of one feature map sample: height x width x channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FmapShape {
+    /// Feature-map height.
+    pub h: u32,
+    /// Feature-map width.
+    pub w: u32,
+    /// Channel count.
+    pub c: u32,
+}
+
+impl FmapShape {
+    /// Creates a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(h: u32, w: u32, c: u32) -> Self {
+        assert!(h > 0 && w > 0 && c > 0, "fmap dimensions must be nonzero");
+        Self { h, w, c }
+    }
+
+    /// Elements in one sample of this shape.
+    pub fn elems(&self) -> u64 {
+        self.h as u64 * self.w as u64 * self.c as u64
+    }
+
+    /// Bytes of one sample (int8).
+    pub fn bytes(&self) -> u64 {
+        self.elems() * crate::BYTES_PER_ELEM
+    }
+}
+
+impl std::fmt::Display for FmapShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.h, self.w, self.c)
+    }
+}
+
+/// A half-open interval `[start, end)` over one dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Range1 {
+    /// Inclusive start.
+    pub start: u32,
+    /// Exclusive end.
+    pub end: u32,
+}
+
+impl Range1 {
+    /// Creates a range; `start > end` is clamped to an empty range.
+    pub fn new(start: u32, end: u32) -> Self {
+        if start >= end {
+            Self { start, end: start }
+        } else {
+            Self { start, end }
+        }
+    }
+
+    /// The full range `[0, len)`.
+    pub fn full(len: u32) -> Self {
+        Self { start: 0, end: len }
+    }
+
+    /// Number of indices covered.
+    pub fn len(&self) -> u32 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the range covers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Intersection of two ranges (possibly empty).
+    pub fn intersect(&self, other: &Range1) -> Range1 {
+        Range1::new(self.start.max(other.start), self.end.min(other.end))
+    }
+
+    /// Range shifted by a signed offset, clamped at zero.
+    pub fn shift(&self, by: i64) -> Range1 {
+        let s = (self.start as i64 + by).max(0) as u32;
+        let e = (self.end as i64 + by).max(0) as u32;
+        Range1::new(s, e)
+    }
+}
+
+/// A 4-D half-open box over (H, W, K, B) of a layer's output cube.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Region {
+    /// Height range.
+    pub h: Range1,
+    /// Width range.
+    pub w: Range1,
+    /// Channel (ofmap channel / weight kernel) range.
+    pub k: Range1,
+    /// Batch range (within one pipeline-stage batch unit).
+    pub b: Range1,
+}
+
+impl Region {
+    /// Creates a region from four ranges.
+    pub fn new(h: Range1, w: Range1, k: Range1, b: Range1) -> Self {
+        Self { h, w, k, b }
+    }
+
+    /// The full region for `batch` samples of `shape`.
+    pub fn full(shape: FmapShape, batch: u32) -> Self {
+        Self {
+            h: Range1::full(shape.h),
+            w: Range1::full(shape.w),
+            k: Range1::full(shape.c),
+            b: Range1::full(batch),
+        }
+    }
+
+    /// Number of elements covered.
+    pub fn elems(&self) -> u64 {
+        self.h.len() as u64 * self.w.len() as u64 * self.k.len() as u64 * self.b.len() as u64
+    }
+
+    /// Bytes covered (int8).
+    pub fn bytes(&self) -> u64 {
+        self.elems() * crate::BYTES_PER_ELEM
+    }
+
+    /// Whether the region covers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.elems() == 0
+    }
+
+    /// Box intersection.
+    pub fn intersect(&self, other: &Region) -> Region {
+        Region {
+            h: self.h.intersect(&other.h),
+            w: self.w.intersect(&other.w),
+            k: self.k.intersect(&other.k),
+            b: self.b.intersect(&other.b),
+        }
+    }
+
+    /// Volume (in bytes) of the intersection with `other`.
+    pub fn overlap_bytes(&self, other: &Region) -> u64 {
+        self.intersect(other).bytes()
+    }
+}
+
+impl std::fmt::Display for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[h {}..{}, w {}..{}, k {}..{}, b {}..{}]",
+            self.h.start, self.h.end, self.w.start, self.w.end, self.k.start, self.k.end,
+            self.b.start, self.b.end
+        )
+    }
+}
+
+/// Splits a dimension of size `len` into `parts` approximately equal
+/// pieces and returns piece `idx` as a half-open range.
+///
+/// The split follows the "approximately equal parts" rule of the paper's
+/// `Part` attribute: piece `idx` is `[floor(idx*len/parts),
+/// floor((idx+1)*len/parts))`. Pieces differ in size by at most one and
+/// cover `[0, len)` exactly.
+///
+/// # Panics
+///
+/// Panics if `parts == 0` or `idx >= parts`.
+pub fn split_dim(len: u32, parts: u32, idx: u32) -> Range1 {
+    assert!(parts > 0, "parts must be nonzero");
+    assert!(idx < parts, "idx {idx} out of range for {parts} parts");
+    let len = len as u64;
+    let parts64 = parts as u64;
+    let start = (idx as u64 * len / parts64) as u32;
+    let end = ((idx as u64 + 1) * len / parts64) as u32;
+    Range1::new(start, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_basics() {
+        let r = Range1::new(2, 7);
+        assert_eq!(r.len(), 5);
+        assert!(!r.is_empty());
+        let e = Range1::new(5, 5);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn range_degenerate_clamped() {
+        let r = Range1::new(7, 2);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn range_intersection() {
+        let a = Range1::new(0, 10);
+        let b = Range1::new(5, 15);
+        assert_eq!(a.intersect(&b), Range1::new(5, 10));
+        let c = Range1::new(12, 20);
+        assert!(a.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn range_shift_clamps_at_zero() {
+        let r = Range1::new(1, 4);
+        assert_eq!(r.shift(-3), Range1::new(0, 1));
+        assert_eq!(r.shift(2), Range1::new(3, 6));
+    }
+
+    #[test]
+    fn region_volume() {
+        let r = Region::new(
+            Range1::new(0, 4),
+            Range1::new(0, 4),
+            Range1::new(0, 8),
+            Range1::new(0, 2),
+        );
+        assert_eq!(r.elems(), 4 * 4 * 8 * 2);
+        assert_eq!(r.bytes(), 4 * 4 * 8 * 2);
+    }
+
+    #[test]
+    fn region_intersect_disjoint() {
+        let shape = FmapShape::new(8, 8, 16);
+        let a = Region::full(shape, 1);
+        let mut b = a;
+        b.h = Range1::new(8, 8);
+        assert!(a.intersect(&b).is_empty());
+        assert_eq!(a.overlap_bytes(&b), 0);
+    }
+
+    #[test]
+    fn split_dim_covers_exactly() {
+        for len in [1u32, 3, 7, 8, 56, 224] {
+            for parts in 1..=len.min(9) {
+                let mut total = 0;
+                let mut prev_end = 0;
+                for idx in 0..parts {
+                    let r = split_dim(len, parts, idx);
+                    assert_eq!(r.start, prev_end, "pieces must be contiguous");
+                    prev_end = r.end;
+                    total += r.len();
+                }
+                assert_eq!(prev_end, len);
+                assert_eq!(total, len);
+            }
+        }
+    }
+
+    #[test]
+    fn split_dim_near_equal() {
+        let len = 10;
+        let parts = 3;
+        let sizes: Vec<u32> = (0..parts).map(|i| split_dim(len, parts, i).len()).collect();
+        let mx = *sizes.iter().max().unwrap();
+        let mn = *sizes.iter().min().unwrap();
+        assert!(mx - mn <= 1, "sizes {sizes:?} differ by more than one");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn split_dim_bad_idx_panics() {
+        let _ = split_dim(8, 2, 2);
+    }
+
+    #[test]
+    fn fmap_shape_display_and_bytes() {
+        let s = FmapShape::new(56, 56, 256);
+        assert_eq!(s.to_string(), "56x56x256");
+        assert_eq!(s.bytes(), 56 * 56 * 256);
+    }
+}

@@ -1,0 +1,252 @@
+//! Additional classic CNNs stressing specific mapper paths.
+//!
+//! * [`densenet121`] — concat-dominated dependency structure (every
+//!   layer consumes the concatenation of all previous outputs in its
+//!   block): stresses channel-offset flow inference and wide fan-in.
+//! * [`mobilenet_v2`] — depthwise-separable inverted residuals: stresses
+//!   grouped-conv channel slicing and low-arithmetic-intensity layers.
+//! * [`vgg16`] — enormous fully-connected tail (~119M weight bytes):
+//!   stresses weight streaming and the working-set spill path.
+
+use crate::graph::{Dnn, LayerId};
+use crate::layer::PoolKind;
+use crate::region::FmapShape;
+
+use super::Net;
+
+/// One DenseNet layer: BN-ReLU folded, bottleneck 1x1 to `4*growth`,
+/// then 3x3 to `growth` channels; output is concatenated onto the
+/// running feature map.
+fn dense_layer(n: &mut Net, name: &str, from: LayerId, growth: u32) -> LayerId {
+    let b = n.conv(&format!("{name}_1x1"), from, 4 * growth, 1, 1, 0);
+    n.conv(&format!("{name}_3x3"), b, growth, 3, 1, 1)
+}
+
+/// DenseNet-121 at 224x224 (~2.9 GMACs, growth 32, blocks 6/12/24/16).
+pub fn densenet121() -> Dnn {
+    let growth = 32;
+    let mut n = Net::new("dn-121");
+    let x = n.input(FmapShape::new(224, 224, 3));
+    let c1 = n.conv("stem", x, 64, 7, 2, 3);
+    let mut cur = n.maxpool("pool0", c1, 3, 2, 1);
+
+    for (bi, &layers) in [6u32, 12, 24, 16].iter().enumerate() {
+        for li in 0..layers {
+            let new = dense_layer(&mut n, &format!("b{bi}l{li}"), cur, growth);
+            cur = n.concat(&format!("b{bi}l{li}_cat"), &[cur, new]);
+        }
+        if bi < 3 {
+            // Transition: halve channels, halve spatial.
+            let c = n.shape(cur).c / 2;
+            let t = n.conv(&format!("t{bi}_1x1"), cur, c, 1, 1, 0);
+            cur = n.pool(&format!("t{bi}_pool"), t, PoolKind::Avg, 2, 2, 0);
+        }
+    }
+    let gap = n.global_avgpool("gap", cur);
+    n.fc("fc", gap, 1000);
+    n.build()
+}
+
+/// One MobileNetV2 inverted residual: 1x1 expand (t=6), 3x3 depthwise,
+/// 1x1 linear project, with a residual add when shapes allow.
+fn inverted_residual(
+    n: &mut Net,
+    name: &str,
+    from: LayerId,
+    cout: u32,
+    stride: u32,
+    expand: u32,
+) -> LayerId {
+    let cin = n.shape(from).c;
+    let mid = cin * expand;
+    let a = if expand > 1 { n.conv(&format!("{name}_exp"), from, mid, 1, 1, 0) } else { from };
+    let d = n.dwconv(&format!("{name}_dw"), a, 3, stride, 1);
+    let p = n.conv(&format!("{name}_proj"), d, cout, 1, 1, 0);
+    if stride == 1 && cin == cout {
+        n.eltwise(&format!("{name}_add"), &[p, from])
+    } else {
+        p
+    }
+}
+
+/// MobileNetV2 at 224x224 (~0.3 GMACs).
+pub fn mobilenet_v2() -> Dnn {
+    let mut n = Net::new("mbv2");
+    let x = n.input(FmapShape::new(224, 224, 3));
+    let c1 = n.conv("stem", x, 32, 3, 2, 1);
+    let mut cur = inverted_residual(&mut n, "ir0", c1, 16, 1, 1);
+    // (t, c, n, s) per the paper's table.
+    let cfg = [(6u32, 24u32, 2u32, 2u32), (6, 32, 3, 2), (6, 64, 4, 2), (6, 96, 3, 1), (6, 160, 3, 2), (6, 320, 1, 1)];
+    let mut idx = 1;
+    for &(t, c, reps, s) in &cfg {
+        for r in 0..reps {
+            let stride = if r == 0 { s } else { 1 };
+            cur = inverted_residual(&mut n, &format!("ir{idx}"), cur, c, stride, t);
+            idx += 1;
+        }
+    }
+    let head = n.conv("head", cur, 1280, 1, 1, 0);
+    let gap = n.global_avgpool("gap", head);
+    n.fc("fc", gap, 1000);
+    n.build()
+}
+
+/// One EfficientNet MBConv: 1x1 expand, kxk depthwise (3 or 5), 1x1
+/// linear project, residual when shapes allow.
+///
+/// Substitution note: the squeeze-and-excite block is omitted. Its two
+/// tiny FCs contribute <1% of the MACs and its broadcast multiply is a
+/// per-channel vector post-op our eltwise (equal-shape) IR does not
+/// express; dropping it preserves the network's mapping structure
+/// (depthwise bottlenecks, wide 1x1 projections) which is what the
+/// mapper exercises.
+fn mbconv(
+    n: &mut Net,
+    name: &str,
+    from: LayerId,
+    cout: u32,
+    kernel: u32,
+    stride: u32,
+    expand: u32,
+) -> LayerId {
+    let cin = n.shape(from).c;
+    let mid = cin * expand;
+    let a = if expand > 1 { n.conv(&format!("{name}_exp"), from, mid, 1, 1, 0) } else { from };
+    let d = n.dwconv(&format!("{name}_dw"), a, kernel, stride, kernel / 2);
+    let p = n.conv(&format!("{name}_proj"), d, cout, 1, 1, 0);
+    if stride == 1 && cin == cout {
+        n.eltwise(&format!("{name}_add"), &[p, from])
+    } else {
+        p
+    }
+}
+
+/// EfficientNet-B0 at 224x224 (~0.4 GMACs): mixed 3x3/5x5 depthwise
+/// bottlenecks — stresses large-halo depthwise slicing on top of the
+/// MobileNet-style inverted residuals.
+pub fn efficientnet_b0() -> Dnn {
+    let mut n = Net::new("effnet-b0");
+    let x = n.input(FmapShape::new(224, 224, 3));
+    let c1 = n.conv("stem", x, 32, 3, 2, 1);
+    // (expand, cout, repeats, stride, kernel) per the B0 table.
+    let cfg: [(u32, u32, u32, u32, u32); 7] = [
+        (1, 16, 1, 1, 3),
+        (6, 24, 2, 2, 3),
+        (6, 40, 2, 2, 5),
+        (6, 80, 3, 2, 3),
+        (6, 112, 3, 1, 5),
+        (6, 192, 4, 2, 5),
+        (6, 320, 1, 1, 3),
+    ];
+    let mut cur = c1;
+    let mut idx = 0;
+    for &(t, c, reps, s, k) in &cfg {
+        for r in 0..reps {
+            let stride = if r == 0 { s } else { 1 };
+            cur = mbconv(&mut n, &format!("mb{idx}"), cur, c, k, stride, t);
+            idx += 1;
+        }
+    }
+    let head = n.conv("head", cur, 1280, 1, 1, 0);
+    let gap = n.global_avgpool("gap", head);
+    n.fc("fc", gap, 1000);
+    n.build()
+}
+
+/// VGG-16 at 224x224 (~15.5 GMACs, ~134M weight bytes): the classic
+/// weight-streaming stress test.
+pub fn vgg16() -> Dnn {
+    let mut n = Net::new("vgg16");
+    let x = n.input(FmapShape::new(224, 224, 3));
+    let mut cur = x;
+    let stages: [(u32, u32); 5] = [(2, 64), (2, 128), (3, 256), (3, 512), (3, 512)];
+    for (si, &(convs, c)) in stages.iter().enumerate() {
+        for ci in 0..convs {
+            cur = n.conv(&format!("s{si}c{ci}"), cur, c, 3, 1, 1);
+        }
+        cur = n.maxpool(&format!("s{si}_pool"), cur, 2, 2, 0);
+    }
+    let f1 = n.fc("fc1", cur, 4096);
+    let f2 = n.fc("fc2", f1, 4096);
+    n.fc("fc3", f2, 1000);
+    n.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn densenet_channel_growth() {
+        let d = densenet121();
+        // Block 0 ends at 64 + 6*32 = 256 channels before transition.
+        let t0 = d.layers().iter().find(|l| l.name == "t0_1x1").unwrap();
+        assert_eq!(t0.ofmap.c, 128, "transition halves 256 -> 128");
+        // Final features: 1024 channels at 7x7.
+        let gap_in = d.layers().iter().find(|l| l.name == "b3l15_cat").unwrap();
+        assert_eq!((gap_in.ofmap.h, gap_in.ofmap.c), (7, 1024));
+        let gmacs = d.total_macs(1) as f64 / 1e9;
+        assert!((2.2..3.5).contains(&gmacs), "DenseNet-121 GMACs {gmacs}");
+    }
+
+    #[test]
+    fn densenet_is_concat_dominated() {
+        let d = densenet121();
+        let cats = d.layers().iter().filter(|l| matches!(l.kind, LayerKind::Concat)).count();
+        assert_eq!(cats, 6 + 12 + 24 + 16);
+    }
+
+    #[test]
+    fn mobilenet_structure() {
+        let d = mobilenet_v2();
+        let gmacs = d.total_macs(1) as f64 / 1e9;
+        assert!((0.2..0.5).contains(&gmacs), "MobileNetV2 GMACs {gmacs}");
+        let dw = d
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv(p) if p.groups > 1))
+            .count();
+        assert_eq!(dw, 17, "17 depthwise convs");
+        let adds = d
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Eltwise { .. }))
+            .count();
+        assert_eq!(adds, 10, "10 residual adds");
+    }
+
+    #[test]
+    fn efficientnet_structure() {
+        let d = efficientnet_b0();
+        let gmacs = d.total_macs(1) as f64 / 1e9;
+        assert!((0.25..0.55).contains(&gmacs), "EfficientNet-B0 GMACs {gmacs}");
+        // 16 MBConv blocks, each with one depthwise conv.
+        let dw: Vec<_> = d
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv(p) if p.groups > 1))
+            .collect();
+        assert_eq!(dw.len(), 16, "16 depthwise convs");
+        // Both 3x3 and 5x5 depthwise kernels appear.
+        let has5 = dw
+            .iter()
+            .any(|l| matches!(l.kind, LayerKind::Conv(p) if p.kernel == (5, 5)));
+        assert!(has5, "5x5 depthwise stages missing");
+        // Final feature width is 1280 at 7x7.
+        let head = d.layers().iter().find(|l| l.name == "head").unwrap();
+        assert_eq!((head.ofmap.h, head.ofmap.c), (7, 1280));
+    }
+
+    #[test]
+    fn vgg_weight_heavy() {
+        let d = vgg16();
+        let gmacs = d.total_macs(1) as f64 / 1e9;
+        assert!((14.0..17.0).contains(&gmacs), "VGG-16 GMACs {gmacs}");
+        let params_m = d.total_weight_bytes() as f64 / 1e6;
+        assert!((130.0..140.0).contains(&params_m), "VGG-16 params {params_m}M");
+        // FC1 dominates: 25088 x 4096.
+        let fc1 = d.layers().iter().find(|l| l.name == "fc1").unwrap();
+        assert_eq!(fc1.weight_bytes(), 25088 * 4096);
+    }
+}

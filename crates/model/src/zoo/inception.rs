@@ -1,0 +1,181 @@
+//! GoogLeNet (Inception v1) and Inception-ResNet-v1 builders.
+//!
+//! Inception-ResNet-v1 represents the "DNNs with more intricate
+//! dependencies" category of the paper's workload set; GoogLeNet ("GN")
+//! appears in the chiplet-reuse study (Fig. 8).
+
+use crate::graph::{Dnn, LayerId};
+use crate::layer::PoolKind;
+use crate::region::FmapShape;
+
+use super::Net;
+
+/// Classic Inception v1 module with four branches.
+fn inception_v1(
+    n: &mut Net,
+    name: &str,
+    from: LayerId,
+    c1: u32,
+    c3r: u32,
+    c3: u32,
+    c5r: u32,
+    c5: u32,
+    pp: u32,
+) -> LayerId {
+    let b1 = n.conv(&format!("{name}_1x1"), from, c1, 1, 1, 0);
+    let b2a = n.conv(&format!("{name}_3x3r"), from, c3r, 1, 1, 0);
+    let b2 = n.conv(&format!("{name}_3x3"), b2a, c3, 3, 1, 1);
+    let b3a = n.conv(&format!("{name}_5x5r"), from, c5r, 1, 1, 0);
+    let b3 = n.conv(&format!("{name}_5x5"), b3a, c5, 5, 1, 2);
+    let b4a = n.pool(&format!("{name}_pool"), from, PoolKind::Max, 3, 1, 1);
+    let b4 = n.conv(&format!("{name}_poolproj"), b4a, pp, 1, 1, 0);
+    n.concat(&format!("{name}_cat"), &[b1, b2, b3, b4])
+}
+
+/// GoogLeNet (Inception v1) at 224x224 (~1.5 GMACs).
+pub fn googlenet() -> Dnn {
+    let mut n = Net::new("gn");
+    let x = n.input(FmapShape::new(224, 224, 3));
+    let c1 = n.conv("conv1", x, 64, 7, 2, 3);
+    let p1 = n.maxpool("pool1", c1, 3, 2, 1);
+    let c2 = n.conv("conv2r", p1, 64, 1, 1, 0);
+    let c3 = n.conv("conv2", c2, 192, 3, 1, 1);
+    let p2 = n.maxpool("pool2", c3, 3, 2, 1);
+
+    let i3a = inception_v1(&mut n, "3a", p2, 64, 96, 128, 16, 32, 32);
+    let i3b = inception_v1(&mut n, "3b", i3a, 128, 128, 192, 32, 96, 64);
+    let p3 = n.maxpool("pool3", i3b, 3, 2, 1);
+
+    let i4a = inception_v1(&mut n, "4a", p3, 192, 96, 208, 16, 48, 64);
+    let i4b = inception_v1(&mut n, "4b", i4a, 160, 112, 224, 24, 64, 64);
+    let i4c = inception_v1(&mut n, "4c", i4b, 128, 128, 256, 24, 64, 64);
+    let i4d = inception_v1(&mut n, "4d", i4c, 112, 144, 288, 32, 64, 64);
+    let i4e = inception_v1(&mut n, "4e", i4d, 256, 160, 320, 32, 128, 128);
+    let p4 = n.maxpool("pool4", i4e, 3, 2, 1);
+
+    let i5a = inception_v1(&mut n, "5a", p4, 256, 160, 320, 32, 128, 128);
+    let i5b = inception_v1(&mut n, "5b", i5a, 384, 192, 384, 48, 128, 128);
+    let gap = n.global_avgpool("gap", i5b);
+    n.fc("fc", gap, 1000);
+    n.build()
+}
+
+/// Inception-ResNet-A block (35x35 grid).
+fn block35(n: &mut Net, name: &str, from: LayerId) -> LayerId {
+    let b0 = n.conv(&format!("{name}_b0"), from, 32, 1, 1, 0);
+    let b1a = n.conv(&format!("{name}_b1a"), from, 32, 1, 1, 0);
+    let b1 = n.conv(&format!("{name}_b1b"), b1a, 32, 3, 1, 1);
+    let b2a = n.conv(&format!("{name}_b2a"), from, 32, 1, 1, 0);
+    let b2b = n.conv(&format!("{name}_b2b"), b2a, 32, 3, 1, 1);
+    let b2 = n.conv(&format!("{name}_b2c"), b2b, 32, 3, 1, 1);
+    let cat = n.concat(&format!("{name}_cat"), &[b0, b1, b2]);
+    let up = n.conv(&format!("{name}_up"), cat, 256, 1, 1, 0);
+    n.eltwise(&format!("{name}_add"), &[up, from])
+}
+
+/// Inception-ResNet-B block (17x17 grid) with asymmetric 1x7/7x1 convs.
+fn block17(n: &mut Net, name: &str, from: LayerId) -> LayerId {
+    let b0 = n.conv(&format!("{name}_b0"), from, 128, 1, 1, 0);
+    let b1a = n.conv(&format!("{name}_b1a"), from, 128, 1, 1, 0);
+    let b1b = n.conv_asym(&format!("{name}_b1b"), b1a, 128, (1, 7), (0, 3));
+    let b1 = n.conv_asym(&format!("{name}_b1c"), b1b, 128, (7, 1), (3, 0));
+    let cat = n.concat(&format!("{name}_cat"), &[b0, b1]);
+    let up = n.conv(&format!("{name}_up"), cat, 896, 1, 1, 0);
+    n.eltwise(&format!("{name}_add"), &[up, from])
+}
+
+/// Inception-ResNet-C block (8x8 grid) with asymmetric 1x3/3x1 convs.
+fn block8(n: &mut Net, name: &str, from: LayerId) -> LayerId {
+    let b0 = n.conv(&format!("{name}_b0"), from, 192, 1, 1, 0);
+    let b1a = n.conv(&format!("{name}_b1a"), from, 192, 1, 1, 0);
+    let b1b = n.conv_asym(&format!("{name}_b1b"), b1a, 192, (1, 3), (0, 1));
+    let b1 = n.conv_asym(&format!("{name}_b1c"), b1b, 192, (3, 1), (1, 0));
+    let cat = n.concat(&format!("{name}_cat"), &[b0, b1]);
+    let up = n.conv(&format!("{name}_up"), cat, 1792, 1, 1, 0);
+    n.eltwise(&format!("{name}_add"), &[up, from])
+}
+
+/// Inception-ResNet-v1 at 299x299 (~5.7 GMACs with the 5/10/5 block
+/// schedule).
+pub fn inception_resnet_v1() -> Dnn {
+    let mut n = Net::new("ires");
+    let x = n.input(FmapShape::new(299, 299, 3));
+    // Stem.
+    let c1 = n.conv("stem_c1", x, 32, 3, 2, 0); // 149
+    let c2 = n.conv("stem_c2", c1, 32, 3, 1, 0); // 147
+    let c3 = n.conv("stem_c3", c2, 64, 3, 1, 1); // 147
+    let p1 = n.maxpool("stem_p1", c3, 3, 2, 0); // 73
+    let c4 = n.conv("stem_c4", p1, 80, 1, 1, 0);
+    let c5 = n.conv("stem_c5", c4, 192, 3, 1, 0); // 71
+    let mut cur = n.conv("stem_c6", c5, 256, 3, 2, 0); // 35
+
+    for i in 0..5 {
+        cur = block35(&mut n, &format!("a{i}"), cur);
+    }
+
+    // Reduction-A: 35 -> 17.
+    let ra0 = n.conv("ra_b0", cur, 384, 3, 2, 0);
+    let ra1a = n.conv("ra_b1a", cur, 192, 1, 1, 0);
+    let ra1b = n.conv("ra_b1b", ra1a, 192, 3, 1, 1);
+    let ra1 = n.conv("ra_b1c", ra1b, 256, 3, 2, 0);
+    let rap = n.maxpool("ra_pool", cur, 3, 2, 0);
+    cur = n.concat("ra_cat", &[ra0, ra1, rap]); // 384+256+256 = 896
+
+    for i in 0..10 {
+        cur = block17(&mut n, &format!("b{i}"), cur);
+    }
+
+    // Reduction-B: 17 -> 8.
+    let rb0a = n.conv("rb_b0a", cur, 256, 1, 1, 0);
+    let rb0 = n.conv("rb_b0b", rb0a, 384, 3, 2, 0);
+    let rb1a = n.conv("rb_b1a", cur, 256, 1, 1, 0);
+    let rb1 = n.conv("rb_b1b", rb1a, 256, 3, 2, 0);
+    let rb2a = n.conv("rb_b2a", cur, 256, 1, 1, 0);
+    let rb2b = n.conv("rb_b2b", rb2a, 256, 3, 1, 1);
+    let rb2 = n.conv("rb_b2c", rb2b, 256, 3, 2, 0);
+    let rbp = n.maxpool("rb_pool", cur, 3, 2, 0);
+    cur = n.concat("rb_cat", &[rb0, rb1, rb2, rbp]); // 384+256+256+896 = 1792
+
+    for i in 0..5 {
+        cur = block8(&mut n, &format!("c{i}"), cur);
+    }
+
+    let gap = n.global_avgpool("gap", cur);
+    n.fc("fc", gap, 1000);
+    n.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn googlenet_grid_sizes() {
+        let d = googlenet();
+        // Find the 4e concat: should be 14x14x832.
+        let l = d.layers().iter().find(|l| l.name == "4e_cat").unwrap();
+        assert_eq!((l.ofmap.h, l.ofmap.w, l.ofmap.c), (14, 14, 832));
+        let l5 = d.layers().iter().find(|l| l.name == "5b_cat").unwrap();
+        assert_eq!((l5.ofmap.h, l5.ofmap.w, l5.ofmap.c), (7, 7, 1024));
+    }
+
+    #[test]
+    fn ires_grid_sizes() {
+        let d = inception_resnet_v1();
+        let ra = d.layers().iter().find(|l| l.name == "ra_cat").unwrap();
+        assert_eq!((ra.ofmap.h, ra.ofmap.c), (17, 896));
+        let rb = d.layers().iter().find(|l| l.name == "rb_cat").unwrap();
+        assert_eq!((rb.ofmap.h, rb.ofmap.c), (8, 1792));
+    }
+
+    #[test]
+    fn ires_has_asymmetric_kernels() {
+        let d = inception_resnet_v1();
+        let asym = d
+            .layers()
+            .iter()
+            .any(|l| matches!(l.kind, LayerKind::Conv(p) if p.kernel == (1, 7)));
+        assert!(asym);
+    }
+}

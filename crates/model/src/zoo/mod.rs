@@ -1,0 +1,413 @@
+//! Programmatic model zoo.
+//!
+//! The networks evaluated in the paper (Sec. VI-A3): ResNet-50, ResNeXt-50
+//! (32x4d), Inception-ResNet-v1, PNASNet, Transformer — plus GoogLeNet
+//! (used in the chiplet-reuse study of Fig. 8) and a couple of small
+//! synthetic networks for tests and examples.
+//!
+//! Every builder constructs the graph layer by layer through the
+//! validating [`DnnBuilder`], so kernel/stride/shape arithmetic is checked
+//! at construction time.
+
+mod classic;
+mod inception;
+mod pnasnet;
+mod resnet;
+mod transformer;
+
+pub use classic::{densenet121, efficientnet_b0, mobilenet_v2, vgg16};
+pub use inception::{googlenet, inception_resnet_v1};
+pub use pnasnet::pnasnet;
+pub use resnet::{resnet50, resnext50};
+pub use transformer::{bert_base, transformer_base, transformer_large, transformer_with};
+
+use crate::graph::{Dnn, DnnBuilder, LayerId};
+use crate::layer::{ActKind, ConvParams, LayerKind, PoolKind, PoolParams};
+use crate::region::FmapShape;
+
+/// The five workloads of the paper's overall comparison (Fig. 5):
+/// ResNet-50, ResNeXt-50, Inception-ResNet-v1, PNASNet and Transformer.
+pub fn paper_workloads() -> Vec<Dnn> {
+    vec![resnet50(), resnext50(), inception_resnet_v1(), pnasnet(), transformer_base()]
+}
+
+/// Looks a model up by the abbreviation used in the paper's figures.
+///
+/// Recognized names (case-insensitive): `rn-50`, `rnx`, `ires`, `pnas`,
+/// `tf`, `tf-large`, `gn`.
+pub fn by_name(name: &str) -> Option<Dnn> {
+    match name.to_ascii_lowercase().as_str() {
+        "rn-50" | "rn50" | "resnet50" => Some(resnet50()),
+        "rnx" | "resnext" | "resnext50" => Some(resnext50()),
+        "ires" | "inception-resnet" => Some(inception_resnet_v1()),
+        "pnas" | "pnasnet" => Some(pnasnet()),
+        "tf" | "transformer" => Some(transformer_base()),
+        "tf-large" | "transformer-large" => Some(transformer_large()),
+        "gn" | "googlenet" => Some(googlenet()),
+        "dn-121" | "densenet" | "densenet121" => Some(densenet121()),
+        "mbv2" | "mobilenet" | "mobilenetv2" => Some(mobilenet_v2()),
+        "vgg" | "vgg16" => Some(vgg16()),
+        "effnet" | "efficientnet" | "efficientnet-b0" => Some(efficientnet_b0()),
+        "bert" | "bert-base" => Some(bert_base()),
+        _ => None,
+    }
+}
+
+/// A tiny two-conv network matching the running example of Fig. 3 of the
+/// paper (a layer group with two convolutions).
+pub fn two_conv_example() -> Dnn {
+    let mut n = Net::new("two-conv");
+    let x = n.input(FmapShape::new(16, 16, 32));
+    let c1 = n.conv("conv1", x, 64, 3, 1, 1);
+    let _c2 = n.conv("conv2", c1, 32, 3, 1, 1);
+    n.build()
+}
+
+/// A small residual network used by tests and the quickstart example:
+/// structurally a miniature ResNet.
+pub fn tiny_resnet() -> Dnn {
+    let mut n = Net::new("tiny-resnet");
+    let x = n.input(FmapShape::new(32, 32, 3));
+    let c1 = n.conv("conv1", x, 16, 3, 1, 1);
+    let b1 = n.basic_block("b1", c1, 16, 1);
+    let b2 = n.basic_block("b2", b1, 32, 2);
+    let gap = n.global_avgpool("gap", b2);
+    n.fc("fc", gap, 10);
+    n.build()
+}
+
+/// Convenience wrapper around [`DnnBuilder`] with the composite ops the
+/// zoo needs (conv+BN+ReLU, pooling, blocks). Shapes are tracked so the
+/// helpers can compute output dims.
+pub(crate) struct Net {
+    b: DnnBuilder,
+    shapes: Vec<FmapShape>,
+}
+
+impl Net {
+    pub(crate) fn new(name: &str) -> Self {
+        Self { b: DnnBuilder::new(name), shapes: Vec::new() }
+    }
+
+    pub(crate) fn input(&mut self, shape: FmapShape) -> LayerId {
+        let id = self.b.input(shape);
+        self.shapes.push(shape);
+        id
+    }
+
+    pub(crate) fn shape(&self, id: LayerId) -> FmapShape {
+        self.shapes[id.idx()]
+    }
+
+    fn record(&mut self, id: LayerId, shape: FmapShape) -> LayerId {
+        debug_assert_eq!(id.idx(), self.shapes.len());
+        self.shapes.push(shape);
+        id
+    }
+
+    /// Conv + folded BN/ReLU.
+    pub(crate) fn conv(
+        &mut self,
+        name: &str,
+        from: LayerId,
+        cout: u32,
+        k: u32,
+        stride: u32,
+        pad: u32,
+    ) -> LayerId {
+        self.conv_g(name, from, cout, (k, k), stride, (pad, pad), 1)
+    }
+
+    /// Conv with an asymmetric kernel (e.g. 1x7).
+    pub(crate) fn conv_asym(
+        &mut self,
+        name: &str,
+        from: LayerId,
+        cout: u32,
+        kernel: (u32, u32),
+        pad: (u32, u32),
+    ) -> LayerId {
+        self.conv_g(name, from, cout, kernel, 1, pad, 1)
+    }
+
+    /// Grouped conv.
+    pub(crate) fn conv_g(
+        &mut self,
+        name: &str,
+        from: LayerId,
+        cout: u32,
+        kernel: (u32, u32),
+        stride: u32,
+        pad: (u32, u32),
+        groups: u32,
+    ) -> LayerId {
+        let i = self.shape(from);
+        let p = ConvParams {
+            kernel,
+            stride: (stride, stride),
+            pad,
+            groups,
+            cin: i.c,
+        };
+        let (oh, ow) = p.out_dim(i.h, i.w);
+        let shape = FmapShape::new(oh, ow, cout);
+        let id = self
+            .b
+            .add(name, LayerKind::Conv(p), shape, &[from])
+            .unwrap_or_else(|e| panic!("zoo bug: {e}"));
+        self.record(id, shape)
+    }
+
+    /// Depthwise conv (groups == channels).
+    pub(crate) fn dwconv(
+        &mut self,
+        name: &str,
+        from: LayerId,
+        k: u32,
+        stride: u32,
+        pad: u32,
+    ) -> LayerId {
+        let c = self.shape(from).c;
+        self.conv_g(name, from, c, (k, k), stride, (pad, pad), c)
+    }
+
+    pub(crate) fn pool(
+        &mut self,
+        name: &str,
+        from: LayerId,
+        kind: PoolKind,
+        k: u32,
+        stride: u32,
+        pad: u32,
+    ) -> LayerId {
+        let i = self.shape(from);
+        let p = PoolParams { kernel: (k, k), stride: (stride, stride), pad: (pad, pad), kind };
+        let oh = (i.h + 2 * pad).saturating_sub(k) / stride + 1;
+        let ow = (i.w + 2 * pad).saturating_sub(k) / stride + 1;
+        let shape = FmapShape::new(oh, ow, i.c);
+        let id = self
+            .b
+            .add(name, LayerKind::Pool(p), shape, &[from])
+            .unwrap_or_else(|e| panic!("zoo bug: {e}"));
+        self.record(id, shape)
+    }
+
+    pub(crate) fn maxpool(&mut self, name: &str, from: LayerId, k: u32, s: u32, p: u32) -> LayerId {
+        self.pool(name, from, PoolKind::Max, k, s, p)
+    }
+
+    pub(crate) fn global_avgpool(&mut self, name: &str, from: LayerId) -> LayerId {
+        let i = self.shape(from);
+        let p = PoolParams {
+            kernel: (i.h, i.w),
+            stride: (i.h, i.w),
+            pad: (0, 0),
+            kind: PoolKind::Avg,
+        };
+        let shape = FmapShape::new(1, 1, i.c);
+        let id = self
+            .b
+            .add(name, LayerKind::Pool(p), shape, &[from])
+            .unwrap_or_else(|e| panic!("zoo bug: {e}"));
+        self.record(id, shape)
+    }
+
+    pub(crate) fn fc(&mut self, name: &str, from: LayerId, nout: u32) -> LayerId {
+        let i = self.shape(from);
+        let shape = FmapShape::new(1, 1, nout);
+        let id = self
+            .b
+            .add(name, LayerKind::Fc { cin: i.elems() as u32 }, shape, &[from])
+            .unwrap_or_else(|e| panic!("zoo bug: {e}"));
+        self.record(id, shape)
+    }
+
+    pub(crate) fn eltwise(&mut self, name: &str, inputs: &[LayerId]) -> LayerId {
+        let shape = self.shape(inputs[0]);
+        let id = self
+            .b
+            .add(name, LayerKind::Eltwise { n_inputs: inputs.len() as u32 }, shape, inputs)
+            .unwrap_or_else(|e| panic!("zoo bug: {e}"));
+        self.record(id, shape)
+    }
+
+    pub(crate) fn concat(&mut self, name: &str, inputs: &[LayerId]) -> LayerId {
+        let first = self.shape(inputs[0]);
+        let c: u32 = inputs.iter().map(|i| self.shape(*i).c).sum();
+        let shape = FmapShape::new(first.h, first.w, c);
+        let id = self
+            .b
+            .add(name, LayerKind::Concat, shape, inputs)
+            .unwrap_or_else(|e| panic!("zoo bug: {e}"));
+        self.record(id, shape)
+    }
+
+    pub(crate) fn activation(&mut self, name: &str, from: LayerId, kind: ActKind) -> LayerId {
+        let shape = self.shape(from);
+        let id = self
+            .b
+            .add(name, LayerKind::Activation(kind), shape, &[from])
+            .unwrap_or_else(|e| panic!("zoo bug: {e}"));
+        self.record(id, shape)
+    }
+
+    pub(crate) fn matmul(
+        &mut self,
+        name: &str,
+        a: LayerId,
+        b: LayerId,
+        operand: crate::layer::MatmulOperand,
+        out: FmapShape,
+    ) -> LayerId {
+        let k_dim = self.shape(a).c;
+        let id = self
+            .b
+            .add(name, LayerKind::Matmul { k_dim, operand }, out, &[a, b])
+            .unwrap_or_else(|e| panic!("zoo bug: {e}"));
+        self.record(id, out)
+    }
+
+    /// Separable conv: depthwise k x k then pointwise 1x1.
+    pub(crate) fn sep_conv(
+        &mut self,
+        name: &str,
+        from: LayerId,
+        cout: u32,
+        k: u32,
+        stride: u32,
+    ) -> LayerId {
+        let dw = self.dwconv(&format!("{name}_dw"), from, k, stride, k / 2);
+        self.conv(&format!("{name}_pw"), dw, cout, 1, 1, 0)
+    }
+
+    /// A two-conv residual basic block (used by the tiny test network).
+    pub(crate) fn basic_block(
+        &mut self,
+        name: &str,
+        from: LayerId,
+        cout: u32,
+        stride: u32,
+    ) -> LayerId {
+        let c1 = self.conv(&format!("{name}_c1"), from, cout, 3, stride, 1);
+        let c2 = self.conv(&format!("{name}_c2"), c1, cout, 3, 1, 1);
+        let short = if stride != 1 || self.shape(from).c != cout {
+            self.conv(&format!("{name}_proj"), from, cout, 1, stride, 0)
+        } else {
+            from
+        };
+        self.eltwise(&format!("{name}_add"), &[c2, short])
+    }
+
+    pub(crate) fn build(self) -> Dnn {
+        self.b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_macs_match_published() {
+        let d = resnet50();
+        let gmacs = d.total_macs(1) as f64 / 1e9;
+        // Published: ~4.09 GMACs @ 224x224.
+        assert!((3.6..4.5).contains(&gmacs), "ResNet-50 GMACs {gmacs}");
+        let params_m = d.total_weight_bytes() as f64 / 1e6;
+        // ~25.5M params; we ignore BN/bias so slightly less.
+        assert!((22.0..27.0).contains(&params_m), "ResNet-50 params {params_m}M");
+    }
+
+    #[test]
+    fn resnext50_macs_match_published() {
+        let d = resnext50();
+        let gmacs = d.total_macs(1) as f64 / 1e9;
+        // Published: ~4.2 GMACs.
+        assert!((3.6..5.0).contains(&gmacs), "ResNeXt-50 GMACs {gmacs}");
+    }
+
+    #[test]
+    fn googlenet_macs_match_published() {
+        let d = googlenet();
+        let gmacs = d.total_macs(1) as f64 / 1e9;
+        // Published: ~1.5 GMACs.
+        assert!((1.2..1.9).contains(&gmacs), "GoogLeNet GMACs {gmacs}");
+    }
+
+    #[test]
+    fn inception_resnet_builds_deep() {
+        let d = inception_resnet_v1();
+        assert!(d.len() > 100, "IRes should be deep, got {} layers", d.len());
+        let gmacs = d.total_macs(1) as f64 / 1e9;
+        assert!(gmacs > 2.0, "IRes GMACs {gmacs}");
+    }
+
+    #[test]
+    fn pnasnet_has_intricate_dependencies() {
+        let d = pnasnet();
+        // PNASNet cells concat 5 branches: at least one layer has >= 4 preds.
+        let max_preds = d.ids().map(|i| d.preds(i).len()).max().unwrap();
+        assert!(max_preds >= 4, "expected concat fan-in >= 4, got {max_preds}");
+        assert!(d.len() > 80);
+    }
+
+    #[test]
+    fn transformer_contains_activation_matmuls() {
+        let d = transformer_base();
+        let n_mm = d
+            .layers()
+            .iter()
+            .filter(|l| {
+                matches!(
+                    l.kind,
+                    LayerKind::Matmul { operand: crate::layer::MatmulOperand::ActRowSlice, .. }
+                        | LayerKind::Matmul {
+                            operand: crate::layer::MatmulOperand::ActChanSlice,
+                            ..
+                        }
+                )
+            })
+            .count();
+        assert_eq!(n_mm, 12, "6 encoder layers x (QK^T + AV)");
+    }
+
+    #[test]
+    fn all_paper_workloads_build() {
+        for d in paper_workloads() {
+            assert!(!d.is_empty());
+            assert!(d.total_macs(1) > 0, "{} has zero MACs", d.name());
+            assert_eq!(d.inputs().len(), 1, "{} should have one input", d.name());
+        }
+    }
+
+    #[test]
+    fn by_name_resolves_paper_abbreviations() {
+        for n in [
+            "RN-50", "RNX", "IRes", "PNas", "TF", "TF-Large", "GN", "DN-121", "MBV2", "VGG",
+        ] {
+            assert!(by_name(n).is_some(), "{n} not found");
+        }
+        assert!(by_name("alexnet").is_none());
+    }
+
+    #[test]
+    fn every_zoo_graph_is_topologically_ordered() {
+        for d in
+            [resnet50(), resnext50(), inception_resnet_v1(), pnasnet(), transformer_base(), googlenet()]
+        {
+            for id in d.ids() {
+                for p in d.preds(id) {
+                    assert!(p < &id, "{}: pred {p} not before {id}", d.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_resnet_shape() {
+        let d = tiny_resnet();
+        let out = d.outputs();
+        assert_eq!(out.len(), 1);
+        assert_eq!(d.layer(out[0]).ofmap.c, 10);
+    }
+}

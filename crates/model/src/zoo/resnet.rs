@@ -1,0 +1,108 @@
+//! ResNet-50 and ResNeXt-50 (32x4d) builders.
+//!
+//! Both use the standard 224x224x3 ImageNet input and the classic
+//! bottleneck residual structure the paper singles out as "prevalent in
+//! many DNNs" (Sec. VI-A3).
+
+use crate::graph::{Dnn, LayerId};
+use crate::region::FmapShape;
+
+use super::Net;
+
+/// Bottleneck residual block: 1x1 reduce, 3x3 (optionally grouped), 1x1
+/// expand, plus a projection shortcut when shape changes.
+fn bottleneck(
+    n: &mut Net,
+    name: &str,
+    from: LayerId,
+    mid: u32,
+    out: u32,
+    stride: u32,
+    groups: u32,
+) -> LayerId {
+    let c1 = n.conv(&format!("{name}_1x1a"), from, mid, 1, 1, 0);
+    let c2 = n.conv_g(&format!("{name}_3x3"), c1, mid, (3, 3), stride, (1, 1), groups);
+    let c3 = n.conv(&format!("{name}_1x1b"), c2, out, 1, 1, 0);
+    let short = if stride != 1 || n.shape(from).c != out {
+        n.conv(&format!("{name}_proj"), from, out, 1, stride, 0)
+    } else {
+        from
+    };
+    n.eltwise(&format!("{name}_add"), &[c3, short])
+}
+
+fn resnet_like(name: &str, mid_base: u32, groups: u32) -> Dnn {
+    let mut n = Net::new(name);
+    let x = n.input(FmapShape::new(224, 224, 3));
+    let c1 = n.conv("conv1", x, 64, 7, 2, 3);
+    let mut cur = n.maxpool("pool1", c1, 3, 2, 1);
+
+    // (blocks, mid, out, first-stride) per stage.
+    let stages = [(3u32, mid_base, 256u32, 1u32), (4, mid_base * 2, 512, 2), (6, mid_base * 4, 1024, 2), (3, mid_base * 8, 2048, 2)];
+    for (si, &(blocks, mid, out, stride0)) in stages.iter().enumerate() {
+        for bi in 0..blocks {
+            let stride = if bi == 0 { stride0 } else { 1 };
+            cur = bottleneck(&mut n, &format!("s{}b{}", si + 2, bi), cur, mid, out, stride, groups);
+        }
+    }
+    let gap = n.global_avgpool("gap", cur);
+    n.fc("fc", gap, 1000);
+    n.build()
+}
+
+/// ResNet-50 at 224x224 (~4.1 GMACs, ~25M params).
+pub fn resnet50() -> Dnn {
+    resnet_like("rn-50", 64, 1)
+}
+
+/// ResNeXt-50 32x4d at 224x224: doubled bottleneck width with 32 groups
+/// (~4.2 GMACs).
+pub fn resnext50() -> Dnn {
+    resnet_like("rnx", 128, 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn resnet50_layer_census() {
+        let d = resnet50();
+        let convs = d
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv(_)))
+            .count();
+        // 1 stem + 16 blocks x 3 + 4 projections = 53 convs.
+        assert_eq!(convs, 53);
+        let adds = d
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Eltwise { .. }))
+            .count();
+        assert_eq!(adds, 16);
+    }
+
+    #[test]
+    fn resnet50_final_fmap_is_7x7() {
+        let d = resnet50();
+        let last_add = d
+            .ids()
+            .filter(|&i| matches!(d.layer(i).kind, LayerKind::Eltwise { .. }))
+            .last()
+            .unwrap();
+        let s = d.layer(last_add).ofmap;
+        assert_eq!((s.h, s.w, s.c), (7, 7, 2048));
+    }
+
+    #[test]
+    fn resnext_has_grouped_convs() {
+        let d = resnext50();
+        let grouped = d
+            .layers()
+            .iter()
+            .any(|l| matches!(l.kind, LayerKind::Conv(p) if p.groups == 32));
+        assert!(grouped);
+    }
+}

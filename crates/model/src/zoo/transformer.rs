@@ -1,0 +1,120 @@
+//! Transformer encoder builders.
+//!
+//! The paper uses the Transformer (Vaswani et al.) as its default DSE
+//! workload. An encoder layer is expressed with 1x1 convolutions for the
+//! token-wise projections (the sequence is laid out along the fmap height
+//! dimension) and activation-operand matmuls for Q.K^T and A.V — the
+//! latter create the core-to-core flows whose congestion Fig. 9 studies.
+//!
+//! Heads are folded into a single attention map (documented substitution:
+//! per-head maps would multiply attention-map volume by the head count
+//! but do not change the mapping structure).
+
+use crate::graph::Dnn;
+use crate::layer::{ActKind, MatmulOperand};
+use crate::region::FmapShape;
+
+use super::Net;
+
+/// Builds an encoder-only Transformer.
+///
+/// `seq` tokens of width `d_model`, `n_layers` encoder layers with an
+/// FFN of width `d_ff`.
+pub fn transformer_with(name: &str, seq: u32, d_model: u32, d_ff: u32, n_layers: u32) -> Dnn {
+    let mut n = Net::new(name);
+    let mut cur = n.input(FmapShape::new(seq, 1, d_model));
+
+    for li in 0..n_layers {
+        let p = |s: &str| format!("l{li}_{s}");
+        let q = n.conv(&p("q"), cur, d_model, 1, 1, 0);
+        let k = n.conv(&p("k"), cur, d_model, 1, 1, 0);
+        let v = n.conv(&p("v"), cur, d_model, 1, 1, 0);
+        // Scores = Q.K^T : (seq x seq), reduction over d_model.
+        let scores = n.matmul(&p("qkt"), q, k, MatmulOperand::ActRowSlice, FmapShape::new(seq, 1, seq));
+        let probs = n.activation(&p("softmax"), scores, ActKind::Softmax);
+        // Context = A.V : (seq x d_model), reduction over seq.
+        let ctx = n.matmul(&p("av"), probs, v, MatmulOperand::ActChanSlice, FmapShape::new(seq, 1, d_model));
+        let proj = n.conv(&p("proj"), ctx, d_model, 1, 1, 0);
+        let add1 = n.eltwise(&p("add1"), &[proj, cur]);
+        let ln1 = n.activation(&p("ln1"), add1, ActKind::LayerNorm);
+        let ff1 = n.conv(&p("ff1"), ln1, d_ff, 1, 1, 0);
+        let ff2 = n.conv(&p("ff2"), ff1, d_model, 1, 1, 0);
+        let add2 = n.eltwise(&p("add2"), &[ff2, ln1]);
+        cur = n.activation(&p("ln2"), add2, ActKind::LayerNorm);
+    }
+    n.build()
+}
+
+/// Transformer base: 6 layers, d_model 512, d_ff 2048, 128-token
+/// sequences (the paper's default DSE workload, "TF").
+pub fn transformer_base() -> Dnn {
+    transformer_with("tf", 128, 512, 2048, 6)
+}
+
+/// Transformer large: 6 layers, d_model 1024, d_ff 4096 ("TF-Large" of
+/// Fig. 8).
+pub fn transformer_large() -> Dnn {
+    transformer_with("tf-large", 128, 1024, 4096, 6)
+}
+
+/// BERT-base encoder: 12 layers, d_model 768, d_ff 3072, 128-token
+/// sequences — the language-model workload class the paper's intro
+/// motivates (BERT is its citation [10]).
+pub fn bert_base() -> Dnn {
+    transformer_with("bert-base", 128, 768, 3072, 12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn encoder_layer_census() {
+        let d = transformer_base();
+        // Input + 6 layers x 13 ops.
+        assert_eq!(d.len(), 1 + 6 * 13);
+    }
+
+    #[test]
+    fn attention_shapes() {
+        let d = transformer_base();
+        let scores = d.layers().iter().find(|l| l.name == "l0_qkt").unwrap();
+        assert_eq!((scores.ofmap.h, scores.ofmap.c), (128, 128));
+        let ctx = d.layers().iter().find(|l| l.name == "l0_av").unwrap();
+        assert_eq!((ctx.ofmap.h, ctx.ofmap.c), (128, 512));
+    }
+
+    #[test]
+    fn ffn_dominates_weights() {
+        let d = transformer_base();
+        let ffn_w: u64 = d
+            .layers()
+            .iter()
+            .filter(|l| l.name.contains("ff"))
+            .map(|l| l.weight_bytes())
+            .sum();
+        assert!(ffn_w * 2 > d.total_weight_bytes(), "FFN should hold >half the weights");
+    }
+
+    #[test]
+    fn large_is_larger() {
+        let b = transformer_base();
+        let l = transformer_large();
+        assert!(l.total_macs(1) > 3 * b.total_macs(1));
+    }
+
+    #[test]
+    fn matmul_reductions_correct() {
+        let d = transformer_base();
+        for l in d.layers() {
+            if let LayerKind::Matmul { k_dim, operand } = &l.kind {
+                match operand {
+                    MatmulOperand::ActRowSlice => assert_eq!(*k_dim, 512),
+                    MatmulOperand::ActChanSlice => assert_eq!(*k_dim, 128),
+                    MatmulOperand::Weight => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Network-traffic heatmaps (Fig. 9 of the paper).
+//!
+//! A [`Heatmap`] is a geometry-annotated snapshot of a [`TrafficMap`]:
+//! each entry carries the endpoint coordinates (DRAM ports sit just off
+//! the grid edge), the link kind, the raw bytes and the *pressure* —
+//! bytes scaled by the bandwidth ratio relative to an on-chip link, which
+//! is how the paper's figure displays D2D links ("we double the data
+//! volume on it to display the bandwidth pressure more clearly" when D2D
+//! bandwidth is half the NoC's).
+
+use serde::{Deserialize, Serialize};
+
+use crate::network::{LinkKind, Network, NodeId};
+use crate::traffic::TrafficMap;
+
+/// One link of the heatmap.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeatmapEntry {
+    /// Source position; DRAM ports are rendered one step off-grid.
+    pub from: (i32, i32),
+    /// Destination position.
+    pub to: (i32, i32),
+    /// Link kind.
+    pub kind: LinkKind,
+    /// Raw bytes carried.
+    pub bytes: f64,
+    /// Bandwidth-normalized pressure (`bytes * noc_bw / link_bw`).
+    pub pressure: f64,
+}
+
+/// A full traffic heatmap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Heatmap {
+    /// Grid dimensions (x, y).
+    pub grid: (u32, u32),
+    /// All loaded links.
+    pub entries: Vec<HeatmapEntry>,
+}
+
+fn node_pos(n: NodeId, grid_x: u32) -> (i32, i32) {
+    match n {
+        NodeId::Core(c) => (c.x as i32, c.y as i32),
+        NodeId::DramPort { at, .. } => {
+            // Ports render one step outside the grid on their edge.
+            if at.x == 0 {
+                (-1, at.y as i32)
+            } else if at.x as u32 == grid_x - 1 {
+                (grid_x as i32, at.y as i32)
+            } else {
+                (at.x as i32, -1)
+            }
+        }
+    }
+}
+
+impl Heatmap {
+    /// Builds a heatmap from accumulated traffic.
+    pub fn build(net: &Network, traffic: &TrafficMap) -> Self {
+        let noc_bw = net.arch().noc_bw();
+        let grid = (net.arch().x_cores(), net.arch().y_cores());
+        let entries = traffic
+            .iter_loaded()
+            .map(|(id, bytes)| {
+                let l = net.link(id);
+                HeatmapEntry {
+                    from: node_pos(l.from, grid.0),
+                    to: node_pos(l.to, grid.0),
+                    kind: l.kind,
+                    bytes,
+                    pressure: bytes * noc_bw / l.bw,
+                }
+            })
+            .collect();
+        Self { grid, entries }
+    }
+
+    /// Peak pressure over all links (the "reddest" link of Fig. 9).
+    pub fn peak_pressure(&self) -> f64 {
+        self.entries.iter().map(|e| e.pressure).fold(0.0, f64::max)
+    }
+
+    /// Number of links whose pressure exceeds `frac` of the peak.
+    pub fn hot_links(&self, frac: f64) -> usize {
+        let peak = self.peak_pressure();
+        if peak == 0.0 {
+            return 0;
+        }
+        self.entries.iter().filter(|e| e.pressure >= frac * peak).count()
+    }
+
+    /// CSV rows: `from_x,from_y,to_x,to_y,kind,bytes,pressure`.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("from_x,from_y,to_x,to_y,kind,bytes,pressure\n");
+        for e in &self.entries {
+            let kind = match e.kind {
+                LinkKind::Noc => "noc",
+                LinkKind::D2d => "d2d",
+                LinkKind::DramInj(_) => "dram_rd",
+                LinkKind::DramEj(_) => "dram_wr",
+            };
+            s.push_str(&format!(
+                "{},{},{},{},{},{:.0},{:.0}\n",
+                e.from.0, e.from.1, e.to.0, e.to.1, kind, e.bytes, e.pressure
+            ));
+        }
+        s
+    }
+
+    /// A coarse ASCII rendering: one cell per core showing the local
+    /// pressure as a digit 0-9 relative to the peak (for terminal
+    /// inspection of Fig.-9-style results).
+    pub fn render_ascii(&self) -> String {
+        let (gx, gy) = self.grid;
+        let peak = self.peak_pressure().max(1.0);
+        let mut load = vec![0.0f64; (gx * gy) as usize];
+        for e in &self.entries {
+            for &(x, y) in &[e.from, e.to] {
+                if x >= 0 && y >= 0 && (x as u32) < gx && (y as u32) < gy {
+                    load[(y as u32 * gx + x as u32) as usize] += e.pressure / 2.0;
+                }
+            }
+        }
+        let peak_cell = load.iter().cloned().fold(0.0, f64::max).max(peak / 10.0);
+        let mut s = String::new();
+        for y in 0..gy {
+            for x in 0..gx {
+                let v = load[(y * gx + x) as usize] / peak_cell;
+                let d = (v * 9.0).round().min(9.0) as u32;
+                s.push_str(&format!("{d} "));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use gemini_arch::presets;
+
+    fn loaded_heatmap() -> Heatmap {
+        let arch = presets::g_arch_72();
+        let net = Network::new(&arch);
+        let mut t = TrafficMap::new(&net);
+        let mut p = Vec::new();
+        net.route_cores(arch.core_at(0, 0), arch.core_at(5, 0), &mut p);
+        t.add_path(&p, 1000.0);
+        Heatmap::build(&net, &t)
+    }
+
+    #[test]
+    fn d2d_pressure_is_scaled() {
+        let h = loaded_heatmap();
+        // NoC 32 GB/s, D2D 16 GB/s: the D2D link shows 2x pressure.
+        let d2d = h.entries.iter().find(|e| e.kind.is_d2d()).unwrap();
+        assert_eq!(d2d.bytes, 1000.0);
+        assert_eq!(d2d.pressure, 2000.0);
+        assert_eq!(h.peak_pressure(), 2000.0);
+    }
+
+    #[test]
+    fn hot_links_counts_near_peak() {
+        let h = loaded_heatmap();
+        assert_eq!(h.hot_links(0.9), 1, "only the D2D link is at peak");
+        assert_eq!(h.hot_links(0.4), h.entries.len());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let h = loaded_heatmap();
+        let csv = h.to_csv();
+        assert!(csv.starts_with("from_x,from_y"));
+        assert_eq!(csv.lines().count(), 1 + h.entries.len());
+        assert!(csv.contains("d2d"));
+    }
+
+    #[test]
+    fn ascii_renders_grid() {
+        let h = loaded_heatmap();
+        let art = h.render_ascii();
+        assert_eq!(art.lines().count(), 6);
+    }
+
+    #[test]
+    fn dram_ports_render_off_grid() {
+        let arch = presets::g_arch_72();
+        let net = Network::new(&arch);
+        let mut t = TrafficMap::new(&net);
+        let mut scratch = Vec::new();
+        net.for_each_dram_read_path(0, arch.core_at(2, 2), &mut scratch, |_| {});
+        // Load the last computed path (port 5 -> core).
+        t.add_path(&scratch, 64.0);
+        let h = Heatmap::build(&net, &t);
+        assert!(h.entries.iter().any(|e| e.from.0 == -1), "west DRAM port at x=-1");
+    }
+}

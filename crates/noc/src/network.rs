@@ -1,0 +1,491 @@
+//! Link enumeration and routing.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use gemini_arch::{ArchConfig, Coord, CoreId, Topology};
+
+/// A node of the interconnect: a core router or a DRAM-controller port
+/// inside an IO chiplet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeId {
+    /// Router of the core at the given coordinate.
+    Core(Coord),
+    /// Port `slot` of DRAM controller `dram`, adjacent to edge core `at`.
+    DramPort {
+        /// DRAM stack index.
+        dram: u32,
+        /// The edge-core coordinate the port attaches to.
+        at: Coord,
+    },
+}
+
+/// Identifier of a directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The index as `usize`.
+    pub fn idx(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Physical nature of a link, which determines its bandwidth and energy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// On-chip NoC link.
+    Noc,
+    /// Die-to-die link (crosses a chiplet boundary).
+    D2d,
+    /// DRAM controller to edge router (read injection).
+    DramInj(u32),
+    /// Edge router to DRAM controller (write ejection).
+    DramEj(u32),
+}
+
+impl LinkKind {
+    /// Whether this link is a D2D interface.
+    pub fn is_d2d(&self) -> bool {
+        matches!(self, LinkKind::D2d)
+    }
+}
+
+/// A directed link of the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Physical kind.
+    pub kind: LinkKind,
+    /// Bandwidth in GB/s.
+    pub bw: f64,
+}
+
+/// The interconnect of one architecture: all links plus routing.
+#[derive(Debug, Clone)]
+pub struct Network {
+    arch: ArchConfig,
+    links: Vec<Link>,
+    /// Right-going and left-going horizontal mesh links, indexed by
+    /// (x, y) of the *source*: `h_links[dir][y * x_cores + x]`.
+    h_right: Vec<u32>,
+    h_left: Vec<u32>,
+    v_down: Vec<u32>,
+    v_up: Vec<u32>,
+    /// Wrap links for the torus: per row (right-to-0 and back), per col.
+    wrap_h: HashMap<(u32, bool), u32>,
+    wrap_v: HashMap<(u32, bool), u32>,
+    /// Injection/ejection link ids per DRAM per port.
+    dram_inj: Vec<Vec<u32>>,
+    dram_ej: Vec<Vec<u32>>,
+    /// DRAM port coordinates, cached from the arch.
+    dram_ports: Vec<Vec<Coord>>,
+}
+
+const NO_LINK: u32 = u32::MAX;
+
+impl Network {
+    /// Builds the interconnect for an architecture.
+    pub fn new(arch: &ArchConfig) -> Self {
+        let x = arch.x_cores();
+        let y = arch.y_cores();
+        let n = (x * y) as usize;
+        let mut links = Vec::new();
+        let mut h_right = vec![NO_LINK; n];
+        let mut h_left = vec![NO_LINK; n];
+        let mut v_down = vec![NO_LINK; n];
+        let mut v_up = vec![NO_LINK; n];
+        let mut wrap_h = HashMap::new();
+        let mut wrap_v = HashMap::new();
+
+        let core = |cx: u32, cy: u32| NodeId::Core(Coord::new(cx as u16, cy as u16));
+        let push = |links: &mut Vec<Link>, from, to, kind, bw| -> u32 {
+            let id = links.len() as u32;
+            links.push(Link { from, to, kind, bw });
+            id
+        };
+        let hkind = |cx: u32| if arch.is_d2d_h(cx) { LinkKind::D2d } else { LinkKind::Noc };
+        let vkind = |cy: u32| if arch.is_d2d_v(cy) { LinkKind::D2d } else { LinkKind::Noc };
+        let bw_of = |k: LinkKind| match k {
+            LinkKind::D2d => arch.d2d_bw(),
+            _ => arch.noc_bw(),
+        };
+
+        for cy in 0..y {
+            for cx in 0..x {
+                let i = (cy * x + cx) as usize;
+                if cx + 1 < x {
+                    let k = hkind(cx);
+                    h_right[i] = push(&mut links, core(cx, cy), core(cx + 1, cy), k, bw_of(k));
+                    h_left[(cy * x + cx + 1) as usize] =
+                        push(&mut links, core(cx + 1, cy), core(cx, cy), k, bw_of(k));
+                }
+                if cy + 1 < y {
+                    let k = vkind(cy);
+                    v_down[i] = push(&mut links, core(cx, cy), core(cx, cy + 1), k, bw_of(k));
+                    v_up[((cy + 1) * x + cx) as usize] =
+                        push(&mut links, core(cx, cy + 1), core(cx, cy), k, bw_of(k));
+                }
+            }
+        }
+
+        if arch.topology() == Topology::FoldedTorus && x > 1 {
+            for cy in 0..y {
+                let k = if arch.xcut() > 1 { LinkKind::D2d } else { LinkKind::Noc };
+                let f = push(&mut links, core(x - 1, cy), core(0, cy), k, bw_of(k));
+                let b = push(&mut links, core(0, cy), core(x - 1, cy), k, bw_of(k));
+                wrap_h.insert((cy, true), f);
+                wrap_h.insert((cy, false), b);
+            }
+        }
+        if arch.topology() == Topology::FoldedTorus && y > 1 {
+            for cx in 0..x {
+                let k = if arch.ycut() > 1 { LinkKind::D2d } else { LinkKind::Noc };
+                let f = push(&mut links, core(cx, y - 1), core(cx, 0), k, bw_of(k));
+                let b = push(&mut links, core(cx, 0), core(cx, y - 1), k, bw_of(k));
+                wrap_v.insert((cx, true), f);
+                wrap_v.insert((cx, false), b);
+            }
+        }
+
+        let mut dram_inj = Vec::new();
+        let mut dram_ej = Vec::new();
+        let mut dram_ports = Vec::new();
+        for d in 0..arch.dram_count() {
+            let ports = arch.dram_ports(d);
+            let mut inj = Vec::new();
+            let mut ej = Vec::new();
+            for &p in &ports {
+                let pn = NodeId::DramPort { dram: d, at: p };
+                inj.push(push(&mut links, pn, NodeId::Core(p), LinkKind::DramInj(d), arch.noc_bw()));
+                ej.push(push(&mut links, NodeId::Core(p), pn, LinkKind::DramEj(d), arch.noc_bw()));
+            }
+            dram_inj.push(inj);
+            dram_ej.push(ej);
+            dram_ports.push(ports);
+        }
+
+        Self {
+            arch: arch.clone(),
+            links,
+            h_right,
+            h_left,
+            v_down,
+            v_up,
+            wrap_h,
+            wrap_v,
+            dram_inj,
+            dram_ej,
+            dram_ports,
+        }
+    }
+
+    /// The architecture this network belongs to.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// Number of directed links.
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Link metadata.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.idx()]
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    fn idx_of(&self, cx: u32, cy: u32) -> usize {
+        (cy * self.arch.x_cores() + cx) as usize
+    }
+
+    /// Appends the XY (mesh) or dimension-order (torus) route from one
+    /// core to another onto `out`. Routing is X-first, matching the
+    /// paper's Fig.-9 discussion of XY routing.
+    pub fn route_cores(&self, from: CoreId, to: CoreId, out: &mut Vec<LinkId>) {
+        let a = self.arch.coord(from);
+        let b = self.arch.coord(to);
+        self.route_coords(a, b, out);
+    }
+
+    fn route_coords(&self, a: Coord, b: Coord, out: &mut Vec<LinkId>) {
+        let torus = self.arch.topology() == Topology::FoldedTorus;
+        let x_len = self.arch.x_cores();
+        let y_len = self.arch.y_cores();
+        // X leg.
+        let (mut cx, cy) = (a.x as u32, a.y as u32);
+        let tx = b.x as u32;
+        while cx != tx {
+            let fwd_dist = (tx + x_len - cx) % x_len;
+            let bwd_dist = (cx + x_len - tx) % x_len;
+            let go_fwd = if torus { fwd_dist <= bwd_dist } else { cx < tx };
+            if go_fwd {
+                if cx + 1 == x_len {
+                    out.push(LinkId(self.wrap_h[&(cy, true)]));
+                    cx = 0;
+                } else {
+                    out.push(LinkId(self.h_right[self.idx_of(cx, cy)]));
+                    cx += 1;
+                }
+            } else if cx == 0 {
+                out.push(LinkId(self.wrap_h[&(cy, false)]));
+                cx = x_len - 1;
+            } else {
+                out.push(LinkId(self.h_left[self.idx_of(cx, cy)]));
+                cx -= 1;
+            }
+        }
+        // Y leg.
+        let mut cyy = cy;
+        let ty = b.y as u32;
+        while cyy != ty {
+            let fwd_dist = (ty + y_len - cyy) % y_len;
+            let bwd_dist = (cyy + y_len - ty) % y_len;
+            let go_fwd = if torus { fwd_dist <= bwd_dist } else { cyy < ty };
+            if go_fwd {
+                if cyy + 1 == y_len {
+                    out.push(LinkId(self.wrap_v[&(cx, true)]));
+                    cyy = 0;
+                } else {
+                    out.push(LinkId(self.v_down[self.idx_of(cx, cyy)]));
+                    cyy += 1;
+                }
+            } else if cyy == 0 {
+                out.push(LinkId(self.wrap_v[&(cx, false)]));
+                cyy = y_len - 1;
+            } else {
+                out.push(LinkId(self.v_up[self.idx_of(cx, cyy)]));
+                cyy -= 1;
+            }
+        }
+    }
+
+    /// Coordinates of the ports of DRAM `d`.
+    pub fn dram_port_coords(&self, d: u32) -> &[Coord] {
+        &self.dram_ports[d as usize]
+    }
+
+    /// Visits each port of DRAM `d` with the read path (DRAM -> core)
+    /// into `scratch`; the callback receives the per-port path. The
+    /// caller divides volume across ports, matching the template's
+    /// multi-router DRAM attachment.
+    pub fn for_each_dram_read_path(
+        &self,
+        d: u32,
+        to: CoreId,
+        scratch: &mut Vec<LinkId>,
+        mut f: impl FnMut(&[LinkId]),
+    ) {
+        let ports = &self.dram_ports[d as usize];
+        for (i, &p) in ports.iter().enumerate() {
+            scratch.clear();
+            scratch.push(LinkId(self.dram_inj[d as usize][i]));
+            self.route_coords(p, self.arch.coord(to), scratch);
+            f(scratch);
+        }
+    }
+
+    /// Like [`Self::for_each_dram_read_path`] but for writes
+    /// (core -> DRAM).
+    pub fn for_each_dram_write_path(
+        &self,
+        from: CoreId,
+        d: u32,
+        scratch: &mut Vec<LinkId>,
+        mut f: impl FnMut(&[LinkId]),
+    ) {
+        let ports = &self.dram_ports[d as usize];
+        for (i, &p) in ports.iter().enumerate() {
+            scratch.clear();
+            self.route_coords(self.arch.coord(from), p, scratch);
+            scratch.push(LinkId(self.dram_ej[d as usize][i]));
+            f(scratch);
+        }
+    }
+
+    /// Multicast tree from one core to many: the union of the unicast XY
+    /// paths with each link counted once. Returns the deduplicated link
+    /// set in `out`.
+    pub fn multicast_cores(&self, from: CoreId, tos: &[CoreId], out: &mut Vec<LinkId>) {
+        out.clear();
+        let mut seen = std::collections::HashSet::new();
+        let mut path = Vec::new();
+        for &t in tos {
+            if t == from {
+                continue;
+            }
+            path.clear();
+            self.route_cores(from, t, &mut path);
+            for &l in &path {
+                if seen.insert(l) {
+                    out.push(l);
+                }
+            }
+        }
+    }
+
+    /// Multicast tree from one DRAM port set to many cores (per-port
+    /// trees; callback gets each port's deduplicated tree so the caller
+    /// can divide volume by port count).
+    pub fn multicast_from_dram(
+        &self,
+        d: u32,
+        tos: &[CoreId],
+        out: &mut Vec<LinkId>,
+        mut f: impl FnMut(&[LinkId]),
+    ) {
+        let ports: Vec<Coord> = self.dram_ports[d as usize].clone();
+        let mut seen = std::collections::HashSet::new();
+        let mut path = Vec::new();
+        for (i, &p) in ports.iter().enumerate() {
+            out.clear();
+            seen.clear();
+            let inj = LinkId(self.dram_inj[d as usize][i]);
+            seen.insert(inj);
+            out.push(inj);
+            for &t in tos {
+                path.clear();
+                self.route_coords(p, self.arch.coord(t), &mut path);
+                for &l in &path {
+                    if seen.insert(l) {
+                        out.push(l);
+                    }
+                }
+            }
+            f(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_arch::presets;
+
+    fn mesh() -> (ArchConfig, Network) {
+        let a = presets::g_arch_72();
+        let n = Network::new(&a);
+        (a, n)
+    }
+
+    #[test]
+    fn link_count_mesh() {
+        let (a, n) = mesh();
+        let x = a.x_cores();
+        let y = a.y_cores();
+        // Directed mesh links + 2 DRAMs x 6 ports x (inj+ej).
+        let mesh_links = 2 * (x - 1) * y + 2 * (y - 1) * x;
+        let dram_links = 2 * 2 * 6;
+        assert_eq!(n.n_links() as u32, mesh_links + dram_links);
+    }
+
+    #[test]
+    fn xy_route_shape() {
+        let (a, n) = mesh();
+        let mut p = Vec::new();
+        n.route_cores(a.core_at(1, 1), a.core_at(4, 3), &mut p);
+        assert_eq!(p.len(), 3 + 2);
+        // X leg first: the first three links are horizontal.
+        for l in &p[..3] {
+            let link = n.link(*l);
+            if let (NodeId::Core(f), NodeId::Core(t)) = (link.from, link.to) {
+                assert_eq!(f.y, t.y, "X leg must stay in the row");
+            } else {
+                panic!("expected core-to-core link");
+            }
+        }
+    }
+
+    #[test]
+    fn route_self_is_empty() {
+        let (a, n) = mesh();
+        let mut p = Vec::new();
+        n.route_cores(a.core_at(2, 2), a.core_at(2, 2), &mut p);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn d2d_links_on_cut_boundary() {
+        // g_arch_72 has xcut=2 on a 6-wide grid: links between columns 2
+        // and 3 are D2D.
+        let (a, n) = mesh();
+        let mut p = Vec::new();
+        n.route_cores(a.core_at(2, 0), a.core_at(3, 0), &mut p);
+        assert_eq!(p.len(), 1);
+        assert!(n.link(p[0]).kind.is_d2d());
+        assert_eq!(n.link(p[0]).bw, a.d2d_bw());
+        // Vertical links never cross (ycut=1).
+        p.clear();
+        n.route_cores(a.core_at(0, 2), a.core_at(0, 3), &mut p);
+        assert_eq!(n.link(p[0]).kind, LinkKind::Noc);
+    }
+
+    #[test]
+    fn torus_wraps_shorter_way() {
+        let a = presets::t_arch(); // 12x10 folded torus
+        let n = Network::new(&a);
+        let mut p = Vec::new();
+        // From x=0 to x=11: wrap (1 hop) beats 11 mesh hops.
+        n.route_cores(a.core_at(0, 0), a.core_at(11, 0), &mut p);
+        assert_eq!(p.len(), 1);
+        // From x=0 to x=5: 5 hops, no wrap.
+        p.clear();
+        n.route_cores(a.core_at(0, 0), a.core_at(5, 0), &mut p);
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn monolithic_mesh_has_no_d2d() {
+        let a = ArchConfig::builder().cores(4, 4).cuts(1, 1).build().unwrap();
+        let n = Network::new(&a);
+        assert!(n.links().iter().all(|l| !l.kind.is_d2d()));
+    }
+
+    #[test]
+    fn dram_read_paths_touch_all_ports() {
+        let (a, n) = mesh();
+        let mut scratch = Vec::new();
+        let mut count = 0;
+        n.for_each_dram_read_path(0, a.core_at(3, 3), &mut scratch, |path| {
+            count += 1;
+            assert!(matches!(n.link(path[0]).kind, LinkKind::DramInj(0)));
+        });
+        assert_eq!(count, 6, "DRAM 0 has 6 ports on the west edge");
+    }
+
+    #[test]
+    fn dram_write_paths_end_in_ejection() {
+        let (a, n) = mesh();
+        let mut scratch = Vec::new();
+        n.for_each_dram_write_path(a.core_at(3, 3), 1, &mut scratch, |path| {
+            assert!(matches!(n.link(*path.last().unwrap()).kind, LinkKind::DramEj(1)));
+        });
+    }
+
+    #[test]
+    fn multicast_dedups_shared_prefix() {
+        let (a, n) = mesh();
+        let mut tree = Vec::new();
+        // Two destinations in the same row share the horizontal prefix.
+        n.multicast_cores(a.core_at(0, 0), &[a.core_at(3, 0), a.core_at(3, 1)], &mut tree);
+        // Unicast would be 3 + 4 = 7 links; the tree shares 3.
+        assert_eq!(tree.len(), 4);
+    }
+
+    #[test]
+    fn multicast_excludes_self() {
+        let (a, n) = mesh();
+        let mut tree = Vec::new();
+        n.multicast_cores(a.core_at(2, 2), &[a.core_at(2, 2)], &mut tree);
+        assert!(tree.is_empty());
+    }
+}

@@ -1,0 +1,497 @@
+//! Packet-level (flit-granular) network simulation.
+//!
+//! The evaluator's analytic model treats links independently; the
+//! flow-level simulator ([`crate::flowsim`]) adds max-min fair sharing
+//! but still assumes fluid traffic. This module is the third and most
+//! detailed rung of the validation ladder: a cycle-driven, flit-granular
+//! simulation with finite router queues, credit-style backpressure and
+//! round-robin link arbitration — the mechanisms a real wormhole /
+//! virtual-cut-through NoC exhibits. It exists to *cross-validate* the
+//! cheaper models (see `tests/packetsim_crosscheck.rs`), not to replace
+//! them inside the annealer, where millions of evaluations must stay
+//! cheap.
+//!
+//! Model summary:
+//!
+//! * every flow follows its fixed pre-routed path (XY / dimension-order,
+//!   from [`crate::network::Network`]);
+//! * each link serves whole flits per cycle from a token bucket filled
+//!   at `bandwidth / flit_bytes` flits per cycle (so a 16 GB/s D2D link
+//!   at 1 GHz and 16-byte flits earns one flit per cycle);
+//! * a served flit advances to the next link's input queue only if that
+//!   queue has space (`queue_flits`); otherwise the flit stays and the
+//!   arbiter tries another flow — per-flow skipping approximates
+//!   virtual channels, so head-of-line blocking is per flow, not per
+//!   link;
+//! * flits that arrive during a cycle become eligible the next cycle
+//!   (one-hop-per-cycle forwarding latency).
+//!
+//! # Example
+//!
+//! ```
+//! use gemini_arch::presets;
+//! use gemini_noc::{packetsim::{simulate_packets, PacketSimConfig}, flowsim::Flow, Network};
+//!
+//! let arch = presets::g_arch_72();
+//! let net = Network::new(&arch);
+//! let mut path = Vec::new();
+//! net.route_cores(arch.core_at(0, 0), arch.core_at(2, 0), &mut path);
+//! let flows = vec![Flow { path, bytes: 32_000.0 }];
+//! let r = simulate_packets(&net, &flows, &PacketSimConfig::default());
+//! // 32 kB over 32 GB/s links: ~1 us plus a few cycles of latency.
+//! assert!(r.completion_s >= 1.0e-6 && r.completion_s < 1.2e-6);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::flowsim::Flow;
+use crate::network::{LinkId, Network};
+
+/// Configuration of the packet-level simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketSimConfig {
+    /// Bytes per flit (link word size).
+    pub flit_bytes: f64,
+    /// Input-queue depth per link, in flits.
+    pub queue_flits: u32,
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// Safety bound on simulated cycles (0 = derive from traffic).
+    pub max_cycles: u64,
+}
+
+impl Default for PacketSimConfig {
+    fn default() -> Self {
+        Self { flit_bytes: 16.0, queue_flits: 8, freq_ghz: 1.0, max_cycles: 0 }
+    }
+}
+
+/// Result of a packet-level simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PacketSimResult {
+    /// Time until the last flit ejects (seconds).
+    pub completion_s: f64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Per-flow completion times (seconds), parallel to the input.
+    pub flow_times_s: Vec<f64>,
+    /// Total flit-hops executed.
+    pub flit_hops: u64,
+    /// Whether the safety cycle bound was hit before completion.
+    pub truncated: bool,
+}
+
+/// One (flow, hop) queue entry location.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    flow: u32,
+    hop: u32,
+}
+
+/// Simulates the concurrent flit-level transfer of `flows`.
+///
+/// Flows with empty paths complete at t = 0. Byte counts are rounded up
+/// to whole flits.
+///
+/// # Panics
+///
+/// Panics if `cfg.flit_bytes`, `cfg.queue_flits` or `cfg.freq_ghz` is
+/// not positive.
+pub fn simulate_packets(
+    net: &Network,
+    flows: &[Flow],
+    cfg: &PacketSimConfig,
+) -> PacketSimResult {
+    assert!(cfg.flit_bytes > 0.0, "flit size must be positive");
+    assert!(cfg.queue_flits > 0, "queues must hold at least one flit");
+    assert!(cfg.freq_ghz > 0.0, "frequency must be positive");
+
+    let n_flows = flows.len();
+    let total_flits: Vec<u64> =
+        flows.iter().map(|f| (f.bytes / cfg.flit_bytes).ceil() as u64).collect();
+
+    // Static routing tables: which (flow, hop) entries feed each link.
+    let n_links = net.n_links();
+    let mut entries_on: Vec<Vec<Entry>> = vec![Vec::new(); n_links];
+    for (fi, f) in flows.iter().enumerate() {
+        for (h, l) in f.path.iter().enumerate() {
+            entries_on[l.idx()].push(Entry { flow: fi as u32, hop: h as u32 });
+        }
+    }
+    let active_links: Vec<usize> =
+        (0..n_links).filter(|&l| !entries_on[l].is_empty()).collect();
+
+    // Flits-per-cycle service rate and token bucket per link.
+    let rate: Vec<f64> = (0..n_links)
+        .map(|l| net.link(LinkId(l as u32)).bw / (cfg.flit_bytes * cfg.freq_ghz))
+        .collect();
+    let mut tokens = vec![0.0f64; n_links];
+
+    // Queue state: ready[f][h] flits eligible this cycle at hop h's input,
+    // arrived[f][h] flits that landed this cycle (eligible next cycle).
+    let mut ready: Vec<Vec<u64>> = flows.iter().map(|f| vec![0u64; f.path.len()]).collect();
+    let mut arrived: Vec<Vec<u64>> = ready.clone();
+    let mut link_occ = vec![0u64; n_links];
+    let mut to_inject = total_flits.clone();
+    let mut ejected = vec![0u64; n_flows];
+    let mut done_cycle = vec![0u64; n_flows];
+    let mut rr = vec![0usize; n_links];
+
+    // Empty-path flows (producer == consumer) complete instantly.
+    for (fi, f) in flows.iter().enumerate() {
+        if f.path.is_empty() {
+            ejected[fi] = total_flits[fi];
+            to_inject[fi] = 0;
+        }
+    }
+
+    let max_cycles = if cfg.max_cycles > 0 {
+        cfg.max_cycles
+    } else {
+        // Generous bound: serial drain of every flit over every hop at
+        // the slowest active rate, plus slack.
+        let slowest = active_links
+            .iter()
+            .map(|&l| rate[l])
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-6);
+        let hops: u64 = flows
+            .iter()
+            .zip(&total_flits)
+            .map(|(f, &n)| n * f.path.len() as u64)
+            .sum();
+        ((hops as f64 / slowest) * 4.0) as u64 + 1000
+    };
+
+    let mut cycles = 0u64;
+    let mut flit_hops = 0u64;
+    let mut truncated = false;
+
+    loop {
+        if (0..n_flows).all(|f| ejected[f] >= total_flits[f]) {
+            break;
+        }
+        if cycles >= max_cycles {
+            truncated = true;
+            break;
+        }
+        cycles += 1;
+
+        // Promote last cycle's arrivals.
+        for fi in 0..n_flows {
+            for h in 0..ready[fi].len() {
+                ready[fi][h] += arrived[fi][h];
+                arrived[fi][h] = 0;
+            }
+        }
+
+        // Injection: sources push into hop 0 while the queue has space
+        // (the first link's service rate is the real throttle).
+        for fi in 0..n_flows {
+            if to_inject[fi] == 0 || flows[fi].path.is_empty() {
+                continue;
+            }
+            let l0 = flows[fi].path[0].idx();
+            let space = (cfg.queue_flits as u64).saturating_sub(link_occ[l0]);
+            let n = space.min(to_inject[fi]);
+            if n > 0 {
+                arrived[fi][0] += n;
+                link_occ[l0] += n;
+                to_inject[fi] -= n;
+            }
+        }
+
+        // Service: each active link serves whole flits from its token
+        // bucket, round-robin over its (flow, hop) entries.
+        for &l in &active_links {
+            tokens[l] = (tokens[l] + rate[l]).min(rate[l].ceil().max(1.0) + rate[l]);
+            let mut budget = tokens[l] as u64;
+            if budget == 0 {
+                continue;
+            }
+            let entries = &entries_on[l];
+            let n_e = entries.len();
+            let mut blocked = 0usize;
+            let mut i = rr[l] % n_e;
+            while budget > 0 && blocked < n_e {
+                let Entry { flow, hop } = entries[i];
+                let (fi, h) = (flow as usize, hop as usize);
+                if ready[fi][h] == 0 {
+                    blocked += 1;
+                    i = (i + 1) % n_e;
+                    continue;
+                }
+                // Forward one flit if the downstream queue has space.
+                let last_hop = h + 1 == flows[fi].path.len();
+                let can_move = if last_hop {
+                    true // ejection always sinks
+                } else {
+                    let nl = flows[fi].path[h + 1].idx();
+                    link_occ[nl] < cfg.queue_flits as u64
+                };
+                if !can_move {
+                    blocked += 1;
+                    i = (i + 1) % n_e;
+                    continue;
+                }
+                ready[fi][h] -= 1;
+                link_occ[l] -= 1;
+                budget -= 1;
+                tokens[l] -= 1.0;
+                flit_hops += 1;
+                blocked = 0;
+                if last_hop {
+                    ejected[fi] += 1;
+                    if ejected[fi] == total_flits[fi] {
+                        done_cycle[fi] = cycles;
+                    }
+                } else {
+                    let nl = flows[fi].path[h + 1].idx();
+                    arrived[fi][h + 1] += 1;
+                    link_occ[nl] += 1;
+                }
+                i = (i + 1) % n_e;
+            }
+            rr[l] = i;
+        }
+    }
+
+    let hz = cfg.freq_ghz * 1e9;
+    PacketSimResult {
+        completion_s: cycles as f64 / hz,
+        cycles,
+        flow_times_s: done_cycle.iter().map(|&c| c as f64 / hz).collect(),
+        flit_hops,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowsim::{analytic_bottleneck, simulate_flows};
+    use gemini_arch::presets;
+
+    fn setup() -> (gemini_arch::ArchConfig, Network) {
+        let arch = presets::g_arch_72();
+        (arch.clone(), Network::new(&arch))
+    }
+
+    fn flow(
+        net: &Network,
+        arch: &gemini_arch::ArchConfig,
+        a: (u32, u32),
+        b: (u32, u32),
+        bytes: f64,
+    ) -> Flow {
+        let mut path = Vec::new();
+        net.route_cores(arch.core_at(a.0, a.1), arch.core_at(b.0, b.1), &mut path);
+        Flow { path, bytes }
+    }
+
+    #[test]
+    fn single_flow_matches_bandwidth() {
+        let (arch, net) = setup();
+        // 32 kB over 32 GB/s on-chip links: 1 us of service plus a few
+        // cycles of per-hop latency.
+        let f = flow(&net, &arch, (0, 0), (2, 0), 32_000.0);
+        let r = simulate_packets(&net, &[f.clone()], &PacketSimConfig::default());
+        assert!(!r.truncated);
+        let ideal = analytic_bottleneck(&net, &[f]);
+        assert!(r.completion_s >= ideal, "{} < ideal {}", r.completion_s, ideal);
+        assert!(r.completion_s <= ideal * 1.05 + 20e-9, "{} too slow", r.completion_s);
+    }
+
+    #[test]
+    fn conservation_of_flits() {
+        let (arch, net) = setup();
+        let flows = vec![
+            flow(&net, &arch, (0, 0), (5, 5), 4_096.0),
+            flow(&net, &arch, (5, 0), (0, 5), 8_192.0),
+            flow(&net, &arch, (3, 3), (2, 2), 1_024.0),
+        ];
+        let cfg = PacketSimConfig::default();
+        let r = simulate_packets(&net, &flows, &cfg);
+        assert!(!r.truncated);
+        // Every flit of every flow crosses every hop of its path exactly
+        // once.
+        let expected: u64 = flows
+            .iter()
+            .map(|f| (f.bytes / cfg.flit_bytes).ceil() as u64 * f.path.len() as u64)
+            .sum();
+        assert_eq!(r.flit_hops, expected);
+    }
+
+    #[test]
+    fn shared_link_halves_throughput() {
+        let (arch, net) = setup();
+        // Both flows cross (0,0)->(1,0); fair sharing doubles the time
+        // relative to one flow of the same size.
+        let f1 = flow(&net, &arch, (0, 0), (1, 0), 16_000.0);
+        let f2 = flow(&net, &arch, (0, 0), (2, 0), 16_000.0);
+        let cfg = PacketSimConfig::default();
+        let solo = simulate_packets(&net, &[f1.clone()], &cfg);
+        let both = simulate_packets(&net, &[f1, f2], &cfg);
+        let ratio = both.completion_s / solo.completion_s;
+        assert!(
+            (1.8..2.3).contains(&ratio),
+            "sharing should roughly double completion: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn d2d_bottleneck_dominates() {
+        let (arch, net) = setup();
+        // Crossing the 16 GB/s chiplet cut takes ~2x the on-chip time.
+        let cross = flow(&net, &arch, (2, 0), (3, 0), 16_000.0);
+        let local = flow(&net, &arch, (0, 0), (1, 0), 16_000.0);
+        let cfg = PacketSimConfig::default();
+        let rc = simulate_packets(&net, &[cross], &cfg);
+        let rl = simulate_packets(&net, &[local], &cfg);
+        let ratio = rc.completion_s / rl.completion_s;
+        assert!((1.8..2.2).contains(&ratio), "D2D ratio {ratio}");
+    }
+
+    #[test]
+    fn never_beats_analytic_bound() {
+        let (arch, net) = setup();
+        let mut flows = Vec::new();
+        for x in 0..6u32 {
+            flows.push(flow(&net, &arch, (x, 0), (5 - x, 5), 2_048.0 * (x + 1) as f64));
+        }
+        let r = simulate_packets(&net, &flows, &PacketSimConfig::default());
+        let bound = analytic_bottleneck(&net, &flows);
+        assert!(!r.truncated);
+        assert!(r.completion_s >= bound * (1.0 - 1e-9), "{} < {}", r.completion_s, bound);
+    }
+
+    #[test]
+    fn tracks_flowsim_within_constant_factor() {
+        let (arch, net) = setup();
+        let mut flows = Vec::new();
+        for y in 0..6u32 {
+            flows.push(flow(&net, &arch, (0, y), (5, 5 - y), 4_096.0));
+            flows.push(flow(&net, &arch, (5, y), (0, y), 2_048.0));
+        }
+        let pk = simulate_packets(&net, &flows, &PacketSimConfig::default());
+        let fl = simulate_flows(&net, &flows);
+        assert!(!pk.truncated);
+        let ratio = pk.completion_s / fl.completion_s;
+        assert!(
+            (0.9..3.0).contains(&ratio),
+            "packet {} vs fluid {} (ratio {ratio})",
+            pk.completion_s,
+            fl.completion_s
+        );
+    }
+
+    #[test]
+    fn empty_and_zero_flows_complete_instantly() {
+        let (arch, net) = setup();
+        let r = simulate_packets(
+            &net,
+            &[Flow { path: vec![], bytes: 1e9 }, flow(&net, &arch, (0, 0), (1, 0), 0.0)],
+            &PacketSimConfig::default(),
+        );
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.completion_s, 0.0);
+    }
+
+    #[test]
+    fn tiny_queues_still_drain() {
+        let (arch, net) = setup();
+        let cfg = PacketSimConfig { queue_flits: 1, ..Default::default() };
+        let flows = vec![
+            flow(&net, &arch, (0, 0), (5, 5), 4_096.0),
+            flow(&net, &arch, (5, 5), (0, 0), 4_096.0),
+            flow(&net, &arch, (0, 5), (5, 0), 4_096.0),
+        ];
+        let r = simulate_packets(&net, &flows, &cfg);
+        assert!(!r.truncated, "single-flit queues must not deadlock XY routing");
+    }
+
+    #[test]
+    fn flow_times_bounded_by_completion() {
+        let (arch, net) = setup();
+        let flows = vec![
+            flow(&net, &arch, (0, 0), (3, 3), 1_024.0),
+            flow(&net, &arch, (0, 0), (3, 3), 8_192.0),
+        ];
+        let r = simulate_packets(&net, &flows, &PacketSimConfig::default());
+        for &t in &r.flow_times_s {
+            assert!(t <= r.completion_s + 1e-12);
+        }
+        assert!(r.flow_times_s[0] <= r.flow_times_s[1], "smaller flow finishes first");
+    }
+
+    #[test]
+    fn safety_bound_truncates_pathological_runs() {
+        let (arch, net) = setup();
+        let f = flow(&net, &arch, (0, 0), (5, 5), 1e6);
+        let cfg = PacketSimConfig { max_cycles: 10, ..Default::default() };
+        let r = simulate_packets(&net, &[f], &cfg);
+        assert!(r.truncated);
+        assert_eq!(r.cycles, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "flit size")]
+    fn rejects_zero_flit_size() {
+        let (_, net) = setup();
+        let cfg = PacketSimConfig { flit_bytes: 0.0, ..Default::default() };
+        let _ = simulate_packets(&net, &[], &cfg);
+    }
+
+    #[test]
+    fn folded_torus_wrap_traffic_drains() {
+        // Dimension-order routing on the folded torus uses wrap links
+        // for far-apart pairs; the simulator must drain them and still
+        // conserve flits.
+        let arch = gemini_arch::ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(1, 1)
+            .topology(gemini_arch::Topology::FoldedTorus)
+            .build()
+            .unwrap();
+        let net = Network::new(&arch);
+        let cfg = PacketSimConfig::default();
+        let mut flows = Vec::new();
+        for y in 0..6u32 {
+            let mut path = Vec::new();
+            net.route_cores(arch.core_at(0, y), arch.core_at(5, y), &mut path);
+            flows.push(Flow { path, bytes: 4_096.0 });
+        }
+        let r = simulate_packets(&net, &flows, &cfg);
+        assert!(!r.truncated);
+        let expected: u64 = flows
+            .iter()
+            .map(|f| (f.bytes / cfg.flit_bytes).ceil() as u64 * f.path.len() as u64)
+            .sum();
+        assert_eq!(r.flit_hops, expected);
+        // Torus wrap makes the (0,y) -> (5,y) path at most 3 hops long;
+        // the same pair on a mesh needs 5.
+        assert!(flows.iter().all(|f| f.path.len() <= 3), "wrap routing not used");
+    }
+
+    #[test]
+    fn torus_not_slower_than_mesh_for_edge_pairs() {
+        let mk = |topo| {
+            gemini_arch::ArchConfig::builder()
+                .cores(6, 6)
+                .cuts(1, 1)
+                .topology(topo)
+                .build()
+                .unwrap()
+        };
+        let mesh_arch = mk(gemini_arch::Topology::Mesh);
+        let torus_arch = mk(gemini_arch::Topology::FoldedTorus);
+        let cfg = PacketSimConfig::default();
+        let run = |arch: &gemini_arch::ArchConfig| {
+            let net = Network::new(arch);
+            let mut path = Vec::new();
+            net.route_cores(arch.core_at(0, 0), arch.core_at(5, 0), &mut path);
+            simulate_packets(&net, &[Flow { path, bytes: 16_000.0 }], &cfg).completion_s
+        };
+        assert!(run(&torus_arch) <= run(&mesh_arch));
+    }
+}

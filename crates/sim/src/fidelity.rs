@@ -1,0 +1,276 @@
+//! Packet-level fidelity checking of the analytic network model.
+//!
+//! The evaluator prices one pipeline stage's network time analytically
+//! (busiest link + congestion surcharge); `gemini-noc` provides two
+//! progressively more detailed reference simulators (max-min fluid
+//! flows, then flit-granular packets with finite queues). This module
+//! replays the *actual* flows of a mapped layer group — peer sends and
+//! DRAM transfers from the generated instruction streams — through all
+//! three models and reports the ladder side by side, so users can audit
+//! how faithful the cheap model is for their specific mapping before
+//! trusting a DSE built on it.
+
+use serde::{Deserialize, Serialize};
+
+use gemini_model::Dnn;
+use gemini_noc::flowsim::{analytic_bottleneck, simulate_flows, Flow};
+use gemini_noc::packetsim::{simulate_packets, PacketSimConfig};
+use gemini_noc::TrafficMap;
+
+use crate::evaluate::Evaluator;
+use crate::mapping::{DramSel, GroupMapping};
+use crate::program::{generate_program, Instr};
+
+/// The three-model comparison for one layer group's steady-state stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FidelityReport {
+    /// Per-link bottleneck bound (what a surcharge-free evaluator would
+    /// charge), seconds.
+    pub bottleneck_s: f64,
+    /// The evaluator's analytic network time: bottleneck plus the
+    /// congestion surcharge, seconds.
+    pub analytic_s: f64,
+    /// Max-min fluid completion, seconds.
+    pub fluid_s: f64,
+    /// Flit-granular packet completion, seconds.
+    pub packet_s: f64,
+    /// Flows replayed.
+    pub n_flows: usize,
+    /// Scale factor applied to flow volumes before simulation (1.0 =
+    /// unscaled); times above are already divided back by it.
+    pub scale: f64,
+    /// Whether the packet simulation hit its cycle bound.
+    pub truncated: bool,
+}
+
+impl FidelityReport {
+    /// Packet-model time over the analytic estimate: values near (or
+    /// below) 1 mean the surcharge covers the real queueing; large
+    /// values flag mappings whose contention the analytic model
+    /// underprices.
+    pub fn packet_vs_analytic(&self) -> f64 {
+        if self.analytic_s > 0.0 {
+            self.packet_s / self.analytic_s
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Extracts one steady-state stage's routed flows from a group mapping:
+/// peer sends plus per-round DRAM reads and writes (one-time weight
+/// loads excluded, matching the evaluator's stage accounting).
+pub fn stage_flows(ev: &Evaluator, dnn: &Dnn, gm: &GroupMapping) -> Vec<Flow> {
+    let net = ev.network();
+    let d = ev.arch().dram_count();
+    let prog = generate_program(dnn, gm);
+    let mut flows = Vec::new();
+    let mut tree = Vec::new();
+    let mut scratch = Vec::new();
+
+    let dram_targets = |sel: DramSel, bytes: f64| -> Vec<(u32, f64)> {
+        match sel {
+            DramSel::Specific(i) => vec![(i.min(d - 1), bytes)],
+            DramSel::Interleaved => (0..d).map(|i| (i, bytes / d as f64)).collect(),
+        }
+    };
+
+    for (core, stream) in &prog.streams {
+        for i in stream {
+            match i {
+                Instr::Send { to, bytes, .. } => {
+                    let mut path = Vec::new();
+                    net.route_cores(*core, *to, &mut path);
+                    flows.push(Flow { path, bytes: *bytes as f64 });
+                }
+                Instr::ReadDram { from, bytes, .. } => {
+                    for (dram, v) in dram_targets(*from, *bytes as f64) {
+                        let ports = net.dram_port_coords(dram).len() as f64;
+                        net.multicast_from_dram(dram, std::slice::from_ref(core), &mut tree, |p| {
+                            flows.push(Flow { path: p.to_vec(), bytes: v / ports });
+                        });
+                    }
+                }
+                Instr::WriteDram { to, bytes, .. } => {
+                    for (dram, v) in dram_targets(*to, *bytes as f64) {
+                        let ports = net.dram_port_coords(dram).len() as f64;
+                        net.for_each_dram_write_path(*core, dram, &mut scratch, |p| {
+                            flows.push(Flow { path: p.to_vec(), bytes: v / ports });
+                        });
+                    }
+                }
+                // One-time loads and on-core work are not stage traffic.
+                Instr::LoadWeights { .. } | Instr::Recv { .. } | Instr::Compute { .. } => {}
+            }
+        }
+    }
+    flows
+}
+
+/// Replays one group's stage flows through the analytic, fluid and
+/// packet models.
+///
+/// Volumes above `cap_bytes` total are scaled down proportionally (all
+/// three models are volume-linear, so reported times are scaled back
+/// up; per-hop latency constants make the packet time slightly
+/// conservative at small scales).
+pub fn check_group(
+    ev: &Evaluator,
+    dnn: &Dnn,
+    gm: &GroupMapping,
+    cfg: &PacketSimConfig,
+    cap_bytes: f64,
+) -> FidelityReport {
+    let mut flows = stage_flows(ev, dnn, gm);
+    let total: f64 = flows.iter().map(|f| f.bytes).sum();
+    let scale = if total > cap_bytes && cap_bytes > 0.0 { cap_bytes / total } else { 1.0 };
+    if scale < 1.0 {
+        for f in &mut flows {
+            f.bytes *= scale;
+        }
+    }
+
+    let net = ev.network();
+    let bottleneck = analytic_bottleneck(net, &flows);
+    let mut traffic = TrafficMap::new(net);
+    for f in &flows {
+        traffic.add_path(&f.path, f.bytes);
+    }
+    let analytic =
+        bottleneck + ev.options().congestion_weight * traffic.mean_link_time(net);
+    let fluid = simulate_flows(net, &flows);
+    let packet = simulate_packets(net, &flows, cfg);
+
+    FidelityReport {
+        bottleneck_s: bottleneck / scale,
+        analytic_s: analytic / scale,
+        fluid_s: fluid.completion_s / scale,
+        packet_s: packet.completion_s / scale,
+        n_flows: flows.len(),
+        scale,
+        truncated: packet.truncated,
+    }
+}
+
+/// Checks every group of a mapped DNN (see [`check_group`]).
+pub fn check_dnn(
+    ev: &Evaluator,
+    dnn: &Dnn,
+    gms: &[GroupMapping],
+    cfg: &PacketSimConfig,
+    cap_bytes: f64,
+) -> Vec<FidelityReport> {
+    gms.iter().map(|gm| check_group(ev, dnn, gm, cfg, cap_bytes)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_arch::presets;
+    use gemini_model::zoo;
+    use gemini_model::{split_dim, LayerId, Range1, Region};
+
+    use crate::mapping::{LayerAssignment, PredSrc};
+
+    fn pipeline_mapping(arch: &gemini_arch::ArchConfig) -> (Dnn, GroupMapping) {
+        let dnn = zoo::two_conv_example();
+        let conv1 = LayerId(1);
+        let conv2 = LayerId(2);
+        let s1 = dnn.layer(conv1).ofmap;
+        let s2 = dnn.layer(conv2).ofmap;
+        let gm = GroupMapping {
+            members: vec![
+                LayerAssignment {
+                    layer: conv1,
+                    parts: (0..2)
+                        .map(|k| {
+                            (
+                                arch.core_at(k, 0),
+                                Region::new(
+                                    Range1::full(s1.h),
+                                    Range1::full(s1.w),
+                                    split_dim(s1.c, 2, k),
+                                    Range1::full(1),
+                                ),
+                            )
+                        })
+                        .collect(),
+                    pred_srcs: vec![PredSrc::Dram(DramSel::Specific(0))],
+                    wgt_src: Some(DramSel::Specific(0)),
+                    of_dst: None,
+                },
+                LayerAssignment {
+                    layer: conv2,
+                    parts: vec![(arch.core_at(4, 0), Region::full(s2, 1))],
+                    pred_srcs: vec![PredSrc::InGroup { member_idx: 0 }],
+                    wgt_src: Some(DramSel::Specific(1)),
+                    of_dst: Some(DramSel::Specific(1)),
+                },
+            ],
+            batch_unit: 1,
+        };
+        (dnn, gm)
+    }
+
+    #[test]
+    fn ladder_is_ordered() {
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let (dnn, gm) = pipeline_mapping(&arch);
+        let r = check_group(&ev, &dnn, &gm, &PacketSimConfig::default(), 256e3);
+        assert!(!r.truncated);
+        assert!(r.n_flows > 0);
+        assert!(r.bottleneck_s > 0.0);
+        assert!(r.fluid_s >= r.bottleneck_s * (1.0 - 1e-9));
+        assert!(r.packet_s >= r.fluid_s * (1.0 - 1e-6));
+        assert!(r.analytic_s >= r.bottleneck_s);
+    }
+
+    #[test]
+    fn scaling_keeps_reported_times_stable() {
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let (dnn, gm) = pipeline_mapping(&arch);
+        let cfg = PacketSimConfig::default();
+        let full = check_group(&ev, &dnn, &gm, &cfg, f64::INFINITY);
+        let capped = check_group(&ev, &dnn, &gm, &cfg, full_total(&ev, &dnn, &gm) / 2.0);
+        assert!(capped.scale < 1.0);
+        // Volume-linear models report identical times after rescaling.
+        assert!((full.bottleneck_s - capped.bottleneck_s).abs() / full.bottleneck_s < 1e-9);
+        assert!((full.fluid_s - capped.fluid_s).abs() / full.fluid_s < 1e-6);
+        // The packet model's fixed per-hop latency makes the scaled run
+        // only slightly conservative.
+        assert!((capped.packet_s / full.packet_s - 1.0).abs() < 0.25);
+    }
+
+    fn full_total(ev: &Evaluator, dnn: &Dnn, gm: &GroupMapping) -> f64 {
+        stage_flows(ev, dnn, gm).iter().map(|f| f.bytes).sum()
+    }
+
+    #[test]
+    fn surcharge_tracks_packet_reality() {
+        // On this simple pipeline the analytic estimate must land within
+        // a small factor of the packet-level reference.
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let (dnn, gm) = pipeline_mapping(&arch);
+        let r = check_group(&ev, &dnn, &gm, &PacketSimConfig::default(), 256e3);
+        let ratio = r.packet_vs_analytic();
+        assert!(
+            (0.05..4.0).contains(&ratio),
+            "analytic {} vs packet {} (ratio {ratio})",
+            r.analytic_s,
+            r.packet_s
+        );
+    }
+
+    #[test]
+    fn check_dnn_covers_all_groups() {
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let (dnn, gm) = pipeline_mapping(&arch);
+        let reports = check_dnn(&ev, &dnn, &[gm.clone(), gm], &PacketSimConfig::default(), 64e3);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0], reports[1]);
+    }
+}

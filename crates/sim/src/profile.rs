@@ -1,0 +1,165 @@
+//! Per-core compute/storage resources for the evaluator.
+//!
+//! The homogeneous template gives every core the same PE array and GLB;
+//! the heterogeneous extension (Sec. V-D of the paper, implemented in
+//! [`gemini_arch::hetero`]) varies them per chiplet. [`CoreProfile`]
+//! abstracts over both: it resolves each [`CoreId`] to a memoizing
+//! [`IntraCoreExplorer`] and a GLB capacity, keeping one explorer per
+//! distinct core class so the intra-core memo caches stay shared within
+//! a class.
+
+use gemini_arch::{ArchConfig, CoreId, HeteroSpec};
+use gemini_intracore::{CoreParams, IntraCoreExplorer};
+
+/// Per-core resource resolution for one architecture.
+#[derive(Debug)]
+pub struct CoreProfile {
+    class_of_core: Vec<u8>,
+    explorers: Vec<IntraCoreExplorer>,
+    glbs: Vec<u64>,
+    macs: Vec<u32>,
+}
+
+impl CoreProfile {
+    /// A homogeneous profile using the architecture's own per-core
+    /// parameters.
+    pub fn homogeneous(arch: &ArchConfig) -> Self {
+        Self {
+            class_of_core: vec![0; arch.n_cores() as usize],
+            explorers: vec![IntraCoreExplorer::new(CoreParams::from_arch(
+                arch.macs_per_core(),
+                arch.glb_bytes(),
+            ))],
+            glbs: vec![arch.glb_bytes()],
+            macs: vec![arch.macs_per_core()],
+        }
+    }
+
+    /// A heterogeneous profile following a per-chiplet class assignment.
+    pub fn heterogeneous(arch: &ArchConfig, spec: &HeteroSpec) -> Self {
+        let class_of_core = arch.cores().map(|id| spec.class_of_core(arch, id)).collect();
+        let explorers = spec
+            .classes()
+            .iter()
+            .map(|c| IntraCoreExplorer::new(CoreParams::from_arch(c.macs, c.glb_bytes)))
+            .collect();
+        let glbs = spec.classes().iter().map(|c| c.glb_bytes).collect();
+        let macs = spec.classes().iter().map(|c| c.macs).collect();
+        Self { class_of_core, explorers, glbs, macs }
+    }
+
+    /// Number of distinct core classes.
+    pub fn n_classes(&self) -> usize {
+        self.explorers.len()
+    }
+
+    /// Whether all cores share one class.
+    pub fn is_homogeneous(&self) -> bool {
+        self.n_classes() == 1
+    }
+
+    /// Class index of a core.
+    pub fn class_of(&self, core: CoreId) -> usize {
+        self.class_of_core[core.idx()] as usize
+    }
+
+    /// The intra-core explorer serving a core.
+    pub fn explorer(&self, core: CoreId) -> &IntraCoreExplorer {
+        &self.explorers[self.class_of(core)]
+    }
+
+    /// The explorer of one class (class 0 is the only class on
+    /// homogeneous profiles).
+    pub fn class_explorer(&self, class: usize) -> &IntraCoreExplorer {
+        &self.explorers[class]
+    }
+
+    /// GLB capacity of a core in bytes.
+    pub fn glb_bytes(&self, core: CoreId) -> u64 {
+        self.glbs[self.class_of(core)]
+    }
+
+    /// MACs of a core's PE array.
+    pub fn macs(&self, core: CoreId) -> u32 {
+        self.macs[self.class_of(core)]
+    }
+
+    /// Total memoized intra-core schedules across all classes.
+    pub fn cache_len(&self) -> usize {
+        self.explorers.iter().map(|e| e.cache_len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_arch::{CoreClass, HeteroSpec};
+
+    #[test]
+    fn homogeneous_profile_has_one_class() {
+        let arch = gemini_arch::presets::g_arch_72();
+        let p = CoreProfile::homogeneous(&arch);
+        assert!(p.is_homogeneous());
+        for c in arch.cores() {
+            assert_eq!(p.class_of(c), 0);
+            assert_eq!(p.glb_bytes(c), arch.glb_bytes());
+            assert_eq!(p.macs(c), arch.macs_per_core());
+        }
+    }
+
+    #[test]
+    fn heterogeneous_profile_resolves_by_chiplet() {
+        let arch =
+            gemini_arch::ArchConfig::builder().cores(6, 6).cuts(2, 1).build().unwrap();
+        let spec = HeteroSpec::new(
+            vec![
+                CoreClass { macs: 2048, glb_bytes: 4 << 20 },
+                CoreClass { macs: 512, glb_bytes: 1 << 20 },
+            ],
+            vec![0, 1],
+            &arch,
+        )
+        .unwrap();
+        let p = CoreProfile::heterogeneous(&arch, &spec);
+        assert_eq!(p.n_classes(), 2);
+        assert!(!p.is_homogeneous());
+        assert_eq!(p.macs(arch.core_at(0, 0)), 2048);
+        assert_eq!(p.macs(arch.core_at(5, 0)), 512);
+        assert_eq!(p.glb_bytes(arch.core_at(0, 0)), 4 << 20);
+        assert_eq!(p.glb_bytes(arch.core_at(5, 0)), 1 << 20);
+    }
+
+    #[test]
+    fn class_explorers_are_shared_within_class() {
+        let arch =
+            gemini_arch::ArchConfig::builder().cores(6, 6).cuts(2, 1).build().unwrap();
+        let spec = HeteroSpec::new(
+            vec![
+                CoreClass { macs: 2048, glb_bytes: 4 << 20 },
+                CoreClass { macs: 512, glb_bytes: 1 << 20 },
+            ],
+            vec![0, 1],
+            &arch,
+        )
+        .unwrap();
+        let p = CoreProfile::heterogeneous(&arch, &spec);
+        let wl = gemini_intracore::PartWorkload {
+            h: 8,
+            w: 8,
+            k: 32,
+            b: 1,
+            red_c: 64,
+            kernel_elems: 9,
+            weight_bytes: 9 * 64 * 32,
+            in_bytes: 10 * 10 * 64,
+            vector_ops: 0,
+        };
+        let a = p.explorer(arch.core_at(0, 0)).explore(&wl);
+        let b = p.explorer(arch.core_at(2, 5)).explore(&wl);
+        assert_eq!(a, b, "same class shares the memo");
+        assert_eq!(p.cache_len(), 1, "only the big-core class explored");
+        let c = p.explorer(arch.core_at(5, 0)).explore(&wl);
+        assert!(c.cycles >= a.cycles, "little core cannot be faster");
+        assert_eq!(p.cache_len(), 2);
+    }
+}

@@ -1,0 +1,546 @@
+//! Per-core instruction generation (the "Instruction Gen." output of the
+//! Gemini framework, Fig. 4 of the paper).
+//!
+//! The template's control unit runs "statically-compiled instructions"
+//! (Sec. III). This module lowers an analyzed [`GroupMapping`] into one
+//! instruction stream per core: weight loads, DRAM reads, peer
+//! receives, tile computations, peer sends and DRAM writes, in
+//! dependency order. The streams are what a real deployment would ship
+//! to the accelerator; here they also serve as an executable
+//! specification — `validate_program` replays them against the mapping
+//! to check flow conservation.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use gemini_arch::CoreId;
+use gemini_model::{Dnn, LayerId, Region};
+
+use crate::mapping::{DramSel, GroupMapping, PredSrc};
+
+/// One instruction of a core's static program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Instr {
+    /// Load this core's weight slice of a layer from DRAM.
+    LoadWeights {
+        /// Layer whose weights are loaded.
+        layer: LayerId,
+        /// Source DRAM selector.
+        from: DramSel,
+        /// Bytes.
+        bytes: u64,
+    },
+    /// Read an input region from DRAM (DNN input or a previous group's
+    /// output).
+    ReadDram {
+        /// Consuming layer.
+        layer: LayerId,
+        /// Source DRAM selector.
+        from: DramSel,
+        /// Bytes.
+        bytes: u64,
+    },
+    /// Receive a forwarded region from a peer core.
+    Recv {
+        /// Consuming layer.
+        layer: LayerId,
+        /// Producing core.
+        from: CoreId,
+        /// Bytes.
+        bytes: u64,
+    },
+    /// Compute one partitioned workload (output region of a layer).
+    Compute {
+        /// Layer computed.
+        layer: LayerId,
+        /// Output region produced.
+        region: Region,
+        /// MAC operations.
+        macs: u64,
+    },
+    /// Send a produced region slice to a peer core.
+    Send {
+        /// Producing layer.
+        layer: LayerId,
+        /// Consuming core.
+        to: CoreId,
+        /// Bytes.
+        bytes: u64,
+    },
+    /// Write a produced region to DRAM.
+    WriteDram {
+        /// Producing layer.
+        layer: LayerId,
+        /// Destination DRAM selector.
+        to: DramSel,
+        /// Bytes.
+        bytes: u64,
+    },
+}
+
+impl Instr {
+    /// Bytes moved by this instruction (0 for compute).
+    pub fn bytes(&self) -> u64 {
+        match self {
+            Instr::LoadWeights { bytes, .. }
+            | Instr::ReadDram { bytes, .. }
+            | Instr::Recv { bytes, .. }
+            | Instr::Send { bytes, .. }
+            | Instr::WriteDram { bytes, .. } => *bytes,
+            Instr::Compute { .. } => 0,
+        }
+    }
+}
+
+/// The static program of one layer group: one instruction stream per
+/// participating core, executed once per pipeline round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct GroupProgram {
+    /// Per-core instruction streams (cores absent from the mapping have
+    /// no entry).
+    pub streams: BTreeMap<CoreId, Vec<Instr>>,
+}
+
+impl GroupProgram {
+    /// Number of instructions across all cores.
+    pub fn len(&self) -> usize {
+        self.streams.values().map(|s| s.len()).sum()
+    }
+
+    /// Whether no instructions were generated.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes sent core-to-core (one direction).
+    pub fn peer_bytes(&self) -> u64 {
+        self.streams
+            .values()
+            .flatten()
+            .map(|i| if let Instr::Send { bytes, .. } = i { *bytes } else { 0 })
+            .sum()
+    }
+
+    /// Total DRAM read + written bytes (excluding weight loads).
+    pub fn dram_bytes(&self) -> u64 {
+        self.streams
+            .values()
+            .flatten()
+            .map(|i| match i {
+                Instr::ReadDram { bytes, .. } | Instr::WriteDram { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// Lowers a group mapping into per-core instruction streams.
+///
+/// Instruction order per core follows the group's topological member
+/// order: for each of the core's parts — weight load (first round
+/// only semantics are left to the runtime), input acquisition (DRAM
+/// reads or peer receives), compute, then output distribution (peer
+/// sends deduplicated per consumer core, DRAM writes).
+pub fn generate_program(dnn: &Dnn, gm: &GroupMapping) -> GroupProgram {
+    let mut prog = GroupProgram::default();
+    for m in &gm.members {
+        let layer = dnn.layer(m.layer);
+        for (core, region) in &m.parts {
+            if region.is_empty() {
+                continue;
+            }
+            let stream = prog.streams.entry(*core).or_default();
+            // Weights.
+            if let Some(from) = m.wgt_src {
+                let k_frac = region.k.len() as f64 / layer.ofmap.c as f64;
+                let bytes = (layer.weight_bytes() as f64 * k_frac).round() as u64;
+                if bytes > 0 {
+                    stream.push(Instr::LoadWeights { layer: m.layer, from, bytes });
+                }
+            }
+            // Inputs.
+            for (pi, src) in m.pred_srcs.iter().enumerate() {
+                let need = dnn.input_need(m.layer, pi, region);
+                if need.is_empty() {
+                    continue;
+                }
+                match src {
+                    PredSrc::Dram(from) => {
+                        stream.push(Instr::ReadDram {
+                            layer: m.layer,
+                            from: *from,
+                            bytes: need.bytes(),
+                        });
+                    }
+                    PredSrc::InGroup { member_idx } => {
+                        let producer = &gm.members[*member_idx];
+                        for (pc, pr) in &producer.parts {
+                            let bytes = need.overlap_bytes(pr);
+                            if bytes > 0 && pc != core {
+                                stream.push(Instr::Recv { layer: m.layer, from: *pc, bytes });
+                            }
+                        }
+                    }
+                }
+            }
+            // Compute.
+            stream.push(Instr::Compute {
+                layer: m.layer,
+                region: *region,
+                macs: region.elems() * layer.macs_per_out(),
+            });
+            // Outputs.
+            if let Some(to) = m.of_dst {
+                stream.push(Instr::WriteDram { layer: m.layer, to, bytes: region.bytes() });
+            }
+        }
+    }
+    // Second pass: emit sends mirroring every receive (producer side).
+    let mut sends: Vec<(CoreId, Instr)> = Vec::new();
+    for m in &gm.members {
+        for (pi, src) in m.pred_srcs.iter().enumerate() {
+            let PredSrc::InGroup { member_idx } = src else { continue };
+            let producer = &gm.members[*member_idx];
+            for (core, region) in &m.parts {
+                if region.is_empty() {
+                    continue;
+                }
+                let need = dnn.input_need(m.layer, pi, region);
+                for (pc, pr) in &producer.parts {
+                    let bytes = need.overlap_bytes(pr);
+                    if bytes > 0 && pc != core {
+                        sends.push((
+                            *pc,
+                            Instr::Send { layer: producer.layer, to: *core, bytes },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    for (core, instr) in sends {
+        prog.streams.entry(core).or_default().push(instr);
+    }
+    prog
+}
+
+/// Errors found when replaying a program against its mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A send has no matching receive (or vice versa).
+    UnbalancedFlows {
+        /// Producing core.
+        from: CoreId,
+        /// Consuming core.
+        to: CoreId,
+        /// Sent minus received bytes.
+        imbalance: i64,
+    },
+    /// A core computes a layer the mapping does not assign to it.
+    UnassignedCompute {
+        /// The offending core.
+        core: CoreId,
+        /// The layer.
+        layer: LayerId,
+    },
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::UnbalancedFlows { from, to, imbalance } => {
+                write!(f, "flow {from}->{to} unbalanced by {imbalance} bytes")
+            }
+            ProgramError::UnassignedCompute { core, layer } => {
+                write!(f, "{core} computes unassigned {layer}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// Replays a program against its mapping: every send must match a
+/// receive byte-for-byte, and every compute must correspond to an
+/// assigned part.
+pub fn validate_program(
+    dnn: &Dnn,
+    gm: &GroupMapping,
+    prog: &GroupProgram,
+) -> Result<(), ProgramError> {
+    let _ = dnn;
+    // Pairwise flow balance.
+    let mut flows: BTreeMap<(CoreId, CoreId), i64> = BTreeMap::new();
+    for (core, stream) in &prog.streams {
+        for i in stream {
+            match i {
+                Instr::Send { to, bytes, .. } => {
+                    *flows.entry((*core, *to)).or_default() += *bytes as i64;
+                }
+                Instr::Recv { from, bytes, .. } => {
+                    *flows.entry((*from, *core)).or_default() -= *bytes as i64;
+                }
+                _ => {}
+            }
+        }
+    }
+    for ((from, to), imbalance) in flows {
+        if imbalance != 0 {
+            return Err(ProgramError::UnbalancedFlows { from, to, imbalance });
+        }
+    }
+    // Compute assignments.
+    for (core, stream) in &prog.streams {
+        for i in stream {
+            if let Instr::Compute { layer, region, .. } = i {
+                let assigned = gm.members.iter().any(|m| {
+                    m.layer == *layer
+                        && m.parts.iter().any(|(c, r)| c == core && r == region)
+                });
+                if !assigned {
+                    return Err(ProgramError::UnassignedCompute { core: *core, layer: *layer });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-core replay of one round's instruction stream: compute time
+/// (through the intra-core engine, exactly as the evaluator prices it)
+/// and bytes injected/ejected at the core's NoC port.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CoreReplay {
+    /// Serialized compute seconds of the core's `Compute` instructions.
+    pub compute_s: f64,
+    /// Bytes the stream moves through the core's router (sends +
+    /// receives + DRAM reads/writes; one-time weight loads excluded).
+    pub port_bytes: u64,
+    /// Instructions replayed.
+    pub instrs: usize,
+}
+
+/// Replays a program's timing independently of the evaluator: each
+/// core's `Compute` instructions are priced through the same intra-core
+/// engine, each data instruction counts its bytes at the core's port.
+///
+/// Because the program is an executable lowering of the mapping, the
+/// replayed compute time must agree exactly with the evaluator's
+/// per-core compute bound — a consistency check that lowering neither
+/// lost nor duplicated work (see `replay_matches_evaluator_compute`).
+pub fn replay_program(
+    ev: &crate::evaluate::Evaluator,
+    dnn: &Dnn,
+    prog: &GroupProgram,
+) -> BTreeMap<CoreId, CoreReplay> {
+    let freq = ev.arch().freq_ghz() * 1e9;
+    let mut out: BTreeMap<CoreId, CoreReplay> = BTreeMap::new();
+    for (core, stream) in &prog.streams {
+        let entry = out.entry(*core).or_default();
+        for i in stream {
+            entry.instrs += 1;
+            match i {
+                Instr::Compute { layer, region, .. } => {
+                    let wl = crate::workload::part_workload(dnn, *layer, region);
+                    let r = ev.profile().explorer(*core).explore(&wl);
+                    entry.compute_s += r.cycles as f64 / freq;
+                }
+                Instr::LoadWeights { .. } => {}
+                _ => entry.port_bytes += i.bytes(),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::LayerAssignment;
+    use gemini_model::zoo;
+    use gemini_model::{split_dim, Range1};
+
+    fn pipeline_mapping() -> (Dnn, GroupMapping) {
+        let dnn = zoo::two_conv_example();
+        let conv1 = LayerId(1);
+        let conv2 = LayerId(2);
+        let s1 = dnn.layer(conv1).ofmap;
+        let s2 = dnn.layer(conv2).ofmap;
+        let gm = GroupMapping {
+            members: vec![
+                LayerAssignment {
+                    layer: conv1,
+                    parts: (0..2)
+                        .map(|i| {
+                            (
+                                CoreId(i),
+                                Region::new(
+                                    split_dim(s1.h, 2, i as u32),
+                                    Range1::full(s1.w),
+                                    Range1::full(s1.c),
+                                    Range1::full(1),
+                                ),
+                            )
+                        })
+                        .collect(),
+                    pred_srcs: vec![PredSrc::Dram(DramSel::Interleaved)],
+                    wgt_src: Some(DramSel::Interleaved),
+                    of_dst: None,
+                },
+                LayerAssignment {
+                    layer: conv2,
+                    parts: (0..2)
+                        .map(|i| {
+                            (
+                                CoreId(2 + i),
+                                Region::new(
+                                    split_dim(s2.h, 2, i as u32),
+                                    Range1::full(s2.w),
+                                    Range1::full(s2.c),
+                                    Range1::full(1),
+                                ),
+                            )
+                        })
+                        .collect(),
+                    pred_srcs: vec![PredSrc::InGroup { member_idx: 0 }],
+                    wgt_src: Some(DramSel::Interleaved),
+                    of_dst: Some(DramSel::Interleaved),
+                },
+            ],
+            batch_unit: 1,
+        };
+        (dnn, gm)
+    }
+
+    #[test]
+    fn program_round_trips_validation() {
+        let (dnn, gm) = pipeline_mapping();
+        let prog = generate_program(&dnn, &gm);
+        validate_program(&dnn, &gm, &prog).unwrap();
+        assert!(!prog.is_empty());
+    }
+
+    #[test]
+    fn program_has_all_phases() {
+        let (dnn, gm) = pipeline_mapping();
+        let prog = generate_program(&dnn, &gm);
+        let all: Vec<&Instr> = prog.streams.values().flatten().collect();
+        assert!(all.iter().any(|i| matches!(i, Instr::LoadWeights { .. })));
+        assert!(all.iter().any(|i| matches!(i, Instr::ReadDram { .. })));
+        assert!(all.iter().any(|i| matches!(i, Instr::Recv { .. })));
+        assert!(all.iter().any(|i| matches!(i, Instr::Compute { .. })));
+        assert!(all.iter().any(|i| matches!(i, Instr::Send { .. })));
+        assert!(all.iter().any(|i| matches!(i, Instr::WriteDram { .. })));
+    }
+
+    #[test]
+    fn sends_match_receives_exactly() {
+        let (dnn, gm) = pipeline_mapping();
+        let prog = generate_program(&dnn, &gm);
+        let sent: u64 = prog
+            .streams
+            .values()
+            .flatten()
+            .filter_map(|i| if let Instr::Send { bytes, .. } = i { Some(*bytes) } else { None })
+            .sum();
+        let recvd: u64 = prog
+            .streams
+            .values()
+            .flatten()
+            .filter_map(|i| if let Instr::Recv { bytes, .. } = i { Some(*bytes) } else { None })
+            .sum();
+        assert_eq!(sent, recvd);
+        assert!(sent > 0, "pipelined halves exchange halo rows");
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let (dnn, gm) = pipeline_mapping();
+        let mut prog = generate_program(&dnn, &gm);
+        // Drop one receive: flow imbalance.
+        let stream = prog.streams.get_mut(&CoreId(2)).expect("core 2 participates");
+        let pos = stream.iter().position(|i| matches!(i, Instr::Recv { .. })).expect("has recv");
+        stream.remove(pos);
+        assert!(matches!(
+            validate_program(&dnn, &gm, &prog),
+            Err(ProgramError::UnbalancedFlows { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_compute_is_detected() {
+        let (dnn, gm) = pipeline_mapping();
+        let mut prog = generate_program(&dnn, &gm);
+        let s1 = dnn.layer(LayerId(1)).ofmap;
+        prog.streams.entry(CoreId(9)).or_default().push(Instr::Compute {
+            layer: LayerId(1),
+            region: Region::full(s1, 1),
+            macs: 1,
+        });
+        assert!(matches!(
+            validate_program(&dnn, &gm, &prog),
+            Err(ProgramError::UnassignedCompute { .. })
+        ));
+    }
+
+    #[test]
+    fn replay_matches_evaluator_compute() {
+        // The replayed per-core compute time must equal the per-core
+        // busy time the utilization module derives from the mapping —
+        // lowering to instructions neither loses nor duplicates work.
+        let (dnn, gm) = pipeline_mapping();
+        let arch = gemini_arch::presets::g_arch_72();
+        let ev = crate::evaluate::Evaluator::new(&arch);
+        let prog = generate_program(&dnn, &gm);
+        let replay = replay_program(&ev, &dnn, &prog);
+        let report = ev.evaluate_group(&dnn, &gm, 1);
+        let util = crate::stats::utilization_from(&ev, &dnn, &gm, &report);
+        for (core, r) in &replay {
+            let busy_s = util.core_busy[core.idx()] * report.stage_time_s;
+            // `core_busy` is clamped to 1.0; compare through the raw
+            // seconds only when unclamped.
+            if util.core_busy[core.idx()] < 1.0 {
+                assert!(
+                    (r.compute_s - busy_s).abs() < 1e-12,
+                    "{core}: replay {} vs evaluator {}",
+                    r.compute_s,
+                    busy_s
+                );
+            }
+            assert!(r.compute_s > 0.0);
+            assert!(r.port_bytes > 0, "every core moves data in this mapping");
+        }
+        assert_eq!(replay.len(), 4, "four participating cores");
+    }
+
+    #[test]
+    fn replay_port_bytes_cover_flows() {
+        let (dnn, gm) = pipeline_mapping();
+        let arch = gemini_arch::presets::g_arch_72();
+        let ev = crate::evaluate::Evaluator::new(&arch);
+        let prog = generate_program(&dnn, &gm);
+        let replay = replay_program(&ev, &dnn, &prog);
+        let total_port: u64 = replay.values().map(|r| r.port_bytes).sum();
+        // Sends and receives are both counted (each flow crosses two
+        // ports), DRAM flows once per endpoint.
+        assert_eq!(total_port, 2 * prog.peer_bytes() + prog.dram_bytes());
+    }
+
+    #[test]
+    fn dram_and_peer_accounting() {
+        let (dnn, gm) = pipeline_mapping();
+        let prog = generate_program(&dnn, &gm);
+        assert!(prog.dram_bytes() > 0);
+        assert_eq!(
+            prog.peer_bytes(),
+            prog.streams
+                .values()
+                .flatten()
+                .filter_map(
+                    |i| if let Instr::Recv { bytes, .. } = i { Some(*bytes) } else { None }
+                )
+                .sum::<u64>()
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Utilization statistics for mapped layer groups.
+//!
+//! The paper's motivation for LP mapping is that "maintaining high
+//! utilization and energy efficiency becomes increasingly difficult
+//! with the growing scale of accelerators" (Sec. I). This module turns
+//! a [`GroupReport`] plus its mapping into the numbers an architect
+//! actually inspects: per-core busy fractions, PE-array efficiency,
+//! per-link and DRAM bandwidth utilization, and the D2D share of the
+//! traffic.
+
+use serde::{Deserialize, Serialize};
+
+use gemini_model::Dnn;
+use gemini_noc::LinkId;
+
+use crate::evaluate::{Evaluator, GroupReport};
+use crate::mapping::GroupMapping;
+use crate::workload::part_workload;
+
+/// Utilization breakdown of one layer group's steady-state stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationReport {
+    /// Per-core busy fraction: compute cycles / stage cycles (0 for
+    /// cores with no work).
+    pub core_busy: Vec<f64>,
+    /// Mean busy fraction over cores with work.
+    pub mean_busy: f64,
+    /// Fraction of cores with any work at all.
+    pub cores_used: f64,
+    /// Useful MACs / (peak MACs of the used cores x stage time): the
+    /// PE-array efficiency of the stage.
+    pub mac_efficiency: f64,
+    /// Per-link busy fraction (transfer time / stage time) for loaded
+    /// links.
+    pub link_busy: Vec<(LinkId, f64)>,
+    /// Busiest link's utilization.
+    pub max_link_busy: f64,
+    /// Share of hop-bytes crossing D2D links.
+    pub d2d_share: f64,
+    /// Per-DRAM bandwidth utilization during the stage.
+    pub dram_busy: Vec<f64>,
+}
+
+impl UtilizationReport {
+    /// The classic load-balance metric: mean busy over max busy (1.0 =
+    /// perfectly balanced pipeline stage).
+    pub fn balance(&self) -> f64 {
+        let max = self.core_busy.iter().copied().fold(0.0f64, f64::max);
+        if max > 0.0 {
+            self.mean_busy / max
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Computes the utilization of a group mapping (one evaluator call plus
+/// a per-part compute pass).
+pub fn utilization(
+    ev: &Evaluator,
+    dnn: &Dnn,
+    gm: &GroupMapping,
+    batch: u32,
+) -> UtilizationReport {
+    let report = ev.evaluate_group(dnn, gm, batch);
+    utilization_from(ev, dnn, gm, &report)
+}
+
+/// Computes utilization from an existing [`GroupReport`] (avoids
+/// re-evaluating when the caller already has one).
+pub fn utilization_from(
+    ev: &Evaluator,
+    dnn: &Dnn,
+    gm: &GroupMapping,
+    report: &GroupReport,
+) -> UtilizationReport {
+    let arch = ev.arch();
+    let n_cores = arch.n_cores() as usize;
+    let freq = arch.freq_ghz() * 1e9;
+    let stage = report.stage_time_s.max(f64::MIN_POSITIVE);
+
+    let mut core_seconds = vec![0.0f64; n_cores];
+    let mut macs_total = 0u64;
+    for m in &gm.members {
+        for (core, region) in &m.parts {
+            if region.is_empty() {
+                continue;
+            }
+            let wl = part_workload(dnn, m.layer, region);
+            let r = ev.profile().explorer(*core).explore(&wl);
+            core_seconds[core.idx()] += r.cycles as f64 / freq;
+            macs_total += r.macs;
+        }
+    }
+
+    let core_busy: Vec<f64> =
+        core_seconds.iter().map(|&s| (s / stage).min(1.0)).collect();
+    let used: Vec<&f64> = core_busy.iter().filter(|&&b| b > 0.0).collect();
+    let mean_busy = if used.is_empty() {
+        0.0
+    } else {
+        used.iter().copied().sum::<f64>() / used.len() as f64
+    };
+    let cores_used = used.len() as f64 / n_cores.max(1) as f64;
+
+    // Peak MACs of the cores that participate.
+    let peak_macs_per_s: f64 = (0..n_cores)
+        .filter(|&i| core_busy[i] > 0.0)
+        .map(|i| ev.profile().macs(gemini_arch::CoreId(i as u16)) as f64 * freq)
+        .sum();
+    let mac_efficiency = if peak_macs_per_s > 0.0 {
+        (macs_total as f64 / stage / peak_macs_per_s).min(1.0)
+    } else {
+        0.0
+    };
+
+    let net = ev.network();
+    let mut link_busy = Vec::new();
+    let mut max_link_busy = 0.0f64;
+    for (l, bytes) in report.traffic.iter_loaded() {
+        let t = bytes / (net.link(l).bw * 1e9);
+        let busy = (t / stage).min(1.0);
+        max_link_busy = max_link_busy.max(busy);
+        link_busy.push((l, busy));
+    }
+    let total_hops = report.traffic.total_hop_bytes();
+    let d2d_share = if total_hops > 0.0 {
+        report.traffic.d2d_hop_bytes(net) / total_hops
+    } else {
+        0.0
+    };
+
+    let per_dram_bw = arch.dram_bw() / arch.dram_count() as f64 * 1e9;
+    let dram_busy = report
+        .dram_bytes
+        .iter()
+        .map(|&b| (b / per_dram_bw / stage).min(1.0))
+        .collect();
+
+    UtilizationReport {
+        core_busy,
+        mean_busy,
+        cores_used,
+        mac_efficiency,
+        link_busy,
+        max_link_busy,
+        d2d_share,
+        dram_busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_arch::presets;
+    use gemini_model::zoo;
+    use gemini_model::{split_dim, LayerId, Range1, Region};
+
+    use crate::mapping::{DramSel, LayerAssignment, PredSrc};
+
+    fn k_split_mapping(
+        arch: &gemini_arch::ArchConfig,
+        n: u32,
+    ) -> (Dnn, GroupMapping) {
+        let dnn = zoo::two_conv_example();
+        let conv1 = LayerId(1);
+        let s = dnn.layer(conv1).ofmap;
+        let parts = (0..n)
+            .map(|k| {
+                (
+                    arch.core_at(k % arch.x_cores(), k / arch.x_cores()),
+                    Region::new(
+                        Range1::full(s.h),
+                        Range1::full(s.w),
+                        split_dim(s.c, n, k),
+                        Range1::full(1),
+                    ),
+                )
+            })
+            .collect();
+        let gm = GroupMapping {
+            members: vec![LayerAssignment {
+                layer: conv1,
+                parts,
+                pred_srcs: vec![PredSrc::Dram(DramSel::Interleaved)],
+                wgt_src: Some(DramSel::Interleaved),
+                of_dst: Some(DramSel::Interleaved),
+            }],
+            batch_unit: 1,
+        };
+        (dnn, gm)
+    }
+
+    #[test]
+    fn busy_fractions_bounded_and_used_cores_counted() {
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let (dnn, gm) = k_split_mapping(&arch, 4);
+        let u = utilization(&ev, &dnn, &gm, 1);
+        assert_eq!(u.core_busy.len(), 36);
+        assert!((u.cores_used - 4.0 / 36.0).abs() < 1e-12);
+        assert!(u.core_busy.iter().all(|&b| (0.0..=1.0).contains(&b)));
+        assert!(u.mean_busy > 0.0 && u.mean_busy <= 1.0);
+        assert!(u.mac_efficiency > 0.0 && u.mac_efficiency <= 1.0);
+        assert!(u.balance() > 0.0 && u.balance() <= 1.0);
+    }
+
+    #[test]
+    fn equal_split_is_balanced() {
+        // Four identical K-slices on identical cores: near-perfect
+        // balance.
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let (dnn, gm) = k_split_mapping(&arch, 4);
+        let u = utilization(&ev, &dnn, &gm, 1);
+        assert!(u.balance() > 0.95, "balance {}", u.balance());
+    }
+
+    #[test]
+    fn hetero_split_is_unbalanced() {
+        // The same equal K-split on a big/little fabric leaves the big
+        // cores idle waiting for the little ones.
+        let arch =
+            gemini_arch::ArchConfig::builder().cores(6, 6).cuts(1, 2).build().unwrap();
+        let spec = gemini_arch::HeteroSpec::new(
+            vec![
+                gemini_arch::CoreClass { macs: 4096, glb_bytes: 2 << 20 },
+                gemini_arch::CoreClass { macs: 512, glb_bytes: 2 << 20 },
+            ],
+            vec![0, 1],
+            &arch,
+        )
+        .unwrap();
+        let ev = Evaluator::hetero(&arch, &spec);
+        let dnn = zoo::two_conv_example();
+        let conv1 = LayerId(1);
+        let s = dnn.layer(conv1).ofmap;
+        // One part on a big (north) core, one on a little (south) core.
+        let gm = GroupMapping {
+            members: vec![LayerAssignment {
+                layer: conv1,
+                parts: vec![
+                    (
+                        arch.core_at(0, 0),
+                        Region::new(
+                            Range1::full(s.h),
+                            Range1::full(s.w),
+                            split_dim(s.c, 2, 0),
+                            Range1::full(1),
+                        ),
+                    ),
+                    (
+                        arch.core_at(0, 5),
+                        Region::new(
+                            Range1::full(s.h),
+                            Range1::full(s.w),
+                            split_dim(s.c, 2, 1),
+                            Range1::full(1),
+                        ),
+                    ),
+                ],
+                pred_srcs: vec![PredSrc::Dram(DramSel::Interleaved)],
+                wgt_src: Some(DramSel::Interleaved),
+                of_dst: Some(DramSel::Interleaved),
+            }],
+            batch_unit: 1,
+        };
+        let u = utilization(&ev, &dnn, &gm, 1);
+        assert!(
+            u.balance() < 0.7,
+            "equal split across 8x-speed classes must be unbalanced: {}",
+            u.balance()
+        );
+    }
+
+    #[test]
+    fn d2d_share_zero_on_monolith() {
+        let arch =
+            gemini_arch::ArchConfig::builder().cores(6, 6).cuts(1, 1).build().unwrap();
+        let ev = Evaluator::new(&arch);
+        let (dnn, gm) = k_split_mapping(&arch, 6);
+        let u = utilization(&ev, &dnn, &gm, 1);
+        assert_eq!(u.d2d_share, 0.0);
+    }
+
+    #[test]
+    fn dram_utilization_bounded() {
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let (dnn, gm) = k_split_mapping(&arch, 8);
+        let u = utilization(&ev, &dnn, &gm, 1);
+        assert_eq!(u.dram_busy.len(), 2);
+        assert!(u.dram_busy.iter().all(|&b| (0.0..=1.0).contains(&b)));
+    }
+
+    #[test]
+    fn utilization_from_reuses_report() {
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let (dnn, gm) = k_split_mapping(&arch, 4);
+        let rep = ev.evaluate_group(&dnn, &gm, 1);
+        let a = utilization_from(&ev, &dnn, &gm, &rep);
+        let b = utilization(&ev, &dnn, &gm, 1);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,97 @@
+//! Conversion of (layer, output region) into intra-core workloads.
+
+use gemini_intracore::PartWorkload;
+use gemini_model::{Dnn, LayerId, LayerKind, Region};
+
+/// Builds the intra-core workload descriptor for one part of a layer.
+///
+/// Extracts the reduction structure from the layer kind (conv:
+/// channels-per-group x RS; matmul/FC: the inner dimension), the weight
+/// slice implied by the part's output-channel range, and the halo-aware
+/// input byte count summed over all predecessors.
+pub fn part_workload(dnn: &Dnn, layer: LayerId, region: &Region) -> PartWorkload {
+    let l = dnn.layer(layer);
+    let (red_c, kernel_elems) = match &l.kind {
+        LayerKind::Conv(p) => (p.cin / p.groups, p.kernel.0 * p.kernel.1),
+        LayerKind::Fc { cin } => (*cin, 1),
+        LayerKind::Matmul { k_dim, .. } => (*k_dim, 1),
+        _ => (0, 1),
+    };
+    let k_frac = region.k.len() as f64 / l.ofmap.c as f64;
+    let weight_bytes = (l.weight_bytes() as f64 * k_frac).round() as u64;
+    let in_bytes: u64 = (0..dnn.preds(layer).len())
+        .map(|p| dnn.input_need(layer, p, region).bytes())
+        .sum();
+    PartWorkload {
+        h: region.h.len(),
+        w: region.w.len(),
+        k: region.k.len(),
+        b: region.b.len(),
+        red_c,
+        kernel_elems,
+        weight_bytes,
+        in_bytes,
+        vector_ops: region.elems() * l.vector_ops_per_out(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemini_model::zoo;
+    use gemini_model::{split_dim, Range1};
+
+    #[test]
+    fn conv_part_has_expected_reduction() {
+        let dnn = zoo::two_conv_example(); // conv1: 16x16x32 -> 16x16x64, 3x3
+        let conv1 = LayerId(1);
+        let s = dnn.layer(conv1).ofmap;
+        let full = Region::full(s, 1);
+        let wl = part_workload(&dnn, conv1, &full);
+        assert_eq!(wl.red_c, 32);
+        assert_eq!(wl.kernel_elems, 9);
+        assert_eq!(wl.weight_bytes, dnn.layer(conv1).weight_bytes());
+        assert_eq!(wl.total_macs(), dnn.layer(conv1).macs(1));
+    }
+
+    #[test]
+    fn k_slice_scales_weights() {
+        let dnn = zoo::two_conv_example();
+        let conv1 = LayerId(1);
+        let s = dnn.layer(conv1).ofmap;
+        let mut r = Region::full(s, 1);
+        r.k = split_dim(s.c, 4, 0);
+        let wl = part_workload(&dnn, conv1, &r);
+        assert_eq!(wl.weight_bytes, dnn.layer(conv1).weight_bytes() / 4);
+    }
+
+    #[test]
+    fn halo_increases_in_bytes() {
+        let dnn = zoo::two_conv_example();
+        let conv1 = LayerId(1);
+        let s = dnn.layer(conv1).ofmap;
+        // Half the rows of a 3x3 conv need half the input plus one halo
+        // row.
+        let mut r = Region::full(s, 1);
+        r.h = Range1::new(0, s.h / 2);
+        let wl = part_workload(&dnn, conv1, &r);
+        let half_input_rows = (s.h / 2 + 1) as u64; // pad-1 top, halo below
+        assert_eq!(wl.in_bytes, half_input_rows * 16 * 32);
+    }
+
+    #[test]
+    fn vector_layer_has_no_reduction() {
+        let dnn = zoo::tiny_resnet();
+        // Find the eltwise add of block 1.
+        let add = dnn
+            .ids()
+            .find(|&i| matches!(dnn.layer(i).kind, LayerKind::Eltwise { .. }))
+            .unwrap();
+        let r = Region::full(dnn.layer(add).ofmap, 1);
+        let wl = part_workload(&dnn, add, &r);
+        assert!(wl.is_vector_only());
+        assert_eq!(wl.vector_ops, r.elems() * 2);
+        // Eltwise reads both inputs.
+        assert_eq!(wl.in_bytes, 2 * r.bytes());
+    }
+}

@@ -1,0 +1,50 @@
+//! Chiplet-granularity sweep (the paper's insight #1, Sec. VII-A1):
+//! partition the same 36-core 72-TOPs fabric into 1..36 chiplets and
+//! watch MC, performance and energy.
+//!
+//! Expected shape: moderate partitioning barely hurts performance and
+//! energy while keeping MC low; very fine partitioning (one core per
+//! chiplet) worsens all three at once.
+//!
+//! Run with `cargo run --release --example chiplet_granularity`.
+
+use gemini::prelude::*;
+
+fn main() {
+    let dnn = gemini::model::zoo::transformer_base();
+    let batch = 16;
+    let cost = CostModel::default();
+
+    println!("workload: {} | 36 cores @1024 MACs, cuts swept\n", dnn.name());
+    println!("{:<10} {:>9} {:>12} {:>12} {:>10}", "chiplets", "MC ($)", "delay (ms)", "energy (mJ)", "D2D area");
+
+    // (xcut, ycut) pairs on the 6x6 grid, coarse to fine.
+    for (xc, yc) in [(1, 1), (2, 1), (2, 2), (3, 3), (6, 3), (6, 6)] {
+        let arch = ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(xc, yc)
+            .noc_bw(32.0)
+            .d2d_bw(16.0)
+            .dram_bw(144.0)
+            .glb_kb(2048)
+            .macs_per_core(1024)
+            .build()
+            .expect("valid sweep point");
+        let ev = Evaluator::new(&arch);
+        let engine = MappingEngine::new(&ev);
+        let opts = MappingOptions {
+            sa: SaOptions { iters: 800, seed: 7, ..Default::default() },
+            ..Default::default()
+        };
+        let mapped = engine.map(&dnn, batch, &opts);
+        let mc = cost.evaluate(&arch);
+        println!(
+            "{:<10} {:>9.2} {:>12.3} {:>12.3} {:>9.1}%",
+            format!("{}x{}={}", xc, yc, xc * yc),
+            mc.total(),
+            mapped.report.delay_s * 1e3,
+            mapped.report.energy.total() * 1e3,
+            mc.area.d2d_fraction * 100.0
+        );
+    }
+}

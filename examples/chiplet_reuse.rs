@@ -1,0 +1,90 @@
+//! Chiplet reuse across accelerator scales (the paper's Sec. VII-B /
+//! Fig. 8): build a 512-TOPs-class accelerator out of 128-TOPs-class
+//! chiplets and compare against a natively-sized design and against
+//! tiling Simba chiplets.
+//!
+//! Run with `cargo run --release --example chiplet_reuse`.
+
+use gemini::core::dse::scale_arch;
+use gemini::prelude::*;
+
+fn eval(arch: &ArchConfig, dnn: &gemini::model::Dnn, label: &str, cost: &CostModel) {
+    let ev = Evaluator::new(arch);
+    let engine = MappingEngine::new(&ev);
+    let opts = MappingOptions {
+        sa: SaOptions { iters: 600, seed: 5, ..Default::default() },
+        ..Default::default()
+    };
+    let m = engine.map(dnn, 16, &opts);
+    let mc = cost.evaluate(arch);
+    println!(
+        "{label:<34} {:>10} chiplets={:<3} MC ${:>7.2} D {:>8.3} ms  E {:>8.3} mJ",
+        format!("{:.0} TOPS", arch.tops()),
+        arch.n_chiplets(),
+        mc.total(),
+        m.report.delay_s * 1e3,
+        m.report.energy.total() * 1e3
+    );
+}
+
+fn main() {
+    let dnn = gemini::model::zoo::transformer_base();
+    let cost = CostModel::default();
+
+    // A good 128-TOPs-class design (Fig. 7's MC*E*D optimum): 2 chiplets
+    // of 16 cores.
+    let native_128 = ArchConfig::builder()
+        .cores(8, 4)
+        .cuts(2, 1)
+        .noc_bw(32.0)
+        .d2d_bw(16.0)
+        .dram_bw(128.0)
+        .glb_kb(2048)
+        .macs_per_core(2048)
+        .build()
+        .expect("valid");
+
+    // Scale it 4x: a 512-TOPs accelerator from the same chiplet.
+    let reused_512 = scale_arch(&native_128, 4).expect("tiles");
+
+    // A natively-explored 512-TOPs-class design: 4 chiplets of 32 cores.
+    let native_512 = ArchConfig::builder()
+        .cores(16, 8)
+        .cuts(2, 2)
+        .noc_bw(64.0)
+        .d2d_bw(32.0)
+        .dram_bw(512.0)
+        .glb_kb(2048)
+        .macs_per_core(2048)
+        .build()
+        .expect("valid");
+
+    // Simba's 1-core chiplet tiled out to the same scale.
+    let simba_512 = scale_arch(&gemini::arch::presets::simba_s_arch(), 7).expect("tiles");
+
+    println!("construction schemes for a ~512-TOPs accelerator:\n");
+    eval(&native_128, &dnn, "native 128-TOPs design", &cost);
+    eval(&reused_512, &dnn, "4x reused 128-TOPs chiplets", &cost);
+    eval(&native_512, &dnn, "native 512-TOPs design", &cost);
+    eval(&simba_512, &dnn, "252 Simba chiplets", &cost);
+
+    println!(
+        "\nexpected shape (paper Fig. 8): reuse is close to native at the same scale;\n\
+         tiny one-size-fits-all chiplets (Simba) fall far behind."
+    );
+
+    // The NRE side of the argument (Sec. VII-B): one shared chiplet
+    // design amortizes mask/design costs over both products' volumes.
+    let nre = gemini::cost::NreModel::default();
+    let area = gemini::arch::AreaModel::default();
+    let bespoke =
+        nre.per_unit_for(&native_128, &area) + nre.per_unit_for(&native_512, &area);
+    let shared = nre.per_unit_for(&native_128, &area); // one design, reused
+    println!(
+        "\nNRE per unit: two bespoke designs ${:.0} vs one reused chiplet ${:.0} \
+         ({}k units each)",
+        bespoke,
+        shared,
+        nre.volume / 1000
+    );
+}

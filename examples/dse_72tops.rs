@@ -1,0 +1,57 @@
+//! A scaled-down version of the paper's 72-TOPs DSE (Table I +
+//! Sec. VI-B1): exhaustively score architecture candidates under
+//! `MC * E * D` with the Transformer workload and print the winner — the
+//! paper's run converges to `(2, 36, 144GB/s, 32GB/s, 16GB/s, 2MB, 1024)`.
+//!
+//! The full grid takes server-scale time; this example subsamples it
+//! (set `GEMINI_DSE_MODE=full` for the whole grid).
+//!
+//! Run with `cargo run --release --example dse_72tops`.
+
+use gemini::prelude::*;
+
+fn main() {
+    let spec = DseSpec::table1(72.0);
+    let full = std::env::var("GEMINI_DSE_MODE").map(|m| m == "full").unwrap_or(false);
+    let stride = if full { 1 } else { 37 };
+
+    let dnns = vec![gemini::model::zoo::transformer_base()];
+    let opts = DseOptions {
+        objective: Objective::mc_e_d(),
+        batch: 64,
+        mapping: MappingOptions {
+            sa: SaOptions { iters: if full { 2000 } else { 400 }, ..Default::default() },
+            ..Default::default()
+        },
+        stride,
+        ..Default::default()
+    };
+
+    let total = spec.candidates().len();
+    println!(
+        "72-TOPs DSE: {} candidates in the grid, exploring {} (stride {stride}), {} threads\n",
+        total,
+        total.div_ceil(stride),
+        opts.threads
+    );
+
+    let t0 = std::time::Instant::now();
+    let res = run_dse(&dnns, &spec, &opts);
+    println!("explored {} candidates in {:.1?}\n", res.records.len(), t0.elapsed());
+
+    let mut ranked: Vec<_> = res.records.iter().collect();
+    ranked.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite"));
+    println!("top 5 under MC*E*D:");
+    for r in ranked.iter().take(5) {
+        println!(
+            "  {}  MC ${:6.2}  E {:8.3} mJ  D {:7.3} ms  score {:.3e}",
+            r.arch.paper_tuple(),
+            r.mc,
+            r.energy * 1e3,
+            r.delay * 1e3,
+            r.score
+        );
+    }
+    println!("\nbest arch: {}", res.best_record().arch.paper_tuple());
+    println!("paper's    (2, 36, 144GB/s, 32GB/s, 16GB/s, 2048KB, 1024)");
+}

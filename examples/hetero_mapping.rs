@@ -1,0 +1,102 @@
+//! Heterogeneous chiplets (the paper's Sec. V-D future-work direction):
+//! build a big/little accelerator from two core classes, then show how
+//! much of the heterogeneity penalty mapping recovers — first with the
+//! throughput-weighted stripe, then with SA refinement.
+//!
+//! Run with `cargo run --release --example hetero_mapping`.
+
+use gemini::arch::{ArchConfig, CoreClass, HeteroSpec};
+use gemini::prelude::*;
+
+fn main() {
+    // A 72-TOPs-class fabric cut north/south; the north chiplet gets
+    // 1536-MAC cores, the south 512-MAC cores (same total TOPS as a
+    // uniform 1024-MAC fabric).
+    let arch = ArchConfig::builder()
+        .cores(6, 6)
+        .cuts(1, 2)
+        .noc_bw(32.0)
+        .d2d_bw(16.0)
+        .dram_bw(144.0)
+        .glb_kb(2048)
+        .build()
+        .expect("valid fabric");
+    let spec = HeteroSpec::new(
+        vec![
+            CoreClass { macs: 1536, glb_bytes: 3 << 20 },
+            CoreClass { macs: 512, glb_bytes: 1 << 20 },
+        ],
+        vec![0, 1],
+        &arch,
+    )
+    .expect("valid spec");
+
+    let dnn = gemini::model::zoo::tiny_resnet();
+    let batch = 8;
+    println!("workload : {}", dnn.name());
+    println!(
+        "fabric   : {} cores, {} chiplets, {:.1} TOPS heterogeneous",
+        arch.n_cores(),
+        arch.n_chiplets(),
+        spec.tops(&arch)
+    );
+    println!(
+        "classes  : north {} MACs / {} MiB, south {} MACs / {} MiB\n",
+        spec.classes()[0].macs,
+        spec.classes()[0].glb_bytes >> 20,
+        spec.classes()[1].macs,
+        spec.classes()[1].glb_bytes >> 20
+    );
+
+    // Homogeneous reference at the same total TOPS.
+    let ev_ref = Evaluator::new(&arch);
+    let engine_ref = MappingEngine::new(&ev_ref);
+    let sa = SaOptions { iters: 800, seed: 3, ..Default::default() };
+    let opts = MappingOptions { sa: sa.clone(), ..Default::default() };
+    let reference = engine_ref.map(&dnn, batch, &opts);
+    let ref_edp = reference.report.edp();
+
+    // Heterogeneous evaluator: cores take their class's PE array + GLB.
+    let ev = Evaluator::hetero(&arch, &spec);
+    let engine = MappingEngine::new(&ev);
+
+    let blind = engine.map_stripe(&dnn, batch, &MappingOptions::default());
+    let weighted = engine.map_hetero(
+        &dnn,
+        batch,
+        &MappingOptions { sa: SaOptions { iters: 0, ..sa.clone() }, ..Default::default() },
+        &spec,
+    );
+    let annealed = engine.map_hetero(&dnn, batch, &opts, &spec);
+
+    println!("{:<26} {:>11} {:>11} {:>9}", "mapping", "delay (ms)", "energy (mJ)", "EDP/ref");
+    for (name, m) in [
+        ("homogeneous + SA (ref)", &reference),
+        ("blind stripe", &blind),
+        ("weighted stripe", &weighted),
+        ("weighted stripe + SA", &annealed),
+    ] {
+        println!(
+            "{:<26} {:>11.4} {:>11.4} {:>8.2}x",
+            name,
+            m.report.delay_s * 1e3,
+            m.report.energy.total() * 1e3,
+            m.report.edp() / ref_edp
+        );
+    }
+
+    let mc = CostModel::default().evaluate_hetero(&arch, &spec);
+    println!(
+        "\nheterogeneous package MC: ${:.2} (silicon {:.2} + DRAM {:.2} + package {:.2})",
+        mc.total(),
+        mc.silicon,
+        mc.dram,
+        mc.package
+    );
+    println!(
+        "\nThe blind stripe treats all cores as equal, so the little cores\n\
+         bottleneck every pipeline stage. The throughput-weighted stripe cuts\n\
+         layer boundaries at cumulative-MACs targets, and SA then fine-tunes\n\
+         core-group membership across the speed boundary."
+    );
+}

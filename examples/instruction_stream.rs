@@ -1,0 +1,66 @@
+//! Instruction generation: lower a mapped layer group into the per-core
+//! static programs the template's control units execute (the
+//! "Instruction Gen." output of Fig. 4 in the paper), and replay-verify
+//! them.
+//!
+//! Run with `cargo run --release --example instruction_stream`.
+
+use gemini::prelude::*;
+use gemini::sim::{generate_program, validate_program, Instr};
+
+fn main() {
+    let dnn = gemini::model::zoo::two_conv_example();
+    let arch = gemini::arch::presets::g_arch_72();
+    let ev = Evaluator::new(&arch);
+    let engine = MappingEngine::new(&ev);
+    let opts = MappingOptions {
+        sa: SaOptions { iters: 400, seed: 2, ..Default::default() },
+        ..Default::default()
+    };
+    let mapped = engine.map(&dnn, 4, &opts);
+    let gms = mapped.group_mappings(&dnn);
+
+    for (gi, gm) in gms.iter().enumerate() {
+        let prog = generate_program(&dnn, gm);
+        validate_program(&dnn, gm, &prog).expect("program replays against its mapping");
+        println!(
+            "group {gi}: {} layers, batch unit {}, {} instructions on {} cores, \
+             {} peer bytes, {} DRAM bytes\n",
+            gm.members.len(),
+            gm.batch_unit,
+            prog.len(),
+            prog.streams.len(),
+            prog.peer_bytes(),
+            prog.dram_bytes()
+        );
+        for (core, stream) in &prog.streams {
+            println!("  {core} ({} instrs):", stream.len());
+            for i in stream.iter().take(6) {
+                match i {
+                    Instr::LoadWeights { layer, bytes, .. } => {
+                        println!("    LOAD_W   {layer} {bytes}B")
+                    }
+                    Instr::ReadDram { layer, bytes, .. } => {
+                        println!("    RD_DRAM  {layer} {bytes}B")
+                    }
+                    Instr::Recv { layer, from, bytes } => {
+                        println!("    RECV     {layer} <- {from} {bytes}B")
+                    }
+                    Instr::Compute { layer, region, macs } => {
+                        println!("    COMPUTE  {layer} {region} ({macs} MACs)")
+                    }
+                    Instr::Send { layer, to, bytes } => {
+                        println!("    SEND     {layer} -> {to} {bytes}B")
+                    }
+                    Instr::WriteDram { layer, bytes, .. } => {
+                        println!("    WR_DRAM  {layer} {bytes}B")
+                    }
+                }
+            }
+            if stream.len() > 6 {
+                println!("    ... {} more", stream.len() - 6);
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,69 @@
+//! Fig.-9-style network-traffic heatmaps: map a Transformer slice onto
+//! the 72-TOPs G-Arch with Tangram's stripe SPM and with Gemini's SA
+//! SPM, then render the per-link pressure of the busiest layer group.
+//!
+//! The Gemini map should spread traffic (fewer near-peak links) and cut
+//! total and D2D hop-bytes.
+//!
+//! Run with `cargo run --release --example mapping_heatmap`.
+
+use gemini::noc::Heatmap;
+use gemini::prelude::*;
+
+fn busiest_group_heatmap(ev: &Evaluator, mapped: &MappedDnn, dnn: &gemini::model::Dnn) -> Heatmap {
+    let report = mapped
+        .report
+        .groups
+        .iter()
+        .max_by(|a, b| {
+            a.traffic
+                .total_hop_bytes()
+                .partial_cmp(&b.traffic.total_hop_bytes())
+                .expect("finite traffic")
+        })
+        .expect("at least one group");
+    let _ = dnn;
+    Heatmap::build(ev.network(), &report.traffic)
+}
+
+fn main() {
+    let dnn = gemini::model::zoo::transformer_base();
+    let arch = gemini::arch::presets::g_arch_72();
+    let batch = 8;
+    let ev = Evaluator::new(&arch);
+    let engine = MappingEngine::new(&ev);
+
+    let t = engine.map_stripe(&dnn, batch, &MappingOptions::default());
+    let g_opts = MappingOptions {
+        sa: SaOptions { iters: 1500, seed: 3, ..Default::default() },
+        ..Default::default()
+    };
+    let g = engine.map(&dnn, batch, &g_opts);
+
+    let ht = busiest_group_heatmap(&ev, &t, &dnn);
+    let hg = busiest_group_heatmap(&ev, &g, &dnn);
+
+    println!("Tangram SPM (per-core pressure, 0-9):");
+    println!("{}", ht.render_ascii());
+    println!("Gemini SPM:");
+    println!("{}", hg.render_ascii());
+
+    let (t_hops, t_d2d) = totals(&ev, &t);
+    let (g_hops, g_d2d) = totals(&ev, &g);
+    println!("total hop-bytes : Tangram {:.2e}  Gemini {:.2e}  ({:+.1}%)",
+        t_hops, g_hops, (g_hops / t_hops - 1.0) * 100.0);
+    println!("D2D hop-bytes   : Tangram {:.2e}  Gemini {:.2e}  ({:+.1}%)",
+        t_d2d, g_d2d, (g_d2d / t_d2d.max(1.0) - 1.0) * 100.0);
+    println!("peak pressure   : Tangram {:.2e}  Gemini {:.2e}", ht.peak_pressure(), hg.peak_pressure());
+}
+
+fn totals(ev: &Evaluator, m: &MappedDnn) -> (f64, f64) {
+    let net = ev.network();
+    let mut hops = 0.0;
+    let mut d2d = 0.0;
+    for g in &m.report.groups {
+        hops += g.traffic.total_hop_bytes();
+        d2d += g.traffic.d2d_hop_bytes(net);
+    }
+    (hops, d2d)
+}

@@ -1,0 +1,110 @@
+//! Multi-DNN architecture co-design (Sec. V-A): Gemini's DSE scores a
+//! candidate by the *geometric mean* of energy and delay over all input
+//! DNNs, because a deployed accelerator rarely serves one network. This
+//! example contrasts per-workload optima with the jointly-optimal
+//! architecture for a CNN + Transformer pair.
+//!
+//! Run with `cargo run --release --example multi_dnn_codesign`.
+
+use gemini::core::dse::{run_dse_over, DseOptions, DseRecord, Objective};
+use gemini::prelude::*;
+use gemini_core::sa::SaOptions;
+
+/// A small hand-picked 72-TOPs-class candidate slate spanning the axes
+/// that differentiate CNNs from Transformers: buffer capacity, NoC
+/// bandwidth and core granularity.
+fn candidates() -> Vec<ArchConfig> {
+    let mut out = Vec::new();
+    for (x, y, macs) in [(6u32, 6u32, 1024u32), (6, 3, 2048)] {
+        for glb_kb in [256u64, 1024, 8192] {
+            for noc in [8.0, 32.0, 128.0] {
+                let a = ArchConfig::builder()
+                    .cores(x, y)
+                    .cuts(2, 1)
+                    .noc_bw(noc)
+                    .d2d_bw(noc / 2.0)
+                    .dram_bw(144.0)
+                    .glb_kb(glb_kb)
+                    .macs_per_core(macs)
+                    .build()
+                    .expect("valid candidate");
+                out.push(a);
+            }
+        }
+    }
+    out
+}
+
+fn describe(label: &str, rec: &DseRecord) {
+    println!(
+        "{:<22} {}  MC ${:.2}  E {:.3e} J  D {:.3e} s",
+        label,
+        rec.arch.paper_tuple(),
+        rec.mc,
+        rec.energy,
+        rec.delay
+    );
+}
+
+fn main() {
+    let cnn = gemini::model::zoo::tiny_resnet();
+    let tf = gemini::model::zoo::transformer_base();
+    let slate = candidates();
+    println!(
+        "co-designing for {} + {} over {} candidates\n",
+        cnn.name(),
+        tf.name(),
+        slate.len()
+    );
+
+    let opts = DseOptions {
+        // E*D: the workloads' architectural appetites (buffer capacity
+        // vs network bandwidth) diverge most without the MC tie-breaker.
+        objective: Objective::e_d(),
+        batch: 8,
+        mapping: MappingOptions {
+            sa: SaOptions { iters: 200, seed: 9, ..Default::default() },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    let for_cnn = run_dse_over(&slate, std::slice::from_ref(&cnn), &opts);
+    let for_tf = run_dse_over(&slate, std::slice::from_ref(&tf), &opts);
+    let joint = run_dse_over(&slate, &[cnn.clone(), tf.clone()], &opts);
+
+    describe("best for CNN only", for_cnn.best_record());
+    describe("best for Transformer", for_tf.best_record());
+    describe("joint optimum", joint.best_record());
+
+    // How much does specializing cost the other workload? Score every
+    // winner on the joint records (same candidate list, so the joint
+    // run already evaluated each winner on both DNNs).
+    let find = |arch: &ArchConfig| {
+        joint
+            .records
+            .iter()
+            .find(|r| &r.arch == arch)
+            .expect("same candidate slate")
+    };
+    let jc = find(&for_cnn.best_record().arch);
+    let jt = find(&for_tf.best_record().arch);
+    let jj = joint.best_record();
+    println!("\njoint-objective score (E*D, geomean over both DNNs):");
+    for (label, r) in
+        [("CNN-specialized", jc), ("TF-specialized", jt), ("joint optimum", jj)]
+    {
+        println!(
+            "  {:<18} {:.4e}  ({:+.1}% vs joint)",
+            label,
+            r.score,
+            (r.score / jj.score - 1.0) * 100.0
+        );
+    }
+    println!(
+        "\nThe per-DNN winners disagree on core granularity and buffer size;\n\
+         the geometric-mean objective weighs both workloads (here siding with\n\
+         the costlier Transformer while staying within a few percent for the\n\
+         CNN) — the reason Gemini's DSE accepts n DNNs (Sec. V-A)."
+    );
+}

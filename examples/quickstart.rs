@@ -1,0 +1,51 @@
+//! Quickstart: map ResNet-50 onto the paper's explored 72-TOPs G-Arch
+//! with the Tangram baseline (T-Map) and Gemini's SA mapping (G-Map),
+//! and print the comparison.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use gemini::prelude::*;
+
+fn main() {
+    let dnn = gemini::model::zoo::resnet50();
+    let arch = gemini::arch::presets::g_arch_72();
+    let batch = 16;
+
+    println!("workload : {} ({:.2} GMACs/sample)", dnn.name(), dnn.total_macs(1) as f64 / 1e9);
+    println!("arch     : {}  [{:.1} TOPS]", arch.paper_tuple(), arch.tops());
+    println!("batch    : {batch}\n");
+
+    let ev = Evaluator::new(&arch);
+    let sa = SaOptions { iters: 1500, seed: 1, ..Default::default() };
+    let cmp = compare_mappings(&ev, &dnn, batch, &sa);
+
+    println!(
+        "T-Map: delay {:8.3} ms   energy {:8.3} mJ",
+        cmp.tangram.delay_s * 1e3,
+        cmp.tangram.energy_j * 1e3
+    );
+    println!(
+        "G-Map: delay {:8.3} ms   energy {:8.3} mJ",
+        cmp.gemini.delay_s * 1e3,
+        cmp.gemini.energy_j * 1e3
+    );
+    println!(
+        "\nG-Map vs T-Map: {:.2}x performance, {:.2}x energy efficiency",
+        cmp.speedup(),
+        cmp.energy_gain()
+    );
+    println!(
+        "hop-bytes reduced {:.1}%, D2D hop-bytes reduced {:.1}%",
+        cmp.hop_reduction() * 100.0,
+        cmp.d2d_reduction() * 100.0
+    );
+
+    let mc = CostModel::default().evaluate(&arch);
+    println!(
+        "\nmonetary cost: ${:.2} (silicon {:.2} + DRAM {:.2} + package {:.2})",
+        mc.total(),
+        mc.silicon,
+        mc.dram,
+        mc.package
+    );
+}

@@ -1,0 +1,299 @@
+//! `gemini` — command-line front end for the co-exploration framework.
+//!
+//! Subcommands:
+//!
+//! * `gemini cost <preset>` — monetary-cost report of an architecture;
+//! * `gemini map <model> [--arch <preset>] [--batch N] [--iters N]
+//!   [--stats]` — map a workload with T-Map and G-Map and print the
+//!   comparison (`--stats` adds per-group utilization and the
+//!   packet-level fidelity ladder);
+//! * `gemini dse [--tops T] [--stride N] [--batch N] [--iters N]` — run
+//!   the Table-I DSE and print the best architecture;
+//! * `gemini hetero <model> [--batch N] [--iters N]` — exhaustive
+//!   per-chiplet class-assignment DSE on a 4-chiplet fabric (Sec. V-D);
+//! * `gemini models` / `gemini archs` — list available workloads and
+//!   architecture presets.
+//!
+//! Models are the paper's abbreviations (`rn-50`, `rnx`, `ires`, `pnas`,
+//! `tf`, `tf-large`, `gn`); presets are `s-arch`, `g-arch`, `t-arch`,
+//! `g-arch-torus`.
+
+use std::process::ExitCode;
+
+use gemini::prelude::*;
+
+fn preset(name: &str) -> Option<ArchConfig> {
+    match name {
+        "s-arch" | "simba" => Some(gemini::arch::presets::simba_s_arch()),
+        "g-arch" => Some(gemini::arch::presets::g_arch_72()),
+        "t-arch" => Some(gemini::arch::presets::t_arch()),
+        "g-arch-torus" => Some(gemini::arch::presets::g_arch_vs_tarch()),
+        _ => None,
+    }
+}
+
+/// Minimal `--flag value` argument scanner.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  gemini models [--detail]\n  gemini archs\n  gemini cost <preset>\n  \
+         gemini map <model> [--arch <preset>] [--batch N] [--iters N] [--stats]\n  \
+         gemini dse [--tops T] [--stride N] [--batch N] [--iters N]\n  \
+         gemini hetero <model> [--batch N] [--iters N]\n  \
+         gemini heatmap <model> [--batch N] [--iters N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("models") => {
+            let names = [
+                ("rn-50", "ResNet-50 (224x224)"),
+                ("rnx", "ResNeXt-50 32x4d"),
+                ("ires", "Inception-ResNet-v1 (299x299)"),
+                ("pnas", "PNASNet (224x224)"),
+                ("tf", "Transformer base (128 tokens, d512)"),
+                ("tf-large", "Transformer large (128 tokens, d1024)"),
+                ("bert", "BERT-base encoder (12 layers, d768)"),
+                ("gn", "GoogLeNet"),
+                ("dn-121", "DenseNet-121"),
+                ("mbv2", "MobileNetV2"),
+                ("effnet", "EfficientNet-B0 (SE omitted)"),
+                ("vgg", "VGG-16"),
+            ];
+            let detail = args.iter().any(|a| a == "--detail");
+            for (abbr, desc) in names {
+                if detail {
+                    let dnn = gemini::model::zoo::by_name(abbr).expect("listed model exists");
+                    println!("{abbr:<9} {}", dnn.summary());
+                } else {
+                    println!("{abbr:<9} {desc}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("heatmap") => {
+            let Some(dnn) = args.get(1).and_then(|m| gemini::model::zoo::by_name(m)) else {
+                eprintln!("unknown model; try `gemini models`");
+                return ExitCode::FAILURE;
+            };
+            let batch: u32 = flag(&args, "--batch").and_then(|v| v.parse().ok()).unwrap_or(8);
+            let iters: u32 = flag(&args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(800);
+            let arch = gemini::arch::presets::g_arch_72();
+            let ev = Evaluator::new(&arch);
+            let engine = MappingEngine::new(&ev);
+            let busiest = |m: &gemini::core::engine::MappedDnn| {
+                let r = m
+                    .report
+                    .groups
+                    .iter()
+                    .max_by(|a, b| {
+                        a.traffic
+                            .total_hop_bytes()
+                            .partial_cmp(&b.traffic.total_hop_bytes())
+                            .expect("finite")
+                    })
+                    .expect("at least one group");
+                gemini::noc::Heatmap::build(ev.network(), &r.traffic)
+            };
+            let t = engine.map_stripe(&dnn, batch, &MappingOptions::default());
+            let g = engine.map(
+                &dnn,
+                batch,
+                &MappingOptions {
+                    sa: SaOptions { iters, ..Default::default() },
+                    ..Default::default()
+                },
+            );
+            println!("busiest-group link pressure on {} (0-9):", arch.paper_tuple());
+            println!("\nT-Map:\n{}", busiest(&t).render_ascii());
+            println!("G-Map (SA {iters}):\n{}", busiest(&g).render_ascii());
+            ExitCode::SUCCESS
+        }
+        Some("archs") => {
+            for (n, a) in [
+                ("s-arch", gemini::arch::presets::simba_s_arch()),
+                ("g-arch", gemini::arch::presets::g_arch_72()),
+                ("t-arch", gemini::arch::presets::t_arch()),
+                ("g-arch-torus", gemini::arch::presets::g_arch_vs_tarch()),
+            ] {
+                println!("{n:<14} {}  [{:.0} TOPS]", a.paper_tuple(), a.tops());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("cost") => {
+            let Some(arch) = args.get(1).and_then(|n| preset(n)) else {
+                eprintln!("unknown preset; try `gemini archs`");
+                return ExitCode::FAILURE;
+            };
+            let mc = CostModel::default().evaluate(&arch);
+            println!("architecture : {}", arch.paper_tuple());
+            println!("silicon      : ${:8.2}  ({:.1} mm2 total)", mc.silicon, mc.silicon_mm2);
+            for d in &mc.per_die {
+                println!(
+                    "  {:?} die    : {:6.1} mm2 x{}  yield {:.3}  ${:.2} each",
+                    d.kind, d.area_mm2, d.count, d.yield_, d.unit_cost
+                );
+            }
+            println!("DRAM         : ${:8.2}", mc.dram);
+            println!("packaging    : ${:8.2}  ({:.0} mm2 substrate)", mc.package, mc.substrate_mm2);
+            println!("total        : ${:8.2}", mc.total());
+            ExitCode::SUCCESS
+        }
+        Some("map") => {
+            let Some(dnn) = args.get(1).and_then(|m| gemini::model::zoo::by_name(m)) else {
+                eprintln!("unknown model; try `gemini models`");
+                return ExitCode::FAILURE;
+            };
+            let arch = match flag(&args, "--arch") {
+                Some(n) => match preset(&n) {
+                    Some(a) => a,
+                    None => {
+                        eprintln!("unknown preset; try `gemini archs`");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => gemini::arch::presets::g_arch_72(),
+            };
+            let batch: u32 = flag(&args, "--batch").and_then(|v| v.parse().ok()).unwrap_or(16);
+            let iters: u32 = flag(&args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(1000);
+            println!("mapping {} onto {} (batch {batch}, SA {iters})", dnn.name(), arch.paper_tuple());
+            let ev = Evaluator::new(&arch);
+            let sa = SaOptions { iters, ..Default::default() };
+            let cmp = compare_mappings(&ev, &dnn, batch, &sa);
+            println!(
+                "T-Map : {:9.3} ms  {:9.3} mJ",
+                cmp.tangram.delay_s * 1e3,
+                cmp.tangram.energy_j * 1e3
+            );
+            println!(
+                "G-Map : {:9.3} ms  {:9.3} mJ   ({:.2}x perf, {:.2}x energy)",
+                cmp.gemini.delay_s * 1e3,
+                cmp.gemini.energy_j * 1e3,
+                cmp.speedup(),
+                cmp.energy_gain()
+            );
+            if args.iter().any(|a| a == "--stats") {
+                let engine = MappingEngine::new(&ev);
+                let opts = MappingOptions { sa, ..Default::default() };
+                let mapped = engine.map(&dnn, batch, &opts);
+                let gms = mapped.group_mappings(&dnn);
+                println!("\nper-group utilization and network-fidelity ladder (G-Map):");
+                println!(
+                    "{:>5} {:>7} {:>8} {:>8} {:>8}  {:>10} {:>10} {:>10}",
+                    "group", "cores", "busy", "MAC eff", "D2D", "analytic", "fluid", "packet"
+                );
+                let cfg = gemini::noc::packetsim::PacketSimConfig::default();
+                for (gi, gm) in gms.iter().enumerate() {
+                    let u = gemini::sim::utilization(&ev, &dnn, gm, batch);
+                    let f = gemini::sim::check_group(&ev, &dnn, gm, &cfg, 512e3);
+                    println!(
+                        "{:>5} {:>6.0}% {:>7.0}% {:>7.0}% {:>7.0}%  {:>9.2}us {:>9.2}us {:>9.2}us",
+                        gi,
+                        u.cores_used * 100.0,
+                        u.mean_busy * 100.0,
+                        u.mac_efficiency * 100.0,
+                        u.d2d_share * 100.0,
+                        f.analytic_s * 1e6,
+                        f.fluid_s * 1e6,
+                        f.packet_s * 1e6
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Some("hetero") => {
+            let Some(dnn) = args.get(1).and_then(|m| gemini::model::zoo::by_name(m)) else {
+                eprintln!("unknown model; try `gemini models`");
+                return ExitCode::FAILURE;
+            };
+            let batch: u32 = flag(&args, "--batch").and_then(|v| v.parse().ok()).unwrap_or(8);
+            let iters: u32 = flag(&args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(300);
+            let fabric = ArchConfig::builder()
+                .cores(6, 6)
+                .cuts(2, 2)
+                .noc_bw(32.0)
+                .d2d_bw(16.0)
+                .dram_bw(144.0)
+                .build()
+                .expect("valid fabric");
+            let spec = gemini::core::hetero_dse::HeteroDseSpec {
+                fabric,
+                classes: vec![
+                    gemini::arch::CoreClass { macs: 1536, glb_bytes: 3 << 20 },
+                    gemini::arch::CoreClass { macs: 512, glb_bytes: 1 << 20 },
+                ],
+            };
+            let opts = DseOptions {
+                batch,
+                mapping: MappingOptions {
+                    sa: SaOptions { iters, ..Default::default() },
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            println!(
+                "exploring {} class assignments for {} (batch {batch}, SA {iters})",
+                spec.candidates().len(),
+                dnn.name()
+            );
+            let res = gemini::core::hetero_dse::run_hetero_dse(
+                std::slice::from_ref(&dnn),
+                &spec,
+                &opts,
+            );
+            let best = res.best_record();
+            let tag: String = best
+                .spec
+                .class_of_chiplet()
+                .iter()
+                .map(|&c| if c == 0 { 'B' } else { 'L' })
+                .collect();
+            println!(
+                "best assignment {tag} (B = 1536-MAC, L = 512-MAC): {:.1} TOPS  MC ${:.2}  \
+                 E {:.3e} J  D {:.3e} s",
+                best.tops, best.mc, best.energy, best.delay
+            );
+            ExitCode::SUCCESS
+        }
+        Some("dse") => {
+            let tops: f64 = flag(&args, "--tops").and_then(|v| v.parse().ok()).unwrap_or(72.0);
+            let stride: usize =
+                flag(&args, "--stride").and_then(|v| v.parse().ok()).unwrap_or(29);
+            let batch: u32 = flag(&args, "--batch").and_then(|v| v.parse().ok()).unwrap_or(64);
+            let iters: u32 = flag(&args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(300);
+            let spec = DseSpec::table1(tops);
+            let opts = DseOptions {
+                objective: Objective::mc_e_d(),
+                batch,
+                mapping: MappingOptions {
+                    sa: SaOptions { iters, ..Default::default() },
+                    ..Default::default()
+                },
+                stride,
+                ..Default::default()
+            };
+            println!(
+                "{} candidates in the {tops}-TOPs grid; exploring every {stride}th with SA {iters}",
+                spec.candidates().len()
+            );
+            let dnns = vec![gemini::model::zoo::transformer_base()];
+            let res = run_dse(&dnns, &spec, &opts);
+            let best = res.best_record();
+            println!("best under MC*E*D: {}", best.arch.paper_tuple());
+            println!(
+                "MC ${:.2}  E {:.3} mJ  D {:.3} ms",
+                best.mc,
+                best.energy * 1e3,
+                best.delay * 1e3
+            );
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,64 @@
+//! # Gemini: mapping and architecture co-exploration for large-scale DNN
+//! chiplet accelerators
+//!
+//! A from-scratch Rust reproduction of the HPCA 2024 paper
+//! *"Gemini: Mapping and Architecture Co-exploration for Large-scale DNN
+//! Chiplet Accelerators"* (Cai et al.). This facade crate re-exports the
+//! whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`model`] | `gemini-model` | layer IR, DNN DAGs, model zoo |
+//! | [`arch`] | `gemini-arch` | chiplet hardware template + area model |
+//! | [`noc`] | `gemini-noc` | mesh/torus routing, traffic maps, heatmaps |
+//! | [`intracore`] | `gemini-intracore` | NVDLA-style tiling/loop-order search |
+//! | [`sim`] | `gemini-sim` | performance & energy evaluator |
+//! | [`cost`] | `gemini-cost` | monetary-cost evaluator |
+//! | [`tangram`] | `gemini-tangram` | Tangram baseline (T-Map) |
+//! | [`core`] | `gemini-core` | LP-SPM encoding, SA engine, DSE |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gemini::prelude::*;
+//!
+//! // Workload and architecture.
+//! let dnn = gemini::model::zoo::tiny_resnet();
+//! let arch = gemini::arch::presets::g_arch_72();
+//!
+//! // Map with Gemini's SA engine and evaluate.
+//! let ev = Evaluator::new(&arch);
+//! let engine = MappingEngine::new(&ev);
+//! let opts = MappingOptions {
+//!     sa: SaOptions { iters: 50, ..Default::default() },
+//!     ..Default::default()
+//! };
+//! let mapped = engine.map(&dnn, 4, &opts);
+//! println!("delay {:.3} ms, energy {:.3} mJ",
+//!     mapped.report.delay_s * 1e3, mapped.report.energy.total() * 1e3);
+//!
+//! // Monetary cost of the architecture.
+//! let mc = CostModel::default().evaluate(&arch);
+//! assert!(mc.total() > 0.0);
+//! ```
+
+pub use gemini_arch as arch;
+pub use gemini_core as core;
+pub use gemini_cost as cost;
+pub use gemini_intracore as intracore;
+pub use gemini_model as model;
+pub use gemini_noc as noc;
+pub use gemini_sim as sim;
+pub use gemini_tangram as tangram;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use gemini_arch::{ArchConfig, CoreClass, HeteroSpec, Topology};
+    pub use gemini_core::dse::{run_dse, DseOptions, DseSpec, Objective};
+    pub use gemini_core::engine::{MappedDnn, MappingEngine, MappingOptions};
+    pub use gemini_core::sa::SaOptions;
+    pub use gemini_cost::CostModel;
+    pub use gemini_model::{Dnn, DnnBuilder, FmapShape, LayerKind};
+    pub use gemini_sim::Evaluator;
+    pub use gemini_tangram::{compare_mappings, TangramMapper};
+}

@@ -1,0 +1,72 @@
+//! Smoke tests of the `gemini` CLI front end (argument handling, fast
+//! subcommands and error paths). Cargo builds the binary for
+//! integration tests and exposes its path via `CARGO_BIN_EXE_gemini`.
+
+use std::process::Command;
+
+fn gemini(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_gemini"))
+        .args(args)
+        .output()
+        .expect("spawn gemini CLI");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let (ok, _, err) = gemini(&[]);
+    assert!(!ok);
+    assert!(err.contains("usage:"));
+    assert!(err.contains("gemini dse"));
+}
+
+#[test]
+fn models_lists_all_abbreviations() {
+    let (ok, out, _) = gemini(&["models"]);
+    assert!(ok);
+    for abbr in ["rn-50", "tf", "bert", "effnet", "vgg"] {
+        assert!(out.contains(abbr), "missing {abbr} in:\n{out}");
+    }
+}
+
+#[test]
+fn models_detail_prints_summaries() {
+    let (ok, out, _) = gemini(&["models", "--detail"]);
+    assert!(ok);
+    assert!(out.contains("GMACs"));
+    assert!(out.contains("weights"));
+}
+
+#[test]
+fn archs_lists_presets() {
+    let (ok, out, _) = gemini(&["archs"]);
+    assert!(ok);
+    assert!(out.contains("s-arch"));
+    assert!(out.contains("g-arch"));
+    assert!(out.contains("TOPS"));
+}
+
+#[test]
+fn cost_reports_breakdown() {
+    let (ok, out, _) = gemini(&["cost", "g-arch"]);
+    assert!(ok);
+    for field in ["silicon", "DRAM", "packaging", "total", "yield"] {
+        assert!(out.contains(field), "missing {field} in:\n{out}");
+    }
+}
+
+#[test]
+fn unknown_model_and_preset_are_rejected() {
+    let (ok, _, err) = gemini(&["cost", "not-an-arch"]);
+    assert!(!ok);
+    assert!(err.contains("unknown preset"));
+    let (ok, _, err) = gemini(&["map", "not-a-model"]);
+    assert!(!ok);
+    assert!(err.contains("unknown model"));
+    let (ok, _, _) = gemini(&["frobnicate"]);
+    assert!(!ok);
+}

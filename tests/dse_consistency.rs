@@ -1,0 +1,124 @@
+//! Integration tests for the DSE driver: grid enumeration invariants,
+//! objective re-ranking consistency, and chiplet-reuse scaling.
+
+use gemini::core::dse::{
+    evaluate_candidate, run_dse_over, scale_arch, DseOptions, DseSpec, Objective,
+};
+use gemini::core::engine::MappingOptions;
+use gemini::core::sa::SaOptions;
+use gemini::prelude::*;
+use gemini_cost::CostModel;
+
+fn quick_opts() -> DseOptions {
+    DseOptions {
+        batch: 2,
+        mapping: MappingOptions {
+            sa: SaOptions { iters: 30, seed: 1, ..Default::default() },
+            ..Default::default()
+        },
+        threads: 2,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn grid_has_no_duplicate_candidates() {
+    for tops in [72.0, 128.0] {
+        let spec = DseSpec::table1(tops);
+        let cands = spec.candidates();
+        let mut seen = std::collections::HashSet::new();
+        for a in &cands {
+            let key = format!(
+                "{}|{}|{}|{}|{}|{}|{}|{}",
+                a.x_cores(),
+                a.y_cores(),
+                a.xcut(),
+                a.ycut(),
+                a.noc_bw(),
+                if a.is_monolithic() { 0.0 } else { a.d2d_bw() },
+                a.dram_bw(),
+                a.glb_bytes() + a.macs_per_core() as u64
+            );
+            assert!(seen.insert(key), "duplicate candidate {}", a.paper_tuple());
+        }
+    }
+}
+
+#[test]
+fn every_candidate_is_buildable_and_in_tops_band() {
+    let spec = DseSpec::table1(128.0);
+    for a in spec.candidates() {
+        let t = a.tops();
+        assert!(
+            (100.0..180.0).contains(&t),
+            "{} is {t} TOPS, outside the 128-TOPs band",
+            a.paper_tuple()
+        );
+    }
+}
+
+#[test]
+fn objective_reranking_is_consistent() {
+    let dnns = vec![gemini::model::zoo::two_conv_example()];
+    let candidates = vec![
+        gemini::arch::presets::simba_s_arch(),
+        gemini::arch::presets::g_arch_72(),
+        ArchConfig::builder().cores(6, 6).cuts(3, 3).build().expect("valid"),
+    ];
+    let res = run_dse_over(&candidates, &dnns, &quick_opts());
+    assert_eq!(res.records.len(), 3);
+    // best_under(obj) must minimize that objective over the records.
+    for obj in [Objective::mc_e_d(), Objective::e_d(), Objective::d_only(), Objective::e_only()] {
+        let b = res.best_under(obj);
+        let bs = obj.score(b.mc, b.energy, b.delay);
+        for r in &res.records {
+            assert!(bs <= obj.score(r.mc, r.energy, r.delay) + 1e-12);
+        }
+    }
+}
+
+#[test]
+fn evaluate_candidate_geomean_matches_single_dnn() {
+    // With one DNN, the geometric mean is the value itself.
+    let arch = gemini::arch::presets::g_arch_72();
+    let dnns = vec![gemini::model::zoo::two_conv_example()];
+    let rec = evaluate_candidate(&arch, &dnns, &CostModel::default(), &quick_opts());
+    assert_eq!(rec.per_dnn.len(), 1);
+    let (_, e, d) = (&rec.per_dnn[0].0, rec.per_dnn[0].1, rec.per_dnn[0].2);
+    assert!((rec.energy - e).abs() / e < 1e-12);
+    assert!((rec.delay - d).abs() / d < 1e-12);
+    assert!((rec.score - rec.mc * e * d).abs() / rec.score < 1e-12);
+}
+
+#[test]
+fn scale_arch_preserves_chiplet_identity() {
+    for factor in [2u32, 3, 4, 8] {
+        let base = gemini::arch::presets::g_arch_72();
+        let scaled = scale_arch(&base, factor).expect("tiles");
+        assert_eq!(scaled.chiplet_dims(), base.chiplet_dims());
+        assert_eq!(scaled.glb_bytes(), base.glb_bytes());
+        assert_eq!(scaled.macs_per_core(), base.macs_per_core());
+        assert_eq!(scaled.n_chiplets(), base.n_chiplets() * factor);
+        let tops_ratio = scaled.tops() / base.tops();
+        assert!((tops_ratio - factor as f64).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn scale_arch_zero_is_none() {
+    assert!(scale_arch(&gemini::arch::presets::g_arch_72(), 0).is_none());
+}
+
+#[test]
+fn mc_of_scaled_arch_grows_sublinearly_in_silicon() {
+    // Tiling chiplets keeps per-die yield, so silicon cost scales about
+    // linearly while the packaging tier may jump; total must grow at
+    // most ~linearly + one tier.
+    let cost = CostModel::default();
+    let base = gemini::arch::presets::g_arch_72();
+    let four = scale_arch(&base, 4).expect("tiles");
+    let r1 = cost.evaluate(&base);
+    let r4 = cost.evaluate(&four);
+    assert!(r4.silicon > 3.5 * r1.silicon && r4.silicon < 4.5 * r1.silicon);
+    assert!(r4.total() < 6.0 * r1.total());
+}

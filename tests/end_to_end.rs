@@ -1,0 +1,171 @@
+//! End-to-end integration tests: the full pipeline (model zoo -> graph
+//! partition -> stripe/SA mapping -> evaluation -> monetary cost) across
+//! architectures and workloads.
+
+use gemini::prelude::*;
+use gemini_core::sa::SaOptions;
+
+fn small_sa(iters: u32, seed: u64) -> MappingOptions {
+    MappingOptions { sa: SaOptions { iters, seed, ..Default::default() }, ..Default::default() }
+}
+
+#[test]
+fn full_pipeline_on_all_presets() {
+    let dnn = gemini::model::zoo::tiny_resnet();
+    for arch in [
+        gemini::arch::presets::simba_s_arch(),
+        gemini::arch::presets::g_arch_72(),
+        gemini::arch::presets::t_arch(),
+        gemini::arch::presets::g_arch_vs_tarch(),
+    ] {
+        let ev = Evaluator::new(&arch);
+        let engine = MappingEngine::new(&ev);
+        let m = engine.map(&dnn, 4, &small_sa(60, 1));
+        assert!(m.report.delay_s > 0.0, "{}", arch.paper_tuple());
+        assert!(m.report.energy.total() > 0.0);
+        for gm in m.group_mappings(&dnn) {
+            gm.validate(&dnn).unwrap();
+        }
+        let mc = CostModel::default().evaluate(&arch);
+        assert!(mc.total() > 0.0);
+    }
+}
+
+#[test]
+fn paper_workloads_map_on_g_arch() {
+    // Every workload of the paper's Fig. 5 goes through T-Map end to end
+    // (SA budget zero keeps this fast; the benches run the full thing).
+    let arch = gemini::arch::presets::g_arch_72();
+    let ev = Evaluator::new(&arch);
+    let engine = MappingEngine::new(&ev);
+    for dnn in gemini::model::zoo::paper_workloads() {
+        let m = engine.map_stripe(&dnn, 1, &MappingOptions::default());
+        assert!(m.report.delay_s > 0.0, "{} produced zero delay", dnn.name());
+        assert!(
+            m.partition.groups.iter().all(|g| g.members.len() <= 36),
+            "{}: group exceeds core count",
+            dnn.name()
+        );
+        for gm in m.group_mappings(&dnn) {
+            gm.validate(&dnn).unwrap();
+        }
+    }
+}
+
+#[test]
+fn batch_scaling_monotone() {
+    // More samples must take longer and more energy, sub-linearly in
+    // delay (pipelining) on a multi-layer group.
+    let dnn = gemini::model::zoo::tiny_resnet();
+    let arch = gemini::arch::presets::g_arch_72();
+    let ev = Evaluator::new(&arch);
+    let engine = MappingEngine::new(&ev);
+    let m1 = engine.map_stripe(&dnn, 1, &MappingOptions::default());
+    let m16 = engine.map_stripe(&dnn, 16, &MappingOptions::default());
+    assert!(m16.report.delay_s > m1.report.delay_s);
+    assert!(m16.report.energy.total() > m1.report.energy.total());
+    assert!(
+        m16.report.delay_s < 16.0 * m1.report.delay_s,
+        "pipelining should amortize: {} vs {}",
+        m16.report.delay_s,
+        16.0 * m1.report.delay_s
+    );
+}
+
+#[test]
+fn latency_vs_throughput_scenarios() {
+    // Batch 1 (latency) and batch 64 (throughput, MLPerf-style) both
+    // work and batch-64 achieves better per-sample delay.
+    let dnn = gemini::model::zoo::googlenet();
+    let arch = gemini::arch::presets::g_arch_72();
+    let ev = Evaluator::new(&arch);
+    let engine = MappingEngine::new(&ev);
+    let lat = engine.map_stripe(&dnn, 1, &MappingOptions::default());
+    let thr = engine.map_stripe(&dnn, 64, &MappingOptions::default());
+    let per_sample_lat = lat.report.delay_s;
+    let per_sample_thr = thr.report.delay_s / 64.0;
+    assert!(
+        per_sample_thr < per_sample_lat,
+        "throughput mode should amortize: {per_sample_thr} vs {per_sample_lat}"
+    );
+}
+
+#[test]
+fn gemini_mapping_dominates_tangram_across_archs() {
+    let dnn = gemini::model::zoo::tiny_resnet();
+    for arch in [gemini::arch::presets::simba_s_arch(), gemini::arch::presets::g_arch_72()] {
+        let ev = Evaluator::new(&arch);
+        let sa = SaOptions { iters: 250, seed: 9, ..Default::default() };
+        let cmp = compare_mappings(&ev, &dnn, 8, &sa);
+        let edp_t = cmp.tangram.delay_s * cmp.tangram.energy_j;
+        let edp_g = cmp.gemini.delay_s * cmp.gemini.energy_j;
+        assert!(
+            edp_g <= edp_t * 1.0001,
+            "{}: G-Map EDP {edp_g} worse than T-Map {edp_t}",
+            arch.paper_tuple()
+        );
+    }
+}
+
+#[test]
+fn torus_topology_end_to_end() {
+    // The Sec. VI-B2 generality check: the same pipeline runs on the
+    // folded-torus T-Arch.
+    let dnn = gemini::model::zoo::tiny_resnet();
+    let arch = gemini::arch::presets::t_arch();
+    assert_eq!(arch.topology(), Topology::FoldedTorus);
+    let ev = Evaluator::new(&arch);
+    let engine = MappingEngine::new(&ev);
+    let m = engine.map(&dnn, 4, &small_sa(100, 4));
+    assert!(m.report.delay_s > 0.0);
+}
+
+#[test]
+fn dnn_report_components_sum() {
+    let dnn = gemini::model::zoo::tiny_resnet();
+    let arch = gemini::arch::presets::g_arch_72();
+    let ev = Evaluator::new(&arch);
+    let engine = MappingEngine::new(&ev);
+    let m = engine.map_stripe(&dnn, 4, &MappingOptions::default());
+    let sum_delay: f64 = m.report.groups.iter().map(|g| g.delay_s).sum();
+    assert!((sum_delay - m.report.delay_s).abs() < 1e-12);
+    let sum_e: f64 = m.report.groups.iter().map(|g| g.energy.total()).sum();
+    assert!((sum_e - m.report.energy.total()).abs() < 1e-15);
+    let b = m.report.energy;
+    assert!(
+        (b.total() - (b.intra_tile() + b.network() + b.dram)).abs() < 1e-15,
+        "breakdown groupings must partition the total"
+    );
+}
+
+#[test]
+fn sa_iterations_improve_quality() {
+    // More annealing budget should not hurt (same seed family).
+    let dnn = gemini::model::zoo::tiny_resnet();
+    let arch = gemini::arch::presets::simba_s_arch();
+    let ev = Evaluator::new(&arch);
+    let engine = MappingEngine::new(&ev);
+    let short = engine.map(&dnn, 8, &small_sa(40, 13));
+    let long = engine.map(&dnn, 8, &small_sa(400, 13));
+    assert!(long.report.edp() <= short.report.edp() * 1.05);
+}
+
+#[test]
+fn new_zoo_models_survive_the_pipeline() {
+    // EfficientNet-B0 (5x5 depthwise halos) and BERT-base (12 encoder
+    // layers of activation-operand matmuls) exercise paths the paper's
+    // five workloads do not; both must map, validate and evaluate.
+    let arch = gemini::arch::presets::g_arch_72();
+    let ev = Evaluator::new(&arch);
+    let engine = MappingEngine::new(&ev);
+    for dnn in [gemini::model::zoo::efficientnet_b0(), gemini::model::zoo::bert_base()] {
+        let m = engine.map_stripe(&dnn, 2, &MappingOptions::default());
+        assert!(m.report.delay_s > 0.0, "{} has zero delay", dnn.name());
+        assert!(m.report.energy.total() > 0.0);
+        for gm in m.group_mappings(&dnn) {
+            gm.validate(&dnn).unwrap();
+        }
+        let s = dnn.summary();
+        assert_eq!(s.layers, dnn.compute_ids().count());
+    }
+}

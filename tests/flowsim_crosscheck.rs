@@ -1,0 +1,109 @@
+//! Cross-validation of the analytic timing model against the max-min
+//! fair flow simulator: the peer-to-peer flows of real mappings (taken
+//! from the generated instruction streams) are replayed through both
+//! models.
+
+use gemini::noc::flowsim::{analytic_bottleneck, simulate_flows, Flow};
+use gemini::prelude::*;
+use gemini::sim::{generate_program, Instr};
+use gemini_core::sa::SaOptions;
+
+/// Extracts each group's peer flows (Send instructions) as routed flows.
+fn peer_flows(
+    dnn: &gemini::model::Dnn,
+    arch: &ArchConfig,
+    ev: &Evaluator,
+    iters: u32,
+) -> Vec<Vec<Flow>> {
+    let engine = MappingEngine::new(ev);
+    let m = if iters == 0 {
+        engine.map_stripe(dnn, 4, &MappingOptions::default())
+    } else {
+        engine.map(
+            dnn,
+            4,
+            &MappingOptions {
+                sa: SaOptions { iters, seed: 2, ..Default::default() },
+                ..Default::default()
+            },
+        )
+    };
+    let mut out = Vec::new();
+    for gm in m.group_mappings(dnn) {
+        let prog = generate_program(dnn, &gm);
+        let mut flows = Vec::new();
+        for (core, stream) in &prog.streams {
+            for i in stream {
+                if let Instr::Send { to, bytes, .. } = i {
+                    let mut path = Vec::new();
+                    ev.network().route_cores(*core, *to, &mut path);
+                    flows.push(Flow { path, bytes: *bytes as f64 });
+                }
+            }
+        }
+        out.push(flows);
+    }
+    let _ = arch;
+    out
+}
+
+#[test]
+fn fluid_time_at_least_analytic_bound() {
+    let dnn = gemini::model::zoo::tiny_resnet();
+    let arch = gemini::arch::presets::g_arch_72();
+    let ev = Evaluator::new(&arch);
+    for flows in peer_flows(&dnn, &arch, &ev, 0) {
+        if flows.is_empty() {
+            continue;
+        }
+        let sim = simulate_flows(ev.network(), &flows);
+        let bound = analytic_bottleneck(ev.network(), &flows);
+        assert!(
+            sim.completion_s >= bound * (1.0 - 1e-9),
+            "fluid {} beat the per-link bound {}",
+            sim.completion_s,
+            bound
+        );
+    }
+}
+
+#[test]
+fn analytic_model_is_a_tight_proxy_for_stripe_mappings() {
+    // For the contiguous stripe mapping, the bottleneck bound should be
+    // within a small constant of the fluid completion (the congestion
+    // surcharge in the evaluator absorbs the gap).
+    let dnn = gemini::model::zoo::two_conv_example();
+    let arch = gemini::arch::presets::g_arch_72();
+    let ev = Evaluator::new(&arch);
+    for flows in peer_flows(&dnn, &arch, &ev, 0) {
+        if flows.is_empty() {
+            continue;
+        }
+        let sim = simulate_flows(ev.network(), &flows);
+        let bound = analytic_bottleneck(ev.network(), &flows);
+        assert!(
+            sim.completion_s <= bound * 8.0,
+            "fluid {} too far above bound {} — analytic proxy broken",
+            sim.completion_s,
+            bound
+        );
+    }
+}
+
+#[test]
+fn sa_mappings_also_validate_under_fluid_model() {
+    let dnn = gemini::model::zoo::tiny_resnet();
+    let arch = gemini::arch::presets::simba_s_arch();
+    let ev = Evaluator::new(&arch);
+    let mut checked = 0;
+    for flows in peer_flows(&dnn, &arch, &ev, 150) {
+        if flows.is_empty() {
+            continue;
+        }
+        let sim = simulate_flows(ev.network(), &flows);
+        assert!(sim.completion_s.is_finite());
+        assert!(sim.events <= flows.len() * 4 + 16);
+        checked += 1;
+    }
+    assert!(checked > 0, "expected at least one group with peer flows");
+}

@@ -1,0 +1,127 @@
+//! Cross-validation of the timing-model ladder on real mapping traffic:
+//! analytic per-link bound <= max-min fluid simulation <= packet-level
+//! (flit-granular) simulation, with bounded gaps. The packet simulator
+//! adds finite queues, backpressure and per-hop latency, so it is the
+//! closest model to real NoC hardware; the evaluator's congestion
+//! surcharge exists to absorb the gap between the analytic bound and
+//! this reference.
+
+use gemini::noc::flowsim::{analytic_bottleneck, simulate_flows, Flow};
+use gemini::noc::packetsim::{simulate_packets, PacketSimConfig};
+use gemini::prelude::*;
+use gemini::sim::{generate_program, Instr};
+
+/// Extracts each group's peer flows from the generated instruction
+/// streams, scaled so every flow set stays below `cap_bytes` total
+/// (keeps flit counts debug-test friendly while preserving contention
+/// ratios).
+fn scaled_peer_flows(
+    dnn: &gemini::model::Dnn,
+    ev: &Evaluator,
+    cap_bytes: f64,
+) -> Vec<Vec<Flow>> {
+    let engine = MappingEngine::new(ev);
+    let m = engine.map_stripe(dnn, 4, &MappingOptions::default());
+    let mut out = Vec::new();
+    for gm in m.group_mappings(dnn) {
+        let prog = generate_program(dnn, &gm);
+        let mut flows = Vec::new();
+        for (core, stream) in &prog.streams {
+            for i in stream {
+                if let Instr::Send { to, bytes, .. } = i {
+                    let mut path = Vec::new();
+                    ev.network().route_cores(*core, *to, &mut path);
+                    flows.push(Flow { path, bytes: *bytes as f64 });
+                }
+            }
+        }
+        let total: f64 = flows.iter().map(|f| f.bytes).sum();
+        if total > cap_bytes {
+            let s = cap_bytes / total;
+            for f in &mut flows {
+                f.bytes = (f.bytes * s).max(16.0);
+            }
+        }
+        out.push(flows);
+    }
+    out
+}
+
+#[test]
+fn packet_time_dominates_fluid_time_on_real_traffic() {
+    let dnn = gemini::model::zoo::tiny_resnet();
+    let arch = gemini::arch::presets::g_arch_72();
+    let ev = Evaluator::new(&arch);
+    let cfg = PacketSimConfig::default();
+    let mut checked = 0;
+    for flows in scaled_peer_flows(&dnn, &ev, 256e3) {
+        if flows.is_empty() {
+            continue;
+        }
+        let fluid = simulate_flows(ev.network(), &flows);
+        let packet = simulate_packets(ev.network(), &flows, &cfg);
+        assert!(!packet.truncated);
+        // Finite queues and whole-flit service cannot beat fluid sharing
+        // by more than rounding (one flit per flow).
+        let slack = flows.len() as f64 * cfg.flit_bytes;
+        assert!(
+            packet.completion_s >= fluid.completion_s * (1.0 - 1e-6) - slack * 1e-12,
+            "packet {} beat fluid {}",
+            packet.completion_s,
+            fluid.completion_s
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "expected at least one group with peer flows");
+}
+
+#[test]
+fn packet_time_within_surcharge_budget_of_analytic_bound() {
+    // The evaluator prices network time as `bottleneck + 4 x mean link
+    // time`. On stripe-mapping traffic the packet-level completion must
+    // land within that kind of envelope — here we accept up to 8x the
+    // raw bound (the surcharge absorbs queueing, per-hop latency and
+    // arbitration).
+    let dnn = gemini::model::zoo::two_conv_example();
+    let arch = gemini::arch::presets::g_arch_72();
+    let ev = Evaluator::new(&arch);
+    let cfg = PacketSimConfig::default();
+    for flows in scaled_peer_flows(&dnn, &ev, 256e3) {
+        if flows.is_empty() {
+            continue;
+        }
+        let bound = analytic_bottleneck(ev.network(), &flows);
+        if bound <= 0.0 {
+            continue;
+        }
+        let packet = simulate_packets(ev.network(), &flows, &cfg);
+        assert!(!packet.truncated);
+        let ratio = packet.completion_s / bound;
+        assert!(
+            (1.0 - 1e-6..8.0).contains(&ratio),
+            "packet/bound ratio {ratio} out of the surcharge envelope"
+        );
+    }
+}
+
+#[test]
+fn packet_sim_handles_chiplet_cut_traffic() {
+    // Simba-granularity fabric: every hop between neighbouring cores is
+    // a D2D crossing; the packet simulator must still drain and stay
+    // slower than the same traffic on the monolithic G-Arch mesh.
+    let dnn = gemini::model::zoo::two_conv_example();
+    let simba = gemini::arch::presets::simba_s_arch();
+    let ev = Evaluator::new(&simba);
+    let cfg = PacketSimConfig::default();
+    let mut any = false;
+    for flows in scaled_peer_flows(&dnn, &ev, 128e3) {
+        if flows.is_empty() {
+            continue;
+        }
+        let r = simulate_packets(ev.network(), &flows, &cfg);
+        assert!(!r.truncated);
+        assert!(r.completion_s > 0.0);
+        any = true;
+    }
+    assert!(any);
+}

@@ -1,0 +1,164 @@
+//! Shape-level reproduction checks of the paper's headline claims.
+//! (The benches regenerate the full figures; these tests pin the
+//! qualitative directions so regressions are caught by `cargo test`.)
+
+use gemini::prelude::*;
+use gemini_core::sa::SaOptions;
+
+/// Sec. VI-B1: the co-optimized G-Arch+G-Map beats S-Arch+T-Map on both
+/// delay and energy, at a comparable monetary cost.
+#[test]
+fn co_exploration_beats_simba_tangram() {
+    let dnn = gemini::model::zoo::tiny_resnet();
+    let batch = 16;
+
+    let s_arch = gemini::arch::presets::simba_s_arch();
+    let ev_s = Evaluator::new(&s_arch);
+    let baseline = MappingEngine::new(&ev_s).map_stripe(&dnn, batch, &MappingOptions::default());
+
+    let g_arch = gemini::arch::presets::g_arch_72();
+    let ev_g = Evaluator::new(&g_arch);
+    let opts = MappingOptions {
+        sa: SaOptions { iters: 300, seed: 21, ..Default::default() },
+        ..Default::default()
+    };
+    let ours = MappingEngine::new(&ev_g).map(&dnn, batch, &opts);
+
+    let speedup = baseline.report.delay_s / ours.report.delay_s;
+    let egain = baseline.report.energy.total() / ours.report.energy.total();
+    assert!(speedup > 1.2, "expected a clear performance win, got {speedup:.2}x");
+    assert!(egain > 1.1, "expected a clear energy win, got {egain:.2}x");
+
+    let cost = CostModel::default();
+    let mc_ratio = cost.evaluate(&g_arch).total() / cost.evaluate(&s_arch).total();
+    assert!(
+        (0.9..1.35).contains(&mc_ratio),
+        "MC should be comparable (paper: +14.3%), got {mc_ratio:.2}x"
+    );
+}
+
+/// Sec. IV-B: the encoding's optimization space dwarfs the Tangram
+/// heuristic's for the evaluated scales.
+#[test]
+fn space_sizes_dwarf_tangram() {
+    for (m, n) in [(36u64, 6u64), (64, 8), (144, 10)] {
+        let g = gemini::core::space::gemini_space_log2(m, n);
+        let t = gemini::core::space::tangram_space_log2(m, n);
+        assert!(g > t + 50.0, "M={m} N={n}: 2^{g:.0} vs 2^{t:.0}");
+    }
+}
+
+/// Sec. V-B1: the annealer inherently reduces D2D communication — on the
+/// chiplet-dense S-Arch, the optimized mapping must carry fewer D2D
+/// hop-bytes than the stripe baseline.
+#[test]
+fn sa_reduces_d2d_traffic() {
+    let dnn = gemini::model::zoo::tiny_resnet();
+    let arch = gemini::arch::presets::simba_s_arch();
+    let ev = Evaluator::new(&arch);
+    let sa = SaOptions { iters: 500, seed: 31, ..Default::default() };
+    let cmp = compare_mappings(&ev, &dnn, 8, &sa);
+    assert!(
+        cmp.d2d_reduction() > 0.0,
+        "expected D2D reduction, got {:+.1}%",
+        cmp.d2d_reduction() * 100.0
+    );
+}
+
+/// Sec. VII-A1: overly fine chiplet granularity hurts delay, energy and
+/// MC at once (fine vs moderate partitioning of the same fabric).
+#[test]
+fn fine_chiplets_hurt_everything() {
+    let dnn = gemini::model::zoo::two_conv_example();
+    let batch = 8;
+    let cost = CostModel::default();
+    let build = |xc: u32, yc: u32| {
+        ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(xc, yc)
+            .noc_bw(32.0)
+            .d2d_bw(16.0)
+            .dram_bw(144.0)
+            .glb_kb(2048)
+            .macs_per_core(1024)
+            .build()
+            .expect("valid")
+    };
+    let moderate = build(2, 1);
+    let fine = build(6, 6);
+    let run = |arch: &ArchConfig| {
+        let ev = Evaluator::new(arch);
+        let m = MappingEngine::new(&ev).map(
+            &dnn,
+            batch,
+            &MappingOptions {
+                sa: SaOptions { iters: 200, seed: 3, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        (m.report.delay_s, m.report.energy.total())
+    };
+    let (d_mod, e_mod) = run(&moderate);
+    let (d_fine, e_fine) = run(&fine);
+    assert!(d_fine >= d_mod * 0.99, "fine-grained delay {d_fine} vs moderate {d_mod}");
+    assert!(e_fine > e_mod, "fine-grained energy {e_fine} vs moderate {e_mod}");
+    assert!(
+        cost.evaluate(&fine).total() > cost.evaluate(&moderate).total(),
+        "36 chiplets must cost more than 2"
+    );
+}
+
+/// Sec. VII-B: tiling many small Simba chiplets to a large scale is far
+/// worse than a natively-sized chiplet design.
+#[test]
+fn one_size_fits_all_fails() {
+    let dnn = gemini::model::zoo::two_conv_example();
+    let simba_big = gemini::core::dse::scale_arch(&gemini::arch::presets::simba_s_arch(), 4)
+        .expect("tiles");
+    let native = ArchConfig::builder()
+        .cores(12, 6)
+        .cuts(2, 1)
+        .noc_bw(32.0)
+        .d2d_bw(16.0)
+        .dram_bw(288.0)
+        .glb_kb(2048)
+        .macs_per_core(2048)
+        .build()
+        .expect("valid");
+    assert!((simba_big.tops() - native.tops()).abs() / native.tops() < 0.1);
+    let run = |arch: &ArchConfig| {
+        let ev = Evaluator::new(arch);
+        let m = MappingEngine::new(&ev).map_stripe(&dnn, 8, &MappingOptions::default());
+        m.report.edp()
+    };
+    assert!(
+        run(&simba_big) > run(&native),
+        "144 Simba chiplets should lose to a native design"
+    );
+}
+
+/// Sec. VI-B2: the framework handles the folded-torus T-Arch and the
+/// explored counterpart wins there too.
+#[test]
+fn torus_comparison_direction() {
+    let dnn = gemini::model::zoo::tiny_resnet();
+    let t_arch = gemini::arch::presets::t_arch();
+    let g_arch = gemini::arch::presets::g_arch_vs_tarch();
+    let ev_t = Evaluator::new(&t_arch);
+    let baseline = MappingEngine::new(&ev_t).map_stripe(&dnn, 16, &MappingOptions::default());
+    let ev_g = Evaluator::new(&g_arch);
+    let ours = MappingEngine::new(&ev_g).map(
+        &dnn,
+        16,
+        &MappingOptions {
+            sa: SaOptions { iters: 200, seed: 5, ..Default::default() },
+            ..Default::default()
+        },
+    );
+    assert!(
+        ours.report.delay_s < baseline.report.delay_s,
+        "explored arch should outperform T-Arch ({} vs {})",
+        ours.report.delay_s,
+        baseline.report.delay_s
+    );
+}

@@ -1,0 +1,178 @@
+//! Property-based tests on the framework's core invariants.
+
+use proptest::prelude::*;
+
+use gemini::core::encoding::{GroupSpec, Part};
+use gemini::core::factor::{factorizations, random_part};
+use gemini::core::stripe::stripe_lms;
+use gemini::model::{split_dim, FmapShape, Range1, Region};
+use gemini::prelude::*;
+use gemini_core::sa::SaOptions;
+use gemini_model::LayerId;
+
+proptest! {
+    /// `split_dim` tiles `[0, len)` exactly, with pieces within one of
+    /// each other.
+    #[test]
+    fn split_dim_partitions_exactly(len in 1u32..512, parts in 1u32..64) {
+        let parts = parts.min(len);
+        let mut prev_end = 0u32;
+        let mut min_len = u32::MAX;
+        let mut max_len = 0u32;
+        for i in 0..parts {
+            let r = split_dim(len, parts, i);
+            prop_assert_eq!(r.start, prev_end);
+            prev_end = r.end;
+            min_len = min_len.min(r.len());
+            max_len = max_len.max(r.len());
+        }
+        prop_assert_eq!(prev_end, len);
+        prop_assert!(max_len - min_len <= 1);
+    }
+
+    /// Every factorization of `nc` is a valid Part and their product is
+    /// exact.
+    #[test]
+    fn factorizations_sound(
+        nc in 1u32..128,
+        h in 1u32..64,
+        w in 1u32..64,
+        c in 1u32..512,
+        bu in 1u32..16,
+    ) {
+        let shape = FmapShape::new(h, w, c);
+        for p in factorizations(nc, shape, bu) {
+            prop_assert_eq!(p.count(), nc);
+            prop_assert!(p.fits(shape, bu));
+        }
+    }
+
+    /// `random_part` always returns a valid factorization when one
+    /// exists.
+    #[test]
+    fn random_part_valid(nc in 1u32..64, c in 1u32..256, seed in 0u64..1000) {
+        let shape = FmapShape::new(32, 32, c);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::SeedableRng;
+        if let Some(p) = random_part(nc, shape, 4, None, &mut rng) {
+            prop_assert_eq!(p.count(), nc);
+            prop_assert!(p.fits(shape, 4));
+        } else {
+            prop_assert!(factorizations(nc, shape, 4).is_empty());
+        }
+    }
+
+    /// Region intersection is commutative and contained in both inputs.
+    #[test]
+    fn region_intersection_laws(
+        a0 in 0u32..32, a1 in 0u32..32,
+        b0 in 0u32..32, b1 in 0u32..32,
+        k0 in 0u32..16, k1 in 0u32..16,
+    ) {
+        let r1 = Region::new(
+            Range1::new(a0.min(a1), a0.max(a1) + 1),
+            Range1::full(8),
+            Range1::new(k0.min(k1), k0.max(k1) + 1),
+            Range1::full(2),
+        );
+        let r2 = Region::new(
+            Range1::new(b0.min(b1), b0.max(b1) + 1),
+            Range1::full(8),
+            Range1::new(k1.min(k0), k1.max(k0) + 1),
+            Range1::full(2),
+        );
+        let i12 = r1.intersect(&r2);
+        let i21 = r2.intersect(&r1);
+        prop_assert_eq!(i12, i21);
+        prop_assert!(i12.elems() <= r1.elems());
+        prop_assert!(i12.elems() <= r2.elems());
+    }
+
+    /// Grid arrangement factors exactly.
+    #[test]
+    fn arrange_cores_factors(n in 1u32..512) {
+        let (x, y) = gemini::arch::arrange_cores(n);
+        prop_assert_eq!(x * y, n);
+        prop_assert!(x >= y);
+    }
+
+    /// Monetary cost is monotone in GLB size and MAC count.
+    #[test]
+    fn mc_monotone_in_resources(glb_kb in 1u64..8, macs_pow in 9u32..13) {
+        let cost = CostModel::default();
+        let build = |glb: u64, macs: u32| {
+            ArchConfig::builder()
+                .cores(4, 4)
+                .cuts(2, 1)
+                .glb_kb(glb * 256)
+                .macs_per_core(macs)
+                .build()
+                .expect("valid")
+        };
+        let base = cost.evaluate(&build(glb_kb * 256, 1 << macs_pow)).total();
+        let more_glb = cost.evaluate(&build(glb_kb * 512, 1 << macs_pow)).total();
+        let more_macs = cost.evaluate(&build(glb_kb * 256, 1 << (macs_pow + 1))).total();
+        prop_assert!(more_glb >= base);
+        prop_assert!(more_macs >= base);
+    }
+
+    /// The die-yield model stays in (0, 1] and decreases with area.
+    #[test]
+    fn yield_monotone(a in 1.0f64..2000.0, b in 1.0f64..2000.0) {
+        let m = CostModel::default();
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let ylo = m.die_yield(lo);
+        let yhi = m.die_yield(hi);
+        prop_assert!(ylo > 0.0 && ylo <= 1.0);
+        prop_assert!(yhi <= ylo);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parsing any stripe scheme of a random group of the tiny ResNet
+    /// yields an exact output-cube cover on a random architecture.
+    #[test]
+    fn stripe_parse_covers_output(
+        xcores in 2u32..8,
+        ycores in 2u32..6,
+        take in 1usize..6,
+        bu in 1u32..4,
+    ) {
+        let dnn = gemini::model::zoo::tiny_resnet();
+        let arch = ArchConfig::builder().cores(xcores, ycores).cuts(1, 1).build().expect("valid");
+        let members: Vec<LayerId> = dnn.compute_ids().take(take.min((xcores*ycores) as usize)).collect();
+        let spec = GroupSpec { members, batch_unit: bu };
+        let lms = stripe_lms(&dnn, &arch, &spec);
+        lms.validate(&dnn, &arch, &spec).expect("stripe scheme valid");
+        let gm = lms.parse(&dnn, &spec, &|_| gemini::sim::DramSel::Interleaved);
+        gm.validate(&dnn).expect("coverage");
+    }
+
+    /// SA never regresses below its initial cost and its output always
+    /// validates, across random seeds.
+    #[test]
+    fn sa_safe_across_seeds(seed in 0u64..40) {
+        let dnn = gemini::model::zoo::two_conv_example();
+        let arch = gemini::arch::presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let engine = MappingEngine::new(&ev);
+        let opts = MappingOptions {
+            sa: SaOptions { iters: 60, seed, ..Default::default() },
+            ..Default::default()
+        };
+        let m = engine.map(&dnn, 2, &opts);
+        let stats = m.sa_stats.expect("annealed");
+        prop_assert!(stats.final_cost <= stats.init_cost * (1.0 + 1e-9));
+        for gm in m.group_mappings(&dnn) {
+            gm.validate(&dnn).expect("valid outcome");
+        }
+    }
+
+    /// Part::unit never fails to fit any layer.
+    #[test]
+    fn unit_part_always_fits(h in 1u32..64, w in 1u32..64, c in 1u32..512) {
+        prop_assert!(Part::unit().fits(FmapShape::new(h, w, c), 1));
+    }
+}

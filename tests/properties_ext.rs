@@ -1,0 +1,163 @@
+//! Property-based tests for the extension components: the packet-level
+//! NoC simulator, heterogeneous chiplet specs, the throughput-weighted
+//! allocator and the intra-core order search.
+
+use proptest::prelude::*;
+
+use gemini::core::encoding::GroupSpec;
+use gemini::core::hetero_map::weighted_allocation;
+use gemini::intracore::{CoreParams, IntraCoreExplorer, Order, PartWorkload};
+use gemini::noc::flowsim::{analytic_bottleneck, Flow};
+use gemini::noc::packetsim::{simulate_packets, PacketSimConfig};
+use gemini::noc::Network;
+use gemini::prelude::*;
+use gemini_arch::{CoreClass, HeteroSpec};
+use gemini_model::LayerId;
+
+fn net72() -> (ArchConfig, Network) {
+    let arch = gemini::arch::presets::g_arch_72();
+    let net = Network::new(&arch);
+    (arch, net)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Packet-level simulation conserves flits (every flit crosses every
+    /// hop of its path exactly once) and never beats the per-link bound.
+    #[test]
+    fn packetsim_conserves_and_respects_bound(
+        pairs in proptest::collection::vec(
+            ((0u32..6, 0u32..6), (0u32..6, 0u32..6), 64u32..4096),
+            1..6,
+        )
+    ) {
+        let (arch, net) = net72();
+        let cfg = PacketSimConfig::default();
+        let mut flows = Vec::new();
+        for ((ax, ay), (bx, by), bytes) in pairs {
+            let mut path = Vec::new();
+            net.route_cores(arch.core_at(ax, ay), arch.core_at(bx, by), &mut path);
+            flows.push(Flow { path, bytes: bytes as f64 });
+        }
+        let r = simulate_packets(&net, &flows, &cfg);
+        prop_assert!(!r.truncated);
+        let expected: u64 = flows
+            .iter()
+            .map(|f| (f.bytes / cfg.flit_bytes).ceil() as u64 * f.path.len() as u64)
+            .sum();
+        prop_assert_eq!(r.flit_hops, expected);
+        let bound = analytic_bottleneck(&net, &flows);
+        prop_assert!(r.completion_s >= bound * (1.0 - 1e-9));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The throughput-weighted allocator covers all cores with at least
+    /// one per layer, for arbitrary positive weight profiles.
+    #[test]
+    fn weighted_allocation_exact_cover(
+        weights in proptest::collection::vec(0.05f64..8.0, 6..48),
+        bu in 1u32..8,
+    ) {
+        let dnn = gemini::model::zoo::two_conv_example();
+        let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: bu };
+        let alloc = weighted_allocation(&dnn, &spec, &weights);
+        prop_assert_eq!(alloc.iter().sum::<u32>() as usize, weights.len());
+        prop_assert!(alloc.iter().all(|&a| a >= 1));
+    }
+
+    /// HeteroSpec TOPS equals the manual per-core sum, and per-core
+    /// class resolution stays within the declared classes.
+    #[test]
+    fn hetero_spec_tops_consistent(
+        macs_a in 1u32..8192,
+        macs_b in 1u32..8192,
+        pick in proptest::collection::vec(0u8..2, 2..2usize + 1),
+    ) {
+        let arch = ArchConfig::builder().cores(6, 6).cuts(2, 1).build().unwrap();
+        let spec = HeteroSpec::new(
+            vec![
+                CoreClass { macs: macs_a, glb_bytes: 1 << 20 },
+                CoreClass { macs: macs_b, glb_bytes: 1 << 20 },
+            ],
+            pick.clone(),
+            &arch,
+        ).unwrap();
+        let manual: f64 = arch
+            .cores()
+            .map(|c| spec.core_class(&arch, c).macs as f64 * 2.0 / 1e3)
+            .sum();
+        prop_assert!((spec.tops(&arch) - manual).abs() < 1e-9);
+        let weights = spec.core_weights(&arch);
+        let max = macs_a.max(macs_b) as f64;
+        for (c, w) in arch.cores().zip(weights) {
+            let expect = spec.core_class(&arch, c).macs as f64 / max;
+            prop_assert!((w - expect).abs() < 1e-12);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The full intra-core order search never loses to any restricted
+    /// search, for arbitrary workload shapes.
+    #[test]
+    fn full_order_search_dominates(
+        h in 1u32..64,
+        w in 1u32..64,
+        k in 1u32..512,
+        red_c in 0u32..256,
+        kernel in 1u32..10,
+    ) {
+        let core = CoreParams::from_arch(1024, 2 << 20);
+        let wl = PartWorkload {
+            h, w, k, b: 1,
+            red_c,
+            kernel_elems: kernel,
+            weight_bytes: kernel as u64 * red_c as u64 * k as u64,
+            in_bytes: (h as u64 + 2) * (w as u64 + 2) * red_c.max(1) as u64,
+            vector_ops: h as u64 * w as u64 * k as u64,
+        };
+        let full = IntraCoreExplorer::new(core);
+        let rf = full.explore(&wl);
+        for order in Order::ALL {
+            let restricted = IntraCoreExplorer::with_orders(core, vec![order]);
+            let rr = restricted.explore(&wl);
+            prop_assert!(
+                (rf.cycles, rf.glb_bytes) <= (rr.cycles, rr.glb_bytes),
+                "full {:?} lost to {:?}-only {:?}",
+                (rf.cycles, rf.glb_bytes), order, (rr.cycles, rr.glb_bytes)
+            );
+        }
+    }
+
+    /// Raising the congestion weight never speeds a mapping up, and the
+    /// zero-weight stage time equals the raw bottleneck envelope.
+    #[test]
+    fn congestion_weight_monotone(weight in 0.0f64..16.0) {
+        use gemini::sim::{EvalOptions, EnergyModel};
+        let dnn = gemini::model::zoo::two_conv_example();
+        let arch = gemini::arch::presets::g_arch_72();
+        let mk = |w: f64| {
+            Evaluator::with_options(
+                &arch,
+                EnergyModel::default(),
+                EvalOptions { congestion_weight: w, ..EvalOptions::default() },
+            )
+        };
+        let ev0 = mk(0.0);
+        let evw = mk(weight);
+        let engine = MappingEngine::new(&ev0);
+        let m = engine.map_stripe(&dnn, 2, &MappingOptions::default());
+        let gms = m.group_mappings(&dnn);
+        for gm in &gms {
+            let r0 = ev0.evaluate_group(&dnn, gm, 2);
+            let rw = evw.evaluate_group(&dnn, gm, 2);
+            prop_assert!(rw.stage_time_s >= r0.stage_time_s - 1e-15);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Exhaustive enumeration of the LP-SPM encoding space on tiny
+//! instances, cross-checking Sec. IV-B two ways:
+//!
+//! 1. the closed-form census of valid schemes (ordered core groups x
+//!    fitting Parts x explicit-FD choices) matches a brute-force sweep
+//!    that constructs every candidate and calls `Lms::validate` —
+//!    i.e. the validator accepts exactly the schemes the encoding
+//!    defines;
+//! 2. the paper's lower-bound formula really is a *lower* bound on the
+//!    exact count.
+
+use gemini::core::encoding::{CoreGroup, FlowOfData, GroupSpec, Lms, Ms, Part};
+use gemini::core::factor::factorizations;
+use gemini::core::space::gemini_space_log2;
+use gemini::prelude::*;
+use gemini_arch::CoreId;
+use gemini_model::LayerId;
+
+/// All ordered arrangements of `k` distinct cores from `0..m`.
+fn k_permutations(m: u16, k: usize) -> Vec<Vec<CoreId>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(k);
+    let mut used = vec![false; m as usize];
+    fn rec(
+        m: u16,
+        k: usize,
+        cur: &mut Vec<CoreId>,
+        used: &mut [bool],
+        out: &mut Vec<Vec<CoreId>>,
+    ) {
+        if cur.len() == k {
+            out.push(cur.clone());
+            return;
+        }
+        for c in 0..m {
+            if !used[c as usize] {
+                used[c as usize] = true;
+                cur.push(CoreId(c));
+                rec(m, k, cur, used, out);
+                cur.pop();
+                used[c as usize] = false;
+            }
+        }
+    }
+    rec(m, k, &mut cur, &mut used, &mut out);
+    out
+}
+
+#[test]
+fn single_layer_enumeration_matches_census_and_dominates_bound() {
+    // One conv layer (consumes the DNN input, produces the DNN output,
+    // has weights: all three FD slots explicit) on M = 4 cores, D = 2.
+    let dnn = gemini::model::zoo::two_conv_example();
+    let arch = ArchConfig::builder().cores(2, 2).cuts(1, 1).dram_count(2).build().unwrap();
+    let layer = LayerId(1);
+    let spec = GroupSpec { members: vec![layer], batch_unit: 4 };
+    let shape = dnn.layer(layer).ofmap;
+    let m = arch.n_cores() as u16;
+    let d = arch.dram_count() as i32;
+    let fd_choices: Vec<i32> = (0..=d).collect();
+
+    // Closed-form census: sum over CG sizes of
+    //   P(M, nc) x #Parts(count = nc) x (D+1)^3.
+    let mut census = 0u64;
+    for nc in 1..=m as u32 {
+        let perms = k_permutations(m, nc as usize).len() as u64;
+        let parts = factorizations(nc, shape, spec.batch_unit).len() as u64;
+        census += perms * parts * (fd_choices.len() as u64).pow(3);
+    }
+
+    // Brute force: construct every candidate and validate.
+    let mut valid = 0u64;
+    for nc in 1..=m as u32 {
+        for part in factorizations(nc, shape, spec.batch_unit) {
+            for cg in k_permutations(m, nc as usize) {
+                for &ifm in &fd_choices {
+                    for &wgt in &fd_choices {
+                        for &ofm in &fd_choices {
+                            let lms = Lms {
+                                schemes: vec![Ms {
+                                    part,
+                                    cg: CoreGroup(cg.clone()),
+                                    fd: FlowOfData { ifm, wgt, ofm },
+                                }],
+                            };
+                            if lms.validate(&dnn, &arch, &spec).is_ok() {
+                                valid += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(valid, census, "validator must accept exactly the defined schemes");
+
+    // The paper's conservative lower bound: M! * 4 = 96 for (M=4, N=1).
+    let bound = gemini_space_log2(m as u64, 1).exp2();
+    assert!((bound - 96.0).abs() < 1e-6);
+    assert!(
+        valid as f64 >= bound,
+        "exact count {valid} must dominate the paper's bound {bound}"
+    );
+}
+
+#[test]
+fn two_layer_enumeration_respects_flow_rules() {
+    // Both convs of the example in one group on M = 3 cores, D = 1:
+    // layer 1's ofmap is consumed in-group (must be -1), layer 2's
+    // ifmap is produced in-group (must be -1). Census:
+    //   [sum_nc P(3,nc) x #Parts(nc)]^2 x (D+1)^2 x (D+1)^2
+    // with explicit slots {if1, wgt1} and {wgt2, of2}.
+    let dnn = gemini::model::zoo::two_conv_example();
+    let arch = ArchConfig::builder().cores(3, 1).cuts(1, 1).dram_count(1).build().unwrap();
+    let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 2 };
+    let m = 3u16;
+    let fd_choices = [0i32, 1];
+
+    let per_layer: Vec<(Part, Vec<CoreId>)> = (1..=m as u32)
+        .flat_map(|nc| {
+            let shape = dnn.layer(LayerId(1)).ofmap; // both layers share 16x16 spatial
+            factorizations(nc, shape, spec.batch_unit)
+                .into_iter()
+                .flat_map(move |p| {
+                    k_permutations(m, nc as usize).into_iter().map(move |cg| (p, cg))
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut valid = 0u64;
+    let mut rejected_flow = 0u64;
+    for (p1, cg1) in &per_layer {
+        for (p2, cg2) in &per_layer {
+            // Only the legal FD pattern: (if1, wgt1, -1) / (-1, wgt2, of2).
+            for &if1 in &fd_choices {
+                for &w1 in &fd_choices {
+                    for &w2 in &fd_choices {
+                        for &of2 in &fd_choices {
+                            let lms = Lms {
+                                schemes: vec![
+                                    Ms {
+                                        part: *p1,
+                                        cg: CoreGroup(cg1.clone()),
+                                        fd: FlowOfData { ifm: if1, wgt: w1, ofm: -1 },
+                                    },
+                                    Ms {
+                                        part: *p2,
+                                        cg: CoreGroup(cg2.clone()),
+                                        fd: FlowOfData { ifm: -1, wgt: w2, ofm: of2 },
+                                    },
+                                ],
+                            };
+                            if lms.validate(&dnn, &arch, &spec).is_ok() {
+                                valid += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            // An illegal pattern (explicit OF on the in-group edge) must
+            // always be rejected.
+            let bad = Lms {
+                schemes: vec![
+                    Ms {
+                        part: *p1,
+                        cg: CoreGroup(cg1.clone()),
+                        fd: FlowOfData { ifm: 0, wgt: 0, ofm: 0 },
+                    },
+                    Ms {
+                        part: *p2,
+                        cg: CoreGroup(cg2.clone()),
+                        fd: FlowOfData { ifm: -1, wgt: 0, ofm: 0 },
+                    },
+                ],
+            };
+            if lms_is_valid(&bad, &dnn, &arch, &spec) {
+                rejected_flow += 1;
+            }
+        }
+    }
+    assert_eq!(rejected_flow, 0, "in-group OF must never validate as explicit");
+
+    let combos = per_layer.len() as u64;
+    let census = combos * combos * 4 * 4; // 2^2 FD choices per layer
+    assert_eq!(valid, census, "every legal FD pattern must validate");
+    // Paper's bound for (M=3, N=2) degenerates (M <= N+1 leaves no
+    // middle cores); the exact space is nonetheless large.
+    assert!(valid > 10_000, "got {valid}");
+}
+
+fn lms_is_valid(
+    lms: &Lms,
+    dnn: &gemini::model::Dnn,
+    arch: &ArchConfig,
+    spec: &GroupSpec,
+) -> bool {
+    lms.validate(dnn, arch, spec).is_ok()
+}
