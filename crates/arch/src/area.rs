@@ -140,7 +140,11 @@ impl AreaModel {
                 d2d_per_interface: 0.0,
                 compute_chiplet_mm2: die,
                 io_chiplet_mm2: None,
-                dies: vec![Die { kind: DieKind::Monolithic, area_mm2: die, count: 1 }],
+                dies: vec![Die {
+                    kind: DieKind::Monolithic,
+                    area_mm2: die,
+                    count: 1,
+                }],
                 d2d_fraction: 0.0,
             };
         }
@@ -162,8 +166,16 @@ impl AreaModel {
             compute_chiplet_mm2: compute,
             io_chiplet_mm2: Some(io),
             dies: vec![
-                Die { kind: DieKind::Compute, area_mm2: compute, count: arch.n_chiplets() },
-                Die { kind: DieKind::Io, area_mm2: io, count: arch.n_io_chiplets() },
+                Die {
+                    kind: DieKind::Compute,
+                    area_mm2: compute,
+                    count: arch.n_chiplets(),
+                },
+                Die {
+                    kind: DieKind::Io,
+                    area_mm2: io,
+                    count: arch.n_io_chiplets(),
+                },
             ],
             d2d_fraction: d2d_area / compute,
         }
@@ -203,7 +215,11 @@ mod tests {
 
     #[test]
     fn monolithic_has_no_d2d_and_one_die() {
-        let arch = crate::ArchConfig::builder().cores(6, 6).cuts(1, 1).build().unwrap();
+        let arch = crate::ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(1, 1)
+            .build()
+            .unwrap();
         let bd = AreaModel::default().evaluate(&arch);
         assert_eq!(bd.d2d_fraction, 0.0);
         assert_eq!(bd.dies.len(), 1);
@@ -224,12 +240,21 @@ mod tests {
     fn finer_chiplets_cost_more_total_d2d_area() {
         // Same 36-core fabric cut into 2 vs 36 chiplets: the 36-way cut
         // must burn strictly more silicon on D2D.
-        let coarse = crate::ArchConfig::builder().cores(6, 6).cuts(2, 1).build().unwrap();
-        let fine = crate::ArchConfig::builder().cores(6, 6).cuts(6, 6).build().unwrap();
+        let coarse = crate::ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(2, 1)
+            .build()
+            .unwrap();
+        let fine = crate::ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(6, 6)
+            .build()
+            .unwrap();
         let m = AreaModel::default();
         let a = m.evaluate(&coarse);
         let b = m.evaluate(&fine);
-        let d2d_total = |bd: &AreaBreakdown, n: u32| bd.d2d_fraction * bd.compute_chiplet_mm2 * n as f64;
+        let d2d_total =
+            |bd: &AreaBreakdown, n: u32| bd.d2d_fraction * bd.compute_chiplet_mm2 * n as f64;
         assert!(d2d_total(&b, 36) > d2d_total(&a, 2) * 3.0);
     }
 

@@ -44,7 +44,10 @@ impl std::fmt::Display for ArchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ArchError::CutMismatch { axis, cores, cuts } => {
-                write!(f, "{axis}Cut {cuts} does not divide {cores} cores on the {axis} axis")
+                write!(
+                    f,
+                    "{axis}Cut {cuts} does not divide {cores} cores on the {axis} axis"
+                )
             }
             ArchError::NonPositive(what) => write!(f, "{what} must be positive"),
         }
@@ -199,7 +202,10 @@ impl ArchConfig {
 
     /// Converts a core id to its coordinate.
     pub fn coord(&self, id: CoreId) -> Coord {
-        Coord { x: (id.0 as u32 % self.x_cores) as u16, y: (id.0 as u32 / self.x_cores) as u16 }
+        Coord {
+            x: (id.0 as u32 % self.x_cores) as u16,
+            y: (id.0 as u32 / self.x_cores) as u16,
+        }
     }
 
     /// Converts a coordinate to a core id.
@@ -250,13 +256,22 @@ impl ArchConfig {
         let rows = self.y_cores;
         let start = nth * rows / side_count;
         let end = (nth + 1) * rows / side_count;
-        (start..end).map(|y| Coord { x: x as u16, y: y as u16 }).collect()
+        (start..end)
+            .map(|y| Coord {
+                x: x as u16,
+                y: y as u16,
+            })
+            .collect()
     }
 
     /// The paper's architecture tuple: `(ChipletNum, CoreNum, DRAM_BW,
     /// NoC_BW, D2D_BW, GBUF/Core, MAC/Core)`.
     pub fn paper_tuple(&self) -> String {
-        let d2d = if self.is_monolithic() { "None".to_string() } else { format!("{}GB/s", self.d2d_bw) };
+        let d2d = if self.is_monolithic() {
+            "None".to_string()
+        } else {
+            format!("{}GB/s", self.d2d_bw)
+        };
         format!(
             "({}, {}, {}GB/s, {}GB/s, {}, {}KB, {})",
             self.n_chiplets(),
@@ -395,18 +410,25 @@ impl ArchConfigBuilder {
         if self.glb_bytes == 0 {
             return Err(ArchError::NonPositive("GLB size"));
         }
-        if self.noc_bw <= 0.0 || self.d2d_bw <= 0.0 || self.dram_bw <= 0.0 || self.freq_ghz <= 0.0
-        {
+        if self.noc_bw <= 0.0 || self.d2d_bw <= 0.0 || self.dram_bw <= 0.0 || self.freq_ghz <= 0.0 {
             return Err(ArchError::NonPositive("bandwidth/frequency"));
         }
         if self.dram_count == 0 {
             return Err(ArchError::NonPositive("DRAM count"));
         }
         if self.x_cores % self.xcut != 0 {
-            return Err(ArchError::CutMismatch { axis: 'X', cores: self.x_cores, cuts: self.xcut });
+            return Err(ArchError::CutMismatch {
+                axis: 'X',
+                cores: self.x_cores,
+                cuts: self.xcut,
+            });
         }
         if self.y_cores % self.ycut != 0 {
-            return Err(ArchError::CutMismatch { axis: 'Y', cores: self.y_cores, cuts: self.ycut });
+            return Err(ArchError::CutMismatch {
+                axis: 'Y',
+                cores: self.y_cores,
+                cuts: self.ycut,
+            });
         }
         Ok(ArchConfig {
             x_cores: self.x_cores,
@@ -430,7 +452,11 @@ mod tests {
     use super::*;
 
     fn arch_2x2() -> ArchConfig {
-        ArchConfig::builder().cores(6, 6).cuts(2, 2).build().unwrap()
+        ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(2, 2)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -472,7 +498,11 @@ mod tests {
         assert!(!a.is_d2d_h(1));
         assert!(a.is_d2d_v(2));
         assert!(!a.is_d2d_v(3));
-        let mono = ArchConfig::builder().cores(6, 6).cuts(1, 1).build().unwrap();
+        let mono = ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(1, 1)
+            .build()
+            .unwrap();
         assert!(!mono.is_d2d_h(2));
         assert!(mono.is_monolithic());
         assert_eq!(mono.d2d_per_chiplet(), 0);
@@ -500,7 +530,12 @@ mod tests {
 
     #[test]
     fn dram_ports_band_split_with_four_stacks() {
-        let a = ArchConfig::builder().cores(8, 8).cuts(2, 2).dram_count(4).build().unwrap();
+        let a = ArchConfig::builder()
+            .cores(8, 8)
+            .cuts(2, 2)
+            .dram_count(4)
+            .build()
+            .unwrap();
         let p0 = a.dram_ports(0);
         let p2 = a.dram_ports(2);
         assert_eq!(p0.len(), 4);
@@ -512,8 +547,15 @@ mod tests {
     #[test]
     fn paper_tuple_format() {
         let a = crate::presets::g_arch_72();
-        assert_eq!(a.paper_tuple(), "(2, 36, 144GB/s, 32GB/s, 16GB/s, 2048KB, 1024)");
-        let mono = ArchConfig::builder().cores(4, 4).cuts(1, 1).build().unwrap();
+        assert_eq!(
+            a.paper_tuple(),
+            "(2, 36, 144GB/s, 32GB/s, 16GB/s, 2048KB, 1024)"
+        );
+        let mono = ArchConfig::builder()
+            .cores(4, 4)
+            .cuts(1, 1)
+            .build()
+            .unwrap();
         assert!(mono.paper_tuple().contains("None"));
     }
 

@@ -140,21 +140,33 @@ impl HeteroSpec {
         }
         let chiplets = arch.n_chiplets();
         if class_of_chiplet.len() != chiplets as usize {
-            return Err(HeteroError::ChipletArity { chiplets, given: class_of_chiplet.len() });
+            return Err(HeteroError::ChipletArity {
+                chiplets,
+                given: class_of_chiplet.len(),
+            });
         }
         for (chiplet, &class) in class_of_chiplet.iter().enumerate() {
             if class as usize >= classes.len() {
-                return Err(HeteroError::BadClassIndex { chiplet: chiplet as u32, class });
+                return Err(HeteroError::BadClassIndex {
+                    chiplet: chiplet as u32,
+                    class,
+                });
             }
         }
-        Ok(Self { classes, class_of_chiplet })
+        Ok(Self {
+            classes,
+            class_of_chiplet,
+        })
     }
 
     /// A homogeneous spec replicating the architecture's own per-core
     /// parameters (useful as a baseline in comparisons).
     pub fn uniform(arch: &ArchConfig) -> Self {
         Self {
-            classes: vec![CoreClass { macs: arch.macs_per_core(), glb_bytes: arch.glb_bytes() }],
+            classes: vec![CoreClass {
+                macs: arch.macs_per_core(),
+                glb_bytes: arch.glb_bytes(),
+            }],
             class_of_chiplet: vec![0; arch.n_chiplets() as usize],
         }
     }
@@ -199,8 +211,12 @@ impl HeteroSpec {
     /// (1.0 = fastest class). Mapping heuristics can use this to bias
     /// core-group sizes.
     pub fn core_weights(&self, arch: &ArchConfig) -> Vec<f64> {
-        let max_macs =
-            self.classes.iter().map(|c| c.macs).max().expect("validated non-empty") as f64;
+        let max_macs = self
+            .classes
+            .iter()
+            .map(|c| c.macs)
+            .max()
+            .expect("validated non-empty") as f64;
         arch.cores()
             .map(|id| self.core_class(arch, id).macs as f64 / max_macs)
             .collect()
@@ -219,12 +235,9 @@ impl HeteroSpec {
             let cores_area: f64 = self
                 .class_of_chiplet
                 .iter()
-                .map(|&c| {
-                    cores_per_chiplet * self.class_core_area(c as usize, arch, model).total()
-                })
+                .map(|&c| cores_per_chiplet * self.class_core_area(c as usize, arch, model).total())
                 .sum();
-            let io_logic = homog.total_silicon_mm2()
-                - arch.n_cores() as f64 * homog.core.total();
+            let io_logic = homog.total_silicon_mm2() - arch.n_cores() as f64 * homog.core.total();
             return vec![Die {
                 kind: DieKind::Monolithic,
                 area_mm2: cores_area + io_logic,
@@ -236,17 +249,28 @@ impl HeteroSpec {
         let d2d_area = arch.d2d_per_chiplet() as f64 * d2d_if;
         let mut dies: Vec<Die> = Vec::new();
         for class in 0..self.classes.len() {
-            let count =
-                self.class_of_chiplet.iter().filter(|&&c| c as usize == class).count() as u32;
+            let count = self
+                .class_of_chiplet
+                .iter()
+                .filter(|&&c| c as usize == class)
+                .count() as u32;
             if count == 0 {
                 continue;
             }
-            let area = cores_per_chiplet * self.class_core_area(class, arch, model).total()
-                + d2d_area;
-            dies.push(Die { kind: DieKind::Compute, area_mm2: area, count });
+            let area =
+                cores_per_chiplet * self.class_core_area(class, arch, model).total() + d2d_area;
+            dies.push(Die {
+                kind: DieKind::Compute,
+                area_mm2: area,
+                count,
+            });
         }
         if let Some(io) = homog.io_chiplet_mm2 {
-            dies.push(Die { kind: DieKind::Io, area_mm2: io, count: arch.n_io_chiplets() });
+            dies.push(Die {
+                kind: DieKind::Io,
+                area_mm2: io,
+                count: arch.n_io_chiplets(),
+            });
         }
         dies
     }
@@ -270,11 +294,21 @@ mod tests {
     use crate::presets;
 
     fn big_little() -> (ArchConfig, HeteroSpec) {
-        let arch = ArchConfig::builder().cores(6, 6).cuts(2, 1).build().unwrap();
+        let arch = ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(2, 1)
+            .build()
+            .unwrap();
         let spec = HeteroSpec::new(
             vec![
-                CoreClass { macs: 2048, glb_bytes: 4 << 20 },
-                CoreClass { macs: 512, glb_bytes: 1 << 20 },
+                CoreClass {
+                    macs: 2048,
+                    glb_bytes: 4 << 20,
+                },
+                CoreClass {
+                    macs: 512,
+                    glb_bytes: 1 << 20,
+                },
             ],
             vec![0, 1],
             &arch,
@@ -285,19 +319,42 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_specs() {
-        let arch = ArchConfig::builder().cores(6, 6).cuts(2, 1).build().unwrap();
-        assert_eq!(HeteroSpec::new(vec![], vec![], &arch), Err(HeteroError::NoClasses));
-        let one = vec![CoreClass { macs: 1024, glb_bytes: 1 << 20 }];
+        let arch = ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(2, 1)
+            .build()
+            .unwrap();
+        assert_eq!(
+            HeteroSpec::new(vec![], vec![], &arch),
+            Err(HeteroError::NoClasses)
+        );
+        let one = vec![CoreClass {
+            macs: 1024,
+            glb_bytes: 1 << 20,
+        }];
         assert!(matches!(
             HeteroSpec::new(one.clone(), vec![0], &arch),
-            Err(HeteroError::ChipletArity { chiplets: 2, given: 1 })
+            Err(HeteroError::ChipletArity {
+                chiplets: 2,
+                given: 1
+            })
         ));
         assert!(matches!(
             HeteroSpec::new(one.clone(), vec![0, 3], &arch),
-            Err(HeteroError::BadClassIndex { chiplet: 1, class: 3 })
+            Err(HeteroError::BadClassIndex {
+                chiplet: 1,
+                class: 3
+            })
         ));
         assert_eq!(
-            HeteroSpec::new(vec![CoreClass { macs: 0, glb_bytes: 1 }], vec![0, 0], &arch),
+            HeteroSpec::new(
+                vec![CoreClass {
+                    macs: 0,
+                    glb_bytes: 1
+                }],
+                vec![0, 0],
+                &arch
+            ),
             Err(HeteroError::EmptyClass(0))
         );
     }
@@ -345,7 +402,10 @@ mod tests {
         let dies = spec.area_dies(&arch, &AreaModel::default());
         let compute: Vec<_> = dies.iter().filter(|d| d.kind == DieKind::Compute).collect();
         assert_eq!(compute.len(), 2);
-        assert!(compute[0].area_mm2 > compute[1].area_mm2, "big-core die is larger");
+        assert!(
+            compute[0].area_mm2 > compute[1].area_mm2,
+            "big-core die is larger"
+        );
         assert!(dies.iter().any(|d| d.kind == DieKind::Io));
     }
 
@@ -356,12 +416,19 @@ mod tests {
         let dies = spec.area_dies(&arch, &AreaModel::default());
         let total: f64 = dies.iter().map(|d| d.area_mm2 * d.count as f64).sum();
         let homog = AreaModel::default().evaluate(&arch).total_silicon_mm2();
-        assert!((total - homog).abs() < 1e-9, "hetero {total} vs homog {homog}");
+        assert!(
+            (total - homog).abs() < 1e-9,
+            "hetero {total} vs homog {homog}"
+        );
     }
 
     #[test]
     fn monolithic_hetero_area_single_die() {
-        let arch = ArchConfig::builder().cores(6, 6).cuts(1, 1).build().unwrap();
+        let arch = ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(1, 1)
+            .build()
+            .unwrap();
         let spec = HeteroSpec::uniform(&arch);
         let dies = spec.area_dies(&arch, &AreaModel::default());
         assert_eq!(dies.len(), 1);

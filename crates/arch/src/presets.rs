@@ -151,7 +151,11 @@ mod tests {
     fn fig7_archs_are_128_tops_class() {
         for a in fig7_archs() {
             let tops = a.tops();
-            assert!((125.0..135.0).contains(&tops), "{} has {tops} TOPS", a.paper_tuple());
+            assert!(
+                (125.0..135.0).contains(&tops),
+                "{} has {tops} TOPS",
+                a.paper_tuple()
+            );
         }
     }
 

@@ -35,7 +35,10 @@ fn main() {
         ("greedy (1e-9 -> 1e-9)", 1e-9, 1e-9),
     ];
 
-    println!("\n{:<28} {:>12} {:>10} {:>10}", "schedule", "EDP (J*s)", "vs default", "accepted");
+    println!(
+        "\n{:<28} {:>12} {:>10} {:>10}",
+        "schedule", "EDP (J*s)", "vs default", "accepted"
+    );
     let mut rows = Vec::new();
     let mut base = 0.0;
     for (label, t0, t_end) in schedules {
@@ -43,7 +46,13 @@ fn main() {
         let mut accepted = 0u32;
         for &seed in &seeds {
             let opts = MappingOptions {
-                sa: SaOptions { iters, seed, t0, t_end, ..Default::default() },
+                sa: SaOptions {
+                    iters,
+                    seed,
+                    t0,
+                    t_end,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             let m = engine.map(&dnn, batch, &opts);
@@ -73,5 +82,8 @@ fn main() {
         rows,
     )
     .expect("write csv");
-    println!("wrote {}", results_dir().join("ablation_cooling.csv").display());
+    println!(
+        "wrote {}",
+        results_dir().join("ablation_cooling.csv").display()
+    );
 }

@@ -87,5 +87,8 @@ fn main() {
         rows,
     )
     .expect("write csv");
-    println!("\nwrote {}", results_dir().join("ablation_dataflow.csv").display());
+    println!(
+        "\nwrote {}",
+        results_dir().join("ablation_dataflow.csv").display()
+    );
 }

@@ -32,30 +32,53 @@ fn variants() -> Vec<Variant> {
     let base_opts = EvalOptions::default();
     let base_energy = EnergyModel::default();
     let mut serdes = base_energy;
-    serdes.d2d_model = D2dEnergyModel::SerdesPower { watts_per_interface: 0.05 };
+    serdes.d2d_model = D2dEnergyModel::SerdesPower {
+        watts_per_interface: 0.05,
+    };
     vec![
-        Variant { name: "full model", opts: base_opts, energy: base_energy },
+        Variant {
+            name: "full model",
+            opts: base_opts,
+            energy: base_energy,
+        },
         Variant {
             name: "no congestion",
-            opts: EvalOptions { congestion_weight: 0.0, ..base_opts },
+            opts: EvalOptions {
+                congestion_weight: 0.0,
+                ..base_opts
+            },
             energy: base_energy,
         },
         Variant {
             name: "no GLB spill",
-            opts: EvalOptions { spill_enabled: false, ..base_opts },
+            opts: EvalOptions {
+                spill_enabled: false,
+                ..base_opts
+            },
             energy: base_energy,
         },
         Variant {
             name: "unicast only",
-            opts: EvalOptions { multicast_enabled: false, ..base_opts },
+            opts: EvalOptions {
+                multicast_enabled: false,
+                ..base_opts
+            },
             energy: base_energy,
         },
         Variant {
             name: "no overheads",
-            opts: EvalOptions { stage_overhead_s: 0.0, group_overhead_s: 0.0, ..base_opts },
+            opts: EvalOptions {
+                stage_overhead_s: 0.0,
+                group_overhead_s: 0.0,
+                ..base_opts
+            },
             energy: base_energy,
         },
-        Variant { name: "SerDes D2D", opts: base_opts, energy: serdes },
+        Variant {
+            name: "SerDes D2D",
+            opts: base_opts,
+            energy: serdes,
+        },
     ]
 }
 
@@ -64,7 +87,10 @@ fn main() {
     let arch = presets::g_arch_72();
     let batch = 8;
     let iters = sa_iters(500, 3000);
-    let dnns = [("tiny-resnet", zoo::tiny_resnet()), ("transformer", zoo::transformer_base())];
+    let dnns = [
+        ("tiny-resnet", zoo::tiny_resnet()),
+        ("transformer", zoo::transformer_base()),
+    ];
     let mut rows = Vec::new();
 
     // --- 1. Model effect on a fixed stripe mapping -------------------
@@ -123,7 +149,10 @@ fn main() {
         let off = Evaluator::with_options(
             &small,
             EnergyModel::default(),
-            EvalOptions { spill_enabled: false, ..EvalOptions::default() },
+            EvalOptions {
+                spill_enabled: false,
+                ..EvalOptions::default()
+            },
         );
         let m_on = MappingEngine::new(&on).map_stripe(dnn, batch, &MappingOptions::default());
         let m_off = MappingEngine::new(&off).map_stripe(dnn, batch, &MappingOptions::default());
@@ -181,5 +210,8 @@ fn main() {
         rows,
     )
     .expect("write csv");
-    println!("\nwrote {}", results_dir().join("ablation_model.csv").display());
+    println!(
+        "\nwrote {}",
+        results_dir().join("ablation_model.csv").display()
+    );
 }

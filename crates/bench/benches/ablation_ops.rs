@@ -27,7 +27,12 @@ fn main() {
 
     let run = |mask: [bool; 5], seed: u64| {
         let opts = MappingOptions {
-            sa: SaOptions { iters, seed, enabled_ops: mask, ..Default::default() },
+            sa: SaOptions {
+                iters,
+                seed,
+                enabled_ops: mask,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let m = engine.map(&dnn, batch, &opts);
@@ -36,9 +41,19 @@ fn main() {
 
     // Average over a few seeds for stability.
     let seeds = [1u64, 2, 3];
-    let label = ["none (all ops)", "OP1 (Part)", "OP2 (swap-in)", "OP3 (swap-across)", "OP4 (move core)", "OP5 (FD)"];
+    let label = [
+        "none (all ops)",
+        "OP1 (Part)",
+        "OP2 (swap-in)",
+        "OP3 (swap-across)",
+        "OP4 (move core)",
+        "OP5 (FD)",
+    ];
     let mut rows = Vec::new();
-    println!("\n{:<18} {:>12} {:>12} {:>10}", "disabled", "EDP (J*s)", "vs all-ops", "accepted");
+    println!(
+        "\n{:<18} {:>12} {:>12} {:>10}",
+        "disabled", "EDP (J*s)", "vs all-ops", "accepted"
+    );
     let mut base_edp = 0.0;
     for cfg in 0..6usize {
         let mut mask = [true; 5];
@@ -63,12 +78,21 @@ fn main() {
             (mean / base_edp - 1.0) * 100.0,
             acc / seeds.len() as u32
         );
-        rows.push(format!("{},{},{}", label[cfg], sig6(mean), sig6(mean / base_edp)));
+        rows.push(format!(
+            "{},{},{}",
+            label[cfg],
+            sig6(mean),
+            sig6(mean / base_edp)
+        ));
     }
     println!("\nexpected: disabling operators (especially OP4, which alone changes CG sizes)");
     println!("degrades the achieved cost; the full set explores the space the encoding defines.");
 
-    write_csv(results_dir().join("ablation_ops.csv"), "disabled,edp_mean,edp_vs_all", rows)
-        .expect("write csv");
+    write_csv(
+        results_dir().join("ablation_ops.csv"),
+        "disabled,edp_mean,edp_vs_all",
+        rows,
+    )
+    .expect("write csv");
     println!("wrote {}", results_dir().join("ablation_ops.csv").display());
 }

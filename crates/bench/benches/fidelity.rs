@@ -27,8 +27,10 @@ fn main() {
         ("two-conv", zoo::two_conv_example()),
         ("transformer", zoo::transformer_base()),
     ];
-    let archs =
-        [("g-arch", presets::g_arch_72()), ("s-arch", presets::simba_s_arch())];
+    let archs = [
+        ("g-arch", presets::g_arch_72()),
+        ("s-arch", presets::simba_s_arch()),
+    ];
     let mut rows = Vec::new();
 
     println!(

@@ -31,7 +31,11 @@ fn main() {
     let iters = sa_iters(600, 4000);
     let s_arch = presets::simba_s_arch();
     let g_arch = presets::g_arch_72();
-    println!("S-Arch {}   G-Arch {}   SA iters {iters}", s_arch.paper_tuple(), g_arch.paper_tuple());
+    println!(
+        "S-Arch {}   G-Arch {}   SA iters {iters}",
+        s_arch.paper_tuple(),
+        g_arch.paper_tuple()
+    );
 
     let workloads = zoo::paper_workloads();
     let batches = [64u32, 1];
@@ -41,10 +45,13 @@ fn main() {
 
     let rows: Mutex<Vec<Row>> = Mutex::new(Vec::new());
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(tasks.len());
-    crossbeam::thread::scope(|s| {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(tasks.len());
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if t >= tasks.len() {
                     break;
@@ -74,8 +81,7 @@ fn main() {
                 rows.lock().expect("rows").extend(out);
             });
         }
-    })
-    .expect("fig5 worker panicked");
+    });
 
     let rows = rows.into_inner().expect("rows");
     // Normalize each (dnn, batch) to its S-Arch+T-Map baseline.
@@ -155,7 +161,11 @@ fn main() {
         )
     });
     let path = results_dir().join("fig5.csv");
-    write_csv(&path, "dnn,batch,config,delay_s,e_network_j,e_intra_j,e_dram_j", csv_rows)
-        .expect("write fig5.csv");
+    write_csv(
+        &path,
+        "dnn,batch,config,delay_s,e_network_j,e_intra_j,e_dram_j",
+        csv_rows,
+    )
+    .expect("write fig5.csv");
     println!("\nwrote {}", path.display());
 }

@@ -65,11 +65,15 @@ fn scatter(tops: f64) -> Vec<DseRecord> {
     for r in &res.records {
         let e = r.edp() / edp0;
         let m = r.mc / mc0;
-        let c = by_chiplet.entry(r.arch.n_chiplets()).or_insert((f64::INFINITY, f64::INFINITY));
+        let c = by_chiplet
+            .entry(r.arch.n_chiplets())
+            .or_insert((f64::INFINITY, f64::INFINITY));
         if e < c.0 {
             *c = (e, m);
         }
-        let k = by_cores.entry(r.arch.n_cores()).or_insert((f64::INFINITY, f64::INFINITY));
+        let k = by_cores
+            .entry(r.arch.n_cores())
+            .or_insert((f64::INFINITY, f64::INFINITY));
         if e < k.0 {
             *k = (e, m);
         }
@@ -96,8 +100,12 @@ fn scatter(tops: f64) -> Vec<DseRecord> {
         )
     });
     let path = results_dir().join(format!("fig6_{}.csv", tops as u32));
-    write_csv(&path, "arch,chiplets,cores,mc_norm,edp_norm,energy_j,delay_s", rows)
-        .expect("write csv");
+    write_csv(
+        &path,
+        "arch,chiplets,cores,mc_norm,edp_norm,energy_j,delay_s",
+        rows,
+    )
+    .expect("write csv");
     println!("  wrote {}", path.display());
     res.records
 }
@@ -112,10 +120,16 @@ fn main() {
         let best = recs
             .iter()
             .min_by(|a, b| {
-                (a.mc * a.energy * a.delay).partial_cmp(&(b.mc * b.energy * b.delay)).expect("finite")
+                (a.mc * a.energy * a.delay)
+                    .partial_cmp(&(b.mc * b.energy * b.delay))
+                    .expect("finite")
             })
             .expect("non-empty");
-        let max_chiplets = recs.iter().map(|r| r.arch.n_chiplets()).max().expect("some");
+        let max_chiplets = recs
+            .iter()
+            .map(|r| r.arch.n_chiplets())
+            .max()
+            .expect("some");
         let finest_best_edp = recs
             .iter()
             .filter(|r| r.arch.n_chiplets() == max_chiplets)

@@ -132,8 +132,12 @@ fn main() {
         let (n, _) = best.expect("some point");
         println!("   -> MC-optimal chiplet count at {tops} TOPs: {n}");
     }
-    write_csv(results_dir().join("fig8b.csv"), "tops,chiplets,mc_total", rows_b)
-        .expect("write fig8b");
+    write_csv(
+        results_dir().join("fig8b.csv"),
+        "tops,chiplets,mc_total",
+        rows_b,
+    )
+    .expect("write fig8b");
 
     banner("Fig. 8(c): construction schemes for 128 & 512 TOPs");
     let iters = sa_iters(500, 3000);
@@ -161,18 +165,24 @@ fn main() {
     );
     let mut rows_c = Vec::new();
     for (tops, schemes) in [
-        (128u32, vec![
-            ("native 2-chiplet design", &opt_128),
-            ("Joint-Optimal", &joint_128),
-            ("1 chiplet of 512-opt", &cross_128),
-            ("Simba chiplets", &simba_128),
-        ]),
-        (512u32, vec![
-            ("native 4-chiplet design", &opt_512),
-            ("Joint-Optimal", &joint_512),
-            ("8 chiplets of 128-opt", &cross_512),
-            ("Simba chiplets", &simba_512),
-        ]),
+        (
+            128u32,
+            vec![
+                ("native 2-chiplet design", &opt_128),
+                ("Joint-Optimal", &joint_128),
+                ("1 chiplet of 512-opt", &cross_128),
+                ("Simba chiplets", &simba_128),
+            ],
+        ),
+        (
+            512u32,
+            vec![
+                ("native 4-chiplet design", &opt_512),
+                ("Joint-Optimal", &joint_512),
+                ("8 chiplets of 128-opt", &cross_512),
+                ("Simba chiplets", &simba_512),
+            ],
+        ),
     ] {
         let mut base: Option<(f64, f64, f64)> = None;
         for (name, arch) in schemes {
@@ -212,7 +222,10 @@ fn main() {
         rows_c,
     )
     .expect("write fig8c");
-    println!("wrote {}", results_dir().join("fig8{{a,b,c}}.csv").display());
+    println!(
+        "wrote {}",
+        results_dir().join("fig8{{a,b,c}}.csv").display()
+    );
 }
 
 /// One `1/div` slice of a chiplet-based design (e.g. a single chiplet of

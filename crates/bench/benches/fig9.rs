@@ -17,8 +17,8 @@ use gemini_core::encoding::GroupSpec;
 use gemini_core::partition::GraphPartition;
 use gemini_core::sa::{optimize, SaOptions};
 use gemini_core::stripe::{stripe_lms, stripe_lms_with};
-use gemini_model::{DnnBuilder, FmapShape, LayerKind};
 use gemini_model::layer::ConvParams;
+use gemini_model::{DnnBuilder, FmapShape, LayerKind};
 use gemini_noc::Heatmap;
 use gemini_sim::{DramSel, Evaluator};
 
@@ -59,8 +59,13 @@ fn main() {
 
     let batch = 16;
     let bu = 4;
-    let spec = GroupSpec { members: vec![l1, l2, l3], batch_unit: bu };
-    let partition = GraphPartition { groups: vec![spec.clone()] };
+    let spec = GroupSpec {
+        members: vec![l1, l2, l3],
+        batch_unit: bu,
+    };
+    let partition = GraphPartition {
+        groups: vec![spec.clone()],
+    };
     let ev = Evaluator::new(&arch);
 
     // Tangram as the paper's figure depicts it: plain fmap stripes
@@ -76,7 +81,11 @@ fn main() {
 
     // Gemini: anneal from the (capacity-aware) stripe scheme.
     let iters = sa_iters(3000, 12000);
-    let opts = SaOptions { iters, seed: 9, ..Default::default() };
+    let opts = SaOptions {
+        iters,
+        seed: 9,
+        ..Default::default()
+    };
     let out = optimize(&dnn, &ev, &partition, vec![tcap_lms], batch, &opts);
     let rg = &out.reports[0];
 
@@ -145,5 +154,8 @@ fn main() {
 
     std::fs::write(results_dir().join("fig9_tangram.csv"), ht.to_csv()).expect("write csv");
     std::fs::write(results_dir().join("fig9_gemini.csv"), hg.to_csv()).expect("write csv");
-    println!("wrote {}", results_dir().join("fig9_{{tangram,gemini}}.csv").display());
+    println!(
+        "wrote {}",
+        results_dir().join("fig9_{{tangram,gemini}}.csv").display()
+    );
 }

@@ -48,8 +48,14 @@ fn big_little(big_macs: u32) -> HeteroSpec {
     let glb = |macs: u32| (2048u64 * macs as u64 / 1024).max(256) << 10;
     HeteroSpec::new(
         vec![
-            CoreClass { macs: big_macs, glb_bytes: glb(big_macs) },
-            CoreClass { macs: little_macs, glb_bytes: glb(little_macs) },
+            CoreClass {
+                macs: big_macs,
+                glb_bytes: glb(big_macs),
+            },
+            CoreClass {
+                macs: little_macs,
+                glb_bytes: glb(little_macs),
+            },
         ],
         vec![0, 1],
         &fabric(),
@@ -61,7 +67,10 @@ fn main() {
     let iters = sa_iters(600, 4000);
     let arch = fabric();
     let batch = 8;
-    let dnns = [("tiny-resnet", zoo::tiny_resnet()), ("transformer", zoo::transformer_base())];
+    let dnns = [
+        ("tiny-resnet", zoo::tiny_resnet()),
+        ("transformer", zoo::transformer_base()),
+    ];
     let cost = CostModel::default();
     let mut rows = Vec::new();
 
@@ -197,8 +206,14 @@ fn main() {
     let dse_spec = gemini_core::hetero_dse::HeteroDseSpec {
         fabric: fabric4.clone(),
         classes: vec![
-            CoreClass { macs: 1536, glb_bytes: 3 << 20 },
-            CoreClass { macs: 512, glb_bytes: 1 << 20 },
+            CoreClass {
+                macs: 1536,
+                glb_bytes: 3 << 20,
+            },
+            CoreClass {
+                macs: 512,
+                glb_bytes: 1 << 20,
+            },
         ],
     };
     let dse_opts = gemini_core::dse::DseOptions {
@@ -256,5 +271,8 @@ fn main() {
         rows,
     )
     .expect("write csv");
-    println!("\nwrote {}", results_dir().join("hetero_explore.csv").display());
+    println!(
+        "\nwrote {}",
+        results_dir().join("hetero_explore.csv").display()
+    );
 }

@@ -36,9 +36,16 @@ fn main() {
             &dnn,
             &ev,
             &init,
-            init.groups.iter().map(|g| stripe_lms(&dnn, &arch, g)).collect(),
+            init.groups
+                .iter()
+                .map(|g| stripe_lms(&dnn, &arch, g))
+                .collect(),
             batch,
-            &SaOptions { iters, seed: 3, ..Default::default() },
+            &SaOptions {
+                iters,
+                seed: 3,
+                ..Default::default()
+            },
         );
         let joint = optimize_joint(
             &dnn,
@@ -46,7 +53,11 @@ fn main() {
             init.clone(),
             batch,
             &JointOptions {
-                sa: SaOptions { iters, seed: 3, ..Default::default() },
+                sa: SaOptions {
+                    iters,
+                    seed: 3,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );
@@ -78,5 +89,8 @@ fn main() {
         rows,
     )
     .expect("write csv");
-    println!("wrote {}", results_dir().join("joint_explore.csv").display());
+    println!(
+        "wrote {}",
+        results_dir().join("joint_explore.csv").display()
+    );
 }

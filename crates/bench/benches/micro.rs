@@ -80,7 +80,10 @@ fn bench_group_eval(c: &mut Criterion) {
     let dnn = zoo::tiny_resnet();
     let ev = Evaluator::new(&arch);
     let members: Vec<LayerId> = dnn.compute_ids().collect();
-    let spec = GroupSpec { members, batch_unit: 2 };
+    let spec = GroupSpec {
+        members,
+        batch_unit: 2,
+    };
     let lms = stripe_lms(&dnn, &arch, &spec);
     let gm = lms.parse(&dnn, &spec, &|_| DramSel::Interleaved);
     c.bench_function("sim/evaluate_group_tiny_resnet", |b| {
@@ -96,7 +99,11 @@ fn bench_sa(c: &mut Criterion) {
     c.bench_function("sa/100_iterations_two_conv", |b| {
         b.iter(|| {
             let opts = MappingOptions {
-                sa: SaOptions { iters: 100, seed: 1, ..Default::default() },
+                sa: SaOptions {
+                    iters: 100,
+                    seed: 1,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             std::hint::black_box(engine.map(&dnn, 2, &opts).report.delay_s)
@@ -133,7 +140,10 @@ fn bench_packetsim(c: &mut Criterion) {
     for y in 0..6u32 {
         let mut path = Vec::new();
         net.route_cores(arch.core_at(0, y), arch.core_at(5, 5 - y), &mut path);
-        flows.push(Flow { path, bytes: 8_192.0 });
+        flows.push(Flow {
+            path,
+            bytes: 8_192.0,
+        });
     }
     let cfg = PacketSimConfig::default();
     c.bench_function("noc/packetsim_6_flows_8kB", |b| {
@@ -144,12 +154,21 @@ fn bench_packetsim(c: &mut Criterion) {
 fn bench_hetero_eval(c: &mut Criterion) {
     // Heterogeneous evaluation must cost about the same as homogeneous
     // (the per-core profile is an O(1) lookup).
-    let arch =
-        gemini_arch::ArchConfig::builder().cores(6, 6).cuts(1, 2).build().unwrap();
+    let arch = gemini_arch::ArchConfig::builder()
+        .cores(6, 6)
+        .cuts(1, 2)
+        .build()
+        .unwrap();
     let spec = gemini_arch::HeteroSpec::new(
         vec![
-            gemini_arch::CoreClass { macs: 1536, glb_bytes: 3 << 20 },
-            gemini_arch::CoreClass { macs: 512, glb_bytes: 1 << 20 },
+            gemini_arch::CoreClass {
+                macs: 1536,
+                glb_bytes: 3 << 20,
+            },
+            gemini_arch::CoreClass {
+                macs: 512,
+                glb_bytes: 1 << 20,
+            },
         ],
         vec![0, 1],
         &arch,
@@ -158,7 +177,10 @@ fn bench_hetero_eval(c: &mut Criterion) {
     let dnn = zoo::tiny_resnet();
     let ev = Evaluator::hetero(&arch, &spec);
     let members: Vec<LayerId> = dnn.compute_ids().collect();
-    let gspec = GroupSpec { members, batch_unit: 2 };
+    let gspec = GroupSpec {
+        members,
+        batch_unit: 2,
+    };
     let lms = stripe_lms(&dnn, &arch, &gspec);
     let gm = lms.parse(&dnn, &gspec, &|_| DramSel::Interleaved);
     ev.evaluate_group(&dnn, &gm, 8); // warm the per-class memo caches

@@ -46,11 +46,18 @@ fn main() {
         println!();
     }
 
-    println!("\npartition numbers: part(36) = {}, part(64) = {}, part(100) = {}",
-        partition_count(36), partition_count(64), partition_count(100));
+    println!(
+        "\npartition numbers: part(36) = {}, part(64) = {}, part(100) = {}",
+        partition_count(36),
+        partition_count(64),
+        partition_count(100)
+    );
     println!("paper claim: the Gemini space significantly outstrips the Tangram heuristic's —");
-    println!("at (M=36, N=8) the gap is 2^{:.0} vs 2^{:.1}.",
-        gemini_space_log2(36, 8), tangram_space_log2(36, 8));
+    println!(
+        "at (M=36, N=8) the gap is 2^{:.0} vs 2^{:.1}.",
+        gemini_space_log2(36, 8),
+        tangram_space_log2(36, 8)
+    );
 
     write_csv(
         results_dir().join("space_calc.csv"),

@@ -19,7 +19,10 @@ fn main() {
     for tops in [72.0, 128.0, 512.0] {
         let spec = DseSpec::table1(tops);
         let n = spec.candidates().len();
-        println!("{tops:>5} TOPs: {n:>5} valid candidates  (cuts {:?})", spec.cuts);
+        println!(
+            "{tops:>5} TOPs: {n:>5} valid candidates  (cuts {:?})",
+            spec.cuts
+        );
         for &macs in &spec.macs {
             if let Some((x, y)) = spec.grid_for(macs) {
                 println!("    {macs:>5} MAC/core -> {:>3} cores ({x}x{y})", x * y);
@@ -86,7 +89,11 @@ fn main() {
         )
     });
     let path = results_dir().join("table1_dse72.csv");
-    write_csv(&path, "arch,chiplets,cores,mc_usd,energy_j,delay_s,score", rows)
-        .expect("write csv");
+    write_csv(
+        &path,
+        "arch,chiplets,cores,mc_usd,energy_j,delay_s,score",
+        rows,
+    )
+    .expect("write csv");
     println!("wrote {}", path.display());
 }

@@ -19,8 +19,16 @@ fn main() {
     banner("Sec. VI-B2: T-Arch (folded torus) vs Gemini-explored arch");
     let t_arch = presets::t_arch();
     let g_arch = presets::g_arch_vs_tarch();
-    println!("T-Arch: {} on {:?}", t_arch.paper_tuple(), t_arch.topology());
-    println!("G-Arch: {} on {:?}", g_arch.paper_tuple(), g_arch.topology());
+    println!(
+        "T-Arch: {} on {:?}",
+        t_arch.paper_tuple(),
+        t_arch.topology()
+    );
+    println!(
+        "G-Arch: {} on {:?}",
+        g_arch.paper_tuple(),
+        g_arch.topology()
+    );
 
     let iters = sa_iters(800, 4000);
     let cost = CostModel::default();
@@ -64,7 +72,10 @@ fn main() {
     let mc_t = cost.evaluate(&t_arch).total();
     let mc_g = cost.evaluate(&g_arch).total();
     banner("Headline");
-    println!("performance      : {:.2}x (paper: 1.74x)", geomean(&speedups));
+    println!(
+        "performance      : {:.2}x (paper: 1.74x)",
+        geomean(&speedups)
+    );
     println!("energy efficiency: {:.2}x (paper: 1.13x)", geomean(&egains));
     println!(
         "monetary cost    : {:+.1}% (paper: -40.1%)  [T ${:.2} -> G ${:.2}]",

@@ -64,12 +64,22 @@ pub fn results_dir() -> PathBuf {
 
 /// Prints a section banner.
 pub fn banner(title: &str) {
-    println!("\n==== {title} {}", "=".repeat(66usize.saturating_sub(title.len())));
+    println!(
+        "\n==== {title} {}",
+        "=".repeat(66usize.saturating_sub(title.len()))
+    );
 }
 
 /// Standard mapping options with the given SA budget and seed.
 pub fn mapping_opts(iters: u32, seed: u64) -> MappingOptions {
-    MappingOptions { sa: SaOptions { iters, seed, ..Default::default() }, ..Default::default() }
+    MappingOptions {
+        sa: SaOptions {
+            iters,
+            seed,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
 }
 
 /// Maps with Gemini (SA).

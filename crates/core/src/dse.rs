@@ -4,7 +4,7 @@
 //! each is scored `MC^alpha * E^beta * D^gamma`, with E and D the
 //! geometric means over the input DNNs of the energy and delay achieved
 //! by the mapping engine on that candidate. Exploration parallelizes
-//! over candidates with a crossbeam worker pool.
+//! over candidates with a scoped-thread worker pool.
 //!
 //! [`scale_arch`] supports the chiplet-reuse study (Sec. VII-B): it
 //! builds a higher-compute accelerator out of more instances of the same
@@ -36,22 +36,38 @@ pub struct Objective {
 impl Objective {
     /// The paper's default DSE objective `MC * E * D`.
     pub fn mc_e_d() -> Self {
-        Self { alpha: 1.0, beta: 1.0, gamma: 1.0 }
+        Self {
+            alpha: 1.0,
+            beta: 1.0,
+            gamma: 1.0,
+        }
     }
 
     /// Energy-delay product (mapping-level objective).
     pub fn e_d() -> Self {
-        Self { alpha: 0.0, beta: 1.0, gamma: 1.0 }
+        Self {
+            alpha: 0.0,
+            beta: 1.0,
+            gamma: 1.0,
+        }
     }
 
     /// Delay only.
     pub fn d_only() -> Self {
-        Self { alpha: 0.0, beta: 0.0, gamma: 1.0 }
+        Self {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 1.0,
+        }
     }
 
     /// Energy only.
     pub fn e_only() -> Self {
-        Self { alpha: 0.0, beta: 1.0, gamma: 0.0 }
+        Self {
+            alpha: 0.0,
+            beta: 1.0,
+            gamma: 0.0,
+        }
     }
 
     /// Scores a candidate.
@@ -85,7 +101,11 @@ impl DseSpec {
     /// Table I for the given computing power: 72 TOPs uses cuts
     /// {1,2,3,6}; 128/512 TOPs use {1,2,4,8}.
     pub fn table1(tops: f64) -> Self {
-        let cuts = if (tops - 72.0).abs() < 16.0 { vec![1, 2, 3, 6] } else { vec![1, 2, 4, 8] };
+        let cuts = if (tops - 72.0).abs() < 16.0 {
+            vec![1, 2, 3, 6]
+        } else {
+            vec![1, 2, 4, 8]
+        };
         Self {
             tops,
             cuts,
@@ -109,7 +129,9 @@ impl DseSpec {
         let target = self.tops * 1e12 / (2.0 * macs as f64 * self.freq_ghz * 1e9);
         let lo = target.ceil().max(1.0) as u32;
         let hi = ((target * 1.08).ceil() as u32 + 2).max(lo);
-        let mut best: Option<((i64, i64, i64), (u32, u32))> = None;
+        // Candidate sort key: (-cut_pairs, aspect_milli, core_count).
+        type GridKey = (i64, i64, i64);
+        let mut best: Option<(GridKey, (u32, u32))> = None;
         for n in lo..=hi {
             let (x, y) = arrange_cores(n);
             let pairs = self.cuts.iter().filter(|&&c| x % c == 0).count()
@@ -128,7 +150,9 @@ impl DseSpec {
     pub fn candidates(&self) -> Vec<ArchConfig> {
         let mut out = Vec::new();
         for &macs in &self.macs {
-            let Some((x, y)) = self.grid_for(macs) else { continue };
+            let Some((x, y)) = self.grid_for(macs) else {
+                continue;
+            };
             for &xcut in &self.cuts {
                 if x % xcut != 0 {
                     continue;
@@ -219,7 +243,9 @@ impl Default for DseOptions {
             objective: Objective::mc_e_d(),
             batch: 64,
             mapping: MappingOptions::default(),
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
             stride: 1,
         }
     }
@@ -314,9 +340,9 @@ pub fn run_dse_over(candidates: &[ArchConfig], dnns: &[Dnn], opts: &DseOptions) 
     let slots: Mutex<Vec<Option<DseRecord>>> = Mutex::new(vec![None; candidates.len()]);
 
     let workers = opts.threads.clamp(1, candidates.len());
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= candidates.len() {
                     break;
@@ -325,8 +351,7 @@ pub fn run_dse_over(candidates: &[ArchConfig], dnns: &[Dnn], opts: &DseOptions) 
                 slots.lock().expect("worker poisoned the record list")[i] = Some(rec);
             });
         }
-    })
-    .expect("DSE worker panicked");
+    });
 
     let records: Vec<DseRecord> = slots
         .into_inner()
@@ -366,7 +391,11 @@ pub fn scale_arch(base: &ArchConfig, factor: u32) -> Option<ArchConfig> {
         .glb_kb(base.glb_bytes() / 1024)
         .macs_per_core(base.macs_per_core())
         .freq_ghz(base.freq_ghz())
-        .topology(if factor == 1 { base.topology() } else { Topology::Mesh })
+        .topology(if factor == 1 {
+            base.topology()
+        } else {
+            Topology::Mesh
+        })
         .build()
         .ok()
 }
@@ -401,7 +430,11 @@ mod tests {
             assert_eq!(a.x_cores() % a.xcut(), 0);
             assert_eq!(a.y_cores() % a.ycut(), 0);
             let tops = a.tops();
-            assert!((50.0..100.0).contains(&tops), "{} has {tops} TOPS", a.paper_tuple());
+            assert!(
+                (50.0..100.0).contains(&tops),
+                "{} has {tops} TOPS",
+                a.paper_tuple()
+            );
         }
     }
 
@@ -425,7 +458,11 @@ mod tests {
         let opts = DseOptions {
             batch: 2,
             mapping: MappingOptions {
-                sa: SaOptions { iters: 40, seed: 2, ..Default::default() },
+                sa: SaOptions {
+                    iters: 40,
+                    seed: 2,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
             threads: 2,

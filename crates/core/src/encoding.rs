@@ -57,7 +57,12 @@ pub struct Part {
 impl Part {
     /// The trivial partition (one workload).
     pub fn unit() -> Self {
-        Part { h: 1, w: 1, b: 1, k: 1 }
+        Part {
+            h: 1,
+            w: 1,
+            b: 1,
+            k: 1,
+        }
     }
 
     /// Number of partitioned workloads (`== CoreGroup` size).
@@ -130,7 +135,11 @@ pub struct FlowOfData {
 impl FlowOfData {
     /// All-inferred flows.
     pub fn inferred() -> Self {
-        FlowOfData { ifm: -1, wgt: -1, ofm: -1 }
+        FlowOfData {
+            ifm: -1,
+            wgt: -1,
+            ofm: -1,
+        }
     }
 }
 
@@ -202,7 +211,11 @@ pub fn flow_needs(dnn: &Dnn, spec: &GroupSpec, id: LayerId) -> FlowNeeds {
     let explicit_wgt = dnn.layer(id).has_weights();
     let succs = dnn.succs(id);
     let explicit_of = succs.is_empty() || succs.iter().any(|&s| !in_group(s));
-    FlowNeeds { explicit_if, explicit_wgt, explicit_of }
+    FlowNeeds {
+        explicit_if,
+        explicit_wgt,
+        explicit_of,
+    }
 }
 
 impl Lms {
@@ -304,9 +317,7 @@ impl Lms {
                     if let Some(pos) = spec.position(pred) {
                         PredSrc::InGroup { member_idx: pos }
                     } else if dnn.layer(pred).is_input() {
-                        PredSrc::Dram(
-                            DramSel::from_fd(ms.fd.ifm).unwrap_or(DramSel::Interleaved),
-                        )
+                        PredSrc::Dram(DramSel::from_fd(ms.fd.ifm).unwrap_or(DramSel::Interleaved))
                     } else {
                         PredSrc::Dram(producer_of(pred))
                     }
@@ -318,11 +329,22 @@ impl Lms {
                 layer: id,
                 parts,
                 pred_srcs,
-                wgt_src: if needs.explicit_wgt { DramSel::from_fd(ms.fd.wgt) } else { None },
-                of_dst: if needs.explicit_of { DramSel::from_fd(ms.fd.ofm) } else { None },
+                wgt_src: if needs.explicit_wgt {
+                    DramSel::from_fd(ms.fd.wgt)
+                } else {
+                    None
+                },
+                of_dst: if needs.explicit_of {
+                    DramSel::from_fd(ms.fd.ofm)
+                } else {
+                    None
+                },
             });
         }
-        GroupMapping { members, batch_unit: spec.batch_unit }
+        GroupMapping {
+            members,
+            batch_unit: spec.batch_unit,
+        }
     }
 
     /// Range-unconstrained clone guard: total cores used across all
@@ -349,19 +371,40 @@ mod tests {
             .dram_count(2)
             .build()
             .unwrap();
-        let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 2 };
+        let spec = GroupSpec {
+            members: vec![LayerId(1), LayerId(2)],
+            batch_unit: 2,
+        };
         // Paper CG ids are 1-based core labels; ours are 0-based.
         let lms = Lms {
             schemes: vec![
                 Ms {
-                    part: Part { h: 1, w: 1, b: 2, k: 2 },
+                    part: Part {
+                        h: 1,
+                        w: 1,
+                        b: 2,
+                        k: 2,
+                    },
                     cg: CoreGroup(vec![CoreId(1), CoreId(0), CoreId(4), CoreId(3)]),
-                    fd: FlowOfData { ifm: 1, wgt: 1, ofm: -1 },
+                    fd: FlowOfData {
+                        ifm: 1,
+                        wgt: 1,
+                        ofm: -1,
+                    },
                 },
                 Ms {
-                    part: Part { h: 1, w: 1, b: 2, k: 1 },
+                    part: Part {
+                        h: 1,
+                        w: 1,
+                        b: 2,
+                        k: 1,
+                    },
                     cg: CoreGroup(vec![CoreId(2), CoreId(5)]),
-                    fd: FlowOfData { ifm: -1, wgt: 2, ofm: 2 },
+                    fd: FlowOfData {
+                        ifm: -1,
+                        wgt: 2,
+                        ofm: 2,
+                    },
                 },
             ],
         };
@@ -410,7 +453,12 @@ mod tests {
     #[test]
     fn part_cg_mismatch_rejected() {
         let (dnn, arch, spec, mut lms) = fig3();
-        lms.schemes[0].part = Part { h: 1, w: 1, b: 1, k: 2 };
+        lms.schemes[0].part = Part {
+            h: 1,
+            w: 1,
+            b: 1,
+            k: 2,
+        };
         assert_eq!(
             lms.validate(&dnn, &arch, &spec),
             Err(EncodingError::PartCgMismatch(LayerId(1)))
@@ -421,16 +469,27 @@ mod tests {
     fn too_fine_part_rejected() {
         let (dnn, arch, spec, mut lms) = fig3();
         // batch_unit is 2; b=4 exceeds it.
-        lms.schemes[0].part = Part { h: 1, w: 1, b: 4, k: 1 };
+        lms.schemes[0].part = Part {
+            h: 1,
+            w: 1,
+            b: 4,
+            k: 1,
+        };
         lms.schemes[0].cg = CoreGroup((0..4).map(CoreId).collect());
-        assert_eq!(lms.validate(&dnn, &arch, &spec), Err(EncodingError::PartTooFine(LayerId(1))));
+        assert_eq!(
+            lms.validate(&dnn, &arch, &spec),
+            Err(EncodingError::PartTooFine(LayerId(1)))
+        );
     }
 
     #[test]
     fn duplicate_core_rejected() {
         let (dnn, arch, spec, mut lms) = fig3();
         lms.schemes[1].cg = CoreGroup(vec![CoreId(2), CoreId(2)]);
-        assert_eq!(lms.validate(&dnn, &arch, &spec), Err(EncodingError::BadCoreGroup(LayerId(2))));
+        assert_eq!(
+            lms.validate(&dnn, &arch, &spec),
+            Err(EncodingError::BadCoreGroup(LayerId(2)))
+        );
     }
 
     #[test]
@@ -456,7 +515,10 @@ mod tests {
         let (dnn, _arch, spec, mut lms) = fig3();
         lms.schemes[0].fd.ifm = 0;
         let gm = lms.parse(&dnn, &spec, &|_| DramSel::Interleaved);
-        assert_eq!(gm.members[0].pred_srcs[0], PredSrc::Dram(DramSel::Interleaved));
+        assert_eq!(
+            gm.members[0].pred_srcs[0],
+            PredSrc::Dram(DramSel::Interleaved)
+        );
     }
 
     #[test]
@@ -464,19 +526,29 @@ mod tests {
         // Split the two convs into two singleton groups: conv2's ifmap
         // source must come from conv1's OF via the resolver.
         let dnn = zoo::two_conv_example();
-        let spec2 = GroupSpec { members: vec![LayerId(2)], batch_unit: 1 };
+        let spec2 = GroupSpec {
+            members: vec![LayerId(2)],
+            batch_unit: 1,
+        };
         let lms2 = Lms {
             schemes: vec![Ms {
                 part: Part::unit(),
                 cg: CoreGroup(vec![CoreId(0)]),
-                fd: FlowOfData { ifm: -1, wgt: 0, ofm: 0 },
+                fd: FlowOfData {
+                    ifm: -1,
+                    wgt: 0,
+                    ofm: 0,
+                },
             }],
         };
         let gm = lms2.parse(&dnn, &spec2, &|p| {
             assert_eq!(p, LayerId(1));
             DramSel::Specific(1)
         });
-        assert_eq!(gm.members[0].pred_srcs[0], PredSrc::Dram(DramSel::Specific(1)));
+        assert_eq!(
+            gm.members[0].pred_srcs[0],
+            PredSrc::Dram(DramSel::Specific(1))
+        );
     }
 
     #[test]
@@ -489,7 +561,10 @@ mod tests {
     #[test]
     fn flow_needs_rules() {
         let dnn = zoo::two_conv_example();
-        let both = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 1 };
+        let both = GroupSpec {
+            members: vec![LayerId(1), LayerId(2)],
+            batch_unit: 1,
+        };
         let n1 = flow_needs(&dnn, &both, LayerId(1));
         assert!(n1.explicit_if, "conv1 reads the DNN input");
         assert!(n1.explicit_wgt);
@@ -497,8 +572,14 @@ mod tests {
         let n2 = flow_needs(&dnn, &both, LayerId(2));
         assert!(!n2.explicit_if);
         assert!(n2.explicit_of, "DNN output");
-        let solo = GroupSpec { members: vec![LayerId(1)], batch_unit: 1 };
-        assert!(flow_needs(&dnn, &solo, LayerId(1)).explicit_of, "consumer now out-of-group");
+        let solo = GroupSpec {
+            members: vec![LayerId(1)],
+            batch_unit: 1,
+        };
+        assert!(
+            flow_needs(&dnn, &solo, LayerId(1)).explicit_of,
+            "consumer now out-of-group"
+        );
     }
 
     #[test]

@@ -79,11 +79,19 @@ impl<'a> MappingEngine<'a> {
     pub fn map(&self, dnn: &Dnn, batch: u32, opts: &MappingOptions) -> MappedDnn {
         let arch = self.ev.arch();
         let partition = partition_graph(dnn, arch, batch, &opts.partition);
-        let init: Vec<Lms> =
-            partition.groups.iter().map(|g| stripe_lms(dnn, arch, g)).collect();
+        let init: Vec<Lms> = partition
+            .groups
+            .iter()
+            .map(|g| stripe_lms(dnn, arch, g))
+            .collect();
         let out = optimize(dnn, self.ev, &partition, init, batch, &opts.sa);
         let report = self.evaluate(dnn, &partition, &out.lms, batch);
-        MappedDnn { partition, lms: out.lms, report, sa_stats: Some(out.stats) }
+        MappedDnn {
+            partition,
+            lms: out.lms,
+            report,
+            sa_stats: Some(out.stats),
+        }
     }
 
     /// G-Map on a heterogeneous chiplet assignment (Sec. V-D): identical
@@ -112,7 +120,12 @@ impl<'a> MappingEngine<'a> {
             .collect();
         let out = optimize(dnn, self.ev, &partition, init, batch, &opts.sa);
         let report = self.evaluate(dnn, &partition, &out.lms, batch);
-        MappedDnn { partition, lms: out.lms, report, sa_stats: Some(out.stats) }
+        MappedDnn {
+            partition,
+            lms: out.lms,
+            report,
+            sa_stats: Some(out.stats),
+        }
     }
 
     /// T-Map baseline: DP graph partition + the stripe heuristic, no SA
@@ -120,9 +133,18 @@ impl<'a> MappingEngine<'a> {
     pub fn map_stripe(&self, dnn: &Dnn, batch: u32, opts: &MappingOptions) -> MappedDnn {
         let arch = self.ev.arch();
         let partition = partition_graph(dnn, arch, batch, &opts.partition);
-        let lms: Vec<Lms> = partition.groups.iter().map(|g| stripe_lms(dnn, arch, g)).collect();
+        let lms: Vec<Lms> = partition
+            .groups
+            .iter()
+            .map(|g| stripe_lms(dnn, arch, g))
+            .collect();
         let report = self.evaluate(dnn, &partition, &lms, batch);
-        MappedDnn { partition, lms, report, sa_stats: None }
+        MappedDnn {
+            partition,
+            lms,
+            report,
+            sa_stats: None,
+        }
     }
 
     /// Evaluates a set of schemes end to end.
@@ -146,7 +168,11 @@ mod tests {
 
     fn quick_opts(iters: u32) -> MappingOptions {
         MappingOptions {
-            sa: SaOptions { iters, seed: 1, ..Default::default() },
+            sa: SaOptions {
+                iters,
+                seed: 1,
+                ..Default::default()
+            },
             partition: PartitionOptions::default(),
         }
     }
@@ -199,12 +225,21 @@ mod tests {
         // Big/little fabric: the throughput-weighted init plus SA must
         // beat the heterogeneity-blind plain stripe.
         let dnn = zoo::tiny_resnet();
-        let arch =
-            gemini_arch::ArchConfig::builder().cores(6, 6).cuts(2, 1).build().unwrap();
+        let arch = gemini_arch::ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(2, 1)
+            .build()
+            .unwrap();
         let spec = gemini_arch::HeteroSpec::new(
             vec![
-                gemini_arch::CoreClass { macs: 2048, glb_bytes: 2 << 20 },
-                gemini_arch::CoreClass { macs: 512, glb_bytes: 1 << 20 },
+                gemini_arch::CoreClass {
+                    macs: 2048,
+                    glb_bytes: 2 << 20,
+                },
+                gemini_arch::CoreClass {
+                    macs: 512,
+                    glb_bytes: 1 << 20,
+                },
             ],
             vec![0, 1],
             &arch,

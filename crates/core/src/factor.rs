@@ -151,9 +151,24 @@ mod tests {
         // 12 = h*w*b*k, h,w <= 8, b <= 4, k <= 64:
         // enumerate by hand a few expected members.
         let all = factorizations(12, shape, 4);
-        assert!(all.contains(&Part { h: 2, w: 2, b: 3, k: 1 }));
-        assert!(all.contains(&Part { h: 1, w: 1, b: 1, k: 12 }));
-        assert!(all.contains(&Part { h: 4, w: 3, b: 1, k: 1 }));
+        assert!(all.contains(&Part {
+            h: 2,
+            w: 2,
+            b: 3,
+            k: 1
+        }));
+        assert!(all.contains(&Part {
+            h: 1,
+            w: 1,
+            b: 1,
+            k: 12
+        }));
+        assert!(all.contains(&Part {
+            h: 4,
+            w: 3,
+            b: 1,
+            k: 1
+        }));
     }
 
     #[test]
@@ -162,7 +177,15 @@ mod tests {
         // K splits are possible.
         let shape = FmapShape::new(1, 1, 4);
         let all = factorizations(4, shape, 1);
-        assert_eq!(all, vec![Part { h: 1, w: 1, b: 1, k: 4 }]);
+        assert_eq!(
+            all,
+            vec![Part {
+                h: 1,
+                w: 1,
+                b: 1,
+                k: 4
+            }]
+        );
         assert!(factorizations(8, shape, 1).is_empty(), "8 > c=4 cannot fit");
     }
 
@@ -170,18 +193,39 @@ mod tests {
     fn stripe_prefers_h() {
         let shape = FmapShape::new(56, 56, 64);
         let p = stripe_part(6, shape, 4).unwrap();
-        assert_eq!(p, Part { h: 6, w: 1, b: 1, k: 1 });
+        assert_eq!(
+            p,
+            Part {
+                h: 6,
+                w: 1,
+                b: 1,
+                k: 1
+            }
+        );
         // When H is too small, spill into W.
         let small = FmapShape::new(2, 56, 64);
         let p = stripe_part(6, small, 4).unwrap();
-        assert_eq!(p, Part { h: 2, w: 3, b: 1, k: 1 });
+        assert_eq!(
+            p,
+            Part {
+                h: 2,
+                w: 3,
+                b: 1,
+                k: 1
+            }
+        );
     }
 
     #[test]
     fn random_part_excludes_current() {
         let shape = FmapShape::new(8, 8, 64);
         let mut rng = rand::rngs::mock::StepRng::new(0, 1);
-        let cur = Part { h: 4, w: 1, b: 1, k: 1 };
+        let cur = Part {
+            h: 4,
+            w: 1,
+            b: 1,
+            k: 1,
+        };
         for _ in 0..20 {
             let p = random_part(4, shape, 1, Some(cur), &mut rng).unwrap();
             assert_ne!(p, cur);
@@ -193,7 +237,12 @@ mod tests {
     fn random_part_single_candidate_returns_it() {
         let shape = FmapShape::new(1, 1, 4);
         let mut rng = rand::rngs::mock::StepRng::new(7, 13);
-        let only = Part { h: 1, w: 1, b: 1, k: 4 };
+        let only = Part {
+            h: 1,
+            w: 1,
+            b: 1,
+            k: 4,
+        };
         assert_eq!(random_part(4, shape, 1, Some(only), &mut rng), Some(only));
     }
 

@@ -155,11 +155,7 @@ pub fn evaluate_hetero_candidate(
 /// # Panics
 ///
 /// Panics if the grid is empty (no classes).
-pub fn run_hetero_dse(
-    dnns: &[Dnn],
-    spec: &HeteroDseSpec,
-    opts: &DseOptions,
-) -> HeteroDseResult {
+pub fn run_hetero_dse(dnns: &[Dnn], spec: &HeteroDseSpec, opts: &DseOptions) -> HeteroDseResult {
     let candidates = spec.candidates();
     assert!(!candidates.is_empty(), "no class assignments to explore");
     let cost = CostModel::default();
@@ -184,36 +180,64 @@ mod tests {
     use gemini_model::zoo;
 
     fn two_chiplet_fabric() -> ArchConfig {
-        ArchConfig::builder().cores(4, 4).cuts(1, 2).build().unwrap()
+        ArchConfig::builder()
+            .cores(4, 4)
+            .cuts(1, 2)
+            .build()
+            .unwrap()
     }
 
     fn big_little_classes() -> Vec<CoreClass> {
         vec![
-            CoreClass { macs: 2048, glb_bytes: 2 << 20 },
-            CoreClass { macs: 512, glb_bytes: 1 << 20 },
+            CoreClass {
+                macs: 2048,
+                glb_bytes: 2 << 20,
+            },
+            CoreClass {
+                macs: 512,
+                glb_bytes: 1 << 20,
+            },
         ]
     }
 
     #[test]
     fn candidate_enumeration_is_exhaustive() {
-        let spec = HeteroDseSpec { fabric: two_chiplet_fabric(), classes: big_little_classes() };
+        let spec = HeteroDseSpec {
+            fabric: two_chiplet_fabric(),
+            classes: big_little_classes(),
+        };
         let cands = spec.candidates();
         assert_eq!(cands.len(), 4, "2 classes ^ 2 chiplets");
-        let mut assigns: Vec<Vec<u8>> =
-            cands.iter().map(|c| c.class_of_chiplet().to_vec()).collect();
+        let mut assigns: Vec<Vec<u8>> = cands
+            .iter()
+            .map(|c| c.class_of_chiplet().to_vec())
+            .collect();
         assigns.sort();
-        assert_eq!(assigns, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+        assert_eq!(
+            assigns,
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
+        );
     }
 
     #[test]
     #[should_panic(expected = "assignments")]
     fn oversized_grids_rejected() {
-        let fabric = ArchConfig::builder().cores(8, 8).cuts(8, 8).build().unwrap();
+        let fabric = ArchConfig::builder()
+            .cores(8, 8)
+            .cuts(8, 8)
+            .build()
+            .unwrap();
         let spec = HeteroDseSpec {
             fabric,
             classes: vec![
-                CoreClass { macs: 512, glb_bytes: 1 << 20 },
-                CoreClass { macs: 1024, glb_bytes: 1 << 20 },
+                CoreClass {
+                    macs: 512,
+                    glb_bytes: 1 << 20,
+                },
+                CoreClass {
+                    macs: 1024,
+                    glb_bytes: 1 << 20,
+                },
             ],
         };
         let _ = spec.candidates();
@@ -221,11 +245,18 @@ mod tests {
 
     #[test]
     fn mini_hetero_dse_finds_a_best() {
-        let spec = HeteroDseSpec { fabric: two_chiplet_fabric(), classes: big_little_classes() };
+        let spec = HeteroDseSpec {
+            fabric: two_chiplet_fabric(),
+            classes: big_little_classes(),
+        };
         let opts = DseOptions {
             batch: 2,
             mapping: MappingOptions {
-                sa: SaOptions { iters: 30, seed: 4, ..Default::default() },
+                sa: SaOptions {
+                    iters: 30,
+                    seed: 4,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
             ..Default::default()

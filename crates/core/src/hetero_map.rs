@@ -14,7 +14,8 @@
 //!    its cost comes from the heterogeneity-aware evaluator
 //!    ([`gemini_sim::Evaluator::hetero`]), so OP2/OP3/OP4 moves that
 //!    trade big cores against little ones are accepted exactly when
-//!    they help. [`MappingEngine::map`] on a hetero evaluator therefore
+//!    they help. [`MappingEngine::map`](crate::engine::MappingEngine::map)
+//!    on a hetero evaluator therefore
 //!    already "schedules LP mapping on heterogeneous chiplets"; this
 //!    module only improves its starting point and exposes convenience
 //!    plumbing.
@@ -38,11 +39,7 @@ use crate::stripe::{default_fd, snake_order};
 /// # Panics
 ///
 /// Panics if the group has more members than cores.
-pub fn weighted_allocation(
-    dnn: &Dnn,
-    spec: &GroupSpec,
-    core_weights: &[f64],
-) -> Vec<u32> {
+pub fn weighted_allocation(dnn: &Dnn, spec: &GroupSpec, core_weights: &[f64]) -> Vec<u32> {
     let n = spec.members.len();
     let n_cores = core_weights.len();
     assert!(n <= n_cores, "group of {n} layers exceeds {n_cores} cores");
@@ -53,9 +50,8 @@ pub fn weighted_allocation(
         .map(|&id| {
             let l = dnn.layer(id);
             let macs = l.macs(spec.batch_unit) as f64;
-            let vec_ops = l.ofmap.elems() as f64
-                * spec.batch_unit as f64
-                * l.vector_ops_per_out() as f64;
+            let vec_ops =
+                l.ofmap.elems() as f64 * spec.batch_unit as f64 * l.vector_ops_per_out() as f64;
             (macs + vec_ops * 0.05).max(1.0)
         })
         .collect();
@@ -102,8 +98,10 @@ pub fn hetero_stripe_lms(
     hetero: &HeteroSpec,
 ) -> Lms {
     let order = snake_order(arch);
-    let weights: Vec<f64> =
-        order.iter().map(|&c| hetero.core_class(arch, c).macs as f64).collect();
+    let weights: Vec<f64> = order
+        .iter()
+        .map(|&c| hetero.core_class(arch, c).macs as f64)
+        .collect();
     let alloc = weighted_allocation(dnn, spec, &weights);
 
     let mut cursor = 0usize;
@@ -126,7 +124,11 @@ pub fn hetero_stripe_lms(
         )
         .expect("largest_factorable guarantees a valid Part");
         cursor += alloc[i] as usize;
-        schemes.push(Ms { part, cg: CoreGroup(run), fd: default_fd(dnn, spec, id) });
+        schemes.push(Ms {
+            part,
+            cg: CoreGroup(run),
+            fd: default_fd(dnn, spec, id),
+        });
     }
     Lms { schemes }
 }
@@ -138,11 +140,21 @@ mod tests {
     use gemini_model::{zoo, LayerId};
 
     fn big_little_arch() -> (ArchConfig, HeteroSpec) {
-        let arch = ArchConfig::builder().cores(6, 6).cuts(2, 1).build().unwrap();
+        let arch = ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(2, 1)
+            .build()
+            .unwrap();
         let spec = HeteroSpec::new(
             vec![
-                CoreClass { macs: 2048, glb_bytes: 2 << 20 },
-                CoreClass { macs: 512, glb_bytes: 1 << 20 },
+                CoreClass {
+                    macs: 2048,
+                    glb_bytes: 2 << 20,
+                },
+                CoreClass {
+                    macs: 512,
+                    glb_bytes: 1 << 20,
+                },
             ],
             vec![0, 1],
             &arch,
@@ -154,7 +166,10 @@ mod tests {
     #[test]
     fn weighted_allocation_sums_and_floors() {
         let dnn = zoo::two_conv_example();
-        let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 2 };
+        let spec = GroupSpec {
+            members: vec![LayerId(1), LayerId(2)],
+            batch_unit: 2,
+        };
         let w = vec![1.0; 36];
         let alloc = weighted_allocation(&dnn, &spec, &w);
         assert_eq!(alloc.iter().sum::<u32>(), 36);
@@ -166,11 +181,17 @@ mod tests {
         // With equal core weights the boundaries must land close to the
         // plain proportional allocation (within rounding).
         let dnn = zoo::two_conv_example();
-        let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 2 };
+        let spec = GroupSpec {
+            members: vec![LayerId(1), LayerId(2)],
+            batch_unit: 2,
+        };
         let weighted = weighted_allocation(&dnn, &spec, &vec![1.0; 36]);
         let plain = crate::stripe::proportional_allocation(&dnn, &spec, 36);
         for (a, b) in weighted.iter().zip(&plain) {
-            assert!(a.abs_diff(*b) <= 1, "weighted {weighted:?} vs plain {plain:?}");
+            assert!(
+                a.abs_diff(*b) <= 1,
+                "weighted {weighted:?} vs plain {plain:?}"
+            );
         }
     }
 
@@ -181,21 +202,36 @@ mod tests {
         // need fewer cores than layer 2 for the same throughput share.
         // (A west/east cut would interleave classes every half-row and
         // leave the boundary near the homogeneous position.)
-        let arch = ArchConfig::builder().cores(6, 6).cuts(1, 2).build().unwrap();
+        let arch = ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(1, 2)
+            .build()
+            .unwrap();
         let hs = HeteroSpec::new(
             vec![
-                CoreClass { macs: 2048, glb_bytes: 2 << 20 },
-                CoreClass { macs: 512, glb_bytes: 1 << 20 },
+                CoreClass {
+                    macs: 2048,
+                    glb_bytes: 2 << 20,
+                },
+                CoreClass {
+                    macs: 512,
+                    glb_bytes: 1 << 20,
+                },
             ],
             vec![0, 1],
             &arch,
         )
         .unwrap();
         let dnn = zoo::two_conv_example();
-        let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 2 };
+        let spec = GroupSpec {
+            members: vec![LayerId(1), LayerId(2)],
+            batch_unit: 2,
+        };
         let order = snake_order(&arch);
-        let weights: Vec<f64> =
-            order.iter().map(|&c| hs.core_class(&arch, c).macs as f64).collect();
+        let weights: Vec<f64> = order
+            .iter()
+            .map(|&c| hs.core_class(&arch, c).macs as f64)
+            .collect();
         let alloc = weighted_allocation(&dnn, &spec, &weights);
         assert!(
             alloc[0] < alloc[1],
@@ -207,7 +243,10 @@ mod tests {
     fn hetero_stripe_validates_and_parses() {
         let (arch, hs) = big_little_arch();
         let dnn = zoo::two_conv_example();
-        let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 2 };
+        let spec = GroupSpec {
+            members: vec![LayerId(1), LayerId(2)],
+            batch_unit: 2,
+        };
         let lms = hetero_stripe_lms(&dnn, &arch, &spec, &hs);
         lms.validate(&dnn, &arch, &spec).unwrap();
         let gm = lms.parse(&dnn, &spec, &|_| gemini_sim::DramSel::Interleaved);
@@ -219,7 +258,10 @@ mod tests {
         let arch = gemini_arch::presets::g_arch_72();
         let hs = HeteroSpec::uniform(&arch);
         let dnn = zoo::two_conv_example();
-        let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 2 };
+        let spec = GroupSpec {
+            members: vec![LayerId(1), LayerId(2)],
+            batch_unit: 2,
+        };
         let h = hetero_stripe_lms(&dnn, &arch, &spec, &hs);
         let p = crate::stripe::stripe_lms(&dnn, &arch, &spec);
         for (a, b) in h.schemes.iter().zip(&p.schemes) {
@@ -235,10 +277,15 @@ mod tests {
         let (arch, hs) = big_little_arch();
         let dnn = zoo::resnet50();
         let members: Vec<LayerId> = dnn.compute_ids().take(12).collect();
-        let spec = GroupSpec { members, batch_unit: 1 };
+        let spec = GroupSpec {
+            members,
+            batch_unit: 1,
+        };
         let order = snake_order(&arch);
-        let weights: Vec<f64> =
-            order.iter().map(|&c| hs.core_class(&arch, c).macs as f64).collect();
+        let weights: Vec<f64> = order
+            .iter()
+            .map(|&c| hs.core_class(&arch, c).macs as f64)
+            .collect();
         let alloc = weighted_allocation(&dnn, &spec, &weights);
         assert_eq!(alloc.iter().sum::<u32>(), 36);
         assert!(alloc.iter().all(|&a| a >= 1));

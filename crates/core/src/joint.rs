@@ -45,7 +45,11 @@ pub struct JointOptions {
 
 impl Default for JointOptions {
     fn default() -> Self {
-        Self { sa: SaOptions::default(), partition_op_prob: 0.15, partition: PartitionOptions::default() }
+        Self {
+            sa: SaOptions::default(),
+            partition_op_prob: 0.15,
+            partition: PartitionOptions::default(),
+        }
     }
 }
 
@@ -96,12 +100,25 @@ pub fn optimize_joint(
     let arch = ev.arch().clone();
     let mut rng = StdRng::seed_from_u64(opts.sa.seed);
 
-    let lms: Vec<Lms> = init.groups.iter().map(|g| stripe_lms(dnn, &arch, g)).collect();
-    let mut st = State { partition: init, lms, reports: Vec::new(), e_total: 0.0, d_total: 0.0 };
+    let lms: Vec<Lms> = init
+        .groups
+        .iter()
+        .map(|g| stripe_lms(dnn, &arch, g))
+        .collect();
+    let mut st = State {
+        partition: init,
+        lms,
+        reports: Vec::new(),
+        e_total: 0.0,
+        d_total: 0.0,
+    };
     reevaluate_all(dnn, ev, &mut st, batch);
     let mut cost = st.cost(&opts.sa);
 
-    let mut stats = SaStats { init_cost: cost, ..Default::default() };
+    let mut stats = SaStats {
+        init_cost: cost,
+        ..Default::default()
+    };
     let mut partition_applied = [0u32; 4];
 
     let mut best = (
@@ -111,7 +128,11 @@ pub fn optimize_joint(
         cost,
     );
 
-    let max_len = opts.partition.max_group_layers.min(arch.n_cores() as usize).max(1);
+    let max_len = opts
+        .partition
+        .max_group_layers
+        .min(arch.n_cores() as usize)
+        .max(1);
     let units: Vec<u32> = opts
         .partition
         .batch_units
@@ -126,8 +147,7 @@ pub fn optimize_joint(
         let t = opts.sa.t0
             * (opts.sa.t_end / opts.sa.t0).powf(iter as f64 / opts.sa.iters.max(1) as f64);
 
-        let use_partition_op =
-            rng.gen::<f64>() < opts.partition_op_prob || enabled.is_empty();
+        let use_partition_op = rng.gen::<f64>() < opts.partition_op_prob || enabled.is_empty();
         let (trial, op_kind) = if use_partition_op {
             let Some((s, k)) = partition_move(dnn, ev, &st, batch, max_len, &units, &mut rng)
             else {
@@ -157,7 +177,12 @@ pub fn optimize_joint(
             st = trial;
             cost = new_cost;
             if cost < best.3 {
-                best = (st.partition.clone(), st.lms.clone(), st.reports.clone(), cost);
+                best = (
+                    st.partition.clone(),
+                    st.lms.clone(),
+                    st.reports.clone(),
+                    cost,
+                );
             }
         }
     }
@@ -238,18 +263,14 @@ fn partition_move(
             let g = rng.gen_range(0..n - 1);
             if rng.gen::<bool>() {
                 // Last layer of g moves to the front of g+1.
-                if part.groups[g].members.len() < 2
-                    || part.groups[g + 1].members.len() >= max_len
-                {
+                if part.groups[g].members.len() < 2 || part.groups[g + 1].members.len() >= max_len {
                     return None;
                 }
                 let l = part.groups[g].members.pop().expect("non-empty");
                 part.groups[g + 1].members.insert(0, l);
             } else {
                 // First layer of g+1 moves to the back of g.
-                if part.groups[g + 1].members.len() < 2
-                    || part.groups[g].members.len() >= max_len
-                {
+                if part.groups[g + 1].members.len() < 2 || part.groups[g].members.len() >= max_len {
                     return None;
                 }
                 let l = part.groups[g + 1].members.remove(0);
@@ -267,7 +288,13 @@ fn partition_move(
             let cut = rng.gen_range(1..len);
             let tail = part.groups[g].members.split_off(cut);
             let bu = part.groups[g].batch_unit;
-            part.groups.insert(g + 1, GroupSpec { members: tail, batch_unit: bu });
+            part.groups.insert(
+                g + 1,
+                GroupSpec {
+                    members: tail,
+                    batch_unit: bu,
+                },
+            );
             vec![g, g + 1]
         }
         // JP3: merge two adjacent groups.
@@ -460,7 +487,11 @@ mod tests {
     fn joint_never_regresses_best() {
         let (dnn, ev, init) = setup();
         let opts = JointOptions {
-            sa: SaOptions { iters: 200, seed: 5, ..Default::default() },
+            sa: SaOptions {
+                iters: 200,
+                seed: 5,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let out = optimize_joint(&dnn, &ev, init, 8, &opts);
@@ -473,7 +504,11 @@ mod tests {
     fn joint_outcome_is_valid() {
         let (dnn, ev, init) = setup();
         let opts = JointOptions {
-            sa: SaOptions { iters: 300, seed: 11, ..Default::default() },
+            sa: SaOptions {
+                iters: 300,
+                seed: 11,
+                ..Default::default()
+            },
             partition_op_prob: 0.4,
             ..Default::default()
         };
@@ -499,13 +534,22 @@ mod tests {
     fn partition_moves_fire() {
         let (dnn, ev, init) = setup();
         let opts = JointOptions {
-            sa: SaOptions { iters: 400, seed: 2, t0: 0.5, ..Default::default() },
+            sa: SaOptions {
+                iters: 400,
+                seed: 2,
+                t0: 0.5,
+                ..Default::default()
+            },
             partition_op_prob: 0.8,
             ..Default::default()
         };
         let out = optimize_joint(&dnn, &ev, init, 8, &opts);
         let total: u32 = out.partition_applied.iter().sum();
-        assert!(total > 0, "partition-level moves should be applied: {:?}", out.partition_applied);
+        assert!(
+            total > 0,
+            "partition-level moves should be applied: {:?}",
+            out.partition_applied
+        );
     }
 
     #[test]
@@ -515,9 +559,16 @@ mod tests {
             &dnn,
             &ev,
             &init,
-            init.groups.iter().map(|g| stripe_lms(&dnn, ev.arch(), g)).collect(),
+            init.groups
+                .iter()
+                .map(|g| stripe_lms(&dnn, ev.arch(), g))
+                .collect(),
             8,
-            &SaOptions { iters: 250, seed: 7, ..Default::default() },
+            &SaOptions {
+                iters: 250,
+                seed: 7,
+                ..Default::default()
+            },
         );
         let joint = optimize_joint(
             &dnn,
@@ -525,7 +576,11 @@ mod tests {
             init,
             8,
             &JointOptions {
-                sa: SaOptions { iters: 250, seed: 7, ..Default::default() },
+                sa: SaOptions {
+                    iters: 250,
+                    seed: 7,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );

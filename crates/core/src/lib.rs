@@ -50,7 +50,9 @@ pub mod sa;
 pub mod space;
 pub mod stripe;
 
-pub use dse::{run_dse, run_dse_over, scale_arch, DseOptions, DseRecord, DseResult, DseSpec, Objective};
+pub use dse::{
+    run_dse, run_dse_over, scale_arch, DseOptions, DseRecord, DseResult, DseSpec, Objective,
+};
 pub use encoding::{CoreGroup, EncodingError, FlowOfData, GroupSpec, Lms, Ms, Part};
 pub use engine::{parse_all, MappedDnn, MappingEngine, MappingOptions};
 pub use hetero_dse::{run_hetero_dse, HeteroDseRecord, HeteroDseResult, HeteroDseSpec};

@@ -28,7 +28,10 @@ pub struct PartitionOptions {
 
 impl Default for PartitionOptions {
     fn default() -> Self {
-        Self { max_group_layers: 24, batch_units: vec![1, 2, 4, 8, 16] }
+        Self {
+            max_group_layers: 24,
+            batch_units: vec![1, 2, 4, 8, 16],
+        }
     }
 }
 
@@ -129,7 +132,10 @@ pub fn partition_graph(
     let mut i = n;
     while i > 0 {
         let (j, bu) = choice[i];
-        groups.push(GroupSpec { members: layers[j..i].to_vec(), batch_unit: bu });
+        groups.push(GroupSpec {
+            members: layers[j..i].to_vec(),
+            batch_unit: bu,
+        });
         i = j;
     }
     groups.reverse();
@@ -205,10 +211,9 @@ pub fn group_cost(dnn: &Dnn, arch: &ArchConfig, seg: &[LayerId], bu: u32, batch:
     let noc_cap = arch.noc_bw() * 1e9 * m.sqrt();
     let cross_frac = 1.0 - 1.0 / arch.n_chiplets() as f64;
     let d2d_cap = arch.d2d_bw() * 1e9 * m.sqrt();
-    let t_net = internal_bytes * avg_hops / noc_cap
-        + internal_bytes * cross_frac / d2d_cap;
-    let stage = t_compute.max(t_dram).max(t_net / depth.max(1.0))
-        + gemini_sim::evaluate::STAGE_OVERHEAD_S;
+    let t_net = internal_bytes * avg_hops / noc_cap + internal_bytes * cross_frac / d2d_cap;
+    let stage =
+        t_compute.max(t_dram).max(t_net / depth.max(1.0)) + gemini_sim::evaluate::STAGE_OVERHEAD_S;
     let delay = stage * (rounds + depth - 1.0) + gemini_sim::evaluate::GROUP_OVERHEAD_S;
 
     let energy = (dram_bytes * rounds * E_DRAM
@@ -229,7 +234,12 @@ mod tests {
     use gemini_model::zoo;
 
     fn partition(dnn: &Dnn, batch: u32) -> GraphPartition {
-        partition_graph(dnn, &presets::g_arch_72(), batch, &PartitionOptions::default())
+        partition_graph(
+            dnn,
+            &presets::g_arch_72(),
+            batch,
+            &PartitionOptions::default(),
+        )
     }
 
     #[test]
@@ -301,7 +311,11 @@ mod tests {
         let dnn = zoo::two_conv_example();
         let p = partition(&dnn, 4);
         assert!(p.group_of(LayerId(1)).is_some());
-        assert_eq!(p.group_of(LayerId(0)), None, "input pseudo-layer is unmapped");
+        assert_eq!(
+            p.group_of(LayerId(0)),
+            None,
+            "input pseudo-layer is unmapped"
+        );
     }
 
     #[test]

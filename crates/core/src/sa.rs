@@ -121,8 +121,14 @@ pub(crate) struct OpOutcome {
     changed_of: bool,
 }
 
-const FAILED: OpOutcome = OpOutcome { applied: false, changed_of: false };
-const APPLIED: OpOutcome = OpOutcome { applied: true, changed_of: false };
+const FAILED: OpOutcome = OpOutcome {
+    applied: false,
+    changed_of: false,
+};
+const APPLIED: OpOutcome = OpOutcome {
+    applied: true,
+    changed_of: false,
+};
 
 /// Runs the SA exploration for all groups of a partitioned DNN.
 ///
@@ -145,13 +151,27 @@ pub fn optimize(
     let mut lms = init;
     let mut of_map = build_of_map(dnn, partition, &lms);
     let mut reports: Vec<GroupReport> = (0..n_groups)
-        .map(|g| eval_group(dnn, ev, partition, &lms[g], g, &of_map, &HashMap::new(), batch))
+        .map(|g| {
+            eval_group(
+                dnn,
+                ev,
+                partition,
+                &lms[g],
+                g,
+                &of_map,
+                &HashMap::new(),
+                batch,
+            )
+        })
         .collect();
     let mut e_total: f64 = reports.iter().map(|r| r.energy.total()).sum();
     let mut d_total: f64 = reports.iter().map(|r| r.delay_s).sum();
     let mut cost = cost_of(e_total, d_total, opts);
 
-    let mut stats = SaStats { init_cost: cost, ..Default::default() };
+    let mut stats = SaStats {
+        init_cost: cost,
+        ..Default::default()
+    };
 
     // Best state seen.
     let mut best_lms = lms.clone();
@@ -169,11 +189,15 @@ pub fn optimize(
     // Consumers of each group's outputs (for OF-change invalidation).
     let consumers = consumer_groups(dnn, partition);
 
-    let enabled: Vec<usize> =
-        (0..5).filter(|&i| opts.enabled_ops[i]).collect();
+    let enabled: Vec<usize> = (0..5).filter(|&i| opts.enabled_ops[i]).collect();
     if enabled.is_empty() || n_groups == 0 {
         stats.final_cost = cost;
-        return SaOutcome { lms, reports, cost, stats };
+        return SaOutcome {
+            lms,
+            reports,
+            cost,
+            stats,
+        };
     }
 
     for iter in 0..opts.iters {
@@ -188,7 +212,10 @@ pub fn optimize(
             stats.failed_ops += 1;
             continue;
         }
-        debug_assert!(trial.validate(dnn, &arch, spec).is_ok(), "operator broke invariants");
+        debug_assert!(
+            trial.validate(dnn, &arch, spec).is_ok(),
+            "operator broke invariants"
+        );
 
         // OF changes redirect where consumer groups read from.
         let mut overlay = HashMap::new();
@@ -204,7 +231,10 @@ pub fn optimize(
         let mut new_reports: Vec<(usize, GroupReport)> = Vec::with_capacity(affected.len());
         for &a in &affected {
             let l = if a == g { &trial } else { &lms[a] };
-            new_reports.push((a, eval_group(dnn, ev, partition, l, a, &of_map, &overlay, batch)));
+            new_reports.push((
+                a,
+                eval_group(dnn, ev, partition, l, a, &of_map, &overlay, batch),
+            ));
         }
         let mut e_new = e_total;
         let mut d_new = d_total;
@@ -243,7 +273,12 @@ pub fn optimize(
     }
 
     stats.final_cost = best_cost;
-    SaOutcome { lms: best_lms, reports: best_reports, cost: best_cost, stats }
+    SaOutcome {
+        lms: best_lms,
+        reports: best_reports,
+        cost: best_cost,
+        stats,
+    }
 }
 
 fn cost_of(e: f64, d: f64, opts: &SaOptions) -> f64 {
@@ -378,8 +413,9 @@ fn op1_change_part(dnn: &Dnn, spec: &GroupSpec, lms: &mut Lms, rng: &mut StdRng)
 
 /// OP2: swap two cores within one layer's CG.
 fn op2_swap_within(lms: &mut Lms, rng: &mut StdRng) -> OpOutcome {
-    let candidates: Vec<usize> =
-        (0..lms.schemes.len()).filter(|&i| lms.schemes[i].cg.len() >= 2).collect();
+    let candidates: Vec<usize> = (0..lms.schemes.len())
+        .filter(|&i| lms.schemes[i].cg.len() >= 2)
+        .collect();
     if candidates.is_empty() {
         return FAILED;
     }
@@ -504,7 +540,10 @@ fn op5_change_fd(arch: &ArchConfig, lms: &mut Lms, rng: &mut StdRng) -> OpOutcom
         1 => fd.wgt = v,
         _ => fd.ofm = v,
     }
-    OpOutcome { applied: true, changed_of: slot == 2 }
+    OpOutcome {
+        applied: true,
+        changed_of: slot == 2,
+    }
 }
 
 #[cfg(test)]
@@ -521,15 +560,22 @@ mod tests {
         let arch = presets::g_arch_72();
         let ev = Evaluator::new(&arch);
         let partition = partition_graph(&dnn, &arch, batch, &PartitionOptions::default());
-        let init: Vec<Lms> =
-            partition.groups.iter().map(|g| stripe_lms(&dnn, &arch, g)).collect();
+        let init: Vec<Lms> = partition
+            .groups
+            .iter()
+            .map(|g| stripe_lms(&dnn, &arch, g))
+            .collect();
         (dnn, ev, partition, init)
     }
 
     #[test]
     fn sa_never_returns_worse_than_init() {
         let (dnn, ev, partition, init) = setup(4);
-        let opts = SaOptions { iters: 120, seed: 42, ..Default::default() };
+        let opts = SaOptions {
+            iters: 120,
+            seed: 42,
+            ..Default::default()
+        };
         let out = optimize(&dnn, &ev, &partition, init, 4, &opts);
         assert!(
             out.cost <= out.stats.init_cost * (1.0 + 1e-9),
@@ -543,7 +589,11 @@ mod tests {
     #[test]
     fn sa_improves_stripe_on_small_example() {
         let (dnn, ev, partition, init) = setup(8);
-        let opts = SaOptions { iters: 400, seed: 7, ..Default::default() };
+        let opts = SaOptions {
+            iters: 400,
+            seed: 7,
+            ..Default::default()
+        };
         let out = optimize(&dnn, &ev, &partition, init, 8, &opts);
         assert!(
             out.stats.final_cost < out.stats.init_cost,
@@ -558,7 +608,11 @@ mod tests {
     fn sa_outcome_validates() {
         let (dnn, ev, partition, init) = setup(4);
         let arch = presets::g_arch_72();
-        let opts = SaOptions { iters: 150, seed: 3, ..Default::default() };
+        let opts = SaOptions {
+            iters: 150,
+            seed: 3,
+            ..Default::default()
+        };
         let out = optimize(&dnn, &ev, &partition, init, 4, &opts);
         for (lms, spec) in out.lms.iter().zip(&partition.groups) {
             lms.validate(&dnn, &arch, spec).unwrap();
@@ -568,7 +622,11 @@ mod tests {
     #[test]
     fn sa_deterministic_per_seed() {
         let (dnn, ev, partition, init) = setup(4);
-        let opts = SaOptions { iters: 100, seed: 99, ..Default::default() };
+        let opts = SaOptions {
+            iters: 100,
+            seed: 99,
+            ..Default::default()
+        };
         let a = optimize(&dnn, &ev, &partition, init.clone(), 4, &opts);
         let b = optimize(&dnn, &ev, &partition, init, 4, &opts);
         assert_eq!(a.cost, b.cost);
@@ -578,7 +636,11 @@ mod tests {
     #[test]
     fn disabled_ops_are_never_applied() {
         let (dnn, ev, partition, init) = setup(4);
-        let mut opts = SaOptions { iters: 200, seed: 5, ..Default::default() };
+        let mut opts = SaOptions {
+            iters: 200,
+            seed: 5,
+            ..Default::default()
+        };
         opts.enabled_ops = [true, false, false, false, false]; // OP1 only
         let out = optimize(&dnn, &ev, &partition, init, 4, &opts);
         assert_eq!(out.stats.op_applied[1], 0);
@@ -589,24 +651,49 @@ mod tests {
 
     fn fig3_like() -> (Dnn, ArchConfig, GroupSpec, Lms) {
         let dnn = zoo::two_conv_example();
-        let arch = ArchConfig::builder().cores(3, 2).cuts(1, 1).build().unwrap();
-        let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 2 };
+        let arch = ArchConfig::builder()
+            .cores(3, 2)
+            .cuts(1, 1)
+            .build()
+            .unwrap();
+        let spec = GroupSpec {
+            members: vec![LayerId(1), LayerId(2)],
+            batch_unit: 2,
+        };
         let lms = Lms {
             schemes: vec![
                 Ms {
-                    part: Part { h: 1, w: 1, b: 2, k: 2 },
+                    part: Part {
+                        h: 1,
+                        w: 1,
+                        b: 2,
+                        k: 2,
+                    },
                     cg: CoreGroup(vec![
                         gemini_arch::CoreId(1),
                         gemini_arch::CoreId(0),
                         gemini_arch::CoreId(4),
                         gemini_arch::CoreId(3),
                     ]),
-                    fd: FlowOfData { ifm: 1, wgt: 1, ofm: -1 },
+                    fd: FlowOfData {
+                        ifm: 1,
+                        wgt: 1,
+                        ofm: -1,
+                    },
                 },
                 Ms {
-                    part: Part { h: 1, w: 1, b: 2, k: 1 },
+                    part: Part {
+                        h: 1,
+                        w: 1,
+                        b: 2,
+                        k: 1,
+                    },
                     cg: CoreGroup(vec![gemini_arch::CoreId(2), gemini_arch::CoreId(5)]),
-                    fd: FlowOfData { ifm: -1, wgt: 2, ofm: 2 },
+                    fd: FlowOfData {
+                        ifm: -1,
+                        wgt: 2,
+                        ofm: 2,
+                    },
                 },
             ],
         };
@@ -649,7 +736,10 @@ mod tests {
             lms.validate(&dnn, &arch, &spec).unwrap();
         }
         for size in 1..=5usize {
-            assert!(seen.contains(&size), "CG1 never reached size {size}; saw {seen:?}");
+            assert!(
+                seen.contains(&size),
+                "CG1 never reached size {size}; saw {seen:?}"
+            );
         }
     }
 

@@ -51,7 +51,7 @@ pub fn gemini_space_log2(m: u64, n: u64) -> f64 {
             Some(v) => v,
             None => continue,
         };
-        let b = if m >= n + 1 {
+        let b = if m > n {
             match log2_binomial(m - n - 1, n - i - 1) {
                 Some(v) => v,
                 None => continue,

@@ -52,9 +52,8 @@ pub fn proportional_allocation(dnn: &Dnn, spec: &GroupSpec, n_cores: u32) -> Vec
             // Vector-only layers still need a core; weight them by their
             // vector work so they are not starved.
             let macs = l.macs(spec.batch_unit) as f64;
-            let vec_ops = l.ofmap.elems() as f64
-                * spec.batch_unit as f64
-                * l.vector_ops_per_out() as f64;
+            let vec_ops =
+                l.ofmap.elems() as f64 * spec.batch_unit as f64 * l.vector_ops_per_out() as f64;
             (macs + vec_ops * 0.05).max(1.0)
         })
         .collect();
@@ -147,7 +146,11 @@ pub fn stripe_lms_with(
             wgt: if needs.explicit_wgt { 0 } else { -1 },
             ofm: if needs.explicit_of { 0 } else { -1 },
         };
-        schemes.push(Ms { part, cg: CoreGroup(cg), fd });
+        schemes.push(Ms {
+            part,
+            cg: CoreGroup(cg),
+            fd,
+        });
     }
     Lms { schemes }
 }
@@ -200,7 +203,10 @@ mod tests {
     #[test]
     fn proportional_allocation_sums_to_cores() {
         let dnn = zoo::two_conv_example();
-        let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 2 };
+        let spec = GroupSpec {
+            members: vec![LayerId(1), LayerId(2)],
+            batch_unit: 2,
+        };
         let alloc = proportional_allocation(&dnn, &spec, 36);
         assert_eq!(alloc.iter().sum::<u32>(), 36);
         assert!(alloc.iter().all(|&a| a >= 1));
@@ -215,7 +221,10 @@ mod tests {
     fn stripe_lms_validates_and_parses() {
         let dnn = zoo::two_conv_example();
         let arch = presets::g_arch_72();
-        let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 2 };
+        let spec = GroupSpec {
+            members: vec![LayerId(1), LayerId(2)],
+            batch_unit: 2,
+        };
         let lms = stripe_lms(&dnn, &arch, &spec);
         lms.validate(&dnn, &arch, &spec).unwrap();
         let gm = lms.parse(&dnn, &spec, &|_| gemini_sim::DramSel::Interleaved);
@@ -226,7 +235,10 @@ mod tests {
     fn stripe_uses_contiguous_runs() {
         let dnn = zoo::two_conv_example();
         let arch = presets::g_arch_72();
-        let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 2 };
+        let spec = GroupSpec {
+            members: vec![LayerId(1), LayerId(2)],
+            batch_unit: 2,
+        };
         let lms = stripe_lms(&dnn, &arch, &spec);
         let order = snake_order(&arch);
         // Layer 1's CG must be a prefix of snake order.
@@ -240,7 +252,10 @@ mod tests {
         let arch = presets::g_arch_72();
         // First ~10 computable layers as one group.
         let members: Vec<LayerId> = dnn.compute_ids().take(10).collect();
-        let spec = GroupSpec { members, batch_unit: 1 };
+        let spec = GroupSpec {
+            members,
+            batch_unit: 1,
+        };
         let lms = stripe_lms(&dnn, &arch, &spec);
         lms.validate(&dnn, &arch, &spec).unwrap();
         // All 36 cores allocated (some possibly idle after shrink).
@@ -252,7 +267,10 @@ mod tests {
     fn trivial_lms_valid() {
         let dnn = zoo::two_conv_example();
         let arch = presets::g_arch_72();
-        let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 1 };
+        let spec = GroupSpec {
+            members: vec![LayerId(1), LayerId(2)],
+            batch_unit: 1,
+        };
         let lms = trivial_lms(&dnn, &arch, &spec);
         lms.validate(&dnn, &arch, &spec).unwrap();
     }

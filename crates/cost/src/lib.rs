@@ -152,11 +152,7 @@ impl CostModel {
     /// [`gemini_arch::HeteroSpec::area_dies`], so each core class pays
     /// its own silicon area and yield; DRAM and substrate terms follow
     /// the same model as the homogeneous path.
-    pub fn evaluate_hetero(
-        &self,
-        arch: &ArchConfig,
-        spec: &gemini_arch::HeteroSpec,
-    ) -> McReport {
+    pub fn evaluate_hetero(&self, arch: &ArchConfig, spec: &gemini_arch::HeteroSpec) -> McReport {
         let mut area = self.area_model.evaluate(arch);
         area.dies = spec.area_dies(arch, &self.area_model);
         self.evaluate_with_area(arch, area)
@@ -190,7 +186,15 @@ impl CostModel {
         };
         let package = substrate_mm2 / self.package_yield * rate;
 
-        McReport { silicon, dram, package, per_die, substrate_mm2, silicon_mm2, area }
+        McReport {
+            silicon,
+            dram,
+            package,
+            per_die,
+            substrate_mm2,
+            silicon_mm2,
+            area,
+        }
     }
 }
 
@@ -214,7 +218,11 @@ pub struct NreModel {
 
 impl Default for NreModel {
     fn default() -> Self {
-        Self { per_design: 12e6, per_mm2: 2e4, volume: 100_000 }
+        Self {
+            per_design: 12e6,
+            per_mm2: 2e4,
+            volume: 100_000,
+        }
     }
 }
 
@@ -257,17 +265,31 @@ mod tests {
     #[test]
     fn dram_cost_uses_ceiling() {
         let m = CostModel::default();
-        let a = gemini_arch::ArchConfig::builder().dram_bw(33.0).build().unwrap();
+        let a = gemini_arch::ArchConfig::builder()
+            .dram_bw(33.0)
+            .build()
+            .unwrap();
         assert_eq!(m.evaluate(&a).dram, 2.0 * 3.5);
-        let b = gemini_arch::ArchConfig::builder().dram_bw(32.0).build().unwrap();
+        let b = gemini_arch::ArchConfig::builder()
+            .dram_bw(32.0)
+            .build()
+            .unwrap();
         assert_eq!(m.evaluate(&b).dram, 3.5);
     }
 
     #[test]
     fn monolithic_gets_cheap_fanout_substrate() {
         let m = CostModel::default();
-        let mono = gemini_arch::ArchConfig::builder().cores(6, 6).cuts(1, 1).build().unwrap();
-        let cut = gemini_arch::ArchConfig::builder().cores(6, 6).cuts(2, 1).build().unwrap();
+        let mono = gemini_arch::ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(1, 1)
+            .build()
+            .unwrap();
+        let cut = gemini_arch::ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(2, 1)
+            .build()
+            .unwrap();
         let rm = m.evaluate(&mono);
         let rc = m.evaluate(&cut);
         // Per-mm^2 packaging rate is at least 3x cheaper for monolithic.
@@ -351,7 +373,11 @@ mod tests {
 
     #[test]
     fn nre_amortizes_over_volume() {
-        let n = NreModel { per_design: 10e6, per_mm2: 0.0, volume: 100_000 };
+        let n = NreModel {
+            per_design: 10e6,
+            per_mm2: 0.0,
+            volume: 100_000,
+        };
         assert!((n.per_unit(&[50.0]) - 100.0).abs() < 1e-9);
         assert!((n.per_unit(&[50.0, 50.0]) - 200.0).abs() < 1e-9);
     }
@@ -371,8 +397,16 @@ mod tests {
     fn nre_for_arch_counts_every_die_kind() {
         let n = NreModel::default();
         let area = AreaModel::default();
-        let mono = gemini_arch::ArchConfig::builder().cores(4, 4).cuts(1, 1).build().unwrap();
-        let cut = gemini_arch::ArchConfig::builder().cores(4, 4).cuts(2, 1).build().unwrap();
+        let mono = gemini_arch::ArchConfig::builder()
+            .cores(4, 4)
+            .cuts(1, 1)
+            .build()
+            .unwrap();
+        let cut = gemini_arch::ArchConfig::builder()
+            .cores(4, 4)
+            .cuts(2, 1)
+            .build()
+            .unwrap();
         // The chiplet design adds an IO-die design: higher NRE.
         assert!(n.per_unit_for(&cut, &area) > n.per_unit_for(&mono, &area));
     }
@@ -390,9 +424,19 @@ mod tests {
 
     #[test]
     fn big_little_mc_sits_between_pure_classes() {
-        let arch = gemini_arch::ArchConfig::builder().cores(6, 6).cuts(2, 1).build().unwrap();
-        let big = gemini_arch::CoreClass { macs: 4096, glb_bytes: 4 << 20 };
-        let little = gemini_arch::CoreClass { macs: 512, glb_bytes: 512 << 10 };
+        let arch = gemini_arch::ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(2, 1)
+            .build()
+            .unwrap();
+        let big = gemini_arch::CoreClass {
+            macs: 4096,
+            glb_bytes: 4 << 20,
+        };
+        let little = gemini_arch::CoreClass {
+            macs: 512,
+            glb_bytes: 512 << 10,
+        };
         let m = CostModel::default();
         let mixed = m.evaluate_hetero(
             &arch,
@@ -411,19 +455,32 @@ mod tests {
 
     #[test]
     fn hetero_per_die_entries_follow_classes() {
-        let arch = gemini_arch::ArchConfig::builder().cores(6, 6).cuts(2, 1).build().unwrap();
+        let arch = gemini_arch::ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(2, 1)
+            .build()
+            .unwrap();
         let spec = gemini_arch::HeteroSpec::new(
             vec![
-                gemini_arch::CoreClass { macs: 4096, glb_bytes: 4 << 20 },
-                gemini_arch::CoreClass { macs: 512, glb_bytes: 512 << 10 },
+                gemini_arch::CoreClass {
+                    macs: 4096,
+                    glb_bytes: 4 << 20,
+                },
+                gemini_arch::CoreClass {
+                    macs: 512,
+                    glb_bytes: 512 << 10,
+                },
             ],
             vec![0, 1],
             &arch,
         )
         .unwrap();
         let r = CostModel::default().evaluate_hetero(&arch, &spec);
-        let compute: Vec<_> =
-            r.per_die.iter().filter(|d| d.kind == gemini_arch::DieKind::Compute).collect();
+        let compute: Vec<_> = r
+            .per_die
+            .iter()
+            .filter(|d| d.kind == gemini_arch::DieKind::Compute)
+            .collect();
         assert_eq!(compute.len(), 2, "one die entry per class");
         // The big-core die is larger, yields worse, and costs more.
         assert!(compute[0].area_mm2 > compute[1].area_mm2);

@@ -61,8 +61,11 @@ pub enum Order {
 
 impl Order {
     /// All loop orders the explorer knows, in default search order.
-    pub const ALL: [Order; 3] =
-        [Order::WeightStationary, Order::OutputStationary, Order::InputStationary];
+    pub const ALL: [Order; 3] = [
+        Order::WeightStationary,
+        Order::OutputStationary,
+        Order::InputStationary,
+    ];
 }
 
 /// Static parameters of one computing core.
@@ -182,7 +185,11 @@ impl IntraCoreExplorer {
     /// Panics if `orders` is empty.
     pub fn with_orders(core: CoreParams, orders: Vec<Order>) -> Self {
         assert!(!orders.is_empty(), "at least one loop order required");
-        Self { core, orders, cache: RwLock::new(HashMap::new()) }
+        Self {
+            core,
+            orders,
+            cache: RwLock::new(HashMap::new()),
+        }
     }
 
     /// The core parameters.
@@ -300,8 +307,8 @@ impl IntraCoreExplorer {
                 let weight_rd = wl.weight_bytes * sp_tiles;
                 let if_rd = wl.in_bytes * k_tiles;
                 let psum = out_elems; // final write only
-                // Per spatial tile, the full reduction streams red_c *
-                // kernel input elements per lane.
+                                      // Per spatial tile, the full reduction streams red_c *
+                                      // kernel input elements per lane.
                 let cycles = sp_tiles * k_tiles * wl.red_c as u64 * kernel;
                 (cycles, weight_rd + if_rd + psum)
             }
@@ -389,7 +396,12 @@ mod tests {
         let peak = wl.total_macs() / 1024;
         assert!(r.cycles >= peak, "cycles {} below peak {}", r.cycles, peak);
         // The search should get within 4x of peak for this friendly shape.
-        assert!(r.cycles <= peak * 4, "cycles {} too far from peak {}", r.cycles, peak);
+        assert!(
+            r.cycles <= peak * 4,
+            "cycles {} too far from peak {}",
+            r.cycles,
+            peak
+        );
     }
 
     #[test]
@@ -623,6 +635,9 @@ mod tests {
         );
         let wl = wide_pointwise_tile();
         let r = e.explore(&wl);
-        assert!(r.cycles >= wl.total_macs() / 1024, "cannot beat the array's peak");
+        assert!(
+            r.cycles >= wl.total_macs() / 1024,
+            "cannot beat the array's peak"
+        );
     }
 }

@@ -106,7 +106,10 @@ impl Dnn {
     pub fn input_need(&self, id: LayerId, pred_pos: usize, out: &Region) -> Region {
         let pred_id = self.preds(id)[pred_pos];
         let pred_shape = self.layer(pred_id).ofmap;
-        let off = self.concat_offsets[id.idx()].get(pred_pos).copied().unwrap_or(0);
+        let off = self.concat_offsets[id.idx()]
+            .get(pred_pos)
+            .copied()
+            .unwrap_or(0);
         self.layer(id).input_need(pred_pos, pred_shape, off, out)
     }
 
@@ -247,9 +250,16 @@ impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraphError::BadPred { layer, pred } => {
-                write!(f, "layer `{layer}`: predecessor id {pred} is not an earlier layer")
+                write!(
+                    f,
+                    "layer `{layer}`: predecessor id {pred} is not an earlier layer"
+                )
             }
-            GraphError::PredCount { layer, expected, got } => match expected {
+            GraphError::PredCount {
+                layer,
+                expected,
+                got,
+            } => match expected {
                 Some(e) => write!(f, "layer `{layer}`: expected {e} predecessors, got {got}"),
                 None => write!(f, "layer `{layer}`: expected >= 2 predecessors, got {got}"),
             },
@@ -295,12 +305,25 @@ pub struct DnnBuilder {
 impl DnnBuilder {
     /// Starts building a graph with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), layers: Vec::new(), preds: Vec::new(), concat_offsets: Vec::new() }
+        Self {
+            name: name.into(),
+            layers: Vec::new(),
+            preds: Vec::new(),
+            concat_offsets: Vec::new(),
+        }
     }
 
     /// Adds the DNN input pseudo-layer.
     pub fn input(&mut self, shape: FmapShape) -> LayerId {
-        self.push(Layer::new(format!("input{}", self.layers.len()), LayerKind::Input, shape), vec![], vec![])
+        self.push(
+            Layer::new(
+                format!("input{}", self.layers.len()),
+                LayerKind::Input,
+                shape,
+            ),
+            vec![],
+            vec![],
+        )
     }
 
     /// Adds a layer, validating predecessor count and shape consistency.
@@ -322,15 +345,26 @@ impl DnnBuilder {
         let layer = Layer::new(name.clone(), kind, ofmap);
         for p in preds {
             if p.idx() >= self.layers.len() {
-                return Err(GraphError::BadPred { layer: name, pred: p.0 });
+                return Err(GraphError::BadPred {
+                    layer: name,
+                    pred: p.0,
+                });
             }
         }
         match layer.expected_preds() {
             Some(n) if n != preds.len() => {
-                return Err(GraphError::PredCount { layer: name, expected: Some(n), got: preds.len() })
+                return Err(GraphError::PredCount {
+                    layer: name,
+                    expected: Some(n),
+                    got: preds.len(),
+                })
             }
             None if preds.len() < 2 => {
-                return Err(GraphError::PredCount { layer: name, expected: None, got: preds.len() })
+                return Err(GraphError::PredCount {
+                    layer: name,
+                    expected: None,
+                    got: preds.len(),
+                })
             }
             _ => {}
         }
@@ -340,7 +374,10 @@ impl DnnBuilder {
 
     fn validate_shapes(&self, layer: &Layer, preds: &[LayerId]) -> Result<Vec<u32>, GraphError> {
         let shape_of = |id: LayerId| self.layers[id.idx()].ofmap;
-        let err = |detail: String| GraphError::ShapeMismatch { layer: layer.name.clone(), detail };
+        let err = |detail: String| GraphError::ShapeMismatch {
+            layer: layer.name.clone(),
+            detail,
+        };
         let mut offsets = vec![0u32; preds.len()];
         match &layer.kind {
             LayerKind::Input => {}
@@ -393,7 +430,10 @@ impl DnnBuilder {
                     return Err(err(format!("matmul k_dim {} != A channels {}", k_dim, a.c)));
                 }
                 if a.h != layer.ofmap.h {
-                    return Err(err(format!("matmul A rows {} != out rows {}", a.h, layer.ofmap.h)));
+                    return Err(err(format!(
+                        "matmul A rows {} != out rows {}",
+                        a.h, layer.ofmap.h
+                    )));
                 }
                 match operand {
                     crate::layer::MatmulOperand::Weight => {}
@@ -510,7 +550,13 @@ mod tests {
                 &[c1],
             )
             .unwrap();
-        b.add("fc", LayerKind::Fc { cin: 256 }, FmapShape::new(1, 1, 10), &[p]).unwrap();
+        b.add(
+            "fc",
+            LayerKind::Fc { cin: 256 },
+            FmapShape::new(1, 1, 10),
+            &[p],
+        )
+        .unwrap();
         b.build()
     }
 
@@ -555,7 +601,12 @@ mod tests {
     fn pred_count_checked() {
         let mut b = DnnBuilder::new("bad");
         let i = b.input(FmapShape::new(8, 8, 4));
-        let r = b.add("e", LayerKind::Eltwise { n_inputs: 2 }, FmapShape::new(8, 8, 4), &[i]);
+        let r = b.add(
+            "e",
+            LayerKind::Eltwise { n_inputs: 2 },
+            FmapShape::new(8, 8, 4),
+            &[i],
+        );
         assert!(matches!(r, Err(GraphError::PredCount { .. })));
     }
 
@@ -592,7 +643,9 @@ mod tests {
                 &[i],
             )
             .unwrap();
-        let cat = b.add("cat", LayerKind::Concat, FmapShape::new(8, 8, 32), &[a, c]).unwrap();
+        let cat = b
+            .add("cat", LayerKind::Concat, FmapShape::new(8, 8, 32), &[a, c])
+            .unwrap();
         let d = b.build();
         use crate::region::{Range1, Region};
         let out = Region::new(
@@ -645,7 +698,10 @@ mod tests {
         // Correct Q.K^T: out (16 x 16), k_dim 32.
         let qkt = b.add(
             "qkt",
-            LayerKind::Matmul { k_dim: 32, operand: MatmulOperand::ActRowSlice },
+            LayerKind::Matmul {
+                k_dim: 32,
+                operand: MatmulOperand::ActRowSlice,
+            },
             FmapShape::new(16, 1, 16),
             &[q, k],
         );
@@ -653,7 +709,10 @@ mod tests {
         // Wrong out rows.
         let bad = b.add(
             "bad",
-            LayerKind::Matmul { k_dim: 32, operand: MatmulOperand::ActRowSlice },
+            LayerKind::Matmul {
+                k_dim: 32,
+                operand: MatmulOperand::ActRowSlice,
+            },
             FmapShape::new(8, 1, 16),
             &[q, k],
         );

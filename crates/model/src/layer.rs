@@ -30,7 +30,13 @@ pub struct ConvParams {
 impl ConvParams {
     /// Dense convolution parameters.
     pub fn dense(kernel: (u32, u32), stride: (u32, u32), pad: (u32, u32), cin: u32) -> Self {
-        Self { kernel, stride, pad, groups: 1, cin }
+        Self {
+            kernel,
+            stride,
+            pad,
+            groups: 1,
+            cin,
+        }
     }
 
     /// Output spatial size produced from an input spatial size.
@@ -150,16 +156,18 @@ pub struct Layer {
 impl Layer {
     /// Creates a layer.
     pub fn new(name: impl Into<String>, kind: LayerKind, ofmap: FmapShape) -> Self {
-        Self { name: name.into(), kind, ofmap }
+        Self {
+            name: name.into(),
+            kind,
+            ofmap,
+        }
     }
 
     /// MACs required per output element (the reduction length). Zero for
     /// vector-only layers.
     pub fn macs_per_out(&self) -> u64 {
         match &self.kind {
-            LayerKind::Conv(p) => {
-                p.kernel.0 as u64 * p.kernel.1 as u64 * (p.cin / p.groups) as u64
-            }
+            LayerKind::Conv(p) => p.kernel.0 as u64 * p.kernel.1 as u64 * (p.cin / p.groups) as u64,
             LayerKind::Fc { cin } => *cin as u64,
             LayerKind::Matmul { k_dim, .. } => *k_dim as u64,
             _ => 0,
@@ -193,9 +201,10 @@ impl Layer {
                     * self.ofmap.c as u64
             }
             LayerKind::Fc { cin } => *cin as u64 * self.ofmap.c as u64,
-            LayerKind::Matmul { k_dim, operand: MatmulOperand::Weight } => {
-                *k_dim as u64 * self.ofmap.c as u64
-            }
+            LayerKind::Matmul {
+                k_dim,
+                operand: MatmulOperand::Weight,
+            } => *k_dim as u64 * self.ofmap.c as u64,
             _ => 0,
         }
     }
@@ -343,7 +352,7 @@ fn group_chan_need(out_k: Range1, cout: u32, cin: u32, groups: u32) -> Range1 {
     let gout = cout / groups;
     let gin = cin / groups;
     let g0 = out_k.start / gout;
-    let g1 = (out_k.end + gout - 1) / gout;
+    let g1 = out_k.end.div_ceil(gout);
     Range1::new(g0 * gin, (g1 * gin).min(cin))
 }
 
@@ -355,7 +364,12 @@ mod tests {
     fn conv_layer(kernel: u32, stride: u32, pad: u32, cin: u32, cout: u32, oh: u32) -> Layer {
         Layer::new(
             "c",
-            LayerKind::Conv(ConvParams::dense((kernel, kernel), (stride, stride), (pad, pad), cin)),
+            LayerKind::Conv(ConvParams::dense(
+                (kernel, kernel),
+                (stride, stride),
+                (pad, pad),
+                cin,
+            )),
             FmapShape::new(oh, oh, cout),
         )
     }
@@ -438,7 +452,11 @@ mod tests {
 
     #[test]
     fn fc_needs_everything() {
-        let l = Layer::new("fc", LayerKind::Fc { cin: 2048 }, FmapShape::new(1, 1, 1000));
+        let l = Layer::new(
+            "fc",
+            LayerKind::Fc { cin: 2048 },
+            FmapShape::new(1, 1, 1000),
+        );
         let out = Region::new(
             Range1::full(1),
             Range1::full(1),
@@ -456,7 +474,10 @@ mod tests {
         // Q.K^T: out (seq=64, c=64), k_dim=512.
         let qkt = Layer::new(
             "qkt",
-            LayerKind::Matmul { k_dim: 512, operand: MatmulOperand::ActRowSlice },
+            LayerKind::Matmul {
+                k_dim: 512,
+                operand: MatmulOperand::ActRowSlice,
+            },
             FmapShape::new(64, 1, 64),
         );
         let out = Region::new(
@@ -470,12 +491,19 @@ mod tests {
         assert_eq!(a_need.h, Range1::new(0, 16));
         assert_eq!(a_need.k, Range1::full(512));
         let b_need = qkt.input_need(1, k_shape, 0, &out);
-        assert_eq!(b_need.h, Range1::new(32, 48), "Q.K^T needs K rows = out cols");
+        assert_eq!(
+            b_need.h,
+            Range1::new(32, 48),
+            "Q.K^T needs K rows = out cols"
+        );
 
         // A.V: out (seq, dv) ; V is (seq, dv).
         let av = Layer::new(
             "av",
-            LayerKind::Matmul { k_dim: 64, operand: MatmulOperand::ActChanSlice },
+            LayerKind::Matmul {
+                k_dim: 64,
+                operand: MatmulOperand::ActChanSlice,
+            },
             FmapShape::new(64, 1, 512),
         );
         let v_shape = FmapShape::new(64, 1, 512);
@@ -543,7 +571,7 @@ mod tests {
     fn part_split_plus_need_covers_input() {
         // Union of needs of all H-parts must cover the whole input height.
         let l = conv_layer(3, 1, 1, 8, 8, 56);
-        let mut covered = vec![false; 56];
+        let mut covered = [false; 56];
         for i in 0..4 {
             let hr = split_dim(56, 4, i);
             let out = Region::new(hr, Range1::full(56), Range1::full(8), Range1::full(1));
@@ -558,7 +586,11 @@ mod tests {
     #[test]
     fn expected_pred_counts() {
         assert_eq!(conv_layer(3, 1, 1, 8, 8, 8).expected_preds(), Some(1));
-        let e = Layer::new("e", LayerKind::Eltwise { n_inputs: 2 }, FmapShape::new(8, 8, 8));
+        let e = Layer::new(
+            "e",
+            LayerKind::Eltwise { n_inputs: 2 },
+            FmapShape::new(8, 8, 8),
+        );
         assert_eq!(e.expected_preds(), Some(2));
         let c = Layer::new("c", LayerKind::Concat, FmapShape::new(8, 8, 8));
         assert_eq!(c.expected_preds(), None);

@@ -160,8 +160,14 @@ impl std::fmt::Display for Region {
         write!(
             f,
             "[h {}..{}, w {}..{}, k {}..{}, b {}..{}]",
-            self.h.start, self.h.end, self.w.start, self.w.end, self.k.start, self.k.end,
-            self.b.start, self.b.end
+            self.h.start,
+            self.h.end,
+            self.w.start,
+            self.w.end,
+            self.k.start,
+            self.k.end,
+            self.b.start,
+            self.b.end
         )
     }
 }

@@ -59,7 +59,11 @@ fn inverted_residual(
 ) -> LayerId {
     let cin = n.shape(from).c;
     let mid = cin * expand;
-    let a = if expand > 1 { n.conv(&format!("{name}_exp"), from, mid, 1, 1, 0) } else { from };
+    let a = if expand > 1 {
+        n.conv(&format!("{name}_exp"), from, mid, 1, 1, 0)
+    } else {
+        from
+    };
     let d = n.dwconv(&format!("{name}_dw"), a, 3, stride, 1);
     let p = n.conv(&format!("{name}_proj"), d, cout, 1, 1, 0);
     if stride == 1 && cin == cout {
@@ -76,7 +80,14 @@ pub fn mobilenet_v2() -> Dnn {
     let c1 = n.conv("stem", x, 32, 3, 2, 1);
     let mut cur = inverted_residual(&mut n, "ir0", c1, 16, 1, 1);
     // (t, c, n, s) per the paper's table.
-    let cfg = [(6u32, 24u32, 2u32, 2u32), (6, 32, 3, 2), (6, 64, 4, 2), (6, 96, 3, 1), (6, 160, 3, 2), (6, 320, 1, 1)];
+    let cfg = [
+        (6u32, 24u32, 2u32, 2u32),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
     let mut idx = 1;
     for &(t, c, reps, s) in &cfg {
         for r in 0..reps {
@@ -111,7 +122,11 @@ fn mbconv(
 ) -> LayerId {
     let cin = n.shape(from).c;
     let mid = cin * expand;
-    let a = if expand > 1 { n.conv(&format!("{name}_exp"), from, mid, 1, 1, 0) } else { from };
+    let a = if expand > 1 {
+        n.conv(&format!("{name}_exp"), from, mid, 1, 1, 0)
+    } else {
+        from
+    };
     let d = n.dwconv(&format!("{name}_dw"), a, kernel, stride, kernel / 2);
     let p = n.conv(&format!("{name}_proj"), d, cout, 1, 1, 0);
     if stride == 1 && cin == cout {
@@ -193,7 +208,11 @@ mod tests {
     #[test]
     fn densenet_is_concat_dominated() {
         let d = densenet121();
-        let cats = d.layers().iter().filter(|l| matches!(l.kind, LayerKind::Concat)).count();
+        let cats = d
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Concat))
+            .count();
         assert_eq!(cats, 6 + 12 + 24 + 16);
     }
 
@@ -220,7 +239,10 @@ mod tests {
     fn efficientnet_structure() {
         let d = efficientnet_b0();
         let gmacs = d.total_macs(1) as f64 / 1e9;
-        assert!((0.25..0.55).contains(&gmacs), "EfficientNet-B0 GMACs {gmacs}");
+        assert!(
+            (0.25..0.55).contains(&gmacs),
+            "EfficientNet-B0 GMACs {gmacs}"
+        );
         // 16 MBConv blocks, each with one depthwise conv.
         let dw: Vec<_> = d
             .layers()
@@ -244,7 +266,10 @@ mod tests {
         let gmacs = d.total_macs(1) as f64 / 1e9;
         assert!((14.0..17.0).contains(&gmacs), "VGG-16 GMACs {gmacs}");
         let params_m = d.total_weight_bytes() as f64 / 1e6;
-        assert!((130.0..140.0).contains(&params_m), "VGG-16 params {params_m}M");
+        assert!(
+            (130.0..140.0).contains(&params_m),
+            "VGG-16 params {params_m}M"
+        );
         // FC1 dominates: 25088 x 4096.
         let fc1 = d.layers().iter().find(|l| l.name == "fc1").unwrap();
         assert_eq!(fc1.weight_bytes(), 25088 * 4096);

@@ -11,6 +11,9 @@ use crate::region::FmapShape;
 use super::Net;
 
 /// Classic Inception v1 module with four branches.
+// One argument per branch width, matching how the paper's Table II
+// (and the original GoogLeNet table) specifies the module.
+#[allow(clippy::too_many_arguments)]
 fn inception_v1(
     n: &mut Net,
     name: &str,

@@ -28,7 +28,13 @@ use crate::region::FmapShape;
 /// The five workloads of the paper's overall comparison (Fig. 5):
 /// ResNet-50, ResNeXt-50, Inception-ResNet-v1, PNASNet and Transformer.
 pub fn paper_workloads() -> Vec<Dnn> {
-    vec![resnet50(), resnext50(), inception_resnet_v1(), pnasnet(), transformer_base()]
+    vec![
+        resnet50(),
+        resnext50(),
+        inception_resnet_v1(),
+        pnasnet(),
+        transformer_base(),
+    ]
 }
 
 /// Looks a model up by the abbreviation used in the paper's figures.
@@ -86,7 +92,10 @@ pub(crate) struct Net {
 
 impl Net {
     pub(crate) fn new(name: &str) -> Self {
-        Self { b: DnnBuilder::new(name), shapes: Vec::new() }
+        Self {
+            b: DnnBuilder::new(name),
+            shapes: Vec::new(),
+        }
     }
 
     pub(crate) fn input(&mut self, shape: FmapShape) -> LayerId {
@@ -131,6 +140,9 @@ impl Net {
     }
 
     /// Grouped conv.
+    // Mirrors the layer's full hyper-parameter tuple; a params struct
+    // would just restate ConvParams.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn conv_g(
         &mut self,
         name: &str,
@@ -181,7 +193,12 @@ impl Net {
         pad: u32,
     ) -> LayerId {
         let i = self.shape(from);
-        let p = PoolParams { kernel: (k, k), stride: (stride, stride), pad: (pad, pad), kind };
+        let p = PoolParams {
+            kernel: (k, k),
+            stride: (stride, stride),
+            pad: (pad, pad),
+            kind,
+        };
         let oh = (i.h + 2 * pad).saturating_sub(k) / stride + 1;
         let ow = (i.w + 2 * pad).saturating_sub(k) / stride + 1;
         let shape = FmapShape::new(oh, ow, i.c);
@@ -217,7 +234,14 @@ impl Net {
         let shape = FmapShape::new(1, 1, nout);
         let id = self
             .b
-            .add(name, LayerKind::Fc { cin: i.elems() as u32 }, shape, &[from])
+            .add(
+                name,
+                LayerKind::Fc {
+                    cin: i.elems() as u32,
+                },
+                shape,
+                &[from],
+            )
             .unwrap_or_else(|e| panic!("zoo bug: {e}"));
         self.record(id, shape)
     }
@@ -226,7 +250,14 @@ impl Net {
         let shape = self.shape(inputs[0]);
         let id = self
             .b
-            .add(name, LayerKind::Eltwise { n_inputs: inputs.len() as u32 }, shape, inputs)
+            .add(
+                name,
+                LayerKind::Eltwise {
+                    n_inputs: inputs.len() as u32,
+                },
+                shape,
+                inputs,
+            )
             .unwrap_or_else(|e| panic!("zoo bug: {e}"));
         self.record(id, shape)
     }
@@ -315,7 +346,10 @@ mod tests {
         assert!((3.6..4.5).contains(&gmacs), "ResNet-50 GMACs {gmacs}");
         let params_m = d.total_weight_bytes() as f64 / 1e6;
         // ~25.5M params; we ignore BN/bias so slightly less.
-        assert!((22.0..27.0).contains(&params_m), "ResNet-50 params {params_m}M");
+        assert!(
+            (22.0..27.0).contains(&params_m),
+            "ResNet-50 params {params_m}M"
+        );
     }
 
     #[test]
@@ -347,7 +381,10 @@ mod tests {
         let d = pnasnet();
         // PNASNet cells concat 5 branches: at least one layer has >= 4 preds.
         let max_preds = d.ids().map(|i| d.preds(i).len()).max().unwrap();
-        assert!(max_preds >= 4, "expected concat fan-in >= 4, got {max_preds}");
+        assert!(
+            max_preds >= 4,
+            "expected concat fan-in >= 4, got {max_preds}"
+        );
         assert!(d.len() > 80);
     }
 
@@ -360,11 +397,13 @@ mod tests {
             .filter(|l| {
                 matches!(
                     l.kind,
-                    LayerKind::Matmul { operand: crate::layer::MatmulOperand::ActRowSlice, .. }
-                        | LayerKind::Matmul {
-                            operand: crate::layer::MatmulOperand::ActChanSlice,
-                            ..
-                        }
+                    LayerKind::Matmul {
+                        operand: crate::layer::MatmulOperand::ActRowSlice,
+                        ..
+                    } | LayerKind::Matmul {
+                        operand: crate::layer::MatmulOperand::ActChanSlice,
+                        ..
+                    }
                 )
             })
             .count();
@@ -392,9 +431,14 @@ mod tests {
 
     #[test]
     fn every_zoo_graph_is_topologically_ordered() {
-        for d in
-            [resnet50(), resnext50(), inception_resnet_v1(), pnasnet(), transformer_base(), googlenet()]
-        {
+        for d in [
+            resnet50(),
+            resnext50(),
+            inception_resnet_v1(),
+            pnasnet(),
+            transformer_base(),
+            googlenet(),
+        ] {
             for id in d.ids() {
                 for p in d.preds(id) {
                     assert!(p < &id, "{}: pred {p} not before {id}", d.name());

@@ -26,7 +26,14 @@ fn cell(n: &mut Net, name: &str, from: LayerId, f: u32, stride: u32) -> LayerId 
         n.sep_conv(&format!("{name}_{tag}_sep{k}"), from, f, k, stride)
     };
     let pooled = |n: &mut Net, tag: &str| -> LayerId {
-        let p = n.pool(&format!("{name}_{tag}_pool"), from, PoolKind::Max, 3, stride, 1);
+        let p = n.pool(
+            &format!("{name}_{tag}_pool"),
+            from,
+            PoolKind::Max,
+            3,
+            stride,
+            1,
+        );
         n.conv(&format!("{name}_{tag}_adj"), p, f, 1, 1, 0)
     };
     let ident = |n: &mut Net, tag: &str| -> LayerId {

@@ -21,7 +21,15 @@ fn bottleneck(
     groups: u32,
 ) -> LayerId {
     let c1 = n.conv(&format!("{name}_1x1a"), from, mid, 1, 1, 0);
-    let c2 = n.conv_g(&format!("{name}_3x3"), c1, mid, (3, 3), stride, (1, 1), groups);
+    let c2 = n.conv_g(
+        &format!("{name}_3x3"),
+        c1,
+        mid,
+        (3, 3),
+        stride,
+        (1, 1),
+        groups,
+    );
     let c3 = n.conv(&format!("{name}_1x1b"), c2, out, 1, 1, 0);
     let short = if stride != 1 || n.shape(from).c != out {
         n.conv(&format!("{name}_proj"), from, out, 1, stride, 0)
@@ -38,11 +46,24 @@ fn resnet_like(name: &str, mid_base: u32, groups: u32) -> Dnn {
     let mut cur = n.maxpool("pool1", c1, 3, 2, 1);
 
     // (blocks, mid, out, first-stride) per stage.
-    let stages = [(3u32, mid_base, 256u32, 1u32), (4, mid_base * 2, 512, 2), (6, mid_base * 4, 1024, 2), (3, mid_base * 8, 2048, 2)];
+    let stages = [
+        (3u32, mid_base, 256u32, 1u32),
+        (4, mid_base * 2, 512, 2),
+        (6, mid_base * 4, 1024, 2),
+        (3, mid_base * 8, 2048, 2),
+    ];
     for (si, &(blocks, mid, out, stride0)) in stages.iter().enumerate() {
         for bi in 0..blocks {
             let stride = if bi == 0 { stride0 } else { 1 };
-            cur = bottleneck(&mut n, &format!("s{}b{}", si + 2, bi), cur, mid, out, stride, groups);
+            cur = bottleneck(
+                &mut n,
+                &format!("s{}b{}", si + 2, bi),
+                cur,
+                mid,
+                out,
+                stride,
+                groups,
+            );
         }
     }
     let gap = n.global_avgpool("gap", cur);

@@ -30,10 +30,22 @@ pub fn transformer_with(name: &str, seq: u32, d_model: u32, d_ff: u32, n_layers:
         let k = n.conv(&p("k"), cur, d_model, 1, 1, 0);
         let v = n.conv(&p("v"), cur, d_model, 1, 1, 0);
         // Scores = Q.K^T : (seq x seq), reduction over d_model.
-        let scores = n.matmul(&p("qkt"), q, k, MatmulOperand::ActRowSlice, FmapShape::new(seq, 1, seq));
+        let scores = n.matmul(
+            &p("qkt"),
+            q,
+            k,
+            MatmulOperand::ActRowSlice,
+            FmapShape::new(seq, 1, seq),
+        );
         let probs = n.activation(&p("softmax"), scores, ActKind::Softmax);
         // Context = A.V : (seq x d_model), reduction over seq.
-        let ctx = n.matmul(&p("av"), probs, v, MatmulOperand::ActChanSlice, FmapShape::new(seq, 1, d_model));
+        let ctx = n.matmul(
+            &p("av"),
+            probs,
+            v,
+            MatmulOperand::ActChanSlice,
+            FmapShape::new(seq, 1, d_model),
+        );
         let proj = n.conv(&p("proj"), ctx, d_model, 1, 1, 0);
         let add1 = n.eltwise(&p("add1"), &[proj, cur]);
         let ln1 = n.activation(&p("ln1"), add1, ActKind::LayerNorm);
@@ -59,7 +71,7 @@ pub fn transformer_large() -> Dnn {
 
 /// BERT-base encoder: 12 layers, d_model 768, d_ff 3072, 128-token
 /// sequences — the language-model workload class the paper's intro
-/// motivates (BERT is its citation [10]).
+/// motivates (BERT is its citation \[10\]).
 pub fn bert_base() -> Dnn {
     transformer_with("bert-base", 128, 768, 3072, 12)
 }
@@ -94,7 +106,10 @@ mod tests {
             .filter(|l| l.name.contains("ff"))
             .map(|l| l.weight_bytes())
             .sum();
-        assert!(ffn_w * 2 > d.total_weight_bytes(), "FFN should hold >half the weights");
+        assert!(
+            ffn_w * 2 > d.total_weight_bytes(),
+            "FFN should hold >half the weights"
+        );
     }
 
     #[test]

@@ -152,7 +152,11 @@ pub fn simulate_flows(net: &Network, flows: &[Flow]) -> FlowSimResult {
             break;
         }
     }
-    FlowSimResult { completion_s: t, flow_times_s: done, events }
+    FlowSimResult {
+        completion_s: t,
+        flow_times_s: done,
+        events,
+    }
 }
 
 /// The analytic per-link bound the evaluator uses: bytes on the busiest
@@ -176,7 +180,13 @@ mod tests {
         (arch, net)
     }
 
-    fn flow(net: &Network, arch: &gemini_arch::ArchConfig, a: (u32, u32), b: (u32, u32), bytes: f64) -> Flow {
+    fn flow(
+        net: &Network,
+        arch: &gemini_arch::ArchConfig,
+        a: (u32, u32),
+        b: (u32, u32),
+        bytes: f64,
+    ) -> Flow {
         let mut path = Vec::new();
         net.route_cores(arch.core_at(a.0, a.1), arch.core_at(b.0, b.1), &mut path);
         Flow { path, bytes }
@@ -186,7 +196,7 @@ mod tests {
     fn single_flow_exact() {
         let (arch, net) = setup();
         let f = flow(&net, &arch, (0, 0), (2, 0), 32e9);
-        let r = simulate_flows(&net, &[f.clone()]);
+        let r = simulate_flows(&net, std::slice::from_ref(&f));
         assert!((r.completion_s - 1.0).abs() < 1e-9, "{}", r.completion_s);
         assert!((analytic_bottleneck(&net, &[f]) - 1.0).abs() < 1e-9);
     }
@@ -210,7 +220,10 @@ mod tests {
         let f1 = flow(&net, &arch, (0, 0), (1, 0), 32e9);
         let f2 = flow(&net, &arch, (0, 5), (1, 5), 32e9);
         let r = simulate_flows(&net, &[f1, f2]);
-        assert!((r.completion_s - 1.0).abs() < 1e-6, "parallel rows must not serialize");
+        assert!(
+            (r.completion_s - 1.0).abs() < 1e-6,
+            "parallel rows must not serialize"
+        );
     }
 
     #[test]
@@ -220,7 +233,13 @@ mod tests {
         let mut flows = Vec::new();
         for x in 0..6u32 {
             for y in 0..3u32 {
-                flows.push(flow(&net, &arch, (x, y), (5 - x, 5 - y), 1e8 * (x + y + 1) as f64));
+                flows.push(flow(
+                    &net,
+                    &arch,
+                    (x, y),
+                    (5 - x, 5 - y),
+                    1e8 * (x + y + 1) as f64,
+                ));
             }
         }
         let r = simulate_flows(&net, &flows);
@@ -232,7 +251,12 @@ mod tests {
             bound
         );
         // And stays within a small constant of it for this pattern.
-        assert!(r.completion_s <= bound * 4.0, "{} vs {}", r.completion_s, bound);
+        assert!(
+            r.completion_s <= bound * 4.0,
+            "{} vs {}",
+            r.completion_s,
+            bound
+        );
     }
 
     #[test]
@@ -249,7 +273,13 @@ mod tests {
     #[test]
     fn empty_paths_complete_instantly() {
         let (_, net) = setup();
-        let r = simulate_flows(&net, &[Flow { path: vec![], bytes: 1e12 }]);
+        let r = simulate_flows(
+            &net,
+            &[Flow {
+                path: vec![],
+                bytes: 1e12,
+            }],
+        );
         assert_eq!(r.completion_s, 0.0);
         assert_eq!(r.flow_times_s, vec![0.0]);
     }

@@ -85,7 +85,10 @@ impl Heatmap {
         if peak == 0.0 {
             return 0;
         }
-        self.entries.iter().filter(|e| e.pressure >= frac * peak).count()
+        self.entries
+            .iter()
+            .filter(|e| e.pressure >= frac * peak)
+            .count()
     }
 
     /// CSV rows: `from_x,from_y,to_x,to_y,kind,bytes,pressure`.
@@ -193,6 +196,9 @@ mod tests {
         // Load the last computed path (port 5 -> core).
         t.add_path(&scratch, 64.0);
         let h = Heatmap::build(&net, &t);
-        assert!(h.entries.iter().any(|e| e.from.0 == -1), "west DRAM port at x=-1");
+        assert!(
+            h.entries.iter().any(|e| e.from.0 == -1),
+            "west DRAM port at x=-1"
+        );
     }
 }

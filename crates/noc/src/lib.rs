@@ -29,12 +29,12 @@
 
 pub mod flowsim;
 pub mod heatmap;
-pub mod packetsim;
 pub mod network;
+pub mod packetsim;
 pub mod traffic;
 
 pub use flowsim::{analytic_bottleneck, simulate_flows, Flow, FlowSimResult};
 pub use heatmap::{Heatmap, HeatmapEntry};
-pub use packetsim::{simulate_packets, PacketSimConfig, PacketSimResult};
 pub use network::{Link, LinkId, LinkKind, Network, NodeId};
+pub use packetsim::{simulate_packets, PacketSimConfig, PacketSimResult};
 pub use traffic::TrafficMap;

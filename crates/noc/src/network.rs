@@ -108,8 +108,20 @@ impl Network {
             links.push(Link { from, to, kind, bw });
             id
         };
-        let hkind = |cx: u32| if arch.is_d2d_h(cx) { LinkKind::D2d } else { LinkKind::Noc };
-        let vkind = |cy: u32| if arch.is_d2d_v(cy) { LinkKind::D2d } else { LinkKind::Noc };
+        let hkind = |cx: u32| {
+            if arch.is_d2d_h(cx) {
+                LinkKind::D2d
+            } else {
+                LinkKind::Noc
+            }
+        };
+        let vkind = |cy: u32| {
+            if arch.is_d2d_v(cy) {
+                LinkKind::D2d
+            } else {
+                LinkKind::Noc
+            }
+        };
         let bw_of = |k: LinkKind| match k {
             LinkKind::D2d => arch.d2d_bw(),
             _ => arch.noc_bw(),
@@ -135,7 +147,11 @@ impl Network {
 
         if arch.topology() == Topology::FoldedTorus && x > 1 {
             for cy in 0..y {
-                let k = if arch.xcut() > 1 { LinkKind::D2d } else { LinkKind::Noc };
+                let k = if arch.xcut() > 1 {
+                    LinkKind::D2d
+                } else {
+                    LinkKind::Noc
+                };
                 let f = push(&mut links, core(x - 1, cy), core(0, cy), k, bw_of(k));
                 let b = push(&mut links, core(0, cy), core(x - 1, cy), k, bw_of(k));
                 wrap_h.insert((cy, true), f);
@@ -144,7 +160,11 @@ impl Network {
         }
         if arch.topology() == Topology::FoldedTorus && y > 1 {
             for cx in 0..x {
-                let k = if arch.ycut() > 1 { LinkKind::D2d } else { LinkKind::Noc };
+                let k = if arch.ycut() > 1 {
+                    LinkKind::D2d
+                } else {
+                    LinkKind::Noc
+                };
                 let f = push(&mut links, core(cx, y - 1), core(cx, 0), k, bw_of(k));
                 let b = push(&mut links, core(cx, 0), core(cx, y - 1), k, bw_of(k));
                 wrap_v.insert((cx, true), f);
@@ -161,8 +181,20 @@ impl Network {
             let mut ej = Vec::new();
             for &p in &ports {
                 let pn = NodeId::DramPort { dram: d, at: p };
-                inj.push(push(&mut links, pn, NodeId::Core(p), LinkKind::DramInj(d), arch.noc_bw()));
-                ej.push(push(&mut links, NodeId::Core(p), pn, LinkKind::DramEj(d), arch.noc_bw()));
+                inj.push(push(
+                    &mut links,
+                    pn,
+                    NodeId::Core(p),
+                    LinkKind::DramInj(d),
+                    arch.noc_bw(),
+                ));
+                ej.push(push(
+                    &mut links,
+                    NodeId::Core(p),
+                    pn,
+                    LinkKind::DramEj(d),
+                    arch.noc_bw(),
+                ));
             }
             dram_inj.push(inj);
             dram_ej.push(ej);
@@ -250,7 +282,11 @@ impl Network {
         while cyy != ty {
             let fwd_dist = (ty + y_len - cyy) % y_len;
             let bwd_dist = (cyy + y_len - ty) % y_len;
-            let go_fwd = if torus { fwd_dist <= bwd_dist } else { cyy < ty };
+            let go_fwd = if torus {
+                fwd_dist <= bwd_dist
+            } else {
+                cyy < ty
+            };
             if go_fwd {
                 if cyy + 1 == y_len {
                     out.push(LinkId(self.wrap_v[&(cx, true)]));
@@ -445,7 +481,11 @@ mod tests {
 
     #[test]
     fn monolithic_mesh_has_no_d2d() {
-        let a = ArchConfig::builder().cores(4, 4).cuts(1, 1).build().unwrap();
+        let a = ArchConfig::builder()
+            .cores(4, 4)
+            .cuts(1, 1)
+            .build()
+            .unwrap();
         let n = Network::new(&a);
         assert!(n.links().iter().all(|l| !l.kind.is_d2d()));
     }
@@ -467,7 +507,10 @@ mod tests {
         let (a, n) = mesh();
         let mut scratch = Vec::new();
         n.for_each_dram_write_path(a.core_at(3, 3), 1, &mut scratch, |path| {
-            assert!(matches!(n.link(*path.last().unwrap()).kind, LinkKind::DramEj(1)));
+            assert!(matches!(
+                n.link(*path.last().unwrap()).kind,
+                LinkKind::DramEj(1)
+            ));
         });
     }
 
@@ -476,7 +519,11 @@ mod tests {
         let (a, n) = mesh();
         let mut tree = Vec::new();
         // Two destinations in the same row share the horizontal prefix.
-        n.multicast_cores(a.core_at(0, 0), &[a.core_at(3, 0), a.core_at(3, 1)], &mut tree);
+        n.multicast_cores(
+            a.core_at(0, 0),
+            &[a.core_at(3, 0), a.core_at(3, 1)],
+            &mut tree,
+        );
         // Unicast would be 3 + 4 = 7 links; the tree shares 3.
         assert_eq!(tree.len(), 4);
     }

@@ -62,7 +62,12 @@ pub struct PacketSimConfig {
 
 impl Default for PacketSimConfig {
     fn default() -> Self {
-        Self { flit_bytes: 16.0, queue_flits: 8, freq_ghz: 1.0, max_cycles: 0 }
+        Self {
+            flit_bytes: 16.0,
+            queue_flits: 8,
+            freq_ghz: 1.0,
+            max_cycles: 0,
+        }
     }
 }
 
@@ -97,29 +102,31 @@ struct Entry {
 ///
 /// Panics if `cfg.flit_bytes`, `cfg.queue_flits` or `cfg.freq_ghz` is
 /// not positive.
-pub fn simulate_packets(
-    net: &Network,
-    flows: &[Flow],
-    cfg: &PacketSimConfig,
-) -> PacketSimResult {
+pub fn simulate_packets(net: &Network, flows: &[Flow], cfg: &PacketSimConfig) -> PacketSimResult {
     assert!(cfg.flit_bytes > 0.0, "flit size must be positive");
     assert!(cfg.queue_flits > 0, "queues must hold at least one flit");
     assert!(cfg.freq_ghz > 0.0, "frequency must be positive");
 
     let n_flows = flows.len();
-    let total_flits: Vec<u64> =
-        flows.iter().map(|f| (f.bytes / cfg.flit_bytes).ceil() as u64).collect();
+    let total_flits: Vec<u64> = flows
+        .iter()
+        .map(|f| (f.bytes / cfg.flit_bytes).ceil() as u64)
+        .collect();
 
     // Static routing tables: which (flow, hop) entries feed each link.
     let n_links = net.n_links();
     let mut entries_on: Vec<Vec<Entry>> = vec![Vec::new(); n_links];
     for (fi, f) in flows.iter().enumerate() {
         for (h, l) in f.path.iter().enumerate() {
-            entries_on[l.idx()].push(Entry { flow: fi as u32, hop: h as u32 });
+            entries_on[l.idx()].push(Entry {
+                flow: fi as u32,
+                hop: h as u32,
+            });
         }
     }
-    let active_links: Vec<usize> =
-        (0..n_links).filter(|&l| !entries_on[l].is_empty()).collect();
+    let active_links: Vec<usize> = (0..n_links)
+        .filter(|&l| !entries_on[l].is_empty())
+        .collect();
 
     // Flits-per-cycle service rate and token bucket per link.
     let rate: Vec<f64> = (0..n_links)
@@ -295,11 +302,20 @@ mod tests {
         // 32 kB over 32 GB/s on-chip links: 1 us of service plus a few
         // cycles of per-hop latency.
         let f = flow(&net, &arch, (0, 0), (2, 0), 32_000.0);
-        let r = simulate_packets(&net, &[f.clone()], &PacketSimConfig::default());
+        let r = simulate_packets(&net, std::slice::from_ref(&f), &PacketSimConfig::default());
         assert!(!r.truncated);
         let ideal = analytic_bottleneck(&net, &[f]);
-        assert!(r.completion_s >= ideal, "{} < ideal {}", r.completion_s, ideal);
-        assert!(r.completion_s <= ideal * 1.05 + 20e-9, "{} too slow", r.completion_s);
+        assert!(
+            r.completion_s >= ideal,
+            "{} < ideal {}",
+            r.completion_s,
+            ideal
+        );
+        assert!(
+            r.completion_s <= ideal * 1.05 + 20e-9,
+            "{} too slow",
+            r.completion_s
+        );
     }
 
     #[test]
@@ -330,7 +346,7 @@ mod tests {
         let f1 = flow(&net, &arch, (0, 0), (1, 0), 16_000.0);
         let f2 = flow(&net, &arch, (0, 0), (2, 0), 16_000.0);
         let cfg = PacketSimConfig::default();
-        let solo = simulate_packets(&net, &[f1.clone()], &cfg);
+        let solo = simulate_packets(&net, std::slice::from_ref(&f1), &cfg);
         let both = simulate_packets(&net, &[f1, f2], &cfg);
         let ratio = both.completion_s / solo.completion_s;
         assert!(
@@ -357,12 +373,23 @@ mod tests {
         let (arch, net) = setup();
         let mut flows = Vec::new();
         for x in 0..6u32 {
-            flows.push(flow(&net, &arch, (x, 0), (5 - x, 5), 2_048.0 * (x + 1) as f64));
+            flows.push(flow(
+                &net,
+                &arch,
+                (x, 0),
+                (5 - x, 5),
+                2_048.0 * (x + 1) as f64,
+            ));
         }
         let r = simulate_packets(&net, &flows, &PacketSimConfig::default());
         let bound = analytic_bottleneck(&net, &flows);
         assert!(!r.truncated);
-        assert!(r.completion_s >= bound * (1.0 - 1e-9), "{} < {}", r.completion_s, bound);
+        assert!(
+            r.completion_s >= bound * (1.0 - 1e-9),
+            "{} < {}",
+            r.completion_s,
+            bound
+        );
     }
 
     #[test]
@@ -390,7 +417,13 @@ mod tests {
         let (arch, net) = setup();
         let r = simulate_packets(
             &net,
-            &[Flow { path: vec![], bytes: 1e9 }, flow(&net, &arch, (0, 0), (1, 0), 0.0)],
+            &[
+                Flow {
+                    path: vec![],
+                    bytes: 1e9,
+                },
+                flow(&net, &arch, (0, 0), (1, 0), 0.0),
+            ],
             &PacketSimConfig::default(),
         );
         assert_eq!(r.cycles, 0);
@@ -400,14 +433,20 @@ mod tests {
     #[test]
     fn tiny_queues_still_drain() {
         let (arch, net) = setup();
-        let cfg = PacketSimConfig { queue_flits: 1, ..Default::default() };
+        let cfg = PacketSimConfig {
+            queue_flits: 1,
+            ..Default::default()
+        };
         let flows = vec![
             flow(&net, &arch, (0, 0), (5, 5), 4_096.0),
             flow(&net, &arch, (5, 5), (0, 0), 4_096.0),
             flow(&net, &arch, (0, 5), (5, 0), 4_096.0),
         ];
         let r = simulate_packets(&net, &flows, &cfg);
-        assert!(!r.truncated, "single-flit queues must not deadlock XY routing");
+        assert!(
+            !r.truncated,
+            "single-flit queues must not deadlock XY routing"
+        );
     }
 
     #[test]
@@ -421,14 +460,20 @@ mod tests {
         for &t in &r.flow_times_s {
             assert!(t <= r.completion_s + 1e-12);
         }
-        assert!(r.flow_times_s[0] <= r.flow_times_s[1], "smaller flow finishes first");
+        assert!(
+            r.flow_times_s[0] <= r.flow_times_s[1],
+            "smaller flow finishes first"
+        );
     }
 
     #[test]
     fn safety_bound_truncates_pathological_runs() {
         let (arch, net) = setup();
         let f = flow(&net, &arch, (0, 0), (5, 5), 1e6);
-        let cfg = PacketSimConfig { max_cycles: 10, ..Default::default() };
+        let cfg = PacketSimConfig {
+            max_cycles: 10,
+            ..Default::default()
+        };
         let r = simulate_packets(&net, &[f], &cfg);
         assert!(r.truncated);
         assert_eq!(r.cycles, 10);
@@ -438,7 +483,10 @@ mod tests {
     #[should_panic(expected = "flit size")]
     fn rejects_zero_flit_size() {
         let (_, net) = setup();
-        let cfg = PacketSimConfig { flit_bytes: 0.0, ..Default::default() };
+        let cfg = PacketSimConfig {
+            flit_bytes: 0.0,
+            ..Default::default()
+        };
         let _ = simulate_packets(&net, &[], &cfg);
     }
 
@@ -459,7 +507,10 @@ mod tests {
         for y in 0..6u32 {
             let mut path = Vec::new();
             net.route_cores(arch.core_at(0, y), arch.core_at(5, y), &mut path);
-            flows.push(Flow { path, bytes: 4_096.0 });
+            flows.push(Flow {
+                path,
+                bytes: 4_096.0,
+            });
         }
         let r = simulate_packets(&net, &flows, &cfg);
         assert!(!r.truncated);
@@ -470,7 +521,10 @@ mod tests {
         assert_eq!(r.flit_hops, expected);
         // Torus wrap makes the (0,y) -> (5,y) path at most 3 hops long;
         // the same pair on a mesh needs 5.
-        assert!(flows.iter().all(|f| f.path.len() <= 3), "wrap routing not used");
+        assert!(
+            flows.iter().all(|f| f.path.len() <= 3),
+            "wrap routing not used"
+        );
     }
 
     #[test]
@@ -490,7 +544,15 @@ mod tests {
             let net = Network::new(arch);
             let mut path = Vec::new();
             net.route_cores(arch.core_at(0, 0), arch.core_at(5, 0), &mut path);
-            simulate_packets(&net, &[Flow { path, bytes: 16_000.0 }], &cfg).completion_s
+            simulate_packets(
+                &net,
+                &[Flow {
+                    path,
+                    bytes: 16_000.0,
+                }],
+                &cfg,
+            )
+            .completion_s
         };
         assert!(run(&torus_arch) <= run(&mesh_arch));
     }

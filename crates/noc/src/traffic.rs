@@ -17,7 +17,9 @@ pub struct TrafficMap {
 impl TrafficMap {
     /// An empty traffic map for the given network.
     pub fn new(net: &Network) -> Self {
-        Self { bytes: vec![0.0; net.n_links()] }
+        Self {
+            bytes: vec![0.0; net.n_links()],
+        }
     }
 
     /// Clears all accumulated traffic.
@@ -133,7 +135,13 @@ impl TrafficMap {
             .bytes
             .iter()
             .enumerate()
-            .map(|(i, &b)| if b > 0.0 { b / (net.link(LinkId(i as u32)).bw * 1e9) } else { 0.0 })
+            .map(|(i, &b)| {
+                if b > 0.0 {
+                    b / (net.link(LinkId(i as u32)).bw * 1e9)
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let n = times.len();
         let total: f64 = times.iter().sum();
@@ -142,8 +150,11 @@ impl TrafficMap {
         }
         times.sort_by(|a, b| a.partial_cmp(b).expect("finite link times"));
         // G = 2*sum(i*x_i)/(n*sum(x)) - (n+1)/n with 1-based ranks.
-        let weighted: f64 =
-            times.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x).sum();
+        let weighted: f64 = times
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (i as f64 + 1.0) * x)
+            .sum();
         (2.0 * weighted / (n as f64 * total) - (n as f64 + 1.0) / n as f64).max(0.0)
     }
 
@@ -190,7 +201,11 @@ impl TrafficMap {
 
     /// Adds another traffic map (same network) into this one, scaled.
     pub fn merge_scaled(&mut self, other: &TrafficMap, scale: f64) {
-        assert_eq!(self.bytes.len(), other.bytes.len(), "traffic maps from different networks");
+        assert_eq!(
+            self.bytes.len(),
+            other.bytes.len(),
+            "traffic maps from different networks"
+        );
         for (a, b) in self.bytes.iter_mut().zip(&other.bytes) {
             *a += b * scale;
         }

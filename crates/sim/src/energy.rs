@@ -150,7 +150,14 @@ mod tests {
 
     #[test]
     fn breakdown_groupings() {
-        let b = EnergyBreakdown { mac: 1.0, vector: 2.0, glb: 3.0, noc: 4.0, d2d: 5.0, dram: 6.0 };
+        let b = EnergyBreakdown {
+            mac: 1.0,
+            vector: 2.0,
+            glb: 3.0,
+            noc: 4.0,
+            d2d: 5.0,
+            dram: 6.0,
+        };
         assert_eq!(b.total(), 21.0);
         assert_eq!(b.intra_tile(), 6.0);
         assert_eq!(b.network(), 9.0);

@@ -141,7 +141,12 @@ impl Evaluator {
 
     /// Creates an evaluator with a custom energy model.
     pub fn with_energy(arch: &ArchConfig, energy: EnergyModel) -> Self {
-        Self::with_profile(arch, energy, EvalOptions::default(), CoreProfile::homogeneous(arch))
+        Self::with_profile(
+            arch,
+            energy,
+            EvalOptions::default(),
+            CoreProfile::homogeneous(arch),
+        )
     }
 
     /// Creates an evaluator with custom [`EvalOptions`] (ablations).
@@ -169,7 +174,13 @@ impl Evaluator {
         profile: CoreProfile,
     ) -> Self {
         let net = Network::new(arch);
-        Self { arch: arch.clone(), net, profile, energy, opts }
+        Self {
+            arch: arch.clone(),
+            net,
+            profile,
+            energy,
+            opts,
+        }
     }
 
     /// Overrides the per-stage pipeline overhead (seconds).
@@ -222,7 +233,11 @@ impl Evaluator {
             energy.add(&r.energy);
             reports.push(r);
         }
-        DnnReport { delay_s: delay, energy, groups: reports }
+        DnnReport {
+            delay_s: delay,
+            energy,
+            groups: reports,
+        }
     }
 
     /// Evaluates one layer group's mapping for a total batch of `batch`
@@ -254,8 +269,8 @@ impl Evaluator {
                 let wl = part_workload(dnn, m.layer, region);
                 let r = self.profile.explorer(*core).explore(&wl);
                 core_cycles[core.idx()] += r.cycles;
-                glb_energy_pj += r.glb_bytes as f64
-                    * self.energy.glb_pj_per_byte(self.profile.glb_bytes(*core));
+                glb_energy_pj +=
+                    r.glb_bytes as f64 * self.energy.glb_pj_per_byte(self.profile.glb_bytes(*core));
                 macs_total += r.macs;
                 vector_total += r.vector_ops;
                 // Outputs are held until the consumer stage reads
@@ -311,7 +326,14 @@ impl Evaluator {
                     if region.is_empty() {
                         continue;
                     }
-                    self.add_dram_write(*core, region.bytes() as f64, sel, &mut traffic, &mut dram_bytes, &mut scratch);
+                    self.add_dram_write(
+                        *core,
+                        region.bytes() as f64,
+                        sel,
+                        &mut traffic,
+                        &mut dram_bytes,
+                        &mut scratch,
+                    );
                 }
             }
         }
@@ -324,7 +346,15 @@ impl Evaluator {
         let mut load_dram = vec![0.0f64; d];
         for m in &gm.members {
             if let Some(sel) = m.wgt_src {
-                self.add_weight_flows(dnn, m, sel, &mut load_traffic, &mut load_dram, &mut scratch, &mut tree);
+                self.add_weight_flows(
+                    dnn,
+                    m,
+                    sel,
+                    &mut load_traffic,
+                    &mut load_dram,
+                    &mut scratch,
+                    &mut tree,
+                );
             }
         }
         if self.opts.spill_enabled {
@@ -405,12 +435,13 @@ impl Evaluator {
             d2d: 0.0,
             dram: dram_bytes.iter().sum::<f64>() * self.energy.dram_pj_per_byte * pj,
         };
-        let d2d_volume_energy =
-            traffic.d2d_hop_bytes(&self.net) * self.energy.d2d_pj_per_byte * pj;
+        let d2d_volume_energy = traffic.d2d_hop_bytes(&self.net) * self.energy.d2d_pj_per_byte * pj;
         per_round.d2d = match self.energy.d2d_model {
             D2dEnergyModel::GrsVolume => d2d_volume_energy,
             // SerDes burns power for the whole stage on every interface.
-            D2dEnergyModel::SerdesPower { watts_per_interface } => {
+            D2dEnergyModel::SerdesPower {
+                watts_per_interface,
+            } => {
                 let n_if = self.arch.d2d_per_chiplet() as f64 * self.arch.n_chiplets() as f64;
                 n_if * watts_per_interface * stage
             }
@@ -442,6 +473,7 @@ impl Evaluator {
     /// Consumer parts are grouped by identical need region so broadcast
     /// patterns (e.g. K-partitioned consumers all needing the full
     /// producer output) ride a multicast tree and pay each link once.
+    #[allow(clippy::too_many_arguments)] // threads shared scratch buffers through the hot path
     fn add_peer_flows(
         &self,
         dnn: &Dnn,
@@ -501,7 +533,7 @@ impl Evaluator {
         sel: DramSel,
         traffic: &mut TrafficMap,
         dram_bytes: &mut [f64],
-        scratch: &mut Vec<LinkId>,
+        scratch: &mut [LinkId],
         tree: &mut Vec<LinkId>,
     ) {
         let mut by_need: BTreeMap<Region, Vec<CoreId>> = BTreeMap::new();
@@ -523,6 +555,7 @@ impl Evaluator {
 
     /// Weight flows for one member: distinct output-channel slices are
     /// multicast to the cores that need them.
+    #[allow(clippy::too_many_arguments)] // threads shared scratch buffers through the hot path
     fn add_weight_flows(
         &self,
         dnn: &Dnn,
@@ -530,7 +563,7 @@ impl Evaluator {
         sel: DramSel,
         traffic: &mut TrafficMap,
         dram_bytes: &mut [f64],
-        scratch: &mut Vec<LinkId>,
+        scratch: &mut [LinkId],
         tree: &mut Vec<LinkId>,
     ) {
         let layer = dnn.layer(m.layer);
@@ -543,7 +576,10 @@ impl Evaluator {
             if region.is_empty() {
                 continue;
             }
-            by_slice.entry((region.k.start, region.k.end)).or_default().push(*core);
+            by_slice
+                .entry((region.k.start, region.k.end))
+                .or_default()
+                .push(*core);
         }
         for ((k0, k1), cores) in by_slice {
             let vol = wtotal * (k1 - k0) as f64 / layer.ofmap.c as f64;
@@ -574,15 +610,17 @@ impl Evaluator {
             dram_bytes[dram as usize] += v;
             let ports = self.net.dram_port_coords(dram).len() as f64;
             if self.opts.multicast_enabled {
-                self.net.multicast_from_dram(dram, cores, tree, |port_tree| {
-                    traffic.add_path(port_tree, v / ports);
-                });
+                self.net
+                    .multicast_from_dram(dram, cores, tree, |port_tree| {
+                        traffic.add_path(port_tree, v / ports);
+                    });
             } else {
                 // Unicast ablation: each destination gets its own copy.
                 for c in cores {
-                    self.net.multicast_from_dram(dram, std::slice::from_ref(c), tree, |p| {
-                        traffic.add_path(p, v / ports);
-                    });
+                    self.net
+                        .multicast_from_dram(dram, std::slice::from_ref(c), tree, |p| {
+                            traffic.add_path(p, v / ports);
+                        });
                 }
             }
         }
@@ -607,9 +645,10 @@ impl Evaluator {
         for (dram, v) in drams {
             dram_bytes[dram as usize] += v;
             let ports = self.net.dram_port_coords(dram).len() as f64;
-            self.net.for_each_dram_write_path(core, dram, scratch, |path| {
-                traffic.add_path(path, v / ports);
-            });
+            self.net
+                .for_each_dram_write_path(core, dram, scratch, |path| {
+                    traffic.add_path(path, v / ports);
+                });
         }
     }
 }
@@ -795,8 +834,18 @@ mod tests {
     #[test]
     fn small_glb_forces_weight_restreaming() {
         let dnn = zoo::two_conv_example();
-        let big = gemini_arch::ArchConfig::builder().cores(6, 6).cuts(2, 1).glb_kb(2048).build().unwrap();
-        let tiny = gemini_arch::ArchConfig::builder().cores(6, 6).cuts(2, 1).glb_kb(32).build().unwrap();
+        let big = gemini_arch::ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(2, 1)
+            .glb_kb(2048)
+            .build()
+            .unwrap();
+        let tiny = gemini_arch::ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(2, 1)
+            .glb_kb(32)
+            .build()
+            .unwrap();
         // Conv1 weights: 3*3*32*64 = 18 KiB > 16 KiB (half of 32 KiB).
         let ev_big = Evaluator::new(&big);
         let ev_tiny = Evaluator::new(&tiny);
@@ -825,7 +874,11 @@ mod tests {
         gm.members[0].of_dst = Some(DramSel::Interleaved);
         let r = ev.evaluate_group(&dnn, &gm, 1);
         let diff = (r.dram_bytes[0] - r.dram_bytes[1]).abs();
-        assert!(diff < 1e-6, "interleaved flows must balance: {:?}", r.dram_bytes);
+        assert!(
+            diff < 1e-6,
+            "interleaved flows must balance: {:?}",
+            r.dram_bytes
+        );
     }
 
     #[test]
@@ -839,7 +892,11 @@ mod tests {
         // Pinned FD values leave the controllers unbalanced (here the
         // ofmap written to DRAM 1 outweighs the ifmap read from DRAM 0).
         let diff = (r.dram_bytes[0] - r.dram_bytes[1]).abs();
-        assert!(diff > 1.0, "pinned flows should be unbalanced: {:?}", r.dram_bytes);
+        assert!(
+            diff > 1.0,
+            "pinned flows should be unbalanced: {:?}",
+            r.dram_bytes
+        );
     }
 
     #[test]
@@ -897,7 +954,8 @@ mod tests {
         // The link (0,0)->(1,0) carries the broadcast once: its bytes
         // must equal one copy of conv1's output, not two.
         let mut p = Vec::new();
-        ev.network().route_cores(arch.core_at(0, 0), arch.core_at(1, 0), &mut p);
+        ev.network()
+            .route_cores(arch.core_at(0, 0), arch.core_at(1, 0), &mut p);
         let bytes = r.traffic.bytes_on(p[0]);
         let one_copy = s1.elems() as f64;
         assert!(
@@ -923,15 +981,22 @@ mod tests {
     fn serdes_model_charges_idle_power() {
         let dnn = zoo::two_conv_example();
         let arch = presets::g_arch_72();
-        let mut em = EnergyModel::default();
-        em.d2d_model = D2dEnergyModel::SerdesPower { watts_per_interface: 0.05 };
+        let em = EnergyModel {
+            d2d_model: D2dEnergyModel::SerdesPower {
+                watts_per_interface: 0.05,
+            },
+            ..Default::default()
+        };
         let ev_serdes = Evaluator::with_energy(&arch, em);
         let ev_grs = Evaluator::new(&arch);
         // A mapping with zero D2D traffic still pays SerDes power.
         let gm = two_layer_mapping(&dnn, &[arch.core_at(0, 1)], &[arch.core_at(1, 1)]);
         let rs = ev_serdes.evaluate_group(&dnn, &gm, 1);
         let rg = ev_grs.evaluate_group(&dnn, &gm, 1);
-        assert!(rs.energy.d2d > 0.0, "SerDes D2D burns power regardless of traffic");
+        assert!(
+            rs.energy.d2d > 0.0,
+            "SerDes D2D burns power regardless of traffic"
+        );
         assert!(rs.energy.d2d > rg.energy.d2d);
     }
 
@@ -1042,8 +1107,14 @@ mod tests {
     fn big_little_spec(arch: &gemini_arch::ArchConfig) -> gemini_arch::HeteroSpec {
         gemini_arch::HeteroSpec::new(
             vec![
-                gemini_arch::CoreClass { macs: 4096, glb_bytes: 4 << 20 },
-                gemini_arch::CoreClass { macs: 256, glb_bytes: 256 << 10 },
+                gemini_arch::CoreClass {
+                    macs: 4096,
+                    glb_bytes: 4 << 20,
+                },
+                gemini_arch::CoreClass {
+                    macs: 256,
+                    glb_bytes: 256 << 10,
+                },
             ],
             vec![0, 1],
             arch,
@@ -1054,8 +1125,11 @@ mod tests {
     #[test]
     fn hetero_big_core_outruns_little_core() {
         let dnn = zoo::two_conv_example();
-        let arch =
-            gemini_arch::ArchConfig::builder().cores(6, 6).cuts(2, 1).build().unwrap();
+        let arch = gemini_arch::ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(2, 1)
+            .build()
+            .unwrap();
         let ev = Evaluator::hetero(&arch, &big_little_spec(&arch));
         // Same single-core layer on a west (big) vs east (little) core.
         let on_big = one_layer_mapping(&dnn, &[arch.core_at(0, 0)], 1);
@@ -1073,13 +1147,22 @@ mod tests {
     #[test]
     fn hetero_little_core_spills_first() {
         let dnn = zoo::two_conv_example();
-        let arch =
-            gemini_arch::ArchConfig::builder().cores(6, 6).cuts(2, 1).build().unwrap();
+        let arch = gemini_arch::ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(2, 1)
+            .build()
+            .unwrap();
         let spec = gemini_arch::HeteroSpec::new(
             vec![
-                gemini_arch::CoreClass { macs: 1024, glb_bytes: 2 << 20 },
+                gemini_arch::CoreClass {
+                    macs: 1024,
+                    glb_bytes: 2 << 20,
+                },
                 // 16 KiB GLB: conv1's 18 KiB weights overflow.
-                gemini_arch::CoreClass { macs: 1024, glb_bytes: 16 << 10 },
+                gemini_arch::CoreClass {
+                    macs: 1024,
+                    glb_bytes: 16 << 10,
+                },
             ],
             vec![0, 1],
             &arch,

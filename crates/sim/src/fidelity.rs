@@ -81,13 +81,19 @@ pub fn stage_flows(ev: &Evaluator, dnn: &Dnn, gm: &GroupMapping) -> Vec<Flow> {
                 Instr::Send { to, bytes, .. } => {
                     let mut path = Vec::new();
                     net.route_cores(*core, *to, &mut path);
-                    flows.push(Flow { path, bytes: *bytes as f64 });
+                    flows.push(Flow {
+                        path,
+                        bytes: *bytes as f64,
+                    });
                 }
                 Instr::ReadDram { from, bytes, .. } => {
                     for (dram, v) in dram_targets(*from, *bytes as f64) {
                         let ports = net.dram_port_coords(dram).len() as f64;
                         net.multicast_from_dram(dram, std::slice::from_ref(core), &mut tree, |p| {
-                            flows.push(Flow { path: p.to_vec(), bytes: v / ports });
+                            flows.push(Flow {
+                                path: p.to_vec(),
+                                bytes: v / ports,
+                            });
                         });
                     }
                 }
@@ -95,7 +101,10 @@ pub fn stage_flows(ev: &Evaluator, dnn: &Dnn, gm: &GroupMapping) -> Vec<Flow> {
                     for (dram, v) in dram_targets(*to, *bytes as f64) {
                         let ports = net.dram_port_coords(dram).len() as f64;
                         net.for_each_dram_write_path(*core, dram, &mut scratch, |p| {
-                            flows.push(Flow { path: p.to_vec(), bytes: v / ports });
+                            flows.push(Flow {
+                                path: p.to_vec(),
+                                bytes: v / ports,
+                            });
                         });
                     }
                 }
@@ -123,7 +132,11 @@ pub fn check_group(
 ) -> FidelityReport {
     let mut flows = stage_flows(ev, dnn, gm);
     let total: f64 = flows.iter().map(|f| f.bytes).sum();
-    let scale = if total > cap_bytes && cap_bytes > 0.0 { cap_bytes / total } else { 1.0 };
+    let scale = if total > cap_bytes && cap_bytes > 0.0 {
+        cap_bytes / total
+    } else {
+        1.0
+    };
     if scale < 1.0 {
         for f in &mut flows {
             f.bytes *= scale;
@@ -136,8 +149,7 @@ pub fn check_group(
     for f in &flows {
         traffic.add_path(&f.path, f.bytes);
     }
-    let analytic =
-        bottleneck + ev.options().congestion_weight * traffic.mean_link_time(net);
+    let analytic = bottleneck + ev.options().congestion_weight * traffic.mean_link_time(net);
     let fluid = simulate_flows(net, &flows);
     let packet = simulate_packets(net, &flows, cfg);
 
@@ -160,7 +172,9 @@ pub fn check_dnn(
     cfg: &PacketSimConfig,
     cap_bytes: f64,
 ) -> Vec<FidelityReport> {
-    gms.iter().map(|gm| check_group(ev, dnn, gm, cfg, cap_bytes)).collect()
+    gms.iter()
+        .map(|gm| check_group(ev, dnn, gm, cfg, cap_bytes))
+        .collect()
 }
 
 #[cfg(test)]
@@ -269,7 +283,13 @@ mod tests {
         let arch = presets::g_arch_72();
         let ev = Evaluator::new(&arch);
         let (dnn, gm) = pipeline_mapping(&arch);
-        let reports = check_dnn(&ev, &dnn, &[gm.clone(), gm], &PacketSimConfig::default(), 64e3);
+        let reports = check_dnn(
+            &ev,
+            &dnn,
+            &[gm.clone(), gm],
+            &PacketSimConfig::default(),
+            64e3,
+        );
         assert_eq!(reports.len(), 2);
         assert_eq!(reports[0], reports[1]);
     }

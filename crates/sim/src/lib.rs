@@ -34,6 +34,8 @@ pub use evaluate::{DnnReport, EvalOptions, Evaluator, GroupReport, StageBottlene
 pub use fidelity::{check_dnn, check_group, stage_flows, FidelityReport};
 pub use mapping::{DramSel, GroupMapping, LayerAssignment, PredSrc};
 pub use profile::CoreProfile;
-pub use program::{generate_program, replay_program, validate_program, CoreReplay, GroupProgram, Instr};
+pub use program::{
+    generate_program, replay_program, validate_program, CoreReplay, GroupProgram, Instr,
+};
 pub use stats::{utilization, utilization_from, UtilizationReport};
 pub use workload::part_workload;

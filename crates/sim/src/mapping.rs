@@ -100,11 +100,21 @@ pub enum MappingError {
 impl std::fmt::Display for MappingError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            MappingError::BadCoverage { layer, covered, expected } => {
-                write!(f, "{layer}: parts cover {covered} of {expected} output elements")
+            MappingError::BadCoverage {
+                layer,
+                covered,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "{layer}: parts cover {covered} of {expected} output elements"
+                )
             }
             MappingError::BadPredRef { layer } => {
-                write!(f, "{layer}: in-group predecessor reference is not an earlier member")
+                write!(
+                    f,
+                    "{layer}: in-group predecessor reference is not an earlier member"
+                )
             }
             MappingError::PredArity { layer } => {
                 write!(f, "{layer}: pred_srcs arity does not match the DNN graph")
@@ -134,7 +144,11 @@ impl GroupMapping {
             let expected = shape.elems() * self.batch_unit as u64;
             let covered: u64 = m.parts.iter().map(|(_, r)| r.elems()).sum();
             if covered != expected {
-                return Err(MappingError::BadCoverage { layer: m.layer, covered, expected });
+                return Err(MappingError::BadCoverage {
+                    layer: m.layer,
+                    covered,
+                    expected,
+                });
             }
             if m.pred_srcs.len() != dnn.preds(m.layer).len() {
                 return Err(MappingError::PredArity { layer: m.layer });
@@ -228,21 +242,32 @@ mod tests {
     fn coverage_violation_detected() {
         let (dnn, mut gm) = example_mapping();
         gm.members[0].parts.pop();
-        assert!(matches!(gm.validate(&dnn), Err(MappingError::BadCoverage { .. })));
+        assert!(matches!(
+            gm.validate(&dnn),
+            Err(MappingError::BadCoverage { .. })
+        ));
     }
 
     #[test]
     fn forward_pred_ref_detected() {
         let (dnn, mut gm) = example_mapping();
         gm.members[0].pred_srcs = vec![PredSrc::InGroup { member_idx: 1 }];
-        assert!(matches!(gm.validate(&dnn), Err(MappingError::BadPredRef { .. })));
+        assert!(matches!(
+            gm.validate(&dnn),
+            Err(MappingError::BadPredRef { .. })
+        ));
     }
 
     #[test]
     fn arity_violation_detected() {
         let (dnn, mut gm) = example_mapping();
-        gm.members[1].pred_srcs.push(PredSrc::Dram(DramSel::Interleaved));
-        assert!(matches!(gm.validate(&dnn), Err(MappingError::PredArity { .. })));
+        gm.members[1]
+            .pred_srcs
+            .push(PredSrc::Dram(DramSel::Interleaved));
+        assert!(matches!(
+            gm.validate(&dnn),
+            Err(MappingError::PredArity { .. })
+        ));
     }
 
     #[test]

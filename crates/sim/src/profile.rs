@@ -37,7 +37,10 @@ impl CoreProfile {
 
     /// A heterogeneous profile following a per-chiplet class assignment.
     pub fn heterogeneous(arch: &ArchConfig, spec: &HeteroSpec) -> Self {
-        let class_of_core = arch.cores().map(|id| spec.class_of_core(arch, id)).collect();
+        let class_of_core = arch
+            .cores()
+            .map(|id| spec.class_of_core(arch, id))
+            .collect();
         let explorers = spec
             .classes()
             .iter()
@@ -45,7 +48,12 @@ impl CoreProfile {
             .collect();
         let glbs = spec.classes().iter().map(|c| c.glb_bytes).collect();
         let macs = spec.classes().iter().map(|c| c.macs).collect();
-        Self { class_of_core, explorers, glbs, macs }
+        Self {
+            class_of_core,
+            explorers,
+            glbs,
+            macs,
+        }
     }
 
     /// Number of distinct core classes.
@@ -109,12 +117,21 @@ mod tests {
 
     #[test]
     fn heterogeneous_profile_resolves_by_chiplet() {
-        let arch =
-            gemini_arch::ArchConfig::builder().cores(6, 6).cuts(2, 1).build().unwrap();
+        let arch = gemini_arch::ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(2, 1)
+            .build()
+            .unwrap();
         let spec = HeteroSpec::new(
             vec![
-                CoreClass { macs: 2048, glb_bytes: 4 << 20 },
-                CoreClass { macs: 512, glb_bytes: 1 << 20 },
+                CoreClass {
+                    macs: 2048,
+                    glb_bytes: 4 << 20,
+                },
+                CoreClass {
+                    macs: 512,
+                    glb_bytes: 1 << 20,
+                },
             ],
             vec![0, 1],
             &arch,
@@ -131,12 +148,21 @@ mod tests {
 
     #[test]
     fn class_explorers_are_shared_within_class() {
-        let arch =
-            gemini_arch::ArchConfig::builder().cores(6, 6).cuts(2, 1).build().unwrap();
+        let arch = gemini_arch::ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(2, 1)
+            .build()
+            .unwrap();
         let spec = HeteroSpec::new(
             vec![
-                CoreClass { macs: 2048, glb_bytes: 4 << 20 },
-                CoreClass { macs: 512, glb_bytes: 1 << 20 },
+                CoreClass {
+                    macs: 2048,
+                    glb_bytes: 4 << 20,
+                },
+                CoreClass {
+                    macs: 512,
+                    glb_bytes: 1 << 20,
+                },
             ],
             vec![0, 1],
             &arch,

@@ -118,7 +118,13 @@ impl GroupProgram {
         self.streams
             .values()
             .flatten()
-            .map(|i| if let Instr::Send { bytes, .. } = i { *bytes } else { 0 })
+            .map(|i| {
+                if let Instr::Send { bytes, .. } = i {
+                    *bytes
+                } else {
+                    0
+                }
+            })
             .sum()
     }
 
@@ -156,7 +162,11 @@ pub fn generate_program(dnn: &Dnn, gm: &GroupMapping) -> GroupProgram {
                 let k_frac = region.k.len() as f64 / layer.ofmap.c as f64;
                 let bytes = (layer.weight_bytes() as f64 * k_frac).round() as u64;
                 if bytes > 0 {
-                    stream.push(Instr::LoadWeights { layer: m.layer, from, bytes });
+                    stream.push(Instr::LoadWeights {
+                        layer: m.layer,
+                        from,
+                        bytes,
+                    });
                 }
             }
             // Inputs.
@@ -178,7 +188,11 @@ pub fn generate_program(dnn: &Dnn, gm: &GroupMapping) -> GroupProgram {
                         for (pc, pr) in &producer.parts {
                             let bytes = need.overlap_bytes(pr);
                             if bytes > 0 && pc != core {
-                                stream.push(Instr::Recv { layer: m.layer, from: *pc, bytes });
+                                stream.push(Instr::Recv {
+                                    layer: m.layer,
+                                    from: *pc,
+                                    bytes,
+                                });
                             }
                         }
                     }
@@ -192,7 +206,11 @@ pub fn generate_program(dnn: &Dnn, gm: &GroupMapping) -> GroupProgram {
             });
             // Outputs.
             if let Some(to) = m.of_dst {
-                stream.push(Instr::WriteDram { layer: m.layer, to, bytes: region.bytes() });
+                stream.push(Instr::WriteDram {
+                    layer: m.layer,
+                    to,
+                    bytes: region.bytes(),
+                });
             }
         }
     }
@@ -200,7 +218,9 @@ pub fn generate_program(dnn: &Dnn, gm: &GroupMapping) -> GroupProgram {
     let mut sends: Vec<(CoreId, Instr)> = Vec::new();
     for m in &gm.members {
         for (pi, src) in m.pred_srcs.iter().enumerate() {
-            let PredSrc::InGroup { member_idx } = src else { continue };
+            let PredSrc::InGroup { member_idx } = src else {
+                continue;
+            };
             let producer = &gm.members[*member_idx];
             for (core, region) in &m.parts {
                 if region.is_empty() {
@@ -212,7 +232,11 @@ pub fn generate_program(dnn: &Dnn, gm: &GroupMapping) -> GroupProgram {
                     if bytes > 0 && pc != core {
                         sends.push((
                             *pc,
-                            Instr::Send { layer: producer.layer, to: *core, bytes },
+                            Instr::Send {
+                                layer: producer.layer,
+                                to: *core,
+                                bytes,
+                            },
                         ));
                     }
                 }
@@ -249,7 +273,11 @@ pub enum ProgramError {
 impl std::fmt::Display for ProgramError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ProgramError::UnbalancedFlows { from, to, imbalance } => {
+            ProgramError::UnbalancedFlows {
+                from,
+                to,
+                imbalance,
+            } => {
                 write!(f, "flow {from}->{to} unbalanced by {imbalance} bytes")
             }
             ProgramError::UnassignedCompute { core, layer } => {
@@ -287,7 +315,11 @@ pub fn validate_program(
     }
     for ((from, to), imbalance) in flows {
         if imbalance != 0 {
-            return Err(ProgramError::UnbalancedFlows { from, to, imbalance });
+            return Err(ProgramError::UnbalancedFlows {
+                from,
+                to,
+                imbalance,
+            });
         }
     }
     // Compute assignments.
@@ -295,11 +327,13 @@ pub fn validate_program(
         for i in stream {
             if let Instr::Compute { layer, region, .. } = i {
                 let assigned = gm.members.iter().any(|m| {
-                    m.layer == *layer
-                        && m.parts.iter().any(|(c, r)| c == core && r == region)
+                    m.layer == *layer && m.parts.iter().any(|(c, r)| c == core && r == region)
                 });
                 if !assigned {
-                    return Err(ProgramError::UnassignedCompute { core: *core, layer: *layer });
+                    return Err(ProgramError::UnassignedCompute {
+                        core: *core,
+                        layer: *layer,
+                    });
                 }
             }
         }
@@ -442,13 +476,25 @@ mod tests {
             .streams
             .values()
             .flatten()
-            .filter_map(|i| if let Instr::Send { bytes, .. } = i { Some(*bytes) } else { None })
+            .filter_map(|i| {
+                if let Instr::Send { bytes, .. } = i {
+                    Some(*bytes)
+                } else {
+                    None
+                }
+            })
             .sum();
         let recvd: u64 = prog
             .streams
             .values()
             .flatten()
-            .filter_map(|i| if let Instr::Recv { bytes, .. } = i { Some(*bytes) } else { None })
+            .filter_map(|i| {
+                if let Instr::Recv { bytes, .. } = i {
+                    Some(*bytes)
+                } else {
+                    None
+                }
+            })
             .sum();
         assert_eq!(sent, recvd);
         assert!(sent > 0, "pipelined halves exchange halo rows");
@@ -459,8 +505,14 @@ mod tests {
         let (dnn, gm) = pipeline_mapping();
         let mut prog = generate_program(&dnn, &gm);
         // Drop one receive: flow imbalance.
-        let stream = prog.streams.get_mut(&CoreId(2)).expect("core 2 participates");
-        let pos = stream.iter().position(|i| matches!(i, Instr::Recv { .. })).expect("has recv");
+        let stream = prog
+            .streams
+            .get_mut(&CoreId(2))
+            .expect("core 2 participates");
+        let pos = stream
+            .iter()
+            .position(|i| matches!(i, Instr::Recv { .. }))
+            .expect("has recv");
         stream.remove(pos);
         assert!(matches!(
             validate_program(&dnn, &gm, &prog),
@@ -473,11 +525,14 @@ mod tests {
         let (dnn, gm) = pipeline_mapping();
         let mut prog = generate_program(&dnn, &gm);
         let s1 = dnn.layer(LayerId(1)).ofmap;
-        prog.streams.entry(CoreId(9)).or_default().push(Instr::Compute {
-            layer: LayerId(1),
-            region: Region::full(s1, 1),
-            macs: 1,
-        });
+        prog.streams
+            .entry(CoreId(9))
+            .or_default()
+            .push(Instr::Compute {
+                layer: LayerId(1),
+                region: Region::full(s1, 1),
+                macs: 1,
+            });
         assert!(matches!(
             validate_program(&dnn, &gm, &prog),
             Err(ProgramError::UnassignedCompute { .. })
@@ -537,9 +592,11 @@ mod tests {
             prog.streams
                 .values()
                 .flatten()
-                .filter_map(
-                    |i| if let Instr::Recv { bytes, .. } = i { Some(*bytes) } else { None }
-                )
+                .filter_map(|i| if let Instr::Recv { bytes, .. } = i {
+                    Some(*bytes)
+                } else {
+                    None
+                })
                 .sum::<u64>()
         );
     }

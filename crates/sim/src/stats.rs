@@ -56,12 +56,7 @@ impl UtilizationReport {
 
 /// Computes the utilization of a group mapping (one evaluator call plus
 /// a per-part compute pass).
-pub fn utilization(
-    ev: &Evaluator,
-    dnn: &Dnn,
-    gm: &GroupMapping,
-    batch: u32,
-) -> UtilizationReport {
+pub fn utilization(ev: &Evaluator, dnn: &Dnn, gm: &GroupMapping, batch: u32) -> UtilizationReport {
     let report = ev.evaluate_group(dnn, gm, batch);
     utilization_from(ev, dnn, gm, &report)
 }
@@ -93,8 +88,7 @@ pub fn utilization_from(
         }
     }
 
-    let core_busy: Vec<f64> =
-        core_seconds.iter().map(|&s| (s / stage).min(1.0)).collect();
+    let core_busy: Vec<f64> = core_seconds.iter().map(|&s| (s / stage).min(1.0)).collect();
     let used: Vec<&f64> = core_busy.iter().filter(|&&b| b > 0.0).collect();
     let mean_busy = if used.is_empty() {
         0.0
@@ -158,10 +152,7 @@ mod tests {
 
     use crate::mapping::{DramSel, LayerAssignment, PredSrc};
 
-    fn k_split_mapping(
-        arch: &gemini_arch::ArchConfig,
-        n: u32,
-    ) -> (Dnn, GroupMapping) {
+    fn k_split_mapping(arch: &gemini_arch::ArchConfig, n: u32) -> (Dnn, GroupMapping) {
         let dnn = zoo::two_conv_example();
         let conv1 = LayerId(1);
         let s = dnn.layer(conv1).ofmap;
@@ -220,12 +211,21 @@ mod tests {
     fn hetero_split_is_unbalanced() {
         // The same equal K-split on a big/little fabric leaves the big
         // cores idle waiting for the little ones.
-        let arch =
-            gemini_arch::ArchConfig::builder().cores(6, 6).cuts(1, 2).build().unwrap();
+        let arch = gemini_arch::ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(1, 2)
+            .build()
+            .unwrap();
         let spec = gemini_arch::HeteroSpec::new(
             vec![
-                gemini_arch::CoreClass { macs: 4096, glb_bytes: 2 << 20 },
-                gemini_arch::CoreClass { macs: 512, glb_bytes: 2 << 20 },
+                gemini_arch::CoreClass {
+                    macs: 4096,
+                    glb_bytes: 2 << 20,
+                },
+                gemini_arch::CoreClass {
+                    macs: 512,
+                    glb_bytes: 2 << 20,
+                },
             ],
             vec![0, 1],
             &arch,
@@ -275,8 +275,11 @@ mod tests {
 
     #[test]
     fn d2d_share_zero_on_monolith() {
-        let arch =
-            gemini_arch::ArchConfig::builder().cores(6, 6).cuts(1, 1).build().unwrap();
+        let arch = gemini_arch::ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(1, 1)
+            .build()
+            .unwrap();
         let ev = Evaluator::new(&arch);
         let (dnn, gm) = k_split_mapping(&arch, 6);
         let u = utilization(&ev, &dnn, &gm, 1);

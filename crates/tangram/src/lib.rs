@@ -41,7 +41,10 @@ pub struct TangramMapper<'a> {
 impl<'a> TangramMapper<'a> {
     /// Creates a mapper for an evaluator.
     pub fn new(ev: &'a Evaluator) -> Self {
-        Self { ev, partition: PartitionOptions::default() }
+        Self {
+            ev,
+            partition: PartitionOptions::default(),
+        }
     }
 
     /// Overrides the partitioner options.
@@ -52,7 +55,10 @@ impl<'a> TangramMapper<'a> {
 
     /// Maps a DNN with the Tangram heuristic.
     pub fn map(&self, dnn: &Dnn, batch: u32) -> MappedDnn {
-        let opts = MappingOptions { partition: self.partition.clone(), ..Default::default() };
+        let opts = MappingOptions {
+            partition: self.partition.clone(),
+            ..Default::default()
+        };
         MappingEngine::new(self.ev).map_stripe(dnn, batch, &opts)
     }
 }
@@ -120,18 +126,19 @@ fn side(m: &MappedDnn, ev: &Evaluator) -> ComparisonSide {
 
 /// Runs T-Map and G-Map on the same (architecture, DNN, batch) and
 /// reports both.
-pub fn compare_mappings(
-    ev: &Evaluator,
-    dnn: &Dnn,
-    batch: u32,
-    sa: &SaOptions,
-) -> MapComparison {
+pub fn compare_mappings(ev: &Evaluator, dnn: &Dnn, batch: u32, sa: &SaOptions) -> MapComparison {
     let engine = MappingEngine::new(ev);
     let opts_t = MappingOptions::default();
-    let opts_g = MappingOptions { sa: sa.clone(), ..Default::default() };
+    let opts_g = MappingOptions {
+        sa: sa.clone(),
+        ..Default::default()
+    };
     let t = engine.map_stripe(dnn, batch, &opts_t);
     let g = engine.map(dnn, batch, &opts_g);
-    MapComparison { tangram: side(&t, ev), gemini: side(&g, ev) }
+    MapComparison {
+        tangram: side(&t, ev),
+        gemini: side(&g, ev),
+    }
 }
 
 #[cfg(test)]
@@ -161,7 +168,11 @@ mod tests {
         // S-Arch where D2D avoidance matters most.
         let arch = presets::simba_s_arch();
         let ev = Evaluator::new(&arch);
-        let sa = SaOptions { iters: 400, seed: 11, ..Default::default() };
+        let sa = SaOptions {
+            iters: 400,
+            seed: 11,
+            ..Default::default()
+        };
         let cmp = compare_mappings(&ev, &zoo::tiny_resnet(), 8, &sa);
         assert!(
             cmp.speedup() >= 1.0,
@@ -175,7 +186,11 @@ mod tests {
     fn comparison_metrics_consistent() {
         let arch = presets::g_arch_72();
         let ev = Evaluator::new(&arch);
-        let sa = SaOptions { iters: 100, seed: 2, ..Default::default() };
+        let sa = SaOptions {
+            iters: 100,
+            seed: 2,
+            ..Default::default()
+        };
         let cmp = compare_mappings(&ev, &zoo::two_conv_example(), 2, &sa);
         assert!(cmp.tangram.hop_bytes > 0.0);
         assert!(cmp.hop_reduction() <= 1.0);

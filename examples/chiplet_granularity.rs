@@ -15,8 +15,14 @@ fn main() {
     let batch = 16;
     let cost = CostModel::default();
 
-    println!("workload: {} | 36 cores @1024 MACs, cuts swept\n", dnn.name());
-    println!("{:<10} {:>9} {:>12} {:>12} {:>10}", "chiplets", "MC ($)", "delay (ms)", "energy (mJ)", "D2D area");
+    println!(
+        "workload: {} | 36 cores @1024 MACs, cuts swept\n",
+        dnn.name()
+    );
+    println!(
+        "{:<10} {:>9} {:>12} {:>12} {:>10}",
+        "chiplets", "MC ($)", "delay (ms)", "energy (mJ)", "D2D area"
+    );
 
     // (xcut, ycut) pairs on the 6x6 grid, coarse to fine.
     for (xc, yc) in [(1, 1), (2, 1), (2, 2), (3, 3), (6, 3), (6, 6)] {
@@ -33,7 +39,11 @@ fn main() {
         let ev = Evaluator::new(&arch);
         let engine = MappingEngine::new(&ev);
         let opts = MappingOptions {
-            sa: SaOptions { iters: 800, seed: 7, ..Default::default() },
+            sa: SaOptions {
+                iters: 800,
+                seed: 7,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let mapped = engine.map(&dnn, batch, &opts);

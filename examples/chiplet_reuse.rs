@@ -12,7 +12,11 @@ fn eval(arch: &ArchConfig, dnn: &gemini::model::Dnn, label: &str, cost: &CostMod
     let ev = Evaluator::new(arch);
     let engine = MappingEngine::new(&ev);
     let opts = MappingOptions {
-        sa: SaOptions { iters: 600, seed: 5, ..Default::default() },
+        sa: SaOptions {
+            iters: 600,
+            seed: 5,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let m = engine.map(dnn, 16, &opts);
@@ -77,8 +81,7 @@ fn main() {
     // design amortizes mask/design costs over both products' volumes.
     let nre = gemini::cost::NreModel::default();
     let area = gemini::arch::AreaModel::default();
-    let bespoke =
-        nre.per_unit_for(&native_128, &area) + nre.per_unit_for(&native_512, &area);
+    let bespoke = nre.per_unit_for(&native_128, &area) + nre.per_unit_for(&native_512, &area);
     let shared = nre.per_unit_for(&native_128, &area); // one design, reused
     println!(
         "\nNRE per unit: two bespoke designs ${:.0} vs one reused chiplet ${:.0} \

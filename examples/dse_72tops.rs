@@ -12,7 +12,9 @@ use gemini::prelude::*;
 
 fn main() {
     let spec = DseSpec::table1(72.0);
-    let full = std::env::var("GEMINI_DSE_MODE").map(|m| m == "full").unwrap_or(false);
+    let full = std::env::var("GEMINI_DSE_MODE")
+        .map(|m| m == "full")
+        .unwrap_or(false);
     let stride = if full { 1 } else { 37 };
 
     let dnns = vec![gemini::model::zoo::transformer_base()];
@@ -20,7 +22,10 @@ fn main() {
         objective: Objective::mc_e_d(),
         batch: 64,
         mapping: MappingOptions {
-            sa: SaOptions { iters: if full { 2000 } else { 400 }, ..Default::default() },
+            sa: SaOptions {
+                iters: if full { 2000 } else { 400 },
+                ..Default::default()
+            },
             ..Default::default()
         },
         stride,
@@ -37,7 +42,11 @@ fn main() {
 
     let t0 = std::time::Instant::now();
     let res = run_dse(&dnns, &spec, &opts);
-    println!("explored {} candidates in {:.1?}\n", res.records.len(), t0.elapsed());
+    println!(
+        "explored {} candidates in {:.1?}\n",
+        res.records.len(),
+        t0.elapsed()
+    );
 
     let mut ranked: Vec<_> = res.records.iter().collect();
     ranked.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite"));

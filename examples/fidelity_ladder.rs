@@ -27,17 +27,32 @@ fn main() {
         &dnn,
         batch,
         &MappingOptions {
-            sa: SaOptions { iters: 800, seed: 17, ..Default::default() },
+            sa: SaOptions {
+                iters: 800,
+                seed: 17,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );
 
     let cfg = PacketSimConfig::default();
-    println!("workload: {} on {} (batch {batch})", dnn.name(), arch.paper_tuple());
+    println!(
+        "workload: {} on {} (batch {batch})",
+        dnn.name(),
+        arch.paper_tuple()
+    );
     println!("\nper-group stage network time, microseconds (cap 512 kB per replay):");
     println!(
         "{:>5}  {:>9} {:>9} {:>9} {:>7}   {:>9} {:>9} {:>9} {:>7}",
-        "group", "T analyt", "T fluid", "T packet", "T p/a", "G analyt", "G fluid", "G packet",
+        "group",
+        "T analyt",
+        "T fluid",
+        "T packet",
+        "T p/a",
+        "G analyt",
+        "G fluid",
+        "G packet",
         "G p/a"
     );
 

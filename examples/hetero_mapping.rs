@@ -23,8 +23,14 @@ fn main() {
         .expect("valid fabric");
     let spec = HeteroSpec::new(
         vec![
-            CoreClass { macs: 1536, glb_bytes: 3 << 20 },
-            CoreClass { macs: 512, glb_bytes: 1 << 20 },
+            CoreClass {
+                macs: 1536,
+                glb_bytes: 3 << 20,
+            },
+            CoreClass {
+                macs: 512,
+                glb_bytes: 1 << 20,
+            },
         ],
         vec![0, 1],
         &arch,
@@ -51,8 +57,15 @@ fn main() {
     // Homogeneous reference at the same total TOPS.
     let ev_ref = Evaluator::new(&arch);
     let engine_ref = MappingEngine::new(&ev_ref);
-    let sa = SaOptions { iters: 800, seed: 3, ..Default::default() };
-    let opts = MappingOptions { sa: sa.clone(), ..Default::default() };
+    let sa = SaOptions {
+        iters: 800,
+        seed: 3,
+        ..Default::default()
+    };
+    let opts = MappingOptions {
+        sa: sa.clone(),
+        ..Default::default()
+    };
     let reference = engine_ref.map(&dnn, batch, &opts);
     let ref_edp = reference.report.edp();
 
@@ -64,12 +77,21 @@ fn main() {
     let weighted = engine.map_hetero(
         &dnn,
         batch,
-        &MappingOptions { sa: SaOptions { iters: 0, ..sa.clone() }, ..Default::default() },
+        &MappingOptions {
+            sa: SaOptions {
+                iters: 0,
+                ..sa.clone()
+            },
+            ..Default::default()
+        },
         &spec,
     );
     let annealed = engine.map_hetero(&dnn, batch, &opts, &spec);
 
-    println!("{:<26} {:>11} {:>11} {:>9}", "mapping", "delay (ms)", "energy (mJ)", "EDP/ref");
+    println!(
+        "{:<26} {:>11} {:>11} {:>9}",
+        "mapping", "delay (ms)", "energy (mJ)", "EDP/ref"
+    );
     for (name, m) in [
         ("homogeneous + SA (ref)", &reference),
         ("blind stripe", &blind),

@@ -14,7 +14,11 @@ fn main() {
     let ev = Evaluator::new(&arch);
     let engine = MappingEngine::new(&ev);
     let opts = MappingOptions {
-        sa: SaOptions { iters: 400, seed: 2, ..Default::default() },
+        sa: SaOptions {
+            iters: 400,
+            seed: 2,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mapped = engine.map(&dnn, 4, &opts);
@@ -46,7 +50,11 @@ fn main() {
                     Instr::Recv { layer, from, bytes } => {
                         println!("    RECV     {layer} <- {from} {bytes}B")
                     }
-                    Instr::Compute { layer, region, macs } => {
+                    Instr::Compute {
+                        layer,
+                        region,
+                        macs,
+                    } => {
                         println!("    COMPUTE  {layer} {region} ({macs} MACs)")
                     }
                     Instr::Send { layer, to, bytes } => {

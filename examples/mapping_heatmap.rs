@@ -35,7 +35,11 @@ fn main() {
 
     let t = engine.map_stripe(&dnn, batch, &MappingOptions::default());
     let g_opts = MappingOptions {
-        sa: SaOptions { iters: 1500, seed: 3, ..Default::default() },
+        sa: SaOptions {
+            iters: 1500,
+            seed: 3,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let g = engine.map(&dnn, batch, &g_opts);
@@ -50,11 +54,23 @@ fn main() {
 
     let (t_hops, t_d2d) = totals(&ev, &t);
     let (g_hops, g_d2d) = totals(&ev, &g);
-    println!("total hop-bytes : Tangram {:.2e}  Gemini {:.2e}  ({:+.1}%)",
-        t_hops, g_hops, (g_hops / t_hops - 1.0) * 100.0);
-    println!("D2D hop-bytes   : Tangram {:.2e}  Gemini {:.2e}  ({:+.1}%)",
-        t_d2d, g_d2d, (g_d2d / t_d2d.max(1.0) - 1.0) * 100.0);
-    println!("peak pressure   : Tangram {:.2e}  Gemini {:.2e}", ht.peak_pressure(), hg.peak_pressure());
+    println!(
+        "total hop-bytes : Tangram {:.2e}  Gemini {:.2e}  ({:+.1}%)",
+        t_hops,
+        g_hops,
+        (g_hops / t_hops - 1.0) * 100.0
+    );
+    println!(
+        "D2D hop-bytes   : Tangram {:.2e}  Gemini {:.2e}  ({:+.1}%)",
+        t_d2d,
+        g_d2d,
+        (g_d2d / t_d2d.max(1.0) - 1.0) * 100.0
+    );
+    println!(
+        "peak pressure   : Tangram {:.2e}  Gemini {:.2e}",
+        ht.peak_pressure(),
+        hg.peak_pressure()
+    );
 }
 
 fn totals(ev: &Evaluator, m: &MappedDnn) -> (f64, f64) {

@@ -63,7 +63,11 @@ fn main() {
         objective: Objective::e_d(),
         batch: 8,
         mapping: MappingOptions {
-            sa: SaOptions { iters: 200, seed: 9, ..Default::default() },
+            sa: SaOptions {
+                iters: 200,
+                seed: 9,
+                ..Default::default()
+            },
             ..Default::default()
         },
         ..Default::default()
@@ -91,9 +95,11 @@ fn main() {
     let jt = find(&for_tf.best_record().arch);
     let jj = joint.best_record();
     println!("\njoint-objective score (E*D, geomean over both DNNs):");
-    for (label, r) in
-        [("CNN-specialized", jc), ("TF-specialized", jt), ("joint optimum", jj)]
-    {
+    for (label, r) in [
+        ("CNN-specialized", jc),
+        ("TF-specialized", jt),
+        ("joint optimum", jj),
+    ] {
         println!(
             "  {:<18} {:.4e}  ({:+.1}% vs joint)",
             label,

@@ -11,12 +11,24 @@ fn main() {
     let arch = gemini::arch::presets::g_arch_72();
     let batch = 16;
 
-    println!("workload : {} ({:.2} GMACs/sample)", dnn.name(), dnn.total_macs(1) as f64 / 1e9);
-    println!("arch     : {}  [{:.1} TOPS]", arch.paper_tuple(), arch.tops());
+    println!(
+        "workload : {} ({:.2} GMACs/sample)",
+        dnn.name(),
+        dnn.total_macs(1) as f64 / 1e9
+    );
+    println!(
+        "arch     : {}  [{:.1} TOPS]",
+        arch.paper_tuple(),
+        arch.tops()
+    );
     println!("batch    : {batch}\n");
 
     let ev = Evaluator::new(&arch);
-    let sa = SaOptions { iters: 1500, seed: 1, ..Default::default() };
+    let sa = SaOptions {
+        iters: 1500,
+        seed: 1,
+        ..Default::default()
+    };
     let cmp = compare_mappings(&ev, &dnn, batch, &sa);
 
     println!(

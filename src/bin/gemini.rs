@@ -34,7 +34,9 @@ fn preset(name: &str) -> Option<ArchConfig> {
 
 /// Minimal `--flag value` argument scanner.
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn usage() -> ExitCode {
@@ -82,8 +84,12 @@ fn main() -> ExitCode {
                 eprintln!("unknown model; try `gemini models`");
                 return ExitCode::FAILURE;
             };
-            let batch: u32 = flag(&args, "--batch").and_then(|v| v.parse().ok()).unwrap_or(8);
-            let iters: u32 = flag(&args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(800);
+            let batch: u32 = flag(&args, "--batch")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(8);
+            let iters: u32 = flag(&args, "--iters")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(800);
             let arch = gemini::arch::presets::g_arch_72();
             let ev = Evaluator::new(&arch);
             let engine = MappingEngine::new(&ev);
@@ -106,11 +112,17 @@ fn main() -> ExitCode {
                 &dnn,
                 batch,
                 &MappingOptions {
-                    sa: SaOptions { iters, ..Default::default() },
+                    sa: SaOptions {
+                        iters,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 },
             );
-            println!("busiest-group link pressure on {} (0-9):", arch.paper_tuple());
+            println!(
+                "busiest-group link pressure on {} (0-9):",
+                arch.paper_tuple()
+            );
             println!("\nT-Map:\n{}", busiest(&t).render_ascii());
             println!("G-Map (SA {iters}):\n{}", busiest(&g).render_ascii());
             ExitCode::SUCCESS
@@ -133,7 +145,10 @@ fn main() -> ExitCode {
             };
             let mc = CostModel::default().evaluate(&arch);
             println!("architecture : {}", arch.paper_tuple());
-            println!("silicon      : ${:8.2}  ({:.1} mm2 total)", mc.silicon, mc.silicon_mm2);
+            println!(
+                "silicon      : ${:8.2}  ({:.1} mm2 total)",
+                mc.silicon, mc.silicon_mm2
+            );
             for d in &mc.per_die {
                 println!(
                     "  {:?} die    : {:6.1} mm2 x{}  yield {:.3}  ${:.2} each",
@@ -141,7 +156,10 @@ fn main() -> ExitCode {
                 );
             }
             println!("DRAM         : ${:8.2}", mc.dram);
-            println!("packaging    : ${:8.2}  ({:.0} mm2 substrate)", mc.package, mc.substrate_mm2);
+            println!(
+                "packaging    : ${:8.2}  ({:.0} mm2 substrate)",
+                mc.package, mc.substrate_mm2
+            );
             println!("total        : ${:8.2}", mc.total());
             ExitCode::SUCCESS
         }
@@ -160,11 +178,22 @@ fn main() -> ExitCode {
                 },
                 None => gemini::arch::presets::g_arch_72(),
             };
-            let batch: u32 = flag(&args, "--batch").and_then(|v| v.parse().ok()).unwrap_or(16);
-            let iters: u32 = flag(&args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(1000);
-            println!("mapping {} onto {} (batch {batch}, SA {iters})", dnn.name(), arch.paper_tuple());
+            let batch: u32 = flag(&args, "--batch")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(16);
+            let iters: u32 = flag(&args, "--iters")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1000);
+            println!(
+                "mapping {} onto {} (batch {batch}, SA {iters})",
+                dnn.name(),
+                arch.paper_tuple()
+            );
             let ev = Evaluator::new(&arch);
-            let sa = SaOptions { iters, ..Default::default() };
+            let sa = SaOptions {
+                iters,
+                ..Default::default()
+            };
             let cmp = compare_mappings(&ev, &dnn, batch, &sa);
             println!(
                 "T-Map : {:9.3} ms  {:9.3} mJ",
@@ -180,7 +209,10 @@ fn main() -> ExitCode {
             );
             if args.iter().any(|a| a == "--stats") {
                 let engine = MappingEngine::new(&ev);
-                let opts = MappingOptions { sa, ..Default::default() };
+                let opts = MappingOptions {
+                    sa,
+                    ..Default::default()
+                };
                 let mapped = engine.map(&dnn, batch, &opts);
                 let gms = mapped.group_mappings(&dnn);
                 println!("\nper-group utilization and network-fidelity ladder (G-Map):");
@@ -212,8 +244,12 @@ fn main() -> ExitCode {
                 eprintln!("unknown model; try `gemini models`");
                 return ExitCode::FAILURE;
             };
-            let batch: u32 = flag(&args, "--batch").and_then(|v| v.parse().ok()).unwrap_or(8);
-            let iters: u32 = flag(&args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(300);
+            let batch: u32 = flag(&args, "--batch")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(8);
+            let iters: u32 = flag(&args, "--iters")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(300);
             let fabric = ArchConfig::builder()
                 .cores(6, 6)
                 .cuts(2, 2)
@@ -225,14 +261,23 @@ fn main() -> ExitCode {
             let spec = gemini::core::hetero_dse::HeteroDseSpec {
                 fabric,
                 classes: vec![
-                    gemini::arch::CoreClass { macs: 1536, glb_bytes: 3 << 20 },
-                    gemini::arch::CoreClass { macs: 512, glb_bytes: 1 << 20 },
+                    gemini::arch::CoreClass {
+                        macs: 1536,
+                        glb_bytes: 3 << 20,
+                    },
+                    gemini::arch::CoreClass {
+                        macs: 512,
+                        glb_bytes: 1 << 20,
+                    },
                 ],
             };
             let opts = DseOptions {
                 batch,
                 mapping: MappingOptions {
-                    sa: SaOptions { iters, ..Default::default() },
+                    sa: SaOptions {
+                        iters,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 },
                 ..Default::default()
@@ -242,11 +287,8 @@ fn main() -> ExitCode {
                 spec.candidates().len(),
                 dnn.name()
             );
-            let res = gemini::core::hetero_dse::run_hetero_dse(
-                std::slice::from_ref(&dnn),
-                &spec,
-                &opts,
-            );
+            let res =
+                gemini::core::hetero_dse::run_hetero_dse(std::slice::from_ref(&dnn), &spec, &opts);
             let best = res.best_record();
             let tag: String = best
                 .spec
@@ -262,17 +304,27 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("dse") => {
-            let tops: f64 = flag(&args, "--tops").and_then(|v| v.parse().ok()).unwrap_or(72.0);
-            let stride: usize =
-                flag(&args, "--stride").and_then(|v| v.parse().ok()).unwrap_or(29);
-            let batch: u32 = flag(&args, "--batch").and_then(|v| v.parse().ok()).unwrap_or(64);
-            let iters: u32 = flag(&args, "--iters").and_then(|v| v.parse().ok()).unwrap_or(300);
+            let tops: f64 = flag(&args, "--tops")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(72.0);
+            let stride: usize = flag(&args, "--stride")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(29);
+            let batch: u32 = flag(&args, "--batch")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            let iters: u32 = flag(&args, "--iters")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(300);
             let spec = DseSpec::table1(tops);
             let opts = DseOptions {
                 objective: Objective::mc_e_d(),
                 batch,
                 mapping: MappingOptions {
-                    sa: SaOptions { iters, ..Default::default() },
+                    sa: SaOptions {
+                        iters,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 },
                 stride,

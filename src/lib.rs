@@ -52,6 +52,27 @@ pub use gemini_sim as sim;
 pub use gemini_tangram as tangram;
 
 /// The most common imports in one place.
+///
+/// Everything needed for the map → evaluate → compare loop:
+///
+/// ```
+/// use gemini::prelude::*;
+///
+/// // Tangram's T-Map baseline vs. Gemini's SA-refined G-Map on the
+/// // same workload, architecture and evaluator (Sec. VI setup).
+/// let dnn = gemini::model::zoo::two_conv_example();
+/// let arch = gemini::arch::presets::g_arch_72();
+/// let ev = Evaluator::new(&arch);
+///
+/// let t_map: MappedDnn = TangramMapper::new(&ev).map(&dnn, 2);
+/// let sa = SaOptions { iters: 40, ..Default::default() };
+/// let cmp = compare_mappings(&ev, &dnn, 2, &sa);
+///
+/// // The annealer starts from the stripe baseline, so it can only
+/// // improve on it — and the evaluator agrees with the T-Map run.
+/// assert!(cmp.speedup() >= 1.0 - 1e-9);
+/// assert!((cmp.tangram.delay_s - t_map.report.delay_s).abs() < 1e-12);
+/// ```
 pub mod prelude {
     pub use gemini_arch::{ArchConfig, CoreClass, HeteroSpec, Topology};
     pub use gemini_core::dse::{run_dse, DseOptions, DseSpec, Objective};

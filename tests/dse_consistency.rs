@@ -13,7 +13,11 @@ fn quick_opts() -> DseOptions {
     DseOptions {
         batch: 2,
         mapping: MappingOptions {
-            sa: SaOptions { iters: 30, seed: 1, ..Default::default() },
+            sa: SaOptions {
+                iters: 30,
+                seed: 1,
+                ..Default::default()
+            },
             ..Default::default()
         },
         threads: 2,
@@ -63,12 +67,21 @@ fn objective_reranking_is_consistent() {
     let candidates = vec![
         gemini::arch::presets::simba_s_arch(),
         gemini::arch::presets::g_arch_72(),
-        ArchConfig::builder().cores(6, 6).cuts(3, 3).build().expect("valid"),
+        ArchConfig::builder()
+            .cores(6, 6)
+            .cuts(3, 3)
+            .build()
+            .expect("valid"),
     ];
     let res = run_dse_over(&candidates, &dnns, &quick_opts());
     assert_eq!(res.records.len(), 3);
     // best_under(obj) must minimize that objective over the records.
-    for obj in [Objective::mc_e_d(), Objective::e_d(), Objective::d_only(), Objective::e_only()] {
+    for obj in [
+        Objective::mc_e_d(),
+        Objective::e_d(),
+        Objective::d_only(),
+        Objective::e_only(),
+    ] {
         let b = res.best_under(obj);
         let bs = obj.score(b.mc, b.energy, b.delay);
         for r in &res.records {

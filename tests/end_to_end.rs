@@ -6,7 +6,14 @@ use gemini::prelude::*;
 use gemini_core::sa::SaOptions;
 
 fn small_sa(iters: u32, seed: u64) -> MappingOptions {
-    MappingOptions { sa: SaOptions { iters, seed, ..Default::default() }, ..Default::default() }
+    MappingOptions {
+        sa: SaOptions {
+            iters,
+            seed,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -93,9 +100,16 @@ fn latency_vs_throughput_scenarios() {
 #[test]
 fn gemini_mapping_dominates_tangram_across_archs() {
     let dnn = gemini::model::zoo::tiny_resnet();
-    for arch in [gemini::arch::presets::simba_s_arch(), gemini::arch::presets::g_arch_72()] {
+    for arch in [
+        gemini::arch::presets::simba_s_arch(),
+        gemini::arch::presets::g_arch_72(),
+    ] {
         let ev = Evaluator::new(&arch);
-        let sa = SaOptions { iters: 250, seed: 9, ..Default::default() };
+        let sa = SaOptions {
+            iters: 250,
+            seed: 9,
+            ..Default::default()
+        };
         let cmp = compare_mappings(&ev, &dnn, 8, &sa);
         let edp_t = cmp.tangram.delay_s * cmp.tangram.energy_j;
         let edp_g = cmp.gemini.delay_s * cmp.gemini.energy_j;
@@ -158,7 +172,10 @@ fn new_zoo_models_survive_the_pipeline() {
     let arch = gemini::arch::presets::g_arch_72();
     let ev = Evaluator::new(&arch);
     let engine = MappingEngine::new(&ev);
-    for dnn in [gemini::model::zoo::efficientnet_b0(), gemini::model::zoo::bert_base()] {
+    for dnn in [
+        gemini::model::zoo::efficientnet_b0(),
+        gemini::model::zoo::bert_base(),
+    ] {
         let m = engine.map_stripe(&dnn, 2, &MappingOptions::default());
         assert!(m.report.delay_s > 0.0, "{} has zero delay", dnn.name());
         assert!(m.report.energy.total() > 0.0);

@@ -23,7 +23,11 @@ fn peer_flows(
             dnn,
             4,
             &MappingOptions {
-                sa: SaOptions { iters, seed: 2, ..Default::default() },
+                sa: SaOptions {
+                    iters,
+                    seed: 2,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         )
@@ -37,7 +41,10 @@ fn peer_flows(
                 if let Instr::Send { to, bytes, .. } = i {
                     let mut path = Vec::new();
                     ev.network().route_cores(*core, *to, &mut path);
-                    flows.push(Flow { path, bytes: *bytes as f64 });
+                    flows.push(Flow {
+                        path,
+                        bytes: *bytes as f64,
+                    });
                 }
             }
         }

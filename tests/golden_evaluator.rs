@@ -51,8 +51,16 @@ fn golden_dram_byte_accounting() {
     // write to DRAM 1 — weights are resident (one-time load, not in
     // dram_bytes).
     assert!(r.weights_resident);
-    assert!(close(r.dram_bytes[0], IFMAP, 1e-9), "DRAM0 {} != {IFMAP}", r.dram_bytes[0]);
-    assert!(close(r.dram_bytes[1], OFMAP, 1e-9), "DRAM1 {} != {OFMAP}", r.dram_bytes[1]);
+    assert!(
+        close(r.dram_bytes[0], IFMAP, 1e-9),
+        "DRAM0 {} != {IFMAP}",
+        r.dram_bytes[0]
+    );
+    assert!(
+        close(r.dram_bytes[1], OFMAP, 1e-9),
+        "DRAM1 {} != {OFMAP}",
+        r.dram_bytes[1]
+    );
 }
 
 #[test]
@@ -64,7 +72,11 @@ fn golden_mac_and_dram_energy() {
     let em = ev.energy_model();
     // MAC energy: exact count x 0.25 pJ.
     let mac_expected = MACS * em.mac_pj * 1e-12;
-    assert!(close(r.energy.mac, mac_expected, 1e-12), "{} != {mac_expected}", r.energy.mac);
+    assert!(
+        close(r.energy.mac, mac_expected, 1e-12),
+        "{} != {mac_expected}",
+        r.energy.mac
+    );
     // DRAM energy: steady flows (ifmap + ofmap) plus the one-time
     // weight load, all at the flat per-byte rate.
     let dram_expected = (IFMAP + OFMAP + WEIGHTS) * em.dram_pj_per_byte * 1e-12;
@@ -90,7 +102,11 @@ fn golden_rounds_scale_steady_terms_only() {
     // MAC energy exactly 4x; DRAM = 4 x steady + 1 x weight load.
     assert!(close(r4.energy.mac, 4.0 * r1.energy.mac, 1e-12));
     let dram4 = (4.0 * (IFMAP + OFMAP) + WEIGHTS) * em.dram_pj_per_byte * 1e-12;
-    assert!(close(r4.energy.dram, dram4, 1e-12), "{} != {dram4}", r4.energy.dram);
+    assert!(
+        close(r4.energy.dram, dram4, 1e-12),
+        "{} != {dram4}",
+        r4.energy.dram
+    );
 }
 
 #[test]
@@ -105,7 +121,11 @@ fn golden_weight_load_time() {
     let per_dram_bw = arch.dram_bw() / arch.dram_count() as f64 * 1e9;
     let service = WEIGHTS / per_dram_bw;
     assert!(r.weight_load_s >= service * (1.0 - 1e-9));
-    assert!(r.weight_load_s <= service * 16.0, "{} vs {service}", r.weight_load_s);
+    assert!(
+        r.weight_load_s <= service * 16.0,
+        "{} vs {service}",
+        r.weight_load_s
+    );
 }
 
 #[test]

@@ -9,14 +9,25 @@ use gemini_arch::{CoreClass, HeteroSpec};
 use gemini_core::sa::SaOptions;
 
 fn fabric() -> ArchConfig {
-    ArchConfig::builder().cores(6, 6).cuts(1, 2).dram_bw(144.0).build().unwrap()
+    ArchConfig::builder()
+        .cores(6, 6)
+        .cuts(1, 2)
+        .dram_bw(144.0)
+        .build()
+        .unwrap()
 }
 
 fn big_little(arch: &ArchConfig) -> HeteroSpec {
     HeteroSpec::new(
         vec![
-            CoreClass { macs: 1536, glb_bytes: 3 << 20 },
-            CoreClass { macs: 512, glb_bytes: 1 << 20 },
+            CoreClass {
+                macs: 1536,
+                glb_bytes: 3 << 20,
+            },
+            CoreClass {
+                macs: 512,
+                glb_bytes: 1 << 20,
+            },
         ],
         vec![0, 1],
         arch,
@@ -26,7 +37,11 @@ fn big_little(arch: &ArchConfig) -> HeteroSpec {
 
 fn quick(iters: u32) -> MappingOptions {
     MappingOptions {
-        sa: SaOptions { iters, seed: 31, ..Default::default() },
+        sa: SaOptions {
+            iters,
+            seed: 31,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -86,13 +101,27 @@ fn weighted_init_is_no_worse_than_blind_init_after_sa() {
 #[test]
 fn hetero_dse_orders_assignments_consistently() {
     let spec = HeteroDseSpec {
-        fabric: ArchConfig::builder().cores(4, 4).cuts(1, 2).build().unwrap(),
+        fabric: ArchConfig::builder()
+            .cores(4, 4)
+            .cuts(1, 2)
+            .build()
+            .unwrap(),
         classes: vec![
-            CoreClass { macs: 2048, glb_bytes: 2 << 20 },
-            CoreClass { macs: 512, glb_bytes: 1 << 20 },
+            CoreClass {
+                macs: 2048,
+                glb_bytes: 2 << 20,
+            },
+            CoreClass {
+                macs: 512,
+                glb_bytes: 1 << 20,
+            },
         ],
     };
-    let opts = DseOptions { batch: 2, mapping: quick(40), ..Default::default() };
+    let opts = DseOptions {
+        batch: 2,
+        mapping: quick(40),
+        ..Default::default()
+    };
     let dnns = vec![gemini::model::zoo::two_conv_example()];
     let res = run_hetero_dse(&dnns, &spec, &opts);
     assert_eq!(res.records.len(), 4);

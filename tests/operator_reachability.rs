@@ -19,25 +19,51 @@ use gemini_arch::CoreId;
 use gemini_model::LayerId;
 
 fn small_arch() -> ArchConfig {
-    ArchConfig::builder().cores(3, 2).cuts(1, 1).dram_count(2).build().unwrap()
+    ArchConfig::builder()
+        .cores(3, 2)
+        .cuts(1, 1)
+        .dram_count(2)
+        .build()
+        .unwrap()
 }
 
 /// A two-layer group on the 6-core fabric with 3 + 2 cores.
 fn two_layer_state() -> (gemini::model::Dnn, ArchConfig, GroupSpec, Lms) {
     let dnn = gemini::model::zoo::two_conv_example();
     let arch = small_arch();
-    let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 2 };
+    let spec = GroupSpec {
+        members: vec![LayerId(1), LayerId(2)],
+        batch_unit: 2,
+    };
     let lms = Lms {
         schemes: vec![
             Ms {
-                part: Part { h: 1, w: 1, b: 1, k: 3 },
+                part: Part {
+                    h: 1,
+                    w: 1,
+                    b: 1,
+                    k: 3,
+                },
                 cg: CoreGroup(vec![CoreId(0), CoreId(1), CoreId(2)]),
-                fd: FlowOfData { ifm: 0, wgt: 0, ofm: -1 },
+                fd: FlowOfData {
+                    ifm: 0,
+                    wgt: 0,
+                    ofm: -1,
+                },
             },
             Ms {
-                part: Part { h: 1, w: 1, b: 2, k: 1 },
+                part: Part {
+                    h: 1,
+                    w: 1,
+                    b: 2,
+                    k: 1,
+                },
                 cg: CoreGroup(vec![CoreId(3), CoreId(4)]),
-                fd: FlowOfData { ifm: -1, wgt: 0, ofm: 0 },
+                fd: FlowOfData {
+                    ifm: -1,
+                    wgt: 0,
+                    ofm: 0,
+                },
             },
         ],
     };
@@ -63,7 +89,11 @@ fn op2_visits_every_permutation_of_a_core_group() {
         .iter()
         .filter(|cg| cg.len() == 3 && cg.iter().all(|c| c.idx() < 3))
         .collect();
-    assert_eq!(perms.len(), 6, "all 6 orderings must be reachable, got {perms:?}");
+    assert_eq!(
+        perms.len(),
+        6,
+        "all 6 orderings must be reachable, got {perms:?}"
+    );
 }
 
 #[test]
@@ -78,10 +108,15 @@ fn op4_visits_every_core_split() {
     for _ in 0..600 {
         apply_op_public(3, &dnn, &arch, &spec, &mut lms, &mut rng);
         sizes.insert(lms.schemes[0].cg.len());
-        lms.validate(&dnn, &arch, &spec).expect("OP4 broke the encoding");
+        lms.validate(&dnn, &arch, &spec)
+            .expect("OP4 broke the encoding");
     }
     for a in 1..=4usize {
-        assert!(sizes.contains(&a), "split ({a}, {}) never reached: {sizes:?}", 5 - a);
+        assert!(
+            sizes.contains(&a),
+            "split ({a}, {}) never reached: {sizes:?}",
+            5 - a
+        );
     }
 }
 
@@ -95,7 +130,8 @@ fn op5_visits_every_dram_choice() {
     for _ in 0..300 {
         apply_op_public(4, &dnn, &arch, &spec, &mut lms, &mut rng);
         seen.insert(lms.schemes[0].fd.wgt);
-        lms.validate(&dnn, &arch, &spec).expect("OP5 broke the encoding");
+        lms.validate(&dnn, &arch, &spec)
+            .expect("OP5 broke the encoding");
     }
     for v in 0..=arch.dram_count() as i32 {
         assert!(seen.contains(&v), "FD value {v} never drawn: {seen:?}");
@@ -113,10 +149,10 @@ fn op1_visits_every_valid_part_for_fixed_cg() {
     for _ in 0..400 {
         apply_op_public(0, &dnn, &arch, &spec, &mut lms, &mut rng);
         seen.insert(lms.schemes[1].part);
-        lms.validate(&dnn, &arch, &spec).expect("OP1 broke the encoding");
+        lms.validate(&dnn, &arch, &spec)
+            .expect("OP1 broke the encoding");
     }
-    let layer2_parts: Vec<Part> =
-        seen.iter().copied().filter(|p| p.count() == 2).collect();
+    let layer2_parts: Vec<Part> = seen.iter().copied().filter(|p| p.count() == 2).collect();
     assert!(
         layer2_parts.len() >= 4,
         "expected all four axis-splits of 2 cores, got {layer2_parts:?}"
@@ -138,7 +174,10 @@ fn random_operator_sequences_preserve_validity_on_real_models() {
             let op = step % 5;
             apply_op_public(op, &dnn, &arch, spec, &mut lms, &mut rng);
             lms.validate(&dnn, &arch, spec).unwrap_or_else(|e| {
-                panic!("group {gi}: OP{} broke invariants at step {step}: {e}", op + 1)
+                panic!(
+                    "group {gi}: OP{} broke invariants at step {step}: {e}",
+                    op + 1
+                )
             });
         }
     }
@@ -151,12 +190,19 @@ fn structural_ops_fail_safely_on_degenerate_groups() {
     // corrupting the scheme.
     let dnn = gemini::model::zoo::two_conv_example();
     let arch = small_arch();
-    let spec = GroupSpec { members: vec![LayerId(1)], batch_unit: 1 };
+    let spec = GroupSpec {
+        members: vec![LayerId(1)],
+        batch_unit: 1,
+    };
     let lms0 = Lms {
         schemes: vec![Ms {
             part: Part::unit(),
             cg: CoreGroup(vec![CoreId(0)]),
-            fd: FlowOfData { ifm: 0, wgt: 0, ofm: 0 },
+            fd: FlowOfData {
+                ifm: 0,
+                wgt: 0,
+                ofm: 0,
+            },
         }],
     };
     lms0.validate(&dnn, &arch, &spec).unwrap();

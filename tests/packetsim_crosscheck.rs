@@ -15,11 +15,7 @@ use gemini::sim::{generate_program, Instr};
 /// streams, scaled so every flow set stays below `cap_bytes` total
 /// (keeps flit counts debug-test friendly while preserving contention
 /// ratios).
-fn scaled_peer_flows(
-    dnn: &gemini::model::Dnn,
-    ev: &Evaluator,
-    cap_bytes: f64,
-) -> Vec<Vec<Flow>> {
+fn scaled_peer_flows(dnn: &gemini::model::Dnn, ev: &Evaluator, cap_bytes: f64) -> Vec<Vec<Flow>> {
     let engine = MappingEngine::new(ev);
     let m = engine.map_stripe(dnn, 4, &MappingOptions::default());
     let mut out = Vec::new();
@@ -31,7 +27,10 @@ fn scaled_peer_flows(
                 if let Instr::Send { to, bytes, .. } = i {
                     let mut path = Vec::new();
                     ev.network().route_cores(*core, *to, &mut path);
-                    flows.push(Flow { path, bytes: *bytes as f64 });
+                    flows.push(Flow {
+                        path,
+                        bytes: *bytes as f64,
+                    });
                 }
             }
         }

@@ -19,14 +19,21 @@ fn co_exploration_beats_simba_tangram() {
     let g_arch = gemini::arch::presets::g_arch_72();
     let ev_g = Evaluator::new(&g_arch);
     let opts = MappingOptions {
-        sa: SaOptions { iters: 300, seed: 21, ..Default::default() },
+        sa: SaOptions {
+            iters: 300,
+            seed: 21,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let ours = MappingEngine::new(&ev_g).map(&dnn, batch, &opts);
 
     let speedup = baseline.report.delay_s / ours.report.delay_s;
     let egain = baseline.report.energy.total() / ours.report.energy.total();
-    assert!(speedup > 1.2, "expected a clear performance win, got {speedup:.2}x");
+    assert!(
+        speedup > 1.2,
+        "expected a clear performance win, got {speedup:.2}x"
+    );
     assert!(egain > 1.1, "expected a clear energy win, got {egain:.2}x");
 
     let cost = CostModel::default();
@@ -56,7 +63,11 @@ fn sa_reduces_d2d_traffic() {
     let dnn = gemini::model::zoo::tiny_resnet();
     let arch = gemini::arch::presets::simba_s_arch();
     let ev = Evaluator::new(&arch);
-    let sa = SaOptions { iters: 500, seed: 31, ..Default::default() };
+    let sa = SaOptions {
+        iters: 500,
+        seed: 31,
+        ..Default::default()
+    };
     let cmp = compare_mappings(&ev, &dnn, 8, &sa);
     assert!(
         cmp.d2d_reduction() > 0.0,
@@ -92,7 +103,11 @@ fn fine_chiplets_hurt_everything() {
             &dnn,
             batch,
             &MappingOptions {
-                sa: SaOptions { iters: 200, seed: 3, ..Default::default() },
+                sa: SaOptions {
+                    iters: 200,
+                    seed: 3,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );
@@ -100,8 +115,14 @@ fn fine_chiplets_hurt_everything() {
     };
     let (d_mod, e_mod) = run(&moderate);
     let (d_fine, e_fine) = run(&fine);
-    assert!(d_fine >= d_mod * 0.99, "fine-grained delay {d_fine} vs moderate {d_mod}");
-    assert!(e_fine > e_mod, "fine-grained energy {e_fine} vs moderate {e_mod}");
+    assert!(
+        d_fine >= d_mod * 0.99,
+        "fine-grained delay {d_fine} vs moderate {d_mod}"
+    );
+    assert!(
+        e_fine > e_mod,
+        "fine-grained energy {e_fine} vs moderate {e_mod}"
+    );
     assert!(
         cost.evaluate(&fine).total() > cost.evaluate(&moderate).total(),
         "36 chiplets must cost more than 2"
@@ -113,8 +134,8 @@ fn fine_chiplets_hurt_everything() {
 #[test]
 fn one_size_fits_all_fails() {
     let dnn = gemini::model::zoo::two_conv_example();
-    let simba_big = gemini::core::dse::scale_arch(&gemini::arch::presets::simba_s_arch(), 4)
-        .expect("tiles");
+    let simba_big =
+        gemini::core::dse::scale_arch(&gemini::arch::presets::simba_s_arch(), 4).expect("tiles");
     let native = ArchConfig::builder()
         .cores(12, 6)
         .cuts(2, 1)
@@ -151,7 +172,11 @@ fn torus_comparison_direction() {
         &dnn,
         16,
         &MappingOptions {
-            sa: SaOptions { iters: 200, seed: 5, ..Default::default() },
+            sa: SaOptions {
+                iters: 200,
+                seed: 5,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );

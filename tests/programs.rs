@@ -20,7 +20,11 @@ fn mappings_for(
             dnn,
             batch,
             &MappingOptions {
-                sa: SaOptions { iters, seed: 5, ..Default::default() },
+                sa: SaOptions {
+                    iters,
+                    seed: 5,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         )
@@ -128,6 +132,10 @@ fn peer_traffic_zero_for_single_core_groups() {
     let gm = lms.parse(&dnn, &spec, &|_| gemini::sim::DramSel::Interleaved);
     let prog = generate_program(&dnn, &gm);
     validate_program(&dnn, &gm, &prog).unwrap();
-    assert_eq!(prog.peer_bytes(), 0, "same-core pipelines move nothing over the NoC");
+    assert_eq!(
+        prog.peer_bytes(),
+        0,
+        "same-core pipelines move nothing over the NoC"
+    );
     assert!(prog.dram_bytes() > 0, "input and output still touch DRAM");
 }

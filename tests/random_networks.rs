@@ -8,8 +8,8 @@ use proptest::prelude::*;
 
 use gemini::core::engine::{MappingEngine, MappingOptions};
 use gemini::core::sa::SaOptions;
-use gemini::model::{DnnBuilder, FmapShape, LayerKind};
 use gemini::model::layer::{ActKind, ConvParams, PoolKind, PoolParams};
+use gemini::model::{DnnBuilder, FmapShape, LayerKind};
 use gemini::prelude::*;
 use gemini::sim::{generate_program, validate_program};
 
@@ -28,7 +28,11 @@ fn cnn_strategy() -> impl Strategy<Value = RandomCnn> {
         prop::sample::select(vec![8u32, 16, 24]),
         prop::collection::vec((any::<bool>(), any::<bool>(), any::<bool>()), 1..6),
     )
-        .prop_map(|(input_hw, stem_c, blocks)| RandomCnn { input_hw, stem_c, blocks })
+        .prop_map(|(input_hw, stem_c, blocks)| RandomCnn {
+            input_hw,
+            stem_c,
+            blocks,
+        })
 }
 
 fn build(cnn: &RandomCnn) -> gemini::model::Dnn {
@@ -88,8 +92,13 @@ fn build(cnn: &RandomCnn) -> gemini::model::Dnn {
             )
             .expect("add")
         } else {
-            b.add(format!("b{i}_relu"), LayerKind::Activation(ActKind::Relu), out_shape, &[conv])
-                .expect("relu")
+            b.add(
+                format!("b{i}_relu"),
+                LayerKind::Activation(ActKind::Relu),
+                out_shape,
+                &[conv],
+            )
+            .expect("relu")
         };
         shape = out_shape;
     }
@@ -113,7 +122,9 @@ fn build(cnn: &RandomCnn) -> gemini::model::Dnn {
     }
     b.add(
         "fc",
-        LayerKind::Fc { cin: shape.elems() as u32 },
+        LayerKind::Fc {
+            cin: shape.elems() as u32,
+        },
         FmapShape::new(1, 1, 10),
         &[cur],
     )

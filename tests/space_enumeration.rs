@@ -21,13 +21,7 @@ fn k_permutations(m: u16, k: usize) -> Vec<Vec<CoreId>> {
     let mut out = Vec::new();
     let mut cur = Vec::with_capacity(k);
     let mut used = vec![false; m as usize];
-    fn rec(
-        m: u16,
-        k: usize,
-        cur: &mut Vec<CoreId>,
-        used: &mut [bool],
-        out: &mut Vec<Vec<CoreId>>,
-    ) {
+    fn rec(m: u16, k: usize, cur: &mut Vec<CoreId>, used: &mut [bool], out: &mut Vec<Vec<CoreId>>) {
         if cur.len() == k {
             out.push(cur.clone());
             return;
@@ -51,9 +45,17 @@ fn single_layer_enumeration_matches_census_and_dominates_bound() {
     // One conv layer (consumes the DNN input, produces the DNN output,
     // has weights: all three FD slots explicit) on M = 4 cores, D = 2.
     let dnn = gemini::model::zoo::two_conv_example();
-    let arch = ArchConfig::builder().cores(2, 2).cuts(1, 1).dram_count(2).build().unwrap();
+    let arch = ArchConfig::builder()
+        .cores(2, 2)
+        .cuts(1, 1)
+        .dram_count(2)
+        .build()
+        .unwrap();
     let layer = LayerId(1);
-    let spec = GroupSpec { members: vec![layer], batch_unit: 4 };
+    let spec = GroupSpec {
+        members: vec![layer],
+        batch_unit: 4,
+    };
     let shape = dnn.layer(layer).ofmap;
     let m = arch.n_cores() as u16;
     let d = arch.dram_count() as i32;
@@ -92,7 +94,10 @@ fn single_layer_enumeration_matches_census_and_dominates_bound() {
             }
         }
     }
-    assert_eq!(valid, census, "validator must accept exactly the defined schemes");
+    assert_eq!(
+        valid, census,
+        "validator must accept exactly the defined schemes"
+    );
 
     // The paper's conservative lower bound: M! * 4 = 96 for (M=4, N=1).
     let bound = gemini_space_log2(m as u64, 1).exp2();
@@ -111,8 +116,16 @@ fn two_layer_enumeration_respects_flow_rules() {
     //   [sum_nc P(3,nc) x #Parts(nc)]^2 x (D+1)^2 x (D+1)^2
     // with explicit slots {if1, wgt1} and {wgt2, of2}.
     let dnn = gemini::model::zoo::two_conv_example();
-    let arch = ArchConfig::builder().cores(3, 1).cuts(1, 1).dram_count(1).build().unwrap();
-    let spec = GroupSpec { members: vec![LayerId(1), LayerId(2)], batch_unit: 2 };
+    let arch = ArchConfig::builder()
+        .cores(3, 1)
+        .cuts(1, 1)
+        .dram_count(1)
+        .build()
+        .unwrap();
+    let spec = GroupSpec {
+        members: vec![LayerId(1), LayerId(2)],
+        batch_unit: 2,
+    };
     let m = 3u16;
     let fd_choices = [0i32, 1];
 
@@ -122,7 +135,9 @@ fn two_layer_enumeration_respects_flow_rules() {
             factorizations(nc, shape, spec.batch_unit)
                 .into_iter()
                 .flat_map(move |p| {
-                    k_permutations(m, nc as usize).into_iter().map(move |cg| (p, cg))
+                    k_permutations(m, nc as usize)
+                        .into_iter()
+                        .map(move |cg| (p, cg))
                 })
                 .collect::<Vec<_>>()
         })
@@ -142,12 +157,20 @@ fn two_layer_enumeration_respects_flow_rules() {
                                     Ms {
                                         part: *p1,
                                         cg: CoreGroup(cg1.clone()),
-                                        fd: FlowOfData { ifm: if1, wgt: w1, ofm: -1 },
+                                        fd: FlowOfData {
+                                            ifm: if1,
+                                            wgt: w1,
+                                            ofm: -1,
+                                        },
                                     },
                                     Ms {
                                         part: *p2,
                                         cg: CoreGroup(cg2.clone()),
-                                        fd: FlowOfData { ifm: -1, wgt: w2, ofm: of2 },
+                                        fd: FlowOfData {
+                                            ifm: -1,
+                                            wgt: w2,
+                                            ofm: of2,
+                                        },
                                     },
                                 ],
                             };
@@ -165,12 +188,20 @@ fn two_layer_enumeration_respects_flow_rules() {
                     Ms {
                         part: *p1,
                         cg: CoreGroup(cg1.clone()),
-                        fd: FlowOfData { ifm: 0, wgt: 0, ofm: 0 },
+                        fd: FlowOfData {
+                            ifm: 0,
+                            wgt: 0,
+                            ofm: 0,
+                        },
                     },
                     Ms {
                         part: *p2,
                         cg: CoreGroup(cg2.clone()),
-                        fd: FlowOfData { ifm: -1, wgt: 0, ofm: 0 },
+                        fd: FlowOfData {
+                            ifm: -1,
+                            wgt: 0,
+                            ofm: 0,
+                        },
                     },
                 ],
             };
@@ -179,7 +210,10 @@ fn two_layer_enumeration_respects_flow_rules() {
             }
         }
     }
-    assert_eq!(rejected_flow, 0, "in-group OF must never validate as explicit");
+    assert_eq!(
+        rejected_flow, 0,
+        "in-group OF must never validate as explicit"
+    );
 
     let combos = per_layer.len() as u64;
     let census = combos * combos * 4 * 4; // 2^2 FD choices per layer
@@ -189,11 +223,6 @@ fn two_layer_enumeration_respects_flow_rules() {
     assert!(valid > 10_000, "got {valid}");
 }
 
-fn lms_is_valid(
-    lms: &Lms,
-    dnn: &gemini::model::Dnn,
-    arch: &ArchConfig,
-    spec: &GroupSpec,
-) -> bool {
+fn lms_is_valid(lms: &Lms, dnn: &gemini::model::Dnn, arch: &ArchConfig, spec: &GroupSpec) -> bool {
     lms.validate(dnn, arch, spec).is_ok()
 }

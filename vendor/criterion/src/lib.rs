@@ -1,0 +1,236 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion),
+//! vendored so the workspace builds without network access (see
+//! docs/ARCHITECTURE.md, "Offline dependency policy").
+//!
+//! Implements the subset the `micro` bench suite uses — `Criterion`
+//! with `sample_size` / `measurement_time` / `warm_up_time` /
+//! `bench_function`, `Bencher::{iter, iter_batched}`, `BatchSize`, and
+//! the `criterion_group!` / `criterion_main!` macros — as a plain
+//! wall-clock harness: warm up, then time `sample_size` samples and
+//! report min/median/mean per iteration. No statistics beyond that, no
+//! HTML reports, no baseline comparison; swap the real crate back into
+//! `[workspace.dependencies]` when those are needed.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver; created by [`criterion_main!`] via the group's
+/// `config` expression (or [`Criterion::default`]).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Substring filter from the CLI (`cargo bench -- <filter>`).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Applies CLI args passed by `cargo bench`: `--sample-size`,
+    /// `--measurement-time` and `--warm-up-time` override the group
+    /// config, a bare string becomes a name filter, and the remaining
+    /// harness flags are accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        // Unparsable, non-positive or non-finite values are ignored
+        // rather than panicking the whole suite.
+        let secs = |v: Option<String>| {
+            v.and_then(|s| s.parse::<f64>().ok())
+                .filter(|s| s.is_finite() && *s > 0.0)
+                .map(Duration::from_secs_f64)
+        };
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|s| s.parse().ok()).filter(|&n| n >= 2) {
+                        self = self.sample_size(n);
+                    }
+                }
+                "--measurement-time" => {
+                    if let Some(d) = secs(args.next()) {
+                        self = self.measurement_time(d);
+                    }
+                }
+                "--warm-up-time" => {
+                    if let Some(d) = secs(args.next()) {
+                        self = self.warm_up_time(d);
+                    }
+                }
+                // Harness flags without a meaning here; the first three
+                // carry a value to skip.
+                "--profile-time" | "--save-baseline" | "--baseline" => {
+                    let _ = args.next();
+                }
+                "--bench" | "--test" => {}
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+
+        // Warm-up: run until the warm-up budget is spent, measuring
+        // roughly how long one pass of the routine takes.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            warm_iters += 1;
+        }
+        let per_pass = warm_start.elapsed() / warm_iters.max(1) as u32;
+
+        // Size each sample so the whole measurement fits the budget.
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample = if per_pass.is_zero() {
+            1000
+        } else {
+            (per_sample.as_nanos() / per_pass.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / b.iters.max(1) as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples.first().copied().unwrap_or(0.0);
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{id:<40} min {:>12}  median {:>12}  mean {:>12}  ({} samples x {} iters)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            samples.len(),
+            iters_per_sample,
+        );
+        self
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Per-benchmark measurement context handed to the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// Batch sizing hint; the stand-in harness always batches per
+/// iteration, so this only preserves API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,52 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_sample(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_sample(rng: &mut TestRng) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_sample(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*}
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    /// Uniform in `[0, 1)` — a pragmatic simplification of the real
+    /// crate's full-domain floats (no NaN/inf/subnormal cases).
+    fn arbitrary_sample(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// The canonical strategy for `T`, e.g. `any::<bool>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_sample(rng)
+    }
+}

@@ -1,0 +1,40 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest),
+//! vendored so the workspace builds without network access (see
+//! docs/ARCHITECTURE.md, "Offline dependency policy").
+//!
+//! Implements the subset the property suites use:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(...)]`), [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] and [`prop_assume!`];
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer
+//!   and float ranges, tuples and [`strategy::Just`];
+//! * [`arbitrary::any`] for primitives;
+//! * [`collection::vec`] and [`sample::select`];
+//! * [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Semantics differences from the real crate, by design:
+//!
+//! * cases are drawn from a generator seeded deterministically from
+//!   the test name, so every run explores the same inputs — failures
+//!   always reproduce (set `PROPTEST_RERUN_SEED` to explore a
+//!   different stream);
+//! * there is **no shrinking**: a failure reports the exact offending
+//!   inputs instead of a minimized counterexample.
+
+pub mod arbitrary;
+pub mod collection;
+mod macros;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property-test module needs, mirroring
+/// `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}

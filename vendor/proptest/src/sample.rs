@@ -1,0 +1,24 @@
+//! Sampling strategies over explicit option sets: [`select`].
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// Uniformly picks one of `options`. Panics if empty.
+pub fn select<T: Clone + core::fmt::Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select: no options");
+    Select { options }
+}
+
+impl<T: Clone + core::fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.options[rng.index(self.options.len())].clone()
+    }
+}

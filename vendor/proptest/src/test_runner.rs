@@ -1,0 +1,85 @@
+//! Config, case-level error type and the deterministic RNG used to
+//! drive strategies.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, like the real crate.
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// A `prop_assert*!` failed: the property is violated.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs: skip, don't fail.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+/// Entropy source handed to [`Strategy::sample`]. Seeded from the test
+/// name so each property explores a stable input stream across runs
+/// and machines; `PROPTEST_RERUN_SEED=<u64>` perturbs the stream to
+/// explore new inputs.
+///
+/// [`Strategy::sample`]: crate::strategy::Strategy::sample
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        if let Some(extra) = std::env::var("PROPTEST_RERUN_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            h ^= extra.rotate_left(17);
+        }
+        Self(StdRng::seed_from_u64(h))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform index in `[0, n)`; `n` must be non-zero.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline stand-in for the [`rand`](https://docs.rs/rand/0.8) crate
+//! (0.8 API surface), vendored so the workspace builds without network
+//! access (see docs/ARCHITECTURE.md, "Offline dependency policy").
+//!
+//! Implemented subset — exactly what the SA engine
+//! (`gemini-core::sa`), the stochastic mapping helpers and the test
+//! suites use:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen_range` (half-open and inclusive
+//!   integer ranges, `f64`/`f32` ranges), `gen::<T>()` for floats,
+//!   bools and unsigned integers, and `gen_bool`;
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`rngs::StdRng`] — xoshiro256++ seeded via SplitMix64 (a
+//!   different stream than the real `StdRng`'s ChaCha12, but the same
+//!   statistical contract the SA engine needs: deterministic for a
+//!   given seed, uniform, 2^256-1 period);
+//! * [`rngs::mock::StepRng`] for deterministic operator tests.
+//!
+//! Swapping the real crate back in is a one-line change in
+//! `[workspace.dependencies]`; seeded runs will then sample a
+//! different (but equally valid) stream.
+
+pub mod distributions;
+pub mod rngs;
+
+/// Core entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`] like in the real crate.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (`Range` or `RangeInclusive` over
+    /// integers, `Range` over floats). Panics on an empty range.
+    fn gen_range<R>(&mut self, range: R) -> R::Output
+    where
+        R: distributions::SampleRange,
+    {
+        range.sample_from(self)
+    }
+
+    /// Sample from the standard distribution of `T`: `[0, 1)` for
+    /// floats, fair coin for `bool`, full range for unsigned integers.
+    fn gen<T>(&mut self) -> T
+    where
+        T: distributions::Standard,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}

@@ -1,0 +1,129 @@
+//! Concrete generators: [`StdRng`] and the deterministic
+//! [`mock::StepRng`].
+
+use crate::{RngCore, SeedableRng};
+
+/// xoshiro256++ (Blackman & Vigna). Not the real crate's ChaCha12, but
+/// deterministic per seed, uniform, and fast — which is all the SA
+/// engine and the tests rely on.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+}
+
+impl SeedableRng for StdRng {
+    /// Expands the seed with SplitMix64, as the xoshiro authors
+    /// recommend, so that nearby seeds produce unrelated streams.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+pub mod mock {
+    //! Deterministic mock generators for unit tests.
+
+    use crate::RngCore;
+
+    /// Returns `initial`, `initial + increment`, ... (wrapping), like
+    /// `rand::rngs::mock::StepRng`.
+    #[derive(Debug, Clone)]
+    pub struct StepRng {
+        v: u64,
+        increment: u64,
+    }
+
+    impl StepRng {
+        pub fn new(initial: u64, increment: u64) -> Self {
+            Self {
+                v: initial,
+                increment,
+            }
+        }
+    }
+
+    impl RngCore for StepRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.v;
+            self.v = self.v.wrapping_add(self.increment);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    #[test]
+    fn std_rng_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!((0..16).any(|_| c.next_u64() != b.next_u64()));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0u32..=4);
+            assert!(y <= 4);
+            let f = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn step_rng_steps() {
+        let mut rng = mock::StepRng::new(7, 13);
+        assert_eq!(rng.next_u64(), 7);
+        assert_eq!(rng.next_u64(), 20);
+        assert_eq!(rng.next_u64(), 33);
+    }
+}

@@ -1,0 +1,44 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The repo's crates tag their public config/result types with
+//! `#[derive(Serialize, Deserialize)]` so that a future PR can wire
+//! real (de)serialization without touching every type again, but no
+//! code path serializes anything yet. Since the workspace must build
+//! without network access (see docs/ARCHITECTURE.md), this crate
+//! provides just enough surface for those derives and bounds to
+//! compile:
+//!
+//! * [`Serialize`] / [`Deserialize`] marker traits with blanket impls,
+//!   so `T: Serialize` bounds are always satisfiable;
+//! * re-exported no-op derive macros from the sibling `serde_derive`
+//!   stand-in.
+//!
+//! Replacing this with the real crates.io `serde` is a one-line change
+//! in `[workspace.dependencies]` and requires no source edits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Mirrors `serde::de` far enough for `use serde::de::DeserializeOwned`.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Mirrors `serde::ser` far enough for `use serde::ser::Serialize`.
+pub mod ser {
+    pub use super::Serialize;
+}

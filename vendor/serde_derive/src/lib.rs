@@ -1,0 +1,25 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace builds without network access, so the real
+//! `serde_derive` (and its `syn`/`quote` dependency tree) is not
+//! available. The workspace only uses serde as a forward-compatibility
+//! marker — nothing serializes yet — so `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` expand to nothing: the vendored `serde`
+//! crate provides blanket impls of its marker traits, which keeps any
+//! `T: Serialize` bound satisfiable. Swapping the real crates back in
+//! requires no source change outside `[workspace.dependencies]`.
+
+use proc_macro::TokenStream;
+
+/// Accepts (and discards) the container body, including any
+/// `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// See [`derive_serialize`].
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
