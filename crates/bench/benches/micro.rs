@@ -1,10 +1,17 @@
 //! Criterion micro-benchmarks of the framework's hot components:
-//! routing, traffic accumulation, intra-core search, group evaluation,
-//! SA iteration throughput and monetary-cost evaluation.
+//! routing, traffic accumulation, intra-core search, group evaluation
+//! (cold vs. warm memo cache), SA iteration throughput (sequential vs.
+//! parallel chains) and monetary-cost evaluation.
+//!
+//! The SA comparison additionally writes a wall-clock summary to
+//! `bench_results/sa_parallel.csv`: the seed-engine configuration
+//! (sequential, no memoization) against the parallel engine at 1 and 4
+//! threads, with cache hit rates and the verified bit-identical cost.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use gemini_arch::presets;
+use gemini_bench::{results_dir, sa_iters, sig6, write_csv};
 use gemini_core::encoding::GroupSpec;
 use gemini_core::engine::{MappingEngine, MappingOptions};
 use gemini_core::partition::{partition_graph, PartitionOptions};
@@ -14,7 +21,7 @@ use gemini_cost::CostModel;
 use gemini_intracore::{CoreParams, IntraCoreExplorer, PartWorkload};
 use gemini_model::{zoo, LayerId};
 use gemini_noc::{Network, TrafficMap};
-use gemini_sim::{DramSel, Evaluator};
+use gemini_sim::{DramSel, EvalCache, Evaluator};
 
 fn bench_routing(c: &mut Criterion) {
     let arch = presets::g_arch_72();
@@ -111,6 +118,155 @@ fn bench_sa(c: &mut Criterion) {
     });
 }
 
+/// Mapping options for the parallel-SA comparison.
+fn sa_cmp_opts(iters: u32, threads: usize, cache: bool) -> MappingOptions {
+    MappingOptions {
+        sa: SaOptions {
+            iters,
+            seed: 42,
+            threads,
+            cache,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Sequential-vs-parallel / cold-vs-warm-cache comparison on a
+/// multi-group workload (ResNet-50 at batch 16 partitions into ~15
+/// groups on G-Arch, so 4 chain workers have real fan-out). Wall-clock
+/// numbers land in `bench_results/sa_parallel.csv`; the final costs of
+/// every configuration are asserted bit-identical before writing.
+fn bench_sa_parallel(c: &mut Criterion) {
+    let arch = presets::g_arch_72();
+    let dnn = zoo::resnet50();
+    let ev = Evaluator::new(&arch);
+    let engine = MappingEngine::new(&ev);
+    let batch = 16;
+    let iters = sa_iters(2_000, 20_000);
+
+    let run = |threads: usize, cache: bool| {
+        let t = std::time::Instant::now();
+        let m = engine.map(&dnn, batch, &sa_cmp_opts(iters, threads, cache));
+        (t.elapsed().as_secs_f64(), m)
+    };
+    // Warm the intra-core memo caches once so the comparison measures
+    // the SA engine, not first-touch tile-search costs.
+    let _ = run(1, true);
+
+    let (t_seed, m_seed) = run(1, false); // seed-engine shape: sequential, no memo
+    let (t_seq, m_seq) = run(1, true); // sequential, warm cache
+    let (t_par, m_par) = run(4, true); // 4 chain workers, warm cache
+    assert_eq!(
+        m_seq.report.delay_s.to_bits(),
+        m_par.report.delay_s.to_bits(),
+        "parallel SA must be bit-identical to sequential"
+    );
+    assert_eq!(
+        m_seed.report.delay_s.to_bits(),
+        m_seq.report.delay_s.to_bits(),
+        "memoization must be transparent"
+    );
+
+    let hit_rate = |m: &gemini_core::engine::MappedDnn| {
+        let s = m.sa_stats.expect("G-Map has SA stats");
+        let total = s.cache_hits + s.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            s.cache_hits as f64 / total as f64 * 100.0
+        }
+    };
+    let groups = m_seq.partition.groups.len();
+    let cost = m_seq.sa_stats.expect("stats").final_cost;
+    // The chain fan-out only buys wall-clock time when the host has
+    // cores to run it; record the host's parallelism so single-core
+    // numbers are not misread as a parallelism defect.
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let rows = [
+        ("seed_seq_nocache", 1usize, false, t_seed, hit_rate(&m_seed)),
+        ("seq_warm_cache", 1, true, t_seq, hit_rate(&m_seq)),
+        ("par4_warm_cache", 4, true, t_par, hit_rate(&m_par)),
+    ];
+    let csv: Vec<String> = rows
+        .iter()
+        .map(|(name, threads, cache, wall, hits)| {
+            format!(
+                "{name},{threads},{host},{cache},{groups},{iters},{:.4},{:.1},{:.2},{}",
+                wall,
+                hits,
+                t_seed / wall,
+                sig6(cost)
+            )
+        })
+        .collect();
+    write_csv(
+        results_dir().join("sa_parallel.csv"),
+        "config,sa_threads,host_threads,cache,groups,iters,wall_s,cache_hit_pct,speedup_vs_seed,final_cost",
+        csv,
+    )
+    .expect("write sa_parallel.csv");
+    println!(
+        "sa_parallel: {groups} groups on a {host}-thread host — seed {t_seed:.3}s  \
+         seq+cache {t_seq:.3}s  par4+cache {t_par:.3}s  (speedup {:.2}x, hit rate {:.1}%)",
+        t_seed / t_par,
+        hit_rate(&m_par)
+    );
+
+    // Criterion pair on a smaller budget for statistically-sampled
+    // per-configuration numbers.
+    let small = sa_iters(150, 1_000);
+    c.bench_function("sa/resnet50_seq_nocache", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                engine
+                    .map(&dnn, batch, &sa_cmp_opts(small, 1, false))
+                    .report
+                    .delay_s,
+            )
+        })
+    });
+    c.bench_function("sa/resnet50_par4_cache", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                engine
+                    .map(&dnn, batch, &sa_cmp_opts(small, 4, true))
+                    .report
+                    .delay_s,
+            )
+        })
+    });
+}
+
+/// Cold vs. warm memoized group evaluation: the same mapping through
+/// the full simulator and through an [`EvalCache`] hit.
+fn bench_eval_cache(c: &mut Criterion) {
+    let arch = presets::g_arch_72();
+    let dnn = zoo::tiny_resnet();
+    let ev = Evaluator::new(&arch);
+    let members: Vec<LayerId> = dnn.compute_ids().collect();
+    let spec = GroupSpec {
+        members,
+        batch_unit: 2,
+    };
+    let lms = stripe_lms(&dnn, &arch, &spec);
+    let gm = lms.parse(&dnn, &spec, &|_| DramSel::Interleaved);
+    c.bench_function("sim/evaluate_group_cache_cold", |b| {
+        b.iter_batched(
+            EvalCache::new,
+            |mut cache| std::hint::black_box(cache.evaluate(&ev, &dnn, &gm, 8).delay_s),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut warm = EvalCache::new();
+    warm.evaluate(&ev, &dnn, &gm, 8);
+    c.bench_function("sim/evaluate_group_cache_warm", |b| {
+        b.iter(|| std::hint::black_box(warm.evaluate(&ev, &dnn, &gm, 8).delay_s))
+    });
+}
+
 fn bench_partition(c: &mut Criterion) {
     let arch = presets::g_arch_72();
     let dnn = zoo::resnet50();
@@ -192,6 +348,6 @@ fn bench_hetero_eval(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_routing, bench_traffic, bench_intracore, bench_group_eval, bench_sa, bench_partition, bench_cost, bench_packetsim, bench_hetero_eval
+    targets = bench_routing, bench_traffic, bench_intracore, bench_group_eval, bench_eval_cache, bench_sa, bench_sa_parallel, bench_partition, bench_cost, bench_packetsim, bench_hetero_eval
 }
 criterion_main!(benches);

@@ -8,7 +8,10 @@
 //!   grids and shortens annealing so the whole suite runs on a laptop;
 //!   `full` explores everything (server-scale, like the paper's 80-100
 //!   thread runs);
-//! * `GEMINI_SA_ITERS=n` — overrides the annealing budget everywhere.
+//! * `GEMINI_SA_ITERS=n` — overrides the annealing budget everywhere;
+//! * `GEMINI_SA_THREADS=n` — SA chain workers per mapping run (`0`,
+//!   the default, uses every core). Mapping results are bit-identical
+//!   at any thread count, so this knob only moves wall-clock time.
 //!
 //! CSV outputs land in `bench_results/` at the workspace root.
 
@@ -52,6 +55,15 @@ pub fn sa_iters(quick: u32, full: u32) -> u32 {
     }
 }
 
+/// SA chain-worker count: `GEMINI_SA_THREADS` override, else `0`
+/// (= all available cores).
+pub fn sa_threads() -> usize {
+    std::env::var("GEMINI_SA_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
 /// The `bench_results/` directory at the workspace root.
 pub fn results_dir() -> PathBuf {
     let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
@@ -70,12 +82,14 @@ pub fn banner(title: &str) {
     );
 }
 
-/// Standard mapping options with the given SA budget and seed.
+/// Standard mapping options with the given SA budget and seed (chain
+/// workers from [`sa_threads`]).
 pub fn mapping_opts(iters: u32, seed: u64) -> MappingOptions {
     MappingOptions {
         sa: SaOptions {
             iters,
             seed,
+            threads: sa_threads(),
             ..Default::default()
         },
         ..Default::default()

@@ -10,9 +10,6 @@
 //! builds a higher-compute accelerator out of more instances of the same
 //! computing chiplet.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
 use serde::{Deserialize, Serialize};
 
 use gemini_arch::{arrange_cores, ArchConfig, Topology};
@@ -333,32 +330,27 @@ pub fn run_dse(dnns: &[Dnn], spec: &DseSpec, opts: &DseOptions) -> DseResult {
 
 /// Runs the DSE over an explicit candidate list (used by the reuse
 /// study and the torus comparison).
+///
+/// Parallelism is two-level: candidates fan out over `opts.threads`
+/// workers here, and each mapping run fans its per-group SA chains out
+/// over [`crate::sa::SaOptions::threads`]. When the candidate level
+/// already uses multiple workers and the SA level is on auto (`0`),
+/// the inner level is pinned to one thread so the machine is not
+/// oversubscribed by `workers x chains`; results are unaffected (the
+/// SA engine is deterministic at any thread count).
 pub fn run_dse_over(candidates: &[ArchConfig], dnns: &[Dnn], opts: &DseOptions) -> DseResult {
     assert!(!candidates.is_empty(), "no valid DSE candidates");
     let cost = CostModel::default();
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<DseRecord>>> = Mutex::new(vec![None; candidates.len()]);
 
     let workers = opts.threads.clamp(1, candidates.len());
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= candidates.len() {
-                    break;
-                }
-                let rec = evaluate_candidate(&candidates[i], dnns, &cost, opts);
-                slots.lock().expect("worker poisoned the record list")[i] = Some(rec);
-            });
-        }
-    });
-
-    let records: Vec<DseRecord> = slots
-        .into_inner()
-        .expect("lock poisoned")
-        .into_iter()
-        .map(|r| r.expect("all candidates evaluated"))
-        .collect();
+    let mut opts_inner = opts.clone();
+    if workers > 1 && opts_inner.mapping.sa.threads == 0 {
+        opts_inner.mapping.sa.threads = 1;
+    }
+    let records: Vec<DseRecord> =
+        crate::pool::parallel_map_indexed(workers, candidates.len(), |i| {
+            evaluate_candidate(&candidates[i], dnns, &cost, &opts_inner)
+        });
     let best = records
         .iter()
         .enumerate()

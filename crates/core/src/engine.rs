@@ -1,6 +1,11 @@
 //! The Mapping Engine (Fig. 4 of the paper): graph partitioning, initial
 //! stripe schemes, SA exploration and final evaluation, wrapped into one
 //! call.
+//!
+//! The SA stage runs one annealing chain per layer group, concurrently
+//! (see [`crate::sa`]); [`SaOptions::threads`] — env-overridable via
+//! `GEMINI_SA_THREADS` — sets the worker count, and results are
+//! bit-identical at any setting.
 
 use std::collections::HashMap;
 
@@ -15,7 +20,8 @@ use crate::stripe::stripe_lms;
 /// Options for a full mapping run.
 #[derive(Debug, Clone, Default)]
 pub struct MappingOptions {
-    /// SA options (iteration budget, seed, operator mask, exponents).
+    /// SA options (iteration budget, seed, operator mask, exponents,
+    /// chain-worker threads).
     pub sa: SaOptions,
     /// Graph-partitioner options.
     pub partition: PartitionOptions,
@@ -75,7 +81,8 @@ impl<'a> MappingEngine<'a> {
         Self { ev }
     }
 
-    /// G-Map: DP graph partition, stripe initialization, SA exploration.
+    /// G-Map: DP graph partition, stripe initialization, SA exploration
+    /// (parallel per-group chains with memoized evaluation).
     pub fn map(&self, dnn: &Dnn, batch: u32, opts: &MappingOptions) -> MappedDnn {
         let arch = self.ev.arch();
         let partition = partition_graph(dnn, arch, batch, &opts.partition);

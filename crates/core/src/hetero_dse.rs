@@ -152,6 +152,12 @@ pub fn evaluate_hetero_candidate(
 
 /// Runs the heterogeneous DSE over all class assignments.
 ///
+/// Assignments fan out over `opts.threads` scoped workers, mirroring
+/// the homogeneous [`crate::dse::run_dse_over`]; per-group SA chains
+/// inside each mapping run are pinned to one thread when the candidate
+/// level is already parallel (auto setting only), so the machine is
+/// not oversubscribed. Results are identical at any thread count.
+///
 /// # Panics
 ///
 /// Panics if the grid is empty (no classes).
@@ -159,10 +165,16 @@ pub fn run_hetero_dse(dnns: &[Dnn], spec: &HeteroDseSpec, opts: &DseOptions) -> 
     let candidates = spec.candidates();
     assert!(!candidates.is_empty(), "no class assignments to explore");
     let cost = CostModel::default();
-    let records: Vec<HeteroDseRecord> = candidates
-        .iter()
-        .map(|hs| evaluate_hetero_candidate(&spec.fabric, hs, dnns, &cost, opts))
-        .collect();
+
+    let workers = opts.threads.clamp(1, candidates.len());
+    let mut opts_inner = opts.clone();
+    if workers > 1 && opts_inner.mapping.sa.threads == 0 {
+        opts_inner.mapping.sa.threads = 1;
+    }
+    let records: Vec<HeteroDseRecord> =
+        crate::pool::parallel_map_indexed(workers, candidates.len(), |i| {
+            evaluate_hetero_candidate(&spec.fabric, &candidates[i], dnns, &cost, &opts_inner)
+        });
     let best = records
         .iter()
         .enumerate()

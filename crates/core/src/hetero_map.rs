@@ -18,7 +18,11 @@
 //!    on a hetero evaluator therefore
 //!    already "schedules LP mapping on heterogeneous chiplets"; this
 //!    module only improves its starting point and exposes convenience
-//!    plumbing.
+//!    plumbing. The refinement inherits the parallel multi-chain SA
+//!    engine unchanged: every layer group anneals in its own chain
+//!    (see [`crate::sa::SaOptions::threads`]), and the memoized
+//!    evaluation cache keys on the parsed mapping, so heterogeneous
+//!    and homogeneous runs cache equally well.
 //!
 //! The `hetero_explore` bench quantifies both effects.
 

@@ -45,6 +45,7 @@ pub mod hetero_dse;
 pub mod hetero_map;
 pub mod joint;
 pub mod partition;
+pub(crate) mod pool;
 pub mod report;
 pub mod sa;
 pub mod space;

@@ -11,14 +11,42 @@
 //!   both `Part`s to match the new sizes;
 //! * **OP5** — re-draw one non-negative `FD` entry within `0..=D`.
 //!
-//! Each iteration picks a layer group with probability proportional to
-//! its optimization-space size (Sec. IV-B), applies one operator, and
-//! accepts by the Metropolis criterion on `E^beta * D^gamma`. Because
-//! D2D links are slow and energy-hungry, moves that add D2D traffic are
-//! naturally rejected more often — this is how Gemini "automatically
-//! optimizes D2D communication" without a dedicated objective term.
+//! # Parallel multi-chain exploration
+//!
+//! The paper ran its exploration on 80-thread servers. This engine
+//! recovers that parallelism structurally: every layer group gets its
+//! **own annealing chain**, and chains run concurrently under
+//! [`std::thread::scope`]. A chain mutates only its group's scheme and
+//! scores candidates against a *frozen snapshot* of every other group's
+//! initial scheme and flow-of-data (OF) selections — which is exactly
+//! what makes chains independent, so the outcome is **bit-identical at
+//! any thread count**. Each chain draws from a private RNG stream
+//! derived from [`SaOptions::seed`] and the group index (splitmix64
+//! mixing; see [`chain_seed`]), and the total iteration budget is
+//! apportioned across chains proportionally to each group's
+//! optimization-space size (Sec. IV-B), replacing the sequential
+//! engine's per-iteration weighted group pick.
+//!
+//! A chain still sees cross-group coupling where it matters: when a
+//! move changes the group's OF (OP5 on an ofmap entry), the chain
+//! re-evaluates the consumer groups of that output — at their frozen
+//! schemes — under the new OF overlay, so moves that push traffic onto
+//! slow, energy-hungry D2D links are rejected exactly as in the paper
+//! ("automatically optimizes D2D communication" without a dedicated
+//! objective term). After all chains finish, the per-group best schemes
+//! are recombined, the OF map is rebuilt from the winners, and the
+//! whole DNN is re-evaluated for the reported cost; if cross-group OF
+//! interactions ever made the recombination worse than the initial
+//! scheme, the initial scheme is returned instead (the engine never
+//! regresses its starting point).
+//!
+//! Candidate evaluation is memoized through
+//! [`gemini_sim::EvalCache`]: each chain keeps a private cache keyed on
+//! the parsed [`gemini_sim::GroupMapping`], so rejected or revisited
+//! candidates are never re-simulated. Cache hit statistics surface in
+//! [`SaStats`].
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,7 +54,7 @@ use serde::{Deserialize, Serialize};
 
 use gemini_arch::ArchConfig;
 use gemini_model::{Dnn, LayerId};
-use gemini_sim::{DramSel, Evaluator, GroupReport};
+use gemini_sim::{DramSel, EvalCache, Evaluator, GroupReport};
 
 use crate::encoding::{GroupSpec, Lms};
 use crate::factor::random_part;
@@ -36,14 +64,16 @@ use crate::space::group_weight;
 /// Options for the SA engine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SaOptions {
-    /// Total iterations across all layer groups.
+    /// Total iterations across all layer groups (apportioned over the
+    /// per-group chains by optimization-space size).
     pub iters: u32,
     /// Initial relative temperature (fraction of current cost a move may
     /// exceed and still be accepted with probability 1/e).
     pub t0: f64,
     /// Final relative temperature.
     pub t_end: f64,
-    /// RNG seed (explorations are deterministic given the seed).
+    /// RNG seed (explorations are deterministic given the seed, at any
+    /// thread count).
     pub seed: u64,
     /// Which of OP1..OP5 are enabled (for the ablation study).
     pub enabled_ops: [bool; 5],
@@ -51,6 +81,15 @@ pub struct SaOptions {
     pub beta: f64,
     /// Delay exponent.
     pub gamma: f64,
+    /// Worker threads for the per-group chains: `0` uses all available
+    /// hardware parallelism, `1` runs chains sequentially. Results are
+    /// identical either way; only wall-clock time changes.
+    pub threads: usize,
+    /// Memoize group evaluations (on by default). A cached report is
+    /// bit-identical to a fresh simulation, so this knob — like
+    /// `threads` — only moves wall-clock time; it exists for the
+    /// cold-cache/warm-cache comparison in the `micro` bench.
+    pub cache: bool,
 }
 
 impl Default for SaOptions {
@@ -63,27 +102,91 @@ impl Default for SaOptions {
             enabled_ops: [true; 5],
             beta: 1.0,
             gamma: 1.0,
+            threads: 0,
+            cache: true,
         }
     }
 }
 
 impl SaOptions {
-    /// Default options with the iteration budget taken from the
-    /// `GEMINI_SA_ITERS` environment variable when set (the paper ran
-    /// on 80-thread servers; scaled-down budgets keep the suite
-    /// laptop-friendly, see DESIGN.md).
+    /// Default options with overrides from the environment (the paper
+    /// ran on 80-thread servers; scaled-down budgets keep the suite
+    /// laptop-friendly, see DESIGN.md):
+    ///
+    /// * `GEMINI_SA_ITERS` — iteration budget;
+    /// * `GEMINI_SA_SEED` — RNG seed;
+    /// * `GEMINI_SA_THREADS` — chain worker threads (`0` = all cores).
+    ///
+    /// Unparsable values are **not** silently ignored: a warning naming
+    /// the variable and the kept default goes to stderr.
     pub fn from_env() -> Self {
         let mut o = Self::default();
-        if let Ok(v) = std::env::var("GEMINI_SA_ITERS") {
-            if let Ok(n) = v.parse::<u32>() {
-                o.iters = n;
-            }
-        }
+        env_override("GEMINI_SA_ITERS", &mut o.iters);
+        env_override("GEMINI_SA_SEED", &mut o.seed);
+        env_override("GEMINI_SA_THREADS", &mut o.threads);
         o
+    }
+
+    /// The number of chain workers this configuration resolves to.
+    pub fn chain_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
     }
 }
 
-/// Statistics of one SA run.
+/// Overwrites `slot` with the parsed value of `name` when set; warns on
+/// stderr (keeping the current value) when the variable is set but does
+/// not parse.
+fn env_override<T>(name: &str, slot: &mut T)
+where
+    T: std::str::FromStr + std::fmt::Display,
+{
+    if let Ok(v) = std::env::var(name) {
+        match v.trim().parse::<T>() {
+            Ok(n) => *slot = n,
+            Err(_) => eprintln!(
+                "warning: ignoring unparsable {name}={v:?} (expected a number; keeping {slot})"
+            ),
+        }
+    }
+}
+
+/// Deterministic per-chain RNG seed: splitmix64 finalization over the
+/// run seed and the group index, so every chain draws from a distinct,
+/// thread-count-independent stream.
+pub fn chain_seed(seed: u64, group: u64) -> u64 {
+    let mut z = seed ^ group.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Geometric cooling temperature for iteration `iter` of a chain of
+/// `span` iterations.
+///
+/// Degenerate inputs are guarded: non-positive (or NaN) `t0`/`t_end`
+/// are floored at a tiny positive temperature and `t_end` is capped at
+/// `t0`, so the Metropolis criterion never sees `inf`/`NaN`. The
+/// schedule is anchored so the **last** iteration (`iter == span - 1`)
+/// runs exactly at `t_end` (the pre-fix schedule stopped one geometric
+/// step short).
+pub fn temperature(opts: &SaOptions, iter: u32, span: u32) -> f64 {
+    const T_MIN: f64 = 1e-12;
+    let t0 = opts.t0.max(T_MIN); // max() also swallows NaN
+    let t_end = opts.t_end.max(T_MIN).min(t0);
+    if span <= 1 {
+        return t_end;
+    }
+    let frac = iter.min(span - 1) as f64 / (span - 1) as f64;
+    t0 * (t_end / t0).powf(frac)
+}
+
+/// Statistics of one SA run (counters are summed over all chains).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct SaStats {
     /// Iterations executed.
@@ -100,6 +203,12 @@ pub struct SaStats {
     pub init_cost: f64,
     /// Cost of the returned scheme.
     pub final_cost: f64,
+    /// Annealing chains run (one per layer group).
+    pub chains: u32,
+    /// Group evaluations answered from the memo cache.
+    pub cache_hits: u64,
+    /// Group evaluations that ran the full simulator.
+    pub cache_misses: u64,
 }
 
 /// Result of an SA exploration over a whole DNN's groups.
@@ -130,10 +239,84 @@ const APPLIED: OpOutcome = OpOutcome {
     changed_of: false,
 };
 
+/// Apportions the iteration budget over the chains proportionally to
+/// `weights` (largest-remainder rounding; the result sums to `iters`
+/// exactly, deterministically).
+fn apportion(iters: u32, weights: &[f64]) -> Vec<u32> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let total: f64 = weights.iter().sum();
+    if !total.is_finite() || total <= 0.0 {
+        // Degenerate weights: equal split.
+        let base = iters / n as u32;
+        let mut out = vec![base; n];
+        for slot in out.iter_mut().take((iters % n as u32) as usize) {
+            *slot += 1;
+        }
+        return out;
+    }
+    let mut out = vec![0u32; n];
+    let mut rema: Vec<(f64, usize)> = Vec::with_capacity(n);
+    let mut assigned = 0u32;
+    for (i, w) in weights.iter().enumerate() {
+        let share = iters as f64 * w / total;
+        let floor = share.floor().min(iters as f64) as u32;
+        out[i] = floor;
+        assigned += floor;
+        rema.push((share - floor as f64, i));
+    }
+    // Hand the remainder to the largest fractional parts; ties break by
+    // group index for determinism.
+    rema.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut left = iters.saturating_sub(assigned);
+    for (_, i) in rema {
+        if left == 0 {
+            break;
+        }
+        out[i] += 1;
+        left -= 1;
+    }
+    out
+}
+
+/// The per-chain exploration state and result.
+struct ChainResult {
+    best_lms: Lms,
+    stats: SaStats,
+}
+
+/// Immutable inputs shared by every chain (one borrow to pass through
+/// the thread scope).
+struct ChainCtx<'a> {
+    dnn: &'a Dnn,
+    ev: &'a Evaluator,
+    partition: &'a GraphPartition,
+    /// Initial scheme per group — the frozen snapshot chains score
+    /// against.
+    init: &'a [Lms],
+    /// Evaluation of `init`, parallel to the groups.
+    init_reports: &'a [GroupReport],
+    /// OF selections of `init`, across all groups.
+    of_map: &'a HashMap<LayerId, DramSel>,
+    /// Consumer groups of each group's outputs (sorted, deduplicated).
+    consumers: &'a [Vec<usize>],
+    /// Iteration budget per chain.
+    budget: &'a [u32],
+    /// Enabled operator indices.
+    enabled: &'a [usize],
+    batch: u32,
+    opts: &'a SaOptions,
+}
+
 /// Runs the SA exploration for all groups of a partitioned DNN.
 ///
 /// `init` supplies the initial scheme per group (normally the stripe
-/// heuristic). The returned outcome holds the best state visited.
+/// heuristic). The returned outcome holds the best state visited, and
+/// is never worse than `init`. Chains for different groups run
+/// concurrently (see [`SaOptions::threads`]); the outcome is identical
+/// at any thread count.
 pub fn optimize(
     dnn: &Dnn,
     ev: &Evaluator,
@@ -143,20 +326,18 @@ pub fn optimize(
     opts: &SaOptions,
 ) -> SaOutcome {
     assert_eq!(init.len(), partition.groups.len(), "one Lms per group");
-    let arch = ev.arch().clone();
-    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let arch = ev.arch();
     let n_groups = partition.groups.len();
 
-    // Committed state.
-    let mut lms = init;
-    let mut of_map = build_of_map(dnn, partition, &lms);
-    let mut reports: Vec<GroupReport> = (0..n_groups)
+    // Frozen snapshot: initial OF selections and per-group evaluations.
+    let of_map = build_of_map(dnn, partition, &init);
+    let init_reports: Vec<GroupReport> = (0..n_groups)
         .map(|g| {
             eval_group(
                 dnn,
                 ev,
                 partition,
-                &lms[g],
+                &init[g],
                 g,
                 &of_map,
                 &HashMap::new(),
@@ -164,88 +345,215 @@ pub fn optimize(
             )
         })
         .collect();
-    let mut e_total: f64 = reports.iter().map(|r| r.energy.total()).sum();
-    let mut d_total: f64 = reports.iter().map(|r| r.delay_s).sum();
-    let mut cost = cost_of(e_total, d_total, opts);
+    let e_init: f64 = init_reports.iter().map(|r| r.energy.total()).sum();
+    let d_init: f64 = init_reports.iter().map(|r| r.delay_s).sum();
+    let init_cost = cost_of(e_init, d_init, opts);
 
     let mut stats = SaStats {
-        init_cost: cost,
+        init_cost,
+        chains: n_groups as u32,
         ..Default::default()
     };
 
-    // Best state seen.
-    let mut best_lms = lms.clone();
-    let mut best_reports = reports.clone();
-    let mut best_cost = cost;
+    let enabled: Vec<usize> = (0..5).filter(|&i| opts.enabled_ops[i]).collect();
+    if enabled.is_empty() || n_groups == 0 {
+        stats.final_cost = init_cost;
+        return SaOutcome {
+            lms: init,
+            reports: init_reports,
+            cost: init_cost,
+            stats,
+        };
+    }
 
-    // Group-selection weights proportional to space size.
+    // Iteration budget per chain, proportional to space size (Sec. IV-B).
     let weights: Vec<f64> = partition
         .groups
         .iter()
         .map(|g| group_weight(arch.n_cores() as u64, g.members.len() as u64))
         .collect();
-    let total_w: f64 = weights.iter().sum();
+    let budget = apportion(opts.iters, &weights);
 
     // Consumers of each group's outputs (for OF-change invalidation).
     let consumers = consumer_groups(dnn, partition);
 
-    let enabled: Vec<usize> = (0..5).filter(|&i| opts.enabled_ops[i]).collect();
-    if enabled.is_empty() || n_groups == 0 {
-        stats.final_cost = cost;
-        return SaOutcome {
-            lms,
-            reports,
-            cost,
-            stats,
-        };
+    let ctx = ChainCtx {
+        dnn,
+        ev,
+        partition,
+        init: &init,
+        init_reports: &init_reports,
+        of_map: &of_map,
+        consumers: &consumers,
+        budget: &budget,
+        enabled: &enabled,
+        batch,
+        opts,
+    };
+
+    let results: Vec<ChainResult> =
+        crate::pool::parallel_map_indexed(opts.chain_threads(), n_groups, |g| run_chain(&ctx, g));
+
+    // Merge statistics and recombine the per-group winners.
+    let mut lms_final: Vec<Lms> = Vec::with_capacity(n_groups);
+    for r in results {
+        stats.iters += r.stats.iters;
+        stats.accepted += r.stats.accepted;
+        stats.improved += r.stats.improved;
+        stats.failed_ops += r.stats.failed_ops;
+        for (a, b) in stats.op_applied.iter_mut().zip(r.stats.op_applied) {
+            *a += b;
+        }
+        stats.cache_hits += r.stats.cache_hits;
+        stats.cache_misses += r.stats.cache_misses;
+        lms_final.push(r.best_lms);
     }
 
-    for iter in 0..opts.iters {
-        stats.iters = iter + 1;
-        let g = pick_weighted(&weights, total_w, &mut rng);
-        let op = enabled[rng.gen_range(0..enabled.len())];
+    // Joint evaluation of the recombined schemes under their own OF map.
+    let of_final = build_of_map(dnn, partition, &lms_final);
+    let reports_final: Vec<GroupReport> = (0..n_groups)
+        .map(|g| {
+            eval_group(
+                dnn,
+                ev,
+                partition,
+                &lms_final[g],
+                g,
+                &of_final,
+                &HashMap::new(),
+                batch,
+            )
+        })
+        .collect();
+    let e_final: f64 = reports_final.iter().map(|r| r.energy.total()).sum();
+    let d_final: f64 = reports_final.iter().map(|r| r.delay_s).sum();
+    let final_cost = cost_of(e_final, d_final, opts);
 
-        let spec = &partition.groups[g];
-        let mut trial = lms[g].clone();
-        let outcome = apply_op(op, dnn, &arch, spec, &mut trial, &mut rng);
+    if final_cost <= init_cost {
+        stats.final_cost = final_cost;
+        SaOutcome {
+            lms: lms_final,
+            reports: reports_final,
+            cost: final_cost,
+            stats,
+        }
+    } else {
+        // Cross-group OF interactions made the recombination worse than
+        // the starting point; keep the guarantee and return the start.
+        stats.final_cost = init_cost;
+        SaOutcome {
+            lms: init,
+            reports: init_reports,
+            cost: init_cost,
+            stats,
+        }
+    }
+}
+
+/// Runs one group's annealing chain against the frozen snapshot.
+fn run_chain(ctx: &ChainCtx<'_>, g: usize) -> ChainResult {
+    let ChainCtx {
+        dnn,
+        ev,
+        partition,
+        init,
+        init_reports,
+        of_map,
+        consumers,
+        budget,
+        enabled,
+        batch,
+        opts,
+    } = *ctx;
+    let arch = ev.arch();
+    let spec = &partition.groups[g];
+    let cons = &consumers[g];
+    let span = budget[g];
+    let mut rng = StdRng::seed_from_u64(chain_seed(opts.seed, g as u64));
+    let mut cache = if opts.cache {
+        EvalCache::new()
+    } else {
+        EvalCache::with_capacity(0)
+    };
+    let mut stats = SaStats::default();
+
+    // Energy/delay of the frozen groups this chain never touches.
+    let mut e_rest = 0.0f64;
+    let mut d_rest = 0.0f64;
+    for (i, r) in init_reports.iter().enumerate() {
+        if i != g && !cons.contains(&i) {
+            e_rest += r.energy.total();
+            d_rest += r.delay_s;
+        }
+    }
+    // The chain's view of the global cost: frozen rest + own group +
+    // consumers (at their frozen schemes, under the chain's OF overlay).
+    let view = |own: &GroupReport, cons_reports: &[GroupReport]| {
+        let mut e = e_rest + own.energy.total();
+        let mut d = d_rest + own.delay_s;
+        for r in cons_reports {
+            e += r.energy.total();
+            d += r.delay_s;
+        }
+        cost_of(e, d, opts)
+    };
+
+    let mut cur = init[g].clone();
+    // The committed scheme's OF entries; empty means "same as the
+    // frozen map" (true for the initial scheme by construction).
+    let mut cur_overlay: HashMap<LayerId, DramSel> = HashMap::new();
+    let mut cons_reports: Vec<GroupReport> =
+        cons.iter().map(|&c| init_reports[c].clone()).collect();
+    let mut cost = view(&init_reports[g], &cons_reports);
+
+    let mut best_lms = cur.clone();
+    let mut best_cost = cost;
+
+    for iter in 0..span {
+        stats.iters = iter + 1;
+        let op = enabled[rng.gen_range(0..enabled.len())];
+        let mut trial = cur.clone();
+        let outcome = apply_op(op, dnn, arch, spec, &mut trial, &mut rng);
         if !outcome.applied {
             stats.failed_ops += 1;
             continue;
         }
         debug_assert!(
-            trial.validate(dnn, &arch, spec).is_ok(),
+            trial.validate(dnn, arch, spec).is_ok(),
             "operator broke invariants"
         );
 
-        // OF changes redirect where consumer groups read from.
-        let mut overlay = HashMap::new();
-        if outcome.changed_of {
-            collect_of(dnn, spec, &trial, &mut overlay);
-        }
-        let mut affected = vec![g];
-        if outcome.changed_of {
-            affected.extend(consumers[g].iter().copied());
-        }
+        // OF changes redirect where this group's consumers read from.
+        let trial_overlay: HashMap<LayerId, DramSel>;
+        let overlay = if outcome.changed_of {
+            let mut o = HashMap::new();
+            collect_of(dnn, spec, &trial, &mut o);
+            trial_overlay = o;
+            &trial_overlay
+        } else {
+            &cur_overlay
+        };
 
-        // Re-evaluate affected groups.
-        let mut new_reports: Vec<(usize, GroupReport)> = Vec::with_capacity(affected.len());
-        for &a in &affected {
-            let l = if a == g { &trial } else { &lms[a] };
-            new_reports.push((
-                a,
-                eval_group(dnn, ev, partition, l, a, &of_map, &overlay, batch),
-            ));
-        }
-        let mut e_new = e_total;
-        let mut d_new = d_total;
-        for (a, r) in &new_reports {
-            e_new += r.energy.total() - reports[*a].energy.total();
-            d_new += r.delay_s - reports[*a].delay_s;
-        }
-        let new_cost = cost_of(e_new, d_new, opts);
+        let trial_own = eval_group_cached(
+            dnn, ev, &mut cache, partition, &trial, g, of_map, overlay, batch,
+        );
+        let trial_cons: Option<Vec<GroupReport>> = if outcome.changed_of {
+            Some(
+                cons.iter()
+                    .map(|&c| {
+                        eval_group_cached(
+                            dnn, ev, &mut cache, partition, &init[c], c, of_map, overlay, batch,
+                        )
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let new_cost = view(&trial_own, trial_cons.as_deref().unwrap_or(&cons_reports));
 
         // Metropolis acceptance on the relative cost change.
-        let t = opts.t0 * (opts.t_end / opts.t0).powf(iter as f64 / opts.iters.max(1) as f64);
+        let t = temperature(opts, iter, span);
         let delta = (new_cost - cost) / cost.max(f64::MIN_POSITIVE);
         let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / t).exp();
         if accept {
@@ -254,46 +562,26 @@ pub fn optimize(
             }
             stats.accepted += 1;
             stats.op_applied[op] += 1;
-            lms[g] = trial;
-            for (a, r) in new_reports {
-                reports[a] = r;
+            cur = trial;
+            if let Some(c) = trial_cons {
+                cons_reports = c;
+                cur_overlay = overlay.clone();
             }
-            for (k, v) in overlay {
-                of_map.insert(k, v);
-            }
-            e_total = e_new;
-            d_total = d_new;
             cost = new_cost;
             if cost < best_cost {
                 best_cost = cost;
-                best_lms = lms.clone();
-                best_reports = reports.clone();
+                best_lms = cur.clone();
             }
         }
     }
 
-    stats.final_cost = best_cost;
-    SaOutcome {
-        lms: best_lms,
-        reports: best_reports,
-        cost: best_cost,
-        stats,
-    }
+    stats.cache_hits = cache.hits();
+    stats.cache_misses = cache.misses();
+    ChainResult { best_lms, stats }
 }
 
 fn cost_of(e: f64, d: f64, opts: &SaOptions) -> f64 {
     e.powf(opts.beta) * d.powf(opts.gamma)
-}
-
-fn pick_weighted<R: Rng + ?Sized>(weights: &[f64], total: f64, rng: &mut R) -> usize {
-    let mut x = rng.gen::<f64>() * total;
-    for (i, w) in weights.iter().enumerate() {
-        x -= w;
-        if x <= 0.0 {
-            return i;
-        }
-    }
-    weights.len() - 1
 }
 
 /// Gathers the OF selections of every layer whose output is explicitly
@@ -316,27 +604,28 @@ fn collect_of(dnn: &Dnn, spec: &GroupSpec, lms: &Lms, map: &mut HashMap<LayerId,
     }
 }
 
-/// Groups that consume outputs of each group.
-fn consumer_groups(dnn: &Dnn, partition: &GraphPartition) -> Vec<Vec<usize>> {
+/// Groups that consume outputs of each group, sorted and deduplicated
+/// (set-based — linear in edges, not quadratic in consumers).
+pub(crate) fn consumer_groups(dnn: &Dnn, partition: &GraphPartition) -> Vec<Vec<usize>> {
     let mut group_of: HashMap<LayerId, usize> = HashMap::new();
     for (gi, g) in partition.groups.iter().enumerate() {
         for &m in &g.members {
             group_of.insert(m, gi);
         }
     }
-    let mut out = vec![Vec::new(); partition.groups.len()];
+    let mut sets: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); partition.groups.len()];
     for (gi, g) in partition.groups.iter().enumerate() {
         for &m in &g.members {
             for &s in dnn.succs(m) {
                 if let Some(&cg) = group_of.get(&s) {
-                    if cg != gi && !out[gi].contains(&cg) {
-                        out[gi].push(cg);
+                    if cg != gi {
+                        sets[gi].insert(cg);
                     }
                 }
             }
         }
     }
-    out
+    sets.into_iter().map(|s| s.into_iter().collect()).collect()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -351,6 +640,37 @@ fn eval_group(
     batch: u32,
 ) -> GroupReport {
     let spec = &partition.groups[g];
+    let gm = parse_group(dnn, spec, lms, of_map, overlay);
+    ev.evaluate_group(dnn, &gm, batch)
+}
+
+/// Memoized variant of [`eval_group`]: the parsed mapping keys the
+/// cache, so revisited candidates cost a hash probe instead of a
+/// simulation.
+#[allow(clippy::too_many_arguments)]
+fn eval_group_cached(
+    dnn: &Dnn,
+    ev: &Evaluator,
+    cache: &mut EvalCache,
+    partition: &GraphPartition,
+    lms: &Lms,
+    g: usize,
+    of_map: &HashMap<LayerId, DramSel>,
+    overlay: &HashMap<LayerId, DramSel>,
+    batch: u32,
+) -> GroupReport {
+    let spec = &partition.groups[g];
+    let gm = parse_group(dnn, spec, lms, of_map, overlay);
+    cache.evaluate(ev, dnn, &gm, batch)
+}
+
+fn parse_group(
+    dnn: &Dnn,
+    spec: &GroupSpec,
+    lms: &Lms,
+    of_map: &HashMap<LayerId, DramSel>,
+    overlay: &HashMap<LayerId, DramSel>,
+) -> gemini_sim::GroupMapping {
     let resolver = |p: LayerId| {
         overlay
             .get(&p)
@@ -358,8 +678,7 @@ fn eval_group(
             .copied()
             .unwrap_or(DramSel::Interleaved)
     };
-    let gm = lms.parse(dnn, spec, &resolver);
-    ev.evaluate_group(dnn, &gm, batch)
+    lms.parse(dnn, spec, &resolver)
 }
 
 /// Applies one of the five SPM operators (0-based OP1..OP5) to a
@@ -631,6 +950,257 @@ mod tests {
         let b = optimize(&dnn, &ev, &partition, init, 4, &opts);
         assert_eq!(a.cost, b.cost);
         assert_eq!(a.lms, b.lms);
+    }
+
+    #[test]
+    fn parallel_chains_bit_identical_to_sequential() {
+        // The acceptance gate of the parallel engine: 2- and 8-thread
+        // runs must reproduce the sequential run bit for bit — cost,
+        // schemes and every statistic, including cache counters.
+        // GoogLeNet partitions into several groups here, so the chain
+        // fan-out (and the worker pool with fewer threads than chains)
+        // is genuinely exercised.
+        let dnn = zoo::by_name("gn").expect("googlenet in the zoo");
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let partition = partition_graph(&dnn, &arch, 8, &PartitionOptions::default());
+        assert!(
+            partition.groups.len() >= 4,
+            "need a multi-group workload to exercise parallel chains"
+        );
+        let init: Vec<Lms> = partition
+            .groups
+            .iter()
+            .map(|g| stripe_lms(&dnn, &arch, g))
+            .collect();
+        let run = |threads: usize| {
+            let opts = SaOptions {
+                iters: 300,
+                seed: 2024,
+                threads,
+                ..Default::default()
+            };
+            optimize(&dnn, &ev, &partition, init.clone(), 8, &opts)
+        };
+        let seq = run(1);
+        for threads in [2, 8] {
+            let par = run(threads);
+            assert_eq!(
+                seq.cost.to_bits(),
+                par.cost.to_bits(),
+                "{threads}-thread cost differs"
+            );
+            assert_eq!(seq.lms, par.lms, "{threads}-thread schemes differ");
+            assert_eq!(seq.stats, par.stats, "{threads}-thread stats differ");
+        }
+    }
+
+    #[test]
+    fn memo_cache_gets_hits() {
+        // Revisited candidates must come out of the cache, not the
+        // simulator: on a small space the hit rate is substantial.
+        let (dnn, ev, partition, init) = setup(4);
+        let opts = SaOptions {
+            iters: 300,
+            seed: 11,
+            ..Default::default()
+        };
+        let out = optimize(&dnn, &ev, &partition, init, 4, &opts);
+        assert!(
+            out.stats.cache_hits > 0,
+            "300 iterations on a small space must revisit states: {:?}",
+            out.stats
+        );
+        // Every non-failed iteration asks for at least one evaluation.
+        let lookups = out.stats.cache_hits + out.stats.cache_misses;
+        assert!(lookups >= (out.stats.iters - out.stats.failed_ops) as u64);
+    }
+
+    #[test]
+    fn cache_off_is_bit_identical_to_cache_on() {
+        // Memoization is transparent: disabling it (always-cold cache)
+        // must change nothing but wall-clock time.
+        let (dnn, ev, partition, init) = setup(4);
+        let on = SaOptions {
+            iters: 200,
+            seed: 13,
+            ..Default::default()
+        };
+        let off = SaOptions {
+            cache: false,
+            ..on.clone()
+        };
+        let a = optimize(&dnn, &ev, &partition, init.clone(), 4, &on);
+        let b = optimize(&dnn, &ev, &partition, init, 4, &off);
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        assert_eq!(a.lms, b.lms);
+        assert_eq!(b.stats.cache_hits, 0, "disabled cache never hits");
+        assert_eq!(a.stats.accepted, b.stats.accepted);
+    }
+
+    #[test]
+    fn chain_budget_apportionment_is_exact() {
+        assert_eq!(apportion(10, &[]), Vec::<u32>::new());
+        assert_eq!(apportion(10, &[1.0]), vec![10]);
+        let b = apportion(10, &[1.0, 1.0, 1.0]);
+        assert_eq!(b.iter().sum::<u32>(), 10);
+        assert!(b.iter().all(|&x| (3..=4).contains(&x)), "{b:?}");
+        // Heavier groups get more of the budget.
+        let b = apportion(100, &[3.0, 1.0]);
+        assert_eq!(b, vec![75, 25]);
+        // Degenerate weights fall back to an equal split.
+        let b = apportion(7, &[0.0, 0.0, 0.0]);
+        assert_eq!(b.iter().sum::<u32>(), 7);
+        let b = apportion(4, &[f64::INFINITY, 1.0]);
+        assert_eq!(b.iter().sum::<u32>(), 4);
+    }
+
+    #[test]
+    fn chain_seeds_are_distinct_streams() {
+        let s: Vec<u64> = (0..64).map(|g| chain_seed(0xC0FFEE, g)).collect();
+        let uniq: std::collections::HashSet<u64> = s.iter().copied().collect();
+        assert_eq!(uniq.len(), s.len(), "chain seeds must not collide");
+        // And a different run seed moves every stream.
+        for (g, &v) in s.iter().enumerate() {
+            assert_ne!(v, chain_seed(0xBEEF, g as u64));
+        }
+    }
+
+    #[test]
+    fn cooling_schedule_guards_and_anchors() {
+        let mut opts = SaOptions {
+            t0: 0.2,
+            t_end: 1e-3,
+            ..Default::default()
+        };
+        // The last iteration runs exactly at t_end; the first at t0.
+        assert_eq!(temperature(&opts, 0, 100), 0.2);
+        assert!((temperature(&opts, 99, 100) - 1e-3).abs() < 1e-15);
+        // Monotone non-increasing in between.
+        let mut prev = f64::INFINITY;
+        for i in 0..100 {
+            let t = temperature(&opts, i, 100);
+            assert!(t.is_finite() && t > 0.0);
+            assert!(t <= prev);
+            prev = t;
+        }
+        // Degenerate inputs are guarded: no NaN/inf ever reaches the
+        // Metropolis criterion.
+        for (t0, t_end) in [(0.0, 1e-3), (0.2, 0.0), (0.0, 0.0), (-1.0, -2.0)] {
+            opts.t0 = t0;
+            opts.t_end = t_end;
+            for i in [0, 1, 50, 99] {
+                let t = temperature(&opts, i, 100);
+                assert!(t.is_finite() && t > 0.0, "t0={t0} t_end={t_end} -> {t}");
+            }
+        }
+        // t_end above t0 is capped at t0.
+        opts.t0 = 0.1;
+        opts.t_end = 5.0;
+        assert_eq!(temperature(&opts, 99, 100), 0.1);
+        // One-iteration chains run at the final temperature.
+        opts.t_end = 1e-3;
+        assert_eq!(temperature(&opts, 0, 1), 1e-3);
+    }
+
+    #[test]
+    fn degenerate_temperatures_do_not_poison_search() {
+        // Before the guard, t0 = 0 made `(t_end/t0)` infinite and every
+        // Metropolis draw NaN; the engine must still run and not regress.
+        let (dnn, ev, partition, init) = setup(4);
+        let opts = SaOptions {
+            iters: 80,
+            seed: 9,
+            t0: 0.0,
+            t_end: 0.0,
+            ..Default::default()
+        };
+        let out = optimize(&dnn, &ev, &partition, init, 4, &opts);
+        assert!(out.cost.is_finite());
+        assert!(out.cost <= out.stats.init_cost * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn consumer_groups_wide_fanout() {
+        // Regression for the O(n^2) `contains` dedup: one producer
+        // feeding 64 single-layer consumer groups, each through several
+        // members, must yield each consumer exactly once, sorted.
+        use crate::encoding::GroupSpec;
+        use gemini_model::{ConvParams, DnnBuilder, FmapShape, LayerKind};
+        let mut b = DnnBuilder::new("fanout");
+        let x = b.input(FmapShape::new(8, 8, 16));
+        let root = b
+            .add(
+                "root",
+                LayerKind::Conv(ConvParams::dense((1, 1), (1, 1), (0, 0), 16)),
+                FmapShape::new(8, 8, 16),
+                &[x],
+            )
+            .unwrap();
+        let branches: Vec<LayerId> = (0..64)
+            .map(|i| {
+                b.add(
+                    format!("branch{i}"),
+                    LayerKind::Conv(ConvParams::dense((1, 1), (1, 1), (0, 0), 16)),
+                    FmapShape::new(8, 8, 8),
+                    &[root],
+                )
+                .unwrap()
+            })
+            .collect();
+        let dnn = b.build();
+        let mut groups = vec![GroupSpec {
+            members: vec![root],
+            batch_unit: 1,
+        }];
+        groups.extend(branches.iter().map(|&id| GroupSpec {
+            members: vec![id],
+            batch_unit: 1,
+        }));
+        let partition = GraphPartition { groups };
+        let cons = consumer_groups(&dnn, &partition);
+        assert_eq!(cons[0], (1..=64).collect::<Vec<usize>>());
+        for c in &cons[1..] {
+            assert!(c.is_empty(), "branches have no consumers");
+        }
+    }
+
+    #[test]
+    fn from_env_reads_overrides() {
+        // Env mutation is process-global; no other test in this crate
+        // reads these variables, and externally-set values (e.g. the CI
+        // job exporting GEMINI_SA_THREADS) are restored on exit rather
+        // than blown away.
+        const VARS: [&str; 3] = ["GEMINI_SA_ITERS", "GEMINI_SA_SEED", "GEMINI_SA_THREADS"];
+        let prev: Vec<Option<String>> = VARS.iter().map(|v| std::env::var(v).ok()).collect();
+        let restore = || {
+            for (var, old) in VARS.iter().zip(&prev) {
+                match old {
+                    Some(v) => std::env::set_var(var, v),
+                    None => std::env::remove_var(var),
+                }
+            }
+        };
+
+        std::env::set_var("GEMINI_SA_ITERS", "123");
+        std::env::set_var("GEMINI_SA_SEED", "77");
+        std::env::set_var("GEMINI_SA_THREADS", "3");
+        let parsed = SaOptions::from_env();
+
+        // Unparsable values keep the defaults (and warn on stderr).
+        std::env::set_var("GEMINI_SA_ITERS", "not-a-number");
+        std::env::remove_var("GEMINI_SA_SEED");
+        std::env::remove_var("GEMINI_SA_THREADS");
+        let unparsable = SaOptions::from_env();
+
+        // Restore before asserting so a failure cannot leak state.
+        restore();
+        assert_eq!(parsed.iters, 123);
+        assert_eq!(parsed.seed, 77);
+        assert_eq!(parsed.threads, 3);
+        assert_eq!(parsed.chain_threads(), 3);
+        assert_eq!(unparsable.iters, SaOptions::default().iters);
+        assert_eq!(unparsable.seed, SaOptions::default().seed);
     }
 
     #[test]

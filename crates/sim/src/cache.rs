@@ -1,0 +1,238 @@
+//! Memoized group evaluation.
+//!
+//! The SA engine proposes, rejects and re-proposes spatial-mapping
+//! candidates; a large share of the schemes it asks the evaluator about
+//! are states it has already visited (rejected moves retried later,
+//! oscillation around a local optimum, consumer groups re-checked under
+//! an unchanged flow overlay). [`EvalCache`] sits in front of
+//! [`Evaluator::evaluate_group`] and returns the stored [`GroupReport`]
+//! for any [`GroupMapping`] it has evaluated before.
+//!
+//! The key is the parsed mapping itself (plus the batch size), compared
+//! by full structural equality — a hash collision can cost a probe but
+//! never return a wrong report. Because a cached report is exactly the
+//! report the evaluator would have produced, memoization changes only
+//! wall-clock time, never results: explorations stay bit-identical with
+//! the cache on or off, warm or cold.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use gemini_model::Dnn;
+
+use crate::evaluate::{Evaluator, GroupReport};
+use crate::mapping::GroupMapping;
+
+/// Default entry cap: beyond this the cache is cleared wholesale.
+///
+/// Clearing (rather than evicting) keeps the policy deterministic and
+/// allocation-cheap; SA chains re-warm within a few hundred iterations.
+pub const DEFAULT_CACHE_CAP: usize = 1 << 16;
+
+/// A memoizing wrapper around [`Evaluator::evaluate_group`].
+///
+/// Not internally synchronized: each SA chain owns a private cache, so
+/// lookups are lock-free and the hit pattern is independent of how many
+/// chains run concurrently (a requirement for reproducibility at any
+/// thread count).
+#[derive(Debug)]
+pub struct EvalCache {
+    /// Buckets keyed by the mapping's structural hash; each entry keeps
+    /// the full `(mapping, batch)` key so collisions resolve by equality.
+    ///
+    /// Not a plain `HashMap<(GroupMapping, u32), GroupReport>` on
+    /// purpose: `HashMap::get` would need an owned `(GroupMapping, u32)`
+    /// probe key, forcing a multi-allocation clone of the mapping on
+    /// every lookup of the SA hot loop. Pre-hashing by `u64` probes
+    /// allocation-free; equality against the stored key preserves the
+    /// same collision guarantee the std map gives.
+    map: HashMap<u64, Vec<(GroupMapping, u32, GroupReport)>>,
+    entries: usize,
+    cap: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// Structural hash of the cache key, stable within one process (the
+/// probe and insert paths must agree; buckets never leave the process).
+fn key_hash(gm: &GroupMapping, batch: u32) -> u64 {
+    let mut h = DefaultHasher::new();
+    gm.hash(&mut h);
+    batch.hash(&mut h);
+    h.finish()
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EvalCache {
+    /// An empty cache with the default entry cap.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAP)
+    }
+
+    /// An empty cache holding at most `cap` entries (0 disables caching).
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            entries: 0,
+            cap,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Evaluates `gm` for `batch` total samples, reusing the stored
+    /// report when this exact mapping was evaluated before.
+    pub fn evaluate(
+        &mut self,
+        ev: &Evaluator,
+        dnn: &Dnn,
+        gm: &GroupMapping,
+        batch: u32,
+    ) -> GroupReport {
+        if self.cap == 0 {
+            self.misses += 1;
+            return ev.evaluate_group(dnn, gm, batch);
+        }
+        let h = key_hash(gm, batch);
+        if let Some(bucket) = self.map.get(&h) {
+            if let Some((_, _, r)) = bucket.iter().find(|(k, b, _)| *b == batch && k == gm) {
+                self.hits += 1;
+                return r.clone();
+            }
+        }
+        self.misses += 1;
+        let r = ev.evaluate_group(dnn, gm, batch);
+        if self.entries >= self.cap {
+            self.clear();
+        }
+        self.map
+            .entry(h)
+            .or_default()
+            .push((gm.clone(), batch, r.clone()));
+        self.entries += 1;
+        r
+    }
+
+    /// Lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that fell through to the evaluator.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Stored entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Drops all entries (stats are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.entries = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{DramSel, LayerAssignment, PredSrc};
+    use gemini_arch::presets;
+    use gemini_model::{split_dim, zoo, LayerId, Range1, Region};
+
+    fn mapping(dnn: &Dnn, n_cores: u16, batch_unit: u32) -> GroupMapping {
+        let conv1 = LayerId(1);
+        let s = dnn.layer(conv1).ofmap;
+        let parts = (0..n_cores)
+            .map(|i| {
+                (
+                    gemini_arch::CoreId(i),
+                    Region::new(
+                        Range1::full(s.h),
+                        Range1::full(s.w),
+                        split_dim(s.c, n_cores as u32, i as u32),
+                        Range1::full(batch_unit),
+                    ),
+                )
+            })
+            .collect();
+        GroupMapping {
+            members: vec![LayerAssignment {
+                layer: conv1,
+                parts,
+                pred_srcs: vec![PredSrc::Dram(DramSel::Specific(0))],
+                wgt_src: Some(DramSel::Specific(0)),
+                of_dst: Some(DramSel::Specific(1)),
+            }],
+            batch_unit,
+        }
+    }
+
+    #[test]
+    fn hit_returns_identical_report() {
+        let dnn = zoo::two_conv_example();
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let gm = mapping(&dnn, 4, 2);
+        let mut cache = EvalCache::new();
+        let a = cache.evaluate(&ev, &dnn, &gm, 8);
+        let b = cache.evaluate(&ev, &dnn, &gm, 8);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(a.delay_s.to_bits(), b.delay_s.to_bits());
+        assert_eq!(a.energy.total().to_bits(), b.energy.total().to_bits());
+        // And the cached report matches a direct evaluation bit-for-bit.
+        let direct = ev.evaluate_group(&dnn, &gm, 8);
+        assert_eq!(b.delay_s.to_bits(), direct.delay_s.to_bits());
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias() {
+        let dnn = zoo::two_conv_example();
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let mut cache = EvalCache::new();
+        let g2 = mapping(&dnn, 2, 2);
+        let g4 = mapping(&dnn, 4, 2);
+        let r2 = cache.evaluate(&ev, &dnn, &g2, 8);
+        let r4 = cache.evaluate(&ev, &dnn, &g4, 8);
+        assert_eq!(cache.misses(), 2);
+        assert!(r4.stage_time_s < r2.stage_time_s, "4 cores beat 2");
+        // Same mapping, different batch: a distinct key.
+        let r4b = cache.evaluate(&ev, &dnn, &g4, 16);
+        assert_eq!(cache.misses(), 3);
+        assert!(r4b.delay_s > r4.delay_s);
+    }
+
+    #[test]
+    fn cap_bounds_entries_and_zero_cap_disables() {
+        let dnn = zoo::two_conv_example();
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let mut tiny = EvalCache::with_capacity(1);
+        for bu in 1..=3 {
+            let _ = tiny.evaluate(&ev, &dnn, &mapping(&dnn, 2, bu), 8);
+        }
+        assert!(tiny.len() <= 1);
+        let mut off = EvalCache::with_capacity(0);
+        let gm = mapping(&dnn, 2, 2);
+        let _ = off.evaluate(&ev, &dnn, &gm, 8);
+        let _ = off.evaluate(&ev, &dnn, &gm, 8);
+        assert_eq!(off.hits(), 0);
+        assert_eq!(off.misses(), 2);
+        assert!(off.is_empty());
+    }
+}

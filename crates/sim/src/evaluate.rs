@@ -242,9 +242,15 @@ impl Evaluator {
 
     /// Evaluates one layer group's mapping for a total batch of `batch`
     /// samples processed in units of `gm.batch_unit`.
+    ///
+    /// A zero `batch_unit` is a structural error that
+    /// [`GroupMapping::validate`] reports as
+    /// [`crate::mapping::MappingError::ZeroBatchUnit`]; here it is
+    /// clamped to one sample per stage rather than dividing by zero, so
+    /// un-validated mappings degrade instead of panicking.
     pub fn evaluate_group(&self, dnn: &Dnn, gm: &GroupMapping, batch: u32) -> GroupReport {
         let d = self.arch.dram_count() as usize;
-        let rounds = batch.div_ceil(gm.batch_unit).max(1);
+        let rounds = batch.div_ceil(gm.batch_unit.max(1)).max(1);
         let member_ids = gm.layer_ids();
         let depth = dnn.depth_within(&member_ids);
 

@@ -20,6 +20,7 @@
 //! mappings (`gemini-core`): the mapping engine parses its layer-centric
 //! encoding into a [`GroupMapping`] and hands it to the [`Evaluator`].
 
+pub mod cache;
 pub mod energy;
 pub mod evaluate;
 pub mod fidelity;
@@ -29,6 +30,7 @@ pub mod program;
 pub mod stats;
 pub mod workload;
 
+pub use cache::EvalCache;
 pub use energy::{D2dEnergyModel, EnergyBreakdown, EnergyModel};
 pub use evaluate::{DnnReport, EvalOptions, Evaluator, GroupReport, StageBottleneck};
 pub use fidelity::{check_dnn, check_group, stage_flows, FidelityReport};

@@ -48,7 +48,7 @@ pub enum PredSrc {
 }
 
 /// One layer's assignment inside a group mapping.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct LayerAssignment {
     /// The layer.
     pub layer: LayerId,
@@ -64,7 +64,11 @@ pub struct LayerAssignment {
 }
 
 /// A fully-analyzed spatial mapping of one layer group.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The mapping is plain data with total equality and hashing, so it can
+/// serve directly as the key of the memoized evaluation cache
+/// ([`crate::cache::EvalCache`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct GroupMapping {
     /// Member layers in topological order.
     pub members: Vec<LayerAssignment>,
@@ -95,6 +99,8 @@ pub enum MappingError {
         /// Offending layer.
         layer: LayerId,
     },
+    /// The mapping's batch unit is zero (no samples per pipeline stage).
+    ZeroBatchUnit,
 }
 
 impl std::fmt::Display for MappingError {
@@ -119,6 +125,9 @@ impl std::fmt::Display for MappingError {
             MappingError::PredArity { layer } => {
                 write!(f, "{layer}: pred_srcs arity does not match the DNN graph")
             }
+            MappingError::ZeroBatchUnit => {
+                write!(f, "batch_unit must be >= 1 (zero samples per stage)")
+            }
         }
     }
 }
@@ -131,14 +140,18 @@ impl GroupMapping {
         self.members.iter().map(|m| m.layer).collect()
     }
 
-    /// Checks structural invariants: part regions cover each layer's
-    /// output cube exactly once (volume check), in-group references
-    /// point backwards, pred arities match the graph.
+    /// Checks structural invariants: the batch unit is at least one
+    /// sample, part regions cover each layer's output cube exactly once
+    /// (volume check), in-group references point backwards, pred
+    /// arities match the graph.
     ///
     /// # Errors
     ///
     /// Returns the first violated invariant.
     pub fn validate(&self, dnn: &Dnn) -> Result<(), MappingError> {
+        if self.batch_unit == 0 {
+            return Err(MappingError::ZeroBatchUnit);
+        }
         for (i, m) in self.members.iter().enumerate() {
             let shape = dnn.layer(m.layer).ofmap;
             let expected = shape.elems() * self.batch_unit as u64;
@@ -268,6 +281,13 @@ mod tests {
             gm.validate(&dnn),
             Err(MappingError::PredArity { .. })
         ));
+    }
+
+    #[test]
+    fn zero_batch_unit_detected() {
+        let (dnn, mut gm) = example_mapping();
+        gm.batch_unit = 0;
+        assert_eq!(gm.validate(&dnn), Err(MappingError::ZeroBatchUnit));
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //!
 //! * `gemini cost <preset>` — monetary-cost report of an architecture;
 //! * `gemini map <model> [--arch <preset>] [--batch N] [--iters N]
-//!   [--stats]` — map a workload with T-Map and G-Map and print the
-//!   comparison (`--stats` adds per-group utilization and the
+//!   [--threads N] [--stats]` — map a workload with T-Map and G-Map and
+//!   print the comparison (`--stats` adds per-group utilization and the
 //!   packet-level fidelity ladder);
 //! * `gemini dse [--tops T] [--stride N] [--batch N] [--iters N]` — run
 //!   the Table-I DSE and print the best architecture;
@@ -13,6 +13,11 @@
 //!   per-chiplet class-assignment DSE on a 4-chiplet fabric (Sec. V-D);
 //! * `gemini models` / `gemini archs` — list available workloads and
 //!   architecture presets.
+//!
+//! SA knobs default from the environment (`GEMINI_SA_ITERS`,
+//! `GEMINI_SA_SEED`, `GEMINI_SA_THREADS`); `--iters`/`--threads` win
+//! over the environment. `--threads 0` (the default) uses every core —
+//! mapping results are bit-identical at any thread count.
 //!
 //! Models are the paper's abbreviations (`rn-50`, `rnx`, `ires`, `pnas`,
 //! `tf`, `tf-large`, `gn`); presets are `s-arch`, `g-arch`, `t-arch`,
@@ -42,12 +47,32 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  gemini models [--detail]\n  gemini archs\n  gemini cost <preset>\n  \
-         gemini map <model> [--arch <preset>] [--batch N] [--iters N] [--stats]\n  \
+         gemini map <model> [--arch <preset>] [--batch N] [--iters N] [--threads N] [--stats]\n  \
          gemini dse [--tops T] [--stride N] [--batch N] [--iters N]\n  \
          gemini hetero <model> [--batch N] [--iters N]\n  \
          gemini heatmap <model> [--batch N] [--iters N]"
     );
     ExitCode::FAILURE
+}
+
+/// SA options from the environment, with CLI `--iters`/`--threads`
+/// overrides applied on top. Precedence for the budget: `--iters`,
+/// then a *parsable* `GEMINI_SA_ITERS`, then the per-command default
+/// (an unparsable env value warns via `from_env` and is treated as
+/// unset, not as the struct default).
+fn sa_opts(args: &[String], default_iters: u32) -> SaOptions {
+    let mut sa = SaOptions::from_env();
+    let env_iters = std::env::var("GEMINI_SA_ITERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok());
+    sa.iters = flag(args, "--iters")
+        .and_then(|v| v.parse().ok())
+        .or(env_iters)
+        .unwrap_or(default_iters);
+    if let Some(t) = flag(args, "--threads").and_then(|v| v.parse().ok()) {
+        sa.threads = t;
+    }
+    sa
 }
 
 fn main() -> ExitCode {
@@ -87,9 +112,8 @@ fn main() -> ExitCode {
             let batch: u32 = flag(&args, "--batch")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(8);
-            let iters: u32 = flag(&args, "--iters")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(800);
+            let sa = sa_opts(&args, 800);
+            let iters = sa.iters;
             let arch = gemini::arch::presets::g_arch_72();
             let ev = Evaluator::new(&arch);
             let engine = MappingEngine::new(&ev);
@@ -112,10 +136,7 @@ fn main() -> ExitCode {
                 &dnn,
                 batch,
                 &MappingOptions {
-                    sa: SaOptions {
-                        iters,
-                        ..Default::default()
-                    },
+                    sa,
                     ..Default::default()
                 },
             );
@@ -181,19 +202,15 @@ fn main() -> ExitCode {
             let batch: u32 = flag(&args, "--batch")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(16);
-            let iters: u32 = flag(&args, "--iters")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(1000);
+            let sa = sa_opts(&args, 1000);
             println!(
-                "mapping {} onto {} (batch {batch}, SA {iters})",
+                "mapping {} onto {} (batch {batch}, SA {} x {} threads)",
                 dnn.name(),
-                arch.paper_tuple()
+                arch.paper_tuple(),
+                sa.iters,
+                sa.chain_threads()
             );
             let ev = Evaluator::new(&arch);
-            let sa = SaOptions {
-                iters,
-                ..Default::default()
-            };
             let cmp = compare_mappings(&ev, &dnn, batch, &sa);
             println!(
                 "T-Map : {:9.3} ms  {:9.3} mJ",
@@ -247,9 +264,8 @@ fn main() -> ExitCode {
             let batch: u32 = flag(&args, "--batch")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(8);
-            let iters: u32 = flag(&args, "--iters")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(300);
+            let sa = sa_opts(&args, 300);
+            let iters = sa.iters;
             let fabric = ArchConfig::builder()
                 .cores(6, 6)
                 .cuts(2, 2)
@@ -274,10 +290,7 @@ fn main() -> ExitCode {
             let opts = DseOptions {
                 batch,
                 mapping: MappingOptions {
-                    sa: SaOptions {
-                        iters,
-                        ..Default::default()
-                    },
+                    sa,
                     ..Default::default()
                 },
                 ..Default::default()
@@ -313,18 +326,14 @@ fn main() -> ExitCode {
             let batch: u32 = flag(&args, "--batch")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(64);
-            let iters: u32 = flag(&args, "--iters")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(300);
+            let sa = sa_opts(&args, 300);
+            let iters = sa.iters;
             let spec = DseSpec::table1(tops);
             let opts = DseOptions {
                 objective: Objective::mc_e_d(),
                 batch,
                 mapping: MappingOptions {
-                    sa: SaOptions {
-                        iters,
-                        ..Default::default()
-                    },
+                    sa,
                     ..Default::default()
                 },
                 stride,

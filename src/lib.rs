@@ -26,11 +26,16 @@
 //! let dnn = gemini::model::zoo::tiny_resnet();
 //! let arch = gemini::arch::presets::g_arch_72();
 //!
-//! // Map with Gemini's SA engine and evaluate.
+//! // Map with Gemini's SA engine and evaluate. Per-group annealing
+//! // chains run in parallel (`threads: 0` = all cores; results are
+//! // bit-identical at any thread count) with memoized candidate
+//! // evaluation. `SaOptions::from_env()` additionally honours the
+//! // `GEMINI_SA_ITERS` / `GEMINI_SA_SEED` / `GEMINI_SA_THREADS`
+//! // environment variables.
 //! let ev = Evaluator::new(&arch);
 //! let engine = MappingEngine::new(&ev);
 //! let opts = MappingOptions {
-//!     sa: SaOptions { iters: 50, ..Default::default() },
+//!     sa: SaOptions { iters: 50, threads: 0, ..Default::default() },
 //!     ..Default::default()
 //! };
 //! let mapped = engine.map(&dnn, 4, &opts);
@@ -77,9 +82,9 @@ pub mod prelude {
     pub use gemini_arch::{ArchConfig, CoreClass, HeteroSpec, Topology};
     pub use gemini_core::dse::{run_dse, DseOptions, DseSpec, Objective};
     pub use gemini_core::engine::{MappedDnn, MappingEngine, MappingOptions};
-    pub use gemini_core::sa::SaOptions;
+    pub use gemini_core::sa::{SaOptions, SaOutcome, SaStats};
     pub use gemini_cost::CostModel;
     pub use gemini_model::{Dnn, DnnBuilder, FmapShape, LayerKind};
-    pub use gemini_sim::Evaluator;
+    pub use gemini_sim::{EvalCache, Evaluator};
     pub use gemini_tangram::{compare_mappings, TangramMapper};
 }
