@@ -18,6 +18,7 @@ use gemini_model::Dnn;
 use gemini_sim::Evaluator;
 
 use crate::engine::{MappingEngine, MappingOptions};
+use crate::fidelity::{DseReport, FidelityPolicy, FluidRescore};
 
 /// Objective exponents for `MC^alpha * E^beta * D^gamma`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -126,16 +127,15 @@ impl DseSpec {
         let target = self.tops * 1e12 / (2.0 * macs as f64 * self.freq_ghz * 1e9);
         let lo = target.ceil().max(1.0) as u32;
         let hi = ((target * 1.08).ceil() as u32 + 2).max(lo);
-        // Candidate sort key: (-cut_pairs, aspect_milli, core_count).
+        // Candidate sort key: (-cut_pairs, squareness, core_count).
         type GridKey = (i64, i64, i64);
         let mut best: Option<(GridKey, (u32, u32))> = None;
         for n in lo..=hi {
             let (x, y) = arrange_cores(n);
             let pairs = self.cuts.iter().filter(|&&c| x % c == 0).count()
                 * self.cuts.iter().filter(|&&c| y % c == 0).count();
-            // Sort key: most cut pairs, then lowest aspect, then lowest n.
-            let aspect_milli = (x as f64 / y as f64 * 1000.0) as i64;
-            let key = (-(pairs as i64), aspect_milli, n as i64);
+            // Sort key: most cut pairs, then most square, then lowest n.
+            let key = (-(pairs as i64), squareness_milli(x, y), n as i64);
             if best.map_or(true, |(k, _)| key < k) {
                 best = Some((key, (x, y)));
             }
@@ -192,6 +192,16 @@ impl DseSpec {
     }
 }
 
+/// Symmetric squareness of a grid: `max(x, y) / min(x, y) * 1000`,
+/// rounded (1000 = perfectly square; larger = skinnier). Symmetric in
+/// its arguments, unlike the raw `x / y` aspect ratio a previous
+/// tie-break used — under that key a 3x6 grid (aspect 0.5) ranked
+/// *above* the 6x6 square the tie-break claims to prefer.
+fn squareness_milli(x: u32, y: u32) -> i64 {
+    let (hi, lo) = (x.max(y).max(1), x.min(y).max(1));
+    (hi as f64 / lo as f64 * 1000.0).round() as i64
+}
+
 /// One explored candidate with its metrics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DseRecord {
@@ -209,6 +219,9 @@ pub struct DseRecord {
     pub score: f64,
     /// Per-DNN (name, energy, delay).
     pub per_dnn: Vec<(String, f64, f64)>,
+    /// Congestion-aware re-score from the fidelity re-rank stage
+    /// (`None` for candidates the policy did not re-score).
+    pub fluid: Option<FluidRescore>,
 }
 
 impl DseRecord {
@@ -232,6 +245,11 @@ pub struct DseOptions {
     /// Keep only every candidate whose index is divisible by this stride
     /// (1 = full grid); lets the quick mode subsample Table I.
     pub stride: usize,
+    /// How much of the NoC fidelity ladder the DSE consults: analytic
+    /// only, fluid re-rank of the top-K survivors, or re-rank plus
+    /// packet validation of the winner (see
+    /// [`crate::fidelity::FidelityPolicy`]).
+    pub fidelity: FidelityPolicy,
 }
 
 impl Default for DseOptions {
@@ -244,6 +262,7 @@ impl Default for DseOptions {
                 .map(|n| n.get())
                 .unwrap_or(4),
             stride: 1,
+            fidelity: FidelityPolicy::Analytic,
         }
     }
 }
@@ -253,8 +272,12 @@ impl Default for DseOptions {
 pub struct DseResult {
     /// Evaluated candidates.
     pub records: Vec<DseRecord>,
-    /// Index of the best record under the objective.
+    /// Index of the best record under the objective (after any fidelity
+    /// re-rank the options requested).
     pub best: usize,
+    /// Fidelity-ladder outcome: which rungs ran, how the ranking moved,
+    /// and the winner's per-group analytic-vs-reference discrepancy.
+    pub report: DseReport,
 }
 
 impl DseResult {
@@ -264,13 +287,20 @@ impl DseResult {
     }
 
     /// Re-ranks under a different objective without re-running mappings.
+    ///
+    /// Scores from the *analytic* metrics only: fluid re-scores exist
+    /// just for the top-K of the objective the DSE ran, so they cannot
+    /// be compared across the whole record list. After a fidelity
+    /// re-rank that overturned the analytic winner, `best_under` with
+    /// the original objective can therefore disagree with
+    /// [`DseResult::best_record`].
     pub fn best_under(&self, obj: Objective) -> &DseRecord {
         self.records
             .iter()
             .min_by(|a, b| {
                 let sa = obj.score(a.mc, a.energy, a.delay);
                 let sb = obj.score(b.mc, b.energy, b.delay);
-                sa.partial_cmp(&sb).expect("finite scores")
+                sa.total_cmp(&sb)
             })
             .expect("non-empty DSE")
     }
@@ -309,6 +339,7 @@ pub fn evaluate_candidate(
         delay,
         score: opts.objective.score(mc, energy, delay),
         per_dnn,
+        fluid: None,
     }
 }
 
@@ -337,7 +368,9 @@ pub fn run_dse(dnns: &[Dnn], spec: &DseSpec, opts: &DseOptions) -> DseResult {
 /// already uses multiple workers and the SA level is on auto (`0`),
 /// the inner level is pinned to one thread so the machine is not
 /// oversubscribed by `workers x chains`; results are unaffected (the
-/// SA engine is deterministic at any thread count).
+/// SA engine is deterministic at any thread count). The fidelity
+/// re-rank stage requested by [`DseOptions::fidelity`] fans out over
+/// the same worker pool with the same bit-identical guarantee.
 pub fn run_dse_over(candidates: &[ArchConfig], dnns: &[Dnn], opts: &DseOptions) -> DseResult {
     assert!(!candidates.is_empty(), "no valid DSE candidates");
     let cost = CostModel::default();
@@ -347,17 +380,49 @@ pub fn run_dse_over(candidates: &[ArchConfig], dnns: &[Dnn], opts: &DseOptions) 
     if workers > 1 && opts_inner.mapping.sa.threads == 0 {
         opts_inner.mapping.sa.threads = 1;
     }
-    let records: Vec<DseRecord> =
+    let mut records: Vec<DseRecord> =
         crate::pool::parallel_map_indexed(workers, candidates.len(), |i| {
             evaluate_candidate(&candidates[i], dnns, &cost, &opts_inner)
         });
-    let best = records
+    let analytic_best = records
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| a.score.partial_cmp(&b.score).expect("finite scores"))
+        .min_by(|(_, a), (_, b)| a.score.total_cmp(&b.score))
         .map(|(i, _)| i)
         .expect("non-empty");
-    DseResult { records, best }
+
+    // Fidelity stages (no-op under `FidelityPolicy::Analytic`): fluid
+    // re-rank of the top-K analytic survivors, then optional packet
+    // validation of the winner. The SA engine is deterministic, so the
+    // `remap` closure reproduces the analytic pass's mappings exactly.
+    let scores: Vec<f64> = records.iter().map(|r| r.score).collect();
+    let mcs_energies: Vec<(f64, f64)> = records.iter().map(|r| (r.mc, r.energy)).collect();
+    let (best, report, rescores) = crate::fidelity::run_fidelity_stage(
+        &opts.fidelity,
+        opts.objective,
+        &scores,
+        &mcs_energies,
+        analytic_best,
+        opts.threads.max(1),
+        dnns,
+        |i| {
+            let ev = Evaluator::new(&candidates[i]);
+            let engine = MappingEngine::new(&ev);
+            let mapped = dnns
+                .iter()
+                .map(|d| engine.map(d, opts.batch, &opts_inner.mapping))
+                .collect();
+            (ev, mapped)
+        },
+    );
+    for (i, fr) in rescores {
+        records[i].fluid = Some(fr);
+    }
+    DseResult {
+        records,
+        best,
+        report,
+    }
 }
 
 /// Builds a larger accelerator out of `factor` times the computing
@@ -408,11 +473,43 @@ mod tests {
 
     #[test]
     fn table1_grid_matches_paper_examples() {
+        // Regression for the doc-comment cases: 36 cores -> 6x6,
+        // 18 -> 6x3, 72 -> 9x8.
         let spec = DseSpec::table1(72.0);
         assert_eq!(spec.grid_for(1024), Some((6, 6)));
         assert_eq!(spec.grid_for(2048), Some((6, 3)));
         assert_eq!(spec.grid_for(4096), Some((3, 3)));
         assert_eq!(spec.grid_for(512), Some((9, 8)));
+    }
+
+    #[test]
+    fn squareness_key_is_symmetric_and_prefers_square() {
+        // The old asymmetric x/y aspect key scored 3x6 at 500 — *below*
+        // (i.e. better than) the 6x6 square's 1000. The symmetric key
+        // must rank the square strictly best and score transposes
+        // identically.
+        assert_eq!(squareness_milli(3, 6), squareness_milli(6, 3));
+        assert_eq!(squareness_milli(3, 6), 2000);
+        assert_eq!(squareness_milli(6, 6), 1000);
+        assert!(squareness_milli(6, 6) < squareness_milli(3, 6));
+        assert!(squareness_milli(6, 6) < squareness_milli(6, 3));
+        assert_eq!(squareness_milli(9, 8), squareness_milli(8, 9));
+        assert_eq!(squareness_milli(9, 8), 1125);
+        // Degenerate zero dimensions are guarded, not divided by.
+        assert_eq!(squareness_milli(0, 4), 4000);
+    }
+
+    #[test]
+    fn grid_tie_break_prefers_square_then_count() {
+        // With a single trivial cut every candidate count admits the
+        // same number of (XCut, YCut) pairs, so the squareness tie-break
+        // decides: the window 35..=40 contains 35 -> 7x5, 36 -> 6x6,
+        // 40 -> 8x5, and the 6x6 square must win.
+        let spec = DseSpec {
+            cuts: vec![1],
+            ..DseSpec::table1(71.68)
+        };
+        assert_eq!(spec.grid_for(1024), Some((6, 6)));
     }
 
     #[test]
@@ -469,6 +566,56 @@ mod tests {
         // Re-ranking under D-only must pick the lower-delay record.
         let d_best = res.best_under(Objective::d_only());
         assert!(res.records.iter().all(|r| d_best.delay <= r.delay));
+    }
+
+    #[test]
+    fn rerank_policy_rescored_records_and_report() {
+        let dnns = vec![zoo::two_conv_example()];
+        let candidates = vec![
+            gemini_arch::presets::simba_s_arch(),
+            gemini_arch::presets::g_arch_72(),
+        ];
+        let opts = DseOptions {
+            batch: 2,
+            mapping: MappingOptions {
+                sa: SaOptions {
+                    iters: 40,
+                    seed: 2,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            threads: 2,
+            fidelity: FidelityPolicy::rerank(2),
+            ..Default::default()
+        };
+        let res = run_dse_over(&candidates, &dnns, &opts);
+        assert_eq!(res.report.reranked.len(), 2);
+        assert_eq!(res.records.iter().filter(|r| r.fluid.is_some()).count(), 2);
+        assert!(!res.report.winner_groups.is_empty());
+        // Rung 1 never runs the packet simulator.
+        assert!(res
+            .report
+            .winner_groups
+            .iter()
+            .all(|g| g.packet_s.is_none()));
+        for r in &res.records {
+            let f = r.fluid.as_ref().expect("k = 2 re-scores both");
+            // The congestion correction is monotone: fluid-referenced
+            // delay and score never beat the analytic ones.
+            assert!(f.delay >= r.delay * (1.0 - 1e-12));
+            assert!(f.score >= r.score * (1.0 - 1e-12));
+            assert!(f.worst_fluid_vs_analytic >= 1.0);
+        }
+        // The re-ranked winner minimizes the fluid score.
+        let best_score = res.records[res.best].fluid.as_ref().unwrap().score;
+        for r in &res.records {
+            assert!(best_score <= r.fluid.as_ref().unwrap().score * (1.0 + 1e-12));
+        }
+        // Rung 1 never suggests a calibration: the fluid model has no
+        // queueing, so a fluid-referenced fit would spuriously advise
+        // stripping the surcharge. Only rung 2 (packet) calibrates.
+        assert!(res.report.suggested_congestion_weight.is_none());
     }
 
     #[test]

@@ -46,6 +46,37 @@ impl MappedDnn {
     pub fn group_mappings(&self, dnn: &Dnn) -> Vec<GroupMapping> {
         parse_all(dnn, &self.partition, &self.lms)
     }
+
+    /// Recomputes the end-to-end delay after raising each group's
+    /// pipeline-stage time by `extra_stage_s[i]` seconds.
+    ///
+    /// This is the congestion correction of the DSE fidelity re-rank
+    /// ([`crate::fidelity::FidelityPolicy`]): when a reference network
+    /// simulation prices a group's stage traffic above the stage
+    /// envelope the evaluator already charged (the max of compute,
+    /// analytic network and DRAM time), the excess is added to that
+    /// group's stage time and the delay formula
+    /// `stage * (rounds + depth - 1) + load + overhead` is re-applied.
+    /// Negative entries are clamped to zero — a reference model the
+    /// stage envelope already covers never speeds the mapping up, so
+    /// the correction is monotone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra_stage_s` does not have one entry per group.
+    pub fn congestion_corrected_delay(&self, extra_stage_s: &[f64]) -> f64 {
+        assert_eq!(
+            extra_stage_s.len(),
+            self.report.groups.len(),
+            "one stage correction per layer group"
+        );
+        self.report
+            .groups
+            .iter()
+            .zip(extra_stage_s)
+            .map(|(g, &dx)| g.delay_s + dx.max(0.0) * (g.rounds as f64 + g.depth as f64 - 1.0))
+            .sum()
+    }
 }
 
 /// Parses all groups with cross-group OF resolution.
@@ -214,6 +245,26 @@ mod tests {
         for gm in &gms {
             gm.validate(&dnn).unwrap();
         }
+    }
+
+    #[test]
+    fn congestion_corrected_delay_is_monotone_and_exact() {
+        let dnn = zoo::two_conv_example();
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let engine = MappingEngine::new(&ev);
+        let m = engine.map_stripe(&dnn, 4, &quick_opts(0));
+        let mut extra = vec![0.0; m.report.groups.len()];
+        // Zero correction reproduces the evaluator's delay exactly.
+        assert!((m.congestion_corrected_delay(&extra) - m.report.delay_s).abs() < 1e-18);
+        // A positive correction scales by the group's round count.
+        extra[0] = 1e-6;
+        let g = &m.report.groups[0];
+        let expected = m.report.delay_s + 1e-6 * (g.rounds as f64 + g.depth as f64 - 1.0);
+        assert!((m.congestion_corrected_delay(&extra) - expected).abs() < 1e-15);
+        // Negative corrections never speed the mapping up.
+        extra[0] = -1.0;
+        assert!((m.congestion_corrected_delay(&extra) - m.report.delay_s).abs() < 1e-18);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use gemini_sim::Evaluator;
 
 use crate::dse::{DseOptions, Objective};
 use crate::engine::MappingEngine;
+use crate::fidelity::{DseReport, FluidRescore};
 
 /// The heterogeneous DSE grid: a fixed fabric whose chiplets each pick
 /// one of the candidate classes.
@@ -89,6 +90,9 @@ pub struct HeteroDseRecord {
     pub delay: f64,
     /// Objective score.
     pub score: f64,
+    /// Congestion-aware re-score from the fidelity re-rank stage
+    /// (`None` for assignments the policy did not re-score).
+    pub fluid: Option<FluidRescore>,
 }
 
 /// Result of a heterogeneous DSE.
@@ -96,8 +100,11 @@ pub struct HeteroDseRecord {
 pub struct HeteroDseResult {
     /// All evaluated assignments.
     pub records: Vec<HeteroDseRecord>,
-    /// Index of the best record.
+    /// Index of the best record (after any fidelity re-rank the options
+    /// requested).
     pub best: usize,
+    /// Fidelity-ladder outcome (see [`crate::fidelity::DseReport`]).
+    pub report: DseReport,
 }
 
 impl HeteroDseResult {
@@ -107,13 +114,17 @@ impl HeteroDseResult {
     }
 
     /// Re-ranks under a different objective without re-mapping.
+    ///
+    /// Scores from the *analytic* metrics only (see
+    /// [`crate::dse::DseResult::best_under`] for why fluid re-scores
+    /// cannot be compared across the whole record list).
     pub fn best_under(&self, obj: Objective) -> &HeteroDseRecord {
         self.records
             .iter()
             .min_by(|a, b| {
                 let sa = obj.score(a.mc, a.energy, a.delay);
                 let sb = obj.score(b.mc, b.energy, b.delay);
-                sa.partial_cmp(&sb).expect("finite scores")
+                sa.total_cmp(&sb)
             })
             .expect("non-empty DSE")
     }
@@ -147,6 +158,7 @@ pub fn evaluate_hetero_candidate(
         energy,
         delay,
         score: opts.objective.score(mc, energy, delay),
+        fluid: None,
     }
 }
 
@@ -156,7 +168,9 @@ pub fn evaluate_hetero_candidate(
 /// the homogeneous [`crate::dse::run_dse_over`]; per-group SA chains
 /// inside each mapping run are pinned to one thread when the candidate
 /// level is already parallel (auto setting only), so the machine is
-/// not oversubscribed. Results are identical at any thread count.
+/// not oversubscribed. Results are identical at any thread count. The
+/// fidelity re-rank stage requested by [`DseOptions::fidelity`] runs
+/// here too, with the heterogeneity-aware evaluator and mapper.
 ///
 /// # Panics
 ///
@@ -171,17 +185,46 @@ pub fn run_hetero_dse(dnns: &[Dnn], spec: &HeteroDseSpec, opts: &DseOptions) -> 
     if workers > 1 && opts_inner.mapping.sa.threads == 0 {
         opts_inner.mapping.sa.threads = 1;
     }
-    let records: Vec<HeteroDseRecord> =
+    let mut records: Vec<HeteroDseRecord> =
         crate::pool::parallel_map_indexed(workers, candidates.len(), |i| {
             evaluate_hetero_candidate(&spec.fabric, &candidates[i], dnns, &cost, &opts_inner)
         });
-    let best = records
+    let analytic_best = records
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| a.score.partial_cmp(&b.score).expect("finite scores"))
+        .min_by(|(_, a), (_, b)| a.score.total_cmp(&b.score))
         .map(|(i, _)| i)
         .expect("non-empty");
-    HeteroDseResult { records, best }
+
+    let scores: Vec<f64> = records.iter().map(|r| r.score).collect();
+    let mcs_energies: Vec<(f64, f64)> = records.iter().map(|r| (r.mc, r.energy)).collect();
+    let (best, report, rescores) = crate::fidelity::run_fidelity_stage(
+        &opts.fidelity,
+        opts.objective,
+        &scores,
+        &mcs_energies,
+        analytic_best,
+        opts.threads.max(1),
+        dnns,
+        |i| {
+            let assignment = &candidates[i];
+            let ev = Evaluator::hetero(&spec.fabric, assignment);
+            let engine = MappingEngine::new(&ev);
+            let mapped = dnns
+                .iter()
+                .map(|d| engine.map_hetero(d, opts.batch, &opts_inner.mapping, assignment))
+                .collect();
+            (ev, mapped)
+        },
+    );
+    for (i, fr) in rescores {
+        records[i].fluid = Some(fr);
+    }
+    HeteroDseResult {
+        records,
+        best,
+        report,
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +296,37 @@ mod tests {
             ],
         };
         let _ = spec.candidates();
+    }
+
+    #[test]
+    fn hetero_rerank_rescored_topk() {
+        let spec = HeteroDseSpec {
+            fabric: two_chiplet_fabric(),
+            classes: big_little_classes(),
+        };
+        let opts = DseOptions {
+            batch: 2,
+            mapping: MappingOptions {
+                sa: SaOptions {
+                    iters: 30,
+                    seed: 4,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            fidelity: crate::fidelity::FidelityPolicy::rerank(2),
+            ..Default::default()
+        };
+        let dnns = vec![zoo::two_conv_example()];
+        let res = run_hetero_dse(&dnns, &spec, &opts);
+        assert_eq!(res.records.iter().filter(|r| r.fluid.is_some()).count(), 2);
+        assert_eq!(res.report.reranked.len(), 2);
+        // The winner is one of the re-scored assignments and minimizes
+        // the congestion-corrected score.
+        let best = res.records[res.best].fluid.as_ref().expect("re-scored");
+        for r in res.records.iter().filter_map(|r| r.fluid.as_ref()) {
+            assert!(best.score <= r.score * (1.0 + 1e-12));
+        }
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`engine`] — the Mapping Engine tying it all together;
 //! * [`dse`] — Sec. V-A: exhaustive architecture exploration under
 //!   `MC^alpha * E^beta * D^gamma`, plus chiplet-reuse scaling;
+//! * [`fidelity`] — the NoC fidelity ladder as a DSE stage: fluid
+//!   re-rank of the analytic survivors, packet validation of the
+//!   winner, and congestion-surcharge calibration feedback;
 //! * [`report`] — CSV output helpers for the experiment harnesses.
 //!
 //! # Example: map a DNN onto the paper's G-Arch
@@ -41,6 +44,7 @@ pub mod dse;
 pub mod encoding;
 pub mod engine;
 pub mod factor;
+pub mod fidelity;
 pub mod hetero_dse;
 pub mod hetero_map;
 pub mod joint;
@@ -56,6 +60,9 @@ pub use dse::{
 };
 pub use encoding::{CoreGroup, EncodingError, FlowOfData, GroupSpec, Lms, Ms, Part};
 pub use engine::{parse_all, MappedDnn, MappingEngine, MappingOptions};
+pub use fidelity::{
+    DseReport, FidelityPolicy, FluidConfig, FluidRescore, GroupDiscrepancy, RerankEntry,
+};
 pub use hetero_dse::{run_hetero_dse, HeteroDseRecord, HeteroDseResult, HeteroDseSpec};
 pub use hetero_map::{hetero_stripe_lms, weighted_allocation};
 pub use joint::{optimize_joint, JointOptions, JointOutcome};

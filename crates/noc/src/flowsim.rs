@@ -49,114 +49,174 @@ pub struct FlowSimResult {
     pub events: usize,
 }
 
-/// Max-min fair rate allocation for the active flows (progressive
-/// filling / water-filling): repeatedly freeze the most constrained
-/// link's fair share.
-fn maxmin_rates(net: &Network, active: &[usize], paths: &[&Flow]) -> Vec<f64> {
-    let n_links = net.n_links();
-    let mut link_cap: Vec<f64> = (0..n_links)
-        .map(|i| net.link(LinkId(i as u32)).bw * 1e9)
-        .collect();
-    // Flows crossing each link (indices into `active`).
-    let mut flows_on: Vec<Vec<usize>> = vec![Vec::new(); n_links];
-    for (ai, &fi) in active.iter().enumerate() {
-        for l in &paths[fi].path {
-            flows_on[l.idx()].push(ai);
-        }
-    }
-    let mut rate = vec![f64::INFINITY; active.len()];
-    let mut fixed = vec![false; active.len()];
-    let mut remaining_on: Vec<usize> = flows_on.iter().map(|f| f.len()).collect();
+/// Reusable scratch state for flow simulations.
+///
+/// The DSE re-rank stage replays every group of every top-K candidate
+/// back to back; the per-link and per-flow vectors dominate allocation
+/// there, so callers with many consecutive simulations keep one
+/// workspace alive and call [`FlowSimWorkspace::simulate`] instead of
+/// the allocating [`simulate_flows`] wrapper. Results are bit-identical
+/// between the two entry points.
+#[derive(Debug, Default)]
+pub struct FlowSimWorkspace {
+    link_cap: Vec<f64>,
+    flows_on: Vec<Vec<usize>>,
+    remaining_on: Vec<usize>,
+    rate: Vec<f64>,
+    fixed: Vec<bool>,
+    remaining: Vec<f64>,
+    done: Vec<f64>,
+    active: Vec<usize>,
+}
 
-    loop {
-        // Most constrained link: min cap / remaining flows.
-        let mut best: Option<(f64, usize)> = None;
-        for l in 0..n_links {
-            if remaining_on[l] == 0 {
-                continue;
-            }
-            let share = link_cap[l] / remaining_on[l] as f64;
-            if best.map_or(true, |(s, _)| share < s) {
-                best = Some((share, l));
+impl FlowSimWorkspace {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Max-min fair rate allocation for the active flows (progressive
+    /// filling / water-filling): repeatedly freeze the most constrained
+    /// link's fair share. Rates land in `self.rate`, parallel to
+    /// `active`.
+    fn maxmin_rates(&mut self, net: &Network, active: &[usize], flows: &[Flow]) {
+        let n_links = net.n_links();
+        self.link_cap.clear();
+        self.link_cap
+            .extend((0..n_links).map(|i| net.link(LinkId(i as u32)).bw * 1e9));
+        if self.flows_on.len() < n_links {
+            self.flows_on.resize_with(n_links, Vec::new);
+        }
+        // Flows crossing each link (indices into `active`).
+        for v in &mut self.flows_on[..n_links] {
+            v.clear();
+        }
+        for (ai, &fi) in active.iter().enumerate() {
+            for l in &flows[fi].path {
+                self.flows_on[l.idx()].push(ai);
             }
         }
-        let Some((share, l)) = best else { break };
-        // Freeze every unfixed flow on that link at the fair share.
-        for &ai in flows_on[l].clone().iter() {
-            if fixed[ai] {
-                continue;
-            }
-            fixed[ai] = true;
-            rate[ai] = share;
-            // Release its capacity claims elsewhere.
-            for link in &paths[active[ai]].path {
-                link_cap[link.idx()] -= share;
-                if link_cap[link.idx()] < 0.0 {
-                    link_cap[link.idx()] = 0.0;
+        self.rate.clear();
+        self.rate.resize(active.len(), f64::INFINITY);
+        self.fixed.clear();
+        self.fixed.resize(active.len(), false);
+        self.remaining_on.clear();
+        self.remaining_on
+            .extend(self.flows_on[..n_links].iter().map(|f| f.len()));
+
+        let Self {
+            link_cap,
+            flows_on,
+            remaining_on,
+            rate,
+            fixed,
+            ..
+        } = self;
+        loop {
+            // Most constrained link: min cap / remaining flows.
+            let mut best: Option<(f64, usize)> = None;
+            for l in 0..n_links {
+                if remaining_on[l] == 0 {
+                    continue;
                 }
-                remaining_on[link.idx()] -= 1;
+                let share = link_cap[l] / remaining_on[l] as f64;
+                if best.map_or(true, |(s, _)| share < s) {
+                    best = Some((share, l));
+                }
+            }
+            let Some((share, l)) = best else { break };
+            // Freeze every unfixed flow on that link at the fair share.
+            for &ai in &flows_on[l] {
+                if fixed[ai] {
+                    continue;
+                }
+                fixed[ai] = true;
+                rate[ai] = share;
+                // Release its capacity claims elsewhere.
+                for link in &flows[active[ai]].path {
+                    link_cap[link.idx()] -= share;
+                    if link_cap[link.idx()] < 0.0 {
+                        link_cap[link.idx()] = 0.0;
+                    }
+                    remaining_on[link.idx()] -= 1;
+                }
+            }
+        }
+        // Flows touching no links (empty paths, e.g. same-core
+        // transfers) complete instantly.
+        for (ai, r) in rate.iter_mut().enumerate() {
+            if flows[active[ai]].path.is_empty() {
+                *r = f64::INFINITY;
             }
         }
     }
-    // Flows touching no links (empty paths, e.g. same-core transfers)
-    // complete instantly.
-    for (ai, r) in rate.iter_mut().enumerate() {
-        if paths[active[ai]].path.is_empty() {
-            *r = f64::INFINITY;
+
+    /// Simulates the concurrent transfer of `flows`, max-min fair.
+    ///
+    /// Returns exact per-flow completion times under fluid sharing.
+    /// Flows with empty paths complete at t = 0.
+    pub fn simulate(&mut self, net: &Network, flows: &[Flow]) -> FlowSimResult {
+        self.remaining.clear();
+        self.remaining
+            .extend(flows.iter().map(|f| f.bytes.max(0.0)));
+        self.done.clear();
+        self.done.resize(flows.len(), 0.0);
+        let mut t = 0.0f64;
+        let mut events = 0usize;
+
+        loop {
+            let mut active = std::mem::take(&mut self.active);
+            active.clear();
+            active.extend((0..flows.len()).filter(|&i| self.remaining[i] > 0.0));
+            if active.is_empty() {
+                self.active = active;
+                break;
+            }
+            events += 1;
+            self.maxmin_rates(net, &active, flows);
+            // Advance to the next flow completion.
+            let mut dt = f64::INFINITY;
+            for (ai, &fi) in active.iter().enumerate() {
+                if self.rate[ai] > 0.0 {
+                    dt = dt.min(self.remaining[fi] / self.rate[ai]);
+                }
+            }
+            if !dt.is_finite() {
+                // All active rates are zero: a saturated/degenerate
+                // network; bail out rather than loop forever.
+                self.active = active;
+                break;
+            }
+            t += dt;
+            for (ai, &fi) in active.iter().enumerate() {
+                self.remaining[fi] -= self.rate[ai] * dt;
+                if self.remaining[fi] <= 1e-6 {
+                    self.remaining[fi] = 0.0;
+                    self.done[fi] = t;
+                }
+            }
+            self.active = active;
+            // Safety valve: events are bounded by flow count in exact
+            // arithmetic; guard against pathological float cycling.
+            if events > flows.len() * 4 + 16 {
+                break;
+            }
+        }
+        FlowSimResult {
+            completion_s: t,
+            flow_times_s: self.done.clone(),
+            events,
         }
     }
-    rate
 }
 
 /// Simulates the concurrent transfer of `flows`, max-min fair.
 ///
-/// Returns exact per-flow completion times under fluid sharing. Flows
-/// with empty paths complete at t = 0.
+/// One-shot wrapper over [`FlowSimWorkspace::simulate`]; callers that
+/// replay many flow sets back to back (e.g. the DSE re-rank stage)
+/// should hold a workspace instead to reuse the scratch allocations.
 pub fn simulate_flows(net: &Network, flows: &[Flow]) -> FlowSimResult {
-    let paths: Vec<&Flow> = flows.iter().collect();
-    let mut remaining: Vec<f64> = flows.iter().map(|f| f.bytes.max(0.0)).collect();
-    let mut done = vec![0.0f64; flows.len()];
-    let mut t = 0.0f64;
-    let mut events = 0usize;
-
-    loop {
-        let active: Vec<usize> = (0..flows.len()).filter(|&i| remaining[i] > 0.0).collect();
-        if active.is_empty() {
-            break;
-        }
-        events += 1;
-        let rates = maxmin_rates(net, &active, &paths);
-        // Advance to the next flow completion.
-        let mut dt = f64::INFINITY;
-        for (ai, &fi) in active.iter().enumerate() {
-            if rates[ai] > 0.0 {
-                dt = dt.min(remaining[fi] / rates[ai]);
-            }
-        }
-        if !dt.is_finite() {
-            // All active rates are zero: a saturated/degenerate network;
-            // bail out rather than loop forever.
-            break;
-        }
-        t += dt;
-        for (ai, &fi) in active.iter().enumerate() {
-            remaining[fi] -= rates[ai] * dt;
-            if remaining[fi] <= 1e-6 {
-                remaining[fi] = 0.0;
-                done[fi] = t;
-            }
-        }
-        // Safety valve: events are bounded by flow count in exact
-        // arithmetic; guard against pathological float cycling.
-        if events > flows.len() * 4 + 16 {
-            break;
-        }
-    }
-    FlowSimResult {
-        completion_s: t,
-        flow_times_s: done,
-        events,
-    }
+    FlowSimWorkspace::new().simulate(net, flows)
 }
 
 /// The analytic per-link bound the evaluator uses: bytes on the busiest
@@ -290,6 +350,32 @@ mod tests {
         let f = flow(&net, &arch, (0, 0), (5, 5), 0.0);
         let r = simulate_flows(&net, &[f]);
         assert_eq!(r.completion_s, 0.0);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        // The batch entry point must match the one-shot wrapper exactly,
+        // including across back-to-back replays of different flow sets.
+        let (arch, net) = setup();
+        let sets = vec![
+            vec![
+                flow(&net, &arch, (0, 0), (1, 0), 16e9),
+                flow(&net, &arch, (0, 0), (2, 0), 16e9),
+            ],
+            vec![flow(&net, &arch, (0, 0), (5, 5), 3e9)],
+            Vec::new(),
+            vec![
+                flow(&net, &arch, (5, 0), (0, 5), 1e9),
+                flow(&net, &arch, (2, 2), (3, 3), 2e9),
+                flow(&net, &arch, (1, 4), (4, 1), 4e9),
+            ],
+        ];
+        let mut ws = FlowSimWorkspace::new();
+        for flows in &sets {
+            let one_shot = simulate_flows(&net, flows);
+            let reused = ws.simulate(&net, flows);
+            assert_eq!(one_shot, reused);
+        }
     }
 
     #[test]

@@ -79,6 +79,19 @@ impl Heatmap {
         self.entries.iter().map(|e| e.pressure).fold(0.0, f64::max)
     }
 
+    /// Peak pressure restricted to D2D links.
+    ///
+    /// Monolithic architectures (XCut = YCut = 1) have *no* D2D links,
+    /// so this is `None` rather than a guaranteed entry — callers must
+    /// not `find(..).unwrap()` a D2D link out of a heatmap.
+    pub fn d2d_peak_pressure(&self) -> Option<f64> {
+        self.entries
+            .iter()
+            .filter(|e| e.kind.is_d2d())
+            .map(|e| e.pressure)
+            .fold(None, |acc, p| Some(acc.map_or(p, |a: f64| a.max(p))))
+    }
+
     /// Number of links whose pressure exceeds `frac` of the peak.
     pub fn hot_links(&self, frac: f64) -> usize {
         let peak = self.peak_pressure();
@@ -184,6 +197,30 @@ mod tests {
         let h = loaded_heatmap();
         let art = h.render_ascii();
         assert_eq!(art.lines().count(), 6);
+    }
+
+    #[test]
+    fn monolithic_heatmap_has_no_d2d_entries() {
+        // XCut = YCut = 1: no chiplet boundary, hence no D2D links.
+        // Every heatmap surface must stay defined on this architecture.
+        let arch = gemini_arch::ArchConfig::builder()
+            .cores(4, 4)
+            .cuts(1, 1)
+            .build()
+            .unwrap();
+        let net = Network::new(&arch);
+        let mut t = TrafficMap::new(&net);
+        let mut p = Vec::new();
+        net.route_cores(arch.core_at(0, 0), arch.core_at(3, 3), &mut p);
+        t.add_path(&p, 1e6);
+        let h = Heatmap::build(&net, &t);
+        assert!(h.entries.iter().all(|e| !e.kind.is_d2d()));
+        assert_eq!(h.d2d_peak_pressure(), None);
+        assert!(h.peak_pressure() > 0.0);
+        assert!(h.hot_links(0.5) >= 1);
+        assert_eq!(h.render_ascii().lines().count(), 4);
+        let with_d2d = loaded_heatmap();
+        assert_eq!(with_d2d.d2d_peak_pressure(), Some(2000.0));
     }
 
     #[test]

@@ -33,8 +33,8 @@ pub mod network;
 pub mod packetsim;
 pub mod traffic;
 
-pub use flowsim::{analytic_bottleneck, simulate_flows, Flow, FlowSimResult};
+pub use flowsim::{analytic_bottleneck, simulate_flows, Flow, FlowSimResult, FlowSimWorkspace};
 pub use heatmap::{Heatmap, HeatmapEntry};
 pub use network::{Link, LinkId, LinkKind, Network, NodeId};
-pub use packetsim::{simulate_packets, PacketSimConfig, PacketSimResult};
+pub use packetsim::{simulate_packets, PacketSimConfig, PacketSimResult, PacketSimWorkspace};
 pub use traffic::TrafficMap;

@@ -93,184 +93,272 @@ struct Entry {
     hop: u32,
 }
 
+/// Reusable scratch state for packet simulations.
+///
+/// The winner-validation stage of the DSE fidelity ladder replays every
+/// group of every DNN of the final candidate through the packet model;
+/// the per-link and per-(flow, hop) queue vectors dominate allocation
+/// there, so batch callers keep one workspace alive and call
+/// [`PacketSimWorkspace::simulate`]. Results are bit-identical to the
+/// one-shot [`simulate_packets`] wrapper.
+#[derive(Debug, Default)]
+pub struct PacketSimWorkspace {
+    total_flits: Vec<u64>,
+    entries_on: Vec<Vec<Entry>>,
+    active_links: Vec<usize>,
+    rate: Vec<f64>,
+    tokens: Vec<f64>,
+    ready: Vec<Vec<u64>>,
+    arrived: Vec<Vec<u64>>,
+    link_occ: Vec<u64>,
+    to_inject: Vec<u64>,
+    ejected: Vec<u64>,
+    done_cycle: Vec<u64>,
+    rr: Vec<usize>,
+}
+
+impl PacketSimWorkspace {
+    /// An empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulates the concurrent flit-level transfer of `flows`.
+    ///
+    /// Flows with empty paths complete at t = 0. Byte counts are
+    /// rounded up to whole flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.flit_bytes`, `cfg.queue_flits` or `cfg.freq_ghz`
+    /// is not positive.
+    pub fn simulate(
+        &mut self,
+        net: &Network,
+        flows: &[Flow],
+        cfg: &PacketSimConfig,
+    ) -> PacketSimResult {
+        assert!(cfg.flit_bytes > 0.0, "flit size must be positive");
+        assert!(cfg.queue_flits > 0, "queues must hold at least one flit");
+        assert!(cfg.freq_ghz > 0.0, "frequency must be positive");
+
+        let n_flows = flows.len();
+        self.total_flits.clear();
+        self.total_flits.extend(
+            flows
+                .iter()
+                .map(|f| (f.bytes / cfg.flit_bytes).ceil() as u64),
+        );
+
+        // Static routing tables: which (flow, hop) entries feed each link.
+        let n_links = net.n_links();
+        if self.entries_on.len() < n_links {
+            self.entries_on.resize_with(n_links, Vec::new);
+        }
+        for v in &mut self.entries_on[..n_links] {
+            v.clear();
+        }
+        for (fi, f) in flows.iter().enumerate() {
+            for (h, l) in f.path.iter().enumerate() {
+                self.entries_on[l.idx()].push(Entry {
+                    flow: fi as u32,
+                    hop: h as u32,
+                });
+            }
+        }
+        self.active_links.clear();
+        self.active_links
+            .extend((0..n_links).filter(|&l| !self.entries_on[l].is_empty()));
+
+        // Flits-per-cycle service rate and token bucket per link.
+        self.rate.clear();
+        self.rate.extend(
+            (0..n_links).map(|l| net.link(LinkId(l as u32)).bw / (cfg.flit_bytes * cfg.freq_ghz)),
+        );
+        self.tokens.clear();
+        self.tokens.resize(n_links, 0.0);
+
+        // Queue state: ready[f][h] flits eligible this cycle at hop h's
+        // input, arrived[f][h] flits that landed this cycle (eligible
+        // next cycle).
+        if self.ready.len() < n_flows {
+            self.ready.resize_with(n_flows, Vec::new);
+            self.arrived.resize_with(n_flows, Vec::new);
+        }
+        for (fi, f) in flows.iter().enumerate() {
+            self.ready[fi].clear();
+            self.ready[fi].resize(f.path.len(), 0);
+            self.arrived[fi].clear();
+            self.arrived[fi].resize(f.path.len(), 0);
+        }
+        self.link_occ.clear();
+        self.link_occ.resize(n_links, 0);
+        self.to_inject.clear();
+        self.to_inject.extend_from_slice(&self.total_flits);
+        self.ejected.clear();
+        self.ejected.resize(n_flows, 0);
+        self.done_cycle.clear();
+        self.done_cycle.resize(n_flows, 0);
+        self.rr.clear();
+        self.rr.resize(n_links, 0);
+
+        let Self {
+            total_flits,
+            entries_on,
+            active_links,
+            rate,
+            tokens,
+            ready,
+            arrived,
+            link_occ,
+            to_inject,
+            ejected,
+            done_cycle,
+            rr,
+        } = self;
+
+        // Empty-path flows (producer == consumer) complete instantly.
+        for (fi, f) in flows.iter().enumerate() {
+            if f.path.is_empty() {
+                ejected[fi] = total_flits[fi];
+                to_inject[fi] = 0;
+            }
+        }
+
+        let max_cycles = if cfg.max_cycles > 0 {
+            cfg.max_cycles
+        } else {
+            // Generous bound: serial drain of every flit over every hop
+            // at the slowest active rate, plus slack.
+            let slowest = active_links
+                .iter()
+                .map(|&l| rate[l])
+                .fold(f64::INFINITY, f64::min)
+                .max(1e-6);
+            let hops: u64 = flows
+                .iter()
+                .zip(total_flits.iter())
+                .map(|(f, &n)| n * f.path.len() as u64)
+                .sum();
+            ((hops as f64 / slowest) * 4.0) as u64 + 1000
+        };
+
+        let mut cycles = 0u64;
+        let mut flit_hops = 0u64;
+        let mut truncated = false;
+
+        loop {
+            if (0..n_flows).all(|f| ejected[f] >= total_flits[f]) {
+                break;
+            }
+            if cycles >= max_cycles {
+                truncated = true;
+                break;
+            }
+            cycles += 1;
+
+            // Promote last cycle's arrivals.
+            for fi in 0..n_flows {
+                for h in 0..ready[fi].len() {
+                    ready[fi][h] += arrived[fi][h];
+                    arrived[fi][h] = 0;
+                }
+            }
+
+            // Injection: sources push into hop 0 while the queue has
+            // space (the first link's service rate is the real throttle).
+            for fi in 0..n_flows {
+                if to_inject[fi] == 0 || flows[fi].path.is_empty() {
+                    continue;
+                }
+                let l0 = flows[fi].path[0].idx();
+                let space = (cfg.queue_flits as u64).saturating_sub(link_occ[l0]);
+                let n = space.min(to_inject[fi]);
+                if n > 0 {
+                    arrived[fi][0] += n;
+                    link_occ[l0] += n;
+                    to_inject[fi] -= n;
+                }
+            }
+
+            // Service: each active link serves whole flits from its
+            // token bucket, round-robin over its (flow, hop) entries.
+            for &l in active_links.iter() {
+                tokens[l] = (tokens[l] + rate[l]).min(rate[l].ceil().max(1.0) + rate[l]);
+                let mut budget = tokens[l] as u64;
+                if budget == 0 {
+                    continue;
+                }
+                let entries = &entries_on[l];
+                let n_e = entries.len();
+                let mut blocked = 0usize;
+                let mut i = rr[l] % n_e;
+                while budget > 0 && blocked < n_e {
+                    let Entry { flow, hop } = entries[i];
+                    let (fi, h) = (flow as usize, hop as usize);
+                    if ready[fi][h] == 0 {
+                        blocked += 1;
+                        i = (i + 1) % n_e;
+                        continue;
+                    }
+                    // Forward one flit if the downstream queue has space.
+                    let last_hop = h + 1 == flows[fi].path.len();
+                    let can_move = if last_hop {
+                        true // ejection always sinks
+                    } else {
+                        let nl = flows[fi].path[h + 1].idx();
+                        link_occ[nl] < cfg.queue_flits as u64
+                    };
+                    if !can_move {
+                        blocked += 1;
+                        i = (i + 1) % n_e;
+                        continue;
+                    }
+                    ready[fi][h] -= 1;
+                    link_occ[l] -= 1;
+                    budget -= 1;
+                    tokens[l] -= 1.0;
+                    flit_hops += 1;
+                    blocked = 0;
+                    if last_hop {
+                        ejected[fi] += 1;
+                        if ejected[fi] == total_flits[fi] {
+                            done_cycle[fi] = cycles;
+                        }
+                    } else {
+                        let nl = flows[fi].path[h + 1].idx();
+                        arrived[fi][h + 1] += 1;
+                        link_occ[nl] += 1;
+                    }
+                    i = (i + 1) % n_e;
+                }
+                rr[l] = i;
+            }
+        }
+
+        let hz = cfg.freq_ghz * 1e9;
+        PacketSimResult {
+            completion_s: cycles as f64 / hz,
+            cycles,
+            flow_times_s: done_cycle.iter().map(|&c| c as f64 / hz).collect(),
+            flit_hops,
+            truncated,
+        }
+    }
+}
+
 /// Simulates the concurrent flit-level transfer of `flows`.
 ///
-/// Flows with empty paths complete at t = 0. Byte counts are rounded up
-/// to whole flits.
+/// One-shot wrapper over [`PacketSimWorkspace::simulate`]; batch
+/// callers (winner validation over many groups) should hold a
+/// workspace instead to reuse the scratch allocations.
 ///
 /// # Panics
 ///
 /// Panics if `cfg.flit_bytes`, `cfg.queue_flits` or `cfg.freq_ghz` is
 /// not positive.
 pub fn simulate_packets(net: &Network, flows: &[Flow], cfg: &PacketSimConfig) -> PacketSimResult {
-    assert!(cfg.flit_bytes > 0.0, "flit size must be positive");
-    assert!(cfg.queue_flits > 0, "queues must hold at least one flit");
-    assert!(cfg.freq_ghz > 0.0, "frequency must be positive");
-
-    let n_flows = flows.len();
-    let total_flits: Vec<u64> = flows
-        .iter()
-        .map(|f| (f.bytes / cfg.flit_bytes).ceil() as u64)
-        .collect();
-
-    // Static routing tables: which (flow, hop) entries feed each link.
-    let n_links = net.n_links();
-    let mut entries_on: Vec<Vec<Entry>> = vec![Vec::new(); n_links];
-    for (fi, f) in flows.iter().enumerate() {
-        for (h, l) in f.path.iter().enumerate() {
-            entries_on[l.idx()].push(Entry {
-                flow: fi as u32,
-                hop: h as u32,
-            });
-        }
-    }
-    let active_links: Vec<usize> = (0..n_links)
-        .filter(|&l| !entries_on[l].is_empty())
-        .collect();
-
-    // Flits-per-cycle service rate and token bucket per link.
-    let rate: Vec<f64> = (0..n_links)
-        .map(|l| net.link(LinkId(l as u32)).bw / (cfg.flit_bytes * cfg.freq_ghz))
-        .collect();
-    let mut tokens = vec![0.0f64; n_links];
-
-    // Queue state: ready[f][h] flits eligible this cycle at hop h's input,
-    // arrived[f][h] flits that landed this cycle (eligible next cycle).
-    let mut ready: Vec<Vec<u64>> = flows.iter().map(|f| vec![0u64; f.path.len()]).collect();
-    let mut arrived: Vec<Vec<u64>> = ready.clone();
-    let mut link_occ = vec![0u64; n_links];
-    let mut to_inject = total_flits.clone();
-    let mut ejected = vec![0u64; n_flows];
-    let mut done_cycle = vec![0u64; n_flows];
-    let mut rr = vec![0usize; n_links];
-
-    // Empty-path flows (producer == consumer) complete instantly.
-    for (fi, f) in flows.iter().enumerate() {
-        if f.path.is_empty() {
-            ejected[fi] = total_flits[fi];
-            to_inject[fi] = 0;
-        }
-    }
-
-    let max_cycles = if cfg.max_cycles > 0 {
-        cfg.max_cycles
-    } else {
-        // Generous bound: serial drain of every flit over every hop at
-        // the slowest active rate, plus slack.
-        let slowest = active_links
-            .iter()
-            .map(|&l| rate[l])
-            .fold(f64::INFINITY, f64::min)
-            .max(1e-6);
-        let hops: u64 = flows
-            .iter()
-            .zip(&total_flits)
-            .map(|(f, &n)| n * f.path.len() as u64)
-            .sum();
-        ((hops as f64 / slowest) * 4.0) as u64 + 1000
-    };
-
-    let mut cycles = 0u64;
-    let mut flit_hops = 0u64;
-    let mut truncated = false;
-
-    loop {
-        if (0..n_flows).all(|f| ejected[f] >= total_flits[f]) {
-            break;
-        }
-        if cycles >= max_cycles {
-            truncated = true;
-            break;
-        }
-        cycles += 1;
-
-        // Promote last cycle's arrivals.
-        for fi in 0..n_flows {
-            for h in 0..ready[fi].len() {
-                ready[fi][h] += arrived[fi][h];
-                arrived[fi][h] = 0;
-            }
-        }
-
-        // Injection: sources push into hop 0 while the queue has space
-        // (the first link's service rate is the real throttle).
-        for fi in 0..n_flows {
-            if to_inject[fi] == 0 || flows[fi].path.is_empty() {
-                continue;
-            }
-            let l0 = flows[fi].path[0].idx();
-            let space = (cfg.queue_flits as u64).saturating_sub(link_occ[l0]);
-            let n = space.min(to_inject[fi]);
-            if n > 0 {
-                arrived[fi][0] += n;
-                link_occ[l0] += n;
-                to_inject[fi] -= n;
-            }
-        }
-
-        // Service: each active link serves whole flits from its token
-        // bucket, round-robin over its (flow, hop) entries.
-        for &l in &active_links {
-            tokens[l] = (tokens[l] + rate[l]).min(rate[l].ceil().max(1.0) + rate[l]);
-            let mut budget = tokens[l] as u64;
-            if budget == 0 {
-                continue;
-            }
-            let entries = &entries_on[l];
-            let n_e = entries.len();
-            let mut blocked = 0usize;
-            let mut i = rr[l] % n_e;
-            while budget > 0 && blocked < n_e {
-                let Entry { flow, hop } = entries[i];
-                let (fi, h) = (flow as usize, hop as usize);
-                if ready[fi][h] == 0 {
-                    blocked += 1;
-                    i = (i + 1) % n_e;
-                    continue;
-                }
-                // Forward one flit if the downstream queue has space.
-                let last_hop = h + 1 == flows[fi].path.len();
-                let can_move = if last_hop {
-                    true // ejection always sinks
-                } else {
-                    let nl = flows[fi].path[h + 1].idx();
-                    link_occ[nl] < cfg.queue_flits as u64
-                };
-                if !can_move {
-                    blocked += 1;
-                    i = (i + 1) % n_e;
-                    continue;
-                }
-                ready[fi][h] -= 1;
-                link_occ[l] -= 1;
-                budget -= 1;
-                tokens[l] -= 1.0;
-                flit_hops += 1;
-                blocked = 0;
-                if last_hop {
-                    ejected[fi] += 1;
-                    if ejected[fi] == total_flits[fi] {
-                        done_cycle[fi] = cycles;
-                    }
-                } else {
-                    let nl = flows[fi].path[h + 1].idx();
-                    arrived[fi][h + 1] += 1;
-                    link_occ[nl] += 1;
-                }
-                i = (i + 1) % n_e;
-            }
-            rr[l] = i;
-        }
-    }
-
-    let hz = cfg.freq_ghz * 1e9;
-    PacketSimResult {
-        completion_s: cycles as f64 / hz,
-        cycles,
-        flow_times_s: done_cycle.iter().map(|&c| c as f64 / hz).collect(),
-        flit_hops,
-        truncated,
-    }
+    PacketSimWorkspace::new().simulate(net, flows, cfg)
 }
 
 #[cfg(test)]
@@ -464,6 +552,33 @@ mod tests {
             r.flow_times_s[0] <= r.flow_times_s[1],
             "smaller flow finishes first"
         );
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        // Batch replays through one workspace must match the one-shot
+        // wrapper exactly, set after set.
+        let (arch, net) = setup();
+        let cfg = PacketSimConfig::default();
+        let sets = vec![
+            vec![
+                flow(&net, &arch, (0, 0), (1, 0), 16_000.0),
+                flow(&net, &arch, (0, 0), (2, 0), 16_000.0),
+            ],
+            vec![flow(&net, &arch, (5, 5), (0, 0), 4_096.0)],
+            Vec::new(),
+            vec![
+                flow(&net, &arch, (0, 5), (5, 0), 2_048.0),
+                flow(&net, &arch, (3, 3), (2, 2), 1_024.0),
+                flow(&net, &arch, (1, 1), (4, 4), 8_192.0),
+            ],
+        ];
+        let mut ws = PacketSimWorkspace::new();
+        for flows in &sets {
+            let one_shot = simulate_packets(&net, flows, &cfg);
+            let reused = ws.simulate(&net, flows, &cfg);
+            assert_eq!(one_shot, reused);
+        }
     }
 
     #[test]

@@ -131,6 +131,10 @@ impl TrafficMap {
     /// observation that Gemini's schemes leave "overall network traffic
     /// more evenly distributed".
     pub fn utilization_gini(&self, net: &Network) -> f64 {
+        // Degenerate inputs (zero-bandwidth links, infinite byte loads)
+        // yield non-finite transfer times; those entries are excluded so
+        // the metric stays defined instead of propagating NaN or
+        // panicking in the sort below.
         let mut times: Vec<f64> = self
             .bytes
             .iter()
@@ -142,13 +146,14 @@ impl TrafficMap {
                     0.0
                 }
             })
+            .filter(|t| t.is_finite())
             .collect();
         let n = times.len();
         let total: f64 = times.iter().sum();
         if n == 0 || total <= 0.0 {
             return 0.0;
         }
-        times.sort_by(|a, b| a.partial_cmp(b).expect("finite link times"));
+        times.sort_by(f64::total_cmp);
         // G = 2*sum(i*x_i)/(n*sum(x)) - (n+1)/n with 1-based ranks.
         let weighted: f64 = times
             .iter()
@@ -312,6 +317,26 @@ mod tests {
         // Empty map: 0 by convention.
         let empty = TrafficMap::new(&net);
         assert_eq!(empty.utilization_gini(&net), 0.0);
+    }
+
+    #[test]
+    fn gini_guards_non_finite_times() {
+        let arch = presets::g_arch_72();
+        let net = Network::new(&arch);
+        let mut t = TrafficMap::new(&net);
+        t.add(crate::network::LinkId(0), 1e9);
+        t.add(crate::network::LinkId(1), 2e9);
+        let finite = t.utilization_gini(&net);
+        assert!(finite > 0.0 && finite.is_finite());
+        // An infinite load (degenerate architecture or overflowed
+        // volume) must not poison the metric: the non-finite entry is
+        // excluded and the result stays defined and close to the
+        // finite-only value (one fewer link in the denominator).
+        t.add(crate::network::LinkId(2), f64::INFINITY);
+        let guarded = t.utilization_gini(&net);
+        assert!(guarded.is_finite(), "gini must stay defined");
+        assert!((0.0..=1.0).contains(&guarded));
+        assert!((guarded - finite).abs() < 0.05);
     }
 
     #[test]

@@ -123,6 +123,18 @@ impl Default for EvalOptions {
     }
 }
 
+impl EvalOptions {
+    /// Returns a copy with the congestion surcharge weight replaced —
+    /// the calibration hook the fidelity ladder uses to feed an
+    /// observed analytic-vs-reference discrepancy back into the cheap
+    /// model (see [`crate::fidelity::calibrate_congestion_weight`]).
+    #[must_use]
+    pub fn with_congestion_weight(mut self, weight: f64) -> Self {
+        self.congestion_weight = weight;
+        self
+    }
+}
+
 /// The performance/energy evaluator for one architecture.
 #[derive(Debug)]
 pub struct Evaluator {
@@ -186,6 +198,13 @@ impl Evaluator {
     /// Overrides the per-stage pipeline overhead (seconds).
     pub fn set_stage_overhead(&mut self, s: f64) {
         self.opts.stage_overhead_s = s;
+    }
+
+    /// Overrides the congestion surcharge weight (calibration feedback
+    /// from the fidelity ladder; see
+    /// [`crate::fidelity::calibrate_congestion_weight`]).
+    pub fn set_congestion_weight(&mut self, weight: f64) {
+        self.opts.congestion_weight = weight;
     }
 
     /// The architecture under evaluation.

@@ -13,8 +13,8 @@
 use serde::{Deserialize, Serialize};
 
 use gemini_model::Dnn;
-use gemini_noc::flowsim::{analytic_bottleneck, simulate_flows, Flow};
-use gemini_noc::packetsim::{simulate_packets, PacketSimConfig};
+use gemini_noc::flowsim::{analytic_bottleneck, Flow, FlowSimWorkspace};
+use gemini_noc::packetsim::{PacketSimConfig, PacketSimWorkspace};
 use gemini_noc::TrafficMap;
 
 use crate::evaluate::Evaluator;
@@ -34,6 +34,9 @@ pub struct FidelityReport {
     pub fluid_s: f64,
     /// Flit-granular packet completion, seconds.
     pub packet_s: f64,
+    /// Mean per-link transfer time of the stage (the surcharge base:
+    /// `analytic = bottleneck + weight * mean_link`), seconds.
+    pub mean_link_s: f64,
     /// Flows replayed.
     pub n_flows: usize,
     /// Scale factor applied to flow volumes before simulation (1.0 =
@@ -130,6 +133,170 @@ pub fn check_group(
     cfg: &PacketSimConfig,
     cap_bytes: f64,
 ) -> FidelityReport {
+    check_group_with(
+        ev,
+        dnn,
+        gm,
+        cfg,
+        cap_bytes,
+        &mut FlowSimWorkspace::new(),
+        &mut PacketSimWorkspace::new(),
+    )
+}
+
+/// Batch variant of [`check_group`]: reuses caller-held simulator
+/// workspaces across groups/candidates (bit-identical results).
+pub fn check_group_with(
+    ev: &Evaluator,
+    dnn: &Dnn,
+    gm: &GroupMapping,
+    cfg: &PacketSimConfig,
+    cap_bytes: f64,
+    fluid_ws: &mut FlowSimWorkspace,
+    packet_ws: &mut PacketSimWorkspace,
+) -> FidelityReport {
+    let p = stage_prelude(ev, dnn, gm, cap_bytes);
+    let net = ev.network();
+    let fluid = fluid_ws.simulate(net, &p.flows);
+    let packet = packet_ws.simulate(net, &p.flows, cfg);
+
+    FidelityReport {
+        bottleneck_s: p.bottleneck / p.scale,
+        analytic_s: p.analytic / p.scale,
+        fluid_s: fluid.completion_s / p.scale,
+        packet_s: packet.completion_s / p.scale,
+        mean_link_s: p.mean_link / p.scale,
+        n_flows: p.flows.len(),
+        scale: p.scale,
+        truncated: packet.truncated,
+    }
+}
+
+/// The fluid-only rung of the ladder (no flit-granular simulation):
+/// cheap enough to run on every re-ranked DSE candidate, not just the
+/// final winner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FluidCheck {
+    /// Per-link bottleneck bound, seconds.
+    pub bottleneck_s: f64,
+    /// The evaluator's analytic network time (bottleneck + congestion
+    /// surcharge), seconds.
+    pub analytic_s: f64,
+    /// Max-min fluid completion, seconds.
+    pub fluid_s: f64,
+    /// Mean per-link transfer time (the surcharge base), seconds.
+    pub mean_link_s: f64,
+    /// Flows replayed.
+    pub n_flows: usize,
+    /// Volume scale applied before simulation (times are scaled back).
+    pub scale: f64,
+}
+
+impl FluidCheck {
+    /// Fluid-model time over the analytic estimate: > 1 flags mappings
+    /// whose contention the cheap model underprices.
+    pub fn fluid_vs_analytic(&self) -> f64 {
+        if self.analytic_s > 0.0 {
+            self.fluid_s / self.analytic_s
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Replays one group's stage flows through the analytic and fluid
+/// models only (see [`check_group`] for the full ladder). The caller
+/// holds the [`FlowSimWorkspace`] so back-to-back candidate replays
+/// reuse its allocations.
+pub fn check_group_fluid(
+    ev: &Evaluator,
+    dnn: &Dnn,
+    gm: &GroupMapping,
+    cap_bytes: f64,
+    ws: &mut FlowSimWorkspace,
+) -> FluidCheck {
+    let p = stage_prelude(ev, dnn, gm, cap_bytes);
+    let fluid = ws.simulate(ev.network(), &p.flows);
+    FluidCheck {
+        bottleneck_s: p.bottleneck / p.scale,
+        analytic_s: p.analytic / p.scale,
+        fluid_s: fluid.completion_s / p.scale,
+        mean_link_s: p.mean_link / p.scale,
+        n_flows: p.flows.len(),
+        scale: p.scale,
+    }
+}
+
+/// The shared prelude of every ladder rung: capped stage flows plus the
+/// analytic quantities on them (unscaled — callers divide by `scale`).
+/// One implementation so the full ladder and the fluid-only rung can
+/// never diverge on the surcharge formula or the cap semantics.
+struct StagePrelude {
+    flows: Vec<Flow>,
+    scale: f64,
+    bottleneck: f64,
+    mean_link: f64,
+    analytic: f64,
+}
+
+fn stage_prelude(ev: &Evaluator, dnn: &Dnn, gm: &GroupMapping, cap_bytes: f64) -> StagePrelude {
+    let (flows, scale) = capped_stage_flows(ev, dnn, gm, cap_bytes);
+    let net = ev.network();
+    let bottleneck = analytic_bottleneck(net, &flows);
+    let mut traffic = TrafficMap::new(net);
+    for f in &flows {
+        traffic.add_path(&f.path, f.bytes);
+    }
+    let mean_link = traffic.mean_link_time(net);
+    let analytic = bottleneck + ev.options().congestion_weight * mean_link;
+    StagePrelude {
+        flows,
+        scale,
+        bottleneck,
+        mean_link,
+        analytic,
+    }
+}
+
+/// Result of the packet-only rung (see [`check_group_packet`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketCheck {
+    /// Flit-granular completion, seconds (scaled back).
+    pub packet_s: f64,
+    /// Whether the simulation hit its cycle bound — a truncated time
+    /// *under-reports* congestion and must not feed calibration.
+    pub truncated: bool,
+}
+
+/// The packet-only rung: replays one group's stage flows through the
+/// flit-granular simulator alone (scaled back like [`check_group`]).
+/// For callers that already hold the analytic and fluid rungs — e.g.
+/// winner validation after a fluid re-rank — and only need the packet
+/// reference on top.
+pub fn check_group_packet(
+    ev: &Evaluator,
+    dnn: &Dnn,
+    gm: &GroupMapping,
+    cfg: &PacketSimConfig,
+    cap_bytes: f64,
+    ws: &mut PacketSimWorkspace,
+) -> PacketCheck {
+    let (flows, scale) = capped_stage_flows(ev, dnn, gm, cap_bytes);
+    let r = ws.simulate(ev.network(), &flows, cfg);
+    PacketCheck {
+        packet_s: r.completion_s / scale,
+        truncated: r.truncated,
+    }
+}
+
+/// Extracts the stage flows and applies the proportional volume cap
+/// (all models are volume-linear; see [`check_group`]).
+fn capped_stage_flows(
+    ev: &Evaluator,
+    dnn: &Dnn,
+    gm: &GroupMapping,
+    cap_bytes: f64,
+) -> (Vec<Flow>, f64) {
     let mut flows = stage_flows(ev, dnn, gm);
     let total: f64 = flows.iter().map(|f| f.bytes).sum();
     let scale = if total > cap_bytes && cap_bytes > 0.0 {
@@ -142,26 +309,34 @@ pub fn check_group(
             f.bytes *= scale;
         }
     }
+    (flows, scale)
+}
 
-    let net = ev.network();
-    let bottleneck = analytic_bottleneck(net, &flows);
-    let mut traffic = TrafficMap::new(net);
-    for f in &flows {
-        traffic.add_path(&f.path, f.bytes);
+/// Solves for the congestion-surcharge weight that would align the
+/// analytic stage price with a reference simulation on the observed
+/// groups.
+///
+/// Per group the analytic network time is `bottleneck + w * mean_link`,
+/// so the weight matching a reference time `r` is
+/// `(r - bottleneck) / mean_link`. Observations are
+/// `(bottleneck_s, mean_link_s, reference_s)` tuples; the result is the
+/// median over groups with a usable surcharge base, clamped to
+/// `0.0..=64.0`, or `None` when no group constrains the weight (e.g.
+/// every group is compute-bound with zero traffic). Feed it back via
+/// [`crate::EvalOptions::with_congestion_weight`] or
+/// [`Evaluator::set_congestion_weight`] to keep the cheap model honest
+/// on the workloads actually explored.
+pub fn calibrate_congestion_weight(obs: impl IntoIterator<Item = (f64, f64, f64)>) -> Option<f64> {
+    let mut weights: Vec<f64> = obs
+        .into_iter()
+        .filter(|&(b, m, r)| m > 0.0 && m.is_finite() && b.is_finite() && r.is_finite())
+        .map(|(b, m, r)| ((r - b) / m).clamp(0.0, 64.0))
+        .collect();
+    if weights.is_empty() {
+        return None;
     }
-    let analytic = bottleneck + ev.options().congestion_weight * traffic.mean_link_time(net);
-    let fluid = simulate_flows(net, &flows);
-    let packet = simulate_packets(net, &flows, cfg);
-
-    FidelityReport {
-        bottleneck_s: bottleneck / scale,
-        analytic_s: analytic / scale,
-        fluid_s: fluid.completion_s / scale,
-        packet_s: packet.completion_s / scale,
-        n_flows: flows.len(),
-        scale,
-        truncated: packet.truncated,
-    }
+    weights.sort_by(f64::total_cmp);
+    Some(weights[weights.len() / 2])
 }
 
 /// Checks every group of a mapped DNN (see [`check_group`]).
@@ -276,6 +451,64 @@ mod tests {
             r.analytic_s,
             r.packet_s
         );
+    }
+
+    #[test]
+    fn fluid_check_matches_full_ladder() {
+        // The fluid-only rung must agree exactly with the fluid column
+        // of the full ladder (same flows, same workspace math).
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let (dnn, gm) = pipeline_mapping(&arch);
+        let full = check_group(&ev, &dnn, &gm, &PacketSimConfig::default(), 256e3);
+        let mut ws = FlowSimWorkspace::new();
+        let fluid = check_group_fluid(&ev, &dnn, &gm, 256e3, &mut ws);
+        assert_eq!(fluid.bottleneck_s, full.bottleneck_s);
+        assert_eq!(fluid.analytic_s, full.analytic_s);
+        assert_eq!(fluid.fluid_s, full.fluid_s);
+        assert_eq!(fluid.mean_link_s, full.mean_link_s);
+        assert_eq!(fluid.n_flows, full.n_flows);
+        // Reused workspace: second run is bit-identical.
+        assert_eq!(fluid, check_group_fluid(&ev, &dnn, &gm, 256e3, &mut ws));
+    }
+
+    #[test]
+    fn calibration_recovers_surcharge_weight() {
+        // Reference equal to bottleneck + 4 * mean => weight 4 exactly.
+        let w = calibrate_congestion_weight([
+            (1.0, 0.5, 3.0),      // (3 - 1) / 0.5 = 4
+            (2.0, 0.25, 3.0),     // (3 - 2) / 0.25 = 4
+            (0.0, 0.0, 1.0),      // unusable: no surcharge base
+            (1.0, f64::NAN, 2.0), // unusable: non-finite
+        ]);
+        assert_eq!(w, Some(4.0));
+        // Nothing usable: no calibration.
+        assert_eq!(calibrate_congestion_weight([(1.0, 0.0, 2.0)]), None);
+        assert_eq!(calibrate_congestion_weight([]), None);
+        // Reference below the bottleneck clamps at zero, never negative.
+        assert_eq!(calibrate_congestion_weight([(5.0, 1.0, 3.0)]), Some(0.0));
+    }
+
+    #[test]
+    fn calibrated_evaluator_reprices_analytic_time() {
+        // Feeding the calibrated weight back into the evaluator moves
+        // its analytic estimate toward the reference rung.
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let (dnn, gm) = pipeline_mapping(&arch);
+        let r = check_group(&ev, &dnn, &gm, &PacketSimConfig::default(), 256e3);
+        let w = calibrate_congestion_weight([(r.bottleneck_s, r.mean_link_s, r.packet_s)])
+            .expect("loaded group constrains the weight");
+        let mut cal = Evaluator::with_options(&arch, crate::EnergyModel::default(), *ev.options());
+        cal.set_congestion_weight(w);
+        let rc = check_group(&cal, &dnn, &gm, &PacketSimConfig::default(), 256e3);
+        let before = (r.packet_s - r.analytic_s).abs();
+        let after = (rc.packet_s - rc.analytic_s).abs();
+        assert!(
+            after <= before + 1e-12,
+            "calibration must not widen the gap: {after} > {before}"
+        );
+        assert!(after / rc.packet_s < 0.05, "single-group fit is near-exact");
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub mod workload;
 pub use cache::EvalCache;
 pub use energy::{D2dEnergyModel, EnergyBreakdown, EnergyModel};
 pub use evaluate::{DnnReport, EvalOptions, Evaluator, GroupReport, StageBottleneck};
-pub use fidelity::{check_dnn, check_group, stage_flows, FidelityReport};
+pub use fidelity::{
+    calibrate_congestion_weight, check_dnn, check_group, check_group_fluid, check_group_packet,
+    check_group_with, stage_flows, FidelityReport, FluidCheck, PacketCheck,
+};
 pub use mapping::{DramSel, GroupMapping, LayerAssignment, PredSrc};
 pub use profile::CoreProfile;
 pub use program::{

@@ -3,6 +3,13 @@
 //! `MC * E * D` with the Transformer workload and print the winner — the
 //! paper's run converges to `(2, 36, 144GB/s, 32GB/s, 16GB/s, 2MB, 1024)`.
 //!
+//! The DSE runs congestion-aware: the top-8 analytic survivors are
+//! re-scored with the fluid NoC simulator and the winner is validated
+//! with the flit-granular packet simulator
+//! ([`FidelityPolicy::ValidateWinner`]). An analytic-only pass runs
+//! first so the fidelity stages' wall-clock overhead is visible — the
+//! re-rank + validation must stay a small fraction of the sweep.
+//!
 //! The full grid takes server-scale time; this example subsamples it
 //! (set `GEMINI_DSE_MODE=full` for the whole grid).
 //!
@@ -40,27 +47,67 @@ fn main() {
         opts.threads
     );
 
+    // Analytic-only pass: the congestion-blind baseline, timed.
     let t0 = std::time::Instant::now();
     let res = run_dse(&dnns, &spec, &opts);
+    let analytic_elapsed = t0.elapsed();
     println!(
-        "explored {} candidates in {:.1?}\n",
+        "analytic sweep: {} candidates in {:.1?}",
         res.records.len(),
-        t0.elapsed()
+        analytic_elapsed
     );
 
-    let mut ranked: Vec<_> = res.records.iter().collect();
-    ranked.sort_by(|a, b| a.score.partial_cmp(&b.score).expect("finite"));
-    println!("top 5 under MC*E*D:");
+    // Congestion-aware pass: fluid re-rank of the top 8, packet
+    // validation of the winner. The deterministic SA engine makes the
+    // analytic records bit-identical to the first pass, so the extra
+    // wall-clock is exactly the fidelity stages (plus the top-K remaps).
+    let opts_fid = DseOptions {
+        fidelity: FidelityPolicy::validate(8),
+        ..opts
+    };
+    let t1 = std::time::Instant::now();
+    let res_fid = run_dse(&dnns, &spec, &opts_fid);
+    let fid_elapsed = t1.elapsed();
+    let overhead = fid_elapsed.as_secs_f64() / analytic_elapsed.as_secs_f64() - 1.0;
+    println!(
+        "with fidelity ladder (rerank 8 + winner validation): {:.1?} (+{:.1}% over analytic)",
+        fid_elapsed,
+        overhead.max(0.0) * 100.0
+    );
+
+    let mut ranked: Vec<_> = res_fid.records.iter().collect();
+    ranked.sort_by(|a, b| a.score.total_cmp(&b.score));
+    println!("\ntop 5 under MC*E*D (analytic scores; * = fluid-rescored):");
     for r in ranked.iter().take(5) {
         println!(
-            "  {}  MC ${:6.2}  E {:8.3} mJ  D {:7.3} ms  score {:.3e}",
+            "  {}{} MC ${:6.2}  E {:8.3} mJ  D {:7.3} ms  score {:.3e}",
             r.arch.paper_tuple(),
+            if r.fluid.is_some() { "*" } else { " " },
             r.mc,
             r.energy * 1e3,
             r.delay * 1e3,
             r.score
         );
     }
-    println!("\nbest arch: {}", res.best_record().arch.paper_tuple());
+
+    let rep = &res_fid.report;
+    println!(
+        "\nfidelity: worst fluid/analytic on winner {:.2}x over {} groups{}",
+        rep.max_fluid_vs_analytic(),
+        rep.winner_groups.len(),
+        if rep.winner_changed() {
+            " — re-rank overturned the analytic winner"
+        } else {
+            ""
+        }
+    );
+    if let Some(w) = rep.suggested_congestion_weight {
+        println!(
+            "calibrated congestion weight: {w:.2} (default {:.2})",
+            gemini::sim::evaluate::CONGESTION_WEIGHT
+        );
+    }
+
+    println!("\nbest arch: {}", res_fid.best_record().arch.paper_tuple());
     println!("paper's    (2, 36, 144GB/s, 32GB/s, 16GB/s, 2048KB, 1024)");
 }

@@ -1,87 +1,115 @@
-//! The network-model fidelity ladder: audit the analytic evaluator
-//! against the max-min fluid and flit-granular packet simulators on the
-//! mappings the annealer actually produces.
+//! The network-model fidelity ladder — a first-class DSE stage.
 //!
-//! The SA engine calls the analytic model millions of times, so it must
-//! be cheap; this example shows how to verify, per layer group, that
-//! the cheap model's congestion surcharge really brackets the detailed
-//! reference — and that Gemini's optimized mappings keep it honest by
-//! spreading traffic (compare the T-Map and G-Map columns).
+//! The SA engine calls the analytic network model millions of times, so
+//! it must be cheap; the reference simulators keep it honest. This
+//! example drives the ladder through the DSE API
+//! ([`FidelityPolicy`]): the analytic sweep ranks every candidate, the
+//! max-min fluid simulator re-scores the top-K survivors
+//! (congestion-aware re-rank), and the flit-granular packet simulator
+//! validates the final winner — reporting the per-group discrepancy and
+//! a calibrated congestion-surcharge weight to feed back into
+//! [`gemini::sim::EvalOptions`].
 //!
 //! Run with `cargo run --release --example fidelity_ladder`.
 
-use gemini::noc::packetsim::PacketSimConfig;
 use gemini::prelude::*;
-use gemini::sim::check_group;
-use gemini_core::sa::SaOptions;
 
 fn main() {
-    let dnn = gemini::model::zoo::tiny_resnet();
-    let arch = gemini::arch::presets::g_arch_72();
+    let dnns = vec![gemini::model::zoo::tiny_resnet()];
     let batch = 8;
-    let ev = Evaluator::new(&arch);
-    let engine = MappingEngine::new(&ev);
+    // Four fabrics of the same 6x6 grid at different chiplet cuts —
+    // including a monolithic one (no D2D links at all).
+    let candidates: Vec<ArchConfig> = [(1u32, 1u32), (2, 1), (2, 2), (3, 3)]
+        .iter()
+        .map(|&(xc, yc)| {
+            ArchConfig::builder()
+                .cores(6, 6)
+                .cuts(xc, yc)
+                .build()
+                .expect("valid fabric")
+        })
+        .collect();
 
-    let t_map = engine.map_stripe(&dnn, batch, &MappingOptions::default());
-    let g_map = engine.map(
-        &dnn,
+    let opts = DseOptions {
         batch,
-        &MappingOptions {
+        mapping: MappingOptions {
             sa: SaOptions {
-                iters: 800,
+                iters: 400,
                 seed: 17,
                 ..Default::default()
             },
             ..Default::default()
         },
-    );
+        // Rung 2: fluid re-rank of all four candidates, packet
+        // validation of the winner.
+        fidelity: FidelityPolicy::validate(4),
+        ..Default::default()
+    };
 
-    let cfg = PacketSimConfig::default();
     println!(
-        "workload: {} on {} (batch {batch})",
-        dnn.name(),
-        arch.paper_tuple()
+        "workload: {} (batch {batch}), {} candidate fabrics, fidelity policy: validate",
+        dnns[0].name(),
+        candidates.len()
     );
-    println!("\nper-group stage network time, microseconds (cap 512 kB per replay):");
-    println!(
-        "{:>5}  {:>9} {:>9} {:>9} {:>7}   {:>9} {:>9} {:>9} {:>7}",
-        "group",
-        "T analyt",
-        "T fluid",
-        "T packet",
-        "T p/a",
-        "G analyt",
-        "G fluid",
-        "G packet",
-        "G p/a"
-    );
+    let res = gemini::core::dse::run_dse_over(&candidates, &dnns, &opts);
+    let rep = &res.report;
 
-    let t_gms = t_map.group_mappings(&dnn);
-    let g_gms = g_map.group_mappings(&dnn);
-    let mut worst_t: f64 = 0.0;
-    let mut worst_g: f64 = 0.0;
-    for (gi, (tg, gg)) in t_gms.iter().zip(&g_gms).enumerate() {
-        let ft = check_group(&ev, &dnn, tg, &cfg, 512e3);
-        let fg = check_group(&ev, &dnn, gg, &cfg, 512e3);
-        worst_t = worst_t.max(ft.packet_vs_analytic());
-        worst_g = worst_g.max(fg.packet_vs_analytic());
+    println!("\ncongestion-aware re-rank (analytic score -> fluid-corrected score):");
+    for e in &rep.reranked {
+        let r = &res.records[e.index];
         println!(
-            "{:>5}  {:>9.2} {:>9.2} {:>9.2} {:>6.2}x   {:>9.2} {:>9.2} {:>9.2} {:>6.2}x",
-            gi,
-            ft.analytic_s * 1e6,
-            ft.fluid_s * 1e6,
-            ft.packet_s * 1e6,
-            ft.packet_vs_analytic(),
-            fg.analytic_s * 1e6,
-            fg.fluid_s * 1e6,
-            fg.packet_s * 1e6,
-            fg.packet_vs_analytic(),
+            "  {:<40} {:>12.4e} -> {:>12.4e}{}",
+            r.arch.paper_tuple(),
+            e.analytic_score,
+            e.fluid_score,
+            if e.index == rep.best {
+                "  <== winner"
+            } else {
+                ""
+            }
         );
     }
+    if rep.winner_changed() {
+        println!("  (the re-rank overturned the analytic winner)");
+    }
+
+    println!("\nwinner's per-group ladder, microseconds (packet rung from winner validation):");
     println!(
-        "\nworst packet/analytic ratio — T-Map: {worst_t:.2}x, G-Map: {worst_g:.2}x\n\
-         (ratios <= 1 mean the evaluator's congestion surcharge conservatively\n\
-         covers queueing, arbitration and per-hop latency; ratios well above 1\n\
-         would flag mappings whose contention the cheap model underprices)"
+        "{:>5}  {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "group", "bottleneck", "analytic", "fluid", "packet", "f/a"
+    );
+    for g in &rep.winner_groups {
+        println!(
+            "{:>5}  {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>6.2}x",
+            g.group,
+            g.bottleneck_s * 1e6,
+            g.analytic_s * 1e6,
+            g.fluid_s * 1e6,
+            g.packet_s.unwrap_or(f64::NAN) * 1e6,
+            g.fluid_vs_analytic(),
+        );
+    }
+
+    println!(
+        "\nworst fluid/analytic ratio on the winner: {:.2}x",
+        rep.max_fluid_vs_analytic()
+    );
+    match rep.suggested_congestion_weight {
+        Some(w) => {
+            let calibrated = rep.calibrated_eval_options(gemini::sim::EvalOptions::default());
+            println!(
+                "calibrated congestion weight: {w:.2} (default {:.2}) — next exploration can \
+                 build its evaluators with EvalOptions {{ congestion_weight: {:.2}, .. }}",
+                gemini::sim::evaluate::CONGESTION_WEIGHT,
+                calibrated.congestion_weight
+            );
+        }
+        None => println!("no group constrained the congestion weight (compute-bound mappings)"),
+    }
+    println!(
+        "\n(ratios <= 1 mean the evaluator's congestion surcharge conservatively covers\n\
+         queueing, arbitration and per-hop latency; ratios well above 1 flag mappings\n\
+         whose contention the cheap model underprices — exactly what the re-rank stage\n\
+         guards the architecture choice against)"
     );
 }

@@ -7,8 +7,13 @@
 //!   [--threads N] [--stats]` — map a workload with T-Map and G-Map and
 //!   print the comparison (`--stats` adds per-group utilization and the
 //!   packet-level fidelity ladder);
-//! * `gemini dse [--tops T] [--stride N] [--batch N] [--iters N]` — run
-//!   the Table-I DSE and print the best architecture;
+//! * `gemini dse [--tops T] [--stride N] [--batch N] [--iters N]
+//!   [--fidelity analytic|rerank|validate] [--rerank-k K]` — run the
+//!   Table-I DSE and print the best architecture; `--fidelity rerank`
+//!   re-scores the top-K analytic survivors with the max-min fluid NoC
+//!   simulator (congestion-aware re-rank), `--fidelity validate`
+//!   additionally replays the winner through the flit-granular packet
+//!   simulator and prints the calibrated congestion-surcharge weight;
 //! * `gemini hetero <model> [--batch N] [--iters N]` — exhaustive
 //!   per-chiplet class-assignment DSE on a 4-chiplet fabric (Sec. V-D);
 //! * `gemini models` / `gemini archs` — list available workloads and
@@ -17,7 +22,10 @@
 //! SA knobs default from the environment (`GEMINI_SA_ITERS`,
 //! `GEMINI_SA_SEED`, `GEMINI_SA_THREADS`); `--iters`/`--threads` win
 //! over the environment. `--threads 0` (the default) uses every core —
-//! mapping results are bit-identical at any thread count.
+//! mapping results are bit-identical at any thread count. For `dse`,
+//! `--threads` sets the candidate-sweep worker count instead (SA
+//! chains revert to auto and are pinned to one while the sweep is
+//! parallel, so the machine is never oversubscribed).
 //!
 //! Models are the paper's abbreviations (`rn-50`, `rnx`, `ires`, `pnas`,
 //! `tf`, `tf-large`, `gn`); presets are `s-arch`, `g-arch`, `t-arch`,
@@ -48,7 +56,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  gemini models [--detail]\n  gemini archs\n  gemini cost <preset>\n  \
          gemini map <model> [--arch <preset>] [--batch N] [--iters N] [--threads N] [--stats]\n  \
-         gemini dse [--tops T] [--stride N] [--batch N] [--iters N]\n  \
+         gemini dse [--tops T] [--stride N] [--batch N] [--iters N] [--threads N] \
+[--fidelity analytic|rerank|validate] [--rerank-k K]\n  \
          gemini hetero <model> [--batch N] [--iters N]\n  \
          gemini heatmap <model> [--batch N] [--iters N]"
     );
@@ -73,6 +82,61 @@ fn sa_opts(args: &[String], default_iters: u32) -> SaOptions {
         sa.threads = t;
     }
     sa
+}
+
+/// Prints the fidelity-ladder section of a DSE result (nothing under
+/// the analytic policy, which runs no ladder stages).
+fn print_fidelity_report(res: &gemini::core::dse::DseResult) {
+    let rep = &res.report;
+    if rep.reranked.is_empty() {
+        return;
+    }
+    println!(
+        "\ncongestion-aware re-rank (fluid NoC reference, top {}):",
+        rep.reranked.len()
+    );
+    for e in &rep.reranked {
+        let r = &res.records[e.index];
+        let marker = if e.index == rep.best {
+            "  <== winner"
+        } else if e.index == rep.analytic_best {
+            "  (analytic winner)"
+        } else {
+            ""
+        };
+        println!(
+            "  {}  analytic {:.4e} -> fluid {:.4e}{}",
+            r.arch.paper_tuple(),
+            e.analytic_score,
+            e.fluid_score,
+            marker,
+        );
+    }
+    if rep.winner_changed() {
+        println!("  the congestion-aware re-rank overturned the analytic winner");
+    }
+    if !rep.winner_groups.is_empty() {
+        println!(
+            "  worst fluid/analytic across the winner's {} groups: {:.2}x",
+            rep.winner_groups.len(),
+            rep.max_fluid_vs_analytic()
+        );
+        if rep.winner_groups.iter().any(|g| g.packet_s.is_some()) {
+            let worst = rep
+                .winner_groups
+                .iter()
+                .map(|g| g.reference_vs_analytic())
+                .fold(1.0, f64::max);
+            println!("  worst packet/analytic (winner validation): {worst:.2}x");
+        }
+    }
+    if let Some(w) = rep.suggested_congestion_weight {
+        println!(
+            "  calibrated congestion weight: {w:.2} (default {:.2}; feed back via \
+             EvalOptions::with_congestion_weight)",
+            gemini::sim::evaluate::CONGESTION_WEIGHT
+        );
+    }
 }
 
 fn main() -> ExitCode {
@@ -326,10 +390,32 @@ fn main() -> ExitCode {
             let batch: u32 = flag(&args, "--batch")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(64);
-            let sa = sa_opts(&args, 300);
+            let rerank_k: usize = flag(&args, "--rerank-k")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(8);
+            let fidelity = match flag(&args, "--fidelity").as_deref() {
+                None | Some("analytic") => FidelityPolicy::Analytic,
+                Some("rerank") => FidelityPolicy::rerank(rerank_k),
+                Some("validate") => FidelityPolicy::validate(rerank_k),
+                Some(other) => {
+                    eprintln!("unknown fidelity policy '{other}'; use analytic|rerank|validate");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut sa = sa_opts(&args, 300);
+            // For the DSE, `--threads` sets the candidate-sweep workers,
+            // not the SA chain count (which `sa_opts` would otherwise
+            // also take from the flag, multiplying into workers x chains
+            // threads): chains revert to auto and `run_dse_over` pins
+            // them to 1 while the sweep is parallel. Results are
+            // identical either way.
+            let cli_threads: Option<usize> = flag(&args, "--threads").and_then(|v| v.parse().ok());
+            if cli_threads.is_some() {
+                sa.threads = 0;
+            }
             let iters = sa.iters;
             let spec = DseSpec::table1(tops);
-            let opts = DseOptions {
+            let mut opts = DseOptions {
                 objective: Objective::mc_e_d(),
                 batch,
                 mapping: MappingOptions {
@@ -337,8 +423,14 @@ fn main() -> ExitCode {
                     ..Default::default()
                 },
                 stride,
+                fidelity,
                 ..Default::default()
             };
+            if let Some(t) = cli_threads {
+                if t > 0 {
+                    opts.threads = t;
+                }
+            }
             println!(
                 "{} candidates in the {tops}-TOPs grid; exploring every {stride}th with SA {iters}",
                 spec.candidates().len()
@@ -353,6 +445,7 @@ fn main() -> ExitCode {
                 best.energy * 1e3,
                 best.delay * 1e3
             );
+            print_fidelity_report(&res);
             ExitCode::SUCCESS
         }
         _ => usage(),

@@ -82,6 +82,7 @@ pub mod prelude {
     pub use gemini_arch::{ArchConfig, CoreClass, HeteroSpec, Topology};
     pub use gemini_core::dse::{run_dse, DseOptions, DseSpec, Objective};
     pub use gemini_core::engine::{MappedDnn, MappingEngine, MappingOptions};
+    pub use gemini_core::fidelity::{DseReport, FidelityPolicy, FluidConfig};
     pub use gemini_core::sa::{SaOptions, SaOutcome, SaStats};
     pub use gemini_cost::CostModel;
     pub use gemini_model::{Dnn, DnnBuilder, FmapShape, LayerKind};

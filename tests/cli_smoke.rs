@@ -60,6 +60,22 @@ fn cost_reports_breakdown() {
 }
 
 #[test]
+fn usage_mentions_fidelity_flags() {
+    let (ok, _, err) = gemini(&[]);
+    assert!(!ok);
+    assert!(err.contains("--fidelity"));
+    assert!(err.contains("--rerank-k"));
+}
+
+#[test]
+fn dse_rejects_unknown_fidelity_policy() {
+    let (ok, _, err) = gemini(&["dse", "--fidelity", "bogus"]);
+    assert!(!ok);
+    assert!(err.contains("unknown fidelity policy"));
+    assert!(err.contains("analytic|rerank|validate"));
+}
+
+#[test]
 fn unknown_model_and_preset_are_rejected() {
     let (ok, _, err) = gemini(&["cost", "not-an-arch"]);
     assert!(!ok);

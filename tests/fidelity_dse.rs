@@ -1,0 +1,169 @@
+//! Integration tests for the DSE fidelity ladder: the fluid re-rank
+//! stage's determinism across thread counts, the flow simulator's
+//! analytic lower bound (property-tested), zero-D2D (monolithic)
+//! robustness, and winner validation with calibration feedback.
+
+use proptest::prelude::*;
+
+use gemini::core::dse::run_dse_over;
+use gemini::noc::flowsim::{analytic_bottleneck, simulate_flows, Flow, FlowSimWorkspace};
+use gemini::noc::Network;
+use gemini::prelude::*;
+
+fn small_candidates() -> Vec<ArchConfig> {
+    vec![
+        ArchConfig::builder()
+            .cores(4, 4)
+            .cuts(2, 1)
+            .build()
+            .unwrap(),
+        // Monolithic: XCut = YCut = 1, no D2D links at all.
+        ArchConfig::builder()
+            .cores(4, 4)
+            .cuts(1, 1)
+            .build()
+            .unwrap(),
+        ArchConfig::builder()
+            .cores(4, 4)
+            .cuts(2, 2)
+            .build()
+            .unwrap(),
+    ]
+}
+
+fn dse_opts(sa_threads: usize, workers: usize, fidelity: FidelityPolicy) -> DseOptions {
+    DseOptions {
+        batch: 2,
+        mapping: MappingOptions {
+            sa: SaOptions {
+                iters: 40,
+                seed: 7,
+                threads: sa_threads,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        threads: workers,
+        fidelity,
+        ..Default::default()
+    }
+}
+
+/// The re-rank stage inherits the SA engine's bit-identity guarantee:
+/// any `GEMINI_SA_THREADS`-style chain-worker count and any candidate
+/// worker count must produce the same winner, the same analytic scores
+/// and the same fluid re-scores, bit for bit.
+#[test]
+fn fluid_rerank_bit_identical_across_thread_counts() {
+    let dnns = vec![gemini::model::zoo::tiny_resnet()];
+    let cands = small_candidates();
+    let base = run_dse_over(&cands, &dnns, &dse_opts(1, 1, FidelityPolicy::rerank(3)));
+    assert_eq!(base.report.reranked.len(), 3);
+    for (sa_threads, workers) in [(2, 2), (8, 4)] {
+        let other = run_dse_over(
+            &cands,
+            &dnns,
+            &dse_opts(sa_threads, workers, FidelityPolicy::rerank(3)),
+        );
+        assert_eq!(
+            base.best, other.best,
+            "winner moved at {sa_threads} SA threads"
+        );
+        assert_eq!(
+            base.report, other.report,
+            "report differs at {sa_threads} SA threads"
+        );
+        for (a, b) in base.records.iter().zip(&other.records) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+            let fa = a
+                .fluid
+                .as_ref()
+                .map(|f| (f.delay.to_bits(), f.score.to_bits()));
+            let fb = b
+                .fluid
+                .as_ref()
+                .map(|f| (f.delay.to_bits(), f.score.to_bits()));
+            assert_eq!(fa, fb, "fluid re-score differs at {sa_threads} SA threads");
+        }
+    }
+}
+
+/// Winner validation must survive a monolithic (zero-D2D) winner: the
+/// packet replay, the discrepancy report and the calibration all run
+/// on a fabric with no D2D links.
+#[test]
+fn validate_winner_handles_monolithic_architectures() {
+    let dnns = vec![gemini::model::zoo::two_conv_example()];
+    let cands = vec![ArchConfig::builder()
+        .cores(4, 4)
+        .cuts(1, 1)
+        .build()
+        .unwrap()];
+    let ev = Evaluator::new(&cands[0]);
+    assert!(
+        ev.network().links().iter().all(|l| !l.kind.is_d2d()),
+        "monolithic fabric must have no D2D links"
+    );
+    let res = run_dse_over(&cands, &dnns, &dse_opts(1, 1, FidelityPolicy::validate(1)));
+    assert_eq!(res.best, 0);
+    assert!(res.records[0].fluid.is_some());
+    let rep = &res.report;
+    assert!(!rep.winner_groups.is_empty());
+    assert!(
+        rep.winner_groups.iter().all(|g| g.packet_s.is_some()),
+        "winner validation fills the packet rung"
+    );
+    assert!(rep.max_fluid_vs_analytic().is_finite());
+}
+
+/// Rung-2 reports feed a calibrated congestion weight back into
+/// [`gemini::sim::EvalOptions`]; a re-built evaluator must carry it.
+#[test]
+fn validate_winner_calibration_round_trips_into_eval_options() {
+    let dnns = vec![gemini::model::zoo::two_conv_example()];
+    let cands = small_candidates();
+    let res = run_dse_over(&cands, &dnns, &dse_opts(1, 2, FidelityPolicy::validate(2)));
+    let rep = &res.report;
+    let base = gemini::sim::EvalOptions::default();
+    let calibrated = rep.calibrated_eval_options(base);
+    match rep.suggested_congestion_weight {
+        Some(w) => {
+            assert!((0.0..=64.0).contains(&w), "clamped weight, got {w}");
+            assert_eq!(calibrated.congestion_weight, w);
+        }
+        None => assert_eq!(calibrated, base),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The fluid simulation can never beat the analytic per-link
+    /// bottleneck bound (max-min sharing only ever slows a flow down
+    /// relative to having every link to itself), and the reusable
+    /// workspace is bit-identical to the one-shot entry point.
+    #[test]
+    fn fluid_completion_never_beats_bottleneck(
+        pairs in proptest::collection::vec(
+            ((0u32..6, 0u32..6), (0u32..6, 0u32..6), 1u64..2_000_000),
+            1..12,
+        )
+    ) {
+        let arch = gemini::arch::presets::g_arch_72();
+        let net = Network::new(&arch);
+        let mut flows = Vec::new();
+        for ((ax, ay), (bx, by), bytes) in pairs {
+            let mut path = Vec::new();
+            net.route_cores(arch.core_at(ax, ay), arch.core_at(bx, by), &mut path);
+            flows.push(Flow { path, bytes: bytes as f64 });
+        }
+        let r = simulate_flows(&net, &flows);
+        let bound = analytic_bottleneck(&net, &flows);
+        prop_assert!(
+            r.completion_s >= bound * (1.0 - 1e-9),
+            "fluid {} beats per-link bound {}", r.completion_s, bound
+        );
+        let mut ws = FlowSimWorkspace::new();
+        prop_assert_eq!(ws.simulate(&net, &flows), r);
+    }
+}
