@@ -23,6 +23,8 @@
 //! assert!((arch.tops() - 73.7).abs() < 1.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod area;
 pub mod config;
 pub mod geometry;

@@ -8,6 +8,12 @@ use crate::config::{ArchConfig, Topology};
 /// per core (per the Simba-series Magnet exploration), 2 GB/s-per-TOPs
 /// DRAM via added IO dies, GRS D2D links at a quarter of the on-chip
 /// link bandwidth.
+///
+/// ```
+/// let a = gemini_arch::presets::simba_s_arch();
+/// assert_eq!(a.n_chiplets(), 36);
+/// assert_eq!(a.chiplet_dims(), (1, 1)); // one core per chiplet
+/// ```
 pub fn simba_s_arch() -> ArchConfig {
     ArchConfig::builder()
         .cores(6, 6)
@@ -23,6 +29,13 @@ pub fn simba_s_arch() -> ArchConfig {
 
 /// G-Arch at 72 TOPs: the architecture Gemini's DSE finds
 /// (Sec. VI-B1): `(2, 36, 144GB/s, 32GB/s, 16GB/s, 2MB, 1024)`.
+///
+/// ```
+/// let a = gemini_arch::presets::g_arch_72();
+/// assert_eq!(a.n_chiplets(), 2);
+/// assert_eq!(a.n_cores(), 36);
+/// assert_eq!(a.paper_tuple(), "(2, 36, 144GB/s, 32GB/s, 16GB/s, 2048KB, 1024)");
+/// ```
 pub fn g_arch_72() -> ArchConfig {
     ArchConfig::builder()
         .cores(6, 6)
@@ -38,6 +51,13 @@ pub fn g_arch_72() -> ArchConfig {
 
 /// T-Arch: a 120-core monolithic accelerator with Tenstorrent
 /// Grayskull-like parameters on a folded-torus NoC (Sec. VI-B2).
+///
+/// ```
+/// use gemini_arch::Topology;
+/// let a = gemini_arch::presets::t_arch();
+/// assert!(a.is_monolithic());
+/// assert_eq!(a.topology(), Topology::FoldedTorus);
+/// ```
 pub fn t_arch() -> ArchConfig {
     ArchConfig::builder()
         .cores(12, 10)
@@ -54,6 +74,13 @@ pub fn t_arch() -> ArchConfig {
 
 /// The Gemini-explored counterpart of [`t_arch`] (Sec. VI-B2):
 /// `(6, 60, 480GB/s, 64GB/s, 32GB/s, 2MB, 2048)` on a folded torus.
+///
+/// ```
+/// let a = gemini_arch::presets::g_arch_vs_tarch();
+/// assert_eq!(a.n_chiplets(), 6);
+/// // Roughly 2x T-Arch's computing power, as in the paper's setup.
+/// assert!(a.tops() > 1.9 * gemini_arch::presets::t_arch().tops());
+/// ```
 pub fn g_arch_vs_tarch() -> ArchConfig {
     ArchConfig::builder()
         .cores(10, 6)
@@ -71,6 +98,12 @@ pub fn g_arch_vs_tarch() -> ArchConfig {
 /// The four 128-TOPs architectures that are optimal under the four
 /// objectives of Fig. 7, in the paper's left-to-right order:
 /// energy-optimal, delay-optimal, MC-optimal, MC·E·D-optimal.
+///
+/// ```
+/// for a in gemini_arch::presets::fig7_archs() {
+///     assert!((125.0..135.0).contains(&a.tops()), "{}", a.paper_tuple());
+/// }
+/// ```
 pub fn fig7_archs() -> [ArchConfig; 4] {
     [
         // (1, 16, 128GB/s, 32GB/s, None, 4MB, 4096)

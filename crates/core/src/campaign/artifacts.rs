@@ -1,0 +1,221 @@
+//! Campaign artifact writers: `cells.csv`, `pareto.csv`, `pareto.json`.
+//!
+//! Artifacts are regenerated from the complete in-memory cell list at
+//! the end of every run (cold or resumed) in cell-index order with
+//! shortest-round-trip float formatting — which is what makes the
+//! determinism contract checkable with `diff`: the same manifest and
+//! seed produce byte-identical artifact files at any worker-thread
+//! count, and a resumed run reproduces the cold run's bytes exactly.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use gemini_arch::ArchConfig;
+
+use super::manifest::{topology_name, CampaignSpec};
+use super::pareto::ParetoArchive;
+use super::value::{fmt_f64, Value};
+use super::{BestEntry, CampaignError, CellGroup, CellResult};
+
+fn io_err(e: impl std::fmt::Display) -> CampaignError {
+    CampaignError::Io(e.to_string())
+}
+
+/// The architecture parameter columns shared by both CSVs.
+const ARCH_COLS: &str = "x,y,xcut,ycut,noc_gbps,d2d_gbps,dram_gbps,glb_kb,macs,topology";
+
+fn arch_csv(a: &ArchConfig) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{},{}",
+        a.x_cores(),
+        a.y_cores(),
+        a.xcut(),
+        a.ycut(),
+        fmt_f64(a.noc_bw()),
+        fmt_f64(a.d2d_bw()),
+        fmt_f64(a.dram_bw()),
+        a.glb_bytes() / 1024,
+        a.macs_per_core(),
+        topology_name(a.topology()),
+    )
+}
+
+/// Writes all artifacts and returns their paths.
+#[allow(clippy::too_many_arguments)] // internal driver plumbing
+pub(super) fn write_all(
+    dir: &Path,
+    spec: &CampaignSpec,
+    fingerprint: &str,
+    cells: &[CellResult],
+    groups: &[CellGroup],
+    archive: &ParetoArchive,
+    best: &[BestEntry],
+    sets: &[(String, Vec<usize>)],
+    archs: &[ArchConfig],
+) -> Result<Vec<PathBuf>, CampaignError> {
+    let n_batches = spec.batches.len();
+    let on_front = |c: &CellResult| {
+        archive
+            .front(c.group(n_batches))
+            .iter()
+            .any(|p| p.cell == c.cell)
+    };
+
+    // cells.csv — every cell, index-ordered.
+    let cells_path = dir.join("cells.csv");
+    {
+        let mut out = String::new();
+        out.push_str("cell,wset,batch,arch_idx,");
+        out.push_str(ARCH_COLS);
+        out.push_str(
+            ",mc,mc_silicon,mc_dram,mc_package,area_mm2,energy_j,delay_s,fluid_delay_s,\
+             worst_fluid,edp,pareto",
+        );
+        for o in &spec.objectives {
+            out.push_str(",score_");
+            out.push_str(&o.label);
+        }
+        out.push('\n');
+        for c in cells {
+            let opt = |v: Option<f64>| v.map(fmt_f64).unwrap_or_default();
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                c.cell,
+                sets[c.wset].0,
+                spec.batches[c.batch_idx],
+                c.arch_idx,
+                arch_csv(&archs[c.arch_idx]),
+                fmt_f64(c.mc),
+                fmt_f64(c.mc_silicon),
+                fmt_f64(c.mc_dram),
+                fmt_f64(c.mc_package),
+                fmt_f64(c.area_mm2),
+                fmt_f64(c.energy),
+                fmt_f64(c.delay),
+                opt(c.fluid_delay),
+                opt(c.worst_fluid),
+                fmt_f64(c.edp()),
+            ));
+            out.push(',');
+            out.push_str(if on_front(c) { "1" } else { "0" });
+            for o in &spec.objectives {
+                out.push(',');
+                out.push_str(&fmt_f64(c.score(&o.objective)));
+            }
+            out.push('\n');
+        }
+        std::fs::write(&cells_path, out).map_err(io_err)?;
+    }
+
+    // pareto.csv — front members only, with their axis coordinates.
+    let pareto_csv_path = dir.join("pareto.csv");
+    {
+        let mut out = String::new();
+        out.push_str("group,wset,batch,cell");
+        for a in archive.axes() {
+            out.push(',');
+            out.push_str(a.name());
+        }
+        out.push(',');
+        out.push_str(ARCH_COLS);
+        out.push('\n');
+        for (gi, g) in groups.iter().enumerate() {
+            for p in archive.front(gi) {
+                out.push_str(&format!("{gi},{},{},{}", g.wset, g.batch, p.cell));
+                for v in &p.coords {
+                    out.push(',');
+                    out.push_str(&fmt_f64(*v));
+                }
+                out.push(',');
+                out.push_str(&arch_csv(&archs[cells[p.cell].arch_idx]));
+                out.push('\n');
+            }
+        }
+        std::fs::write(&pareto_csv_path, out).map_err(io_err)?;
+    }
+
+    // pareto.json — the archive plus the scalar-objective winners.
+    let pareto_json_path = dir.join("pareto.json");
+    {
+        let mut root = BTreeMap::new();
+        root.insert("campaign".into(), Value::from(spec.name.as_str()));
+        root.insert("fingerprint".into(), Value::from(fingerprint));
+        root.insert("cells_total".into(), Value::from(cells.len()));
+        root.insert(
+            "axes".into(),
+            Value::List(
+                archive
+                    .axes()
+                    .iter()
+                    .map(|a| Value::from(a.name()))
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "groups".into(),
+            Value::List(
+                groups
+                    .iter()
+                    .enumerate()
+                    .map(|(gi, g)| {
+                        let mut gt = BTreeMap::new();
+                        gt.insert("wset".into(), Value::from(g.wset.as_str()));
+                        gt.insert("batch".into(), Value::from(g.batch));
+                        gt.insert(
+                            "front".into(),
+                            Value::List(
+                                archive
+                                    .front(gi)
+                                    .iter()
+                                    .map(|p| {
+                                        let mut pt = BTreeMap::new();
+                                        pt.insert("cell".into(), Value::from(p.cell));
+                                        pt.insert(
+                                            "arch".into(),
+                                            Value::from(
+                                                archs[cells[p.cell].arch_idx].paper_tuple(),
+                                            ),
+                                        );
+                                        let mut ct = BTreeMap::new();
+                                        for (a, v) in archive.axes().iter().zip(&p.coords) {
+                                            ct.insert(a.name().into(), Value::Num(*v));
+                                        }
+                                        pt.insert("coords".into(), Value::Table(ct));
+                                        Value::Table(pt)
+                                    })
+                                    .collect(),
+                            ),
+                        );
+                        Value::Table(gt)
+                    })
+                    .collect(),
+            ),
+        );
+        root.insert(
+            "best".into(),
+            Value::List(
+                best.iter()
+                    .map(|b| {
+                        let mut bt = BTreeMap::new();
+                        bt.insert("group".into(), Value::from(b.group));
+                        bt.insert("wset".into(), Value::from(groups[b.group].wset.as_str()));
+                        bt.insert("batch".into(), Value::from(groups[b.group].batch));
+                        bt.insert("objective".into(), Value::from(b.objective.as_str()));
+                        bt.insert("cell".into(), Value::from(b.cell));
+                        bt.insert("score".into(), Value::Num(b.score));
+                        bt.insert(
+                            "arch".into(),
+                            Value::from(archs[cells[b.cell].arch_idx].paper_tuple()),
+                        );
+                        Value::Table(bt)
+                    })
+                    .collect(),
+            ),
+        );
+        let mut text = Value::Table(root).to_json();
+        text.push('\n');
+        std::fs::write(&pareto_json_path, text).map_err(io_err)?;
+    }
+
+    Ok(vec![cells_path, pareto_csv_path, pareto_json_path])
+}

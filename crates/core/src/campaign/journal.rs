@@ -1,0 +1,517 @@
+//! The resumable campaign journal: one JSON line per completed cell.
+//!
+//! The journal is the campaign's crash-safety and resume mechanism.
+//! Line 1 is a header tying the file to a manifest (campaign name,
+//! [`CampaignSpec::fingerprint`], cell count); every further line is
+//! one completed [`CellResult`], appended and flushed as cells finish,
+//! in *completion* order — the cell index inside each line, not the
+//! line position, identifies the cell.
+//!
+//! Resume contract: floats are serialized with shortest-round-trip
+//! formatting ([`super::value::fmt_f64`]), so a journaled cell parsed
+//! back is bit-identical to the evaluated one and a resumed campaign
+//! reproduces a cold campaign's artifacts byte for byte. A partial
+//! trailing line (the process died mid-write) is ignored; a corrupt
+//! line anywhere else, a foreign fingerprint or an out-of-range cell
+//! index is an error — never silently dropped work.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+use super::manifest::CampaignSpec;
+use super::value::{parse_json, Value};
+use super::{CampaignError, CellResult, DnnCellMetrics};
+
+/// Journal format version (bump on incompatible line-schema changes).
+pub const JOURNAL_VERSION: u32 = 1;
+
+fn io_err(e: impl std::fmt::Display) -> CampaignError {
+    CampaignError::Io(e.to_string())
+}
+
+fn journal_err(msg: impl Into<String>) -> CampaignError {
+    CampaignError::Journal(msg.into())
+}
+
+/// Serializes the header line.
+fn header_value(spec: &CampaignSpec, n_cells: usize) -> Value {
+    let mut t = BTreeMap::new();
+    t.insert("campaign".into(), Value::from(spec.name.as_str()));
+    t.insert("fingerprint".into(), Value::from(spec.fingerprint()));
+    t.insert("cells".into(), Value::from(n_cells));
+    t.insert("version".into(), Value::from(JOURNAL_VERSION));
+    Value::Table(t)
+}
+
+/// Serializes one cell to its journal line (sans newline).
+pub fn cell_to_json(c: &CellResult, arch_tuple: Option<&str>, batch: u32) -> String {
+    let mut t = BTreeMap::new();
+    t.insert("cell".into(), Value::from(c.cell));
+    t.insert("wset".into(), Value::from(c.wset));
+    t.insert("batch_idx".into(), Value::from(c.batch_idx));
+    t.insert("arch_idx".into(), Value::from(c.arch_idx));
+    t.insert("batch".into(), Value::from(batch));
+    if let Some(a) = arch_tuple {
+        // Human-oriented; ignored on load (arch_idx is authoritative).
+        t.insert("arch".into(), Value::from(a));
+    }
+    t.insert("mc".into(), Value::Num(c.mc));
+    t.insert("mc_silicon".into(), Value::Num(c.mc_silicon));
+    t.insert("mc_dram".into(), Value::Num(c.mc_dram));
+    t.insert("mc_package".into(), Value::Num(c.mc_package));
+    t.insert("area_mm2".into(), Value::Num(c.area_mm2));
+    t.insert("energy".into(), Value::Num(c.energy));
+    t.insert("delay".into(), Value::Num(c.delay));
+    if let Some(fd) = c.fluid_delay {
+        t.insert("fluid_delay".into(), Value::Num(fd));
+    }
+    if let Some(w) = c.worst_fluid {
+        t.insert("worst_fluid".into(), Value::Num(w));
+    }
+    t.insert(
+        "per_dnn".into(),
+        Value::List(
+            c.per_dnn
+                .iter()
+                .map(|m| {
+                    let mut dt = BTreeMap::new();
+                    dt.insert("name".into(), Value::from(m.name.as_str()));
+                    dt.insert("energy".into(), Value::Num(m.energy));
+                    dt.insert("delay".into(), Value::Num(m.delay));
+                    if let Some(fd) = m.fluid_delay {
+                        dt.insert("fluid_delay".into(), Value::Num(fd));
+                    }
+                    if let Some(w) = m.worst_fluid {
+                        dt.insert("worst_fluid".into(), Value::Num(w));
+                    }
+                    Value::Table(dt)
+                })
+                .collect(),
+        ),
+    );
+    Value::Table(t).to_json()
+}
+
+fn get_num(v: &Value, key: &str, what: &str) -> Result<f64, CampaignError> {
+    v.get(key)
+        .and_then(Value::as_num)
+        .ok_or_else(|| journal_err(format!("{what}: missing numeric '{key}'")))
+}
+
+fn get_opt_num(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_num)
+}
+
+/// Parses one journal cell line back into a [`CellResult`].
+pub fn cell_from_json(line: &str) -> Result<CellResult, CampaignError> {
+    let v = parse_json(line).map_err(|e| journal_err(format!("bad cell line: {e}")))?;
+    let what = "cell line";
+    let per_dnn = match v.get("per_dnn") {
+        Some(Value::List(l)) => l
+            .iter()
+            .map(|d| {
+                Ok(DnnCellMetrics {
+                    name: d
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| journal_err("per_dnn entry missing 'name'"))?
+                        .to_string(),
+                    energy: get_num(d, "energy", "per_dnn")?,
+                    delay: get_num(d, "delay", "per_dnn")?,
+                    fluid_delay: get_opt_num(d, "fluid_delay"),
+                    worst_fluid: get_opt_num(d, "worst_fluid"),
+                })
+            })
+            .collect::<Result<Vec<_>, CampaignError>>()?,
+        _ => return Err(journal_err("cell line missing 'per_dnn' list")),
+    };
+    Ok(CellResult {
+        cell: get_num(&v, "cell", what)? as usize,
+        wset: get_num(&v, "wset", what)? as usize,
+        batch_idx: get_num(&v, "batch_idx", what)? as usize,
+        arch_idx: get_num(&v, "arch_idx", what)? as usize,
+        mc: get_num(&v, "mc", what)?,
+        mc_silicon: get_num(&v, "mc_silicon", what)?,
+        mc_dram: get_num(&v, "mc_dram", what)?,
+        mc_package: get_num(&v, "mc_package", what)?,
+        area_mm2: get_num(&v, "area_mm2", what)?,
+        energy: get_num(&v, "energy", what)?,
+        delay: get_num(&v, "delay", what)?,
+        fluid_delay: get_opt_num(&v, "fluid_delay"),
+        worst_fluid: get_opt_num(&v, "worst_fluid"),
+        per_dnn,
+    })
+}
+
+/// Loads a journal, returning the completed cells slotted by index.
+///
+/// `n_wsets` / `n_batches` / `n_archs` are the campaign's axis lengths
+/// (their product is the cell count); every journaled index is checked
+/// against them, including the cell-index consistency equation of the
+/// enumeration order, so a corrupt-but-parseable line fails here as a
+/// [`CampaignError::Journal`] instead of an out-of-bounds panic
+/// downstream.
+///
+/// Fails if the header is missing/foreign (wrong campaign name,
+/// fingerprint, version or cell count) or a non-trailing line is
+/// corrupt. A corrupt *final* line is treated as a mid-write crash and
+/// ignored. Duplicate cell lines keep the first occurrence (re-running
+/// an interrupted campaign without `--resume` rewrites the journal
+/// instead).
+pub fn load(
+    path: &Path,
+    spec: &CampaignSpec,
+    n_wsets: usize,
+    n_batches: usize,
+    n_archs: usize,
+) -> Result<Vec<Option<CellResult>>, CampaignError> {
+    let n_cells = n_wsets * n_batches * n_archs;
+    let text = std::fs::read_to_string(path).map_err(io_err)?;
+    let mut lines = text.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| journal_err("empty journal (no header)"))?;
+    let header =
+        parse_json(header_line).map_err(|e| journal_err(format!("bad journal header: {e}")))?;
+    let name = header.get("campaign").and_then(Value::as_str).unwrap_or("");
+    if name != spec.name {
+        return Err(journal_err(format!(
+            "journal belongs to campaign '{name}', manifest is '{}'",
+            spec.name
+        )));
+    }
+    let fp = header
+        .get("fingerprint")
+        .and_then(Value::as_str)
+        .unwrap_or("");
+    if fp != spec.fingerprint() {
+        return Err(journal_err(format!(
+            "journal fingerprint {fp} does not match the manifest ({}); \
+             the spec changed — delete the journal or restore the manifest",
+            spec.fingerprint()
+        )));
+    }
+    let version = header
+        .get("version")
+        .and_then(Value::as_num)
+        .unwrap_or(-1.0);
+    if version != JOURNAL_VERSION as f64 {
+        return Err(journal_err(format!(
+            "journal format version {version} is not the supported {JOURNAL_VERSION}; \
+             delete the journal and rerun cold"
+        )));
+    }
+    let cells = header.get("cells").and_then(Value::as_num).unwrap_or(-1.0);
+    if cells != n_cells as f64 {
+        return Err(journal_err(format!(
+            "journal declares {cells} cells, manifest enumerates {n_cells}"
+        )));
+    }
+
+    let rest: Vec<&str> = lines.collect();
+    let mut out: Vec<Option<CellResult>> = vec![None; n_cells];
+    for (i, line) in rest.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let last = i + 1 == rest.len();
+        match cell_from_json(line) {
+            Ok(c) => {
+                if c.wset >= n_wsets || c.batch_idx >= n_batches || c.arch_idx >= n_archs {
+                    return Err(journal_err(format!(
+                        "journal cell {} has out-of-range indices (wset {}, batch {}, arch {}) \
+                         for a {n_wsets}x{n_batches}x{n_archs} campaign",
+                        c.cell, c.wset, c.batch_idx, c.arch_idx
+                    )));
+                }
+                let expected = c.group(n_batches) * n_archs + c.arch_idx;
+                if c.cell != expected {
+                    return Err(journal_err(format!(
+                        "journal cell {} is inconsistent with its indices \
+                         (enumeration places (wset {}, batch {}, arch {}) at {expected})",
+                        c.cell, c.wset, c.batch_idx, c.arch_idx
+                    )));
+                }
+                let slot = &mut out[c.cell];
+                if slot.is_none() {
+                    *slot = Some(c);
+                }
+            }
+            Err(_) if last => break, // truncated mid-write: re-evaluate
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+/// A synchronized journal appender shared by the worker pool.
+pub struct Appender {
+    file: Mutex<File>,
+    /// Batch sizes by index, for the human-oriented `batch` field.
+    batches: Vec<u32>,
+}
+
+impl Appender {
+    /// Opens the journal for appending. With `resume = false` the file
+    /// is created (or truncated) and the header written; with
+    /// `resume = true` the existing, already-validated file is opened
+    /// in append mode — after discarding any partial trailing line (a
+    /// mid-write crash leaves one; appending directly after it would
+    /// merge two records into one corrupt line and poison the *next*
+    /// resume, so the partial bytes are truncated away first, matching
+    /// what [`load`] already ignored).
+    pub fn open(
+        path: &Path,
+        spec: &CampaignSpec,
+        n_cells: usize,
+        resume: bool,
+    ) -> Result<Self, CampaignError> {
+        if resume {
+            let bytes = std::fs::read(path).map_err(io_err)?;
+            if !bytes.is_empty() && !bytes.ends_with(b"\n") {
+                let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+                let f = OpenOptions::new().write(true).open(path).map_err(io_err)?;
+                f.set_len(keep as u64).map_err(io_err)?;
+            }
+        }
+        let mut o = OpenOptions::new();
+        if resume {
+            o.append(true);
+        } else {
+            o.write(true).create(true).truncate(true);
+        }
+        let mut file = o.open(path).map_err(io_err)?;
+        if !resume {
+            let mut line = header_value(spec, n_cells).to_json();
+            line.push('\n');
+            file.write_all(line.as_bytes()).map_err(io_err)?;
+        }
+        Ok(Self {
+            file: Mutex::new(file),
+            batches: spec.batches.clone(),
+        })
+    }
+
+    /// Appends one completed cell (serialized outside the lock, written
+    /// and flushed inside it).
+    pub fn append(&self, c: &CellResult) {
+        let batch = self.batches.get(c.batch_idx).copied().unwrap_or(0);
+        let mut line = cell_to_json(c, None, batch);
+        line.push('\n');
+        let mut f = self.file.lock().expect("journal lock");
+        // A journal write failure must not silently drop the cell from
+        // the resume record while the in-memory run continues; surface
+        // it loudly instead.
+        f.write_all(line.as_bytes()).expect("journal append failed");
+        f.flush().expect("journal flush failed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(i: usize, fluid: bool) -> CellResult {
+        CellResult {
+            cell: i,
+            wset: 0,
+            batch_idx: 0,
+            arch_idx: i,
+            mc: 123.456789,
+            mc_silicon: 100.0,
+            mc_dram: 13.3,
+            mc_package: 10.156789,
+            area_mm2: 456.75,
+            energy: 1.0 / 3.0,
+            delay: 2.5e-3,
+            fluid_delay: fluid.then_some(2.6e-3),
+            worst_fluid: fluid.then_some(1.17),
+            per_dnn: vec![DnnCellMetrics {
+                name: "two-conv".into(),
+                energy: 1.0 / 3.0,
+                delay: 2.5e-3,
+                fluid_delay: fluid.then_some(2.6e-3),
+                worst_fluid: fluid.then_some(1.17),
+            }],
+        }
+    }
+
+    #[test]
+    fn cell_round_trips_bit_exactly() {
+        for fluid in [false, true] {
+            let c = cell(3, fluid);
+            let line = cell_to_json(&c, Some("(2, 36, ...)"), 8);
+            let back = cell_from_json(&line).unwrap();
+            assert_eq!(back, c);
+            assert_eq!(back.energy.to_bits(), c.energy.to_bits());
+            assert_eq!(
+                back.per_dnn[0].delay.to_bits(),
+                c.per_dnn[0].delay.to_bits()
+            );
+        }
+    }
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec::from_str_format(
+            r#"
+[campaign]
+name = "j"
+batches = [8]
+[workloads]
+names = ["two-conv"]
+[[arch]]
+preset = "g-arch"
+[[arch]]
+preset = "s-arch"
+"#,
+            false,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn write_then_load_slots_cells() {
+        let spec = tiny_spec();
+        let dir = std::env::temp_dir().join(format!("gemini-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let w = Appender::open(&path, &spec, 2, false).unwrap();
+        w.append(&cell(1, true));
+        drop(w);
+        let loaded = load(&path, &spec, 1, 1, 2).unwrap();
+        assert!(loaded[0].is_none());
+        assert_eq!(loaded[1].as_ref().unwrap(), &cell(1, true));
+        // Appending on resume keeps the existing lines.
+        let w = Appender::open(&path, &spec, 2, true).unwrap();
+        w.append(&cell(0, true));
+        drop(w);
+        let loaded = load(&path, &spec, 1, 1, 2).unwrap();
+        assert!(loaded[0].is_some() && loaded[1].is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_is_ignored_but_foreign_journals_fail() {
+        let spec = tiny_spec();
+        let dir = std::env::temp_dir().join(format!("gemini-journal2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let w = Appender::open(&path, &spec, 2, false).unwrap();
+        w.append(&cell(0, false));
+        drop(w);
+        // Simulate a crash mid-write of the next line.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"cell\":1,\"wset\":0,\"batch");
+        std::fs::write(&path, &text).unwrap();
+        let loaded = load(&path, &spec, 1, 1, 2).unwrap();
+        assert!(loaded[0].is_some());
+        assert!(loaded[1].is_none(), "truncated line re-evaluates");
+
+        // A corrupt line *before* valid lines is an error.
+        let mut lines: Vec<String> = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        lines.insert(1, "garbage".into());
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        assert!(load(&path, &spec, 1, 1, 2).is_err());
+
+        // Wrong cell count and wrong fingerprint both fail.
+        let w = Appender::open(&path, &spec, 2, false).unwrap();
+        drop(w);
+        assert!(load(&path, &spec, 1, 1, 3).is_err());
+        let mut other = tiny_spec();
+        other.seed += 1;
+        assert!(matches!(
+            load(&path, &other, 1, 1, 2),
+            Err(CampaignError::Journal(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_truncates_a_partial_trailing_line_before_appending() {
+        // A crash mid-write leaves a partial last line; appending on
+        // resume must not merge the next record onto it.
+        let spec = tiny_spec();
+        let dir = std::env::temp_dir().join(format!("gemini-journal3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let w = Appender::open(&path, &spec, 2, false).unwrap();
+        w.append(&cell(0, false));
+        drop(w);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"cell\":1,\"wset\":0,\"ba"); // no newline
+        std::fs::write(&path, &text).unwrap();
+
+        let w = Appender::open(&path, &spec, 2, true).unwrap();
+        w.append(&cell(1, false));
+        drop(w);
+        // Both cells load cleanly: the partial bytes are gone, not
+        // merged into cell 1's line.
+        let loaded = load(&path, &spec, 1, 1, 2).unwrap();
+        assert_eq!(loaded[0].as_ref().unwrap(), &cell(0, false));
+        assert_eq!(loaded[1].as_ref().unwrap(), &cell(1, false));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(!body.contains("\"ba{"), "partial line merged: {body}");
+        assert_eq!(body.lines().count(), 3, "header + two cells");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_but_parseable_indices_are_refused_not_panicked() {
+        let spec = tiny_spec();
+        let dir = std::env::temp_dir().join(format!("gemini-journal5-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+
+        // arch_idx beyond the campaign's arch axis.
+        let w = Appender::open(&path, &spec, 2, false).unwrap();
+        let mut bad = cell(1, false);
+        bad.arch_idx = 7;
+        w.append(&bad);
+        w.append(&cell(0, false)); // valid line after, so 'bad' is not trailing
+        drop(w);
+        match load(&path, &spec, 1, 1, 2) {
+            Err(CampaignError::Journal(msg)) => assert!(msg.contains("out-of-range"), "{msg}"),
+            other => panic!("expected an index refusal, got {other:?}"),
+        }
+
+        // In-range indices that disagree with the cell number.
+        let w = Appender::open(&path, &spec, 2, false).unwrap();
+        let mut twisted = cell(0, false);
+        twisted.arch_idx = 1; // enumeration places (0, 0, 1) at cell 1
+        w.append(&twisted);
+        w.append(&cell(1, false));
+        drop(w);
+        match load(&path, &spec, 1, 1, 2) {
+            Err(CampaignError::Journal(msg)) => assert!(msg.contains("inconsistent"), "{msg}"),
+            other => panic!("expected a consistency refusal, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unsupported_journal_version_is_refused() {
+        let spec = tiny_spec();
+        let dir = std::env::temp_dir().join(format!("gemini-journal4-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let w = Appender::open(&path, &spec, 2, false).unwrap();
+        w.append(&cell(0, false));
+        drop(w);
+        let text = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"version\":1", "\"version\":999");
+        std::fs::write(&path, text).unwrap();
+        match load(&path, &spec, 1, 1, 2) {
+            Err(CampaignError::Journal(msg)) => assert!(msg.contains("version"), "{msg}"),
+            other => panic!("expected a version refusal, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,998 @@
+//! Campaign manifest: schema, decoding and the spec fingerprint.
+//!
+//! A manifest declares an experiment campaign declaratively — the
+//! workloads, the architecture axis (a Table-I grid and/or explicit
+//! points), batch sizes, the per-cell fidelity policy and the
+//! objectives to report — so that the sweeps behind the paper's
+//! figures are reproducible artifacts instead of hand-written example
+//! binaries. See docs/CAMPAIGNS.md for the full schema reference with
+//! a worked example.
+//!
+//! Manifests are TOML (`.toml`, default) or JSON (`.json`), parsed by
+//! the vendored-free readers in [`crate::campaign::toml`] /
+//! [`crate::campaign::value`] into the same [`Value`] tree and decoded
+//! here. Decoding *normalizes*: workload aliases are resolved through
+//! [`gemini_model::zoo::by_name`], arch point-grids are expanded, and
+//! the result serializes to a canonical JSON form whose FNV-1a hash is
+//! the campaign [`CampaignSpec::fingerprint`] — the value the journal
+//! header carries so `--resume` can refuse a journal written for a
+//! different experiment.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use gemini_arch::{presets, ArchConfig, Topology};
+
+use crate::dse::{DseSpec, Objective};
+use crate::fidelity::FluidConfig;
+
+use super::toml::parse_toml;
+use super::value::{fnv1a64, parse_json, Value};
+
+/// A manifest decoding failure.
+#[derive(Debug, Clone)]
+pub struct ManifestError(pub String);
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "manifest error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ManifestError> {
+    Err(ManifestError(msg.into()))
+}
+
+/// How the workload list turns into evaluation sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadMode {
+    /// One set containing every workload (the DSE's geometric-mean
+    /// co-design view; the default).
+    Joint,
+    /// One set per workload (per-workload optima).
+    Each,
+    /// Every per-workload set plus the joint set (the
+    /// `multi_dnn_codesign` comparison).
+    Both,
+}
+
+impl WorkloadMode {
+    fn as_str(&self) -> &'static str {
+        match self {
+            Self::Joint => "joint",
+            Self::Each => "each",
+            Self::Both => "both",
+        }
+    }
+}
+
+/// Per-cell network-fidelity policy.
+///
+/// Campaign cells are independent (that is what makes the journal
+/// resumable), so the ladder applies per cell: `Fluid` re-scores every
+/// cell's mapping with the max-min fluid NoC simulator and records the
+/// congestion-corrected delay next to the analytic one — the same
+/// correction the DSE re-rank stage applies to its top-K survivors
+/// ([`crate::fidelity::FidelityPolicy::RerankTopK`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CellFidelity {
+    /// Analytic evaluator only (rung 0).
+    Analytic,
+    /// Fluid-referenced congestion correction per cell (rung 1).
+    Fluid(FluidConfig),
+}
+
+/// An axis of the multi-objective Pareto archive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParetoAxis {
+    /// End-to-end delay in seconds (the congestion-corrected delay when
+    /// the cell ran the fluid rung).
+    Latency,
+    /// Total energy in joules.
+    Energy,
+    /// Energy-delay product.
+    Edp,
+    /// Monetary cost in dollars.
+    Cost,
+    /// Total silicon area in mm².
+    Area,
+}
+
+impl ParetoAxis {
+    /// Canonical lowercase name (CSV/JSON column).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Latency => "latency",
+            Self::Energy => "energy",
+            Self::Edp => "edp",
+            Self::Cost => "mc",
+            Self::Area => "area",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, ManifestError> {
+        match s.to_ascii_lowercase().as_str() {
+            "latency" | "delay" | "d" => Ok(Self::Latency),
+            "energy" | "e" => Ok(Self::Energy),
+            "edp" => Ok(Self::Edp),
+            "mc" | "cost" => Ok(Self::Cost),
+            "area" => Ok(Self::Area),
+            other => err(format!(
+                "unknown pareto axis '{other}' (use latency|energy|edp|mc|area)"
+            )),
+        }
+    }
+}
+
+/// An objective with a display label (named preset or explicit
+/// exponents).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedObjective {
+    /// Label used in artifacts (`mc-e-d`, `e-d`, … or `mc^a*e^b*d^c`).
+    pub label: String,
+    /// The exponents.
+    pub objective: Objective,
+}
+
+/// The Table-I grid portion of the architecture axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSpec {
+    /// The parameter grid.
+    pub spec: DseSpec,
+    /// Keep every `stride`-th candidate (1 = full grid).
+    pub stride: usize,
+}
+
+/// A fully-decoded, normalized campaign manifest.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Campaign name: directory under the output root, `[a-z0-9_-]`.
+    pub name: String,
+    /// SA seed shared by every cell.
+    pub seed: u64,
+    /// SA iteration budget per mapping run.
+    pub sa_iters: u32,
+    /// Batch-size axis.
+    pub batches: Vec<u32>,
+    /// Objectives reported in the artifacts (the Pareto archive itself
+    /// is objective-free).
+    pub objectives: Vec<NamedObjective>,
+    /// Per-cell fidelity policy.
+    pub fidelity: CellFidelity,
+    /// Axes of the Pareto archive.
+    pub pareto_axes: Vec<ParetoAxis>,
+    /// Output root; artifacts land in `<out_dir>/<name>/`.
+    pub out_dir: String,
+    /// Normalized workload zoo names.
+    pub workloads: Vec<String>,
+    /// How workloads combine into evaluation sets.
+    pub workload_mode: WorkloadMode,
+    /// Optional Table-I grid.
+    pub grid: Option<GridSpec>,
+    /// Explicit architecture points (point-grids already expanded).
+    pub explicit: Vec<ArchConfig>,
+}
+
+impl CampaignSpec {
+    /// Reads and decodes a manifest file (`.json` parses as JSON,
+    /// anything else as TOML).
+    pub fn load(path: &Path) -> Result<Self, ManifestError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ManifestError(format!("cannot read {}: {e}", path.display())))?;
+        let is_json = path
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("json"));
+        Self::from_str_format(&text, is_json)
+    }
+
+    /// Decodes manifest text (`json = true` for JSON, else TOML).
+    pub fn from_str_format(text: &str, json: bool) -> Result<Self, ManifestError> {
+        let value = if json {
+            parse_json(text).map_err(|e| ManifestError(format!("JSON: {e}")))?
+        } else {
+            parse_toml(text).map_err(|e| ManifestError(format!("TOML: {e}")))?
+        };
+        Self::decode(&value)
+    }
+
+    /// Decodes a parsed manifest tree.
+    pub fn decode(v: &Value) -> Result<Self, ManifestError> {
+        let c = v
+            .get("campaign")
+            .ok_or_else(|| ManifestError("missing [campaign] table".into()))?;
+        let name = req_str(c, "name")?;
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|ch| ch.is_ascii_lowercase() || ch.is_ascii_digit() || "-_".contains(ch))
+        {
+            return err(format!(
+                "campaign.name '{name}' must be non-empty [a-z0-9_-]"
+            ));
+        }
+        let seed = match opt_num(c, "seed")? {
+            None => 0xC0FFEE,
+            Some(n) => uint(n, "campaign.seed")?,
+        };
+        let sa_iters = match opt_num(c, "sa_iters")? {
+            None => 300,
+            Some(n) => uint32(n, "campaign.sa_iters")?,
+        };
+        let batches = match c.get("batches") {
+            None => vec![64],
+            Some(v) => num_list(v, "campaign.batches")?
+                .into_iter()
+                .map(|n| uint32(n, "campaign.batches"))
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        if batches.is_empty() || batches.contains(&0) {
+            return err("campaign.batches must be non-empty and positive");
+        }
+        let objectives = match c.get("objectives") {
+            None => vec![parse_objective(&Value::from("mc-e-d"))?],
+            Some(Value::List(l)) if !l.is_empty() => l
+                .iter()
+                .map(parse_objective)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return err("campaign.objectives must be a non-empty list"),
+        };
+        let fidelity = match c.get("fidelity") {
+            None => CellFidelity::Analytic,
+            Some(v) => {
+                let s = v
+                    .as_str()
+                    .ok_or_else(|| ManifestError("campaign.fidelity must be a string".into()))?;
+                match s {
+                    "analytic" => CellFidelity::Analytic,
+                    "fluid" => CellFidelity::Fluid(FluidConfig::default()),
+                    other => {
+                        return err(format!("unknown fidelity '{other}' (use analytic|fluid)"))
+                    }
+                }
+            }
+        };
+        let pareto_axes = match c.get("pareto") {
+            None => vec![
+                ParetoAxis::Latency,
+                ParetoAxis::Energy,
+                ParetoAxis::Edp,
+                ParetoAxis::Area,
+            ],
+            Some(Value::List(l)) if !l.is_empty() => {
+                let axes = l
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .ok_or_else(|| ManifestError("pareto axes must be strings".into()))
+                            .and_then(ParetoAxis::parse)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                for (i, a) in axes.iter().enumerate() {
+                    if axes[..i].contains(a) {
+                        return err(format!("duplicate pareto axis '{}'", a.name()));
+                    }
+                }
+                axes
+            }
+            Some(_) => return err("campaign.pareto must be a non-empty list"),
+        };
+        let out_dir = opt_str(c, "out_dir")?.unwrap_or_else(|| "bench_results/campaigns".into());
+
+        // Workloads.
+        let w = v
+            .get("workloads")
+            .ok_or_else(|| ManifestError("missing [workloads] table".into()))?;
+        let names = match w.get("names") {
+            Some(Value::List(l)) if !l.is_empty() => l
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| ManifestError("workload names must be strings".into()))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return err("workloads.names must be a non-empty list of zoo names"),
+        };
+        let mut workloads = Vec::with_capacity(names.len());
+        for n in &names {
+            let Some(dnn) = gemini_model::zoo::by_name(n) else {
+                return err(format!(
+                    "unknown workload '{n}' (try `gemini models` for the zoo list)"
+                ));
+            };
+            // Normalize to the zoo's own name so the fingerprint does
+            // not depend on which alias the manifest used.
+            workloads.push(dnn.name().to_string());
+        }
+        for (i, n) in workloads.iter().enumerate() {
+            if workloads[..i].contains(n) {
+                return err(format!("duplicate workload '{n}'"));
+            }
+        }
+        let workload_mode = match opt_str(w, "mode")?.as_deref() {
+            None | Some("joint") => WorkloadMode::Joint,
+            Some("each") => WorkloadMode::Each,
+            Some("both") => WorkloadMode::Both,
+            Some(other) => return err(format!("unknown workloads.mode '{other}'")),
+        };
+
+        // Architecture axis: a grid, explicit points, or both.
+        let grid = match v.get("grid") {
+            None => None,
+            Some(g) => Some(decode_grid(g)?),
+        };
+        let explicit = match v.get("arch") {
+            None => Vec::new(),
+            Some(Value::List(l)) => {
+                let mut out = Vec::new();
+                for (i, entry) in l.iter().enumerate() {
+                    decode_arch_entry(entry, i, &mut out)?;
+                }
+                out
+            }
+            Some(_) => return err("[[arch]] must be an array of tables"),
+        };
+        if grid.is_none() && explicit.is_empty() {
+            return err("the manifest needs an architecture axis: a [grid] and/or [[arch]] points");
+        }
+
+        let spec = Self {
+            name,
+            seed,
+            sa_iters,
+            batches,
+            objectives,
+            fidelity,
+            pareto_axes,
+            out_dir,
+            workloads,
+            workload_mode,
+            grid,
+            explicit,
+        };
+        if spec.arch_candidates().is_empty() {
+            return err("the architecture axis produced no valid candidates");
+        }
+        Ok(spec)
+    }
+
+    /// Every architecture candidate of the campaign, in deterministic
+    /// order: grid candidates (strided) first, explicit points after.
+    pub fn arch_candidates(&self) -> Vec<ArchConfig> {
+        let mut out = Vec::new();
+        if let Some(g) = &self.grid {
+            out.extend(
+                g.spec
+                    .candidates()
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % g.stride.max(1) == 0)
+                    .map(|(_, a)| a),
+            );
+        }
+        out.extend(self.explicit.iter().cloned());
+        out
+    }
+
+    /// The workload evaluation sets as `(label, member indices)` in
+    /// deterministic order (per-workload sets first, then `joint`).
+    pub fn workload_sets(&self) -> Vec<(String, Vec<usize>)> {
+        let each = || {
+            self.workloads
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.clone(), vec![i]))
+                .collect::<Vec<_>>()
+        };
+        let joint = || {
+            (
+                "joint".to_string(),
+                (0..self.workloads.len()).collect::<Vec<_>>(),
+            )
+        };
+        match self.workload_mode {
+            WorkloadMode::Joint => vec![joint()],
+            WorkloadMode::Each => each(),
+            WorkloadMode::Both => {
+                let mut sets = each();
+                // A single workload's joint set duplicates its solo set.
+                if self.workloads.len() > 1 {
+                    sets.push(joint());
+                }
+                sets
+            }
+        }
+    }
+
+    /// Canonical JSON form of the normalized spec (key-ordered,
+    /// shortest-round-trip floats) — the fingerprint preimage.
+    pub fn canonical_json(&self) -> String {
+        let mut t = BTreeMap::new();
+        t.insert("name".into(), Value::from(self.name.as_str()));
+        t.insert("seed".into(), Value::Num(self.seed as f64));
+        t.insert("sa_iters".into(), Value::from(self.sa_iters));
+        t.insert(
+            "batches".into(),
+            Value::List(self.batches.iter().map(|&b| Value::from(b)).collect()),
+        );
+        t.insert(
+            "objectives".into(),
+            Value::List(
+                self.objectives
+                    .iter()
+                    .map(|o| {
+                        Value::List(vec![
+                            Value::from(o.label.as_str()),
+                            Value::Num(o.objective.alpha),
+                            Value::Num(o.objective.beta),
+                            Value::Num(o.objective.gamma),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        t.insert(
+            "fidelity".into(),
+            match self.fidelity {
+                CellFidelity::Analytic => Value::from("analytic"),
+                CellFidelity::Fluid(f) => {
+                    Value::List(vec![Value::from("fluid"), Value::Num(f.cap_bytes)])
+                }
+            },
+        );
+        t.insert(
+            "pareto".into(),
+            Value::List(
+                self.pareto_axes
+                    .iter()
+                    .map(|a| Value::from(a.name()))
+                    .collect(),
+            ),
+        );
+        t.insert(
+            "workloads".into(),
+            Value::List(
+                self.workloads
+                    .iter()
+                    .map(|n| Value::from(n.as_str()))
+                    .collect(),
+            ),
+        );
+        t.insert(
+            "workload_mode".into(),
+            Value::from(self.workload_mode.as_str()),
+        );
+        if let Some(g) = &self.grid {
+            let mut gt = BTreeMap::new();
+            gt.insert("tops".into(), Value::Num(g.spec.tops));
+            gt.insert("stride".into(), Value::from(g.stride));
+            gt.insert(
+                "cuts".into(),
+                Value::List(g.spec.cuts.iter().map(|&c| Value::from(c)).collect()),
+            );
+            gt.insert(
+                "dram_bw_per_tops".into(),
+                Value::List(
+                    g.spec
+                        .dram_bw_per_tops
+                        .iter()
+                        .map(|&x| Value::Num(x))
+                        .collect(),
+                ),
+            );
+            gt.insert(
+                "noc_bw".into(),
+                Value::List(g.spec.noc_bw.iter().map(|&x| Value::Num(x)).collect()),
+            );
+            gt.insert(
+                "d2d_ratio".into(),
+                Value::List(g.spec.d2d_ratio.iter().map(|&x| Value::Num(x)).collect()),
+            );
+            gt.insert(
+                "glb_kb".into(),
+                Value::List(
+                    g.spec
+                        .glb_kb
+                        .iter()
+                        .map(|&x| Value::Num(x as f64))
+                        .collect(),
+                ),
+            );
+            gt.insert(
+                "macs".into(),
+                Value::List(g.spec.macs.iter().map(|&x| Value::from(x)).collect()),
+            );
+            gt.insert("freq_ghz".into(), Value::Num(g.spec.freq_ghz));
+            t.insert("grid".into(), Value::Table(gt));
+        }
+        t.insert(
+            "explicit".into(),
+            Value::List(self.explicit.iter().map(arch_to_value).collect()),
+        );
+        Value::Table(t).to_json()
+    }
+
+    /// Stable fingerprint of the normalized spec, as 16 hex digits.
+    /// Journals record it; `--resume` refuses a journal whose
+    /// fingerprint does not match the manifest being run.
+    pub fn fingerprint(&self) -> String {
+        format!("{:016x}", fnv1a64(self.canonical_json().as_bytes()))
+    }
+}
+
+/// Canonical value form of one architecture (every parameter that
+/// affects evaluation, not just the paper tuple).
+fn arch_to_value(a: &ArchConfig) -> Value {
+    let mut t = BTreeMap::new();
+    t.insert("x".into(), Value::from(a.x_cores()));
+    t.insert("y".into(), Value::from(a.y_cores()));
+    t.insert("xcut".into(), Value::from(a.xcut()));
+    t.insert("ycut".into(), Value::from(a.ycut()));
+    t.insert("noc_bw".into(), Value::Num(a.noc_bw()));
+    t.insert("d2d_bw".into(), Value::Num(a.d2d_bw()));
+    t.insert("dram_bw".into(), Value::Num(a.dram_bw()));
+    t.insert("dram_count".into(), Value::from(a.dram_count()));
+    t.insert("glb_kb".into(), Value::Num((a.glb_bytes() / 1024) as f64));
+    t.insert("macs".into(), Value::from(a.macs_per_core()));
+    t.insert("freq_ghz".into(), Value::Num(a.freq_ghz()));
+    t.insert("topology".into(), Value::from(topology_name(a.topology())));
+    Value::Table(t)
+}
+
+/// Canonical name of a topology — shared by the fingerprint
+/// serialization above and the CSV artifact writers, which must agree.
+pub(crate) fn topology_name(t: Topology) -> &'static str {
+    match t {
+        Topology::Mesh => "mesh",
+        Topology::FoldedTorus => "folded-torus",
+    }
+}
+
+fn decode_grid(g: &Value) -> Result<GridSpec, ManifestError> {
+    let tops = req_num(g, "tops")?;
+    if tops.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return err("grid.tops must be positive");
+    }
+    let stride = match opt_num(g, "stride")? {
+        None => 1,
+        Some(n) => (uint(n, "grid.stride")? as usize).max(1),
+    };
+    let mut spec = DseSpec::table1(tops);
+    if let Some(v) = g.get("cuts") {
+        spec.cuts = num_list(v, "grid.cuts")?
+            .into_iter()
+            .map(|n| uint32(n, "grid.cuts"))
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+    if let Some(v) = g.get("dram_bw_per_tops") {
+        spec.dram_bw_per_tops = num_list(v, "grid.dram_bw_per_tops")?;
+    }
+    if let Some(v) = g.get("noc_bw") {
+        spec.noc_bw = num_list(v, "grid.noc_bw")?;
+    }
+    if let Some(v) = g.get("d2d_ratio") {
+        spec.d2d_ratio = num_list(v, "grid.d2d_ratio")?;
+    }
+    if let Some(v) = g.get("glb_kb") {
+        spec.glb_kb = uint_list(v, "grid.glb_kb")?;
+    }
+    if let Some(v) = g.get("macs") {
+        spec.macs = num_list(v, "grid.macs")?
+            .into_iter()
+            .map(|n| uint32(n, "grid.macs"))
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+    if let Some(n) = opt_num(g, "freq_ghz")? {
+        spec.freq_ghz = n;
+    }
+    Ok(GridSpec { spec, stride })
+}
+
+/// Decodes one `[[arch]]` entry — a named preset or a point-grid whose
+/// list-valued fields expand as nested loops in documented order
+/// (macs, glb_kb, noc_bw, d2d, dram_bw) — appending every expanded
+/// [`ArchConfig`] to `out`.
+fn decode_arch_entry(
+    entry: &Value,
+    index: usize,
+    out: &mut Vec<ArchConfig>,
+) -> Result<(), ManifestError> {
+    let at = |msg: &str| format!("[[arch]] entry {index}: {msg}");
+    if entry.as_table().is_none() {
+        return err(at("must be a table"));
+    }
+    if let Some(p) = entry.get("preset") {
+        let name = p
+            .as_str()
+            .ok_or_else(|| ManifestError(at("preset must be a string")))?;
+        let arch = match name {
+            "s-arch" | "simba" => presets::simba_s_arch(),
+            "g-arch" => presets::g_arch_72(),
+            "t-arch" => presets::t_arch(),
+            "g-arch-torus" => presets::g_arch_vs_tarch(),
+            other => return err(at(&format!("unknown preset '{other}'"))),
+        };
+        out.push(arch);
+        return Ok(());
+    }
+    let cores = pair(entry, "cores").map_err(|e| ManifestError(at(&e.0)))?;
+    let cuts = match entry.get("cuts") {
+        None => (1, 1),
+        Some(_) => pair(entry, "cuts").map_err(|e| ManifestError(at(&e.0)))?,
+    };
+    let scalar_or_list = |key: &str, default: f64| -> Result<Vec<f64>, ManifestError> {
+        match entry.get(key) {
+            None => Ok(vec![default]),
+            Some(Value::Num(n)) => Ok(vec![*n]),
+            Some(v) => num_list(v, key).map_err(|e| ManifestError(at(&e.0))),
+        }
+    };
+    let check_ints = |vals: &[f64], key: &str| -> Result<(), ManifestError> {
+        for &v in vals {
+            uint(v, key).map_err(|e| ManifestError(at(&e.0)))?;
+        }
+        Ok(())
+    };
+    let macs = scalar_or_list("macs", 1024.0)?;
+    for &v in &macs {
+        // Narrowed to u32 by the builder below; saturating there would
+        // quietly run a wrong architecture.
+        uint32(v, "macs").map_err(|e| ManifestError(at(&e.0)))?;
+    }
+    let glb_kb = scalar_or_list("glb_kb", 1024.0)?;
+    check_ints(&glb_kb, "glb_kb")?;
+    let noc_bw = scalar_or_list("noc_bw", 32.0)?;
+    let dram_bw = scalar_or_list("dram_bw", 144.0)?;
+    // D2D: absolute bandwidths or ratios of the NoC bandwidth, not both.
+    let (d2d_abs, d2d_ratio) = match (entry.get("d2d_bw"), entry.get("d2d_ratio")) {
+        (Some(_), Some(_)) => return err(at("give d2d_bw or d2d_ratio, not both")),
+        (Some(_), None) => (Some(scalar_or_list("d2d_bw", 0.0)?), None),
+        (None, Some(_)) => (None, Some(scalar_or_list("d2d_ratio", 0.5)?)),
+        (None, None) => (None, Some(vec![0.5])),
+    };
+    let freq_ghz = opt_num(entry, "freq_ghz")?.unwrap_or(1.0);
+    let dram_count = match opt_num(entry, "dram_count")? {
+        None => None,
+        Some(n) => Some(uint32(n, "dram_count").map_err(|e| ManifestError(at(&e.0)))?),
+    };
+    let topology = match opt_str(entry, "topology")?.as_deref() {
+        None | Some("mesh") => Topology::Mesh,
+        Some("folded-torus") | Some("torus") => Topology::FoldedTorus,
+        Some(other) => return err(at(&format!("unknown topology '{other}'"))),
+    };
+
+    let d2ds: Vec<(bool, f64)> = match (&d2d_abs, &d2d_ratio) {
+        (Some(abs), _) => abs.iter().map(|&x| (true, x)).collect(),
+        (_, Some(rat)) => rat.iter().map(|&x| (false, x)).collect(),
+        _ => unreachable!("one of the two is Some"),
+    };
+    for &m in &macs {
+        for &glb in &glb_kb {
+            for &noc in &noc_bw {
+                for &(abs, dv) in &d2ds {
+                    for &dram in &dram_bw {
+                        let mut b = ArchConfig::builder()
+                            .cores(cores.0, cores.1)
+                            .cuts(cuts.0, cuts.1)
+                            .noc_bw(noc)
+                            .d2d_bw(if abs { dv } else { noc * dv })
+                            .dram_bw(dram)
+                            .glb_kb(glb as u64)
+                            .macs_per_core(m as u32)
+                            .freq_ghz(freq_ghz)
+                            .topology(topology);
+                        if let Some(n) = dram_count {
+                            b = b.dram_count(n);
+                        }
+                        let arch = b.build().map_err(|e| {
+                            ManifestError(at(&format!("invalid architecture: {e:?}")))
+                        })?;
+                        out.push(arch);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_objective(v: &Value) -> Result<NamedObjective, ManifestError> {
+    match v {
+        Value::Str(s) => {
+            let objective = match s.as_str() {
+                "mc-e-d" => Objective::mc_e_d(),
+                "e-d" | "edp" => Objective::e_d(),
+                "d" | "delay" | "latency" => Objective::d_only(),
+                "e" | "energy" => Objective::e_only(),
+                other => {
+                    return err(format!(
+                        "unknown objective '{other}' (use mc-e-d|e-d|d|e or [alpha, beta, gamma])"
+                    ))
+                }
+            };
+            Ok(NamedObjective {
+                label: s.clone(),
+                objective,
+            })
+        }
+        Value::List(l) if l.len() == 3 => {
+            let mut x = [0.0; 3];
+            for (i, item) in l.iter().enumerate() {
+                x[i] = item
+                    .as_num()
+                    .ok_or_else(|| ManifestError("objective exponents must be numbers".into()))?;
+            }
+            Ok(NamedObjective {
+                label: format!("mc^{}*e^{}*d^{}", x[0], x[1], x[2]),
+                objective: Objective {
+                    alpha: x[0],
+                    beta: x[1],
+                    gamma: x[2],
+                },
+            })
+        }
+        _ => err("objectives entries must be names or [alpha, beta, gamma] triples"),
+    }
+}
+
+fn req_str(t: &Value, key: &str) -> Result<String, ManifestError> {
+    opt_str(t, key)?.ok_or_else(|| ManifestError(format!("missing required key '{key}'")))
+}
+
+fn opt_str(t: &Value, key: &str) -> Result<Option<String>, ManifestError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| ManifestError(format!("'{key}' must be a string"))),
+    }
+}
+
+fn req_num(t: &Value, key: &str) -> Result<f64, ManifestError> {
+    opt_num(t, key)?.ok_or_else(|| ManifestError(format!("missing required key '{key}'")))
+}
+
+fn opt_num(t: &Value, key: &str) -> Result<Option<f64>, ManifestError> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_num()
+            .map(Some)
+            .ok_or_else(|| ManifestError(format!("'{key}' must be a number"))),
+    }
+}
+
+/// Validates an integer-valued field: no fractional part, no sign, and
+/// within `f64`'s exact-integer range. Bare `as` casts would silently
+/// truncate `2.7` to 2 and saturate `-5` to 0 — a quietly wrong
+/// campaign instead of an error.
+fn uint(n: f64, what: &str) -> Result<u64, ManifestError> {
+    const MAX_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    if n.fract() != 0.0 || !(0.0..=MAX_EXACT).contains(&n) {
+        return err(format!("'{what}' must be a non-negative integer, got {n}"));
+    }
+    Ok(n as u64)
+}
+
+/// [`uint`] narrowed to `u32` (iteration counts, batch sizes, core
+/// grid dimensions).
+fn uint32(n: f64, what: &str) -> Result<u32, ManifestError> {
+    u32::try_from(uint(n, what)?)
+        .map_err(|_| ManifestError(format!("'{what}' exceeds the u32 range, got {n}")))
+}
+
+/// A list of integer-valued numbers ([`uint`] applied element-wise).
+fn uint_list(v: &Value, what: &str) -> Result<Vec<u64>, ManifestError> {
+    num_list(v, what)?
+        .into_iter()
+        .map(|n| uint(n, what))
+        .collect()
+}
+
+fn num_list(v: &Value, what: &str) -> Result<Vec<f64>, ManifestError> {
+    let l = v
+        .as_list()
+        .ok_or_else(|| ManifestError(format!("'{what}' must be a list of numbers")))?;
+    if l.is_empty() {
+        return err(format!("'{what}' must be non-empty"));
+    }
+    l.iter()
+        .map(|item| {
+            item.as_num()
+                .ok_or_else(|| ManifestError(format!("'{what}' must contain only numbers")))
+        })
+        .collect()
+}
+
+fn pair(t: &Value, key: &str) -> Result<(u32, u32), ManifestError> {
+    let l = num_list(
+        t.get(key)
+            .ok_or_else(|| ManifestError(format!("missing required key '{key}'")))?,
+        key,
+    )?;
+    if l.len() != 2 {
+        return err(format!("'{key}' must be a [x, y] pair"));
+    }
+    Ok((uint32(l[0], key)?, uint32(l[1], key)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = r#"
+[campaign]
+name = "tiny"
+seed = 2
+sa_iters = 40
+batches = [2]
+objectives = ["mc-e-d", "e-d", [0.0, 1.0, 2.0]]
+fidelity = "fluid"
+
+[workloads]
+names = ["two-conv", "tiny-resnet"]
+mode = "each"
+
+[[arch]]
+preset = "s-arch"
+
+[[arch]]
+cores = [6, 6]
+cuts = [2, 1]
+noc_bw = 32.0
+d2d_bw = 16.0
+dram_bw = 144.0
+glb_kb = 2048
+macs = 1024
+"#;
+
+    #[test]
+    fn decodes_the_tiny_manifest() {
+        let s = CampaignSpec::from_str_format(TINY, false).unwrap();
+        assert_eq!(s.name, "tiny");
+        assert_eq!(s.seed, 2);
+        assert_eq!(s.sa_iters, 40);
+        assert_eq!(s.batches, vec![2]);
+        assert_eq!(s.objectives.len(), 3);
+        assert_eq!(s.objectives[2].label, "mc^0*e^1*d^2");
+        assert_eq!(s.objectives[2].objective.gamma, 2.0);
+        assert!(matches!(s.fidelity, CellFidelity::Fluid(_)));
+        assert_eq!(s.workloads, vec!["two-conv", "tiny-resnet"]);
+        assert_eq!(s.workload_mode, WorkloadMode::Each);
+        let archs = s.arch_candidates();
+        assert_eq!(archs.len(), 2);
+        // The second explicit point is exactly G-Arch.
+        assert_eq!(archs[1], presets::g_arch_72());
+        assert_eq!(s.workload_sets().len(), 2);
+    }
+
+    #[test]
+    fn grid_manifest_expands_table1() {
+        let doc = r#"
+[campaign]
+name = "grid"
+
+[workloads]
+names = ["tf"]
+
+[grid]
+tops = 72.0
+stride = 100
+"#;
+        let s = CampaignSpec::from_str_format(doc, false).unwrap();
+        let full = DseSpec::table1(72.0).candidates().len();
+        let got = s.arch_candidates().len();
+        assert_eq!(got, full.div_ceil(100));
+        // Defaults.
+        assert_eq!(s.batches, vec![64]);
+        assert_eq!(s.workload_sets(), vec![("joint".to_string(), vec![0])]);
+        assert_eq!(s.pareto_axes.len(), 4);
+    }
+
+    #[test]
+    fn point_grid_expansion_order_is_documented_order() {
+        let doc = r#"
+[campaign]
+name = "points"
+
+[workloads]
+names = ["two-conv"]
+
+[[arch]]
+cores = [6, 6]
+cuts = [2, 1]
+glb_kb = [256, 1024]
+noc_bw = [8.0, 32.0]
+d2d_ratio = 0.5
+"#;
+        let s = CampaignSpec::from_str_format(doc, false).unwrap();
+        let a = s.arch_candidates();
+        assert_eq!(a.len(), 4);
+        // glb outer, noc inner.
+        assert_eq!(a[0].glb_bytes(), 256 * 1024);
+        assert_eq!(a[0].noc_bw(), 8.0);
+        assert_eq!(a[1].glb_bytes(), 256 * 1024);
+        assert_eq!(a[1].noc_bw(), 32.0);
+        assert_eq!(a[2].glb_bytes(), 1024 * 1024);
+        // d2d_ratio applies per expanded NoC bandwidth.
+        assert_eq!(a[1].d2d_bw(), 16.0);
+    }
+
+    #[test]
+    fn json_manifest_parses_too() {
+        let doc = r#"{
+  "campaign": {"name": "j", "batches": [4]},
+  "workloads": {"names": ["TWO_CONV"]},
+  "arch": [{"preset": "g-arch"}]
+}"#;
+        let s = CampaignSpec::from_str_format(doc, true).unwrap();
+        assert_eq!(s.name, "j");
+        // Aliases normalize to the zoo's own name.
+        assert_eq!(s.workloads, vec!["two-conv"]);
+    }
+
+    #[test]
+    fn fingerprint_is_alias_invariant_and_spec_sensitive() {
+        let a = CampaignSpec::from_str_format(TINY, false).unwrap();
+        let b =
+            CampaignSpec::from_str_format(&TINY.replace("two-conv", "TWO_CONV"), false).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c =
+            CampaignSpec::from_str_format(&TINY.replace("seed = 2", "seed = 3"), false).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.fingerprint().len(), 16);
+    }
+
+    #[test]
+    fn rejects_fractional_and_negative_integer_fields() {
+        // Bare `as` casts would turn these into a quietly wrong
+        // campaign (sa_iters = -5 -> 0 iterations); they must error.
+        for (from, to) in [
+            ("sa_iters = 40", "sa_iters = -5"),
+            ("sa_iters = 40", "sa_iters = 0.5"),
+            ("seed = 2", "seed = -1"),
+            ("batches = [2]", "batches = [2.7]"),
+            ("glb_kb = 2048", "glb_kb = 2048.5"),
+            ("macs = 1024", "macs = -1024"),
+            ("macs = 1024", "macs = 9999999999"), // would saturate u32
+            ("cores = [6, 6]", "cores = [6.5, 6]"),
+        ] {
+            let doc = TINY.replace(from, to);
+            assert_ne!(doc, TINY, "replacement '{from}' not found");
+            let res = CampaignSpec::from_str_format(&doc, false);
+            assert!(res.is_err(), "'{to}' was accepted");
+        }
+        // Grid fields too.
+        let grid_doc = r#"
+[campaign]
+name = "g"
+[workloads]
+names = ["tf"]
+[grid]
+tops = 72.0
+stride = 2.5
+"#;
+        assert!(CampaignSpec::from_str_format(grid_doc, false).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_manifests() {
+        let no_arch = "[campaign]\nname = \"x\"\n[workloads]\nnames = [\"tf\"]";
+        assert!(CampaignSpec::from_str_format(no_arch, false).is_err());
+        let bad_name = TINY.replace("\"tiny\"", "\"Tiny Campaign\"");
+        assert!(CampaignSpec::from_str_format(&bad_name, false).is_err());
+        let bad_wl = TINY.replace("two-conv", "alexnet");
+        assert!(CampaignSpec::from_str_format(&bad_wl, false).is_err());
+        let both_d2d = TINY.replace("d2d_bw = 16.0", "d2d_bw = 16.0\nd2d_ratio = 0.5");
+        assert!(CampaignSpec::from_str_format(&both_d2d, false).is_err());
+        let dup = TINY.replace(
+            "names = [\"two-conv\", \"tiny-resnet\"]",
+            "names = [\"two-conv\", \"TWO-CONV\"]",
+        );
+        assert!(CampaignSpec::from_str_format(&dup, false).is_err());
+    }
+}

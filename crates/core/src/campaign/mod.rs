@@ -1,0 +1,712 @@
+//! Manifest-driven experiment campaigns with a resumable Pareto archive.
+//!
+//! The paper's headline results are sweeps — many DNNs × architecture
+//! grids × objectives (Sec. VI evaluates five workloads across
+//! monolithic and chiplet fabrics) — and this module turns such a sweep
+//! into a declarative, reproducible, *resumable* artifact instead of a
+//! hand-written example binary:
+//!
+//! * a [`CampaignSpec`] manifest (TOML or JSON, see
+//!   docs/CAMPAIGNS.md) declares workloads, an architecture axis
+//!   (Table-I grid and/or explicit points), batch sizes, a per-cell
+//!   fidelity policy and the objectives to report;
+//! * [`run_campaign`] fans the cross-product of cells out over the
+//!   scoped worker pool (`crate::pool`), memoizing per-workload
+//!   mapping evaluations across cells (the same never-changes-results
+//!   memoization contract as [`gemini_sim::EvalCache`], lifted to the
+//!   campaign level) and applying the NoC fidelity ladder per cell;
+//! * every completed cell is appended to an on-disk journal
+//!   (`journal.jsonl`, one JSON line per cell) so an interrupted
+//!   campaign **resumes** by skipping journaled cells bit-identically;
+//! * results land in a multi-objective [`ParetoArchive`]
+//!   (latency / energy / EDP / MC / area fronts per workload-set ×
+//!   batch group) plus CSV + JSON artifacts under the output
+//!   directory.
+//!
+//! Determinism: the same manifest and seed produce byte-identical
+//! artifacts at any `--threads` count, cold or resumed — cells are
+//! keyed and ordered by their enumeration index, floats are serialized
+//! in shortest-round-trip form, and the SA engine underneath is
+//! bit-identical at any thread count (PR 2).
+
+pub mod artifacts;
+pub mod journal;
+pub mod manifest;
+pub mod pareto;
+pub mod toml;
+pub mod value;
+
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use gemini_cost::CostModel;
+use gemini_model::Dnn;
+use gemini_noc::flowsim::FlowSimWorkspace;
+use gemini_sim::Evaluator;
+
+use crate::engine::{MappingEngine, MappingOptions};
+use crate::sa::SaOptions;
+
+pub use manifest::{
+    CampaignSpec, CellFidelity, GridSpec, ManifestError, NamedObjective, ParetoAxis, WorkloadMode,
+};
+pub use pareto::{ParetoArchive, ParetoPoint};
+
+/// A campaign failure.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Manifest decoding failed.
+    Manifest(ManifestError),
+    /// Filesystem trouble (journal or artifacts).
+    Io(String),
+    /// The journal is unusable (wrong fingerprint, foreign cells).
+    Journal(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Manifest(e) => write!(f, "{e}"),
+            Self::Io(m) => write!(f, "I/O error: {m}"),
+            Self::Journal(m) => write!(f, "journal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<ManifestError> for CampaignError {
+    fn from(e: ManifestError) -> Self {
+        Self::Manifest(e)
+    }
+}
+
+/// Per-workload metrics inside one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DnnCellMetrics {
+    /// Workload zoo name.
+    pub name: String,
+    /// Total energy (J).
+    pub energy: f64,
+    /// Analytic end-to-end delay (s).
+    pub delay: f64,
+    /// Congestion-corrected delay from the fluid replay (s); `None`
+    /// under [`CellFidelity::Analytic`].
+    pub fluid_delay: Option<f64>,
+    /// Worst per-group fluid/analytic ratio; `None` under
+    /// [`CellFidelity::Analytic`].
+    pub worst_fluid: Option<f64>,
+}
+
+/// One completed campaign cell: a (workload set, architecture, batch)
+/// combination with its metrics. This is exactly what one journal line
+/// stores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Cell index in the campaign's deterministic enumeration.
+    pub cell: usize,
+    /// Workload-set index (into [`CampaignSpec::workload_sets`]).
+    pub wset: usize,
+    /// Batch index (into [`CampaignSpec::batches`]).
+    pub batch_idx: usize,
+    /// Architecture index (into [`CampaignSpec::arch_candidates`]).
+    pub arch_idx: usize,
+    /// Monetary cost (dollars).
+    pub mc: f64,
+    /// MC silicon share.
+    pub mc_silicon: f64,
+    /// MC DRAM share.
+    pub mc_dram: f64,
+    /// MC packaging share.
+    pub mc_package: f64,
+    /// Total silicon area (mm²).
+    pub area_mm2: f64,
+    /// Geometric-mean energy over the set's workloads (J).
+    pub energy: f64,
+    /// Geometric-mean analytic delay (s).
+    pub delay: f64,
+    /// Geometric-mean congestion-corrected delay (s), when the cell ran
+    /// the fluid rung.
+    pub fluid_delay: Option<f64>,
+    /// Worst per-group fluid/analytic ratio across the set.
+    pub worst_fluid: Option<f64>,
+    /// Per-workload metrics, in workload-set member order.
+    pub per_dnn: Vec<DnnCellMetrics>,
+}
+
+impl CellResult {
+    /// The delay used for ranking and the latency axis: the
+    /// congestion-corrected delay when the fluid rung ran, the analytic
+    /// delay otherwise.
+    pub fn eff_delay(&self) -> f64 {
+        self.fluid_delay.unwrap_or(self.delay)
+    }
+
+    /// Energy-delay product on the effective delay.
+    pub fn edp(&self) -> f64 {
+        self.energy * self.eff_delay()
+    }
+
+    /// The cell's comparable-group index — the (workload set, batch)
+    /// combination it belongs to, given the campaign's batch-axis
+    /// length. The single definition of the cell → group mapping used
+    /// by the driver, the artifact writers and external consumers.
+    pub fn group(&self, n_batches: usize) -> usize {
+        self.wset * n_batches + self.batch_idx
+    }
+
+    /// The cell's coordinate on one archive axis (lower = better).
+    pub fn axis_value(&self, axis: ParetoAxis) -> f64 {
+        match axis {
+            ParetoAxis::Latency => self.eff_delay(),
+            ParetoAxis::Energy => self.energy,
+            ParetoAxis::Edp => self.edp(),
+            ParetoAxis::Cost => self.mc,
+            ParetoAxis::Area => self.area_mm2,
+        }
+    }
+
+    /// Scores the cell under an objective (on the effective delay).
+    pub fn score(&self, obj: &crate::dse::Objective) -> f64 {
+        obj.score(self.mc, self.energy, self.eff_delay())
+    }
+}
+
+/// Options for [`run_campaign`].
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOptions {
+    /// Worker threads for the cell fan-out (0 = all cores). Artifacts
+    /// are byte-identical at any setting.
+    pub threads: usize,
+    /// Resume from an existing journal instead of starting cold. The
+    /// journal's fingerprint must match the manifest.
+    pub resume: bool,
+    /// Overrides the manifest's `out_dir` (tests and CI use temp dirs).
+    pub out_root: Option<PathBuf>,
+}
+
+/// One comparable cell group: a (workload set, batch) combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellGroup {
+    /// Workload-set label (`joint` or a zoo name).
+    pub wset: String,
+    /// Batch size.
+    pub batch: u32,
+}
+
+/// The best cell of one group under one objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BestEntry {
+    /// Group index.
+    pub group: usize,
+    /// Objective label.
+    pub objective: String,
+    /// Winning cell index.
+    pub cell: usize,
+    /// Its score.
+    pub score: f64,
+}
+
+/// A completed (or resumed-and-completed) campaign.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// The manifest fingerprint the journal is tied to.
+    pub fingerprint: String,
+    /// The campaign directory (journal + artifacts).
+    pub dir: PathBuf,
+    /// Every cell, in enumeration order.
+    pub cells: Vec<CellResult>,
+    /// Cells replayed from the journal instead of evaluated.
+    pub skipped: usize,
+    /// Cells evaluated this run.
+    pub evaluated: usize,
+    /// The comparable groups, indexed by group id.
+    pub groups: Vec<CellGroup>,
+    /// The multi-objective archive (fronts per group).
+    pub archive: ParetoArchive,
+    /// Scalar-objective winners per group × objective.
+    pub best: Vec<BestEntry>,
+    /// Artifact paths written (`cells.csv`, `pareto.csv`,
+    /// `pareto.json`).
+    pub artifacts: Vec<PathBuf>,
+}
+
+/// One cell's identity before evaluation.
+#[derive(Debug, Clone, Copy)]
+struct CellKey {
+    wset: usize,
+    batch_idx: usize,
+    arch_idx: usize,
+}
+
+/// Enumerates the campaign's cells in deterministic order:
+/// workload-set major, then batch, then architecture.
+fn enumerate_cells(n_wsets: usize, n_batches: usize, n_archs: usize) -> Vec<CellKey> {
+    let mut cells = Vec::with_capacity(n_wsets * n_batches * n_archs);
+    for wset in 0..n_wsets {
+        for batch_idx in 0..n_batches {
+            for arch_idx in 0..n_archs {
+                cells.push(CellKey {
+                    wset,
+                    batch_idx,
+                    arch_idx,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Per-workload mapping evaluation, memoized across cells.
+///
+/// Cells that share a workload, architecture and batch — e.g. a solo
+/// set and the joint set under [`WorkloadMode::Both`] — reuse one
+/// mapping run. Like [`gemini_sim::EvalCache`] one level down, the memo
+/// is results-transparent: a stored entry is exactly what a fresh
+/// evaluation would produce (the SA engine is deterministic), so
+/// memoization changes wall-clock time only, never artifacts.
+struct MappingMemo {
+    map: Mutex<HashMap<(usize, usize, u32), DnnCellMetrics>>,
+}
+
+impl MappingMemo {
+    fn new() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn get_or_eval(
+        &self,
+        key: (usize, usize, u32),
+        eval: impl FnOnce() -> DnnCellMetrics,
+    ) -> DnnCellMetrics {
+        if let Some(hit) = self.map.lock().expect("memo lock").get(&key) {
+            return hit.clone();
+        }
+        // Evaluate outside the lock: concurrent workers may duplicate
+        // work on the same key, but the value is deterministic so the
+        // race is benign (and rare — cells hitting the same key are
+        // usually far apart in the schedule).
+        let v = eval();
+        self.map
+            .lock()
+            .expect("memo lock")
+            .entry(key)
+            .or_insert_with(|| v.clone());
+        v
+    }
+}
+
+/// Evaluates one workload on one architecture at one batch size.
+fn evaluate_dnn(
+    arch: &gemini_arch::ArchConfig,
+    dnn: &Dnn,
+    batch: u32,
+    spec: &CampaignSpec,
+    sa_threads: usize,
+) -> DnnCellMetrics {
+    let ev = Evaluator::new(arch);
+    let engine = MappingEngine::new(&ev);
+    let opts = MappingOptions {
+        sa: SaOptions {
+            iters: spec.sa_iters,
+            seed: spec.seed,
+            threads: sa_threads,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mapped = engine.map(dnn, batch, &opts);
+    let (fluid_delay, worst_fluid) = match spec.fidelity {
+        CellFidelity::Analytic => (None, None),
+        CellFidelity::Fluid(cfg) => {
+            let mut ws = FlowSimWorkspace::new();
+            let (corrected, groups, _) =
+                crate::fidelity::fluid_replay_dnn(&ev, dnn, &mapped, &cfg, &mut ws);
+            let worst = groups
+                .iter()
+                .map(crate::fidelity::GroupDiscrepancy::fluid_vs_analytic)
+                .fold(1.0, f64::max);
+            (Some(corrected), Some(worst))
+        }
+    };
+    DnnCellMetrics {
+        name: dnn.name().to_string(),
+        energy: mapped.report.energy.total(),
+        delay: mapped.report.delay_s,
+        fluid_delay,
+        worst_fluid,
+    }
+}
+
+/// Evaluates one cell (geometric means over its workload set).
+#[allow(clippy::too_many_arguments)] // internal driver plumbing
+fn evaluate_cell(
+    cell: usize,
+    key: CellKey,
+    spec: &CampaignSpec,
+    sets: &[(String, Vec<usize>)],
+    dnns: &[Dnn],
+    archs: &[gemini_arch::ArchConfig],
+    cost: &CostModel,
+    memo: &MappingMemo,
+    sa_threads: usize,
+) -> CellResult {
+    let arch = &archs[key.arch_idx];
+    let batch = spec.batches[key.batch_idx];
+    let members = &sets[key.wset].1;
+    let per_dnn: Vec<DnnCellMetrics> = members
+        .iter()
+        .map(|&di| {
+            memo.get_or_eval((key.arch_idx, di, batch), || {
+                evaluate_dnn(arch, &dnns[di], batch, spec, sa_threads)
+            })
+        })
+        .collect();
+    let n = per_dnn.len().max(1) as f64;
+    let geo = |f: &dyn Fn(&DnnCellMetrics) -> f64| -> f64 {
+        (per_dnn.iter().map(|m| f(m).ln()).sum::<f64>() / n).exp()
+    };
+    let energy = geo(&|m| m.energy);
+    let delay = geo(&|m| m.delay);
+    let has_fluid = per_dnn.iter().all(|m| m.fluid_delay.is_some());
+    let fluid_delay = has_fluid.then(|| geo(&|m| m.fluid_delay.expect("checked")));
+    let worst_fluid = has_fluid.then(|| {
+        per_dnn
+            .iter()
+            .map(|m| m.worst_fluid.expect("checked"))
+            .fold(1.0, f64::max)
+    });
+    let mc_rep = cost.evaluate(arch);
+    CellResult {
+        cell,
+        wset: key.wset,
+        batch_idx: key.batch_idx,
+        arch_idx: key.arch_idx,
+        mc: mc_rep.total(),
+        mc_silicon: mc_rep.silicon,
+        mc_dram: mc_rep.dram,
+        mc_package: mc_rep.package,
+        area_mm2: mc_rep.silicon_mm2,
+        energy,
+        delay,
+        fluid_delay,
+        worst_fluid,
+        per_dnn,
+    }
+}
+
+/// Runs (or resumes) a campaign and writes its artifacts.
+///
+/// The journal lands at `<dir>/journal.jsonl` and the artifacts at
+/// `<dir>/cells.csv`, `<dir>/pareto.csv` and `<dir>/pareto.json`, with
+/// `<dir> = <out_root or manifest out_dir>/<campaign name>`.
+///
+/// # Determinism
+///
+/// Same manifest + seed ⇒ byte-identical artifacts at any
+/// [`CampaignOptions::threads`] count, whether the run was cold or
+/// resumed from a truncated journal. (The journal's own *line order*
+/// is completion order and may differ between runs; its *content* per
+/// cell is bit-identical, which is what resume consumes.)
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    opts: &CampaignOptions,
+) -> Result<CampaignResult, CampaignError> {
+    let root = opts
+        .out_root
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(&spec.out_dir));
+    let dir = root.join(&spec.name);
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| CampaignError::Io(format!("cannot create {}: {e}", dir.display())))?;
+
+    let dnns: Vec<Dnn> = spec
+        .workloads
+        .iter()
+        .map(|n| gemini_model::zoo::by_name(n).expect("spec validated workload names"))
+        .collect();
+    let sets = spec.workload_sets();
+    let archs = spec.arch_candidates();
+    let cells = enumerate_cells(sets.len(), spec.batches.len(), archs.len());
+    let fingerprint = spec.fingerprint();
+
+    // Journal: load on resume, then append the cells we evaluate.
+    let journal_path = dir.join("journal.jsonl");
+    let (mut results, resumed): (Vec<Option<CellResult>>, bool) =
+        if opts.resume && journal_path.exists() {
+            (
+                journal::load(
+                    &journal_path,
+                    spec,
+                    sets.len(),
+                    spec.batches.len(),
+                    archs.len(),
+                )?,
+                true,
+            )
+        } else {
+            (vec![None; cells.len()], false)
+        };
+    let skipped = results.iter().filter(|r| r.is_some()).count();
+    let writer = journal::Appender::open(&journal_path, spec, cells.len(), resumed)?;
+
+    // Fan the pending cells out over the worker pool. SA chains are
+    // pinned to one thread while the cell level is parallel so the
+    // machine is not oversubscribed (results are unaffected: the SA
+    // engine is bit-identical at any thread count).
+    let pending: Vec<usize> = (0..cells.len()).filter(|&i| results[i].is_none()).collect();
+    let workers = if opts.threads == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        opts.threads
+    }
+    .clamp(1, pending.len().max(1));
+    let sa_threads = if workers > 1 { 1 } else { 0 };
+    let cost = CostModel::default();
+    let memo = MappingMemo::new();
+    let evaluated: Vec<CellResult> =
+        crate::pool::parallel_map_indexed(workers, pending.len(), |j| {
+            let idx = pending[j];
+            let r = evaluate_cell(
+                idx, cells[idx], spec, &sets, &dnns, &archs, &cost, &memo, sa_threads,
+            );
+            writer.append(&r);
+            r
+        });
+    let n_evaluated = evaluated.len();
+    for r in evaluated {
+        let slot = &mut results[r.cell];
+        debug_assert!(slot.is_none());
+        *slot = Some(r);
+    }
+    let cells: Vec<CellResult> = results
+        .into_iter()
+        .map(|r| r.expect("every cell evaluated or resumed"))
+        .collect();
+
+    // Groups, archive, per-objective winners.
+    let n_batches = spec.batches.len();
+    let groups: Vec<CellGroup> = sets
+        .iter()
+        .flat_map(|(label, _)| {
+            spec.batches.iter().map(|&b| CellGroup {
+                wset: label.clone(),
+                batch: b,
+            })
+        })
+        .collect();
+    let mut archive = ParetoArchive::new(spec.pareto_axes.clone(), groups.len());
+    for c in &cells {
+        archive.insert(ParetoPoint {
+            cell: c.cell,
+            group: c.group(n_batches),
+            coords: spec.pareto_axes.iter().map(|&a| c.axis_value(a)).collect(),
+        });
+    }
+    let mut best = Vec::new();
+    for g in 0..groups.len() {
+        for o in &spec.objectives {
+            let winner = cells
+                .iter()
+                .filter(|c| c.group(n_batches) == g)
+                .min_by(|a, b| {
+                    a.score(&o.objective)
+                        .total_cmp(&b.score(&o.objective))
+                        .then(a.cell.cmp(&b.cell))
+                });
+            if let Some(w) = winner {
+                best.push(BestEntry {
+                    group: g,
+                    objective: o.label.clone(),
+                    cell: w.cell,
+                    score: w.score(&o.objective),
+                });
+            }
+        }
+    }
+
+    let artifacts = artifacts::write_all(
+        &dir,
+        spec,
+        &fingerprint,
+        &cells,
+        &groups,
+        &archive,
+        &best,
+        &sets,
+        &archs,
+    )?;
+
+    Ok(CampaignResult {
+        fingerprint,
+        dir,
+        cells,
+        skipped,
+        evaluated: n_evaluated,
+        groups,
+        archive,
+        best,
+        artifacts,
+    })
+}
+
+/// Convenience: load a manifest file and run it.
+pub fn run_campaign_file(
+    manifest: &Path,
+    opts: &CampaignOptions,
+) -> Result<CampaignResult, CampaignError> {
+    let spec = CampaignSpec::load(manifest)?;
+    run_campaign(&spec, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(fidelity: &str) -> CampaignSpec {
+        let doc = format!(
+            r#"
+[campaign]
+name = "unit"
+seed = 2
+sa_iters = 30
+batches = [2]
+fidelity = "{fidelity}"
+
+[workloads]
+names = ["two-conv"]
+
+[[arch]]
+preset = "s-arch"
+
+[[arch]]
+preset = "g-arch"
+"#
+        );
+        CampaignSpec::from_str_format(&doc, false).unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gemini-campaign-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn cells_enumerate_wset_major() {
+        let cells = enumerate_cells(2, 2, 3);
+        assert_eq!(cells.len(), 12);
+        assert_eq!(
+            (cells[0].wset, cells[0].batch_idx, cells[0].arch_idx),
+            (0, 0, 0)
+        );
+        assert_eq!(
+            (cells[4].wset, cells[4].batch_idx, cells[4].arch_idx),
+            (0, 1, 1)
+        );
+        assert_eq!(
+            (cells[11].wset, cells[11].batch_idx, cells[11].arch_idx),
+            (1, 1, 2)
+        );
+    }
+
+    #[test]
+    fn run_produces_cells_archive_and_artifacts() {
+        let spec = tiny_spec("analytic");
+        let dir = temp_dir("run");
+        let res = run_campaign(
+            &spec,
+            &CampaignOptions {
+                threads: 1,
+                resume: false,
+                out_root: Some(dir.clone()),
+            },
+        )
+        .unwrap();
+        assert_eq!(res.cells.len(), 2);
+        assert_eq!(res.evaluated, 2);
+        assert_eq!(res.skipped, 0);
+        assert_eq!(res.groups.len(), 1);
+        assert!(!res.archive.is_empty());
+        assert_eq!(res.best.len(), 1, "one group x one objective");
+        for p in &res.artifacts {
+            assert!(p.exists(), "{} missing", p.display());
+        }
+        assert!(res.dir.join("journal.jsonl").exists());
+        for c in &res.cells {
+            assert!(c.mc > 0.0 && c.energy > 0.0 && c.delay > 0.0);
+            assert!(c.fluid_delay.is_none());
+            assert_eq!(c.per_dnn.len(), 1);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fluid_fidelity_fills_corrected_delay() {
+        let spec = tiny_spec("fluid");
+        let dir = temp_dir("fluid");
+        let res = run_campaign(
+            &spec,
+            &CampaignOptions {
+                threads: 1,
+                resume: false,
+                out_root: Some(dir.clone()),
+            },
+        )
+        .unwrap();
+        for c in &res.cells {
+            let fd = c.fluid_delay.expect("fluid rung ran");
+            // The congestion correction is monotone.
+            assert!(fd >= c.delay * (1.0 - 1e-12));
+            assert!(c.worst_fluid.expect("ratio recorded") >= 1.0);
+            assert_eq!(c.eff_delay().to_bits(), fd.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memo_shares_mappings_between_solo_and_joint_sets() {
+        // Under mode = "both" the joint set reuses the solo sets'
+        // mapping runs; the joint geomean must therefore be exactly the
+        // geomean of the solo cells' metrics.
+        let doc = r#"
+[campaign]
+name = "memo"
+seed = 2
+sa_iters = 30
+batches = [2]
+
+[workloads]
+names = ["two-conv", "tiny-resnet"]
+mode = "both"
+
+[[arch]]
+preset = "g-arch"
+"#;
+        let spec = CampaignSpec::from_str_format(doc, false).unwrap();
+        let dir = temp_dir("memo");
+        let res = run_campaign(
+            &spec,
+            &CampaignOptions {
+                threads: 2,
+                resume: false,
+                out_root: Some(dir.clone()),
+            },
+        )
+        .unwrap();
+        assert_eq!(res.cells.len(), 3, "two solo + one joint");
+        let joint = &res.cells[2];
+        assert_eq!(joint.per_dnn.len(), 2);
+        let expect_e = (res.cells[0].energy * res.cells[1].energy).sqrt();
+        assert!((joint.energy - expect_e).abs() <= expect_e * 1e-12);
+        // The joint cell's per-dnn metrics are bit-identical to the
+        // solo cells' (the memo returned the same evaluation).
+        assert_eq!(joint.per_dnn[0], res.cells[0].per_dnn[0]);
+        assert_eq!(joint.per_dnn[1], res.cells[1].per_dnn[0]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

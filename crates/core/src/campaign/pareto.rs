@@ -1,0 +1,208 @@
+//! Multi-objective Pareto archive over campaign cells.
+//!
+//! The paper's DSE reports a single scalar winner per objective; a
+//! campaign instead keeps the whole *non-dominated frontier* over
+//! configurable axes (latency / energy / EDP / MC / area), one front
+//! per comparable cell group — cells are comparable when they share the
+//! workload set and batch size, so the only free variable across a
+//! front is the architecture. Scalar-objective winners are still
+//! derivable from the archive (every scalar optimum over monotone axes
+//! lies on the front) and the artifact writer reports them alongside.
+//!
+//! The archive is deterministic: cells are inserted in cell-index order
+//! and fronts are kept index-sorted, so the serialized archive is
+//! byte-identical however many worker threads produced the cells.
+
+use super::manifest::ParetoAxis;
+
+/// One cell's coordinates on the archive axes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Campaign cell index.
+    pub cell: usize,
+    /// Group key: index of the (workload set, batch) combination.
+    pub group: usize,
+    /// Axis values, in the archive's axis order (lower is better on
+    /// every axis).
+    pub coords: Vec<f64>,
+}
+
+/// `a` dominates `b` iff it is no worse on every axis and strictly
+/// better on at least one. Coordinates must be finite and same-length.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strict = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// An incrementally-maintained multi-objective Pareto archive.
+#[derive(Debug, Clone)]
+pub struct ParetoArchive {
+    axes: Vec<ParetoAxis>,
+    /// Non-dominated points per group, kept sorted by cell index.
+    fronts: Vec<Vec<ParetoPoint>>,
+}
+
+impl ParetoArchive {
+    /// An empty archive over `axes` with `n_groups` comparable groups.
+    pub fn new(axes: Vec<ParetoAxis>, n_groups: usize) -> Self {
+        assert!(!axes.is_empty(), "at least one Pareto axis");
+        Self {
+            axes,
+            fronts: vec![Vec::new(); n_groups],
+        }
+    }
+
+    /// The archive's axes.
+    pub fn axes(&self) -> &[ParetoAxis] {
+        &self.axes
+    }
+
+    /// Inserts a point, dropping it if dominated and evicting any
+    /// existing member it dominates. Points with non-finite coordinates
+    /// are rejected (never members, never evictors).
+    ///
+    /// Insertion order does not matter for the resulting member *set*
+    /// (dominance is transitive and the front keeps only maximal
+    /// points); members are stored sorted by cell index so the
+    /// serialized archive is deterministic regardless of completion
+    /// order.
+    pub fn insert(&mut self, p: ParetoPoint) {
+        assert_eq!(p.coords.len(), self.axes.len(), "one coordinate per axis");
+        assert!(p.group < self.fronts.len(), "group out of range");
+        if p.coords.iter().any(|c| !c.is_finite()) {
+            return;
+        }
+        let front = &mut self.fronts[p.group];
+        if front.iter().any(|q| dominates(&q.coords, &p.coords)) {
+            return;
+        }
+        front.retain(|q| !dominates(&p.coords, &q.coords));
+        let pos = front.partition_point(|q| q.cell < p.cell);
+        front.insert(pos, p);
+    }
+
+    /// The front for one group, sorted by cell index.
+    pub fn front(&self, group: usize) -> &[ParetoPoint] {
+        &self.fronts[group]
+    }
+
+    /// Number of comparable groups.
+    pub fn n_groups(&self) -> usize {
+        self.fronts.len()
+    }
+
+    /// Total members across all fronts.
+    pub fn len(&self) -> usize {
+        self.fronts.iter().map(Vec::len).sum()
+    }
+
+    /// Whether every front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn axes2() -> Vec<ParetoAxis> {
+        vec![ParetoAxis::Latency, ParetoAxis::Energy]
+    }
+
+    fn p(cell: usize, coords: &[f64]) -> ParetoPoint {
+        ParetoPoint {
+            cell,
+            group: 0,
+            coords: coords.to_vec(),
+        }
+    }
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 1.0]));
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]), "equal points");
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 1.0]), "incomparable");
+        assert!(!dominates(&[2.0, 1.0], &[1.0, 3.0]), "incomparable");
+    }
+
+    #[test]
+    fn archive_keeps_the_non_dominated_set() {
+        let mut a = ParetoArchive::new(axes2(), 1);
+        a.insert(p(0, &[3.0, 1.0]));
+        a.insert(p(1, &[1.0, 3.0]));
+        a.insert(p(2, &[2.0, 2.0])); // incomparable with both
+        a.insert(p(3, &[4.0, 4.0])); // dominated
+        assert_eq!(a.len(), 3);
+        a.insert(p(4, &[0.5, 0.5])); // dominates everything
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.front(0)[0].cell, 4);
+    }
+
+    #[test]
+    fn member_set_is_insertion_order_invariant() {
+        let pts = [
+            [3.0, 1.0],
+            [1.0, 3.0],
+            [2.0, 2.0],
+            [4.0, 4.0],
+            [2.5, 1.5],
+            [1.0, 3.0], // duplicate coordinates, different cell
+        ];
+        let build = |order: &[usize]| {
+            let mut a = ParetoArchive::new(axes2(), 1);
+            for &i in order {
+                a.insert(p(i, &pts[i]));
+            }
+            a.front(0).iter().map(|q| q.cell).collect::<Vec<_>>()
+        };
+        let fwd = build(&[0, 1, 2, 3, 4, 5]);
+        let rev = build(&[5, 4, 3, 2, 1, 0]);
+        let shuffled = build(&[2, 5, 0, 3, 1, 4]);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd, shuffled);
+        // Sorted by cell index.
+        let mut sorted = fwd.clone();
+        sorted.sort_unstable();
+        assert_eq!(fwd, sorted);
+        // Duplicate-coordinate points coexist (neither dominates).
+        assert!(fwd.contains(&1) && fwd.contains(&5));
+    }
+
+    #[test]
+    fn groups_are_independent() {
+        let mut a = ParetoArchive::new(axes2(), 2);
+        a.insert(ParetoPoint {
+            cell: 0,
+            group: 0,
+            coords: vec![1.0, 1.0],
+        });
+        a.insert(ParetoPoint {
+            cell: 1,
+            group: 1,
+            coords: vec![5.0, 5.0], // would be dominated in group 0
+        });
+        assert_eq!(a.front(0).len(), 1);
+        assert_eq!(a.front(1).len(), 1);
+    }
+
+    #[test]
+    fn non_finite_points_are_rejected() {
+        let mut a = ParetoArchive::new(axes2(), 1);
+        a.insert(p(0, &[f64::NAN, 1.0]));
+        a.insert(p(1, &[f64::INFINITY, 1.0]));
+        assert!(a.is_empty());
+        a.insert(p(2, &[1.0, 1.0]));
+        assert_eq!(a.len(), 1);
+    }
+}

@@ -1,0 +1,478 @@
+//! A TOML subset parser for campaign manifests.
+//!
+//! Supports what a [`crate::campaign::CampaignSpec`] needs and nothing
+//! more — the same spirit as the offline dependency stand-ins (see
+//! docs/ARCHITECTURE.md): `key = value` pairs, `[table]` headers,
+//! `[[array-of-tables]]` headers, dotted-free bare keys, basic strings,
+//! integers/floats, booleans, homogeneous or mixed `[a, b, c]` arrays
+//! (nesting allowed), inline `{ k = v }` tables, `#` comments and
+//! multi-line arrays.
+//!
+//! Not supported (rejected with an error, never silently misread):
+//! dotted keys, multi-line/literal strings, datetimes, key re-opening
+//! across table headers.
+
+use std::collections::BTreeMap;
+
+use super::value::{ParseError, Value};
+
+/// Parses a TOML document into a [`Value::Table`].
+pub fn parse_toml(input: &str) -> Result<Value, ParseError> {
+    let mut root: BTreeMap<String, Value> = BTreeMap::new();
+    // Path of the table currently being filled; empty = root.
+    let mut current: Vec<String> = Vec::new();
+    // Whether `current` names an array-of-tables entry (fill its last).
+    let mut current_is_aot = false;
+    // Explicitly-opened `[table]` headers: TOML forbids re-opening the
+    // same table, and silently merging a duplicated header would let a
+    // structurally broken manifest run.
+    let mut seen_headers: std::collections::HashSet<String> = std::collections::HashSet::new();
+
+    let mut offset = 0usize;
+    let mut lines = input.lines().peekable();
+    while let Some(line) = lines.next() {
+        let line_start = offset;
+        offset += line.len() + 1;
+        let t = strip_comment(line).trim();
+        if t.is_empty() {
+            continue;
+        }
+        if let Some(header) = t.strip_prefix("[[").and_then(|h| h.strip_suffix("]]")) {
+            let path = parse_header_path(header, line_start)?;
+            push_aot_entry(&mut root, &path, line_start)?;
+            current = path;
+            current_is_aot = true;
+        } else if let Some(header) = t.strip_prefix('[').and_then(|h| h.strip_suffix(']')) {
+            let path = parse_header_path(header, line_start)?;
+            if !seen_headers.insert(path.join(".")) {
+                return Err(ParseError {
+                    msg: format!("table '[{}]' opened twice", path.join(".")),
+                    at: line_start,
+                });
+            }
+            open_table(&mut root, &path, line_start)?;
+            current = path;
+            current_is_aot = false;
+        } else {
+            // key = value; the value may continue across lines for
+            // arrays (balanced brackets).
+            let eq = t.find('=').ok_or_else(|| ParseError {
+                msg: format!("expected 'key = value', got '{t}'"),
+                at: line_start,
+            })?;
+            let key = parse_key(t[..eq].trim(), line_start)?;
+            let mut vtext = t[eq + 1..].trim().to_string();
+            while !brackets_balanced(&vtext) {
+                let Some(next) = lines.next() else {
+                    return Err(ParseError {
+                        msg: format!("unterminated array for key '{key}'"),
+                        at: line_start,
+                    });
+                };
+                offset += next.len() + 1;
+                vtext.push(' ');
+                vtext.push_str(strip_comment(next).trim());
+            }
+            let value = parse_value(&vtext, line_start)?;
+            let table = resolve_mut(&mut root, &current, current_is_aot);
+            if table.insert(key.clone(), value).is_some() {
+                return Err(ParseError {
+                    msg: format!("duplicate key '{key}'"),
+                    at: line_start,
+                });
+            }
+        }
+    }
+    Ok(Value::Table(root))
+}
+
+/// Strips a `#` comment, respecting `"`-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn brackets_balanced(s: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' | '{' if !in_str => depth += 1,
+            ']' | '}' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth <= 0
+}
+
+fn parse_key(raw: &str, at: usize) -> Result<String, ParseError> {
+    let raw = raw.trim();
+    if let Some(q) = raw.strip_prefix('"').and_then(|r| r.strip_suffix('"')) {
+        return Ok(q.to_string());
+    }
+    if raw.is_empty()
+        || !raw
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+    {
+        return Err(ParseError {
+            msg: format!("unsupported key '{raw}' (bare keys are [A-Za-z0-9_-], no dots)"),
+            at,
+        });
+    }
+    Ok(raw.to_string())
+}
+
+fn parse_header_path(header: &str, at: usize) -> Result<Vec<String>, ParseError> {
+    header
+        .split('.')
+        .map(|seg| parse_key(seg, at))
+        .collect::<Result<Vec<_>, _>>()
+        .and_then(|path| {
+            if path.is_empty() {
+                Err(ParseError {
+                    msg: "empty table header".to_string(),
+                    at,
+                })
+            } else {
+                Ok(path)
+            }
+        })
+}
+
+/// Ensures `path` names a (possibly nested) table, creating as needed.
+fn open_table(
+    root: &mut BTreeMap<String, Value>,
+    path: &[String],
+    at: usize,
+) -> Result<(), ParseError> {
+    let mut cur = root;
+    for seg in path {
+        let entry = cur
+            .entry(seg.clone())
+            .or_insert_with(|| Value::Table(BTreeMap::new()));
+        cur = match entry {
+            Value::Table(t) => t,
+            _ => {
+                return Err(ParseError {
+                    msg: format!("'{seg}' is not a table"),
+                    at,
+                })
+            }
+        };
+    }
+    Ok(())
+}
+
+/// Appends a fresh entry to the array-of-tables at `path`.
+fn push_aot_entry(
+    root: &mut BTreeMap<String, Value>,
+    path: &[String],
+    at: usize,
+) -> Result<(), ParseError> {
+    let (last, parents) = path.split_last().expect("non-empty header path");
+    let mut cur = root;
+    for seg in parents {
+        let entry = cur
+            .entry(seg.clone())
+            .or_insert_with(|| Value::Table(BTreeMap::new()));
+        cur = match entry {
+            Value::Table(t) => t,
+            _ => {
+                return Err(ParseError {
+                    msg: format!("'{seg}' is not a table"),
+                    at,
+                })
+            }
+        };
+    }
+    let entry = cur
+        .entry(last.clone())
+        .or_insert_with(|| Value::List(Vec::new()));
+    match entry {
+        Value::List(l) => {
+            l.push(Value::Table(BTreeMap::new()));
+            Ok(())
+        }
+        _ => Err(ParseError {
+            msg: format!("'{last}' is not an array of tables"),
+            at,
+        }),
+    }
+}
+
+/// Returns the table the current header points at (the last entry for
+/// an array-of-tables). The path exists: the header created it.
+fn resolve_mut<'a>(
+    root: &'a mut BTreeMap<String, Value>,
+    path: &[String],
+    is_aot: bool,
+) -> &'a mut BTreeMap<String, Value> {
+    let mut cur = root;
+    for (i, seg) in path.iter().enumerate() {
+        let last = i + 1 == path.len();
+        let entry = cur.get_mut(seg).expect("header opened this path");
+        cur = match entry {
+            Value::Table(t) => t,
+            Value::List(l) if last && is_aot => match l.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => unreachable!("push_aot_entry appended a table"),
+            },
+            _ => unreachable!("header validated this path"),
+        };
+    }
+    cur
+}
+
+/// Parses one TOML value (scalar, array or inline table).
+fn parse_value(raw: &str, at: usize) -> Result<Value, ParseError> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err(ParseError {
+            msg: "empty value".to_string(),
+            at,
+        });
+    }
+    if let Some(s) = raw.strip_prefix('"') {
+        let Some(inner) = s.strip_suffix('"') else {
+            return Err(ParseError {
+                msg: format!("unterminated string: {raw}"),
+                at,
+            });
+        };
+        if inner.contains('"') || inner.contains('\\') {
+            return Err(ParseError {
+                msg: "escapes and embedded quotes are not supported in strings".to_string(),
+                at,
+            });
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    match raw {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if raw.starts_with('[') {
+        let inner = raw
+            .strip_prefix('[')
+            .and_then(|r| r.strip_suffix(']'))
+            .ok_or_else(|| ParseError {
+                msg: format!("malformed array: {raw}"),
+                at,
+            })?;
+        let mut items = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if !part.is_empty() {
+                items.push(parse_value(part, at)?);
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    if raw.starts_with('{') {
+        let inner = raw
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .ok_or_else(|| ParseError {
+                msg: format!("malformed inline table: {raw}"),
+                at,
+            })?;
+        let mut t = BTreeMap::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let eq = part.find('=').ok_or_else(|| ParseError {
+                msg: format!("expected 'key = value' in inline table, got '{part}'"),
+                at,
+            })?;
+            let key = parse_key(part[..eq].trim(), at)?;
+            let value = parse_value(part[eq + 1..].trim(), at)?;
+            if t.insert(key.clone(), value).is_some() {
+                return Err(ParseError {
+                    msg: format!("duplicate key '{key}' in inline table"),
+                    at,
+                });
+            }
+        }
+        return Ok(Value::Table(t));
+    }
+    // Number: TOML allows `_` separators. Non-finite values are
+    // rejected, not parsed: `nan`/`inf` would sail through every
+    // downstream range check (NaN compares false) and then serialize
+    // as invalid JSON in the journal and artifacts.
+    let cleaned: String = raw.chars().filter(|&c| c != '_').collect();
+    match cleaned.parse::<f64>() {
+        Ok(n) if n.is_finite() => Ok(Value::Num(n)),
+        Ok(_) => Err(ParseError {
+            msg: format!("non-finite number '{raw}' is not allowed"),
+            at,
+        }),
+        Err(_) => Err(ParseError {
+            msg: format!("cannot parse value '{raw}'"),
+            at,
+        }),
+    }
+}
+
+/// Splits on top-level commas (outside strings / nested brackets).
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' | '{' if !in_str => depth += 1,
+            ']' | '}' if !in_str => depth -= 1,
+            ',' if !in_str && depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_tables_and_arrays() {
+        let doc = r#"
+# a campaign
+title = "demo"   # trailing comment
+count = 4
+ratio = 0.5
+big = 1_000
+on = true
+
+[nested]
+xs = [1, 2, 3]
+mixed = ["a", 2, true]
+
+[deep.inner]
+k = "v"
+"#;
+        let v = parse_toml(doc).unwrap();
+        assert_eq!(v.get("title").unwrap().as_str(), Some("demo"));
+        assert_eq!(v.get("count").unwrap().as_num(), Some(4.0));
+        assert_eq!(v.get("ratio").unwrap().as_num(), Some(0.5));
+        assert_eq!(v.get("big").unwrap().as_num(), Some(1000.0));
+        assert_eq!(v.get("on").unwrap().as_bool(), Some(true));
+        let xs = v
+            .get("nested")
+            .unwrap()
+            .get("xs")
+            .unwrap()
+            .as_list()
+            .unwrap();
+        assert_eq!(xs.len(), 3);
+        assert_eq!(
+            v.get("deep")
+                .unwrap()
+                .get("inner")
+                .unwrap()
+                .get("k")
+                .unwrap()
+                .as_str(),
+            Some("v")
+        );
+    }
+
+    #[test]
+    fn parses_array_of_tables() {
+        let doc = r#"
+[[arch]]
+preset = "g-arch"
+
+[[arch]]
+cores = [6, 3]
+noc_bw = [8.0, 32.0]
+"#;
+        let v = parse_toml(doc).unwrap();
+        let arch = v.get("arch").unwrap().as_list().unwrap();
+        assert_eq!(arch.len(), 2);
+        assert_eq!(arch[0].get("preset").unwrap().as_str(), Some("g-arch"));
+        assert_eq!(arch[1].get("cores").unwrap().as_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parses_multiline_arrays_and_inline_tables() {
+        let doc = r#"
+xs = [
+  1,
+  2,   # with comments
+  3,
+]
+t = { a = 1, b = "s" }
+nested = [[1, 2], [3, 4]]
+"#;
+        let v = parse_toml(doc).unwrap();
+        assert_eq!(v.get("xs").unwrap().as_list().unwrap().len(), 3);
+        assert_eq!(v.get("t").unwrap().get("a").unwrap().as_num(), Some(1.0));
+        assert_eq!(v.get("t").unwrap().get("b").unwrap().as_str(), Some("s"));
+        let n = v.get("nested").unwrap().as_list().unwrap();
+        assert_eq!(n[1].as_list().unwrap()[0].as_num(), Some(3.0));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let v = parse_toml("s = \"a#b\"").unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a#b"));
+    }
+
+    #[test]
+    fn rejects_unsupported_syntax() {
+        assert!(parse_toml("a.b = 1").is_err(), "dotted keys");
+        assert!(parse_toml("k = ").is_err(), "empty value");
+        assert!(parse_toml("just a line").is_err(), "no equals");
+        assert!(parse_toml("k = 1\nk = 2").is_err(), "duplicate key");
+        assert!(parse_toml("k = [1, 2").is_err(), "unterminated array");
+        assert!(parse_toml("k = zzz").is_err(), "bad scalar");
+        assert!(
+            parse_toml("t = { a = 1, a = 2 }").is_err(),
+            "duplicate key in inline table"
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite_numbers() {
+        // NaN would compare false through every downstream range check
+        // and serialize as invalid JSON; refuse it at the gate.
+        assert!(parse_toml("k = nan").is_err());
+        assert!(parse_toml("k = inf").is_err());
+        assert!(parse_toml("k = -inf").is_err());
+        assert!(parse_toml("k = 1e999").is_err(), "overflow to infinity");
+        assert!(parse_toml("k = [1.0, nan]").is_err());
+    }
+
+    #[test]
+    fn table_then_aot_conflict_is_an_error() {
+        assert!(parse_toml("[a]\nx = 1\n[[a]]\ny = 2").is_err());
+        assert!(parse_toml("[[a]]\nx = 1\n[a]\ny = 2").is_err());
+    }
+
+    #[test]
+    fn reopening_a_table_header_is_an_error() {
+        assert!(parse_toml("[a]\nx = 1\n[a]\ny = 2").is_err());
+        // Distinct headers (including a super-table after its child)
+        // stay fine; repeated [[aot]] headers are the append mechanism.
+        assert!(parse_toml("[a.b]\nx = 1\n[a.c]\ny = 2").is_ok());
+        assert!(parse_toml("[[a]]\nx = 1\n[[a]]\ny = 2").is_ok());
+    }
+}

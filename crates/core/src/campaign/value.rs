@@ -1,0 +1,514 @@
+//! A minimal self-describing value tree with exact JSON round-tripping.
+//!
+//! The campaign layer needs real (de)serialization — manifests in, a
+//! resumable journal and artifacts out — but the workspace builds
+//! offline against a no-op `serde` stand-in (see
+//! docs/ARCHITECTURE.md, "Offline dependency policy"). This module is
+//! the small, owned alternative: a [`Value`] enum that both the TOML
+//! manifest reader ([`crate::campaign::toml`]) and the JSON
+//! journal/artifact paths share, plus a JSON emitter and parser.
+//!
+//! Floats are emitted with Rust's shortest round-trip `Display`
+//! formatting, which parses back to the identical `f64` bits — the
+//! property the resumable journal relies on: a journaled cell replayed
+//! from disk must reproduce the cold run's artifacts byte for byte.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A dynamically-typed manifest / journal value.
+///
+/// Tables use [`BTreeMap`] so iteration (and therefore every emitted
+/// artifact) is deterministically key-ordered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A UTF-8 string.
+    Str(String),
+    /// A finite double-precision number (integers included).
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An ordered list (heterogeneous allowed).
+    List(Vec<Value>),
+    /// A key-ordered table.
+    Table(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The list payload, if this is a list.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The table payload, if this is a table.
+    pub fn as_table(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Table lookup (`None` for non-tables and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_table().and_then(|t| t.get(key))
+    }
+
+    /// Emits compact JSON (no whitespace), deterministic key order.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Str(s) => write_json_string(s, out),
+            Value::Num(n) => out.push_str(&fmt_f64(*n)),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::List(l) => {
+                out.push('[');
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Table(t) => {
+                out.push('{');
+                for (i, (k, v)) in t.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Num(n as f64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(n: u32) -> Self {
+        Value::Num(n as f64)
+    }
+}
+
+/// Formats an `f64` so that `str::parse::<f64>()` returns the identical
+/// bits: integral values print without an exponent or trailing `.0`
+/// (matching JSON integers), everything else uses the shortest
+/// round-trip `Display` form.
+pub fn fmt_f64(n: f64) -> String {
+    // `-0.0` must not take the integral path: `0` would parse back as
+    // `+0.0` and change the bits.
+    if n == n.trunc() && n.abs() < 1e15 && !(n == 0.0 && n.is_sign_negative()) {
+        // Integral and exactly representable: print as an integer so
+        // counts and indices look like counts and indices.
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset of the failure.
+    pub at: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.msg, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one JSON document (object, array or scalar).
+pub fn parse_json(input: &str) -> Result<Value, ParseError> {
+    let mut p = JsonParser {
+        b: input.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct JsonParser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            msg: msg.to_string(),
+            at: self.i,
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut t = BTreeMap::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Value::Table(t));
+        }
+        loop {
+            self.ws();
+            let k = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let v = self.value()?;
+            t.insert(k, v);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Table(t));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut l = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Value::List(l));
+        }
+        loop {
+            self.ws();
+            l.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::List(l));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| self.err("non-ASCII \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                            self.i += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.i += 1;
+                }
+                Some(b) => {
+                    // Consume one UTF-8 character. The input came from
+                    // a &str, so it is valid UTF-8 and the leading byte
+                    // determines the sequence length — validate just
+                    // that slice, not the whole remaining document
+                    // (which would make string parsing quadratic).
+                    let len = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .b
+                        .get(self.i..self.i + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
+                    s.push_str(chunk);
+                    self.i += len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).expect("ASCII slice");
+        match text.parse::<f64>() {
+            // Overflowing literals (`1e999`) parse to infinity; JSON
+            // has no representation for it, so refuse rather than let
+            // a non-finite value poison downstream arithmetic.
+            Ok(n) if n.is_finite() => Ok(Value::Num(n)),
+            Ok(_) => Err(self.err(&format!("non-finite number '{text}'"))),
+            Err(_) => Err(self.err(&format!("bad number '{text}'"))),
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash of a byte string: the stable (process- and
+/// build-independent) fingerprint the journal header uses to tie a
+/// journal to its manifest.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_tables_lists_scalars() {
+        let mut t = BTreeMap::new();
+        t.insert("name".to_string(), Value::from("camp"));
+        t.insert("n".to_string(), Value::Num(42.0));
+        t.insert(
+            "xs".to_string(),
+            Value::List(vec![Value::Num(1.5), Value::Bool(false), Value::from("s")]),
+        );
+        let v = Value::Table(t);
+        let json = v.to_json();
+        assert_eq!(parse_json(&json).unwrap(), v);
+        // Deterministic key order.
+        assert_eq!(json, r#"{"n":42,"name":"camp","xs":[1.5,false,"s"]}"#);
+    }
+
+    #[test]
+    fn float_formatting_round_trips_bits() {
+        for &x in &[
+            1.0,
+            -0.0,
+            -3.0,
+            1.5e-300,
+            std::f64::consts::PI,
+            6.02e23,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            123456789.0,
+            1e15, // above the integral cutoff: exponent form
+            0.1 + 0.2,
+        ] {
+            let s = fmt_f64(x);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {s} -> {back}");
+            // And through the JSON parser as well.
+            let v = parse_json(&s).unwrap();
+            assert_eq!(v.as_num().unwrap().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        let v = Value::from("a\"b\\c\nd\te\u{1}f");
+        let json = v.to_json();
+        assert_eq!(parse_json(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{\"a\" 1}").is_err());
+        assert!(parse_json("1 2").is_err());
+        assert!(parse_json("nul").is_err());
+        // Non-finite numbers have no JSON form.
+        assert!(parse_json("1e999").is_err());
+        assert!(parse_json("[1, -1e999]").is_err());
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = parse_json(r#"{"a": [1, true, "x"], "b": {"c": 2}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_list().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_num(), Some(2.0));
+        assert!(v.get("missing").is_none());
+        assert_eq!(
+            v.get("a").unwrap().as_list().unwrap()[1].as_bool(),
+            Some(true)
+        );
+        assert_eq!(
+            v.get("a").unwrap().as_list().unwrap()[2].as_str(),
+            Some("x")
+        );
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Golden values: the fingerprint must never drift between
+        // builds, or resumable journals would be orphaned.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"gemini"), fnv1a64(b"gemini"));
+        assert_ne!(fnv1a64(b"gemini"), fnv1a64(b"gemink"));
+    }
+}

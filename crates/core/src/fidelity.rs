@@ -276,6 +276,49 @@ impl DseReport {
     }
 }
 
+/// Replays every group of one mapped DNN through the fluid simulator.
+///
+/// Returns the congestion-corrected end-to-end delay, the per-group
+/// discrepancies and the parsed group mappings (so callers can replay
+/// the packet rung without re-parsing). Shared by the DSE re-rank
+/// stage and the per-cell fluid policy of the campaign driver
+/// ([`crate::campaign::CellFidelity::Fluid`]).
+pub(crate) fn fluid_replay_dnn(
+    ev: &Evaluator,
+    dnn: &Dnn,
+    m: &MappedDnn,
+    cfg: &FluidConfig,
+    ws: &mut FlowSimWorkspace,
+) -> (f64, Vec<GroupDiscrepancy>, Vec<GroupMapping>) {
+    let overhead = ev.options().stage_overhead_s;
+    let gms = m.group_mappings(dnn);
+    let mut extra = Vec::with_capacity(gms.len());
+    let mut groups = Vec::with_capacity(gms.len());
+    for (gi, gm) in gms.iter().enumerate() {
+        let c = check_group_fluid(ev, dnn, gm, cfg.cap_bytes, ws);
+        // The evaluator's stage time already prices the envelope
+        // max(compute, analytic network, DRAM); only the amount by
+        // which the fluid completion exceeds that *whole envelope*
+        // is unpriced congestion. Comparing against the analytic
+        // network price alone would charge compute- or DRAM-bound
+        // groups a phantom delay penalty for contention their
+        // stage time already absorbs.
+        extra.push(c.fluid_s - (m.report.groups[gi].stage_time_s - overhead));
+        groups.push(GroupDiscrepancy {
+            dnn: dnn.name().to_string(),
+            group: gi,
+            bottleneck_s: c.bottleneck_s,
+            analytic_s: c.analytic_s,
+            mean_link_s: c.mean_link_s,
+            fluid_s: c.fluid_s,
+            packet_s: None,
+            packet_truncated: false,
+            n_flows: c.n_flows,
+        });
+    }
+    (m.congestion_corrected_delay(&extra), groups, gms)
+}
+
 /// Replays every group of `mapped` (one entry per DNN) through the
 /// fluid simulator and returns the congestion-corrected geometric-mean
 /// delay, the per-group discrepancies (DNN-major group order) and the
@@ -288,36 +331,13 @@ pub(crate) fn fluid_rescore_delay(
     cfg: &FluidConfig,
 ) -> (f64, Vec<GroupDiscrepancy>, Vec<Vec<GroupMapping>>) {
     let mut ws = FlowSimWorkspace::new();
-    let overhead = ev.options().stage_overhead_s;
     let mut log_d = 0.0;
     let mut groups = Vec::new();
     let mut all_gms = Vec::with_capacity(dnns.len());
     for (dnn, m) in dnns.iter().zip(mapped) {
-        let gms = m.group_mappings(dnn);
-        let mut extra = Vec::with_capacity(gms.len());
-        for (gi, gm) in gms.iter().enumerate() {
-            let c = check_group_fluid(ev, dnn, gm, cfg.cap_bytes, &mut ws);
-            // The evaluator's stage time already prices the envelope
-            // max(compute, analytic network, DRAM); only the amount by
-            // which the fluid completion exceeds that *whole envelope*
-            // is unpriced congestion. Comparing against the analytic
-            // network price alone would charge compute- or DRAM-bound
-            // groups a phantom delay penalty for contention their
-            // stage time already absorbs.
-            extra.push(c.fluid_s - (m.report.groups[gi].stage_time_s - overhead));
-            groups.push(GroupDiscrepancy {
-                dnn: dnn.name().to_string(),
-                group: gi,
-                bottleneck_s: c.bottleneck_s,
-                analytic_s: c.analytic_s,
-                mean_link_s: c.mean_link_s,
-                fluid_s: c.fluid_s,
-                packet_s: None,
-                packet_truncated: false,
-                n_flows: c.n_flows,
-            });
-        }
-        log_d += m.congestion_corrected_delay(&extra).ln();
+        let (corrected, dnn_groups, gms) = fluid_replay_dnn(ev, dnn, m, cfg, &mut ws);
+        log_d += corrected.ln();
+        groups.extend(dnn_groups);
         all_gms.push(gms);
     }
     let n = dnns.len().max(1) as f64;

@@ -19,6 +19,9 @@
 //! * [`fidelity`] — the NoC fidelity ladder as a DSE stage: fluid
 //!   re-rank of the analytic survivors, packet validation of the
 //!   winner, and congestion-surcharge calibration feedback;
+//! * [`campaign`] — manifest-driven experiment campaigns: declarative
+//!   sweeps over workloads × architectures × batches with a resumable
+//!   journal and a multi-objective Pareto archive (docs/CAMPAIGNS.md);
 //! * [`report`] — CSV output helpers for the experiment harnesses.
 //!
 //! # Example: map a DNN onto the paper's G-Arch
@@ -40,6 +43,7 @@
 //! assert!(mapped.report.delay_s > 0.0);
 //! ```
 
+pub mod campaign;
 pub mod dse;
 pub mod encoding;
 pub mod engine;
@@ -55,6 +59,9 @@ pub mod sa;
 pub mod space;
 pub mod stripe;
 
+pub use campaign::{
+    run_campaign, run_campaign_file, CampaignError, CampaignOptions, CampaignResult, CampaignSpec,
+};
 pub use dse::{
     run_dse, run_dse_over, scale_arch, DseOptions, DseRecord, DseResult, DseSpec, Objective,
 };

@@ -21,6 +21,8 @@
 //! assert!((3.5..4.5).contains(&gmacs), "got {gmacs}");
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod graph;
 pub mod layer;
 pub mod region;

@@ -36,6 +36,12 @@ fn inception_v1(
 }
 
 /// GoogLeNet (Inception v1) at 224x224 (~1.5 GMACs).
+///
+/// ```
+/// let d = gemini_model::zoo::googlenet();
+/// assert_eq!(d.name(), "gn");
+/// assert!((1.2..1.9).contains(&(d.total_macs(1) as f64 / 1e9)));
+/// ```
 pub fn googlenet() -> Dnn {
     let mut n = Net::new("gn");
     let x = n.input(FmapShape::new(224, 224, 3));

@@ -27,6 +27,15 @@ use crate::region::FmapShape;
 
 /// The five workloads of the paper's overall comparison (Fig. 5):
 /// ResNet-50, ResNeXt-50, Inception-ResNet-v1, PNASNet and Transformer.
+///
+/// ```
+/// let ws = gemini_model::zoo::paper_workloads();
+/// assert_eq!(ws.len(), 5);
+/// // Every entry round-trips through `by_name` via its own name.
+/// for d in &ws {
+///     assert!(gemini_model::zoo::by_name(d.name()).is_some());
+/// }
+/// ```
 pub fn paper_workloads() -> Vec<Dnn> {
     vec![
         resnet50(),
@@ -39,28 +48,57 @@ pub fn paper_workloads() -> Vec<Dnn> {
 
 /// Looks a model up by the abbreviation used in the paper's figures.
 ///
-/// Recognized names (case-insensitive): `rn-50`, `rnx`, `ires`, `pnas`,
-/// `tf`, `tf-large`, `gn`.
+/// Lookup is case- and separator-insensitive: names are lowercased and
+/// `_`, ` ` and `.` all normalize to `-`, so `bert-base`, `BERT_base`
+/// and `Bert Base` resolve to the same model. Every zoo constructor's
+/// own [`Dnn::name`] round-trips through this function (asserted by a
+/// golden test), so campaign manifests can name any zoo workload.
+///
+/// Recognized abbreviations: `rn-50`, `rnx`, `ires`, `pnas`, `tf`,
+/// `tf-large`, `bert`, `gn`, `dn-121`, `mbv2`, `effnet`, `vgg` — plus
+/// the test networks `two-conv` and `tiny-resnet`.
+///
+/// ```
+/// use gemini_model::zoo;
+///
+/// let a = zoo::by_name("bert-base").expect("canonical");
+/// let b = zoo::by_name("BERT_Base").expect("alias");
+/// assert_eq!(a.name(), b.name());
+/// assert!(zoo::by_name("alexnet").is_none());
+/// ```
 pub fn by_name(name: &str) -> Option<Dnn> {
-    match name.to_ascii_lowercase().as_str() {
-        "rn-50" | "rn50" | "resnet50" => Some(resnet50()),
-        "rnx" | "resnext" | "resnext50" => Some(resnext50()),
-        "ires" | "inception-resnet" => Some(inception_resnet_v1()),
+    let normalized: String = name
+        .trim()
+        .to_ascii_lowercase()
+        .chars()
+        .map(|c| if matches!(c, '_' | ' ' | '.') { '-' } else { c })
+        .collect();
+    match normalized.as_str() {
+        "rn-50" | "rn50" | "resnet50" | "resnet-50" => Some(resnet50()),
+        "rnx" | "resnext" | "resnext50" | "resnext-50" => Some(resnext50()),
+        "ires" | "inception-resnet" | "inception-resnet-v1" => Some(inception_resnet_v1()),
         "pnas" | "pnasnet" => Some(pnasnet()),
-        "tf" | "transformer" => Some(transformer_base()),
+        "tf" | "transformer" | "transformer-base" => Some(transformer_base()),
         "tf-large" | "transformer-large" => Some(transformer_large()),
         "gn" | "googlenet" => Some(googlenet()),
-        "dn-121" | "densenet" | "densenet121" => Some(densenet121()),
-        "mbv2" | "mobilenet" | "mobilenetv2" => Some(mobilenet_v2()),
-        "vgg" | "vgg16" => Some(vgg16()),
-        "effnet" | "efficientnet" | "efficientnet-b0" => Some(efficientnet_b0()),
+        "dn-121" | "densenet" | "densenet121" | "densenet-121" => Some(densenet121()),
+        "mbv2" | "mobilenet" | "mobilenetv2" | "mobilenet-v2" => Some(mobilenet_v2()),
+        "vgg" | "vgg16" | "vgg-16" => Some(vgg16()),
+        "effnet" | "effnet-b0" | "efficientnet" | "efficientnet-b0" => Some(efficientnet_b0()),
         "bert" | "bert-base" => Some(bert_base()),
+        "two-conv" | "twoconv" => Some(two_conv_example()),
+        "tiny-resnet" | "tinyresnet" => Some(tiny_resnet()),
         _ => None,
     }
 }
 
 /// A tiny two-conv network matching the running example of Fig. 3 of the
 /// paper (a layer group with two convolutions).
+///
+/// ```
+/// let d = gemini_model::zoo::two_conv_example();
+/// assert_eq!(d.len(), 3); // input + two convs
+/// ```
 pub fn two_conv_example() -> Dnn {
     let mut n = Net::new("two-conv");
     let x = n.input(FmapShape::new(16, 16, 32));
@@ -71,6 +109,12 @@ pub fn two_conv_example() -> Dnn {
 
 /// A small residual network used by tests and the quickstart example:
 /// structurally a miniature ResNet.
+///
+/// ```
+/// let d = gemini_model::zoo::tiny_resnet();
+/// assert_eq!(d.name(), "tiny-resnet");
+/// assert_eq!(d.layer(d.outputs()[0]).ofmap.c, 10); // 10-way classifier
+/// ```
 pub fn tiny_resnet() -> Dnn {
     let mut n = Net::new("tiny-resnet");
     let x = n.input(FmapShape::new(32, 32, 3));
@@ -427,6 +471,50 @@ mod tests {
             assert!(by_name(n).is_some(), "{n} not found");
         }
         assert!(by_name("alexnet").is_none());
+    }
+
+    #[test]
+    fn by_name_is_case_and_separator_insensitive() {
+        for (a, b) in [
+            ("bert-base", "BERT_Base"),
+            ("tf-large", "TF_LARGE"),
+            ("rn-50", "rn_50"),
+            ("tiny-resnet", "Tiny_ResNet"),
+            ("two-conv", " two.conv "),
+        ] {
+            let ca = by_name(a).unwrap_or_else(|| panic!("{a} not found"));
+            let cb = by_name(b).unwrap_or_else(|| panic!("{b} not found"));
+            assert_eq!(ca.name(), cb.name(), "{a} vs {b}");
+            assert_eq!(ca.len(), cb.len());
+        }
+    }
+
+    #[test]
+    fn golden_paper_workloads_round_trip_by_name() {
+        // Golden layer/MAC counts: every paper workload must resolve
+        // through `by_name` via its own `Dnn::name()` to a bit-stable
+        // graph. A change here means the zoo's networks drifted — the
+        // paper-claims tests and every campaign fingerprint depend on
+        // these staying put.
+        let golden: &[(&str, usize, u64)] = &[
+            ("rn-50", 73, 4_089_184_256),
+            ("rnx", 73, 4_230_479_872),
+            ("ires", 175, 6_206_361_696),
+            ("pnas", 220, 2_530_324_288),
+            ("tf", 79, 2_516_582_400),
+        ];
+        let workloads = paper_workloads();
+        assert_eq!(workloads.len(), golden.len());
+        for (dnn, &(name, layers, macs)) in workloads.iter().zip(golden) {
+            assert_eq!(dnn.name(), name);
+            let back = by_name(dnn.name())
+                .unwrap_or_else(|| panic!("{} does not round-trip by_name", dnn.name()));
+            assert_eq!(back.name(), dnn.name());
+            assert_eq!(back.len(), dnn.len(), "{name} layer count unstable");
+            assert_eq!(back.total_macs(1), dnn.total_macs(1));
+            assert_eq!(dnn.len(), layers, "{name} golden layer count");
+            assert_eq!(dnn.total_macs(1), macs, "{name} golden MAC count");
+        }
     }
 
     #[test]

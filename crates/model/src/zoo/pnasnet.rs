@@ -66,6 +66,14 @@ fn cell(n: &mut Net, name: &str, from: LayerId, f: u32, stride: u32) -> LayerId 
 
 /// PNASNet at 224x224: stem + 3 stages of 3 cells (first of each stage is
 /// a stride-2 reduction cell), ~2 GMACs.
+///
+/// ```
+/// let d = gemini_model::zoo::pnasnet();
+/// assert_eq!(d.name(), "pnas");
+/// // Cells concat five branches: wide fan-in is the point.
+/// let max_preds = d.ids().map(|i| d.preds(i).len()).max().unwrap();
+/// assert!(max_preds >= 4);
+/// ```
 pub fn pnasnet() -> Dnn {
     let mut n = Net::new("pnas");
     let x = n.input(FmapShape::new(224, 224, 3));

@@ -72,12 +72,26 @@ fn resnet_like(name: &str, mid_base: u32, groups: u32) -> Dnn {
 }
 
 /// ResNet-50 at 224x224 (~4.1 GMACs, ~25M params).
+///
+/// ```
+/// let d = gemini_model::zoo::resnet50();
+/// assert_eq!(d.name(), "rn-50");
+/// assert_eq!(d.len(), 73);
+/// assert!((d.total_macs(1) as f64 / 1e9 - 4.1).abs() < 0.2);
+/// ```
 pub fn resnet50() -> Dnn {
     resnet_like("rn-50", 64, 1)
 }
 
 /// ResNeXt-50 32x4d at 224x224: doubled bottleneck width with 32 groups
 /// (~4.2 GMACs).
+///
+/// ```
+/// let d = gemini_model::zoo::resnext50();
+/// assert_eq!(d.name(), "rnx");
+/// // Same macro-structure as ResNet-50, different bottlenecks.
+/// assert_eq!(d.len(), gemini_model::zoo::resnet50().len());
+/// ```
 pub fn resnext50() -> Dnn {
     resnet_like("rnx", 128, 32)
 }

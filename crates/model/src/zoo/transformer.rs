@@ -59,6 +59,17 @@ pub fn transformer_with(name: &str, seq: u32, d_model: u32, d_ff: u32, n_layers:
 
 /// Transformer base: 6 layers, d_model 512, d_ff 2048, 128-token
 /// sequences (the paper's default DSE workload, "TF").
+///
+/// ```
+/// let d = gemini_model::zoo::transformer_base();
+/// assert_eq!(d.name(), "tf");
+/// // 6 encoder layers x (Q.K^T + A.V) activation matmuls.
+/// use gemini_model::LayerKind;
+/// let n_mm = d.layers().iter()
+///     .filter(|l| matches!(l.kind, LayerKind::Matmul { .. }))
+///     .count();
+/// assert_eq!(n_mm, 12);
+/// ```
 pub fn transformer_base() -> Dnn {
     transformer_with("tf", 128, 512, 2048, 6)
 }

@@ -1,113 +1,104 @@
 //! A scaled-down version of the paper's 72-TOPs DSE (Table I +
-//! Sec. VI-B1): exhaustively score architecture candidates under
-//! `MC * E * D` with the Transformer workload and print the winner — the
-//! paper's run converges to `(2, 36, 144GB/s, 32GB/s, 16GB/s, 2MB, 1024)`.
+//! Sec. VI-B1), now driven by a campaign manifest
+//! (`manifests/dse_72tops.toml`): exhaustively score architecture
+//! candidates under `MC * E * D` with the Transformer workload and
+//! print the winner — the paper's run converges to
+//! `(2, 36, 144GB/s, 32GB/s, 16GB/s, 2MB, 1024)`.
 //!
-//! The DSE runs congestion-aware: the top-8 analytic survivors are
-//! re-scored with the fluid NoC simulator and the winner is validated
-//! with the flit-granular packet simulator
-//! ([`FidelityPolicy::ValidateWinner`]). An analytic-only pass runs
-//! first so the fidelity stages' wall-clock overhead is visible — the
-//! re-rank + validation must stay a small fraction of the sweep.
+//! The campaign runs congestion-aware (`fidelity = "fluid"`): every
+//! cell's delay is re-scored with the max-min fluid NoC simulator, so
+//! the ranking below uses the congestion-corrected delay. Completed
+//! cells land in a resumable journal under `bench_results/campaigns/`
+//! and the example always runs with resume on — interrupt the sweep
+//! and **re-run the example** (or, for this default manifest,
+//! `gemini campaign manifests/dse_72tops.toml --resume`) to pick up
+//! where it stopped, with byte-identical artifacts.
 //!
-//! The full grid takes server-scale time; this example subsamples it
-//! (set `GEMINI_DSE_MODE=full` for the whole grid).
+//! The full grid takes server-scale time; the manifest subsamples it.
+//! `GEMINI_DSE_MODE=full` switches to the whole grid at paper-scale SA
+//! budgets under the separate campaign name `dse-72tops-full` (a
+//! different spec has a different fingerprint, so it must not share
+//! the subsampled run's journal — re-run with the same mode to resume
+//! it).
 //!
 //! Run with `cargo run --release --example dse_72tops`.
 
 use gemini::prelude::*;
 
 fn main() {
-    let spec = DseSpec::table1(72.0);
+    let mut spec = CampaignSpec::load(std::path::Path::new("manifests/dse_72tops.toml"))
+        .expect("manifest parses");
     let full = std::env::var("GEMINI_DSE_MODE")
         .map(|m| m == "full")
         .unwrap_or(false);
-    let stride = if full { 1 } else { 37 };
+    if full {
+        let grid = spec.grid.as_mut().expect("manifest declares a grid");
+        grid.stride = 1;
+        spec.sa_iters = 2000;
+        // A distinct campaign name: the full-grid spec fingerprints
+        // differently, so it gets its own journal instead of refusing
+        // (or clobbering) the subsampled run's.
+        spec.name = "dse-72tops-full".into();
+    }
 
-    let dnns = vec![gemini::model::zoo::transformer_base()];
-    let opts = DseOptions {
-        objective: Objective::mc_e_d(),
-        batch: 64,
-        mapping: MappingOptions {
-            sa: SaOptions {
-                iters: if full { 2000 } else { 400 },
-                ..Default::default()
-            },
-            ..Default::default()
-        },
-        stride,
+    let archs = spec.arch_candidates();
+    println!(
+        "72-TOPs DSE campaign '{}' [{}]: {} candidates (stride {}), SA {} per mapping\n",
+        spec.name,
+        spec.fingerprint(),
+        archs.len(),
+        spec.grid.as_ref().map_or(1, |g| g.stride),
+        spec.sa_iters
+    );
+
+    let t0 = std::time::Instant::now();
+    let opts = CampaignOptions {
+        resume: true, // a prior interrupted run's journal is picked up
         ..Default::default()
     };
-
-    let total = spec.candidates().len();
+    let res = run_campaign(&spec, &opts).expect("campaign runs");
     println!(
-        "72-TOPs DSE: {} candidates in the grid, exploring {} (stride {stride}), {} threads\n",
-        total,
-        total.div_ceil(stride),
-        opts.threads
+        "{} cell(s) evaluated, {} resumed from the journal, in {:.1?}",
+        res.evaluated,
+        res.skipped,
+        t0.elapsed()
     );
 
-    // Analytic-only pass: the congestion-blind baseline, timed.
-    let t0 = std::time::Instant::now();
-    let res = run_dse(&dnns, &spec, &opts);
-    let analytic_elapsed = t0.elapsed();
-    println!(
-        "analytic sweep: {} candidates in {:.1?}",
-        res.records.len(),
-        analytic_elapsed
-    );
-
-    // Congestion-aware pass: fluid re-rank of the top 8, packet
-    // validation of the winner. The deterministic SA engine makes the
-    // analytic records bit-identical to the first pass, so the extra
-    // wall-clock is exactly the fidelity stages (plus the top-K remaps).
-    let opts_fid = DseOptions {
-        fidelity: FidelityPolicy::validate(8),
-        ..opts
-    };
-    let t1 = std::time::Instant::now();
-    let res_fid = run_dse(&dnns, &spec, &opts_fid);
-    let fid_elapsed = t1.elapsed();
-    let overhead = fid_elapsed.as_secs_f64() / analytic_elapsed.as_secs_f64() - 1.0;
-    println!(
-        "with fidelity ladder (rerank 8 + winner validation): {:.1?} (+{:.1}% over analytic)",
-        fid_elapsed,
-        overhead.max(0.0) * 100.0
-    );
-
-    let mut ranked: Vec<_> = res_fid.records.iter().collect();
-    ranked.sort_by(|a, b| a.score.total_cmp(&b.score));
-    println!("\ntop 5 under MC*E*D (analytic scores; * = fluid-rescored):");
-    for r in ranked.iter().take(5) {
+    // Top 5 under MC*E*D on the congestion-corrected delay.
+    let mut ranked: Vec<&gemini::core::campaign::CellResult> = res.cells.iter().collect();
+    let obj = &spec.objectives[0];
+    ranked.sort_by(|a, b| a.score(&obj.objective).total_cmp(&b.score(&obj.objective)));
+    println!("\ntop 5 under MC*E*D (congestion-corrected delay):");
+    for c in ranked.iter().take(5) {
         println!(
-            "  {}{} MC ${:6.2}  E {:8.3} mJ  D {:7.3} ms  score {:.3e}",
-            r.arch.paper_tuple(),
-            if r.fluid.is_some() { "*" } else { " " },
-            r.mc,
-            r.energy * 1e3,
-            r.delay * 1e3,
-            r.score
+            "  {}  MC ${:6.2}  E {:8.3} mJ  D {:7.3} ms  fluid worst {:.2}x  score {:.3e}",
+            archs[c.arch_idx].paper_tuple(),
+            c.mc,
+            c.energy * 1e3,
+            c.eff_delay() * 1e3,
+            c.worst_fluid.unwrap_or(1.0),
+            c.score(&obj.objective)
         );
     }
 
-    let rep = &res_fid.report;
+    let front = res.archive.front(0);
     println!(
-        "\nfidelity: worst fluid/analytic on winner {:.2}x over {} groups{}",
-        rep.max_fluid_vs_analytic(),
-        rep.winner_groups.len(),
-        if rep.winner_changed() {
-            " — re-rank overturned the analytic winner"
-        } else {
-            ""
-        }
+        "\nPareto front ({}): {} of {} candidates are non-dominated",
+        res.archive
+            .axes()
+            .iter()
+            .map(|a| a.name())
+            .collect::<Vec<_>>()
+            .join("/"),
+        front.len(),
+        res.cells.len()
     );
-    if let Some(w) = rep.suggested_congestion_weight {
-        println!(
-            "calibrated congestion weight: {w:.2} (default {:.2})",
-            gemini::sim::evaluate::CONGESTION_WEIGHT
-        );
-    }
 
-    println!("\nbest arch: {}", res_fid.best_record().arch.paper_tuple());
+    let best = &res.cells[res.best[0].cell];
+    println!("\nbest arch: {}", archs[best.arch_idx].paper_tuple());
     println!("paper's    (2, 36, 144GB/s, 32GB/s, 16GB/s, 2048KB, 1024)");
+    println!("\nartifacts under {}:", res.dir.display());
+    for p in &res.artifacts {
+        println!("  {}", p.display());
+    }
 }

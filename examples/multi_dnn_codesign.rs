@@ -2,115 +2,102 @@
 //! candidate by the *geometric mean* of energy and delay over all input
 //! DNNs, because a deployed accelerator rarely serves one network. This
 //! example contrasts per-workload optima with the jointly-optimal
-//! architecture for a CNN + Transformer pair.
+//! architecture for a CNN + Transformer pair — driven by the campaign
+//! manifest `manifests/multi_dnn_codesign.toml`, whose
+//! `mode = "both"` evaluates every workload alone *and* jointly (the
+//! joint cells reuse the solo cells' mapping runs through the
+//! campaign's cross-cell memo, so the three-way comparison costs one
+//! sweep, not three).
 //!
 //! Run with `cargo run --release --example multi_dnn_codesign`.
 
-use gemini::core::dse::{run_dse_over, DseOptions, DseRecord, Objective};
+use gemini::core::campaign::CellResult;
 use gemini::prelude::*;
-use gemini_core::sa::SaOptions;
-
-/// A small hand-picked 72-TOPs-class candidate slate spanning the axes
-/// that differentiate CNNs from Transformers: buffer capacity, NoC
-/// bandwidth and core granularity.
-fn candidates() -> Vec<ArchConfig> {
-    let mut out = Vec::new();
-    for (x, y, macs) in [(6u32, 6u32, 1024u32), (6, 3, 2048)] {
-        for glb_kb in [256u64, 1024, 8192] {
-            for noc in [8.0, 32.0, 128.0] {
-                let a = ArchConfig::builder()
-                    .cores(x, y)
-                    .cuts(2, 1)
-                    .noc_bw(noc)
-                    .d2d_bw(noc / 2.0)
-                    .dram_bw(144.0)
-                    .glb_kb(glb_kb)
-                    .macs_per_core(macs)
-                    .build()
-                    .expect("valid candidate");
-                out.push(a);
-            }
-        }
-    }
-    out
-}
-
-fn describe(label: &str, rec: &DseRecord) {
-    println!(
-        "{:<22} {}  MC ${:.2}  E {:.3e} J  D {:.3e} s",
-        label,
-        rec.arch.paper_tuple(),
-        rec.mc,
-        rec.energy,
-        rec.delay
-    );
-}
 
 fn main() {
-    let cnn = gemini::model::zoo::tiny_resnet();
-    let tf = gemini::model::zoo::transformer_base();
-    let slate = candidates();
+    let spec = CampaignSpec::load(std::path::Path::new("manifests/multi_dnn_codesign.toml"))
+        .expect("manifest parses");
+    let archs = spec.arch_candidates();
+    let sets = spec.workload_sets();
     println!(
-        "co-designing for {} + {} over {} candidates\n",
-        cnn.name(),
-        tf.name(),
-        slate.len()
+        "co-designing for {} over {} candidates ({} cells)\n",
+        spec.workloads.join(" + "),
+        archs.len(),
+        sets.len() * archs.len()
     );
 
-    let opts = DseOptions {
-        // E*D: the workloads' architectural appetites (buffer capacity
-        // vs network bandwidth) diverge most without the MC tie-breaker.
-        objective: Objective::e_d(),
-        batch: 8,
-        mapping: MappingOptions {
-            sa: SaOptions {
-                iters: 200,
-                seed: 9,
-                ..Default::default()
-            },
+    let res = run_campaign(
+        &spec,
+        &CampaignOptions {
+            resume: true, // re-running skips already-journaled cells
             ..Default::default()
         },
-        ..Default::default()
+    )
+    .expect("campaign runs");
+
+    // One winner per workload set under the manifest's E*D objective.
+    let describe = |label: &str, c: &CellResult| {
+        println!(
+            "{:<22} {}  MC ${:.2}  E {:.3e} J  D {:.3e} s",
+            label,
+            archs[c.arch_idx].paper_tuple(),
+            c.mc,
+            c.energy,
+            c.delay
+        );
     };
-
-    let for_cnn = run_dse_over(&slate, std::slice::from_ref(&cnn), &opts);
-    let for_tf = run_dse_over(&slate, std::slice::from_ref(&tf), &opts);
-    let joint = run_dse_over(&slate, &[cnn.clone(), tf.clone()], &opts);
-
-    describe("best for CNN only", for_cnn.best_record());
-    describe("best for Transformer", for_tf.best_record());
-    describe("joint optimum", joint.best_record());
+    for b in &res.best {
+        let g = &res.groups[b.group];
+        let label = if g.wset == "joint" {
+            "joint optimum".to_string()
+        } else {
+            format!("best for {} only", g.wset)
+        };
+        describe(&label, &res.cells[b.cell]);
+    }
 
     // How much does specializing cost the other workload? Score every
-    // winner on the joint records (same candidate list, so the joint
-    // run already evaluated each winner on both DNNs).
-    let find = |arch: &ArchConfig| {
-        joint
-            .records
+    // per-workload winner on the joint cells (same candidate slate, so
+    // the joint group already evaluated each winner on both DNNs).
+    let joint_group = res
+        .groups
+        .iter()
+        .position(|g| g.wset == "joint")
+        .expect("mode = both has a joint set");
+    let joint_cell_for = |arch_idx: usize| {
+        res.cells
             .iter()
-            .find(|r| &r.arch == arch)
+            .find(|c| c.group(spec.batches.len()) == joint_group && c.arch_idx == arch_idx)
             .expect("same candidate slate")
     };
-    let jc = find(&for_cnn.best_record().arch);
-    let jt = find(&for_tf.best_record().arch);
-    let jj = joint.best_record();
+    let obj = &spec.objectives[0];
+    let joint_best = res
+        .best
+        .iter()
+        .find(|b| b.group == joint_group)
+        .expect("joint winner");
+    let jj = joint_cell_for(res.cells[joint_best.cell].arch_idx);
     println!("\njoint-objective score (E*D, geomean over both DNNs):");
-    for (label, r) in [
-        ("CNN-specialized", jc),
-        ("TF-specialized", jt),
-        ("joint optimum", jj),
-    ] {
+    for b in &res.best {
+        let g = &res.groups[b.group];
+        let label = if g.wset == "joint" {
+            "joint optimum".to_string()
+        } else {
+            format!("{}-specialized", g.wset)
+        };
+        let j = joint_cell_for(res.cells[b.cell].arch_idx);
         println!(
-            "  {:<18} {:.4e}  ({:+.1}% vs joint)",
+            "  {:<22} {:.4e}  ({:+.1}% vs joint)",
             label,
-            r.score,
-            (r.score / jj.score - 1.0) * 100.0
+            j.score(&obj.objective),
+            (j.score(&obj.objective) / jj.score(&obj.objective) - 1.0) * 100.0
         );
     }
     println!(
         "\nThe per-DNN winners disagree on core granularity and buffer size;\n\
-         the geometric-mean objective weighs both workloads (here siding with\n\
-         the costlier Transformer while staying within a few percent for the\n\
-         CNN) — the reason Gemini's DSE accepts n DNNs (Sec. V-A)."
+         the geometric-mean objective weighs both workloads — the reason\n\
+         Gemini's DSE accepts n DNNs (Sec. V-A). Full per-cell data:\n\
+         {}",
+        res.dir.join("cells.csv").display()
     );
 }

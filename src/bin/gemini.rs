@@ -16,6 +16,13 @@
 //!   simulator and prints the calibrated congestion-surcharge weight;
 //! * `gemini hetero <model> [--batch N] [--iters N]` — exhaustive
 //!   per-chiplet class-assignment DSE on a 4-chiplet fabric (Sec. V-D);
+//! * `gemini campaign <manifest> [--resume] [--threads N]` — run a
+//!   manifest-driven experiment campaign (TOML/JSON, see
+//!   docs/CAMPAIGNS.md): the cell cross-product fans out over the
+//!   worker pool, completed cells land in a resumable journal, and the
+//!   multi-objective Pareto archive is written as CSV + JSON artifacts.
+//!   `--resume` skips journaled cells bit-identically; artifacts are
+//!   byte-identical at any `--threads` count;
 //! * `gemini models` / `gemini archs` — list available workloads and
 //!   architecture presets.
 //!
@@ -59,7 +66,8 @@ fn usage() -> ExitCode {
          gemini dse [--tops T] [--stride N] [--batch N] [--iters N] [--threads N] \
 [--fidelity analytic|rerank|validate] [--rerank-k K]\n  \
          gemini hetero <model> [--batch N] [--iters N]\n  \
-         gemini heatmap <model> [--batch N] [--iters N]"
+         gemini heatmap <model> [--batch N] [--iters N]\n  \
+         gemini campaign <manifest.toml|.json> [--resume] [--threads N] [--out DIR]"
     );
     ExitCode::FAILURE
 }
@@ -378,6 +386,91 @@ fn main() -> ExitCode {
                  E {:.3e} J  D {:.3e} s",
                 best.tops, best.mc, best.energy, best.delay
             );
+            ExitCode::SUCCESS
+        }
+        Some("campaign") => {
+            let Some(manifest) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                eprintln!("usage: gemini campaign <manifest.toml|.json> [--resume] [--threads N] [--out DIR]");
+                return ExitCode::FAILURE;
+            };
+            let spec = match CampaignSpec::load(std::path::Path::new(manifest)) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let opts = CampaignOptions {
+                threads: flag(&args, "--threads")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0),
+                resume: args.iter().any(|a| a == "--resume"),
+                out_root: flag(&args, "--out").map(std::path::PathBuf::from),
+            };
+            let sets = spec.workload_sets();
+            let archs = spec.arch_candidates();
+            println!(
+                "campaign '{}' [{}]: {} workload set(s) x {} batch(es) x {} arch(s) = {} cells{}",
+                spec.name,
+                spec.fingerprint(),
+                sets.len(),
+                spec.batches.len(),
+                archs.len(),
+                sets.len() * spec.batches.len() * archs.len(),
+                if opts.resume { " (resuming)" } else { "" }
+            );
+            let res = match run_campaign(&spec, &opts) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "{} cell(s) evaluated, {} resumed from the journal",
+                res.evaluated, res.skipped
+            );
+            for (gi, g) in res.groups.iter().enumerate() {
+                let front = res.archive.front(gi);
+                println!(
+                    "\n[{}] batch {}: Pareto front ({}) has {} member(s)",
+                    g.wset,
+                    g.batch,
+                    res.archive
+                        .axes()
+                        .iter()
+                        .map(|a| a.name())
+                        .collect::<Vec<_>>()
+                        .join("/"),
+                    front.len()
+                );
+                for p in front {
+                    let c = &res.cells[p.cell];
+                    println!(
+                        "  cell {:>4}  {}  D {:.3e} s  E {:.3e} J  MC ${:.2}",
+                        p.cell,
+                        archs[c.arch_idx].paper_tuple(),
+                        c.eff_delay(),
+                        c.energy,
+                        c.mc
+                    );
+                }
+                for b in res.best.iter().filter(|b| b.group == gi) {
+                    let c = &res.cells[b.cell];
+                    println!(
+                        "  best under {:<8} cell {:>4}  {}  score {:.4e}",
+                        b.objective,
+                        b.cell,
+                        archs[c.arch_idx].paper_tuple(),
+                        b.score
+                    );
+                }
+            }
+            println!("\nartifacts:");
+            println!("  {}", res.dir.join("journal.jsonl").display());
+            for p in &res.artifacts {
+                println!("  {}", p.display());
+            }
             ExitCode::SUCCESS
         }
         Some("dse") => {

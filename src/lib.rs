@@ -80,6 +80,9 @@ pub use gemini_tangram as tangram;
 /// ```
 pub mod prelude {
     pub use gemini_arch::{ArchConfig, CoreClass, HeteroSpec, Topology};
+    pub use gemini_core::campaign::{
+        run_campaign, run_campaign_file, CampaignOptions, CampaignResult, CampaignSpec,
+    };
     pub use gemini_core::dse::{run_dse, DseOptions, DseSpec, Objective};
     pub use gemini_core::engine::{MappedDnn, MappingEngine, MappingOptions};
     pub use gemini_core::fidelity::{DseReport, FidelityPolicy, FluidConfig};

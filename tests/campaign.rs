@@ -1,0 +1,198 @@
+//! End-to-end campaign contract tests: the manifest-driven driver must
+//! produce byte-identical artifacts at any thread count, and a resumed
+//! run from a truncated journal must reproduce a cold run exactly.
+//!
+//! These mirror the CI job over `manifests/ci_tiny.toml` in-process
+//! (CI additionally exercises the `gemini campaign` CLI surface).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use gemini::prelude::*;
+
+/// The repo's tiny CI manifest: 2 workloads x 2 presets = 4 cells,
+/// fluid fidelity, two objectives.
+fn ci_tiny() -> CampaignSpec {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("manifests/ci_tiny.toml");
+    CampaignSpec::load(&path).expect("ci_tiny.toml parses")
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gemini-camp-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn run(spec: &CampaignSpec, root: &Path, threads: usize, resume: bool) -> CampaignResult {
+    run_campaign(
+        spec,
+        &CampaignOptions {
+            threads,
+            resume,
+            out_root: Some(root.to_path_buf()),
+        },
+    )
+    .expect("campaign runs")
+}
+
+/// Reads the three artifacts as bytes, in a fixed order.
+fn artifact_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    ["cells.csv", "pareto.csv", "pareto.json"]
+        .iter()
+        .map(|n| {
+            (
+                n.to_string(),
+                fs::read(dir.join(n)).unwrap_or_else(|e| panic!("{n}: {e}")),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn artifacts_byte_identical_at_1_and_4_threads() {
+    let spec = ci_tiny();
+    let r1 = temp_root("t1");
+    let r4 = temp_root("t4");
+    let a = run(&spec, &r1, 1, false);
+    let b = run(&spec, &r4, 4, false);
+    assert_eq!(a.cells.len(), 4);
+    assert_eq!(b.cells.len(), 4);
+    assert_eq!(a.fingerprint, b.fingerprint);
+    for ((name, x), (_, y)) in artifact_bytes(&a.dir).iter().zip(artifact_bytes(&b.dir)) {
+        assert_eq!(x, &y, "{name} differs between 1 and 4 threads");
+    }
+    // The in-memory metrics are bit-identical too.
+    for (ca, cb) in a.cells.iter().zip(&b.cells) {
+        assert_eq!(ca.energy.to_bits(), cb.energy.to_bits());
+        assert_eq!(ca.eff_delay().to_bits(), cb.eff_delay().to_bits());
+    }
+    let _ = fs::remove_dir_all(&r1);
+    let _ = fs::remove_dir_all(&r4);
+}
+
+#[test]
+fn resume_from_truncated_journal_reproduces_cold_artifacts() {
+    let spec = ci_tiny();
+    let cold_root = temp_root("cold");
+    let warm_root = temp_root("warm");
+    let cold = run(&spec, &cold_root, 2, false);
+    let cold_bytes = artifact_bytes(&cold.dir);
+
+    // Cold run in the resume directory, then keep only the header and
+    // the first half of the journaled cells (simulating an interrupt).
+    let warm = run(&spec, &warm_root, 1, false);
+    let journal = warm.dir.join("journal.jsonl");
+    let text = fs::read_to_string(&journal).unwrap();
+    let keep: Vec<&str> = text.lines().take(1 + 2).collect();
+    fs::write(&journal, keep.join("\n") + "\n").unwrap();
+
+    // Resume at a different thread count.
+    let resumed = run(&spec, &warm_root, 4, true);
+    assert_eq!(resumed.skipped, 2, "half the journal was kept");
+    assert_eq!(resumed.evaluated, 2, "the other half re-evaluates");
+    for ((name, x), (_, y)) in cold_bytes.iter().zip(artifact_bytes(&resumed.dir)) {
+        assert_eq!(x, &y, "{name} differs between cold and resumed runs");
+    }
+
+    // A second resume with a complete journal evaluates nothing.
+    let noop = run(&spec, &warm_root, 1, true);
+    assert_eq!(noop.skipped, 4);
+    assert_eq!(noop.evaluated, 0);
+    for ((name, x), (_, y)) in cold_bytes.iter().zip(artifact_bytes(&noop.dir)) {
+        assert_eq!(x, &y, "{name} differs after a no-op resume");
+    }
+    let _ = fs::remove_dir_all(&cold_root);
+    let _ = fs::remove_dir_all(&warm_root);
+}
+
+#[test]
+fn resume_refuses_a_foreign_journal() {
+    let spec = ci_tiny();
+    let root = temp_root("foreign");
+    let res = run(&spec, &root, 1, false);
+
+    // Change the spec (different seed => different fingerprint): the
+    // journal must be refused, not silently reused.
+    let mut other = spec.clone();
+    other.seed += 1;
+    let err = run_campaign(
+        &other,
+        &CampaignOptions {
+            threads: 1,
+            resume: true,
+            out_root: Some(root.to_path_buf()),
+        },
+    );
+    match err {
+        Err(gemini::core::campaign::CampaignError::Journal(msg)) => {
+            assert!(msg.contains("fingerprint"), "unexpected message: {msg}");
+        }
+        other => panic!("expected a journal error, got {other:?}"),
+    }
+    // The original journal was not clobbered by the refused run.
+    let again = run(&spec, &root, 1, true);
+    assert_eq!(again.skipped, res.cells.len());
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn pareto_front_members_are_non_dominated_in_cells_csv() {
+    // Cross-check the archive against the flat CSV: within a group, no
+    // front member may be dominated by any other cell on the archive
+    // axes, and every non-front cell must be dominated by someone.
+    let spec = ci_tiny();
+    let root = temp_root("front");
+    let res = run(&spec, &root, 2, false);
+    let axes = res.archive.axes().to_vec();
+    let coords = |c: &gemini::core::campaign::CellResult| {
+        axes.iter().map(|&a| c.axis_value(a)).collect::<Vec<_>>()
+    };
+    let n_batches = spec.batches.len();
+    for (gi, _) in res.groups.iter().enumerate() {
+        let members: Vec<usize> = res.archive.front(gi).iter().map(|p| p.cell).collect();
+        let group_cells: Vec<&gemini::core::campaign::CellResult> = res
+            .cells
+            .iter()
+            .filter(|c| c.group(n_batches) == gi)
+            .collect();
+        for c in &group_cells {
+            let dominated = group_cells.iter().any(|o| {
+                o.cell != c.cell
+                    && gemini::core::campaign::pareto::dominates(&coords(o), &coords(c))
+            });
+            assert_eq!(
+                !dominated,
+                members.contains(&c.cell),
+                "cell {} front membership inconsistent",
+                c.cell
+            );
+        }
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn ported_manifests_parse_and_enumerate() {
+    // The shipped manifests must stay loadable, and the ported
+    // examples' cell counts must stay what their docs claim.
+    let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("manifests");
+    let dse = CampaignSpec::load(&base.join("dse_72tops.toml")).expect("dse_72tops parses");
+    assert_eq!(dse.workloads, vec!["tf"]);
+    assert!(dse.grid.is_some());
+    assert!(!dse.arch_candidates().is_empty());
+
+    let multi = CampaignSpec::load(&base.join("multi_dnn_codesign.toml"))
+        .expect("multi_dnn_codesign parses");
+    assert_eq!(multi.workload_sets().len(), 3, "each + joint");
+    assert_eq!(
+        multi.arch_candidates().len(),
+        18,
+        "2 shapes x 3 GLB x 3 NoC"
+    );
+
+    let tiny = ci_tiny();
+    assert_eq!(
+        tiny.workload_sets().len() * tiny.batches.len() * tiny.arch_candidates().len(),
+        4
+    );
+}

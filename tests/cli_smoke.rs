@@ -76,6 +76,50 @@ fn dse_rejects_unknown_fidelity_policy() {
 }
 
 #[test]
+fn campaign_usage_and_error_paths() {
+    let (ok, _, err) = gemini(&[]);
+    assert!(!ok);
+    assert!(err.contains("gemini campaign"));
+    // Missing manifest operand.
+    let (ok, _, err) = gemini(&["campaign"]);
+    assert!(!ok);
+    assert!(err.contains("campaign <manifest"));
+    // Flag in the manifest position is not swallowed as a path.
+    let (ok, _, err) = gemini(&["campaign", "--resume"]);
+    assert!(!ok);
+    assert!(err.contains("campaign <manifest"));
+    // Unreadable manifest fails cleanly.
+    let (ok, _, err) = gemini(&["campaign", "/does/not/exist.toml"]);
+    assert!(!ok);
+    assert!(err.contains("manifest error"));
+}
+
+#[test]
+fn campaign_runs_the_tiny_manifest() {
+    let out_dir = std::env::temp_dir().join(format!("gemini-cli-camp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out_dir);
+    let manifest = concat!(env!("CARGO_MANIFEST_DIR"), "/manifests/ci_tiny.toml");
+    let (ok, out, err) = gemini(&[
+        "campaign",
+        manifest,
+        "--threads",
+        "2",
+        "--out",
+        out_dir.to_str().expect("utf-8 temp dir"),
+    ]);
+    assert!(ok, "campaign failed:\n{err}");
+    assert!(out.contains("4 cell(s) evaluated"), "{out}");
+    assert!(out.contains("Pareto front"), "{out}");
+    for artifact in ["journal.jsonl", "cells.csv", "pareto.csv", "pareto.json"] {
+        assert!(
+            out_dir.join("ci-tiny").join(artifact).exists(),
+            "{artifact} missing"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
 fn unknown_model_and_preset_are_rejected() {
     let (ok, _, err) = gemini(&["cost", "not-an-arch"]);
     assert!(!ok);
