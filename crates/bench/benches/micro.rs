@@ -11,7 +11,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use gemini_arch::presets;
-use gemini_bench::{results_dir, sa_iters, sig6, write_csv};
+use gemini_bench::{results_dir, sa_iters, section_enabled, sig6, workspace_root, write_csv};
 use gemini_core::encoding::GroupSpec;
 use gemini_core::engine::{MappingEngine, MappingOptions};
 use gemini_core::partition::{partition_graph, PartitionOptions};
@@ -138,6 +138,9 @@ fn sa_cmp_opts(iters: u32, threads: usize, cache: bool) -> MappingOptions {
 /// numbers land in `bench_results/sa_parallel.csv`; the final costs of
 /// every configuration are asserted bit-identical before writing.
 fn bench_sa_parallel(c: &mut Criterion) {
+    if !section_enabled("sa_parallel") {
+        return;
+    }
     let arch = presets::g_arch_72();
     let dnn = zoo::resnet50();
     let ev = Evaluator::new(&arch);
@@ -154,7 +157,15 @@ fn bench_sa_parallel(c: &mut Criterion) {
     // the SA engine, not first-touch tile-search costs.
     let _ = run(1, true);
 
-    let (t_seed, m_seed) = run(1, false); // seed-engine shape: sequential, no memo
+    // Seed-engine shape: sequential, no memo cache, full (non-delta)
+    // re-evaluation of every neighbor.
+    let (t_seed, m_seed) = {
+        let mut o = sa_cmp_opts(iters, 1, false);
+        o.sa.delta = false;
+        let t = std::time::Instant::now();
+        let m = engine.map(&dnn, batch, &o);
+        (t.elapsed().as_secs_f64(), m)
+    };
     let (t_seq, m_seq) = run(1, true); // sequential, warm cache
     let (t_par, m_par) = run(4, true); // 4 chain workers, warm cache
     assert_eq!(
@@ -185,16 +196,39 @@ fn bench_sa_parallel(c: &mut Criterion) {
     let host = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let delta_hits =
+        |m: &gemini_core::engine::MappedDnn| m.sa_stats.expect("G-Map has SA stats").delta_hits;
     let rows = [
-        ("seed_seq_nocache", 1usize, false, t_seed, hit_rate(&m_seed)),
-        ("seq_warm_cache", 1, true, t_seq, hit_rate(&m_seq)),
-        ("par4_warm_cache", 4, true, t_par, hit_rate(&m_par)),
+        (
+            "seed_seq_nocache",
+            1usize,
+            false,
+            t_seed,
+            hit_rate(&m_seed),
+            delta_hits(&m_seed),
+        ),
+        (
+            "seq_warm_cache",
+            1,
+            true,
+            t_seq,
+            hit_rate(&m_seq),
+            delta_hits(&m_seq),
+        ),
+        (
+            "par4_warm_cache",
+            4,
+            true,
+            t_par,
+            hit_rate(&m_par),
+            delta_hits(&m_par),
+        ),
     ];
     let csv: Vec<String> = rows
         .iter()
-        .map(|(name, threads, cache, wall, hits)| {
+        .map(|(name, threads, cache, wall, hits, dhits)| {
             format!(
-                "{name},{threads},{host},{cache},{groups},{iters},{:.4},{:.1},{:.2},{}",
+                "{name},{threads},{host},{cache},{groups},{iters},{:.4},{:.1},{:.2},{},{dhits}",
                 wall,
                 hits,
                 t_seed / wall,
@@ -204,7 +238,7 @@ fn bench_sa_parallel(c: &mut Criterion) {
         .collect();
     write_csv(
         results_dir().join("sa_parallel.csv"),
-        "config,sa_threads,host_threads,cache,groups,iters,wall_s,cache_hit_pct,speedup_vs_seed,final_cost",
+        "config,sa_threads,host_threads,cache,groups,iters,wall_s,cache_hit_pct,speedup_vs_seed,final_cost,delta_hits",
         csv,
     )
     .expect("write sa_parallel.csv");
@@ -237,6 +271,162 @@ fn bench_sa_parallel(c: &mut Criterion) {
                     .delay_s,
             )
         })
+    });
+}
+
+/// Incremental (delta) vs. full SA hot-loop evaluation on GoogLeNet —
+/// the perf-trajectory benchmark behind `BENCH_sa.json`.
+///
+/// Three configurations map the same workload with one SA chain worker:
+/// the seed engine's shape (full re-evaluation, no memo cache), full
+/// re-evaluation with a warm cache (PR 2's hot path), and the delta
+/// engine (dirty-footprint re-simulation + warm cache). All three final
+/// costs are asserted bit-identical — the CI perf-smoke job rides on
+/// that assertion — and the wall clocks land in `BENCH_sa.json` at the
+/// workspace root plus `bench_results/sa_delta.csv`.
+fn bench_sa_delta(c: &mut Criterion) {
+    if !section_enabled("sa_delta") {
+        return;
+    }
+    let arch = presets::g_arch_72();
+    let dnn = zoo::by_name("gn").expect("googlenet in the zoo");
+    let ev = Evaluator::new(&arch);
+    let engine = MappingEngine::new(&ev);
+    let batch = 8;
+    let iters = sa_iters(4_000, 20_000);
+
+    let cfg = |delta: bool, cache: bool| MappingOptions {
+        sa: SaOptions {
+            iters,
+            seed: 42,
+            threads: 1,
+            cache,
+            delta,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let run = |delta: bool, cache: bool| {
+        let t = std::time::Instant::now();
+        let m = engine.map(&dnn, batch, &cfg(delta, cache));
+        (t.elapsed().as_secs_f64(), m)
+    };
+    // Warm the intra-core memo caches once so the comparison measures
+    // the evaluation strategy, not first-touch tile-search costs.
+    let _ = run(true, true);
+
+    let (t_seed, m_seed) = run(false, false); // full re-eval, no memo
+    let (t_full, m_full) = run(false, true); // full re-eval, warm cache
+    let (t_delta, m_delta) = run(true, true); // delta + warm cache
+
+    // The divergence gate: a delta evaluation must be bit-identical to
+    // a full one, end to end through the whole annealing trajectory.
+    let cost = |m: &gemini_core::engine::MappedDnn| m.sa_stats.expect("SA stats").final_cost;
+    assert_eq!(
+        cost(&m_full).to_bits(),
+        cost(&m_delta).to_bits(),
+        "delta and full SA costs diverged"
+    );
+    assert_eq!(
+        cost(&m_seed).to_bits(),
+        cost(&m_delta).to_bits(),
+        "cache-off and delta SA costs diverged"
+    );
+    assert_eq!(
+        m_full.report.delay_s.to_bits(),
+        m_delta.report.delay_s.to_bits(),
+        "delta and full mapped delays diverged"
+    );
+
+    let s = m_delta.sa_stats.expect("SA stats");
+    let lookups = s.cache_hits + s.cache_misses;
+    let cache_hit_pct = if lookups == 0 {
+        0.0
+    } else {
+        s.cache_hits as f64 / lookups as f64 * 100.0
+    };
+    let members = s.member_sims + s.member_reuses;
+    let member_reuse_pct = if members == 0 {
+        0.0
+    } else {
+        s.member_reuses as f64 / members as f64 * 100.0
+    };
+    let groups = m_delta.partition.groups.len();
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let speedup = t_full / t_delta;
+    let speedup_vs_seed = t_seed / t_delta;
+
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"bench\": \"sa_delta\",\n  \"workload\": \"googlenet\",\n  \
+         \"batch\": {batch},\n  \"iters\": {iters},\n  \"groups\": {groups},\n  \
+         \"host_threads\": {host},\n  \"sa_threads\": 1,\n  \
+         \"full_nocache_wall_s\": {t_seed:.4},\n  \"full_cache_wall_s\": {t_full:.4},\n  \
+         \"delta_cache_wall_s\": {t_delta:.4},\n  \"speedup_delta_vs_full\": {speedup:.3},\n  \
+         \"speedup_delta_vs_seed\": {speedup_vs_seed:.3},\n  \
+         \"cache_hit_pct\": {cache_hit_pct:.1},\n  \"delta_hits\": {},\n  \
+         \"full_evals\": {},\n  \"member_sims\": {},\n  \"member_reuses\": {},\n  \
+         \"member_reuse_pct\": {member_reuse_pct:.1},\n  \"final_cost\": \"{}\",\n  \
+         \"bit_identical\": true\n}}\n",
+        s.delta_hits,
+        s.full_evals,
+        s.member_sims,
+        s.member_reuses,
+        sig6(cost(&m_delta)),
+    );
+    std::fs::write(workspace_root().join("BENCH_sa.json"), &json).expect("write BENCH_sa.json");
+
+    let rows = [
+        ("full_nocache", false, false, t_seed, &m_seed),
+        ("full_cache", false, true, t_full, &m_full),
+        ("delta_cache", true, true, t_delta, &m_delta),
+    ];
+    let csv: Vec<String> = rows
+        .iter()
+        .map(|(name, delta, cache, wall, m)| {
+            let st = m.sa_stats.expect("SA stats");
+            format!(
+                "{name},{delta},{cache},{host},{groups},{iters},{wall:.4},{:.2},{},{},{},{}",
+                t_full / wall,
+                st.delta_hits,
+                st.full_evals,
+                st.member_sims,
+                st.member_reuses,
+            )
+        })
+        .collect();
+    write_csv(
+        results_dir().join("sa_delta.csv"),
+        "config,delta,cache,host_threads,groups,iters,wall_s,speedup_vs_full_cache,delta_hits,full_evals,member_sims,member_reuses",
+        csv,
+    )
+    .expect("write sa_delta.csv");
+    println!(
+        "sa_delta: {groups} groups, {iters} iters — seed(full,nocache) {t_seed:.3}s  \
+         full+cache {t_full:.3}s  delta+cache {t_delta:.3}s  \
+         ({speedup:.2}x vs full+cache, {speedup_vs_seed:.2}x vs seed; \
+         layer records reused {member_reuse_pct:.1}%)"
+    );
+
+    // Criterion pair on a smaller budget for statistically-sampled
+    // per-configuration numbers.
+    let small = sa_iters(150, 800);
+    let small_cfg = |delta: bool| MappingOptions {
+        sa: SaOptions {
+            iters: small,
+            seed: 42,
+            threads: 1,
+            delta,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    c.bench_function("sa/googlenet_full_reeval", |b| {
+        b.iter(|| std::hint::black_box(engine.map(&dnn, batch, &small_cfg(false)).report.delay_s))
+    });
+    c.bench_function("sa/googlenet_delta", |b| {
+        b.iter(|| std::hint::black_box(engine.map(&dnn, batch, &small_cfg(true)).report.delay_s))
     });
 }
 
@@ -348,6 +538,6 @@ fn bench_hetero_eval(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_routing, bench_traffic, bench_intracore, bench_group_eval, bench_eval_cache, bench_sa, bench_sa_parallel, bench_partition, bench_cost, bench_packetsim, bench_hetero_eval
+    targets = bench_routing, bench_traffic, bench_intracore, bench_group_eval, bench_eval_cache, bench_sa, bench_sa_parallel, bench_sa_delta, bench_partition, bench_cost, bench_packetsim, bench_hetero_eval
 }
 criterion_main!(benches);

@@ -64,14 +64,35 @@ pub fn sa_threads() -> usize {
         .unwrap_or(0)
 }
 
-/// The `bench_results/` directory at the workspace root.
-pub fn results_dir() -> PathBuf {
+/// The workspace root (where `BENCH_*.json` perf-trajectory files and
+/// `bench_results/` live).
+pub fn workspace_root() -> PathBuf {
     let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     p.pop();
     p.pop();
-    p.push("bench_results");
+    p
+}
+
+/// The `bench_results/` directory at the workspace root.
+pub fn results_dir() -> PathBuf {
+    let p = workspace_root().join("bench_results");
     std::fs::create_dir_all(&p).expect("create bench_results");
     p
+}
+
+/// Whether a named wall-clock section of the `micro` bench should run.
+///
+/// `GEMINI_MICRO_SECTIONS` is a comma-separated allowlist (e.g.
+/// `sa_delta` for the CI perf-smoke job); unset or empty runs every
+/// section. Criterion's own name filter cannot gate these sections —
+/// they time whole mapping runs outside `bench_function`.
+pub fn section_enabled(name: &str) -> bool {
+    match std::env::var("GEMINI_MICRO_SECTIONS") {
+        Ok(list) if !list.trim().is_empty() => {
+            list.split(',').any(|s| s.trim().eq_ignore_ascii_case(name))
+        }
+        _ => true,
+    }
 }
 
 /// Prints a section banner.

@@ -222,6 +222,11 @@ pub struct DseRecord {
     /// Congestion-aware re-score from the fidelity re-rank stage
     /// (`None` for candidates the policy did not re-score).
     pub fluid: Option<FluidRescore>,
+    /// SA evaluation counters summed over this candidate's mapping
+    /// runs (cache hits/misses, delta hits, full evals, member-layer
+    /// sims/reuses); the cost fields are zero — per-DNN costs live in
+    /// `per_dnn`.
+    pub sa_stats: crate::sa::SaStats,
 }
 
 impl DseRecord {
@@ -319,12 +324,16 @@ pub fn evaluate_candidate(
     let mut per_dnn = Vec::with_capacity(dnns.len());
     let mut log_e = 0.0;
     let mut log_d = 0.0;
+    let mut sa_stats = crate::sa::SaStats::default();
     for dnn in dnns {
         let mapped = engine.map(dnn, opts.batch, &opts.mapping);
         let e = mapped.report.energy.total();
         let d = mapped.report.delay_s;
         log_e += e.ln();
         log_d += d.ln();
+        if let Some(s) = &mapped.sa_stats {
+            sa_stats.add_counters(s);
+        }
         per_dnn.push((dnn.name().to_string(), e, d));
     }
     let n = dnns.len().max(1) as f64;
@@ -340,6 +349,7 @@ pub fn evaluate_candidate(
         score: opts.objective.score(mc, energy, delay),
         per_dnn,
         fluid: None,
+        sa_stats,
     }
 }
 

@@ -28,11 +28,13 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use gemini_model::{Dnn, LayerId};
-use gemini_sim::{DramSel, EvalCache, Evaluator, GroupReport};
+use gemini_sim::{
+    DeltaStats, DramSel, EvalCache, Evaluator, GroupEvalState, GroupMapping, GroupReport,
+};
 
 use crate::encoding::{flow_needs, GroupSpec, Lms};
 use crate::partition::{GraphPartition, PartitionOptions};
-use crate::sa::{apply_op_public, temperature, SaOptions, SaStats};
+use crate::sa::{apply_op_traced, temperature, SaOptions, SaStats};
 use crate::stripe::stripe_lms;
 
 /// Options for the joint exploration.
@@ -84,6 +86,81 @@ struct State {
     d_total: f64,
 }
 
+/// Per-group incremental-evaluator states for the joint annealer.
+///
+/// Entries are a pure evaluation cache: a state may lag behind the
+/// *accepted* exploration state (rejected trials advance it too), which
+/// is safe because [`GroupEvalState::diff_dirty`] derives the exact
+/// dirty footprint against whatever mapping the state last saw — a
+/// stale entry just re-simulates a few more members. Partition moves
+/// that restructure groups leave structurally mismatched entries
+/// behind; those fall back to a full rebuild on their next use.
+struct DeltaPool {
+    states: Vec<Option<GroupEvalState>>,
+    delta: bool,
+    /// Cold builds of never-seen slots (`GroupEvalState::new` keeps its
+    /// own counters at zero, so the pool accounts them here — otherwise
+    /// `full_evals`/`member_sims` would undercount one whole-group
+    /// simulation per slot and overstate the reuse rate).
+    cold: DeltaStats,
+}
+
+impl DeltaPool {
+    fn new(n: usize, delta: bool) -> Self {
+        Self {
+            states: (0..n).map(|_| None).collect(),
+            delta,
+            cold: DeltaStats::default(),
+        }
+    }
+
+    /// Evaluates group `g`'s mapping: memo cache first, then the
+    /// incremental evaluator (diff-derived footprint), then a cold
+    /// build for never-seen slots.
+    fn evaluate(
+        &mut self,
+        ev: &Evaluator,
+        dnn: &Dnn,
+        cache: &mut EvalCache,
+        g: usize,
+        gm: GroupMapping,
+        batch: u32,
+    ) -> GroupReport {
+        if g >= self.states.len() {
+            self.states.resize_with(g + 1, || None);
+        }
+        let key = match cache.lookup(&gm, batch) {
+            Ok(r) => return r,
+            Err(key) => key,
+        };
+        let slot = &mut self.states[g];
+        let r = match slot {
+            Some(st) => {
+                let dirty = if self.delta { st.diff_dirty(&gm) } else { None };
+                st.advance(ev, dnn, &gm, dirty.as_deref())
+            }
+            None => {
+                self.cold.full_evals += 1;
+                self.cold.member_sims += gm.members.len() as u64;
+                let st = GroupEvalState::new(ev, dnn, gm.clone(), batch);
+                let r = st.report().clone();
+                *slot = Some(st);
+                r
+            }
+        };
+        cache.insert(key, &gm, batch, r.clone());
+        r
+    }
+
+    fn stats(&self) -> DeltaStats {
+        let mut s = self.cold;
+        for st in self.states.iter().flatten() {
+            s.add(&st.stats());
+        }
+        s
+    }
+}
+
 impl State {
     fn cost(&self, opts: &SaOptions) -> f64 {
         self.e_total.powf(opts.beta) * self.d_total.powf(opts.gamma)
@@ -117,6 +194,7 @@ pub fn optimize_joint(
         .iter()
         .map(|g| stripe_lms(dnn, &arch, g))
         .collect();
+    let mut pool = DeltaPool::new(init.groups.len(), opts.sa.delta);
     let mut st = State {
         partition: init,
         lms,
@@ -124,7 +202,7 @@ pub fn optimize_joint(
         e_total: 0.0,
         d_total: 0.0,
     };
-    reevaluate_all(dnn, ev, &mut cache, &mut st, batch);
+    reevaluate_all(dnn, ev, &mut cache, &mut pool, &mut st, batch);
     let mut cost = st.cost(&opts.sa);
 
     let mut stats = SaStats {
@@ -160,16 +238,17 @@ pub fn optimize_joint(
 
         let use_partition_op = rng.gen::<f64>() < opts.partition_op_prob || enabled.is_empty();
         let (trial, op_kind) = if use_partition_op {
-            let Some((s, k)) =
-                partition_move(dnn, ev, &mut cache, &st, batch, max_len, &units, &mut rng)
-            else {
+            let Some((s, k)) = partition_move(
+                dnn, ev, &mut cache, &mut pool, &st, batch, max_len, &units, &mut rng,
+            ) else {
                 stats.failed_ops += 1;
                 continue;
             };
             (s, PartitionOrSpm::Partition(k))
         } else {
-            let Some((s, op)) = spm_move(dnn, ev, &mut cache, &st, batch, &enabled, &mut rng)
-            else {
+            let Some((s, op)) = spm_move(
+                dnn, ev, &mut cache, &mut pool, &st, batch, &enabled, &mut rng,
+            ) else {
                 stats.failed_ops += 1;
                 continue;
             };
@@ -201,6 +280,9 @@ pub fn optimize_joint(
     }
 
     stats.final_cost = best.3;
+    stats.cache_hits = cache.hits();
+    stats.cache_misses = cache.misses();
+    stats.add_delta(&pool.stats());
     JointOutcome {
         partition: best.0,
         lms: best.1,
@@ -222,6 +304,7 @@ fn spm_move(
     dnn: &Dnn,
     ev: &Evaluator,
     cache: &mut EvalCache,
+    pool: &mut DeltaPool,
     st: &State,
     batch: u32,
     enabled: &[usize],
@@ -234,9 +317,7 @@ fn spm_move(
     let op = enabled[rng.gen_range(0..enabled.len())];
     let spec = &st.partition.groups[g];
     let mut lms = st.lms[g].clone();
-    if !apply_op_public(op, dnn, ev.arch(), spec, &mut lms, rng) {
-        return None;
-    }
+    let trace = apply_op_traced(op, dnn, ev.arch(), spec, &mut lms, rng)?;
     let mut trial = State {
         partition: st.partition.clone(),
         lms: st.lms.clone(),
@@ -245,11 +326,36 @@ fn spm_move(
         d_total: st.d_total,
     };
     trial.lms[g] = lms;
+
+    // The operator's declared dirty-layer footprint must cover the
+    // actual change to the group's parsed mapping — the incremental
+    // evaluator's invalidation (a diff against its last-seen mapping)
+    // relies on member-level locality, so verify the declaration here
+    // where the pre- and post-move schemes are both at hand.
+    #[cfg(debug_assertions)]
+    {
+        let map = of_map(dnn, &trial);
+        let resolver = |p: LayerId| map.get(&p).copied().unwrap_or(DramSel::Interleaved);
+        let before = st.lms[g].parse(dnn, spec, &resolver);
+        let after = trial.lms[g].parse(dnn, spec, &resolver);
+        for (i, (a, b)) in before.members.iter().zip(&after.members).enumerate() {
+            debug_assert!(
+                a == b || trace.dirty.contains(&i),
+                "OP{} changed member {i} outside its declared footprint {:?}",
+                op + 1,
+                trace.dirty
+            );
+        }
+    }
+    let _ = &trace;
+
     // SPM moves may change this group's FD (OP5), which redirects its
-    // consumers; conservatively re-evaluate the group and its consumers.
+    // consumers; conservatively re-evaluate the group and its consumers
+    // (a non-OF move leaves the consumers' mappings unchanged, which the
+    // memo cache answers without re-simulation).
     let mut affected = vec![g];
     affected.extend(consumers_of(dnn, &trial.partition, g));
-    reevaluate(dnn, ev, cache, &mut trial, batch, &affected);
+    reevaluate(dnn, ev, cache, pool, &mut trial, batch, &affected);
     Some((trial, op))
 }
 
@@ -259,6 +365,7 @@ fn partition_move(
     dnn: &Dnn,
     ev: &Evaluator,
     cache: &mut EvalCache,
+    pool: &mut DeltaPool,
     st: &State,
     batch: u32,
     max_len: usize,
@@ -417,7 +524,7 @@ fn partition_move(
     }
     eval_set.sort_unstable();
     eval_set.dedup();
-    reevaluate(dnn, ev, cache, &mut trial, batch, &eval_set);
+    reevaluate(dnn, ev, cache, pool, &mut trial, batch, &eval_set);
     Some((trial, kind))
 }
 
@@ -460,6 +567,7 @@ fn reevaluate(
     dnn: &Dnn,
     ev: &Evaluator,
     cache: &mut EvalCache,
+    pool: &mut DeltaPool,
     st: &mut State,
     batch: u32,
     groups: &[usize],
@@ -469,13 +577,20 @@ fn reevaluate(
     for &g in groups {
         let spec = &st.partition.groups[g];
         let gm = st.lms[g].parse(dnn, spec, &resolver);
-        st.reports[g] = cache.evaluate(ev, dnn, &gm, batch);
+        st.reports[g] = pool.evaluate(ev, dnn, cache, g, gm, batch);
     }
     st.e_total = st.reports.iter().map(|r| r.energy.total()).sum();
     st.d_total = st.reports.iter().map(|r| r.delay_s).sum();
 }
 
-fn reevaluate_all(dnn: &Dnn, ev: &Evaluator, cache: &mut EvalCache, st: &mut State, batch: u32) {
+fn reevaluate_all(
+    dnn: &Dnn,
+    ev: &Evaluator,
+    cache: &mut EvalCache,
+    pool: &mut DeltaPool,
+    st: &mut State,
+    batch: u32,
+) {
     let map = of_map(dnn, st);
     let resolver = |p: LayerId| map.get(&p).copied().unwrap_or(DramSel::Interleaved);
     st.reports = st
@@ -483,9 +598,10 @@ fn reevaluate_all(dnn: &Dnn, ev: &Evaluator, cache: &mut EvalCache, st: &mut Sta
         .groups
         .iter()
         .zip(&st.lms)
-        .map(|(spec, lms)| {
+        .enumerate()
+        .map(|(g, (spec, lms))| {
             let gm = lms.parse(dnn, spec, &resolver);
-            cache.evaluate(ev, dnn, &gm, batch)
+            pool.evaluate(ev, dnn, cache, g, gm, batch)
         })
         .collect();
     st.e_total = st.reports.iter().map(|r| r.energy.total()).sum();

@@ -54,7 +54,9 @@ use serde::{Deserialize, Serialize};
 
 use gemini_arch::ArchConfig;
 use gemini_model::{Dnn, LayerId};
-use gemini_sim::{DramSel, EvalCache, Evaluator, GroupReport};
+use gemini_sim::{
+    DeltaProposal, DramSel, EvalCache, Evaluator, GroupEvalState, GroupMapping, GroupReport,
+};
 
 use crate::encoding::{GroupSpec, Lms};
 use crate::factor::random_part;
@@ -90,6 +92,14 @@ pub struct SaOptions {
     /// `threads` — only moves wall-clock time; it exists for the
     /// cold-cache/warm-cache comparison in the `micro` bench.
     pub cache: bool,
+    /// Incremental (delta) evaluation of novel neighbors (on by
+    /// default): re-simulate only the operator's dirty-layer footprint
+    /// and re-fold the group aggregate
+    /// ([`gemini_sim::GroupEvalState`]). A delta evaluation is
+    /// bit-identical to a cold one (asserted in debug builds), so this
+    /// knob too only moves wall-clock time; it exists for the
+    /// delta-vs-full comparison in the `micro` bench (`BENCH_sa.json`).
+    pub delta: bool,
 }
 
 impl Default for SaOptions {
@@ -104,6 +114,7 @@ impl Default for SaOptions {
             gamma: 1.0,
             threads: 0,
             cache: true,
+            delta: true,
         }
     }
 }
@@ -209,6 +220,50 @@ pub struct SaStats {
     pub cache_hits: u64,
     /// Group evaluations that ran the full simulator.
     pub cache_misses: u64,
+    /// Cache misses served by the incremental evaluator: only the
+    /// operator's dirty-layer footprint (plus in-group consumers) was
+    /// re-simulated before re-folding the group aggregate.
+    pub delta_hits: u64,
+    /// Cache misses that rebuilt every member record (single-layer
+    /// groups, whole-group footprints, or `delta` disabled).
+    pub full_evals: u64,
+    /// Member-layer simulations actually executed across all
+    /// evaluations.
+    pub member_sims: u64,
+    /// Member-layer simulations skipped by reusing a clean per-layer
+    /// stage record.
+    pub member_reuses: u64,
+}
+
+impl SaStats {
+    /// Accumulates the counter fields of `other` (iterations, move and
+    /// operator counts, chains, cache and delta counters). The cost
+    /// fields `init_cost`/`final_cost` are left untouched — they are
+    /// per-run values, not counters.
+    pub fn add_counters(&mut self, other: &SaStats) {
+        self.iters += other.iters;
+        self.accepted += other.accepted;
+        self.improved += other.improved;
+        self.failed_ops += other.failed_ops;
+        for (a, b) in self.op_applied.iter_mut().zip(other.op_applied) {
+            *a += b;
+        }
+        self.chains += other.chains;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.delta_hits += other.delta_hits;
+        self.full_evals += other.full_evals;
+        self.member_sims += other.member_sims;
+        self.member_reuses += other.member_reuses;
+    }
+
+    /// Folds a [`gemini_sim::DeltaStats`] into the delta counters.
+    pub fn add_delta(&mut self, d: &gemini_sim::DeltaStats) {
+        self.delta_hits += d.delta_hits;
+        self.full_evals += d.full_evals;
+        self.member_sims += d.member_sims;
+        self.member_reuses += d.member_reuses;
+    }
 }
 
 /// Result of an SA exploration over a whole DNN's groups.
@@ -224,20 +279,76 @@ pub struct SaOutcome {
     pub stats: SaStats,
 }
 
+/// Dirty-layer footprint of one operator application: the member
+/// indices whose parsed [`gemini_sim::LayerAssignment`] can differ from
+/// the pre-move scheme. Every one of OP1..OP5 touches at most two
+/// members, so the footprint is a fixed two-slot set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Dirty {
+    idx: [usize; 2],
+    len: u8,
+}
+
+impl Dirty {
+    pub(crate) const EMPTY: Dirty = Dirty {
+        idx: [0; 2],
+        len: 0,
+    };
+
+    pub(crate) fn one(i: usize) -> Self {
+        Dirty {
+            idx: [i, 0],
+            len: 1,
+        }
+    }
+
+    pub(crate) fn two(i: usize, j: usize) -> Self {
+        Dirty {
+            idx: [i, j],
+            len: 2,
+        }
+    }
+
+    pub(crate) fn as_slice(&self) -> &[usize] {
+        &self.idx[..self.len as usize]
+    }
+}
+
 /// Outcome of one operator application.
 pub(crate) struct OpOutcome {
     applied: bool,
     changed_of: bool,
+    /// Member layers whose assignment the operator may have changed.
+    dirty: Dirty,
 }
 
 const FAILED: OpOutcome = OpOutcome {
     applied: false,
     changed_of: false,
+    dirty: Dirty::EMPTY,
 };
-const APPLIED: OpOutcome = OpOutcome {
-    applied: true,
-    changed_of: false,
-};
+
+/// A successful mutation touching the given member layers.
+fn applied(dirty: Dirty) -> OpOutcome {
+    OpOutcome {
+        applied: true,
+        changed_of: false,
+        dirty,
+    }
+}
+
+/// Public trace of one operator application (see [`apply_op_traced`]):
+/// the dirty-layer footprint for incremental evaluation, plus whether
+/// the group's explicit ofmap flow-of-data changed (consumer groups
+/// must then be re-checked under the new OF overlay).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpTrace {
+    /// Member indices (into the group's scheme) whose assignment
+    /// changed.
+    pub dirty: Vec<usize>,
+    /// Whether an explicit ofmap FD entry changed.
+    pub changed_of: bool,
+}
 
 /// Apportions the iteration budget over the chains proportionally to
 /// `weights` (largest-remainder rounding; the result sums to `iters`
@@ -298,6 +409,11 @@ struct ChainCtx<'a> {
     init: &'a [Lms],
     /// Evaluation of `init`, parallel to the groups.
     init_reports: &'a [GroupReport],
+    /// Incremental-evaluator states of `init`, parallel to the groups;
+    /// chains `fork` the states they touch instead of paying a
+    /// redundant cold rebuild per chain (only consulted when
+    /// [`SaOptions::delta`] is on).
+    init_states: &'a [GroupEvalState],
     /// OF selections of `init`, across all groups.
     of_map: &'a HashMap<LayerId, DramSel>,
     /// Consumer groups of each group's outputs (sorted, deduplicated).
@@ -330,21 +446,17 @@ pub fn optimize(
     let n_groups = partition.groups.len();
 
     // Frozen snapshot: initial OF selections and per-group evaluations.
+    // The evaluations are built as incremental-evaluator states so the
+    // chains can fork the member records instead of re-simulating them.
     let of_map = build_of_map(dnn, partition, &init);
-    let init_reports: Vec<GroupReport> = (0..n_groups)
+    let no_overlay: HashMap<LayerId, DramSel> = HashMap::new();
+    let init_states: Vec<GroupEvalState> = (0..n_groups)
         .map(|g| {
-            eval_group(
-                dnn,
-                ev,
-                partition,
-                &init[g],
-                g,
-                &of_map,
-                &HashMap::new(),
-                batch,
-            )
+            let gm = parse_group(dnn, &partition.groups[g], &init[g], &of_map, &no_overlay);
+            GroupEvalState::new(ev, dnn, gm, batch)
         })
         .collect();
+    let init_reports: Vec<GroupReport> = init_states.iter().map(|s| s.report().clone()).collect();
     let e_init: f64 = init_reports.iter().map(|r| r.energy.total()).sum();
     let d_init: f64 = init_reports.iter().map(|r| r.delay_s).sum();
     let init_cost = cost_of(e_init, d_init, opts);
@@ -383,6 +495,7 @@ pub fn optimize(
         partition,
         init: &init,
         init_reports: &init_reports,
+        init_states: &init_states,
         of_map: &of_map,
         consumers: &consumers,
         budget: &budget,
@@ -394,18 +507,11 @@ pub fn optimize(
     let results: Vec<ChainResult> =
         crate::pool::parallel_map_indexed(opts.chain_threads(), n_groups, |g| run_chain(&ctx, g));
 
-    // Merge statistics and recombine the per-group winners.
+    // Merge statistics and recombine the per-group winners (chain
+    // stats carry `chains == 0`, so the count set above is preserved).
     let mut lms_final: Vec<Lms> = Vec::with_capacity(n_groups);
     for r in results {
-        stats.iters += r.stats.iters;
-        stats.accepted += r.stats.accepted;
-        stats.improved += r.stats.improved;
-        stats.failed_ops += r.stats.failed_ops;
-        for (a, b) in stats.op_applied.iter_mut().zip(r.stats.op_applied) {
-            *a += b;
-        }
-        stats.cache_hits += r.stats.cache_hits;
-        stats.cache_misses += r.stats.cache_misses;
+        stats.add_counters(&r.stats);
         lms_final.push(r.best_lms);
     }
 
@@ -451,6 +557,43 @@ pub fn optimize(
 }
 
 /// Runs one group's annealing chain against the frozen snapshot.
+/// Memo-cache-fronted trial evaluation of one group mapping: probe the
+/// cache, and on a miss either propose incrementally against `state`
+/// (delta evaluation on) or run a plain cold evaluation (no state kept
+/// — delta off — counted into `stats`), inserting the result either
+/// way. The un-committed proposal rides back to the caller so
+/// acceptance can `commit` it without re-simulating.
+#[allow(clippy::too_many_arguments)] // threads the chain's cache/state/stats through the hot path
+fn eval_trial(
+    ev: &Evaluator,
+    dnn: &Dnn,
+    cache: &mut EvalCache,
+    state: Option<&mut GroupEvalState>,
+    gm: &GroupMapping,
+    dirty: Option<&[usize]>,
+    batch: u32,
+    stats: &mut SaStats,
+) -> (GroupReport, Option<DeltaProposal>) {
+    let key = match cache.lookup(gm, batch) {
+        Ok(r) => return (r, None),
+        Err(key) => key,
+    };
+    match state {
+        Some(st) => {
+            let p = st.propose(ev, dnn, gm, dirty);
+            cache.insert(key, gm, batch, p.report().clone());
+            (p.report().clone(), Some(p))
+        }
+        None => {
+            stats.full_evals += 1;
+            stats.member_sims += gm.members.len() as u64;
+            let r = ev.evaluate_group(dnn, gm, batch);
+            cache.insert(key, gm, batch, r.clone());
+            (r, None)
+        }
+    }
+}
+
 fn run_chain(ctx: &ChainCtx<'_>, g: usize) -> ChainResult {
     let ChainCtx {
         dnn,
@@ -458,6 +601,7 @@ fn run_chain(ctx: &ChainCtx<'_>, g: usize) -> ChainResult {
         partition,
         init,
         init_reports,
+        init_states,
         of_map,
         consumers,
         budget,
@@ -488,7 +632,13 @@ fn run_chain(ctx: &ChainCtx<'_>, g: usize) -> ChainResult {
     }
     // The chain's view of the global cost: frozen rest + own group +
     // consumers (at their frozen schemes, under the chain's OF overlay).
-    let view = |own: &GroupReport, cons_reports: &[GroupReport]| {
+    fn chain_view<'a>(
+        e_rest: f64,
+        d_rest: f64,
+        opts: &SaOptions,
+        own: &GroupReport,
+        cons_reports: impl Iterator<Item = &'a GroupReport>,
+    ) -> f64 {
         let mut e = e_rest + own.energy.total();
         let mut d = d_rest + own.delay_s;
         for r in cons_reports {
@@ -496,18 +646,44 @@ fn run_chain(ctx: &ChainCtx<'_>, g: usize) -> ChainResult {
             d += r.delay_s;
         }
         cost_of(e, d, opts)
+    }
+    let view = |own: &GroupReport, cons_reports: &[GroupReport]| {
+        chain_view(e_rest, d_rest, opts, own, cons_reports.iter())
     };
 
     let mut cur = init[g].clone();
     // The committed scheme's OF entries; empty means "same as the
     // frozen map" (true for the initial scheme by construction).
     let mut cur_overlay: HashMap<LayerId, DramSel> = HashMap::new();
+
+    // Incremental-evaluator states, synced to the *committed* schemes:
+    // the chain's own group, plus every consumer group at its frozen
+    // scheme under the committed overlay. Cache misses re-simulate only
+    // the operator's dirty footprint against these states. The initial
+    // states are forked from the engine-level snapshot (member records
+    // already simulated); with delta evaluation off, no states are kept
+    // and every miss pays a plain cold evaluation, as the seed engine
+    // did.
+    let mut own_state: Option<GroupEvalState> = opts.delta.then(|| init_states[g].fork());
+    let mut cons_states: Vec<Option<GroupEvalState>> = cons
+        .iter()
+        .map(|&c| opts.delta.then(|| init_states[c].fork()))
+        .collect();
+
     let mut cons_reports: Vec<GroupReport> =
         cons.iter().map(|&c| init_reports[c].clone()).collect();
     let mut cost = view(&init_reports[g], &cons_reports);
 
     let mut best_lms = cur.clone();
     let mut best_cost = cost;
+
+    /// One consumer group's trial evaluation, with enough context to
+    /// re-synchronize the consumer's state if the move is accepted.
+    struct ConsEval {
+        report: GroupReport,
+        prop: Option<DeltaProposal>,
+        gm: GroupMapping,
+    }
 
     for iter in 0..span {
         stats.iters = iter + 1;
@@ -534,23 +710,70 @@ fn run_chain(ctx: &ChainCtx<'_>, g: usize) -> ChainResult {
             &cur_overlay
         };
 
-        let trial_own = eval_group_cached(
-            dnn, ev, &mut cache, partition, &trial, g, of_map, overlay, batch,
+        // Own group: memo cache first, then the incremental evaluator
+        // with the operator's declared dirty footprint (or a plain cold
+        // evaluation when delta is off).
+        let gm = parse_group(dnn, spec, &trial, of_map, overlay);
+        let dirty_slice: Option<&[usize]> = own_state.as_ref().map(|_| outcome.dirty.as_slice());
+        let (trial_own, own_prop) = eval_trial(
+            ev,
+            dnn,
+            &mut cache,
+            own_state.as_mut(),
+            &gm,
+            dirty_slice,
+            batch,
+            &mut stats,
         );
-        let trial_cons: Option<Vec<GroupReport>> = if outcome.changed_of {
+
+        // Consumer groups under the trial overlay: their schemes are
+        // frozen, so the only members that can differ from the
+        // committed consumer mapping are those whose predecessor DRAM
+        // selector resolved differently — the exact diff is the dirty
+        // footprint.
+        let trial_cons: Option<Vec<ConsEval>> = if outcome.changed_of {
             Some(
                 cons.iter()
-                    .map(|&c| {
-                        eval_group_cached(
-                            dnn, ev, &mut cache, partition, &init[c], c, of_map, overlay, batch,
-                        )
+                    .enumerate()
+                    .map(|(k, &c)| {
+                        let cgm = parse_group(dnn, &partition.groups[c], &init[c], of_map, overlay);
+                        // The consumer's scheme is frozen, so the exact
+                        // dirty footprint is the diff against the
+                        // state's committed mapping (the members whose
+                        // predecessor DRAM selector resolved
+                        // differently under the trial overlay).
+                        let cdirty = cons_states[k].as_ref().and_then(|st| st.diff_dirty(&cgm));
+                        let (report, prop) = eval_trial(
+                            ev,
+                            dnn,
+                            &mut cache,
+                            cons_states[k].as_mut(),
+                            &cgm,
+                            cdirty.as_deref(),
+                            batch,
+                            &mut stats,
+                        );
+                        ConsEval {
+                            report,
+                            prop,
+                            gm: cgm,
+                        }
                     })
                     .collect(),
             )
         } else {
             None
         };
-        let new_cost = view(&trial_own, trial_cons.as_deref().unwrap_or(&cons_reports));
+        let new_cost = match &trial_cons {
+            Some(v) => chain_view(
+                e_rest,
+                d_rest,
+                opts,
+                &trial_own,
+                v.iter().map(|ce| &ce.report),
+            ),
+            None => view(&trial_own, &cons_reports),
+        };
 
         // Metropolis acceptance on the relative cost change.
         let t = temperature(opts, iter, span);
@@ -563,8 +786,36 @@ fn run_chain(ctx: &ChainCtx<'_>, g: usize) -> ChainResult {
             stats.accepted += 1;
             stats.op_applied[op] += 1;
             cur = trial;
-            if let Some(c) = trial_cons {
-                cons_reports = c;
+            // Re-sync the delta states to the accepted mapping: commit
+            // the proposal, or (after a cache hit) re-simulate the
+            // dirty footprint in place. With delta off there is no
+            // state to keep in sync.
+            if let Some(st) = own_state.as_mut() {
+                match own_prop {
+                    Some(p) => {
+                        st.commit(p);
+                    }
+                    None => {
+                        st.advance(ev, dnn, &gm, dirty_slice);
+                    }
+                }
+            }
+            if let Some(v) = trial_cons {
+                cons_reports.clear();
+                for (k, ce) in v.into_iter().enumerate() {
+                    if let Some(st) = cons_states[k].as_mut() {
+                        match ce.prop {
+                            Some(p) => {
+                                st.commit(p);
+                            }
+                            None => {
+                                let cdirty = st.diff_dirty(&ce.gm);
+                                st.advance(ev, dnn, &ce.gm, cdirty.as_deref());
+                            }
+                        }
+                    }
+                    cons_reports.push(ce.report);
+                }
                 cur_overlay = overlay.clone();
             }
             cost = new_cost;
@@ -577,6 +828,12 @@ fn run_chain(ctx: &ChainCtx<'_>, g: usize) -> ChainResult {
 
     stats.cache_hits = cache.hits();
     stats.cache_misses = cache.misses();
+    if let Some(st) = &own_state {
+        stats.add_delta(&st.stats());
+    }
+    for cs in cons_states.iter().flatten() {
+        stats.add_delta(&cs.stats());
+    }
     ChainResult { best_lms, stats }
 }
 
@@ -644,26 +901,6 @@ fn eval_group(
     ev.evaluate_group(dnn, &gm, batch)
 }
 
-/// Memoized variant of [`eval_group`]: the parsed mapping keys the
-/// cache, so revisited candidates cost a hash probe instead of a
-/// simulation.
-#[allow(clippy::too_many_arguments)]
-fn eval_group_cached(
-    dnn: &Dnn,
-    ev: &Evaluator,
-    cache: &mut EvalCache,
-    partition: &GraphPartition,
-    lms: &Lms,
-    g: usize,
-    of_map: &HashMap<LayerId, DramSel>,
-    overlay: &HashMap<LayerId, DramSel>,
-    batch: u32,
-) -> GroupReport {
-    let spec = &partition.groups[g];
-    let gm = parse_group(dnn, spec, lms, of_map, overlay);
-    cache.evaluate(ev, dnn, &gm, batch)
-}
-
 fn parse_group(
     dnn: &Dnn,
     spec: &GroupSpec,
@@ -695,6 +932,26 @@ pub fn apply_op_public(
     apply_op(op, dnn, arch, spec, lms, rng).applied
 }
 
+/// Like [`apply_op_public`], but returns the operator's declared
+/// dirty-layer footprint (the member indices whose assignment changed)
+/// and whether the explicit ofmap FD changed — the inputs an
+/// incremental evaluator ([`gemini_sim::GroupEvalState`]) needs.
+/// Returns `None` when the operator failed to produce a change.
+pub fn apply_op_traced(
+    op: usize,
+    dnn: &Dnn,
+    arch: &ArchConfig,
+    spec: &GroupSpec,
+    lms: &mut Lms,
+    rng: &mut StdRng,
+) -> Option<OpTrace> {
+    let out = apply_op(op, dnn, arch, spec, lms, rng);
+    out.applied.then(|| OpTrace {
+        dirty: out.dirty.as_slice().to_vec(),
+        changed_of: out.changed_of,
+    })
+}
+
 /// Applies operator `op` (0-based OP1..OP5) to a group's scheme.
 pub(crate) fn apply_op(
     op: usize,
@@ -724,7 +981,7 @@ fn op1_change_part(dnn: &Dnn, spec: &GroupSpec, lms: &mut Lms, rng: &mut StdRng)
     match random_part(nc, shape, spec.batch_unit, Some(ms.part), rng) {
         Some(p) if p != ms.part => {
             ms.part = p;
-            APPLIED
+            applied(Dirty::one(li))
         }
         _ => FAILED,
     }
@@ -746,7 +1003,7 @@ fn op2_swap_within(lms: &mut Lms, rng: &mut StdRng) -> OpOutcome {
         b += 1;
     }
     cg.swap(a, b);
-    APPLIED
+    applied(Dirty::one(li))
 }
 
 /// OP3: swap a core of one layer with a core of another layer.
@@ -769,7 +1026,7 @@ fn op3_swap_across(lms: &mut Lms, rng: &mut StdRng) -> OpOutcome {
         }
         lms.schemes[l1].cg.0[p1] = c2;
         lms.schemes[l2].cg.0[p2] = c1;
-        return APPLIED;
+        return applied(Dirty::two(l1, l2));
     }
     FAILED
 }
@@ -815,7 +1072,7 @@ fn op4_move_core(
         lms.schemes[to].cg.0.insert(insert_at, core);
         lms.schemes[from].part = pf;
         lms.schemes[to].part = pt;
-        return APPLIED;
+        return applied(Dirty::two(from, to));
     }
     FAILED
 }
@@ -862,6 +1119,7 @@ fn op5_change_fd(arch: &ArchConfig, lms: &mut Lms, rng: &mut StdRng) -> OpOutcom
     OpOutcome {
         applied: true,
         changed_of: slot == 2,
+        dirty: Dirty::one(li),
     }
 }
 
@@ -1036,6 +1294,51 @@ mod tests {
         assert_eq!(a.lms, b.lms);
         assert_eq!(b.stats.cache_hits, 0, "disabled cache never hits");
         assert_eq!(a.stats.accepted, b.stats.accepted);
+    }
+
+    #[test]
+    fn delta_off_is_bit_identical_to_delta_on() {
+        // Incremental evaluation is transparent: disabling it (every
+        // novel neighbor pays a full member-record rebuild) must change
+        // nothing but wall-clock time — cost, schemes, move statistics
+        // and cache counters all match. Use GoogLeNet so groups have
+        // several members and the delta path genuinely skips work.
+        let dnn = zoo::by_name("gn").expect("googlenet in the zoo");
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let partition = partition_graph(&dnn, &arch, 8, &PartitionOptions::default());
+        let init: Vec<Lms> = partition
+            .groups
+            .iter()
+            .map(|g| stripe_lms(&dnn, &arch, g))
+            .collect();
+        let on = SaOptions {
+            iters: 150,
+            seed: 21,
+            ..Default::default()
+        };
+        let off = SaOptions {
+            delta: false,
+            ..on.clone()
+        };
+        let a = optimize(&dnn, &ev, &partition, init.clone(), 8, &on);
+        let b = optimize(&dnn, &ev, &partition, init, 8, &off);
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        assert_eq!(a.lms, b.lms);
+        assert_eq!(a.stats.accepted, b.stats.accepted);
+        assert_eq!(a.stats.cache_hits, b.stats.cache_hits);
+        assert_eq!(a.stats.cache_misses, b.stats.cache_misses);
+        // The delta engine actually took the incremental path and
+        // reused per-layer records; the full engine never did.
+        assert!(a.stats.delta_hits > 0, "{:?}", a.stats);
+        assert!(a.stats.member_reuses > 0);
+        assert_eq!(b.stats.delta_hits, 0);
+        assert_eq!(b.stats.member_reuses, 0);
+        // With delta off, every cache miss is exactly one full cold
+        // evaluation; with delta on, misses are delta or full
+        // proposals, plus state re-syncs after cache-hit acceptances.
+        assert_eq!(b.stats.full_evals, b.stats.cache_misses);
+        assert!(a.stats.delta_hits + a.stats.full_evals >= a.stats.cache_misses);
     }
 
     #[test]

@@ -54,6 +54,13 @@ pub struct EvalCache {
     misses: u64,
 }
 
+/// Opaque pre-computed cache key returned by an [`EvalCache::lookup`]
+/// miss, so the follow-up [`EvalCache::insert`] does not re-hash the
+/// mapping (an `O(members × parts)` structural hash on the SA hot
+/// loop, where misses dominate).
+#[derive(Debug)]
+pub struct MissKey(u64);
+
 /// Structural hash of the cache key, stable within one process (the
 /// probe and insert paths must agree; buckets never leave the process).
 fn key_hash(gm: &GroupMapping, batch: u32) -> u64 {
@@ -95,28 +102,60 @@ impl EvalCache {
         gm: &GroupMapping,
         batch: u32,
     ) -> GroupReport {
+        let key = match self.lookup(gm, batch) {
+            Ok(r) => return r,
+            Err(key) => key,
+        };
+        let r = ev.evaluate_group(dnn, gm, batch);
+        self.insert(key, gm, batch, r.clone());
+        r
+    }
+
+    /// Probes the cache for `(gm, batch)`, counting a hit or a miss.
+    ///
+    /// Split out of [`EvalCache::evaluate`] so callers with a cheaper
+    /// fallback than a cold simulation (the incremental
+    /// [`crate::delta::GroupEvalState`]) can supply the report
+    /// themselves. A miss returns the pre-computed [`MissKey`] to hand
+    /// to [`EvalCache::insert`], so the mapping is hashed once per
+    /// lookup/insert round trip.
+    ///
+    /// # Errors
+    ///
+    /// The `Err` variant *is* the miss path, carrying the key token —
+    /// not a failure.
+    pub fn lookup(&mut self, gm: &GroupMapping, batch: u32) -> Result<GroupReport, MissKey> {
         if self.cap == 0 {
             self.misses += 1;
-            return ev.evaluate_group(dnn, gm, batch);
+            return Err(MissKey(0));
         }
         let h = key_hash(gm, batch);
         if let Some(bucket) = self.map.get(&h) {
             if let Some((_, _, r)) = bucket.iter().find(|(k, b, _)| *b == batch && k == gm) {
                 self.hits += 1;
-                return r.clone();
+                return Ok(r.clone());
             }
         }
         self.misses += 1;
-        let r = ev.evaluate_group(dnn, gm, batch);
+        Err(MissKey(h))
+    }
+
+    /// Stores a report under a [`MissKey`] obtained from the
+    /// immediately preceding [`EvalCache::lookup`] miss of the *same*
+    /// `(gm, batch)` (no-op when caching is disabled). Counters are not
+    /// touched.
+    pub fn insert(&mut self, key: MissKey, gm: &GroupMapping, batch: u32, r: GroupReport) {
+        if self.cap == 0 {
+            return;
+        }
         if self.entries >= self.cap {
             self.clear();
         }
         self.map
-            .entry(h)
+            .entry(key.0)
             .or_default()
-            .push((gm.clone(), batch, r.clone()));
+            .push((gm.clone(), batch, r));
         self.entries += 1;
-        r
     }
 
     /// Lookups answered from the cache.

@@ -53,6 +53,65 @@ pub struct GroupReport {
     pub weights_resident: bool,
 }
 
+impl GroupReport {
+    /// Whether two reports are bit-identical: every floating-point
+    /// field compares equal by bit pattern (`to_bits`), and the
+    /// discrete fields compare equal.
+    ///
+    /// This is the contract the incremental evaluator
+    /// ([`crate::delta::GroupEvalState`]) asserts against a cold
+    /// [`Evaluator::evaluate_group`]: not "close", *identical* — a
+    /// delta evaluation folds the same per-member records through the
+    /// same summation order, so any difference at all is a
+    /// dirty-tracking bug.
+    pub fn bit_identical(&self, other: &GroupReport) -> bool {
+        let f = |a: f64, b: f64| a.to_bits() == b.to_bits();
+        // Exhaustive destructuring (no `..` rest patterns): adding a
+        // field to GroupReport or EnergyBreakdown without extending
+        // this comparison is a compile error, not a silent hole in the
+        // delta-vs-cold gate.
+        let GroupReport {
+            stage_time_s,
+            delay_s,
+            rounds,
+            depth,
+            weight_load_s,
+            energy,
+            traffic,
+            dram_bytes,
+            bottleneck,
+            weights_resident,
+        } = self;
+        let crate::energy::EnergyBreakdown {
+            mac,
+            vector,
+            glb,
+            noc,
+            d2d,
+            dram,
+        } = energy;
+        f(*stage_time_s, other.stage_time_s)
+            && f(*delay_s, other.delay_s)
+            && *rounds == other.rounds
+            && *depth == other.depth
+            && f(*weight_load_s, other.weight_load_s)
+            && f(*mac, other.energy.mac)
+            && f(*vector, other.energy.vector)
+            && f(*glb, other.energy.glb)
+            && f(*noc, other.energy.noc)
+            && f(*d2d, other.energy.d2d)
+            && f(*dram, other.energy.dram)
+            && traffic == &other.traffic
+            && dram_bytes.len() == other.dram_bytes.len()
+            && dram_bytes
+                .iter()
+                .zip(&other.dram_bytes)
+                .all(|(a, b)| f(*a, *b))
+            && bottleneck == &other.bottleneck
+            && *weights_resident == other.weights_resident
+    }
+}
+
 /// Evaluation result for a whole DNN (all groups).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DnnReport {
@@ -133,6 +192,45 @@ impl EvalOptions {
         self.congestion_weight = weight;
         self
     }
+}
+
+/// One member layer's decomposed contribution to a group evaluation
+/// (the per-layer "stage record" of the incremental evaluator).
+///
+/// [`Evaluator::evaluate_group`] is *defined* as building one record per
+/// member and folding them in member order (`Evaluator::fold_group`);
+/// the delta evaluator ([`crate::delta::GroupEvalState`]) reuses clean
+/// records and re-runs `Evaluator::member_record` only for dirty
+/// members, so a delta fold is bit-identical to a cold evaluation by
+/// construction.
+///
+/// A record depends on exactly: the member's own
+/// [`crate::mapping::LayerAssignment`] (parts, flow selectors), the
+/// `parts` of its in-group producers (peer flows), the group's
+/// `batch_unit`, and the immutable DNN/architecture — which is what
+/// makes the per-operator dirty footprints in `gemini-core` sufficient
+/// invalidation.
+#[derive(Debug, Clone)]
+pub struct MemberRecord {
+    /// `(core index, cycles)` per non-empty part, in part order.
+    pub(crate) core_cycles: Vec<(usize, u64)>,
+    /// GLB access energy of this member's parts (pJ).
+    pub(crate) glb_energy_pj: f64,
+    /// MAC count over the member's parts.
+    pub(crate) macs: u64,
+    /// Vector-op count over the member's parts.
+    pub(crate) vector_ops: u64,
+    /// `(core index, working-set bytes)` per non-empty part.
+    pub(crate) working_set: Vec<(usize, u64)>,
+    /// Steady-state traffic of this member's ifmap reads (peer + DRAM)
+    /// and ofmap writes, one stage.
+    pub(crate) traffic: TrafficMap,
+    /// Steady-state bytes served by each DRAM for this member.
+    pub(crate) dram_bytes: Vec<f64>,
+    /// One-time weight-load traffic of this member.
+    pub(crate) load_traffic: TrafficMap,
+    /// One-time weight-load bytes per DRAM.
+    pub(crate) load_dram: Vec<f64>,
 }
 
 /// The performance/energy evaluator for one architecture.
@@ -268,12 +366,133 @@ impl Evaluator {
     /// clamped to one sample per stage rather than dividing by zero, so
     /// un-validated mappings degrade instead of panicking.
     pub fn evaluate_group(&self, dnn: &Dnn, gm: &GroupMapping, batch: u32) -> GroupReport {
+        let records: Vec<MemberRecord> = (0..gm.members.len())
+            .map(|mi| self.member_record(dnn, gm, mi))
+            .collect();
+        let refs: Vec<&MemberRecord> = records.iter().collect();
+        self.fold_group(dnn, gm, batch, &refs)
+    }
+
+    /// Builds the decomposed stage record of member `mi` (see
+    /// [`MemberRecord`] for the exact dependency footprint).
+    pub(crate) fn member_record(&self, dnn: &Dnn, gm: &GroupMapping, mi: usize) -> MemberRecord {
+        let d = self.arch.dram_count() as usize;
+        let m = &gm.members[mi];
+        let mut rec = MemberRecord {
+            core_cycles: Vec::with_capacity(m.parts.len()),
+            glb_energy_pj: 0.0,
+            macs: 0,
+            vector_ops: 0,
+            working_set: Vec::with_capacity(m.parts.len()),
+            traffic: TrafficMap::new(&self.net),
+            dram_bytes: vec![0.0f64; d],
+            load_traffic: TrafficMap::new(&self.net),
+            load_dram: vec![0.0f64; d],
+        };
+        let mut scratch = Vec::with_capacity(64);
+        let mut tree = Vec::with_capacity(64);
+
+        // --- Per-core compute (intra-core engine) -------------------
+        for (core, region) in &m.parts {
+            if region.is_empty() {
+                continue;
+            }
+            let wl = part_workload(dnn, m.layer, region);
+            let r = self.profile.explorer(*core).explore(&wl);
+            rec.core_cycles.push((core.idx(), r.cycles));
+            rec.glb_energy_pj +=
+                r.glb_bytes as f64 * self.energy.glb_pj_per_byte(self.profile.glb_bytes(*core));
+            rec.macs += r.macs;
+            rec.vector_ops += r.vector_ops;
+            // Outputs are held until the consumer stage reads
+            // them; inputs need residency only when the reduction
+            // reuses them across output-channel tiles (vector-only
+            // layers stream).
+            let mut ws = region.bytes();
+            if !wl.is_vector_only() {
+                ws += wl.in_bytes / 2;
+            }
+            if m.wgt_src.is_some() {
+                ws += wl.weight_bytes;
+            }
+            rec.working_set.push((core.idx(), ws));
+        }
+
+        // --- Steady-state traffic (one stage) ------------------------
+        for (pi, src) in m.pred_srcs.iter().enumerate() {
+            match src {
+                PredSrc::InGroup { member_idx } => {
+                    let producer = &gm.members[*member_idx];
+                    self.add_peer_flows(dnn, gm, mi, pi, producer, &mut rec.traffic, &mut tree);
+                }
+                PredSrc::Dram(sel) => {
+                    self.add_dram_reads(
+                        dnn,
+                        m,
+                        pi,
+                        *sel,
+                        &mut rec.traffic,
+                        &mut rec.dram_bytes,
+                        &mut scratch,
+                        &mut tree,
+                    );
+                }
+            }
+        }
+        // Ofmap writes to DRAM.
+        if let Some(sel) = m.of_dst {
+            for (core, region) in &m.parts {
+                if region.is_empty() {
+                    continue;
+                }
+                self.add_dram_write(
+                    *core,
+                    region.bytes() as f64,
+                    sel,
+                    &mut rec.traffic,
+                    &mut rec.dram_bytes,
+                    &mut scratch,
+                );
+            }
+        }
+
+        // --- One-time weight loading ---------------------------------
+        if let Some(sel) = m.wgt_src {
+            self.add_weight_flows(
+                dnn,
+                m,
+                sel,
+                &mut rec.load_traffic,
+                &mut rec.load_dram,
+                &mut scratch,
+                &mut tree,
+            );
+        }
+        rec
+    }
+
+    /// Folds per-member stage records into the group report.
+    ///
+    /// This is the single canonical aggregation: records are folded in
+    /// member order (float summation order is fixed), then the
+    /// cross-member couplings — GLB spill from per-core working-set
+    /// totals, the stage bottleneck, the congestion surcharge and the
+    /// energy roll-up — are applied on the folded aggregates. Cold and
+    /// delta evaluations share this code, which is what makes them
+    /// bit-identical.
+    pub(crate) fn fold_group(
+        &self,
+        dnn: &Dnn,
+        gm: &GroupMapping,
+        batch: u32,
+        records: &[&MemberRecord],
+    ) -> GroupReport {
+        debug_assert_eq!(records.len(), gm.members.len(), "one record per member");
         let d = self.arch.dram_count() as usize;
         let rounds = batch.div_ceil(gm.batch_unit.max(1)).max(1);
         let member_ids = gm.layer_ids();
         let depth = dnn.depth_within(&member_ids);
 
-        // --- Per-core compute (intra-core engine) -------------------
         let n_cores = self.arch.n_cores() as usize;
         let mut core_cycles = vec![0u64; n_cores];
         let mut glb_energy_pj = 0.0f64;
@@ -285,31 +504,28 @@ impl Evaluator {
         // capacity spills to DRAM every round — this is what makes core
         // granularity and GLB size genuine trade-offs (Sec. VII-A2).
         let mut core_working_set = vec![0u64; n_cores];
+        let mut traffic = TrafficMap::new(&self.net);
+        let mut dram_bytes = vec![0.0f64; d];
+        let mut load_traffic = TrafficMap::new(&self.net);
+        let mut load_dram = vec![0.0f64; d];
 
-        for m in &gm.members {
-            for (core, region) in &m.parts {
-                if region.is_empty() {
-                    continue;
-                }
-                let wl = part_workload(dnn, m.layer, region);
-                let r = self.profile.explorer(*core).explore(&wl);
-                core_cycles[core.idx()] += r.cycles;
-                glb_energy_pj +=
-                    r.glb_bytes as f64 * self.energy.glb_pj_per_byte(self.profile.glb_bytes(*core));
-                macs_total += r.macs;
-                vector_total += r.vector_ops;
-                // Outputs are held until the consumer stage reads
-                // them; inputs need residency only when the reduction
-                // reuses them across output-channel tiles (vector-only
-                // layers stream).
-                let mut ws = region.bytes();
-                if !wl.is_vector_only() {
-                    ws += wl.in_bytes / 2;
-                }
-                if m.wgt_src.is_some() {
-                    ws += wl.weight_bytes;
-                }
-                core_working_set[core.idx()] += ws;
+        for rec in records {
+            for &(c, cycles) in &rec.core_cycles {
+                core_cycles[c] += cycles;
+            }
+            glb_energy_pj += rec.glb_energy_pj;
+            macs_total += rec.macs;
+            vector_total += rec.vector_ops;
+            for &(c, ws) in &rec.working_set {
+                core_working_set[c] += ws;
+            }
+            traffic.merge_scaled(&rec.traffic, 1.0);
+            for (a, b) in dram_bytes.iter_mut().zip(&rec.dram_bytes) {
+                *a += b;
+            }
+            load_traffic.merge_scaled(&rec.load_traffic, 1.0);
+            for (a, b) in load_dram.iter_mut().zip(&rec.load_dram) {
+                *a += b;
             }
         }
         let weights_resident = core_working_set
@@ -317,71 +533,12 @@ impl Evaluator {
             .enumerate()
             .all(|(i, &ws)| ws <= self.profile.glb_bytes(CoreId(i as u16)));
 
-        // --- Steady-state traffic (one stage) ------------------------
-        let mut traffic = TrafficMap::new(&self.net);
-        let mut dram_bytes = vec![0.0f64; d];
-        let mut scratch = Vec::with_capacity(64);
-        let mut tree = Vec::with_capacity(64);
-
-        for (mi, m) in gm.members.iter().enumerate() {
-            // Ifmap flows per predecessor.
-            for (pi, src) in m.pred_srcs.iter().enumerate() {
-                match src {
-                    PredSrc::InGroup { member_idx } => {
-                        let producer = &gm.members[*member_idx];
-                        self.add_peer_flows(dnn, gm, mi, pi, producer, &mut traffic, &mut tree);
-                    }
-                    PredSrc::Dram(sel) => {
-                        self.add_dram_reads(
-                            dnn,
-                            m,
-                            pi,
-                            *sel,
-                            &mut traffic,
-                            &mut dram_bytes,
-                            &mut scratch,
-                            &mut tree,
-                        );
-                    }
-                }
-            }
-            // Ofmap writes to DRAM.
-            if let Some(sel) = m.of_dst {
-                for (core, region) in &m.parts {
-                    if region.is_empty() {
-                        continue;
-                    }
-                    self.add_dram_write(
-                        *core,
-                        region.bytes() as f64,
-                        sel,
-                        &mut traffic,
-                        &mut dram_bytes,
-                        &mut scratch,
-                    );
-                }
-            }
-        }
-
-        // --- Weight loading and capacity spills -----------------------
+        // --- Capacity spills ------------------------------------------
         // Weights are loaded once per group execution (one-time map);
         // any working-set overflow beyond the GLB spills to DRAM every
         // round (written back and re-fetched), on top of that.
-        let mut load_traffic = TrafficMap::new(&self.net);
-        let mut load_dram = vec![0.0f64; d];
-        for m in &gm.members {
-            if let Some(sel) = m.wgt_src {
-                self.add_weight_flows(
-                    dnn,
-                    m,
-                    sel,
-                    &mut load_traffic,
-                    &mut load_dram,
-                    &mut scratch,
-                    &mut tree,
-                );
-            }
-        }
+        let mut scratch = Vec::with_capacity(64);
+        let mut tree = Vec::with_capacity(64);
         if self.opts.spill_enabled {
             for (i, &ws) in core_working_set.iter().enumerate() {
                 let core = CoreId(i as u16);

@@ -21,6 +21,7 @@
 //! encoding into a [`GroupMapping`] and hands it to the [`Evaluator`].
 
 pub mod cache;
+pub mod delta;
 pub mod energy;
 pub mod evaluate;
 pub mod fidelity;
@@ -30,7 +31,8 @@ pub mod program;
 pub mod stats;
 pub mod workload;
 
-pub use cache::EvalCache;
+pub use cache::{EvalCache, MissKey};
+pub use delta::{DeltaProposal, DeltaStats, GroupEvalState};
 pub use energy::{D2dEnergyModel, EnergyBreakdown, EnergyModel};
 pub use evaluate::{DnnReport, EvalOptions, Evaluator, GroupReport, StageBottleneck};
 pub use fidelity::{

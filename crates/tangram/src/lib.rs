@@ -70,6 +70,9 @@ pub struct MapComparison {
     pub tangram: ComparisonSide,
     /// Gemini (SA) result.
     pub gemini: ComparisonSide,
+    /// SA run statistics of the Gemini side (move, memo-cache and
+    /// incremental-evaluation counters).
+    pub gemini_stats: Option<gemini_core::sa::SaStats>,
 }
 
 /// One side of a comparison.
@@ -138,6 +141,7 @@ pub fn compare_mappings(ev: &Evaluator, dnn: &Dnn, batch: u32, sa: &SaOptions) -
     MapComparison {
         tangram: side(&t, ev),
         gemini: side(&g, ev),
+        gemini_stats: g.sa_stats,
     }
 }
 

@@ -92,6 +92,29 @@ fn sa_opts(args: &[String], default_iters: u32) -> SaOptions {
     sa
 }
 
+/// One-line summary of the SA engine's evaluation counters: memo-cache
+/// hit rate, incremental (delta) vs. full evaluations, and the share of
+/// per-layer stage records reused instead of re-simulated.
+fn sa_counter_line(s: &gemini::core::sa::SaStats) -> String {
+    let lookups = s.cache_hits + s.cache_misses;
+    let cache_pct = if lookups == 0 {
+        0.0
+    } else {
+        s.cache_hits as f64 / lookups as f64 * 100.0
+    };
+    let members = s.member_sims + s.member_reuses;
+    let reuse_pct = if members == 0 {
+        0.0
+    } else {
+        s.member_reuses as f64 / members as f64 * 100.0
+    };
+    format!(
+        "SA evals: {} cache hits ({cache_pct:.1}%), {} delta, {} full; \
+         layer records reused {reuse_pct:.1}% ({}/{})",
+        s.cache_hits, s.delta_hits, s.full_evals, s.member_reuses, members
+    )
+}
+
 /// Prints the fidelity-ladder section of a DSE result (nothing under
 /// the analytic policy, which runs no ladder stages).
 fn print_fidelity_report(res: &gemini::core::dse::DseResult) {
@@ -296,6 +319,9 @@ fn main() -> ExitCode {
                 cmp.speedup(),
                 cmp.energy_gain()
             );
+            if let Some(s) = &cmp.gemini_stats {
+                println!("{}", sa_counter_line(s));
+            }
             if args.iter().any(|a| a == "--stats") {
                 let engine = MappingEngine::new(&ev);
                 let opts = MappingOptions {
@@ -538,6 +564,7 @@ fn main() -> ExitCode {
                 best.energy * 1e3,
                 best.delay * 1e3
             );
+            println!("{}", sa_counter_line(&best.sa_stats));
             print_fidelity_report(&res);
             ExitCode::SUCCESS
         }
