@@ -40,19 +40,39 @@ fn arch_csv(a: &ArchConfig) -> String {
     )
 }
 
+/// Everything the artifact writers consume, bundled so the two
+/// producers — the single-process driver and the shard merge — call
+/// one signature and cannot drift apart. Byte-identity of the outputs
+/// between those producers is the campaign's core contract; keeping a
+/// single writer over a single input shape is what makes it auditable.
+#[derive(Clone, Copy)]
+pub(super) struct ArtifactInputs<'a> {
+    pub spec: &'a CampaignSpec,
+    pub fingerprint: &'a str,
+    /// Every cell, in enumeration order.
+    pub cells: &'a [CellResult],
+    pub groups: &'a [CellGroup],
+    pub archive: &'a ParetoArchive,
+    pub best: &'a [BestEntry],
+    pub sets: &'a [(String, Vec<usize>)],
+    pub archs: &'a [ArchConfig],
+}
+
 /// Writes all artifacts and returns their paths.
-#[allow(clippy::too_many_arguments)] // internal driver plumbing
 pub(super) fn write_all(
     dir: &Path,
-    spec: &CampaignSpec,
-    fingerprint: &str,
-    cells: &[CellResult],
-    groups: &[CellGroup],
-    archive: &ParetoArchive,
-    best: &[BestEntry],
-    sets: &[(String, Vec<usize>)],
-    archs: &[ArchConfig],
+    inp: &ArtifactInputs<'_>,
 ) -> Result<Vec<PathBuf>, CampaignError> {
+    let ArtifactInputs {
+        spec,
+        fingerprint,
+        cells,
+        groups,
+        archive,
+        best,
+        sets,
+        archs,
+    } = *inp;
     let n_batches = spec.batches.len();
     let on_front = |c: &CellResult| {
         archive

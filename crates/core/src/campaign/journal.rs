@@ -14,6 +14,14 @@
 //! trailing line (the process died mid-write) is ignored; a corrupt
 //! line anywhere else, a foreign fingerprint or an out-of-range cell
 //! index is an error — never silently dropped work.
+//!
+//! Sharded campaigns write one journal per shard
+//! (`journal-shard-<k>.jsonl`, see [`shard_file_name`]) under the same
+//! header contract plus two extra header fields, `shard` (the writer's
+//! index) and `shards` (the partition width). The primary
+//! `journal.jsonl` never carries shard fields; [`load`] refuses a
+//! shard journal and [`load_shard`] refuses a primary one, so the two
+//! resume paths cannot silently consume each other's files.
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -36,14 +44,50 @@ fn journal_err(msg: impl Into<String>) -> CampaignError {
     CampaignError::Journal(msg.into())
 }
 
-/// Serializes the header line.
-fn header_value(spec: &CampaignSpec, n_cells: usize) -> Value {
+/// Serializes the header line. `shard` is `Some((index, count))` for a
+/// shard journal, `None` for the primary `journal.jsonl`.
+fn header_value(spec: &CampaignSpec, n_cells: usize, shard: Option<(usize, usize)>) -> Value {
     let mut t = BTreeMap::new();
     t.insert("campaign".into(), Value::from(spec.name.as_str()));
     t.insert("fingerprint".into(), Value::from(spec.fingerprint()));
     t.insert("cells".into(), Value::from(n_cells));
     t.insert("version".into(), Value::from(JOURNAL_VERSION));
+    if let Some((index, count)) = shard {
+        t.insert("shard".into(), Value::from(index));
+        t.insert("shards".into(), Value::from(count));
+    }
     Value::Table(t)
+}
+
+/// The journal filename of shard `k` in a sharded campaign run.
+pub fn shard_file_name(k: usize) -> String {
+    format!("journal-shard-{k}.jsonl")
+}
+
+/// Parses the shard index out of a [`shard_file_name`]-shaped filename;
+/// `None` for anything else (including the primary `journal.jsonl`).
+pub fn parse_shard_file_name(name: &str) -> Option<usize> {
+    name.strip_prefix("journal-shard-")?
+        .strip_suffix(".jsonl")?
+        .parse()
+        .ok()
+}
+
+/// Truncates a partial trailing line (the tell-tale of a mid-write
+/// crash: bytes after the last newline) from `path`, returning whether
+/// anything was dropped. Appending directly after such a fragment would
+/// merge two records into one corrupt line and poison the *next*
+/// resume, so every journal writer — primary and shard alike — runs
+/// this repair before reopening a journal for append.
+pub fn repair_partial_tail(path: &Path) -> Result<bool, CampaignError> {
+    let bytes = std::fs::read(path).map_err(io_err)?;
+    if bytes.is_empty() || bytes.ends_with(b"\n") {
+        return Ok(false);
+    }
+    let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+    let f = OpenOptions::new().write(true).open(path).map_err(io_err)?;
+    f.set_len(keep as u64).map_err(io_err)?;
+    Ok(true)
 }
 
 /// Serializes one cell to its journal line (sans newline).
@@ -146,36 +190,16 @@ pub fn cell_from_json(line: &str) -> Result<CellResult, CampaignError> {
     })
 }
 
-/// Loads a journal, returning the completed cells slotted by index.
-///
-/// `n_wsets` / `n_batches` / `n_archs` are the campaign's axis lengths
-/// (their product is the cell count); every journaled index is checked
-/// against them, including the cell-index consistency equation of the
-/// enumeration order, so a corrupt-but-parseable line fails here as a
-/// [`CampaignError::Journal`] instead of an out-of-bounds panic
-/// downstream.
-///
-/// Fails if the header is missing/foreign (wrong campaign name,
-/// fingerprint, version or cell count) or a non-trailing line is
-/// corrupt. A corrupt *final* line is treated as a mid-write crash and
-/// ignored. Duplicate cell lines keep the first occurrence (re-running
-/// an interrupted campaign without `--resume` rewrites the journal
-/// instead).
-pub fn load(
-    path: &Path,
+/// Validates a parsed header line against the manifest and returns its
+/// shard fields (`Some((index, count))` for a shard journal, `None`
+/// for a primary one). Shared by every load path so a primary journal,
+/// a shard journal on resume, and a shard journal under the merge all
+/// enforce the identical name/fingerprint/version/cell-count contract.
+fn check_header(
+    header: &Value,
     spec: &CampaignSpec,
-    n_wsets: usize,
-    n_batches: usize,
-    n_archs: usize,
-) -> Result<Vec<Option<CellResult>>, CampaignError> {
-    let n_cells = n_wsets * n_batches * n_archs;
-    let text = std::fs::read_to_string(path).map_err(io_err)?;
-    let mut lines = text.lines();
-    let header_line = lines
-        .next()
-        .ok_or_else(|| journal_err("empty journal (no header)"))?;
-    let header =
-        parse_json(header_line).map_err(|e| journal_err(format!("bad journal header: {e}")))?;
+    n_cells: usize,
+) -> Result<Option<(usize, usize)>, CampaignError> {
     let name = header.get("campaign").and_then(Value::as_str).unwrap_or("");
     if name != spec.name {
         return Err(journal_err(format!(
@@ -209,6 +233,133 @@ pub fn load(
         return Err(journal_err(format!(
             "journal declares {cells} cells, manifest enumerates {n_cells}"
         )));
+    }
+    match (
+        header.get("shard").and_then(Value::as_num),
+        header.get("shards").and_then(Value::as_num),
+    ) {
+        (None, None) => Ok(None),
+        (Some(i), Some(n))
+            if i.fract() == 0.0 && n.fract() == 0.0 && i >= 0.0 && n >= 1.0 && i < n =>
+        {
+            Ok(Some((i as usize, n as usize)))
+        }
+        (i, n) => Err(journal_err(format!(
+            "journal header has malformed shard fields (shard {i:?} of {n:?})"
+        ))),
+    }
+}
+
+/// Loads a journal, returning the completed cells slotted by index.
+///
+/// `n_wsets` / `n_batches` / `n_archs` are the campaign's axis lengths
+/// (their product is the cell count); every journaled index is checked
+/// against them, including the cell-index consistency equation of the
+/// enumeration order, so a corrupt-but-parseable line fails here as a
+/// [`CampaignError::Journal`] instead of an out-of-bounds panic
+/// downstream.
+///
+/// Fails if the header is missing/foreign (wrong campaign name,
+/// fingerprint, version or cell count) or a non-trailing line is
+/// corrupt. A corrupt *final* line is treated as a mid-write crash and
+/// ignored. Duplicate cell lines keep the first occurrence (re-running
+/// an interrupted campaign without `--resume` rewrites the journal
+/// instead).
+pub fn load(
+    path: &Path,
+    spec: &CampaignSpec,
+    n_wsets: usize,
+    n_batches: usize,
+    n_archs: usize,
+) -> Result<Vec<Option<CellResult>>, CampaignError> {
+    load_impl(path, spec, n_wsets, n_batches, n_archs, None)
+}
+
+/// [`load`] for one shard's journal: the header must additionally
+/// declare exactly `shard index` of `count` shards. A shard may record
+/// any cell (work stealing), so cell lines are validated against the
+/// campaign axes only, never against the shard's own partition.
+pub fn load_shard(
+    path: &Path,
+    spec: &CampaignSpec,
+    n_wsets: usize,
+    n_batches: usize,
+    n_archs: usize,
+    index: usize,
+    count: usize,
+) -> Result<Vec<Option<CellResult>>, CampaignError> {
+    load_impl(
+        path,
+        spec,
+        n_wsets,
+        n_batches,
+        n_archs,
+        Some((index, count)),
+    )
+}
+
+/// Reads and validates only a shard journal's header, returning its
+/// `(shard index, shard count)`. The merge uses this first pass to
+/// discover the partition width and refuse mismatched files before
+/// paying for a full line scan.
+pub fn read_shard_header(
+    path: &Path,
+    spec: &CampaignSpec,
+    n_cells: usize,
+) -> Result<(usize, usize), CampaignError> {
+    let text = std::fs::read_to_string(path).map_err(io_err)?;
+    let header_line = text
+        .lines()
+        .next()
+        .ok_or_else(|| journal_err("empty journal (no header)"))?;
+    let header =
+        parse_json(header_line).map_err(|e| journal_err(format!("bad journal header: {e}")))?;
+    check_header(&header, spec, n_cells)?.ok_or_else(|| {
+        journal_err(
+            "journal has no shard fields in its header (it is a primary journal, \
+             not a shard journal)",
+        )
+    })
+}
+
+fn load_impl(
+    path: &Path,
+    spec: &CampaignSpec,
+    n_wsets: usize,
+    n_batches: usize,
+    n_archs: usize,
+    expect_shard: Option<(usize, usize)>,
+) -> Result<Vec<Option<CellResult>>, CampaignError> {
+    let n_cells = n_wsets * n_batches * n_archs;
+    let text = std::fs::read_to_string(path).map_err(io_err)?;
+    let mut lines = text.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| journal_err("empty journal (no header)"))?;
+    let header =
+        parse_json(header_line).map_err(|e| journal_err(format!("bad journal header: {e}")))?;
+    let got_shard = check_header(&header, spec, n_cells)?;
+    match (expect_shard, got_shard) {
+        (None, Some((i, n))) => {
+            return Err(journal_err(format!(
+                "this is shard {i}'s journal of a {n}-way sharded run; merge shard \
+                 journals (`gemini campaign merge`) instead of resuming them as a \
+                 primary journal"
+            )))
+        }
+        (Some((i, n)), None) => {
+            return Err(journal_err(format!(
+                "journal has no shard header; expected shard {i} of {n} — it was \
+                 written by an unsharded run"
+            )))
+        }
+        (Some(want), Some(got)) if want != got => {
+            return Err(journal_err(format!(
+                "journal header declares shard {} of {}, expected shard {} of {}",
+                got.0, got.1, want.0, want.1
+            )))
+        }
+        _ => {}
     }
 
     let rest: Vec<&str> = lines.collect();
@@ -255,27 +406,38 @@ pub struct Appender {
 }
 
 impl Appender {
-    /// Opens the journal for appending. With `resume = false` the file
-    /// is created (or truncated) and the header written; with
+    /// Opens the primary journal for appending. With `resume = false`
+    /// the file is created (or truncated) and the header written; with
     /// `resume = true` the existing, already-validated file is opened
-    /// in append mode — after discarding any partial trailing line (a
-    /// mid-write crash leaves one; appending directly after it would
-    /// merge two records into one corrupt line and poison the *next*
-    /// resume, so the partial bytes are truncated away first, matching
-    /// what [`load`] already ignored).
+    /// in append mode — after [`repair_partial_tail`] discards any
+    /// partial trailing line a mid-write crash left behind (appending
+    /// directly after it would merge two records into one corrupt line
+    /// and poison the *next* resume), matching what [`load`] already
+    /// ignored.
     pub fn open(
         path: &Path,
         spec: &CampaignSpec,
         n_cells: usize,
         resume: bool,
     ) -> Result<Self, CampaignError> {
+        Self::open_sharded(path, spec, n_cells, resume, None)
+    }
+
+    /// [`Appender::open`] with an optional shard identity: a
+    /// `Some((index, count))` writes the shard fields into the header,
+    /// so the file round-trips through [`load_shard`] and the merge.
+    /// The resume-time partial-tail repair is the same shared helper on
+    /// both paths — a crashed shard recovers exactly like a crashed
+    /// primary run.
+    pub fn open_sharded(
+        path: &Path,
+        spec: &CampaignSpec,
+        n_cells: usize,
+        resume: bool,
+        shard: Option<(usize, usize)>,
+    ) -> Result<Self, CampaignError> {
         if resume {
-            let bytes = std::fs::read(path).map_err(io_err)?;
-            if !bytes.is_empty() && !bytes.ends_with(b"\n") {
-                let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
-                let f = OpenOptions::new().write(true).open(path).map_err(io_err)?;
-                f.set_len(keep as u64).map_err(io_err)?;
-            }
+            repair_partial_tail(path)?;
         }
         let mut o = OpenOptions::new();
         if resume {
@@ -285,7 +447,7 @@ impl Appender {
         }
         let mut file = o.open(path).map_err(io_err)?;
         if !resume {
-            let mut line = header_value(spec, n_cells).to_json();
+            let mut line = header_value(spec, n_cells, shard).to_json();
             line.push('\n');
             file.write_all(line.as_bytes()).map_err(io_err)?;
         }
@@ -492,6 +654,104 @@ preset = "s-arch"
             Err(CampaignError::Journal(msg)) => assert!(msg.contains("inconsistent"), "{msg}"),
             other => panic!("expected a consistency refusal, got {other:?}"),
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_file_names_round_trip() {
+        assert_eq!(shard_file_name(0), "journal-shard-0.jsonl");
+        assert_eq!(parse_shard_file_name("journal-shard-17.jsonl"), Some(17));
+        assert_eq!(parse_shard_file_name("journal.jsonl"), None);
+        assert_eq!(parse_shard_file_name("journal-shard-x.jsonl"), None);
+        assert_eq!(parse_shard_file_name("journal-shard-3.csv"), None);
+    }
+
+    #[test]
+    fn repair_partial_tail_drops_only_the_fragment() {
+        let dir = std::env::temp_dir().join(format!("gemini-journal-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        std::fs::write(&path, "a\nb\n").unwrap();
+        assert!(!repair_partial_tail(&path).unwrap(), "clean file untouched");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\nb\n");
+        std::fs::write(&path, "a\nb\n{\"cell\":9,\"ws").unwrap();
+        assert!(repair_partial_tail(&path).unwrap());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\nb\n");
+        // A fragment with no newline at all truncates to empty.
+        std::fs::write(&path, "{\"camp").unwrap();
+        assert!(repair_partial_tail(&path).unwrap());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_journals_round_trip_and_cross_checks_refuse() {
+        let spec = tiny_spec();
+        let dir = std::env::temp_dir().join(format!("gemini-journal6-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(shard_file_name(1));
+        let w = Appender::open_sharded(&path, &spec, 2, false, Some((1, 3))).unwrap();
+        w.append(&cell(0, false));
+        drop(w);
+
+        // The shard loader accepts it with the matching identity...
+        let loaded = load_shard(&path, &spec, 1, 1, 2, 1, 3).unwrap();
+        assert_eq!(loaded[0].as_ref().unwrap(), &cell(0, false));
+        assert_eq!(read_shard_header(&path, &spec, 2).unwrap(), (1, 3));
+
+        // ...and refuses a mismatched one, precisely.
+        match load_shard(&path, &spec, 1, 1, 2, 2, 3) {
+            Err(CampaignError::Journal(msg)) => {
+                assert!(msg.contains("declares shard 1 of 3"), "{msg}")
+            }
+            other => panic!("expected a shard mismatch, got {other:?}"),
+        }
+        // The primary loader refuses a shard journal outright.
+        match load(&path, &spec, 1, 1, 2) {
+            Err(CampaignError::Journal(msg)) => assert!(msg.contains("merge"), "{msg}"),
+            other => panic!("expected a shard refusal, got {other:?}"),
+        }
+
+        // A primary journal is not a shard journal.
+        let primary = dir.join("journal.jsonl");
+        let w = Appender::open(&primary, &spec, 2, false).unwrap();
+        drop(w);
+        assert!(load_shard(&primary, &spec, 1, 1, 2, 0, 3).is_err());
+        assert!(read_shard_header(&primary, &spec, 2).is_err());
+
+        // Resume keeps the shard header (no second header is written).
+        let w = Appender::open_sharded(&path, &spec, 2, true, Some((1, 3))).unwrap();
+        w.append(&cell(1, false));
+        drop(w);
+        let loaded = load_shard(&path, &spec, 1, 1, 2, 1, 3).unwrap();
+        assert!(loaded[0].is_some() && loaded[1].is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_resume_repairs_a_partial_tail_like_the_primary_path() {
+        // The regression the shared helper exists for: the mid-write
+        // repair must apply to shard journals exactly as it does to the
+        // primary journal.
+        let spec = tiny_spec();
+        let dir = std::env::temp_dir().join(format!("gemini-journal7-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(shard_file_name(0));
+        let w = Appender::open_sharded(&path, &spec, 2, false, Some((0, 2))).unwrap();
+        w.append(&cell(0, false));
+        drop(w);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"cell\":1,\"wset\":0,\"ba"); // no newline
+        std::fs::write(&path, &text).unwrap();
+
+        let w = Appender::open_sharded(&path, &spec, 2, true, Some((0, 2))).unwrap();
+        w.append(&cell(1, false));
+        drop(w);
+        let loaded = load_shard(&path, &spec, 1, 1, 2, 0, 2).unwrap();
+        assert_eq!(loaded[0].as_ref().unwrap(), &cell(0, false));
+        assert_eq!(loaded[1].as_ref().unwrap(), &cell(1, false));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 3, "header + two cells, no fragment");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -407,6 +407,23 @@ impl CampaignSpec {
         }
     }
 
+    /// The campaign's axis lengths `(workload sets, batches, archs)` —
+    /// the single definition the driver, the journal loaders and the
+    /// shard merge validate cell indices against.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (
+            self.workload_sets().len(),
+            self.batches.len(),
+            self.arch_candidates().len(),
+        )
+    }
+
+    /// Total cell count: the product of [`CampaignSpec::dims`].
+    pub fn n_cells(&self) -> usize {
+        let (w, b, a) = self.dims();
+        w * b * a
+    }
+
     /// Canonical JSON form of the normalized spec (key-ordered,
     /// shortest-round-trip floats) — the fingerprint preimage.
     pub fn canonical_json(&self) -> String {

@@ -28,6 +28,23 @@
 //! keyed and ordered by their enumeration index, floats are serialized
 //! in shortest-round-trip form, and the SA engine underneath is
 //! bit-identical at any thread count (PR 2).
+//!
+//! # Sharded, multi-writer execution
+//!
+//! Campaign cells are independent, so a sweep too large for one
+//! process partitions into `N` shards: [`shard_of`] assigns every cell
+//! to a shard by a stable hash of its index ([`cell_claim_key`],
+//! deliberately independent of `N`), [`run_campaign_shard`] evaluates
+//! one shard's cells into its own journal
+//! (`journal-shard-<k>.jsonl`), and [`merge_shards`] validates the
+//! shard journals, unions their records (duplicates are tolerated when
+//! bit-identical — first writer wins — and refused when conflicting)
+//! and rebuilds the archive and artifacts from the union. The merged
+//! artifacts are **byte-identical to a single-shard run** of the same
+//! manifest+seed, regardless of shard count, interleaving, or
+//! crash/resume history — a dead shard is recovered by resuming it, or
+//! by re-running any sibling with [`ShardSpec::steal`], which scans the
+//! other journals and claims the cells nobody recorded.
 
 pub mod artifacts;
 pub mod journal;
@@ -63,6 +80,9 @@ pub enum CampaignError {
     Io(String),
     /// The journal is unusable (wrong fingerprint, foreign cells).
     Journal(String),
+    /// A sharded run or merge is misconfigured or incomplete (bad
+    /// shard index, conflicting duplicate records, missing coverage).
+    Shard(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -71,6 +91,7 @@ impl fmt::Display for CampaignError {
             Self::Manifest(e) => write!(f, "{e}"),
             Self::Io(m) => write!(f, "I/O error: {m}"),
             Self::Journal(m) => write!(f, "journal error: {m}"),
+            Self::Shard(m) => write!(f, "shard error: {m}"),
         }
     }
 }
@@ -187,6 +208,44 @@ pub struct CampaignOptions {
     pub out_root: Option<PathBuf>,
 }
 
+/// Identity of one shard in an `N`-way sharded campaign run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's index, `0 <= index < count`.
+    pub index: usize,
+    /// The partition width `N` (total number of shards).
+    pub count: usize,
+    /// After finishing its own partition, scan the sibling shard
+    /// journals once and evaluate every cell *no* journal has recorded.
+    /// This is how a sibling covers for a shard that died and will not
+    /// be resumed; duplicates with a racing sibling are harmless
+    /// because the merge keeps the first of two identical records.
+    pub steal: bool,
+}
+
+/// A stable 64-bit claim key for a campaign cell, used to partition
+/// cells across shards. It is a pure function of the cell index — the
+/// splitmix64 finalizer, the same mix as [`crate::sa`]'s per-chain
+/// seeding — and deliberately *independent of the shard count*, so any
+/// two processes agree on every cell's key without coordination.
+pub fn cell_claim_key(cell: usize) -> u64 {
+    let mut z = (cell as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The shard that owns `cell` in an `n_shards`-way partition:
+/// [`cell_claim_key`] reduced mod `n_shards`. The hash (rather than a
+/// contiguous range split) spreads expensive neighbouring cells across
+/// shards, and because the key ignores `n_shards`, ownership claims
+/// from runs with different widths are still deterministic functions
+/// of the cell alone.
+pub fn shard_of(cell: usize, n_shards: usize) -> usize {
+    assert!(n_shards >= 1, "at least one shard");
+    (cell_claim_key(cell) % n_shards as u64) as usize
+}
+
 /// One comparable cell group: a (workload set, batch) combination.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellGroup {
@@ -231,6 +290,32 @@ pub struct CampaignResult {
     /// Artifact paths written (`cells.csv`, `pareto.csv`,
     /// `pareto.json`).
     pub artifacts: Vec<PathBuf>,
+}
+
+/// A completed [`run_campaign_shard`] call. A shard run writes its
+/// journal only — never artifacts; those come from [`merge_shards`]
+/// once every cell is covered.
+#[derive(Debug)]
+pub struct ShardRunResult {
+    /// The manifest fingerprint all shard journals must share.
+    pub fingerprint: String,
+    /// The campaign directory (shared by all shards).
+    pub dir: PathBuf,
+    /// This shard's journal (`journal-shard-<index>.jsonl`).
+    pub journal: PathBuf,
+    /// This shard's `(index, count)` identity.
+    pub shard: (usize, usize),
+    /// Cells this shard owns under [`shard_of`].
+    pub owned: usize,
+    /// Cells replayed from this shard's journal instead of evaluated.
+    pub skipped: usize,
+    /// Cells evaluated this run (owned and stolen).
+    pub evaluated: usize,
+    /// Unowned cells queued because no sibling journal had recorded
+    /// them (only with [`ShardSpec::steal`]).
+    pub stolen: usize,
+    /// Every cell in this shard's journal after the run, in cell order.
+    pub cells: Vec<CellResult>,
 }
 
 /// One cell's identity before evaluation.
@@ -399,23 +484,44 @@ fn evaluate_cell(
     }
 }
 
-/// Runs (or resumes) a campaign and writes its artifacts.
-///
-/// The journal lands at `<dir>/journal.jsonl` and the artifacts at
-/// `<dir>/cells.csv`, `<dir>/pareto.csv` and `<dir>/pareto.json`, with
-/// `<dir> = <out_root or manifest out_dir>/<campaign name>`.
-///
-/// # Determinism
-///
-/// Same manifest + seed ⇒ byte-identical artifacts at any
-/// [`CampaignOptions::threads`] count, whether the run was cold or
-/// resumed from a truncated journal. (The journal's own *line order*
-/// is completion order and may differ between runs; its *content* per
-/// cell is bit-identical, which is what resume consumes.)
-pub fn run_campaign(
-    spec: &CampaignSpec,
-    opts: &CampaignOptions,
-) -> Result<CampaignResult, CampaignError> {
+/// The campaign's resolved axes: workload instances, workload sets,
+/// architecture candidates and the deterministic cell enumeration.
+/// Every entry point — single-process run, shard run, merge — resolves
+/// the manifest through this one constructor, so they cannot disagree
+/// on the cell space.
+struct Axes {
+    dnns: Vec<Dnn>,
+    sets: Vec<(String, Vec<usize>)>,
+    archs: Vec<gemini_arch::ArchConfig>,
+    keys: Vec<CellKey>,
+}
+
+impl Axes {
+    fn new(spec: &CampaignSpec) -> Self {
+        let dnns = spec
+            .workloads
+            .iter()
+            .map(|n| gemini_model::zoo::by_name(n).expect("spec validated workload names"))
+            .collect();
+        let sets = spec.workload_sets();
+        let archs = spec.arch_candidates();
+        let keys = enumerate_cells(sets.len(), spec.batches.len(), archs.len());
+        Self {
+            dnns,
+            sets,
+            archs,
+            keys,
+        }
+    }
+
+    fn n_cells(&self) -> usize {
+        self.keys.len()
+    }
+}
+
+/// Resolves and creates the campaign directory
+/// (`<out_root or manifest out_dir>/<campaign name>`).
+fn campaign_dir(spec: &CampaignSpec, opts: &CampaignOptions) -> Result<PathBuf, CampaignError> {
     let root = opts
         .out_root
         .clone()
@@ -423,74 +529,65 @@ pub fn run_campaign(
     let dir = root.join(&spec.name);
     std::fs::create_dir_all(&dir)
         .map_err(|e| CampaignError::Io(format!("cannot create {}: {e}", dir.display())))?;
+    Ok(dir)
+}
 
-    let dnns: Vec<Dnn> = spec
-        .workloads
-        .iter()
-        .map(|n| gemini_model::zoo::by_name(n).expect("spec validated workload names"))
-        .collect();
-    let sets = spec.workload_sets();
-    let archs = spec.arch_candidates();
-    let cells = enumerate_cells(sets.len(), spec.batches.len(), archs.len());
-    let fingerprint = spec.fingerprint();
-
-    // Journal: load on resume, then append the cells we evaluate.
-    let journal_path = dir.join("journal.jsonl");
-    let (mut results, resumed): (Vec<Option<CellResult>>, bool) =
-        if opts.resume && journal_path.exists() {
-            (
-                journal::load(
-                    &journal_path,
-                    spec,
-                    sets.len(),
-                    spec.batches.len(),
-                    archs.len(),
-                )?,
-                true,
-            )
-        } else {
-            (vec![None; cells.len()], false)
-        };
-    let skipped = results.iter().filter(|r| r.is_some()).count();
-    let writer = journal::Appender::open(&journal_path, spec, cells.len(), resumed)?;
-
-    // Fan the pending cells out over the worker pool. SA chains are
-    // pinned to one thread while the cell level is parallel so the
-    // machine is not oversubscribed (results are unaffected: the SA
-    // engine is bit-identical at any thread count).
-    let pending: Vec<usize> = (0..cells.len()).filter(|&i| results[i].is_none()).collect();
-    let workers = if opts.threads == 0 {
+/// Fans `pending` (cell indices) out over the worker pool, journaling
+/// each completed cell, and returns the evaluated results. SA chains
+/// are pinned to one thread while the cell level is parallel so the
+/// machine is not oversubscribed (results are unaffected: the SA
+/// engine is bit-identical at any thread count).
+fn evaluate_pending(
+    spec: &CampaignSpec,
+    axes: &Axes,
+    pending: &[usize],
+    writer: &journal::Appender,
+    threads: usize,
+) -> Vec<CellResult> {
+    let workers = if threads == 0 {
         std::thread::available_parallelism().map_or(4, |n| n.get())
     } else {
-        opts.threads
+        threads
     }
     .clamp(1, pending.len().max(1));
     let sa_threads = if workers > 1 { 1 } else { 0 };
     let cost = CostModel::default();
     let memo = MappingMemo::new();
-    let evaluated: Vec<CellResult> =
-        crate::pool::parallel_map_indexed(workers, pending.len(), |j| {
-            let idx = pending[j];
-            let r = evaluate_cell(
-                idx, cells[idx], spec, &sets, &dnns, &archs, &cost, &memo, sa_threads,
-            );
-            writer.append(&r);
-            r
-        });
-    let n_evaluated = evaluated.len();
-    for r in evaluated {
-        let slot = &mut results[r.cell];
-        debug_assert!(slot.is_none());
-        *slot = Some(r);
-    }
-    let cells: Vec<CellResult> = results
-        .into_iter()
-        .map(|r| r.expect("every cell evaluated or resumed"))
-        .collect();
+    crate::pool::parallel_map_indexed(workers, pending.len(), |j| {
+        let idx = pending[j];
+        let r = evaluate_cell(
+            idx,
+            axes.keys[idx],
+            spec,
+            &axes.sets,
+            &axes.dnns,
+            &axes.archs,
+            &cost,
+            &memo,
+            sa_threads,
+        );
+        writer.append(&r);
+        r
+    })
+}
 
-    // Groups, archive, per-objective winners.
+/// Builds groups, archive and per-objective winners from the complete
+/// cell list and writes the artifacts. Both producers of final results
+/// — [`run_campaign`] and [`merge_shards`] — end here, which is what
+/// makes "merged artifacts are byte-identical to a single-shard run" a
+/// structural property rather than a hoped-for coincidence.
+fn finalize(
+    dir: PathBuf,
+    spec: &CampaignSpec,
+    fingerprint: String,
+    axes: &Axes,
+    cells: Vec<CellResult>,
+    skipped: usize,
+    evaluated: usize,
+) -> Result<CampaignResult, CampaignError> {
     let n_batches = spec.batches.len();
-    let groups: Vec<CellGroup> = sets
+    let groups: Vec<CellGroup> = axes
+        .sets
         .iter()
         .flat_map(|(label, _)| {
             spec.batches.iter().map(|&b| CellGroup {
@@ -499,14 +596,8 @@ pub fn run_campaign(
             })
         })
         .collect();
-    let mut archive = ParetoArchive::new(spec.pareto_axes.clone(), groups.len());
-    for c in &cells {
-        archive.insert(ParetoPoint {
-            cell: c.cell,
-            group: c.group(n_batches),
-            coords: spec.pareto_axes.iter().map(|&a| c.axis_value(a)).collect(),
-        });
-    }
+    let archive =
+        ParetoArchive::from_cell_results(spec.pareto_axes.clone(), groups.len(), n_batches, &cells);
     let mut best = Vec::new();
     for g in 0..groups.len() {
         for o in &spec.objectives {
@@ -531,14 +622,16 @@ pub fn run_campaign(
 
     let artifacts = artifacts::write_all(
         &dir,
-        spec,
-        &fingerprint,
-        &cells,
-        &groups,
-        &archive,
-        &best,
-        &sets,
-        &archs,
+        &artifacts::ArtifactInputs {
+            spec,
+            fingerprint: &fingerprint,
+            cells: &cells,
+            groups: &groups,
+            archive: &archive,
+            best: &best,
+            sets: &axes.sets,
+            archs: &axes.archs,
+        },
     )?;
 
     Ok(CampaignResult {
@@ -546,12 +639,332 @@ pub fn run_campaign(
         dir,
         cells,
         skipped,
-        evaluated: n_evaluated,
+        evaluated,
         groups,
         archive,
         best,
         artifacts,
     })
+}
+
+/// Runs (or resumes) a campaign and writes its artifacts.
+///
+/// The journal lands at `<dir>/journal.jsonl` and the artifacts at
+/// `<dir>/cells.csv`, `<dir>/pareto.csv` and `<dir>/pareto.json`, with
+/// `<dir> = <out_root or manifest out_dir>/<campaign name>`.
+///
+/// # Determinism
+///
+/// Same manifest + seed ⇒ byte-identical artifacts at any
+/// [`CampaignOptions::threads`] count, whether the run was cold or
+/// resumed from a truncated journal. (The journal's own *line order*
+/// is completion order and may differ between runs; its *content* per
+/// cell is bit-identical, which is what resume consumes.)
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    opts: &CampaignOptions,
+) -> Result<CampaignResult, CampaignError> {
+    let dir = campaign_dir(spec, opts)?;
+    let axes = Axes::new(spec);
+    let fingerprint = spec.fingerprint();
+
+    // Journal: load on resume, then append the cells we evaluate.
+    let journal_path = dir.join("journal.jsonl");
+    let (mut results, resumed): (Vec<Option<CellResult>>, bool) =
+        if opts.resume && journal_path.exists() {
+            (
+                journal::load(
+                    &journal_path,
+                    spec,
+                    axes.sets.len(),
+                    spec.batches.len(),
+                    axes.archs.len(),
+                )?,
+                true,
+            )
+        } else {
+            (vec![None; axes.n_cells()], false)
+        };
+    let skipped = results.iter().filter(|r| r.is_some()).count();
+    let writer = journal::Appender::open(&journal_path, spec, axes.n_cells(), resumed)?;
+
+    let pending: Vec<usize> = (0..axes.n_cells())
+        .filter(|&i| results[i].is_none())
+        .collect();
+    let evaluated = evaluate_pending(spec, &axes, &pending, &writer, opts.threads);
+    let n_evaluated = evaluated.len();
+    for r in evaluated {
+        let slot = &mut results[r.cell];
+        debug_assert!(slot.is_none());
+        *slot = Some(r);
+    }
+    let cells: Vec<CellResult> = results
+        .into_iter()
+        .map(|r| r.expect("every cell evaluated or resumed"))
+        .collect();
+
+    finalize(dir, spec, fingerprint, &axes, cells, skipped, n_evaluated)
+}
+
+/// Runs (or resumes) one shard of an `N`-way sharded campaign.
+///
+/// The shard evaluates the cells [`shard_of`] assigns it — plus, with
+/// [`ShardSpec::steal`], any cell no sibling journal has recorded —
+/// and journals them to `<dir>/journal-shard-<index>.jsonl` under the
+/// same header/fingerprint contract as the primary journal. It writes
+/// **no artifacts**; run [`merge_shards`] once every cell is covered.
+///
+/// Shards coordinate through the filesystem only: any subset of the
+/// `N` shard processes may run concurrently, sequentially, or crash
+/// and resume, in any order, on one shared directory.
+pub fn run_campaign_shard(
+    spec: &CampaignSpec,
+    opts: &CampaignOptions,
+    shard: ShardSpec,
+) -> Result<ShardRunResult, CampaignError> {
+    if shard.count == 0 {
+        return Err(CampaignError::Shard(
+            "shard count must be at least 1".into(),
+        ));
+    }
+    if shard.index >= shard.count {
+        return Err(CampaignError::Shard(format!(
+            "shard index {} out of range for {} shards",
+            shard.index, shard.count
+        )));
+    }
+    let dir = campaign_dir(spec, opts)?;
+    let axes = Axes::new(spec);
+    let n_cells = axes.n_cells();
+    let fingerprint = spec.fingerprint();
+
+    let journal_path = dir.join(journal::shard_file_name(shard.index));
+    let (mut results, resumed): (Vec<Option<CellResult>>, bool) =
+        if opts.resume && journal_path.exists() {
+            (
+                journal::load_shard(
+                    &journal_path,
+                    spec,
+                    axes.sets.len(),
+                    spec.batches.len(),
+                    axes.archs.len(),
+                    shard.index,
+                    shard.count,
+                )?,
+                true,
+            )
+        } else {
+            (vec![None; n_cells], false)
+        };
+    let skipped = results.iter().filter(|r| r.is_some()).count();
+    let writer = journal::Appender::open_sharded(
+        &journal_path,
+        spec,
+        n_cells,
+        resumed,
+        Some((shard.index, shard.count)),
+    )?;
+
+    let owned = (0..n_cells)
+        .filter(|&i| shard_of(i, shard.count) == shard.index)
+        .count();
+    let mut pending: Vec<usize> = (0..n_cells)
+        .filter(|&i| shard_of(i, shard.count) == shard.index && results[i].is_none())
+        .collect();
+
+    // Steal: one scan over the sibling journals (validated against the
+    // same fingerprint contract), then queue every cell neither we nor
+    // any sibling has recorded. First-writer-wins at merge time makes a
+    // race with a resurrected sibling harmless: both journals carry the
+    // identical record.
+    let mut stolen = 0;
+    if shard.steal {
+        let mut claimed: Vec<bool> = results.iter().map(Option::is_some).collect();
+        for k in 0..shard.count {
+            if k == shard.index {
+                continue;
+            }
+            let sibling = dir.join(journal::shard_file_name(k));
+            if !sibling.exists() {
+                continue;
+            }
+            let recorded = journal::load_shard(
+                &sibling,
+                spec,
+                axes.sets.len(),
+                spec.batches.len(),
+                axes.archs.len(),
+                k,
+                shard.count,
+            )?;
+            for (i, c) in recorded.iter().enumerate() {
+                if c.is_some() {
+                    claimed[i] = true;
+                }
+            }
+        }
+        for (i, taken) in claimed.iter().enumerate() {
+            if !taken && shard_of(i, shard.count) != shard.index {
+                pending.push(i);
+                stolen += 1;
+            }
+        }
+    }
+
+    let evaluated = evaluate_pending(spec, &axes, &pending, &writer, opts.threads);
+    let n_evaluated = evaluated.len();
+    for r in evaluated {
+        let slot = &mut results[r.cell];
+        debug_assert!(slot.is_none());
+        *slot = Some(r);
+    }
+
+    Ok(ShardRunResult {
+        fingerprint,
+        dir,
+        journal: journal_path,
+        shard: (shard.index, shard.count),
+        owned,
+        skipped,
+        evaluated: n_evaluated,
+        stolen,
+        cells: results.into_iter().flatten().collect(),
+    })
+}
+
+/// Merges the shard journals in the campaign directory into the final
+/// artifacts, exactly as a single-shard run would have written them.
+///
+/// The merge discovers every `journal-shard-<k>.jsonl`, validates each
+/// header against the manifest (fingerprint, cell count, and that the
+/// file name matches the shard the header declares), and requires all
+/// files to agree on the partition width. Records are unioned in
+/// shard-index order; a cell recorded by several shards is fine when
+/// the records are identical (**first writer wins** — this is how
+/// [`ShardSpec::steal`] overlaps resolve) and refused when they
+/// conflict. Missing cells are refused with their owning shard named —
+/// resume that shard, or re-run any sibling with `steal`, then merge
+/// again. A shard's journal may be entirely absent as long as its
+/// cells are covered elsewhere.
+///
+/// On success the artifacts are byte-identical to [`run_campaign`] on
+/// the same manifest, regardless of shard count, interleaving, or
+/// crash/resume history ([`CampaignResult::skipped`] counts all cells;
+/// `evaluated` is 0 — the merge never evaluates).
+pub fn merge_shards(
+    spec: &CampaignSpec,
+    opts: &CampaignOptions,
+) -> Result<CampaignResult, CampaignError> {
+    let dir = campaign_dir(spec, opts)?;
+    let axes = Axes::new(spec);
+    let n_cells = axes.n_cells();
+    let fingerprint = spec.fingerprint();
+
+    // Discover shard journals by name.
+    let mut shard_files: Vec<(usize, PathBuf)> = Vec::new();
+    let entries = std::fs::read_dir(&dir)
+        .map_err(|e| CampaignError::Io(format!("cannot read {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| CampaignError::Io(e.to_string()))?;
+        if let Some(k) = entry
+            .file_name()
+            .to_str()
+            .and_then(journal::parse_shard_file_name)
+        {
+            shard_files.push((k, entry.path()));
+        }
+    }
+    shard_files.sort_unstable_by_key(|&(k, _)| k);
+    if shard_files.is_empty() {
+        return Err(CampaignError::Shard(format!(
+            "no shard journals (journal-shard-<k>.jsonl) found in {}",
+            dir.display()
+        )));
+    }
+
+    // Pass 1: headers. Every file must declare the shard its name
+    // says, and all files must agree on the partition width.
+    let mut count: Option<usize> = None;
+    for (k, path) in &shard_files {
+        let (hi, hn) = journal::read_shard_header(path, spec, n_cells)?;
+        if hi != *k {
+            return Err(CampaignError::Shard(format!(
+                "{} declares shard {hi}, but its file name says shard {k}",
+                path.display()
+            )));
+        }
+        match count {
+            None => count = Some(hn),
+            Some(n) if n != hn => {
+                return Err(CampaignError::Shard(format!(
+                    "shard journals disagree on the partition width: shard {k} \
+                     says {hn} shards, an earlier shard said {n}"
+                )))
+            }
+            Some(_) => {}
+        }
+    }
+    let count = count.expect("at least one shard file");
+
+    // Pass 2: union the records in shard-index order. Identical
+    // duplicates keep the first writer; conflicting duplicates mean
+    // the journals came from incompatible runs and are refused.
+    let mut merged: Vec<Option<(CellResult, usize)>> = (0..n_cells).map(|_| None).collect();
+    for (k, path) in &shard_files {
+        let recorded = journal::load_shard(
+            path,
+            spec,
+            axes.sets.len(),
+            spec.batches.len(),
+            axes.archs.len(),
+            *k,
+            count,
+        )?;
+        for r in recorded.into_iter().flatten() {
+            let cell = r.cell;
+            match &merged[cell] {
+                None => merged[cell] = Some((r, *k)),
+                Some((first, first_shard)) => {
+                    if *first != r {
+                        return Err(CampaignError::Shard(format!(
+                            "shards {first_shard} and {k} recorded conflicting results \
+                             for cell {}; the journals come from incompatible runs — \
+                             delete one of them and re-run that shard",
+                            r.cell
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    // Coverage: every cell must be recorded somewhere.
+    let missing: Vec<usize> = (0..n_cells).filter(|&i| merged[i].is_none()).collect();
+    if let Some(&first) = missing.first() {
+        let owner = shard_of(first, count);
+        let absent: Vec<usize> = (0..count)
+            .filter(|k| !shard_files.iter().any(|&(fk, _)| fk == *k))
+            .collect();
+        let mut msg = format!(
+            "merge covers only {} of {n_cells} cells; first missing: cell {first}, \
+             owned by shard {owner} of {count}",
+            n_cells - missing.len()
+        );
+        if !absent.is_empty() {
+            msg.push_str(&format!("; no journal found for shard(s) {absent:?}"));
+        }
+        msg.push_str(
+            "; resume the missing shard(s) (--resume) or re-run a sibling \
+             with --steal, then merge again",
+        );
+        return Err(CampaignError::Shard(msg));
+    }
+
+    let cells: Vec<CellResult> = merged
+        .into_iter()
+        .map(|s| s.expect("coverage checked").0)
+        .collect();
+    finalize(dir, spec, fingerprint, &axes, cells, n_cells, 0)
 }
 
 /// Convenience: load a manifest file and run it.

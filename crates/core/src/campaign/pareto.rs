@@ -14,6 +14,7 @@
 //! byte-identical however many worker threads produced the cells.
 
 use super::manifest::ParetoAxis;
+use super::CellResult;
 
 /// One cell's coordinates on the archive axes.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +65,33 @@ impl ParetoArchive {
     /// The archive's axes.
     pub fn axes(&self) -> &[ParetoAxis] {
         &self.axes
+    }
+
+    /// Builds the campaign archive from cell results in *any* iteration
+    /// order. The member set is insertion-order-invariant and members
+    /// are stored cell-index-sorted, so the single-process driver
+    /// (which feeds cells in index order) and the shard merge (which
+    /// scans `journal-shard-*.jsonl` files in shard order) produce
+    /// byte-identical serialized archives from the same record union.
+    pub fn from_cell_results<'a, I>(
+        axes: Vec<ParetoAxis>,
+        n_groups: usize,
+        n_batches: usize,
+        cells: I,
+    ) -> Self
+    where
+        I: IntoIterator<Item = &'a CellResult>,
+    {
+        let mut archive = Self::new(axes, n_groups);
+        for c in cells {
+            let coords = archive.axes.iter().map(|&a| c.axis_value(a)).collect();
+            archive.insert(ParetoPoint {
+                cell: c.cell,
+                group: c.group(n_batches),
+                coords,
+            });
+        }
+        archive
     }
 
     /// Inserts a point, dropping it if dominated and evicting any
@@ -177,6 +205,66 @@ mod tests {
         assert_eq!(fwd, sorted);
         // Duplicate-coordinate points coexist (neither dominates).
         assert!(fwd.contains(&1) && fwd.contains(&5));
+    }
+
+    /// A minimal cell on the (latency, energy) axes in group
+    /// `wset * n_batches + batch_idx` (here `n_batches = 1`).
+    fn cell_result(cell: usize, wset: usize, delay: f64, energy: f64) -> CellResult {
+        CellResult {
+            cell,
+            wset,
+            batch_idx: 0,
+            arch_idx: cell,
+            mc: 1.0,
+            mc_silicon: 1.0,
+            mc_dram: 0.0,
+            mc_package: 0.0,
+            area_mm2: 1.0,
+            energy,
+            delay,
+            fluid_delay: None,
+            worst_fluid: None,
+            per_dnn: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn rebuild_from_shuffled_shard_unions_is_order_invariant() {
+        // The multi-journal path: shard journals yield the same record
+        // *union* in shard-scan order, not cell order, and a steal-ing
+        // shard interleaves cells of several partitions. Rebuilding via
+        // from_cell_results must give one canonical archive regardless.
+        let cells = [
+            cell_result(0, 0, 3.0, 1.0),
+            cell_result(1, 0, 1.0, 3.0),
+            cell_result(2, 0, 2.0, 2.0),
+            cell_result(3, 0, 4.0, 4.0), // dominated in group 0
+            cell_result(4, 1, 5.0, 5.0), // alone on group 1's front
+            cell_result(5, 1, 1.0, 3.0),
+            cell_result(6, 1, 5.0, 5.0), // duplicate coords, group 1
+        ];
+        let axes = || axes2();
+        let build = |order: &[usize]| {
+            let picked: Vec<&CellResult> = order.iter().map(|&i| &cells[i]).collect();
+            let a = ParetoArchive::from_cell_results(axes(), 2, 1, picked);
+            (0..2)
+                .map(|g| a.front(g).iter().map(|p| p.cell).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        };
+        // Cell order (single-process driver), shard-major interleavings
+        // (merge scan with different partitions), and a shuffle.
+        let reference = build(&[0, 1, 2, 3, 4, 5, 6]);
+        for order in [
+            vec![0, 2, 4, 6, 1, 3, 5], // "shard 0" = evens, then odds
+            vec![5, 3, 1, 6, 4, 2, 0], // reversed shards
+            vec![4, 0, 6, 2, 5, 1, 3], // shuffled union
+        ] {
+            assert_eq!(build(&order), reference, "order {order:?}");
+        }
+        // Sanity: group 0 drops its dominated cell; in group 1 the
+        // (5,5) twins are both dominated by (1,3), leaving only cell 5.
+        assert_eq!(reference[0], vec![0, 1, 2]);
+        assert_eq!(reference[1], vec![5]);
     }
 
     #[test]

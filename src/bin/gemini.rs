@@ -22,7 +22,12 @@
 //!   worker pool, completed cells land in a resumable journal, and the
 //!   multi-objective Pareto archive is written as CSV + JSON artifacts.
 //!   `--resume` skips journaled cells bit-identically; artifacts are
-//!   byte-identical at any `--threads` count;
+//!   byte-identical at any `--threads` count. With
+//!   `--shards N --shard-index K` the process evaluates only shard
+//!   `K`'s cells into `journal-shard-K.jsonl` (no artifacts; add
+//!   `--steal` to also claim cells no sibling journal has recorded);
+//!   `gemini campaign merge <manifest>` then validates the shard
+//!   journals and writes artifacts byte-identical to an unsharded run;
 //! * `gemini models` / `gemini archs` — list available workloads and
 //!   architecture presets.
 //!
@@ -67,7 +72,9 @@ fn usage() -> ExitCode {
 [--fidelity analytic|rerank|validate] [--rerank-k K]\n  \
          gemini hetero <model> [--batch N] [--iters N]\n  \
          gemini heatmap <model> [--batch N] [--iters N]\n  \
-         gemini campaign <manifest.toml|.json> [--resume] [--threads N] [--out DIR]"
+         gemini campaign <manifest.toml|.json> [--resume] [--threads N] [--out DIR] \
+[--shards N --shard-index K [--steal]]\n  \
+         gemini campaign merge <manifest.toml|.json> [--out DIR]"
     );
     ExitCode::FAILURE
 }
@@ -167,6 +174,53 @@ fn print_fidelity_report(res: &gemini::core::dse::DseResult) {
              EvalOptions::with_congestion_weight)",
             gemini::sim::evaluate::CONGESTION_WEIGHT
         );
+    }
+}
+
+/// Prints a finished campaign's fronts, per-objective winners and
+/// artifact paths — shared by the single-process run and the shard
+/// merge, which produce the same [`CampaignResult`] shape.
+fn print_campaign_result(spec: &CampaignSpec, res: &CampaignResult) {
+    let archs = spec.arch_candidates();
+    for (gi, g) in res.groups.iter().enumerate() {
+        let front = res.archive.front(gi);
+        println!(
+            "\n[{}] batch {}: Pareto front ({}) has {} member(s)",
+            g.wset,
+            g.batch,
+            res.archive
+                .axes()
+                .iter()
+                .map(|a| a.name())
+                .collect::<Vec<_>>()
+                .join("/"),
+            front.len()
+        );
+        for p in front {
+            let c = &res.cells[p.cell];
+            println!(
+                "  cell {:>4}  {}  D {:.3e} s  E {:.3e} J  MC ${:.2}",
+                p.cell,
+                archs[c.arch_idx].paper_tuple(),
+                c.eff_delay(),
+                c.energy,
+                c.mc
+            );
+        }
+        for b in res.best.iter().filter(|b| b.group == gi) {
+            let c = &res.cells[b.cell];
+            println!(
+                "  best under {:<8} cell {:>4}  {}  score {:.4e}",
+                b.objective,
+                b.cell,
+                archs[c.arch_idx].paper_tuple(),
+                b.score
+            );
+        }
+    }
+    println!("\nartifacts:");
+    for p in &res.artifacts {
+        println!("  {}", p.display());
     }
 }
 
@@ -415,8 +469,14 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("campaign") => {
-            let Some(manifest) = args.get(1).filter(|a| !a.starts_with("--")) else {
-                eprintln!("usage: gemini campaign <manifest.toml|.json> [--resume] [--threads N] [--out DIR]");
+            let merge = args.get(1).map(String::as_str) == Some("merge");
+            let manifest_pos = if merge { 2 } else { 1 };
+            let Some(manifest) = args.get(manifest_pos).filter(|a| !a.starts_with("--")) else {
+                eprintln!(
+                    "usage: gemini campaign <manifest.toml|.json> [--resume] [--threads N] \
+                     [--out DIR] [--shards N --shard-index K [--steal]]\n       \
+                     gemini campaign merge <manifest.toml|.json> [--out DIR]"
+                );
                 return ExitCode::FAILURE;
             };
             let spec = match CampaignSpec::load(std::path::Path::new(manifest)) {
@@ -433,6 +493,45 @@ fn main() -> ExitCode {
                 resume: args.iter().any(|a| a == "--resume"),
                 out_root: flag(&args, "--out").map(std::path::PathBuf::from),
             };
+            // Shard flags: --shards and --shard-index come as a pair;
+            // --steal only modifies a shard run; a merge takes none of
+            // them (it discovers the journals on disk).
+            let shards = flag(&args, "--shards").and_then(|v| v.parse::<usize>().ok());
+            let shard_index = flag(&args, "--shard-index").and_then(|v| v.parse::<usize>().ok());
+            let steal = args.iter().any(|a| a == "--steal");
+            if merge && (shards.is_some() || shard_index.is_some() || steal) {
+                eprintln!(
+                    "`gemini campaign merge` takes no shard flags; it discovers \
+                     journal-shard-*.jsonl in the campaign directory"
+                );
+                return ExitCode::FAILURE;
+            }
+            let shard = match (shards, shard_index) {
+                (None, None) => None,
+                (Some(count), Some(index)) => {
+                    if index >= count {
+                        eprintln!("--shard-index {index} is out of range for --shards {count}");
+                        return ExitCode::FAILURE;
+                    }
+                    Some(ShardSpec {
+                        index,
+                        count,
+                        steal,
+                    })
+                }
+                (Some(_), None) => {
+                    eprintln!("--shards requires --shard-index");
+                    return ExitCode::FAILURE;
+                }
+                (None, Some(_)) => {
+                    eprintln!("--shard-index requires --shards");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if steal && shard.is_none() {
+                eprintln!("--steal requires --shards and --shard-index");
+                return ExitCode::FAILURE;
+            }
             let sets = spec.workload_sets();
             let archs = spec.arch_candidates();
             println!(
@@ -445,57 +544,45 @@ fn main() -> ExitCode {
                 sets.len() * spec.batches.len() * archs.len(),
                 if opts.resume { " (resuming)" } else { "" }
             );
-            let res = match run_campaign(&spec, &opts) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("{e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            println!(
-                "{} cell(s) evaluated, {} resumed from the journal",
-                res.evaluated, res.skipped
-            );
-            for (gi, g) in res.groups.iter().enumerate() {
-                let front = res.archive.front(gi);
+            if merge {
+                let res = match merge_shards(&spec, &opts) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                println!("merged {} cell(s) from shard journals", res.cells.len());
+                print_campaign_result(&spec, &res);
+            } else if let Some(shard) = shard {
+                let res = match run_campaign_shard(&spec, &opts, shard) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
                 println!(
-                    "\n[{}] batch {}: Pareto front ({}) has {} member(s)",
-                    g.wset,
-                    g.batch,
-                    res.archive
-                        .axes()
-                        .iter()
-                        .map(|a| a.name())
-                        .collect::<Vec<_>>()
-                        .join("/"),
-                    front.len()
+                    "shard {}/{}: owns {} cell(s); {} evaluated ({} stolen), {} resumed \
+                     from the journal",
+                    res.shard.0, res.shard.1, res.owned, res.evaluated, res.stolen, res.skipped
                 );
-                for p in front {
-                    let c = &res.cells[p.cell];
-                    println!(
-                        "  cell {:>4}  {}  D {:.3e} s  E {:.3e} J  MC ${:.2}",
-                        p.cell,
-                        archs[c.arch_idx].paper_tuple(),
-                        c.eff_delay(),
-                        c.energy,
-                        c.mc
-                    );
-                }
-                for b in res.best.iter().filter(|b| b.group == gi) {
-                    let c = &res.cells[b.cell];
-                    println!(
-                        "  best under {:<8} cell {:>4}  {}  score {:.4e}",
-                        b.objective,
-                        b.cell,
-                        archs[c.arch_idx].paper_tuple(),
-                        b.score
-                    );
-                }
-            }
-            println!("\nartifacts:");
-            println!("  {}", res.dir.join("journal.jsonl").display());
-            for p in &res.artifacts {
-                println!("  {}", p.display());
+                println!("journal: {}", res.journal.display());
+                println!("run `gemini campaign merge {manifest}` once every shard has finished");
+            } else {
+                let res = match run_campaign(&spec, &opts) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                println!(
+                    "{} cell(s) evaluated, {} resumed from the journal",
+                    res.evaluated, res.skipped
+                );
+                println!("journal: {}", res.dir.join("journal.jsonl").display());
+                print_campaign_result(&spec, &res);
             }
             ExitCode::SUCCESS
         }

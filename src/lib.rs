@@ -81,7 +81,8 @@ pub use gemini_tangram as tangram;
 pub mod prelude {
     pub use gemini_arch::{ArchConfig, CoreClass, HeteroSpec, Topology};
     pub use gemini_core::campaign::{
-        run_campaign, run_campaign_file, CampaignOptions, CampaignResult, CampaignSpec,
+        merge_shards, run_campaign, run_campaign_file, run_campaign_shard, shard_of,
+        CampaignOptions, CampaignResult, CampaignSpec, ShardRunResult, ShardSpec,
     };
     pub use gemini_core::dse::{run_dse, DseOptions, DseSpec, Objective};
     pub use gemini_core::engine::{MappedDnn, MappingEngine, MappingOptions};

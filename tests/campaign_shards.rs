@@ -1,0 +1,414 @@
+//! Sharded campaign execution contract tests: determinism and fault
+//! injection.
+//!
+//! The core claim under test — the *tentpole* of the sharding layer —
+//! is byte-identity: merging any number of shard journals, produced in
+//! any launch order, at any thread count, with any crash/resume or
+//! work-stealing history, yields artifacts identical byte-for-byte to
+//! a plain single-process run of the same manifest. The fault-injection
+//! tests then pin the failure modes: a mid-write truncated shard tail,
+//! duplicate records across shards (identical vs. conflicting), a
+//! foreign-fingerprint shard, a missing shard journal, and shard
+//! journals that disagree about the partition itself. Every fault
+//! either recovers byte-identically or is refused with a precise
+//! message — never silently merged.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use gemini::core::campaign::{journal, CampaignError};
+use gemini::prelude::*;
+
+/// The repo's tiny CI manifest: 2 workloads x 2 presets = 4 cells,
+/// fluid fidelity, two objectives.
+fn ci_tiny() -> CampaignSpec {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("manifests/ci_tiny.toml");
+    CampaignSpec::load(&path).expect("ci_tiny.toml parses")
+}
+
+const N_CELLS: usize = 4;
+
+fn temp_root(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("gemini-shard-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn opts(root: &Path, threads: usize, resume: bool) -> CampaignOptions {
+    CampaignOptions {
+        threads,
+        resume,
+        out_root: Some(root.to_path_buf()),
+    }
+}
+
+fn run_shard(
+    spec: &CampaignSpec,
+    root: &Path,
+    index: usize,
+    count: usize,
+    threads: usize,
+    resume: bool,
+    steal: bool,
+) -> ShardRunResult {
+    run_campaign_shard(
+        spec,
+        &opts(root, threads, resume),
+        ShardSpec {
+            index,
+            count,
+            steal,
+        },
+    )
+    .expect("shard runs")
+}
+
+/// Reads the three artifacts as bytes, in a fixed order.
+fn artifact_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    ["cells.csv", "pareto.csv", "pareto.json"]
+        .iter()
+        .map(|n| {
+            (
+                n.to_string(),
+                fs::read(dir.join(n)).unwrap_or_else(|e| panic!("{n}: {e}")),
+            )
+        })
+        .collect()
+}
+
+fn assert_matches_baseline(dir: &Path, what: &str) {
+    let (_, base) = baseline();
+    for ((name, x), (_, y)) in base.iter().zip(artifact_bytes(dir)) {
+        assert_eq!(x, &y, "{name} differs: {what}");
+    }
+}
+
+/// Campaign fingerprint plus the named bytes of every artifact of the
+/// reference run.
+type Baseline = (String, Vec<(String, Vec<u8>)>);
+
+/// The single-process reference run, computed once per test binary:
+/// every sharded scenario below must reproduce these exact bytes.
+static BASELINE: OnceLock<Baseline> = OnceLock::new();
+
+fn baseline() -> &'static Baseline {
+    BASELINE.get_or_init(|| {
+        let spec = ci_tiny();
+        let root = temp_root("baseline");
+        let res = run_campaign(&spec, &opts(&root, 2, false)).expect("baseline runs");
+        assert_eq!(res.cells.len(), N_CELLS);
+        let bytes = artifact_bytes(&res.dir);
+        let fp = res.fingerprint.clone();
+        let _ = fs::remove_dir_all(&root);
+        (fp, bytes)
+    })
+}
+
+/// The campaign directory under a test root.
+fn campaign_dir(root: &Path) -> PathBuf {
+    root.join("ci-tiny")
+}
+
+/// Runs every shard of a `count`-way partition cold, returning the
+/// per-shard results in launch order.
+fn run_all_shards(
+    spec: &CampaignSpec,
+    root: &Path,
+    count: usize,
+    threads: usize,
+    order: &[usize],
+) -> Vec<ShardRunResult> {
+    order
+        .iter()
+        .map(|&k| run_shard(spec, root, k, count, threads, false, false))
+        .collect()
+}
+
+#[test]
+fn merged_artifacts_are_byte_identical_for_any_shard_and_thread_count() {
+    let spec = ci_tiny();
+    let (base_fp, _) = baseline();
+    for count in [1usize, 2, 4, 7] {
+        for threads in [1usize, 4] {
+            let root = temp_root(&format!("matrix-{count}-{threads}"));
+            // Vary the interleaving too: odd widths launch in reverse.
+            let order: Vec<usize> = if count % 2 == 1 {
+                (0..count).rev().collect()
+            } else {
+                (0..count).collect()
+            };
+            let runs = run_all_shards(&spec, &root, count, threads, &order);
+            let owned: usize = runs.iter().map(|r| r.owned).sum();
+            let evaluated: usize = runs.iter().map(|r| r.evaluated).sum();
+            assert_eq!(owned, N_CELLS, "partition covers each cell exactly once");
+            assert_eq!(evaluated, N_CELLS);
+            for r in &runs {
+                assert_eq!(&r.fingerprint, base_fp);
+                assert_eq!(r.skipped, 0);
+                assert_eq!(r.stolen, 0);
+                assert!(r.journal.exists(), "{} missing", r.journal.display());
+                assert_eq!(r.cells.len(), r.evaluated, "journal holds what we ran");
+            }
+
+            let merged = merge_shards(&spec, &opts(&root, 1, false)).expect("merge succeeds");
+            assert_eq!(&merged.fingerprint, base_fp);
+            assert_eq!(merged.cells.len(), N_CELLS);
+            assert_eq!(merged.skipped, N_CELLS, "the merge evaluates nothing");
+            assert_eq!(merged.evaluated, 0);
+            assert_matches_baseline(&merged.dir, &format!("{count} shards, {threads} threads"));
+            let _ = fs::remove_dir_all(&root);
+        }
+    }
+}
+
+#[test]
+fn partition_is_stable_and_complete() {
+    // The claim key is a pure function of the cell index, so ownership
+    // never depends on which process asks; and reducing it mod N is
+    // total, so every cell has exactly one owner at every width.
+    for n in [1usize, 2, 3, 7, 64] {
+        for cell in 0..256 {
+            let owner = shard_of(cell, n);
+            assert!(owner < n);
+            assert_eq!(owner, shard_of(cell, n), "stable across calls");
+        }
+    }
+    // Different cells spread across shards rather than clumping into
+    // shard 0 (a weak but effective smoke check of the mixing).
+    let hit: std::collections::BTreeSet<usize> = (0..256).map(|c| shard_of(c, 7)).collect();
+    assert_eq!(hit.len(), 7, "every shard owns something in 256 cells");
+}
+
+#[test]
+fn crashed_shard_tail_refuses_merge_then_resume_recovers_byte_identically() {
+    let spec = ci_tiny();
+    let root = temp_root("crash");
+    run_all_shards(&spec, &root, 2, 1, &[0, 1]);
+
+    // Maul the last journal line of a shard that recorded at least one
+    // cell into a mid-write fragment (no trailing newline).
+    let victim = (0..2)
+        .find(|&k| {
+            fs::read_to_string(campaign_dir(&root).join(journal::shard_file_name(k)))
+                .expect("shard journal exists")
+                .lines()
+                .count()
+                > 1
+        })
+        .expect("some shard recorded a cell");
+    let jpath = campaign_dir(&root).join(journal::shard_file_name(victim));
+    let text = fs::read_to_string(&jpath).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    let (keep, last) = lines.split_at(lines.len() - 1);
+    let mut mauled = keep.join("\n");
+    mauled.push('\n');
+    mauled.push_str(&last[0][..25]);
+    fs::write(&jpath, mauled).unwrap();
+
+    // The truncated record is dropped (mid-write crash semantics), so
+    // the merge refuses for missing coverage and names the owner.
+    match merge_shards(&spec, &opts(&root, 1, false)) {
+        Err(CampaignError::Shard(msg)) => {
+            assert!(msg.contains("covers only 3 of 4 cells"), "{msg}");
+            assert!(msg.contains("owned by shard"), "{msg}");
+            assert!(msg.contains("--resume"), "{msg}");
+        }
+        other => panic!("expected a coverage refusal, got {other:?}"),
+    }
+
+    // Resuming the victim repairs the partial tail and re-evaluates
+    // exactly the dropped cell; the merge then reproduces the baseline.
+    let resumed = run_shard(&spec, &root, victim, 2, 1, true, false);
+    assert_eq!(resumed.evaluated, 1, "only the mauled record re-runs");
+    assert_eq!(resumed.skipped, resumed.owned - 1);
+    let merged = merge_shards(&spec, &opts(&root, 1, false)).expect("merge after resume");
+    assert_matches_baseline(&merged.dir, "after crash + resume");
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// The first cell line of a shard journal that has one, with its shard.
+fn donor_line(root: &Path, count: usize) -> (usize, String) {
+    (0..count)
+        .find_map(|k| {
+            let text =
+                fs::read_to_string(campaign_dir(root).join(journal::shard_file_name(k))).ok()?;
+            text.lines().nth(1).map(|l| (k, l.to_string()))
+        })
+        .expect("some shard recorded a cell")
+}
+
+#[test]
+fn identical_duplicates_across_shards_merge_first_writer_wins() {
+    let spec = ci_tiny();
+    let root = temp_root("dup");
+    run_all_shards(&spec, &root, 2, 1, &[0, 1]);
+
+    // Copy one cell line verbatim into the sibling's journal: the cell
+    // is now recorded by both shards, bit-identically — exactly what a
+    // steal race leaves behind.
+    let (donor, line) = donor_line(&root, 2);
+    let sibling = campaign_dir(&root).join(journal::shard_file_name(1 - donor));
+    let mut text = fs::read_to_string(&sibling).unwrap();
+    text.push_str(&line);
+    text.push('\n');
+    fs::write(&sibling, text).unwrap();
+
+    let merged = merge_shards(&spec, &opts(&root, 1, false)).expect("identical duplicate is fine");
+    assert_matches_baseline(&merged.dir, "with an identical cross-shard duplicate");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn conflicting_duplicates_across_shards_are_refused() {
+    let spec = ci_tiny();
+    let root = temp_root("conflict");
+    run_all_shards(&spec, &root, 2, 1, &[0, 1]);
+
+    // Re-serialize a donor cell with a perturbed metric into the
+    // sibling's journal: same cell, different bytes — two incompatible
+    // runs wrote these journals.
+    let (donor, line) = donor_line(&root, 2);
+    let mut cell = journal::cell_from_json(&line).expect("journal line parses");
+    cell.mc *= 2.0;
+    let forged = journal::cell_to_json(&cell, None, spec.batches[cell.batch_idx]);
+    let sibling = campaign_dir(&root).join(journal::shard_file_name(1 - donor));
+    let mut text = fs::read_to_string(&sibling).unwrap();
+    text.push_str(&forged);
+    text.push('\n');
+    fs::write(&sibling, text).unwrap();
+
+    match merge_shards(&spec, &opts(&root, 1, false)) {
+        Err(CampaignError::Shard(msg)) => {
+            assert!(msg.contains("conflicting results"), "{msg}");
+            assert!(msg.contains(&format!("cell {}", cell.cell)), "{msg}");
+        }
+        other => panic!("expected a conflict refusal, got {other:?}"),
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn foreign_fingerprint_shard_is_refused() {
+    let spec = ci_tiny();
+    let root = temp_root("foreign");
+    run_all_shards(&spec, &root, 2, 1, &[0, 1]);
+
+    // Replace shard 1's journal with one written under a different
+    // manifest (seed change => different fingerprint).
+    let mut other = spec.clone();
+    other.seed += 1;
+    let path = campaign_dir(&root).join(journal::shard_file_name(1));
+    drop(journal::Appender::open_sharded(&path, &other, N_CELLS, false, Some((1, 2))).unwrap());
+
+    match merge_shards(&spec, &opts(&root, 1, false)) {
+        Err(CampaignError::Journal(msg)) => assert!(msg.contains("fingerprint"), "{msg}"),
+        other => panic!("expected a fingerprint refusal, got {other:?}"),
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn missing_shard_is_named_and_a_stealing_sibling_covers_it() {
+    let spec = ci_tiny();
+    let root = temp_root("steal");
+    run_all_shards(&spec, &root, 2, 1, &[0, 1]);
+
+    // Kill one shard for good: its journal vanishes entirely.
+    let victim = shard_of(0, 2); // owns cell 0, so it owns >= 1 cell
+    let victim_cells = (0..N_CELLS).filter(|&c| shard_of(c, 2) == victim).count();
+    fs::remove_file(campaign_dir(&root).join(journal::shard_file_name(victim))).unwrap();
+
+    match merge_shards(&spec, &opts(&root, 1, false)) {
+        Err(CampaignError::Shard(msg)) => {
+            assert!(msg.contains(&format!("owned by shard {victim}")), "{msg}");
+            assert!(
+                msg.contains(&format!("no journal found for shard(s) [{victim}]")),
+                "{msg}"
+            );
+            assert!(msg.contains("--steal"), "{msg}");
+        }
+        other => panic!("expected a missing-shard refusal, got {other:?}"),
+    }
+
+    // The surviving sibling re-runs with steal: one scan of the
+    // remaining journals shows nobody recorded the victim's cells, so
+    // it claims and evaluates them. The merge then succeeds with the
+    // victim's journal still absent — coverage is what matters.
+    let survivor = 1 - victim;
+    let r = run_shard(&spec, &root, survivor, 2, 1, true, true);
+    assert_eq!(r.stolen, victim_cells);
+    assert_eq!(r.evaluated, victim_cells);
+    assert_eq!(r.skipped, r.owned, "its own cells all resumed");
+    let merged = merge_shards(&spec, &opts(&root, 1, false)).expect("merge after steal");
+    assert_matches_baseline(&merged.dir, "after losing a shard to a stealing sibling");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn partition_disagreements_and_misnamed_journals_are_refused() {
+    let spec = ci_tiny();
+    let root = temp_root("headers");
+    let dir = campaign_dir(&root);
+    fs::create_dir_all(&dir).unwrap();
+    let open = |k: usize, shard: (usize, usize)| {
+        drop(
+            journal::Appender::open_sharded(
+                &dir.join(journal::shard_file_name(k)),
+                &spec,
+                N_CELLS,
+                false,
+                Some(shard),
+            )
+            .unwrap(),
+        )
+    };
+
+    // Shard 0 of 2 next to shard 1 of 3: incompatible partitions.
+    open(0, (0, 2));
+    open(1, (1, 3));
+    match merge_shards(&spec, &opts(&root, 1, false)) {
+        Err(CampaignError::Shard(msg)) => assert!(msg.contains("partition width"), "{msg}"),
+        other => panic!("expected a width refusal, got {other:?}"),
+    }
+
+    // A journal whose file name contradicts its header.
+    fs::remove_file(dir.join(journal::shard_file_name(1))).unwrap();
+    open(1, (0, 2));
+    fs::remove_file(dir.join(journal::shard_file_name(0))).unwrap();
+    match merge_shards(&spec, &opts(&root, 1, false)) {
+        Err(CampaignError::Shard(msg)) => {
+            assert!(msg.contains("file name says shard 1"), "{msg}")
+        }
+        other => panic!("expected a name-mismatch refusal, got {other:?}"),
+    }
+
+    // Nothing to merge at all.
+    fs::remove_file(dir.join(journal::shard_file_name(1))).unwrap();
+    match merge_shards(&spec, &opts(&root, 1, false)) {
+        Err(CampaignError::Shard(msg)) => assert!(msg.contains("no shard journals"), "{msg}"),
+        other => panic!("expected an empty-dir refusal, got {other:?}"),
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn shard_spec_bounds_are_validated() {
+    let spec = ci_tiny();
+    let root = temp_root("bounds");
+    for (index, count, needle) in [(2, 2, "out of range"), (0, 0, "at least 1")] {
+        match run_campaign_shard(
+            &spec,
+            &opts(&root, 1, false),
+            ShardSpec {
+                index,
+                count,
+                steal: false,
+            },
+        ) {
+            Err(CampaignError::Shard(msg)) => assert!(msg.contains(needle), "{msg}"),
+            other => panic!("expected a bounds refusal, got {other:?}"),
+        }
+    }
+    let _ = fs::remove_dir_all(&root);
+}

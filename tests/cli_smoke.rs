@@ -120,6 +120,93 @@ fn campaign_runs_the_tiny_manifest() {
 }
 
 #[test]
+fn campaign_shard_flags_are_validated() {
+    let manifest = concat!(env!("CARGO_MANIFEST_DIR"), "/manifests/ci_tiny.toml");
+    // The usage text advertises the sharded form and the merge verb.
+    let (ok, _, err) = gemini(&["campaign"]);
+    assert!(!ok);
+    assert!(err.contains("--shards"), "{err}");
+    assert!(err.contains("campaign merge"), "{err}");
+    // Shard flags come as a pair, in range, and only on a shard run.
+    let (ok, _, err) = gemini(&["campaign", manifest, "--shards", "2"]);
+    assert!(!ok);
+    assert!(err.contains("--shards requires --shard-index"), "{err}");
+    let (ok, _, err) = gemini(&["campaign", manifest, "--shard-index", "0"]);
+    assert!(!ok);
+    assert!(err.contains("--shard-index requires --shards"), "{err}");
+    let (ok, _, err) = gemini(&["campaign", manifest, "--shards", "2", "--shard-index", "5"]);
+    assert!(!ok);
+    assert!(err.contains("out of range"), "{err}");
+    let (ok, _, err) = gemini(&["campaign", manifest, "--steal"]);
+    assert!(!ok);
+    assert!(err.contains("--steal requires"), "{err}");
+    let (ok, _, err) = gemini(&[
+        "campaign",
+        "merge",
+        manifest,
+        "--shards",
+        "2",
+        "--shard-index",
+        "0",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("takes no shard flags"), "{err}");
+    // Merging a directory with no shard journals fails cleanly.
+    let out_dir = std::env::temp_dir().join(format!("gemini-cli-merge0-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out_dir);
+    let (ok, _, err) = gemini(&[
+        "campaign",
+        "merge",
+        manifest,
+        "--out",
+        out_dir.to_str().expect("utf-8 temp dir"),
+    ]);
+    assert!(!ok);
+    assert!(err.contains("no shard journals"), "{err}");
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn campaign_cli_shards_then_merges_the_tiny_manifest() {
+    let out_dir = std::env::temp_dir().join(format!("gemini-cli-shards-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out_dir);
+    let manifest = concat!(env!("CARGO_MANIFEST_DIR"), "/manifests/ci_tiny.toml");
+    let out = out_dir.to_str().expect("utf-8 temp dir");
+    for k in ["0", "1"] {
+        let (ok, stdout, err) = gemini(&[
+            "campaign",
+            manifest,
+            "--threads",
+            "2",
+            "--out",
+            out,
+            "--shards",
+            "2",
+            "--shard-index",
+            k,
+        ]);
+        assert!(ok, "shard {k} failed:\n{err}");
+        assert!(stdout.contains(&format!("shard {k}/2")), "{stdout}");
+        assert!(stdout.contains("campaign merge"), "{stdout}");
+    }
+    let dir = out_dir.join("ci-tiny");
+    // Shard runs journal but never write artifacts.
+    assert!(dir.join("journal-shard-0.jsonl").exists());
+    assert!(dir.join("journal-shard-1.jsonl").exists());
+    assert!(!dir.join("journal.jsonl").exists());
+    assert!(!dir.join("cells.csv").exists());
+
+    let (ok, stdout, err) = gemini(&["campaign", "merge", manifest, "--out", out]);
+    assert!(ok, "merge failed:\n{err}");
+    assert!(stdout.contains("merged 4 cell(s)"), "{stdout}");
+    assert!(stdout.contains("Pareto front"), "{stdout}");
+    for artifact in ["cells.csv", "pareto.csv", "pareto.json"] {
+        assert!(dir.join(artifact).exists(), "{artifact} missing");
+    }
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
 fn unknown_model_and_preset_are_rejected() {
     let (ok, _, err) = gemini(&["cost", "not-an-arch"]);
     assert!(!ok);
