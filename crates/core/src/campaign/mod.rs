@@ -53,10 +53,8 @@ pub mod pareto;
 pub mod toml;
 pub mod value;
 
-use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 
 use gemini_cost::CostModel;
 use gemini_model::Dnn;
@@ -348,42 +346,10 @@ fn enumerate_cells(n_wsets: usize, n_batches: usize, n_archs: usize) -> Vec<Cell
 ///
 /// Cells that share a workload, architecture and batch — e.g. a solo
 /// set and the joint set under [`WorkloadMode::Both`] — reuse one
-/// mapping run. Like [`gemini_sim::EvalCache`] one level down, the memo
-/// is results-transparent: a stored entry is exactly what a fresh
-/// evaluation would produce (the SA engine is deterministic), so
-/// memoization changes wall-clock time only, never artifacts.
-struct MappingMemo {
-    map: Mutex<HashMap<(usize, usize, u32), DnnCellMetrics>>,
-}
-
-impl MappingMemo {
-    fn new() -> Self {
-        Self {
-            map: Mutex::new(HashMap::new()),
-        }
-    }
-
-    fn get_or_eval(
-        &self,
-        key: (usize, usize, u32),
-        eval: impl FnOnce() -> DnnCellMetrics,
-    ) -> DnnCellMetrics {
-        if let Some(hit) = self.map.lock().expect("memo lock").get(&key) {
-            return hit.clone();
-        }
-        // Evaluate outside the lock: concurrent workers may duplicate
-        // work on the same key, but the value is deterministic so the
-        // race is benign (and rare — cells hitting the same key are
-        // usually far apart in the schedule).
-        let v = eval();
-        self.map
-            .lock()
-            .expect("memo lock")
-            .entry(key)
-            .or_insert_with(|| v.clone());
-        v
-    }
-}
+/// mapping run. The memo implementation lives in
+/// [`crate::service::memo`], where the service layer reuses the same
+/// shape one level up (whole request payloads across socket requests).
+type MappingMemo = crate::service::memo::MappingMemo<(usize, usize, u32), DnnCellMetrics>;
 
 /// Evaluates one workload on one architecture at one batch size.
 fn evaluate_dnn(

@@ -205,11 +205,22 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum container nesting [`parse_json`] accepts.
+///
+/// The parser recurses once per `{`/`[` level, so unbounded nesting
+/// lets a hostile input (the `gemini serve` socket accepts arbitrary
+/// lines) overflow the parse thread's stack. Every legitimate document
+/// in this workspace — manifests, journal records, wire requests — is
+/// under a dozen levels; 128 leaves generous headroom while keeping
+/// worst-case recursion trivially stack-safe.
+pub const MAX_JSON_DEPTH: usize = 128;
+
 /// Parses one JSON document (object, array or scalar).
 pub fn parse_json(input: &str) -> Result<Value, ParseError> {
     let mut p = JsonParser {
         b: input.as_bytes(),
         i: 0,
+        depth: 0,
     };
     p.ws();
     let v = p.value()?;
@@ -223,6 +234,9 @@ pub fn parse_json(input: &str) -> Result<Value, ParseError> {
 struct JsonParser<'a> {
     b: &'a [u8],
     i: usize,
+    /// Current container nesting level, checked against
+    /// [`MAX_JSON_DEPTH`] before each recursive descent.
+    depth: usize,
 }
 
 impl<'a> JsonParser<'a> {
@@ -254,14 +268,30 @@ impl<'a> JsonParser<'a> {
 
     fn value(&mut self) -> Result<Value, ParseError> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
             Some(b'"') => Ok(Value::Str(self.string()?)),
             Some(b't') => self.lit("true", Value::Bool(true)),
             Some(b'f') => self.lit("false", Value::Bool(false)),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
+    }
+
+    /// Runs a container parser one nesting level down, refusing inputs
+    /// nested past [`MAX_JSON_DEPTH`] with a clean [`ParseError`]
+    /// instead of recursing toward a stack overflow.
+    fn nested(
+        &mut self,
+        f: fn(&mut Self) -> Result<Value, ParseError>,
+    ) -> Result<Value, ParseError> {
+        if self.depth >= MAX_JSON_DEPTH {
+            return Err(self.err("JSON nested deeper than the supported limit"));
+        }
+        self.depth += 1;
+        let v = f(self);
+        self.depth -= 1;
+        v
     }
 
     fn lit(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
@@ -485,6 +515,20 @@ mod tests {
         // Non-finite numbers have no JSON form.
         assert!(parse_json("1e999").is_err());
         assert!(parse_json("[1, -1e999]").is_err());
+    }
+
+    #[test]
+    fn json_depth_limit_refuses_cleanly() {
+        // At the limit: fine.
+        let ok = "[".repeat(MAX_JSON_DEPTH) + &"]".repeat(MAX_JSON_DEPTH);
+        assert!(parse_json(&ok).is_ok());
+        // One past: a ParseError, not a stack overflow.
+        let deep = "[".repeat(MAX_JSON_DEPTH + 1) + &"]".repeat(MAX_JSON_DEPTH + 1);
+        let err = parse_json(&deep).unwrap_err();
+        assert!(err.msg.contains("nested deeper"), "{err}");
+        // Mixed object/array nesting counts the same levels.
+        let mixed = r#"{"a":"#.repeat(MAX_JSON_DEPTH + 1) + "1" + &"}".repeat(MAX_JSON_DEPTH + 1);
+        assert!(parse_json(&mixed).is_err());
     }
 
     #[test]

@@ -22,6 +22,10 @@
 //! * [`campaign`] — manifest-driven experiment campaigns: declarative
 //!   sweeps over workloads × architectures × batches with a resumable
 //!   journal and a multi-objective Pareto archive (docs/CAMPAIGNS.md);
+//! * [`service`] — the request-handling engine layer: typed
+//!   request/response protocol, warm caches, bounded priority queue and
+//!   the `gemini serve` daemon transport, shared with the one-shot CLI
+//!   verbs (docs/SERVE.md);
 //! * [`report`] — CSV output helpers for the experiment harnesses.
 //!
 //! # Example: map a DNN onto the paper's G-Arch
@@ -56,6 +60,7 @@ pub mod partition;
 pub(crate) mod pool;
 pub mod report;
 pub mod sa;
+pub mod service;
 pub mod space;
 pub mod stripe;
 
@@ -75,5 +80,8 @@ pub use hetero_map::{hetero_stripe_lms, weighted_allocation};
 pub use joint::{optimize_joint, JointOptions, JointOutcome};
 pub use partition::{partition_graph, GraphPartition, PartitionOptions};
 pub use sa::{optimize, SaOptions, SaOutcome, SaStats};
+pub use service::{
+    Request, RequestBody, Response, ServeOptions, Server, ServiceError, ServiceState,
+};
 pub use space::{gemini_space_log2, tangram_space_log2};
 pub use stripe::{stripe_lms, stripe_lms_with, trivial_lms};

@@ -1,0 +1,225 @@
+//! The daemon's bounded request queue: priority-ordered admission with
+//! explicit backpressure.
+//!
+//! A long-running service must bound the work it buffers — an unbounded
+//! queue converts overload into unbounded memory growth and
+//! ever-growing latency. [`RequestQueue`] holds at most `cap` pending
+//! items; a push against a full queue fails *immediately* with
+//! [`PushError::Busy`] so the connection layer can answer `busy` and
+//! let the client decide (retry, back off, shed).
+//!
+//! Ordering is priority-first (higher [`Request::priority`] values
+//! dequeue earlier), FIFO within a priority level — the admission
+//! sequence number breaks ties, so two equal-priority requests are
+//! served in arrival order.
+//!
+//! [`Request::priority`]: super::proto::Request::priority
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the caller should answer `busy`.
+    Busy,
+    /// The queue is closed (the daemon is draining); no new work is
+    /// admitted.
+    Closed,
+}
+
+struct Entry<T> {
+    priority: i64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first; within a priority, the
+        // *lower* sequence number (earlier arrival) must win, so the
+        // seq comparison is reversed.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Inner<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// A bounded, priority-ordered, closeable MPMC queue.
+pub struct RequestQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl<T> RequestQueue<T> {
+    /// A queue admitting at most `cap` pending items (`cap` is clamped
+    /// to at least 1 — a zero-capacity queue could never serve).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Admits `item` at `priority`, returning the queue depth after the
+    /// push.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Busy`] when the queue is at capacity,
+    /// [`PushError::Closed`] once [`RequestQueue::close`] was called.
+    pub fn push(&self, priority: i64, item: T) -> Result<usize, PushError> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.heap.len() >= self.cap {
+            return Err(PushError::Busy);
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.heap.push(Entry {
+            priority,
+            seq,
+            item,
+        });
+        let depth = inner.heap.len();
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available and returns the
+    /// highest-priority one, or `None` once the queue is closed *and*
+    /// drained — the worker-loop exit condition that makes shutdown
+    /// finish in-flight work instead of dropping it.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(e) = inner.heap.pop() {
+                return Some(e.item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Stops admission; blocked and future [`RequestQueue::pop`] calls
+    /// drain what is already queued, then return `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Pending items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").heap.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_a_priority_level() {
+        let q: RequestQueue<u32> = RequestQueue::new(8);
+        for v in [1, 2, 3] {
+            q.push(0, v).unwrap();
+        }
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn higher_priority_dequeues_first() {
+        let q: RequestQueue<&str> = RequestQueue::new(8);
+        q.push(0, "low-a").unwrap();
+        q.push(5, "high").unwrap();
+        q.push(0, "low-b").unwrap();
+        q.push(-3, "neg").unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some("high"));
+        assert_eq!(q.pop(), Some("low-a"));
+        assert_eq!(q.pop(), Some("low-b"));
+        assert_eq!(q.pop(), Some("neg"));
+    }
+
+    #[test]
+    fn full_queue_refuses_with_busy() {
+        let q: RequestQueue<u32> = RequestQueue::new(2);
+        assert_eq!(q.push(0, 1), Ok(1));
+        assert_eq!(q.push(0, 2), Ok(2));
+        assert_eq!(q.push(0, 3), Err(PushError::Busy));
+        // Draining one slot re-opens admission.
+        q.close(); // close so pop cannot block the test on a bug
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(0, 4), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q: RequestQueue<u32> = RequestQueue::new(4);
+        q.push(0, 1).unwrap();
+        q.push(0, 2).unwrap();
+        q.close();
+        assert_eq!(q.push(0, 3), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push_and_close() {
+        let q: RequestQueue<u32> = RequestQueue::new(4);
+        std::thread::scope(|s| {
+            let consumer = s.spawn(|| {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            });
+            q.push(1, 7).unwrap();
+            q.push(0, 8).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            q.close();
+            let got = consumer.join().unwrap();
+            assert_eq!(got.len(), 2);
+            assert!(got.contains(&7) && got.contains(&8));
+        });
+    }
+}

@@ -13,22 +13,23 @@
 //! never return a wrong report. Because a cached report is exactly the
 //! report the evaluator would have produced, memoization changes only
 //! wall-clock time, never results: explorations stay bit-identical with
-//! the cache on or off, warm or cold.
+//! the cache on or off, warm or cold, capped or uncapped.
+//!
+//! One-shot runs default to an uncapped cache ([`EvalCache::new`]): a
+//! single SA exploration is bounded by its iteration budget, so the
+//! cache is too. Long-running processes (the `gemini serve` daemon)
+//! must instead construct with [`EvalCache::with_capacity`], which
+//! evicts the oldest entry once full and counts evictions so operators
+//! can see when the working set exceeds the cap.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 
 use gemini_model::Dnn;
 
 use crate::evaluate::{Evaluator, GroupReport};
 use crate::mapping::GroupMapping;
-
-/// Default entry cap: beyond this the cache is cleared wholesale.
-///
-/// Clearing (rather than evicting) keeps the policy deterministic and
-/// allocation-cheap; SA chains re-warm within a few hundred iterations.
-pub const DEFAULT_CACHE_CAP: usize = 1 << 16;
 
 /// A memoizing wrapper around [`Evaluator::evaluate_group`].
 ///
@@ -39,7 +40,8 @@ pub const DEFAULT_CACHE_CAP: usize = 1 << 16;
 #[derive(Debug)]
 pub struct EvalCache {
     /// Buckets keyed by the mapping's structural hash; each entry keeps
-    /// the full `(mapping, batch)` key so collisions resolve by equality.
+    /// the full `(mapping, batch)` key so collisions resolve by equality,
+    /// plus the insertion sequence number that names it in `order`.
     ///
     /// Not a plain `HashMap<(GroupMapping, u32), GroupReport>` on
     /// purpose: `HashMap::get` would need an owned `(GroupMapping, u32)`
@@ -47,11 +49,17 @@ pub struct EvalCache {
     /// every lookup of the SA hot loop. Pre-hashing by `u64` probes
     /// allocation-free; equality against the stored key preserves the
     /// same collision guarantee the std map gives.
-    map: HashMap<u64, Vec<(GroupMapping, u32, GroupReport)>>,
+    map: HashMap<u64, Vec<(u64, GroupMapping, u32, GroupReport)>>,
+    /// Insertion order as `(bucket hash, seq)`, oldest first. Only
+    /// maintained when a cap is set; eviction pops the front and removes
+    /// the matching seq from its bucket.
+    order: VecDeque<(u64, u64)>,
+    next_seq: u64,
     entries: usize,
-    cap: usize,
+    cap: Option<usize>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 /// Opaque pre-computed cache key returned by an [`EvalCache::lookup`]
@@ -77,19 +85,33 @@ impl Default for EvalCache {
 }
 
 impl EvalCache {
-    /// An empty cache with the default entry cap.
+    /// An empty, uncapped cache — the one-shot default, where the SA
+    /// iteration budget already bounds how many entries can exist.
     pub fn new() -> Self {
-        Self::with_capacity(DEFAULT_CACHE_CAP)
-    }
-
-    /// An empty cache holding at most `cap` entries (0 disables caching).
-    pub fn with_capacity(cap: usize) -> Self {
         Self {
             map: HashMap::new(),
+            order: VecDeque::new(),
+            next_seq: 0,
             entries: 0,
-            cap,
+            cap: None,
             hits: 0,
             misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// An empty cache holding at most `cap` entries (0 disables
+    /// caching). Once full, each insert evicts the oldest entry
+    /// (insertion-order FIFO) and bumps [`EvalCache::evictions`].
+    ///
+    /// FIFO rather than LRU on purpose: eviction order then depends
+    /// only on the insertion sequence, never on the hit pattern, so a
+    /// capped cache stays results-transparent without bookkeeping on
+    /// the (hit-dominated) lookup path.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            cap: Some(cap),
+            ..Self::new()
         }
     }
 
@@ -125,13 +147,13 @@ impl EvalCache {
     /// The `Err` variant *is* the miss path, carrying the key token —
     /// not a failure.
     pub fn lookup(&mut self, gm: &GroupMapping, batch: u32) -> Result<GroupReport, MissKey> {
-        if self.cap == 0 {
+        if self.cap == Some(0) {
             self.misses += 1;
             return Err(MissKey(0));
         }
         let h = key_hash(gm, batch);
         if let Some(bucket) = self.map.get(&h) {
-            if let Some((_, _, r)) = bucket.iter().find(|(k, b, _)| *b == batch && k == gm) {
+            if let Some((_, _, _, r)) = bucket.iter().find(|(_, k, b, _)| *b == batch && k == gm) {
                 self.hits += 1;
                 return Ok(r.clone());
             }
@@ -142,20 +164,48 @@ impl EvalCache {
 
     /// Stores a report under a [`MissKey`] obtained from the
     /// immediately preceding [`EvalCache::lookup`] miss of the *same*
-    /// `(gm, batch)` (no-op when caching is disabled). Counters are not
-    /// touched.
+    /// `(gm, batch)` (no-op when caching is disabled). Hit/miss
+    /// counters are not touched; a capped cache at capacity evicts its
+    /// oldest entry first.
     pub fn insert(&mut self, key: MissKey, gm: &GroupMapping, batch: u32, r: GroupReport) {
-        if self.cap == 0 {
-            return;
-        }
-        if self.entries >= self.cap {
-            self.clear();
+        let capped = match self.cap {
+            Some(0) => return,
+            Some(cap) => {
+                while self.entries >= cap {
+                    self.evict_oldest();
+                }
+                true
+            }
+            None => false,
+        };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if capped {
+            self.order.push_back((key.0, seq));
         }
         self.map
             .entry(key.0)
             .or_default()
-            .push((gm.clone(), batch, r));
+            .push((seq, gm.clone(), batch, r));
         self.entries += 1;
+    }
+
+    /// Removes the oldest stored entry and counts the eviction. Only
+    /// reachable on capped caches, where `order` mirrors the map.
+    fn evict_oldest(&mut self) {
+        let Some((h, seq)) = self.order.pop_front() else {
+            return;
+        };
+        if let Some(bucket) = self.map.get_mut(&h) {
+            if let Some(at) = bucket.iter().position(|(s, _, _, _)| *s == seq) {
+                bucket.swap_remove(at);
+                self.entries -= 1;
+                self.evictions += 1;
+            }
+            if bucket.is_empty() {
+                self.map.remove(&h);
+            }
+        }
     }
 
     /// Lookups answered from the cache.
@@ -168,6 +218,11 @@ impl EvalCache {
         self.misses
     }
 
+    /// Entries dropped to stay under the capacity cap.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
     /// Stored entries.
     pub fn len(&self) -> usize {
         self.entries
@@ -178,9 +233,12 @@ impl EvalCache {
         self.entries == 0
     }
 
-    /// Drops all entries (stats are kept).
+    /// Drops all entries (stats are kept; dropped entries are not
+    /// counted as evictions — clearing is a caller decision, not cap
+    /// pressure).
     pub fn clear(&mut self) {
         self.map.clear();
+        self.order.clear();
         self.entries = 0;
     }
 }
@@ -273,5 +331,45 @@ mod tests {
         assert_eq!(off.hits(), 0);
         assert_eq!(off.misses(), 2);
         assert!(off.is_empty());
+        assert_eq!(off.evictions(), 0);
+    }
+
+    #[test]
+    fn capped_cache_evicts_oldest_first() {
+        let dnn = zoo::two_conv_example();
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let mut cache = EvalCache::with_capacity(2);
+        let g1 = mapping(&dnn, 2, 1);
+        let g2 = mapping(&dnn, 2, 2);
+        let g3 = mapping(&dnn, 2, 4);
+        let _ = cache.evaluate(&ev, &dnn, &g1, 8);
+        let _ = cache.evaluate(&ev, &dnn, &g2, 8);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+        // Third insert evicts g1 (the oldest), not g2.
+        let _ = cache.evaluate(&ev, &dnn, &g3, 8);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        let _ = cache.evaluate(&ev, &dnn, &g2, 8);
+        let _ = cache.evaluate(&ev, &dnn, &g3, 8);
+        assert_eq!(cache.hits(), 2, "survivors still hit");
+        let misses_before = cache.misses();
+        let _ = cache.evaluate(&ev, &dnn, &g1, 8);
+        assert_eq!(cache.misses(), misses_before + 1, "evicted entry misses");
+        assert_eq!(cache.evictions(), 2, "re-inserting g1 evicts g2");
+    }
+
+    #[test]
+    fn uncapped_cache_never_evicts() {
+        let dnn = zoo::two_conv_example();
+        let arch = presets::g_arch_72();
+        let ev = Evaluator::new(&arch);
+        let mut cache = EvalCache::new();
+        for bu in 1..=6u32 {
+            let _ = cache.evaluate(&ev, &dnn, &mapping(&dnn, 2, bu), 8);
+        }
+        assert_eq!(cache.len(), 6);
+        assert_eq!(cache.evictions(), 0);
     }
 }

@@ -28,8 +28,22 @@
 //!   `--steal` to also claim cells no sibling journal has recorded);
 //!   `gemini campaign merge <manifest>` then validates the shard
 //!   journals and writes artifacts byte-identical to an unsharded run;
+//! * `gemini serve --addr HOST:PORT [--workers N] [--queue N]
+//!   [--cache-cap N]` — run the same engine as a persistent daemon:
+//!   line-delimited JSON requests over TCP, warm caches shared across
+//!   requests, a bounded priority queue with explicit `busy`
+//!   backpressure, and graceful drain on a `shutdown` request or
+//!   SIGTERM (protocol reference: docs/SERVE.md);
+//! * `gemini request --addr HOST:PORT` — pipe request lines from stdin
+//!   to a running daemon and print the response lines;
 //! * `gemini models` / `gemini archs` — list available workloads and
 //!   architecture presets.
+//!
+//! The `map`, `dse` and `campaign` verbs are thin clients of the same
+//! service layer the daemon runs ([`gemini::core::service`]): they
+//! build the typed request, call the handler in-process and print its
+//! rendered report, so a CLI run and the equivalent socket request are
+//! byte-identical.
 //!
 //! SA knobs default from the environment (`GEMINI_SA_ITERS`,
 //! `GEMINI_SA_SEED`, `GEMINI_SA_THREADS`); `--iters`/`--threads` win
@@ -43,19 +57,11 @@
 //! `tf`, `tf-large`, `gn`); presets are `s-arch`, `g-arch`, `t-arch`,
 //! `g-arch-torus`.
 
+use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
 
+use gemini::core::service::preset;
 use gemini::prelude::*;
-
-fn preset(name: &str) -> Option<ArchConfig> {
-    match name {
-        "s-arch" | "simba" => Some(gemini::arch::presets::simba_s_arch()),
-        "g-arch" => Some(gemini::arch::presets::g_arch_72()),
-        "t-arch" => Some(gemini::arch::presets::t_arch()),
-        "g-arch-torus" => Some(gemini::arch::presets::g_arch_vs_tarch()),
-        _ => None,
-    }
-}
 
 /// Minimal `--flag value` argument scanner.
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -63,6 +69,9 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
 }
+
+/// Every verb the CLI understands, for the unknown-subcommand message.
+const VERBS: &str = "models|archs|cost|map|dse|hetero|heatmap|campaign|serve|request";
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -74,7 +83,9 @@ fn usage() -> ExitCode {
          gemini heatmap <model> [--batch N] [--iters N]\n  \
          gemini campaign <manifest.toml|.json> [--resume] [--threads N] [--out DIR] \
 [--shards N --shard-index K [--steal]]\n  \
-         gemini campaign merge <manifest.toml|.json> [--out DIR]"
+         gemini campaign merge <manifest.toml|.json> [--out DIR]\n  \
+         gemini serve --addr HOST:PORT [--workers N] [--queue N] [--cache-cap N]\n  \
+         gemini request --addr HOST:PORT"
     );
     ExitCode::FAILURE
 }
@@ -99,128 +110,24 @@ fn sa_opts(args: &[String], default_iters: u32) -> SaOptions {
     sa
 }
 
-/// One-line summary of the SA engine's evaluation counters: memo-cache
-/// hit rate, incremental (delta) vs. full evaluations, and the share of
-/// per-layer stage records reused instead of re-simulated.
-fn sa_counter_line(s: &gemini::core::sa::SaStats) -> String {
-    let lookups = s.cache_hits + s.cache_misses;
-    let cache_pct = if lookups == 0 {
-        0.0
-    } else {
-        s.cache_hits as f64 / lookups as f64 * 100.0
-    };
-    let members = s.member_sims + s.member_reuses;
-    let reuse_pct = if members == 0 {
-        0.0
-    } else {
-        s.member_reuses as f64 / members as f64 * 100.0
-    };
-    format!(
-        "SA evals: {} cache hits ({cache_pct:.1}%), {} delta, {} full; \
-         layer records reused {reuse_pct:.1}% ({}/{})",
-        s.cache_hits, s.delta_hits, s.full_evals, s.member_reuses, members
-    )
-}
-
-/// Prints the fidelity-ladder section of a DSE result (nothing under
-/// the analytic policy, which runs no ladder stages).
-fn print_fidelity_report(res: &gemini::core::dse::DseResult) {
-    let rep = &res.report;
-    if rep.reranked.is_empty() {
-        return;
-    }
-    println!(
-        "\ncongestion-aware re-rank (fluid NoC reference, top {}):",
-        rep.reranked.len()
-    );
-    for e in &rep.reranked {
-        let r = &res.records[e.index];
-        let marker = if e.index == rep.best {
-            "  <== winner"
-        } else if e.index == rep.analytic_best {
-            "  (analytic winner)"
-        } else {
-            ""
-        };
-        println!(
-            "  {}  analytic {:.4e} -> fluid {:.4e}{}",
-            r.arch.paper_tuple(),
-            e.analytic_score,
-            e.fluid_score,
-            marker,
-        );
-    }
-    if rep.winner_changed() {
-        println!("  the congestion-aware re-rank overturned the analytic winner");
-    }
-    if !rep.winner_groups.is_empty() {
-        println!(
-            "  worst fluid/analytic across the winner's {} groups: {:.2}x",
-            rep.winner_groups.len(),
-            rep.max_fluid_vs_analytic()
-        );
-        if rep.winner_groups.iter().any(|g| g.packet_s.is_some()) {
-            let worst = rep
-                .winner_groups
-                .iter()
-                .map(|g| g.reference_vs_analytic())
-                .fold(1.0, f64::max);
-            println!("  worst packet/analytic (winner validation): {worst:.2}x");
+/// Runs one request body through a one-shot service state and prints
+/// the rendered report — the same code path `gemini serve` answers
+/// socket requests with, so the two are byte-identical.
+fn run_one_shot(body: RequestBody) -> ExitCode {
+    let state = ServiceState::one_shot();
+    match state.handle(&body) {
+        Ok(payload) => {
+            let report = payload
+                .get("report")
+                .and_then(|r| r.as_str())
+                .expect("every one-shot payload carries a report");
+            println!("{report}");
+            ExitCode::SUCCESS
         }
-    }
-    if let Some(w) = rep.suggested_congestion_weight {
-        println!(
-            "  calibrated congestion weight: {w:.2} (default {:.2}; feed back via \
-             EvalOptions::with_congestion_weight)",
-            gemini::sim::evaluate::CONGESTION_WEIGHT
-        );
-    }
-}
-
-/// Prints a finished campaign's fronts, per-objective winners and
-/// artifact paths — shared by the single-process run and the shard
-/// merge, which produce the same [`CampaignResult`] shape.
-fn print_campaign_result(spec: &CampaignSpec, res: &CampaignResult) {
-    let archs = spec.arch_candidates();
-    for (gi, g) in res.groups.iter().enumerate() {
-        let front = res.archive.front(gi);
-        println!(
-            "\n[{}] batch {}: Pareto front ({}) has {} member(s)",
-            g.wset,
-            g.batch,
-            res.archive
-                .axes()
-                .iter()
-                .map(|a| a.name())
-                .collect::<Vec<_>>()
-                .join("/"),
-            front.len()
-        );
-        for p in front {
-            let c = &res.cells[p.cell];
-            println!(
-                "  cell {:>4}  {}  D {:.3e} s  E {:.3e} J  MC ${:.2}",
-                p.cell,
-                archs[c.arch_idx].paper_tuple(),
-                c.eff_delay(),
-                c.energy,
-                c.mc
-            );
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
         }
-        for b in res.best.iter().filter(|b| b.group == gi) {
-            let c = &res.cells[b.cell];
-            println!(
-                "  best under {:<8} cell {:>4}  {}  score {:.4e}",
-                b.objective,
-                b.cell,
-                archs[c.arch_idx].paper_tuple(),
-                b.score
-            );
-        }
-    }
-    println!("\nartifacts:");
-    for p in &res.artifacts {
-        println!("  {}", p.display());
     }
 }
 
@@ -334,24 +241,26 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("map") => {
-            let Some(dnn) = args.get(1).and_then(|m| gemini::model::zoo::by_name(m)) else {
+            let Some(model) = args.get(1).cloned() else {
                 eprintln!("unknown model; try `gemini models`");
                 return ExitCode::FAILURE;
             };
-            let arch = match flag(&args, "--arch") {
-                Some(n) => match preset(&n) {
-                    Some(a) => a,
-                    None => {
-                        eprintln!("unknown preset; try `gemini archs`");
-                        return ExitCode::FAILURE;
-                    }
-                },
-                None => gemini::arch::presets::g_arch_72(),
+            let Some(dnn) = gemini::model::zoo::by_name(&model) else {
+                eprintln!("unknown model; try `gemini models`");
+                return ExitCode::FAILURE;
+            };
+            let arch_name = flag(&args, "--arch").unwrap_or_else(|| "g-arch".to_string());
+            let Some(arch) = preset(&arch_name) else {
+                eprintln!("unknown preset; try `gemini archs`");
+                return ExitCode::FAILURE;
             };
             let batch: u32 = flag(&args, "--batch")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(16);
             let sa = sa_opts(&args, 1000);
+            // The header is printed client-side: chain_threads() is
+            // host-dependent, so it stays out of the deterministic
+            // payload the daemon serves.
             println!(
                 "mapping {} onto {} (batch {batch}, SA {} x {} threads)",
                 dnn.name(),
@@ -359,54 +268,15 @@ fn main() -> ExitCode {
                 sa.iters,
                 sa.chain_threads()
             );
-            let ev = Evaluator::new(&arch);
-            let cmp = compare_mappings(&ev, &dnn, batch, &sa);
-            println!(
-                "T-Map : {:9.3} ms  {:9.3} mJ",
-                cmp.tangram.delay_s * 1e3,
-                cmp.tangram.energy_j * 1e3
-            );
-            println!(
-                "G-Map : {:9.3} ms  {:9.3} mJ   ({:.2}x perf, {:.2}x energy)",
-                cmp.gemini.delay_s * 1e3,
-                cmp.gemini.energy_j * 1e3,
-                cmp.speedup(),
-                cmp.energy_gain()
-            );
-            if let Some(s) = &cmp.gemini_stats {
-                println!("{}", sa_counter_line(s));
-            }
-            if args.iter().any(|a| a == "--stats") {
-                let engine = MappingEngine::new(&ev);
-                let opts = MappingOptions {
-                    sa,
-                    ..Default::default()
-                };
-                let mapped = engine.map(&dnn, batch, &opts);
-                let gms = mapped.group_mappings(&dnn);
-                println!("\nper-group utilization and network-fidelity ladder (G-Map):");
-                println!(
-                    "{:>5} {:>7} {:>8} {:>8} {:>8}  {:>10} {:>10} {:>10}",
-                    "group", "cores", "busy", "MAC eff", "D2D", "analytic", "fluid", "packet"
-                );
-                let cfg = gemini::noc::packetsim::PacketSimConfig::default();
-                for (gi, gm) in gms.iter().enumerate() {
-                    let u = gemini::sim::utilization(&ev, &dnn, gm, batch);
-                    let f = gemini::sim::check_group(&ev, &dnn, gm, &cfg, 512e3);
-                    println!(
-                        "{:>5} {:>6.0}% {:>7.0}% {:>7.0}% {:>7.0}%  {:>9.2}us {:>9.2}us {:>9.2}us",
-                        gi,
-                        u.cores_used * 100.0,
-                        u.mean_busy * 100.0,
-                        u.mac_efficiency * 100.0,
-                        u.d2d_share * 100.0,
-                        f.analytic_s * 1e6,
-                        f.fluid_s * 1e6,
-                        f.packet_s * 1e6
-                    );
-                }
-            }
-            ExitCode::SUCCESS
+            run_one_shot(RequestBody::Map(MapParams {
+                model,
+                arch: arch_name,
+                batch,
+                iters: sa.iters,
+                seed: sa.seed,
+                threads: sa.threads,
+                stats: args.iter().any(|a| a == "--stats"),
+            }))
         }
         Some("hetero") => {
             let Some(dnn) = args.get(1).and_then(|m| gemini::model::zoo::by_name(m)) else {
@@ -479,6 +349,23 @@ fn main() -> ExitCode {
                 );
                 return ExitCode::FAILURE;
             };
+            let resume = args.iter().any(|a| a == "--resume");
+            let params = CampaignParams {
+                manifest: manifest.clone(),
+                resume,
+                threads: flag(&args, "--threads")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0),
+                out: flag(&args, "--out"),
+                merge,
+                shards: flag(&args, "--shards").and_then(|v| v.parse().ok()),
+                shard_index: flag(&args, "--shard-index").and_then(|v| v.parse().ok()),
+                steal: args.iter().any(|a| a == "--steal"),
+            };
+            // Load and validate client-side first so the pre-run header
+            // (the only host/progress line) never prints on a refused
+            // request; the handler re-validates identically for socket
+            // clients.
             let spec = match CampaignSpec::load(std::path::Path::new(manifest)) {
                 Ok(s) => s,
                 Err(e) => {
@@ -486,50 +373,8 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let opts = CampaignOptions {
-                threads: flag(&args, "--threads")
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(0),
-                resume: args.iter().any(|a| a == "--resume"),
-                out_root: flag(&args, "--out").map(std::path::PathBuf::from),
-            };
-            // Shard flags: --shards and --shard-index come as a pair;
-            // --steal only modifies a shard run; a merge takes none of
-            // them (it discovers the journals on disk).
-            let shards = flag(&args, "--shards").and_then(|v| v.parse::<usize>().ok());
-            let shard_index = flag(&args, "--shard-index").and_then(|v| v.parse::<usize>().ok());
-            let steal = args.iter().any(|a| a == "--steal");
-            if merge && (shards.is_some() || shard_index.is_some() || steal) {
-                eprintln!(
-                    "`gemini campaign merge` takes no shard flags; it discovers \
-                     journal-shard-*.jsonl in the campaign directory"
-                );
-                return ExitCode::FAILURE;
-            }
-            let shard = match (shards, shard_index) {
-                (None, None) => None,
-                (Some(count), Some(index)) => {
-                    if index >= count {
-                        eprintln!("--shard-index {index} is out of range for --shards {count}");
-                        return ExitCode::FAILURE;
-                    }
-                    Some(ShardSpec {
-                        index,
-                        count,
-                        steal,
-                    })
-                }
-                (Some(_), None) => {
-                    eprintln!("--shards requires --shard-index");
-                    return ExitCode::FAILURE;
-                }
-                (None, Some(_)) => {
-                    eprintln!("--shard-index requires --shards");
-                    return ExitCode::FAILURE;
-                }
-            };
-            if steal && shard.is_none() {
-                eprintln!("--steal requires --shards and --shard-index");
+            if let Err(e) = gemini::core::service::campaign_shard(&params) {
+                eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
             let sets = spec.workload_sets();
@@ -542,72 +387,14 @@ fn main() -> ExitCode {
                 spec.batches.len(),
                 archs.len(),
                 sets.len() * spec.batches.len() * archs.len(),
-                if opts.resume { " (resuming)" } else { "" }
+                if resume { " (resuming)" } else { "" }
             );
-            if merge {
-                let res = match merge_shards(&spec, &opts) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        eprintln!("{e}");
-                        return ExitCode::FAILURE;
-                    }
-                };
-                println!("merged {} cell(s) from shard journals", res.cells.len());
-                print_campaign_result(&spec, &res);
-            } else if let Some(shard) = shard {
-                let res = match run_campaign_shard(&spec, &opts, shard) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        eprintln!("{e}");
-                        return ExitCode::FAILURE;
-                    }
-                };
-                println!(
-                    "shard {}/{}: owns {} cell(s); {} evaluated ({} stolen), {} resumed \
-                     from the journal",
-                    res.shard.0, res.shard.1, res.owned, res.evaluated, res.stolen, res.skipped
-                );
-                println!("journal: {}", res.journal.display());
-                println!("run `gemini campaign merge {manifest}` once every shard has finished");
-            } else {
-                let res = match run_campaign(&spec, &opts) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        eprintln!("{e}");
-                        return ExitCode::FAILURE;
-                    }
-                };
-                println!(
-                    "{} cell(s) evaluated, {} resumed from the journal",
-                    res.evaluated, res.skipped
-                );
-                println!("journal: {}", res.dir.join("journal.jsonl").display());
-                print_campaign_result(&spec, &res);
-            }
-            ExitCode::SUCCESS
+            run_one_shot(RequestBody::Campaign(params))
         }
         Some("dse") => {
-            let tops: f64 = flag(&args, "--tops")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(72.0);
-            let stride: usize = flag(&args, "--stride")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(29);
-            let batch: u32 = flag(&args, "--batch")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(64);
             let rerank_k: usize = flag(&args, "--rerank-k")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(8);
-            let fidelity = match flag(&args, "--fidelity").as_deref() {
-                None | Some("analytic") => FidelityPolicy::Analytic,
-                Some("rerank") => FidelityPolicy::rerank(rerank_k),
-                Some("validate") => FidelityPolicy::validate(rerank_k),
-                Some(other) => {
-                    eprintln!("unknown fidelity policy '{other}'; use analytic|rerank|validate");
-                    return ExitCode::FAILURE;
-                }
-            };
             let mut sa = sa_opts(&args, 300);
             // For the DSE, `--threads` sets the candidate-sweep workers,
             // not the SA chain count (which `sa_opts` would otherwise
@@ -619,42 +406,136 @@ fn main() -> ExitCode {
             if cli_threads.is_some() {
                 sa.threads = 0;
             }
-            let iters = sa.iters;
-            let spec = DseSpec::table1(tops);
-            let mut opts = DseOptions {
-                objective: Objective::mc_e_d(),
-                batch,
-                mapping: MappingOptions {
-                    sa,
-                    ..Default::default()
-                },
-                stride,
-                fidelity,
-                ..Default::default()
+            run_one_shot(RequestBody::Dse(DseParams {
+                tops: flag(&args, "--tops")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(72.0),
+                stride: flag(&args, "--stride")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(29),
+                batch: flag(&args, "--batch")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(64),
+                iters: sa.iters,
+                seed: sa.seed,
+                fidelity: flag(&args, "--fidelity").unwrap_or_else(|| "analytic".to_string()),
+                rerank_k,
+                threads: cli_threads,
+                sa_threads: sa.threads,
+            }))
+        }
+        Some("serve") => {
+            let addr = flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:4816".to_string());
+            let opts = ServeOptions {
+                workers: flag(&args, "--workers")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0),
+                queue_cap: flag(&args, "--queue")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(64),
+                eval_cache_cap: flag(&args, "--cache-cap")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(gemini::core::service::SERVE_EVAL_CACHE_CAP),
             };
-            if let Some(t) = cli_threads {
-                if t > 0 {
-                    opts.threads = t;
+            let cache_cap = opts.eval_cache_cap;
+            let server = match Server::bind(&addr, opts) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("bind {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match server.local_addr() {
+                Ok(local) => {
+                    // One parseable line so scripts (and the CI job) can
+                    // scrape the resolved port when binding :0.
+                    println!("listening on {local}");
+                    let _ = std::io::stdout().flush();
+                }
+                Err(e) => {
+                    eprintln!("bind {addr}: {e}");
+                    return ExitCode::FAILURE;
                 }
             }
-            println!(
-                "{} candidates in the {tops}-TOPs grid; exploring every {stride}th with SA {iters}",
-                spec.candidates().len()
-            );
-            let dnns = vec![gemini::model::zoo::transformer_base()];
-            let res = run_dse(&dnns, &spec, &opts);
-            let best = res.best_record();
-            println!("best under MC*E*D: {}", best.arch.paper_tuple());
-            println!(
-                "MC ${:.2}  E {:.3} mJ  D {:.3} ms",
-                best.mc,
-                best.energy * 1e3,
-                best.delay * 1e3
-            );
-            println!("{}", sa_counter_line(&best.sa_stats));
-            print_fidelity_report(&res);
+            let state = ServiceState::serving(cache_cap);
+            match server.run(&state) {
+                Ok(s) => {
+                    println!(
+                        "drained: served {} request(s) over {} connection(s)",
+                        s.served, s.connections
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("serve: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("request") => {
+            let Some(addr) = flag(&args, "--addr") else {
+                eprintln!("gemini request requires --addr HOST:PORT");
+                return ExitCode::FAILURE;
+            };
+            let mut conn = match std::net::TcpStream::connect(&addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("connect {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Pipeline: send every stdin line, half-close, then print
+            // the responses (completion order; correlate by id).
+            let mut sent = 0usize;
+            for line in std::io::stdin().lock().lines() {
+                let line = match line {
+                    Ok(l) => l,
+                    Err(e) => {
+                        eprintln!("stdin: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if conn
+                    .write_all(line.as_bytes())
+                    .and_then(|()| conn.write_all(b"\n"))
+                    .is_err()
+                {
+                    eprintln!("connection to {addr} closed while sending");
+                    return ExitCode::FAILURE;
+                }
+                sent += 1;
+            }
+            let _ = conn.flush();
+            let _ = conn.shutdown(std::net::Shutdown::Write);
+            let mut got = 0usize;
+            for resp in BufReader::new(conn).lines() {
+                match resp {
+                    Ok(l) => {
+                        println!("{l}");
+                        got += 1;
+                    }
+                    Err(e) => {
+                        eprintln!("read {addr}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                if got == sent {
+                    break;
+                }
+            }
+            if got < sent {
+                eprintln!("{addr} answered {got} of {sent} request(s) before closing");
+                return ExitCode::FAILURE;
+            }
             ExitCode::SUCCESS
         }
-        _ => usage(),
+        Some(other) => {
+            eprintln!("unknown subcommand '{other}'; expected {VERBS}");
+            usage()
+        }
+        None => usage(),
     }
 }

@@ -15,7 +15,7 @@
 //! | [`sim`] | `gemini-sim` | performance & energy evaluator |
 //! | [`cost`] | `gemini-cost` | monetary-cost evaluator |
 //! | [`tangram`] | `gemini-tangram` | Tangram baseline (T-Map) |
-//! | [`core`] | `gemini-core` | LP-SPM encoding, SA engine, DSE |
+//! | [`core`] | `gemini-core` | LP-SPM encoding, SA engine, DSE, service layer |
 //!
 //! # Quickstart
 //!
@@ -88,6 +88,10 @@ pub mod prelude {
     pub use gemini_core::engine::{MappedDnn, MappingEngine, MappingOptions};
     pub use gemini_core::fidelity::{DseReport, FidelityPolicy, FluidConfig};
     pub use gemini_core::sa::{SaOptions, SaOutcome, SaStats};
+    pub use gemini_core::service::{
+        CampaignParams, DseParams, ErrorCode, MapParams, Request, RequestBody, Response,
+        ServeOptions, Server, ServiceError, ServiceState,
+    };
     pub use gemini_cost::CostModel;
     pub use gemini_model::{Dnn, DnnBuilder, FmapShape, LayerKind};
     pub use gemini_sim::{EvalCache, Evaluator};

@@ -217,3 +217,25 @@ fn unknown_model_and_preset_are_rejected() {
     let (ok, _, _) = gemini(&["frobnicate"]);
     assert!(!ok);
 }
+
+#[test]
+fn unknown_subcommand_prints_the_full_verb_list() {
+    let (ok, _, err) = gemini(&["frobnicate"]);
+    assert!(!ok, "unknown subcommand must exit non-zero");
+    assert!(
+        err.contains("unknown subcommand 'frobnicate'"),
+        "pinned message missing:\n{err}"
+    );
+    // The verb list is the single source of truth and must include the
+    // daemon verbs.
+    for verb in [
+        "models", "archs", "cost", "map", "dse", "hetero", "heatmap", "campaign", "serve",
+        "request",
+    ] {
+        assert!(err.contains(verb), "verb list is missing '{verb}':\n{err}");
+    }
+    // Bare invocation prints usage with the daemon verbs documented.
+    let (_, _, usage) = gemini(&[]);
+    assert!(usage.contains("serve"), "{usage}");
+    assert!(usage.contains("--addr"), "{usage}");
+}

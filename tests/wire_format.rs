@@ -1,0 +1,197 @@
+//! The `campaign::value` JSON layer as a *wire format*: the daemon
+//! trusts it to decode arbitrary socket bytes, so these tests push on
+//! exactly the inputs a network peer can produce — escapes, deep
+//! nesting, truncated lines, oversized payloads — and require every
+//! malformed input to refuse cleanly (a typed error, never a panic).
+
+use gemini::core::campaign::value::{parse_json, Value, MAX_JSON_DEPTH};
+use gemini::core::service::{Request, RequestBody, Response, MAX_LINE_BYTES};
+use gemini::prelude::ErrorCode;
+use std::collections::BTreeMap;
+
+#[test]
+fn string_escapes_round_trip() {
+    let nasty = "quote \" backslash \\ newline \n tab \t cr \r nul \u{0} bell \u{7} unicode \u{1F600} high \u{FFFF}";
+    let mut t = BTreeMap::new();
+    t.insert("s".to_string(), Value::from(nasty));
+    let line = Value::Table(t).to_json();
+    assert!(
+        !line.contains('\n'),
+        "encoded JSON must stay on one line for the line-delimited wire"
+    );
+    let back = parse_json(&line).expect("round trip");
+    assert_eq!(back.get("s").unwrap().as_str(), Some(nasty));
+}
+
+#[test]
+fn escape_sequences_decode() {
+    let v = parse_json(r#"{"a":"A\n\t\\\"","b":"\u0001","c":"\u00e9","d":"é"}"#).unwrap();
+    assert_eq!(v.get("a").unwrap().as_str(), Some("A\n\t\\\""));
+    assert_eq!(v.get("b").unwrap().as_str(), Some("\u{1}"));
+    assert_eq!(v.get("c").unwrap().as_str(), Some("é"));
+    assert_eq!(v.get("d").unwrap().as_str(), Some("é"));
+}
+
+#[test]
+fn truncated_lines_refuse_cleanly() {
+    // Every prefix of a valid request line must error, never panic.
+    let full = r#"{"id":"r1","verb":"map","model":"rn-50","batch":4,"priority":2}"#;
+    let mut whole_prefix_parses = 0;
+    for cut in 0..full.len() {
+        let prefix = &full[..cut];
+        if parse_json(prefix).is_ok() {
+            whole_prefix_parses += 1;
+        }
+    }
+    assert_eq!(
+        whole_prefix_parses, 0,
+        "no strict prefix of an object line is valid JSON"
+    );
+    // The typed decoder wraps the same failures with recoverable ids.
+    let e = Request::from_json(&full[..full.len() / 2]).unwrap_err();
+    assert_eq!(e.code, ErrorCode::BadRequest);
+    assert!(e.detail.contains("invalid JSON"), "{}", e.detail);
+}
+
+#[test]
+fn deep_nesting_is_bounded() {
+    // At the limit: parses.
+    let at = format!(
+        "{}1{}",
+        "[".repeat(MAX_JSON_DEPTH),
+        "]".repeat(MAX_JSON_DEPTH)
+    );
+    assert!(parse_json(&at).is_ok());
+    // One past: refused with a depth error, not a stack overflow.
+    let past = format!(
+        "{}1{}",
+        "[".repeat(MAX_JSON_DEPTH + 1),
+        "]".repeat(MAX_JSON_DEPTH + 1)
+    );
+    let e = parse_json(&past).unwrap_err();
+    assert!(e.to_string().contains("nested deeper"), "{e}");
+    // A pathological unclosed-bracket bomb (what a hostile peer would
+    // actually send) refuses the same way.
+    let bomb = "[".repeat(1 << 20);
+    assert!(parse_json(&bomb).is_err());
+    let e = Request::from_json(&bomb).unwrap_err();
+    assert_eq!(e.code, ErrorCode::BadRequest);
+}
+
+#[test]
+fn oversized_payloads_stay_under_the_line_cap() {
+    // A maximum-size legal line still round-trips...
+    let pad = "x".repeat(MAX_LINE_BYTES - 1024);
+    let line = format!(r#"{{"id":"big","verb":"ping","pad":"{pad}"}}"#);
+    assert!(line.len() <= MAX_LINE_BYTES);
+    let r = Request::from_json(&line).expect("large-but-legal line decodes");
+    assert_eq!(r.id, "big");
+    assert!(matches!(r.body, RequestBody::Ping));
+    // ...and the cap itself is what the transport enforces; the decoder
+    // has no size limit of its own (framing is the transport's job).
+    assert_eq!(MAX_LINE_BYTES, 256 * 1024);
+}
+
+#[test]
+fn malformed_wire_bytes_never_panic() {
+    let cases: &[&str] = &[
+        "",
+        " ",
+        "null",
+        "true",
+        "42",
+        "\"just a string\"",
+        "[1,2,3]",
+        "{",
+        "}",
+        "{}",
+        r#"{"verb"}"#,
+        r#"{"verb":}"#,
+        r#"{"verb":"map""#,
+        r#"{"verb":"map",}"#,
+        r#"{"verb" "map"}"#,
+        r#"{"verb":"map","model":123}"#,
+        r#"{"verb":"map","model":"rn-50","priority":"high"}"#,
+        r#"{"verb":"map","model":"rn-50","priority":1.5}"#,
+        r#"{"verb":"map","model":"rn-50","deadline_ms":-1}"#,
+        r#"{"verb":"map","model":"rn-50","seed":1e300}"#,
+        r#"{"verb":"dse","tops":"many"}"#,
+        r#"{"verb":"campaign"}"#,
+        r#"{"verb":"launch-missiles"}"#,
+        "{\"verb\":\"ping\"}\u{0}",
+        r#"{"verb":"ping","x":"unterminated"#,
+        r#"{"verb":"ping","x":"\u12"}"#,
+        r#"{"verb":"ping","x":"\q"}"#,
+        "{\"verb\":\"ping\", \"x\": 1e}",
+        "\u{FEFF}{\"verb\":\"ping\"}",
+    ];
+    for c in cases {
+        // Decode failure is acceptable — a panic or a silent wrong
+        // decode is not. Anything that does decode must be `ping` (the
+        // only valid verb in the list).
+        if let Ok(r) = Request::from_json(c) {
+            assert!(
+                matches!(r.body, RequestBody::Ping),
+                "unexpectedly decoded {c:?} as {:?}",
+                r.body
+            );
+        }
+    }
+}
+
+#[test]
+fn response_lines_are_single_line_and_reparse() {
+    let mut payload = BTreeMap::new();
+    payload.insert(
+        "report".to_string(),
+        Value::from("line one\nline two\twith tab"),
+    );
+    let resp = Response::ok("id-1", "map", Value::Table(payload));
+    let line = resp.to_json_line(None);
+    assert!(!line.contains('\n'), "embedded newlines must be escaped");
+    let v = parse_json(&line).unwrap();
+    assert_eq!(
+        v.get("payload").unwrap().get("report").unwrap().as_str(),
+        Some("line one\nline two\twith tab")
+    );
+
+    let err = Response::err("id-2", "dse", ErrorCode::Expired, "detail with \"quotes\"");
+    let v = parse_json(&err.to_json_line(None)).unwrap();
+    assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(
+        v.get("error").unwrap().get("code").unwrap().as_str(),
+        Some("expired")
+    );
+    assert_eq!(
+        v.get("error").unwrap().get("detail").unwrap().as_str(),
+        Some("detail with \"quotes\"")
+    );
+}
+
+#[test]
+fn numbers_survive_the_wire() {
+    // The wire uses shortest-round-trip floats; what a client reads
+    // back must be the exact f64 the server wrote.
+    for n in [
+        0.0,
+        -0.0,
+        1.0,
+        0.1,
+        1e-300,
+        1e300,
+        f64::MAX,
+        f64::MIN_POSITIVE,
+        123_456_789.123_456_79,
+        -2.5e-10,
+    ] {
+        let mut t = BTreeMap::new();
+        t.insert("n".to_string(), Value::Num(n));
+        let line = Value::Table(t).to_json();
+        let back = parse_json(&line).unwrap();
+        let got = back.get("n").unwrap().as_num().unwrap();
+        assert!(
+            got == n || (got == 0.0 && n == 0.0),
+            "{n:?} round-tripped to {got:?} via {line}"
+        );
+    }
+}
