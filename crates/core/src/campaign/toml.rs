@@ -26,7 +26,7 @@ pub fn parse_toml(input: &str) -> Result<Value, ParseError> {
     // Explicitly-opened `[table]` headers: TOML forbids re-opening the
     // same table, and silently merging a duplicated header would let a
     // structurally broken manifest run.
-    let mut seen_headers: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut seen_headers: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
 
     let mut offset = 0usize;
     let mut lines = input.lines().peekable();

@@ -7,7 +7,7 @@
 //! `GEMINI_SA_THREADS` — sets the worker count, and results are
 //! bit-identical at any setting.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gemini_model::{Dnn, LayerId};
 use gemini_sim::{DnnReport, DramSel, Evaluator, GroupMapping};
@@ -81,7 +81,7 @@ impl MappedDnn {
 
 /// Parses all groups with cross-group OF resolution.
 pub fn parse_all(dnn: &Dnn, partition: &GraphPartition, lms: &[Lms]) -> Vec<GroupMapping> {
-    let mut of_map: HashMap<LayerId, DramSel> = HashMap::new();
+    let mut of_map: BTreeMap<LayerId, DramSel> = BTreeMap::new();
     for (spec, l) in partition.groups.iter().zip(lms) {
         for (ms, &id) in l.schemes.iter().zip(&spec.members) {
             if flow_needs(dnn, spec, id).explicit_of {

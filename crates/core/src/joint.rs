@@ -21,7 +21,7 @@
 //! engine ([`crate::sa::temperature`]), including its degenerate-input
 //! guards.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -461,7 +461,7 @@ fn partition_move(
     let mut lms = Vec::with_capacity(trial.partition.groups.len());
     let mut reports = Vec::with_capacity(trial.partition.groups.len());
     // Map old groups to new by membership signature where unchanged.
-    let mut old_idx: HashMap<LayerId, usize> = HashMap::new();
+    let mut old_idx: BTreeMap<LayerId, usize> = BTreeMap::new();
     for (i, g) in st.partition.groups.iter().enumerate() {
         old_idx.insert(g.members[0], i);
     }
@@ -530,7 +530,7 @@ fn partition_move(
 
 /// Groups consuming outputs of group `g` (set-based dedup; sorted).
 fn consumers_of(dnn: &Dnn, partition: &GraphPartition, g: usize) -> Vec<usize> {
-    let mut group_of: HashMap<LayerId, usize> = HashMap::new();
+    let mut group_of: BTreeMap<LayerId, usize> = BTreeMap::new();
     for (gi, gr) in partition.groups.iter().enumerate() {
         for &m in &gr.members {
             group_of.insert(m, gi);
@@ -549,8 +549,8 @@ fn consumers_of(dnn: &Dnn, partition: &GraphPartition, g: usize) -> Vec<usize> {
     out.into_iter().collect()
 }
 
-fn of_map(dnn: &Dnn, st: &State) -> HashMap<LayerId, DramSel> {
-    let mut map = HashMap::new();
+fn of_map(dnn: &Dnn, st: &State) -> BTreeMap<LayerId, DramSel> {
+    let mut map = BTreeMap::new();
     for (spec, lms) in st.partition.groups.iter().zip(&st.lms) {
         for (ms, &id) in lms.schemes.iter().zip(&spec.members) {
             if flow_needs(dnn, spec, id).explicit_of {

@@ -46,7 +46,7 @@
 //! candidates are never re-simulated. Cache hit statistics surface in
 //! [`SaStats`].
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -157,6 +157,7 @@ fn env_override<T>(name: &str, slot: &mut T)
 where
     T: std::str::FromStr + std::fmt::Display,
 {
+    // tidy:allow(env-read, reason = "explicit operator override hook, read once at configuration time before any chain starts; the resolved SaParams are recorded in the run configuration, so artifacts stay reproducible from the recorded values")
     if let Ok(v) = std::env::var(name) {
         match v.trim().parse::<T>() {
             Ok(n) => *slot = n,
@@ -415,7 +416,7 @@ struct ChainCtx<'a> {
     /// [`SaOptions::delta`] is on).
     init_states: &'a [GroupEvalState],
     /// OF selections of `init`, across all groups.
-    of_map: &'a HashMap<LayerId, DramSel>,
+    of_map: &'a BTreeMap<LayerId, DramSel>,
     /// Consumer groups of each group's outputs (sorted, deduplicated).
     consumers: &'a [Vec<usize>],
     /// Iteration budget per chain.
@@ -449,7 +450,7 @@ pub fn optimize(
     // The evaluations are built as incremental-evaluator states so the
     // chains can fork the member records instead of re-simulating them.
     let of_map = build_of_map(dnn, partition, &init);
-    let no_overlay: HashMap<LayerId, DramSel> = HashMap::new();
+    let no_overlay: BTreeMap<LayerId, DramSel> = BTreeMap::new();
     let init_states: Vec<GroupEvalState> = (0..n_groups)
         .map(|g| {
             let gm = parse_group(dnn, &partition.groups[g], &init[g], &of_map, &no_overlay);
@@ -526,7 +527,7 @@ pub fn optimize(
                 &lms_final[g],
                 g,
                 &of_final,
-                &HashMap::new(),
+                &BTreeMap::new(),
                 batch,
             )
         })
@@ -654,7 +655,7 @@ fn run_chain(ctx: &ChainCtx<'_>, g: usize) -> ChainResult {
     let mut cur = init[g].clone();
     // The committed scheme's OF entries; empty means "same as the
     // frozen map" (true for the initial scheme by construction).
-    let mut cur_overlay: HashMap<LayerId, DramSel> = HashMap::new();
+    let mut cur_overlay: BTreeMap<LayerId, DramSel> = BTreeMap::new();
 
     // Incremental-evaluator states, synced to the *committed* schemes:
     // the chain's own group, plus every consumer group at its frozen
@@ -700,9 +701,9 @@ fn run_chain(ctx: &ChainCtx<'_>, g: usize) -> ChainResult {
         );
 
         // OF changes redirect where this group's consumers read from.
-        let trial_overlay: HashMap<LayerId, DramSel>;
+        let trial_overlay: BTreeMap<LayerId, DramSel>;
         let overlay = if outcome.changed_of {
-            let mut o = HashMap::new();
+            let mut o = BTreeMap::new();
             collect_of(dnn, spec, &trial, &mut o);
             trial_overlay = o;
             &trial_overlay
@@ -843,15 +844,15 @@ fn cost_of(e: f64, d: f64, opts: &SaOptions) -> f64 {
 
 /// Gathers the OF selections of every layer whose output is explicitly
 /// managed, across all groups.
-fn build_of_map(dnn: &Dnn, partition: &GraphPartition, lms: &[Lms]) -> HashMap<LayerId, DramSel> {
-    let mut map = HashMap::new();
+fn build_of_map(dnn: &Dnn, partition: &GraphPartition, lms: &[Lms]) -> BTreeMap<LayerId, DramSel> {
+    let mut map = BTreeMap::new();
     for (spec, l) in partition.groups.iter().zip(lms) {
         collect_of(dnn, spec, l, &mut map);
     }
     map
 }
 
-fn collect_of(dnn: &Dnn, spec: &GroupSpec, lms: &Lms, map: &mut HashMap<LayerId, DramSel>) {
+fn collect_of(dnn: &Dnn, spec: &GroupSpec, lms: &Lms, map: &mut BTreeMap<LayerId, DramSel>) {
     for (ms, &id) in lms.schemes.iter().zip(&spec.members) {
         if crate::encoding::flow_needs(dnn, spec, id).explicit_of {
             if let Some(sel) = DramSel::from_fd(ms.fd.ofm) {
@@ -864,7 +865,7 @@ fn collect_of(dnn: &Dnn, spec: &GroupSpec, lms: &Lms, map: &mut HashMap<LayerId,
 /// Groups that consume outputs of each group, sorted and deduplicated
 /// (set-based — linear in edges, not quadratic in consumers).
 pub(crate) fn consumer_groups(dnn: &Dnn, partition: &GraphPartition) -> Vec<Vec<usize>> {
-    let mut group_of: HashMap<LayerId, usize> = HashMap::new();
+    let mut group_of: BTreeMap<LayerId, usize> = BTreeMap::new();
     for (gi, g) in partition.groups.iter().enumerate() {
         for &m in &g.members {
             group_of.insert(m, gi);
@@ -892,8 +893,8 @@ fn eval_group(
     partition: &GraphPartition,
     lms: &Lms,
     g: usize,
-    of_map: &HashMap<LayerId, DramSel>,
-    overlay: &HashMap<LayerId, DramSel>,
+    of_map: &BTreeMap<LayerId, DramSel>,
+    overlay: &BTreeMap<LayerId, DramSel>,
     batch: u32,
 ) -> GroupReport {
     let spec = &partition.groups[g];
@@ -905,8 +906,8 @@ fn parse_group(
     dnn: &Dnn,
     spec: &GroupSpec,
     lms: &Lms,
-    of_map: &HashMap<LayerId, DramSel>,
-    overlay: &HashMap<LayerId, DramSel>,
+    of_map: &BTreeMap<LayerId, DramSel>,
+    overlay: &BTreeMap<LayerId, DramSel>,
 ) -> gemini_sim::GroupMapping {
     let resolver = |p: LayerId| {
         overlay

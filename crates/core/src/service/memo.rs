@@ -84,7 +84,13 @@ impl<K: Eq + Hash + Clone, V: Clone> MappingMemo<K, V> {
     /// deterministic so the race is benign (first store wins; the
     /// duplicate value is identical).
     pub fn get_or_eval(&self, key: K, eval: impl FnOnce() -> V) -> V {
-        if let Some(hit) = self.inner.lock().expect("memo lock").map.get(&key) {
+        if let Some(hit) = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .map
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
@@ -93,9 +99,13 @@ impl<K: Eq + Hash + Clone, V: Clone> MappingMemo<K, V> {
         if self.cap == Some(0) {
             return v;
         }
-        let mut inner = self.inner.lock().expect("memo lock");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if !inner.map.contains_key(&key) {
             if let Some(cap) = self.cap {
+                // tidy:allow(lock-cycle, reason = "inner.map.len() is HashMap::len on the held guard's contents; gemini-tidy's name-based call resolution confuses it with MappingMemo::len, which does lock. No second acquisition happens here.")
                 while inner.map.len() >= cap {
                     let Some(oldest) = inner.order.pop_front() else {
                         break;
@@ -127,7 +137,11 @@ impl<K: Eq + Hash + Clone, V: Clone> MappingMemo<K, V> {
 
     /// Stored entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("memo lock").map.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .map
+            .len()
     }
 
     /// Whether no entries are stored.

@@ -148,6 +148,7 @@ fn fidelity_report_lines(res: &DseResult, lines: &mut Vec<String>) {
         rep.reranked.len()
     ));
     for e in &rep.reranked {
+        // tidy:allow(service-index, reason = "e.index comes from the re-rank report built over these same records; the journal loader range-checks indices at load")
         let r = &res.records[e.index];
         let marker = if e.index == rep.best {
             "  <== winner"
@@ -215,10 +216,12 @@ fn campaign_result_lines(spec: &CampaignSpec, res: &CampaignResult, lines: &mut 
             front.len()
         ));
         for p in front {
+            // tidy:allow(service-index, reason = "front members are built from this result's own cells; indices are validated when the archive is constructed")
             let c = &res.cells[p.cell];
             lines.push(format!(
                 "  cell {:>4}  {}  D {:.3e} s  E {:.3e} J  MC ${:.2}",
                 p.cell,
+                // tidy:allow(service-index, reason = "arch_idx is range-checked against the spec's candidate list when the journal is loaded")
                 archs[c.arch_idx].paper_tuple(),
                 c.eff_delay(),
                 c.energy,
@@ -226,11 +229,13 @@ fn campaign_result_lines(spec: &CampaignSpec, res: &CampaignResult, lines: &mut 
             ));
         }
         for b in res.best.iter().filter(|b| b.group == gi) {
+            // tidy:allow(service-index, reason = "per-objective winners reference this result's own cells; validated at journal load")
             let c = &res.cells[b.cell];
             lines.push(format!(
                 "  best under {:<8} cell {:>4}  {}  score {:.4e}",
                 b.objective,
                 b.cell,
+                // tidy:allow(service-index, reason = "arch_idx is range-checked against the spec's candidate list when the journal is loaded")
                 archs[c.arch_idx].paper_tuple(),
                 b.score
             ));
@@ -315,14 +320,22 @@ impl ServiceState {
     /// contract tracks ("a second identical request over a warm daemon
     /// reports a strictly higher cache hit count").
     pub fn cache_hits(&self) -> u64 {
-        self.eval_cache.lock().expect("cache lock").hits() + self.request_memo.hits()
+        self.eval_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .hits()
+            + self.request_memo.hits()
     }
 
     /// The volatile daemon-state snapshot attached to every response as
     /// the `service` section (and returned by the `stats` verb).
     pub fn counters(&self) -> Value {
         let (ev_hits, ev_misses, ev_evict, ev_len) = {
-            let c = self.eval_cache.lock().expect("cache lock");
+            let c = self
+                .eval_cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // tidy:allow(lock-nesting, reason = "c.len() is EvalCache::len (sim crate, lock-free); gemini-tidy's name-based call resolution confuses it with RequestQueue::len. No queue acquisition happens under the cache guard.")
             (c.hits(), c.misses(), c.evictions(), c.len())
         };
         let m = &self.request_memo;
@@ -454,7 +467,10 @@ impl ServiceState {
             // exactly what the evaluator returns), so the payload is
             // unaffected.
             {
-                let mut cache = self.eval_cache.lock().expect("cache lock");
+                let mut cache = self
+                    .eval_cache
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 for gm in t.group_mappings(&dnn).iter().chain(g_mappings.iter()) {
                     cache.evaluate(&ev, &dnn, gm, p.batch);
                 }

@@ -13,6 +13,12 @@
 //! sequence number breaks ties, so two equal-priority requests are
 //! served in arrival order.
 //!
+//! Lock poisoning is *recovered*, not propagated: a worker that
+//! panicked while holding the queue mutex leaves the heap in a valid
+//! state (every mutation here is single-step), and one crashed worker
+//! must not turn into a permanently dead daemon where every later
+//! push/pop re-panics on the poison.
+//!
 //! [`Request::priority`]: super::proto::Request::priority
 
 use std::collections::BinaryHeap;
@@ -92,7 +98,10 @@ impl<T> RequestQueue<T> {
     /// [`PushError::Busy`] when the queue is at capacity,
     /// [`PushError::Closed`] once [`RequestQueue::close`] was called.
     pub fn push(&self, priority: i64, item: T) -> Result<usize, PushError> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if inner.closed {
             return Err(PushError::Closed);
         }
@@ -117,7 +126,10 @@ impl<T> RequestQueue<T> {
     /// drained — the worker-loop exit condition that makes shutdown
     /// finish in-flight work instead of dropping it.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             if let Some(e) = inner.heap.pop() {
                 return Some(e.item);
@@ -125,20 +137,30 @@ impl<T> RequestQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.ready.wait(inner).expect("queue lock");
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     /// Stops admission; blocked and future [`RequestQueue::pop`] calls
     /// drain what is already queued, then return `None`.
     pub fn close(&self) {
-        self.inner.lock().expect("queue lock").closed = true;
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .closed = true;
         self.ready.notify_all();
     }
 
     /// Pending items.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock").heap.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .heap
+            .len()
     }
 
     /// Whether nothing is pending.

@@ -273,7 +273,10 @@ fn reader_loop(
         match stream.read(&mut chunk) {
             Ok(0) => return,
             Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
+                // `read` never returns more than the buffer holds, but
+                // the request path stays free of panicking indexing.
+                let Some(part) = chunk.get(..n) else { return };
+                buf.extend_from_slice(part);
                 while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
                     let raw: Vec<u8> = buf.drain(..=pos).collect();
                     let line = String::from_utf8_lossy(&raw);

@@ -1,0 +1,299 @@
+//! Diagnostics, waivers and the machine-readable report.
+//!
+//! A lint finding is a [`Diagnostic`]; a `// tidy:allow(<lint>,
+//! reason = "...")` line comment is a [`Waiver`]. Waivers attach to
+//! the line they are written on *and* the line directly below, so both
+//! styles work:
+//!
+//! ```text
+//! // tidy:allow(hash-collection, reason = "probed by key, never iterated")
+//! map: HashMap<u64, Bucket>,
+//!
+//! let m = HashMap::new(); // tidy:allow(hash-collection, reason = "...")
+//! ```
+//!
+//! The reason string is *required* and must be non-empty: a waiver
+//! without one is itself a hard [`INVALID_WAIVER`] diagnostic, and a
+//! waiver that suppresses nothing is an [`UNUSED_WAIVER`] diagnostic —
+//! the waiver census stays an honest, reviewable artifact. Those two
+//! meta-lints cannot themselves be waived.
+
+use crate::lexer::LineComment;
+
+/// A waiver that is malformed or missing its reason.
+pub const INVALID_WAIVER: &str = "invalid-waiver";
+/// A waiver that suppressed no diagnostic.
+pub const UNUSED_WAIVER: &str = "unused-waiver";
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Stable lint name (`hash-collection`, `service-unwrap`, ...).
+    pub lint: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a finding.
+    pub fn new(file: &str, line: u32, lint: &str, message: impl Into<String>) -> Self {
+        Self {
+            file: file.to_string(),
+            line,
+            lint: lint.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable `file:line: lint: message` form.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}: {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// One parsed `tidy:allow` directive.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Line the directive is written on.
+    pub line: u32,
+    /// Lint it waives.
+    pub lint: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Whether it suppressed at least one diagnostic.
+    pub used: bool,
+}
+
+/// Extracts waivers (and invalid-waiver diagnostics) from a file's
+/// line comments. The accepted grammar is exactly
+/// `tidy:allow(<lint-name>, reason = "<non-empty>")`; anything that
+/// starts with `tidy:allow` but does not parse is a hard error — a
+/// directive that silently did nothing would be worse than no waiver
+/// syntax at all.
+pub fn parse_waivers(
+    file: &str,
+    comments: &[LineComment],
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for c in comments {
+        // Doc comments (`///`, `//!`) are documentation — prose that
+        // *describes* the waiver syntax must not parse as a directive.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        // A directive must start the comment; a mid-sentence mention
+        // of tidy:allow is prose.
+        let body = c.text.trim_start();
+        if !body.starts_with("tidy:allow") {
+            continue;
+        }
+        let rest = &body["tidy:allow".len()..];
+        match parse_allow_args(rest) {
+            Ok((lint, reason)) => out.push(Waiver {
+                file: file.to_string(),
+                line: c.line,
+                lint,
+                reason,
+                used: false,
+            }),
+            Err(why) => diags.push(Diagnostic::new(
+                file,
+                c.line,
+                INVALID_WAIVER,
+                format!("malformed tidy:allow directive: {why}"),
+            )),
+        }
+    }
+    out
+}
+
+/// Parses `(<lint>, reason = "...")` after the `tidy:allow` keyword.
+fn parse_allow_args(rest: &str) -> Result<(String, String), String> {
+    let rest = rest.trim_start();
+    let Some(inner) = rest.strip_prefix('(') else {
+        return Err("expected '(' after tidy:allow".into());
+    };
+    let Some(close) = inner.rfind(')') else {
+        return Err("missing closing ')'".into());
+    };
+    let inner = &inner[..close];
+    let Some((lint, reason_part)) = inner.split_once(',') else {
+        return Err("expected `tidy:allow(<lint>, reason = \"...\")`".into());
+    };
+    let lint = lint.trim();
+    if lint.is_empty() || !lint.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-') {
+        return Err(format!("'{lint}' is not a lint name"));
+    }
+    if lint == INVALID_WAIVER || lint == UNUSED_WAIVER {
+        return Err(format!("the {lint} meta-lint cannot be waived"));
+    }
+    let reason_part = reason_part.trim();
+    let Some(q) = reason_part.strip_prefix("reason") else {
+        return Err("missing `reason = \"...\"`".into());
+    };
+    let q = q.trim_start();
+    let Some(q) = q.strip_prefix('=') else {
+        return Err("missing `=` after `reason`".into());
+    };
+    let q = q.trim();
+    let Some(q) = q.strip_prefix('"') else {
+        return Err("reason must be a quoted string".into());
+    };
+    let Some(end) = q.rfind('"') else {
+        return Err("unterminated reason string".into());
+    };
+    let reason = q[..end].trim();
+    if reason.is_empty() {
+        return Err("empty reason — every waiver must say why".into());
+    }
+    Ok((lint.to_string(), reason.to_string()))
+}
+
+/// Applies `waivers` to `diags` for one file: a diagnostic is
+/// suppressed when a same-lint waiver sits on its line or the line
+/// above. Returns the surviving diagnostics and marks used waivers.
+pub fn apply_waivers(diags: Vec<Diagnostic>, waivers: &mut [Waiver]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    'next: for d in diags {
+        // The two meta-lints are never waivable.
+        if d.lint != INVALID_WAIVER && d.lint != UNUSED_WAIVER {
+            for w in waivers.iter_mut() {
+                if w.file == d.file
+                    && w.lint == d.lint
+                    && (w.line == d.line || w.line + 1 == d.line)
+                {
+                    w.used = true;
+                    continue 'next;
+                }
+            }
+        }
+        out.push(d);
+    }
+    out
+}
+
+/// Emits `unused-waiver` diagnostics for waivers that suppressed
+/// nothing.
+pub fn flag_unused(waivers: &[Waiver], diags: &mut Vec<Diagnostic>) {
+    for w in waivers.iter().filter(|w| !w.used) {
+        diags.push(Diagnostic::new(
+            &w.file,
+            w.line,
+            UNUSED_WAIVER,
+            format!(
+                "tidy:allow({}) suppresses nothing here; delete it or move it to the violation",
+                w.lint
+            ),
+        ));
+    }
+}
+
+/// Minimal JSON string escape (the report uses only strings and
+/// numbers).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn waivers_of(src: &str) -> (Vec<Waiver>, Vec<Diagnostic>) {
+        let l = lex(src);
+        let mut diags = Vec::new();
+        let w = parse_waivers("f.rs", &l.comments, &mut diags);
+        (w, diags)
+    }
+
+    #[test]
+    fn well_formed_waiver_parses() {
+        let (w, d) = waivers_of("// tidy:allow(hash-collection, reason = \"lookup only\")\n");
+        assert!(d.is_empty());
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].lint, "hash-collection");
+        assert_eq!(w[0].reason, "lookup only");
+    }
+
+    #[test]
+    fn empty_or_missing_reason_is_a_hard_error() {
+        for bad in [
+            "// tidy:allow(hash-collection)\n",
+            "// tidy:allow(hash-collection, reason = \"\")\n",
+            "// tidy:allow(hash-collection, reason = \"   \")\n",
+            "// tidy:allow(hash-collection, reason = )\n",
+            "// tidy:allow hash-collection\n",
+        ] {
+            let (w, d) = waivers_of(bad);
+            assert!(w.is_empty(), "{bad}");
+            assert_eq!(d.len(), 1, "{bad}");
+            assert_eq!(d[0].lint, INVALID_WAIVER, "{bad}");
+        }
+    }
+
+    #[test]
+    fn meta_lints_cannot_be_waived() {
+        let (w, d) = waivers_of("// tidy:allow(invalid-waiver, reason = \"no\")\n");
+        assert!(w.is_empty());
+        assert_eq!(d[0].lint, INVALID_WAIVER);
+    }
+
+    #[test]
+    fn waiver_covers_its_line_and_the_next() {
+        let mut waivers = vec![Waiver {
+            file: "f.rs".into(),
+            line: 10,
+            lint: "x".into(),
+            reason: "r".into(),
+            used: false,
+        }];
+        let diags = vec![
+            Diagnostic::new("f.rs", 10, "x", "same line"),
+            Diagnostic::new("f.rs", 11, "x", "next line"),
+            Diagnostic::new("f.rs", 12, "x", "too far"),
+            Diagnostic::new("f.rs", 11, "y", "wrong lint"),
+        ];
+        let left = apply_waivers(diags, &mut waivers);
+        assert_eq!(left.len(), 2);
+        assert!(waivers[0].used);
+    }
+
+    #[test]
+    fn unused_waivers_are_flagged() {
+        let mut waivers = vec![Waiver {
+            file: "f.rs".into(),
+            line: 5,
+            lint: "x".into(),
+            reason: "r".into(),
+            used: false,
+        }];
+        let left = apply_waivers(vec![], &mut waivers);
+        assert!(left.is_empty());
+        let mut diags = Vec::new();
+        flag_unused(&waivers, &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].lint, UNUSED_WAIVER);
+    }
+}

@@ -1,0 +1,447 @@
+//! A token-level Rust source scanner.
+//!
+//! The lints in this crate do not need types or a syntax tree — they
+//! need to know, reliably, that an occurrence of `HashMap` or
+//! `.unwrap()` is *code* and not the inside of a string literal or a
+//! comment. This lexer provides exactly that: it strips comments and
+//! literals into opaque tokens, keeps line numbers, and surfaces line
+//! comments separately so the waiver layer can read
+//! `// tidy:allow(...)` directives.
+//!
+//! It understands the parts of the Rust lexical grammar that matter
+//! for not mis-tokenizing real sources: nested block comments, string
+//! escapes, raw strings with arbitrary `#` fences, byte and raw-byte
+//! strings, char literals vs. lifetimes, raw identifiers, and numeric
+//! literals (including `1..=3` vs `1.5e-3` disambiguation).
+
+/// What a token is; the lints mostly match on identifier text and
+/// punctuation shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `let`, ...).
+    Ident,
+    /// One punctuation character (multi-char operators arrive as
+    /// consecutive tokens: `::` is two `:`).
+    Punct,
+    /// String/char/byte/numeric literal, content opaque.
+    Literal,
+    /// A lifetime (`'a`, `'static`), kept distinct so it is never
+    /// confused with a char literal.
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (for `Literal`, the raw literal text).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// One `//` line comment (block comments are dropped: waivers must be
+/// line comments so they attach to an unambiguous line).
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment body after `//` (doc markers `/` or `!` included).
+    pub text: String,
+}
+
+/// A fully lexed source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// `//` comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes one source file. Never fails: unterminated literals or
+/// comments simply end at EOF (the scanner's job is linting, not
+/// rejecting files rustc already accepts or rejects).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_line {
+        ($c:expr) => {
+            if $c == '\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        let start_line = line;
+        // Whitespace.
+        if c.is_whitespace() {
+            bump_line!(c);
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < b.len() {
+            if b[i + 1] == '/' {
+                let mut j = i + 2;
+                let mut text = String::new();
+                while j < b.len() && b[j] != '\n' {
+                    text.push(b[j]);
+                    j += 1;
+                }
+                out.comments.push(LineComment {
+                    line: start_line,
+                    text,
+                });
+                i = j;
+                continue;
+            }
+            if b[i + 1] == '*' {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == '/' && j + 1 < b.len() && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < b.len() && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        bump_line!(b[j]);
+                        j += 1;
+                    }
+                }
+                i = j;
+                continue;
+            }
+        }
+        // Raw identifiers and raw strings: r#ident, r"..", r#".."#,
+        // br"..", br#".."#, b"..", b'..'.
+        if (c == 'r' || c == 'b') && i + 1 < b.len() {
+            let (raw_at, byte_prefix) = if c == 'b' && b[i + 1] == 'r' {
+                (i + 2, true)
+            } else if c == 'r' {
+                (i + 1, false)
+            } else {
+                (i + 1, true) // b"..." or b'...'
+            };
+            let is_raw = c != 'b' || b[i + 1] == 'r';
+            if is_raw && raw_at < b.len() && (b[raw_at] == '#' || b[raw_at] == '"') {
+                // r-string or raw identifier (r#ident).
+                let mut hashes = 0usize;
+                let mut j = raw_at;
+                while j < b.len() && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == '"' {
+                    // Raw string: scan to `"` followed by `hashes` #s.
+                    j += 1;
+                    loop {
+                        if j >= b.len() {
+                            break;
+                        }
+                        if b[j] == '"' {
+                            let mut k = j + 1;
+                            let mut seen = 0usize;
+                            while k < b.len() && b[k] == '#' && seen < hashes {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                j = k;
+                                break;
+                            }
+                        }
+                        bump_line!(b[j]);
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::new(),
+                        line: start_line,
+                    });
+                    i = j;
+                    continue;
+                }
+                if hashes == 1 && !byte_prefix && j < b.len() && is_ident_start(b[j]) {
+                    // Raw identifier r#foo.
+                    let mut k = j;
+                    while k < b.len() && is_ident_continue(b[k]) {
+                        k += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: b[j..k].iter().collect(),
+                        line: start_line,
+                    });
+                    i = k;
+                    continue;
+                }
+                // `r #` that was neither: fall through as ident `r`.
+            }
+            if byte_prefix && !is_raw && raw_at < b.len() && (b[raw_at] == '"' || b[raw_at] == '\'')
+            {
+                // b"..." or b'..': delegate to the plain scanners below
+                // by skipping the prefix.
+                i += 1;
+                continue;
+            }
+        }
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let mut j = i;
+            while j < b.len() && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text: b[i..j].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let mut j = i + 1;
+            while j < b.len() {
+                match b[j] {
+                    '\\' => {
+                        // Escapes are two chars; `\<newline>` is the
+                        // line-continuation escape and still ends a
+                        // source line.
+                        if b.get(j + 1) == Some(&'\n') {
+                            line += 1;
+                        }
+                        j += 2;
+                    }
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    other => {
+                        bump_line!(other);
+                        j += 1;
+                    }
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if c == '\'' {
+            let next = b.get(i + 1).copied();
+            let after = b.get(i + 2).copied();
+            let is_lifetime = match next {
+                Some(n) if is_ident_start(n) => after != Some('\''),
+                _ => false,
+            };
+            if is_lifetime {
+                let mut j = i + 1;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: b[i + 1..j].iter().collect(),
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            // Char literal: 'x', '\n', '\u{1F600}'.
+            let mut j = i + 1;
+            while j < b.len() {
+                match b[j] {
+                    '\\' => {
+                        if b.get(j + 1) == Some(&'\n') {
+                            line += 1;
+                        }
+                        j += 2;
+                    }
+                    '\'' => {
+                        j += 1;
+                        break;
+                    }
+                    other => {
+                        bump_line!(other);
+                        j += 1;
+                    }
+                }
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Numeric literal. `.` is consumed only when followed by a
+        // digit (so `1..=3` lexes as `1`, `.`, `.`, `=`, `3`), and an
+        // exponent sign only directly after `e`/`E`.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < b.len() {
+                let d = b[j];
+                let continues = d.is_ascii_alphanumeric()
+                    || d == '_'
+                    || (d == '.' && b.get(j + 1).is_some_and(|n| n.is_ascii_digit()))
+                    || ((d == '+' || d == '-')
+                        && matches!(b.get(j - 1), Some('e') | Some('E'))
+                        && b.get(j + 1).is_some_and(|n| n.is_ascii_digit()));
+                if !continues {
+                    break;
+                }
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Literal,
+                text: b[i..j].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Everything else: one punctuation character per token.
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: start_line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "HashMap::new()";
+            let r = r#"unwrap() HashMap"#;
+            let b = b"HashMap";
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().filter(|s| s.as_str() == "HashMap").count(),
+            1,
+            "{ids:?}"
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        // 'x' is a literal, and the code after it still lexes.
+        assert!(l.toks.iter().any(|t| t.is_punct('}')));
+    }
+
+    #[test]
+    fn ranges_do_not_eat_dots() {
+        let l = lex("for i in 1..=3 { x[i] }");
+        let dots = l.toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "1"));
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "3"));
+    }
+
+    #[test]
+    fn line_numbers_and_waiver_comments_survive() {
+        let src = "let a = 1;\n// tidy:allow(x, reason = \"y\")\nlet b = 2;\n";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 2);
+        assert!(l.comments[0].text.contains("tidy:allow"));
+        let b_tok = l.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn string_line_continuations_still_count_lines() {
+        let src = "let s = \"one \\\n    two\";\nlet after = 1;\n";
+        let l = lex(src);
+        let after = l.toks.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let ids = idents("let r#type = 3; let r = 1;");
+        assert!(ids.contains(&"type".to_string()));
+        assert!(ids.contains(&"r".to_string()));
+    }
+
+    #[test]
+    fn floats_and_hex_lex_whole() {
+        let l = lex("let x = 1.5e-3 + 0xC0FFEE;");
+        let lits: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.clone())
+            .collect();
+        assert!(lits.contains(&"1.5e-3".to_string()), "{lits:?}");
+        assert!(lits.contains(&"0xC0FFEE".to_string()), "{lits:?}");
+    }
+}

@@ -1,0 +1,299 @@
+//! Cross-file consistency lints.
+//!
+//! These catch the drift that token-level lints cannot: files talking
+//! about each other and going stale independently.
+//!
+//! * **`ci-pin`** — every job in the CI workflow must carry a
+//!   `# pins: <path>` comment naming the test (or bench) file that
+//!   gives the job its meaning, and that file must exist. A CI job
+//!   whose backing test file was renamed away keeps passing vacuously;
+//!   the pin turns that into a lint failure.
+//! * **`missing-manifest`** — every `manifests/*.toml` path mentioned
+//!   in the documentation must exist. Docs that reference a deleted
+//!   campaign manifest send readers to a file that is not there.
+//! * **`undocumented-variant`** — every variant of a public error enum
+//!   must have a `///` doc comment. Error variants are API: operators
+//!   see them in responses and artifacts, and an undocumented variant
+//!   is a support question waiting to be asked.
+
+use std::collections::BTreeSet;
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// CI job without a valid `# pins:` test-file mapping.
+pub const CI_PIN: &str = "ci-pin";
+/// Documentation references a manifest that does not exist.
+pub const MISSING_MANIFEST: &str = "missing-manifest";
+/// Public error enum variant without a doc comment.
+pub const UNDOCUMENTED_VARIANT: &str = "undocumented-variant";
+
+/// Checks that every job in the workflow file pins an existing test
+/// file. `exists` answers whether a repo-relative path is a file.
+pub fn check_ci_pins(
+    ci_path: &str,
+    ci_text: &str,
+    exists: &dyn Fn(&str) -> bool,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut in_jobs = false;
+    // (job name, header line, pin found)
+    let mut current: Option<(String, u32, bool)> = None;
+    for (idx, raw) in ci_text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim_end();
+        if line == "jobs:" {
+            in_jobs = true;
+            continue;
+        }
+        if !in_jobs {
+            continue;
+        }
+        // A new top-level key after `jobs:` ends the jobs section.
+        if !line.is_empty() && !line.starts_with(' ') && !line.starts_with('#') {
+            if let Some((name, jline, false)) = current.take() {
+                out.push(missing_pin(ci_path, jline, &name));
+            }
+            in_jobs = false;
+            continue;
+        }
+        // A two-space-indented key is a job header.
+        let is_job_header = line.starts_with("  ")
+            && !line.starts_with("   ")
+            && line.trim_start().ends_with(':')
+            && !line.trim_start().starts_with('#');
+        if is_job_header {
+            if let Some((name, jline, false)) = current.take() {
+                out.push(missing_pin(ci_path, jline, &name));
+            }
+            let name = line.trim().trim_end_matches(':').to_string();
+            current = Some((name, lineno, false));
+            continue;
+        }
+        // Inside a job: look for `# pins: <path>`.
+        if let Some((_, _, pinned)) = current.as_mut() {
+            if let Some(at) = line.find("# pins:") {
+                let path = line[at + "# pins:".len()..].trim();
+                if path.is_empty() {
+                    out.push(Diagnostic::new(
+                        ci_path,
+                        lineno,
+                        CI_PIN,
+                        "empty `# pins:` — name the test file this job exists for",
+                    ));
+                } else if !exists(path) {
+                    out.push(Diagnostic::new(
+                        ci_path,
+                        lineno,
+                        CI_PIN,
+                        format!("pinned file `{path}` does not exist; the job is vacuous"),
+                    ));
+                }
+                *pinned = true;
+            }
+        }
+    }
+    if let Some((name, jline, false)) = current.take() {
+        out.push(missing_pin(ci_path, jline, &name));
+    }
+    out
+}
+
+fn missing_pin(ci_path: &str, line: u32, job: &str) -> Diagnostic {
+    Diagnostic::new(
+        ci_path,
+        line,
+        CI_PIN,
+        format!(
+            "job `{job}` has no `# pins: <test-file>` comment; every CI job must \
+             name the test file that gives it meaning"
+        ),
+    )
+}
+
+/// Checks that every `manifests/*.toml` path mentioned in a doc file
+/// exists.
+pub fn check_doc_manifests(
+    doc_path: &str,
+    doc_text: &str,
+    exists: &dyn Fn(&str) -> bool,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for (idx, line) in doc_text.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let mut rest = line;
+        while let Some(at) = rest.find("manifests/") {
+            let tail = &rest[at..];
+            let end = tail
+                .find(|c: char| c.is_whitespace() || "`'\")],:;".contains(c))
+                .unwrap_or(tail.len());
+            let path = tail[..end].trim_end_matches('.');
+            rest = &tail[end.min(tail.len())..];
+            if !path.ends_with(".toml") {
+                continue;
+            }
+            if seen.insert(format!("{lineno}:{path}")) && !exists(path) {
+                out.push(Diagnostic::new(
+                    doc_path,
+                    lineno,
+                    MISSING_MANIFEST,
+                    format!("`{path}` is referenced here but does not exist"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Checks that every variant of every `pub enum *Error*` carries a
+/// `///` doc comment.
+pub fn check_error_enum_docs(sf: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = sf.toks();
+    // Lines that carry a doc comment (`///` or `//!`).
+    let doc_lines: BTreeSet<u32> = sf
+        .lexed
+        .comments
+        .iter()
+        .filter(|c| c.text.starts_with('/') || c.text.starts_with('!'))
+        .map(|c| c.line)
+        .collect();
+    let mut i = 0usize;
+    while i < toks.len() {
+        // `pub enum <NameContainingError>`
+        if toks[i].is_ident("pub")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("enum"))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokKind::Ident && t.text.contains("Error"))
+            && !sf.in_test[i]
+        {
+            let enum_name = toks[i + 2].text.clone();
+            // Find the body `{` (skipping generics).
+            let mut j = i + 3;
+            while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            if j >= toks.len() || toks[j].is_punct(';') {
+                i = j;
+                continue;
+            }
+            // Walk variants at brace depth 1 (a `,` inside a tuple
+            // payload's parens is not a variant separator).
+            let mut depth = 0i32;
+            let mut paren = 0i32;
+            let mut prev_sig_line = toks[j].line; // line of `{` or last `,`
+            let mut expecting_variant = true;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if t.is_punct('(') {
+                    paren += 1;
+                } else if t.is_punct(')') {
+                    paren -= 1;
+                } else if depth == 1 && paren == 0 {
+                    if t.is_punct(',') {
+                        expecting_variant = true;
+                        prev_sig_line = t.line;
+                    } else if t.is_punct('#') {
+                        // Attribute group: skip to its `]` (variant may
+                        // still follow, keep expecting).
+                        let mut bd = 0i32;
+                        while j < toks.len() {
+                            if toks[j].is_punct('[') {
+                                bd += 1;
+                            } else if toks[j].is_punct(']') {
+                                bd -= 1;
+                                if bd == 0 {
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                    } else if expecting_variant && t.kind == TokKind::Ident {
+                        let documented = doc_lines.range(prev_sig_line..t.line).next().is_some();
+                        if !documented {
+                            out.push(Diagnostic::new(
+                                &sf.path,
+                                t.line,
+                                UNDOCUMENTED_VARIANT,
+                                format!(
+                                    "variant `{}::{}` has no doc comment; error variants \
+                                     are API and each must say when it is produced",
+                                    enum_name, t.text
+                                ),
+                            ));
+                        }
+                        expecting_variant = false;
+                    }
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_jobs_need_existing_pins() {
+        let ci = "name: CI\non: [push]\njobs:\n  lint:\n    # pins: tests/a.rs\n    runs-on: x\n  test:\n    runs-on: x\n  stale:\n    # pins: tests/gone.rs\n    runs-on: x\n";
+        let exists = |p: &str| p == "tests/a.rs";
+        let diags = check_ci_pins("ci.yml", ci, &exists);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags[0].message.contains("`test`"), "{diags:?}");
+        assert!(diags[1].message.contains("tests/gone.rs"), "{diags:?}");
+    }
+
+    #[test]
+    fn doc_manifest_references_must_exist() {
+        let md = "Run `gemini campaign manifests/ci_tiny.toml` then\nsee manifests/gone.toml for more.\n";
+        let exists = |p: &str| p == "manifests/ci_tiny.toml";
+        let diags = check_doc_manifests("README.md", md, &exists);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 2);
+        assert!(diags[0].message.contains("manifests/gone.toml"));
+    }
+
+    #[test]
+    fn multi_field_tuple_payloads_are_not_variants() {
+        let src = "/// E.\npub enum WireError {\n    /// Both fields documented as one variant.\n    Framing(u32, &'static str),\n}\n";
+        let sf = SourceFile::new("e.rs", src);
+        assert_eq!(check_error_enum_docs(&sf), vec![]);
+    }
+
+    #[test]
+    fn error_variants_need_doc_comments() {
+        let src = "/// Errors.\npub enum ParseError {\n    /// The header was bad.\n    BadHeader,\n    Truncated(usize),\n}\n";
+        let sf = SourceFile::new("e.rs", src);
+        let diags = check_error_enum_docs(&sf);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("ParseError::Truncated"));
+        assert_eq!(diags[0].line, 5);
+    }
+
+    #[test]
+    fn documented_enums_and_non_error_enums_are_silent() {
+        let src = "/// Fully documented.\npub enum IoError {\n    /// A.\n    A,\n    /// B, with payload.\n    #[allow(dead_code)]\n    B(u32),\n}\npub enum Mode { Fast, Slow }\n";
+        let sf = SourceFile::new("e.rs", src);
+        assert_eq!(
+            check_error_enum_docs(&sf),
+            vec![],
+            "Mode is not an error enum"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Determinism lints for modules on the artifact/fingerprint path.
+//!
+//! The campaign layer's contract is byte-identical artifacts at any
+//! thread or shard count, cold or resumed. Three things silently break
+//! that while every test still passes on the developer's machine:
+//!
+//! * **`hash-collection`** — `HashMap`/`HashSet` iteration order is
+//!   randomized per process; any iteration that reaches an output,
+//!   counter or fingerprint is a nondeterminism bug waiting for a
+//!   reorder. Use `BTreeMap`/`BTreeSet`, or waive with a
+//!   lookup-only justification.
+//! * **`wall-clock`** — `Instant::now()` / `SystemTime` reads make
+//!   results depend on when they ran.
+//! * **`env-read`** — `std::env::var` (and friends) makes results
+//!   depend on the invoking shell; configuration must be resolved at
+//!   the CLI boundary and passed down as data.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// `HashMap`/`HashSet` in a determinism-critical module.
+pub const HASH_COLLECTION: &str = "hash-collection";
+/// `Instant::now` / `SystemTime` in a determinism-critical module.
+pub const WALL_CLOCK: &str = "wall-clock";
+/// `std::env` read in a determinism-critical module.
+pub const ENV_READ: &str = "env-read";
+
+const ENV_READERS: &[&str] = &["var", "vars", "var_os", "vars_os"];
+
+/// Scans one determinism-scoped file.
+pub fn check(sf: &SourceFile) -> Vec<Diagnostic> {
+    let toks = sf.toks();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if sf.in_test[i] {
+            continue;
+        }
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            out.push(Diagnostic::new(
+                &sf.path,
+                t.line,
+                HASH_COLLECTION,
+                format!(
+                    "{} has nondeterministic iteration order on the artifact path; \
+                     use BTree{} or waive with a lookup-only justification",
+                    t.text,
+                    &t.text[4..]
+                ),
+            ));
+            continue;
+        }
+        if t.is_ident("SystemTime") {
+            out.push(Diagnostic::new(
+                &sf.path,
+                t.line,
+                WALL_CLOCK,
+                "SystemTime read on the artifact path; results must not depend on when they ran",
+            ));
+            continue;
+        }
+        // `Instant :: now`
+        if t.is_ident("Instant")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            out.push(Diagnostic::new(
+                &sf.path,
+                t.line,
+                WALL_CLOCK,
+                "Instant::now() on the artifact path; results must not depend on when they ran",
+            ));
+            continue;
+        }
+        // `env :: var|vars|var_os|vars_os`
+        if t.is_ident("env")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks
+                .get(i + 3)
+                .is_some_and(|t| ENV_READERS.iter().any(|r| t.is_ident(r)))
+        {
+            out.push(Diagnostic::new(
+                &sf.path,
+                t.line,
+                ENV_READ,
+                format!(
+                    "env::{} on the artifact path; resolve configuration at the CLI \
+                     boundary and pass it down as data",
+                    toks[i + 3].text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lints(src: &str) -> Vec<(String, u32)> {
+        let sf = SourceFile::new("f.rs", src);
+        check(&sf).into_iter().map(|d| (d.lint, d.line)).collect()
+    }
+
+    #[test]
+    fn each_pattern_fires_once_at_the_right_line() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f() { let t = Instant::now(); }\n\
+                   fn g() -> SystemTime { SystemTime::now() }\n\
+                   fn h() { std::env::var(\"X\").ok(); }\n";
+        let got = lints(src);
+        assert_eq!(
+            got,
+            vec![
+                (HASH_COLLECTION.to_string(), 1),
+                (WALL_CLOCK.to_string(), 2),
+                (WALL_CLOCK.to_string(), 3),
+                (WALL_CLOCK.to_string(), 3),
+                (ENV_READ.to_string(), 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn clean_and_test_code_stay_silent() {
+        let src = "use std::collections::BTreeMap;\n\
+                   fn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); }\n\
+                   // HashMap mentioned in a comment is fine\n\
+                   const S: &str = \"HashMap in a string is fine\";\n\
+                   #[cfg(test)]\n\
+                   mod tests { use std::collections::HashMap;\n\
+                       fn t() { std::env::var(\"X\").ok(); let _ = Instant::now(); } }\n";
+        assert!(lints(src).is_empty());
+    }
+
+    #[test]
+    fn instant_without_now_is_fine() {
+        // Storing or comparing instants someone else produced is not a
+        // wall-clock read.
+        assert!(lints("fn f(t: Instant) -> Instant { t }\n").is_empty());
+    }
+}

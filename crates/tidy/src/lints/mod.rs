@@ -1,0 +1,14 @@
+//! The four lint families.
+//!
+//! * [`determinism`] — no hash-ordered collections, wall-clock reads
+//!   or environment reads on the artifact/fingerprint path.
+//! * [`panic_safety`] — no aborts on the service request path.
+//! * [`locks`] — a cycle-free mutex acquisition order across the
+//!   service layer.
+//! * [`consistency`] — CI jobs, docs and error enums stay in sync with
+//!   the files they talk about.
+
+pub mod consistency;
+pub mod determinism;
+pub mod locks;
+pub mod panic_safety;

@@ -1,0 +1,167 @@
+//! Panic-safety lints for the service request path.
+//!
+//! A hostile socket line must never kill the daemon: every failure on
+//! the path from `TcpStream::read` to `Response::to_json_line` has to
+//! surface as a typed [`ErrorCode`] response. Four constructs defeat
+//! that by construction and are banned in the service-layer modules:
+//!
+//! * **`service-unwrap`** / **`service-expect`** — `.unwrap()` and
+//!   `.expect(...)` turn a recoverable `Err`/`None` into a process
+//!   abort. (`unwrap_or`, `unwrap_or_else`, `unwrap_or_default` are
+//!   fine — they are the *fixes*.)
+//! * **`service-panic`** — `panic!`, `unreachable!`, `todo!` and
+//!   `unimplemented!` are aborts by definition.
+//! * **`service-index`** — `x[i]` on slices/vecs/maps panics out of
+//!   bounds; use `.get(i)` and answer an error response.
+//!
+//! Poisoned mutexes deserve a note: `.lock().expect(..)` converts one
+//! panicked worker into a permanently dead daemon (every later request
+//! re-panics on the poison). The service layer recovers instead
+//! (`unwrap_or_else(PoisonError::into_inner)`) — its guarded state is
+//! caches and counters, where a half-applied update is harmless.
+//!
+//! [`ErrorCode`]: ../../gemini_core/service/enum.ErrorCode.html
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+
+/// `.unwrap()` on the request path.
+pub const SERVICE_UNWRAP: &str = "service-unwrap";
+/// `.expect(...)` on the request path.
+pub const SERVICE_EXPECT: &str = "service-expect";
+/// `panic!`-family macro on the request path.
+pub const SERVICE_PANIC: &str = "service-panic";
+/// Panicking `[...]` index on the request path.
+pub const SERVICE_INDEX: &str = "service-index";
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keyword-ish identifiers that legitimately precede a `[` without
+/// forming an index expression (`let [a, b] = ...`, `in [1, 2]`, ...).
+const NON_INDEX_PRECEDERS: &[&str] = &[
+    "let", "in", "return", "match", "if", "else", "mut", "ref", "const", "static", "as", "break",
+    "box", "move", "yield", "where",
+];
+
+/// Scans one service-layer file.
+pub fn check(sf: &SourceFile) -> Vec<Diagnostic> {
+    let toks = sf.toks();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if sf.in_test[i] {
+            continue;
+        }
+        // `.unwrap(` / `.expect(`
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+        {
+            let (lint, fix) = if t.is_ident("unwrap") {
+                (SERVICE_UNWRAP, "return a typed ErrorCode response instead")
+            } else {
+                (
+                    SERVICE_EXPECT,
+                    "return a typed ErrorCode response (for mutex guards, recover the \
+                     poison with unwrap_or_else(PoisonError::into_inner))",
+                )
+            };
+            out.push(Diagnostic::new(
+                &sf.path,
+                t.line,
+                lint,
+                format!(
+                    ".{}() can abort the daemon on a hostile request; {fix}",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        // `panic!(` and friends.
+        if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(Diagnostic::new(
+                &sf.path,
+                t.line,
+                SERVICE_PANIC,
+                format!(
+                    "{}! aborts the daemon; answer a typed ErrorCode response instead",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        // Index expression: `[` in postfix position (after an
+        // identifier, `)`, `]` or `?`), excluding attributes and
+        // non-index keywords.
+        if t.is_punct('[') && i > 0 {
+            let p = &toks[i - 1];
+            let postfix = match p.kind {
+                TokKind::Ident => !NON_INDEX_PRECEDERS.contains(&p.text.as_str()),
+                TokKind::Punct => p.is_punct(')') || p.is_punct(']') || p.is_punct('?'),
+                _ => false,
+            };
+            if postfix {
+                out.push(Diagnostic::new(
+                    &sf.path,
+                    t.line,
+                    SERVICE_INDEX,
+                    "slice index panics out of bounds on the request path; \
+                     use .get(..) and answer an error response",
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lints(src: &str) -> Vec<(String, u32)> {
+        let sf = SourceFile::new("f.rs", src);
+        check(&sf).into_iter().map(|d| (d.lint, d.line)).collect()
+    }
+
+    #[test]
+    fn each_pattern_fires() {
+        let src = "fn f() { x.unwrap(); }\n\
+                   fn g() { y.lock().expect(\"m\"); }\n\
+                   fn h() { panic!(\"boom\"); }\n\
+                   fn i() { unreachable!(); }\n\
+                   fn j(v: &[u32]) -> u32 { v[3] }\n";
+        let got = lints(src);
+        assert_eq!(
+            got,
+            vec![
+                (SERVICE_UNWRAP.to_string(), 1),
+                (SERVICE_EXPECT.to_string(), 2),
+                (SERVICE_PANIC.to_string(), 3),
+                (SERVICE_PANIC.to_string(), 4),
+                (SERVICE_INDEX.to_string(), 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn fallible_combinators_and_types_stay_silent() {
+        let src = "fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }\n\
+                   fn g(b: [u8; 4]) -> Vec<u8> { let mut v = vec![0u8]; v.extend(b); v }\n\
+                   #[derive(Debug)]\n\
+                   struct S { a: u32 }\n\
+                   fn h(s: &str) { let _ = s.get(0..1); }\n\
+                   #[cfg(test)]\n\
+                   mod tests { fn t() { x.unwrap(); panic!(); } }\n";
+        assert_eq!(lints(src), vec![]);
+    }
+
+    #[test]
+    fn postfix_brackets_after_calls_fire_too() {
+        assert_eq!(lints("fn f() -> u32 { g()[0] }\n").len(), 1);
+        assert_eq!(lints("fn f(m: &M) -> u32 { m.rows[1][2] }\n").len(), 2);
+    }
+}

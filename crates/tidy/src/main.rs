@@ -1,0 +1,76 @@
+//! The `gemini-tidy` command-line entry point.
+//!
+//! ```text
+//! gemini-tidy [--root <dir>] [--json]
+//! ```
+//!
+//! Scans the workspace at `--root` (default: the current directory),
+//! prints every diagnostic as `file:line: lint-name: message` (or the
+//! full machine-readable report with `--json`) and exits non-zero if
+//! any non-waivered diagnostic remains. See `docs/LINTS.md` for what
+//! is checked and why.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("gemini-tidy: --root needs a directory");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+            }
+            "--help" | "-h" => {
+                println!("usage: gemini-tidy [--root <dir>] [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("gemini-tidy: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match gemini_tidy::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("gemini-tidy: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{}", d.render());
+        }
+        let used = report.waivers.iter().filter(|w| w.used).count();
+        println!(
+            "gemini-tidy: {} file(s) scanned, {} diagnostic(s), {} waiver(s) ({} used)",
+            report.files_scanned,
+            report.diagnostics.len(),
+            report.waivers.len(),
+            used
+        );
+        if !report.waivers.is_empty() {
+            println!("waiver census:");
+            for w in &report.waivers {
+                println!("  {}:{}: {} — {}", w.file, w.line, w.lint, w.reason);
+            }
+        }
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

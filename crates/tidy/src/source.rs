@@ -1,0 +1,264 @@
+//! A lexed source file plus the structural facts lints share: which
+//! tokens are test-only code, and where each function's body is.
+
+use crate::lexer::{lex, Lexed, Tok, TokKind};
+
+/// One file under analysis: path label, token stream, and a mask of
+/// test-only tokens.
+pub struct SourceFile {
+    /// Workspace-relative path (diagnostic label).
+    pub path: String,
+    /// Lexed content.
+    pub lexed: Lexed,
+    /// `in_test[i]` — token `i` is inside a `#[cfg(test)]` or
+    /// `#[test]` item and exempt from every lint (test code may unwrap
+    /// and hash freely; it never runs on the request or artifact
+    /// path).
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes `src` and computes the test mask.
+    pub fn new(path: &str, src: &str) -> Self {
+        let lexed = lex(src);
+        let in_test = test_mask(&lexed.toks);
+        Self {
+            path: path.to_string(),
+            lexed,
+            in_test,
+        }
+    }
+
+    /// Tokens of the file.
+    pub fn toks(&self) -> &[Tok] {
+        &self.lexed.toks
+    }
+}
+
+/// Marks every token belonging to an item annotated `#[cfg(test)]` or
+/// `#[test]` (the annotated item runs from the attribute through the
+/// matching close brace of its body).
+fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if let Some(after_attr) = test_attr_end(toks, i) {
+            // Find the item's body: the first `{` from here at
+            // paren/bracket depth 0, then its matching `}`. An item
+            // ending in `;` before any `{` (e.g. `#[cfg(test)] use x;`)
+            // ends there instead.
+            let mut depth_paren = 0i32;
+            let mut j = after_attr;
+            let mut end = toks.len();
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" => depth_paren += 1,
+                        ")" | "]" => depth_paren -= 1,
+                        ";" if depth_paren == 0 => {
+                            end = j + 1;
+                            break;
+                        }
+                        "{" if depth_paren == 0 => {
+                            end = match_brace(toks, j) + 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            for m in mask.iter_mut().take(end.min(toks.len())).skip(i) {
+                *m = true;
+            }
+            i = end.max(i + 1);
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// If tokens at `i` start a `#[cfg(test)]` or `#[test]` attribute,
+/// returns the index just past its closing `]`.
+fn test_attr_end(toks: &[Tok], i: usize) -> Option<usize> {
+    if !toks[i].is_punct('#') || !toks.get(i + 1)?.is_punct('[') {
+        return None;
+    }
+    let close = match_bracket(toks, i + 1);
+    let inner = &toks[i + 2..close.min(toks.len())];
+    let is_test = match inner.first() {
+        Some(t) if t.is_ident("test") => true,
+        // `cfg(test)` / `cfg(all(test, ...))` are test code;
+        // `cfg(not(test))` is production code and must stay linted.
+        Some(t) if t.is_ident("cfg") => {
+            inner.iter().any(|t| t.is_ident("test")) && !inner.iter().any(|t| t.is_ident("not"))
+        }
+        _ => false,
+    };
+    if is_test {
+        Some(close + 1)
+    } else {
+        None
+    }
+}
+
+/// Index of the `}` matching the `{` at `open`.
+pub fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn match_bracket(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// One function found in a file: its name and the token range of its
+/// body (braces included).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Function name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the body's `{`.
+    pub body_open: usize,
+    /// Token index of the body's `}`.
+    pub body_close: usize,
+}
+
+/// Extracts every non-test function with a body. Nested functions and
+/// closures stay part of the enclosing body's token range (the lints
+/// treat closure code as running within the function that defines it —
+/// which is exactly how lock guards behave).
+pub fn functions(sf: &SourceFile) -> Vec<FnSpan> {
+    let toks = sf.toks();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("fn") && !sf.in_test[i] {
+            let Some(name_tok) = toks.get(i + 1) else {
+                break;
+            };
+            if name_tok.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            // Body: first `{` at paren/bracket/angle depth 0 after the
+            // signature. A `;` first means a trait method declaration —
+            // no body, skip.
+            let mut j = i + 2;
+            let mut paren = 0i32;
+            let mut angle = 0i32;
+            let mut open = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" => paren += 1,
+                        ")" | "]" => paren -= 1,
+                        "<" if paren == 0 => angle += 1,
+                        ">" if paren == 0 => angle = (angle - 1).max(0),
+                        ";" if paren == 0 => break,
+                        "{" if paren == 0 => {
+                            open = Some(j);
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                let close = match_brace(toks, open);
+                out.push(FnSpan {
+                    name: name_tok.text.clone(),
+                    line: toks[i].line,
+                    body_open: open,
+                    body_close: close,
+                });
+            }
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_items_are_masked() {
+        let src = r#"
+            fn live() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { y.unwrap(); }
+            }
+            #[test]
+            fn a_test() { z.unwrap(); }
+            fn live_too() { w.unwrap(); }
+        "#;
+        let sf = SourceFile::new("f.rs", src);
+        let toks = sf.toks();
+        let masked: Vec<&str> = toks
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| sf.in_test[*i] && t.is_ident("unwrap"))
+            .map(|(_, t)| t.text.as_str())
+            .collect();
+        assert_eq!(masked.len(), 2, "helper + a_test unwraps are masked");
+        let live: Vec<u32> = toks
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| !sf.in_test[*i] && t.is_ident("unwrap"))
+            .map(|(_, t)| t.line)
+            .collect();
+        assert_eq!(live.len(), 2, "live() and live_too() unwraps stay");
+    }
+
+    #[test]
+    fn functions_are_found_with_bodies() {
+        let src = r#"
+            pub fn alpha(x: u32) -> Vec<u32> { vec![x] }
+            fn beta<T: Ord>(v: &mut Vec<T>) where T: Clone { v.sort(); }
+            trait T { fn decl_only(&self); }
+            #[cfg(test)]
+            mod tests { fn gamma() {} }
+        "#;
+        let sf = SourceFile::new("f.rs", src);
+        let fns = functions(&sf);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta"], "{names:?}");
+        for f in &fns {
+            assert!(sf.toks()[f.body_open].is_punct('{'));
+            assert!(sf.toks()[f.body_close].is_punct('}'));
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Fixture-directory tests: each subdirectory of `tests/fixtures/` is
+//! a miniature workspace with a known set of violations (or none), and
+//! the scanner must report exactly those diagnostics — same file, same
+//! line, same lint — and nothing else.
+
+use std::path::PathBuf;
+
+use gemini_tidy::Report;
+
+fn scan(case: &str) -> Report {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(case);
+    gemini_tidy::run(&root).unwrap_or_else(|e| panic!("scanning fixture {case}: {e}"))
+}
+
+/// The `(file, line, lint)` triples of a report, in report order.
+fn triples(r: &Report) -> Vec<(String, u32, String)> {
+    r.diagnostics
+        .iter()
+        .map(|d| (d.file.clone(), d.line, d.lint.clone()))
+        .collect()
+}
+
+fn t(file: &str, line: u32, lint: &str) -> (String, u32, String) {
+    (file.to_string(), line, lint.to_string())
+}
+
+#[test]
+fn bad_determinism_reports_each_site() {
+    let r = scan("bad_determinism");
+    let f = "crates/core/src/engine.rs";
+    assert_eq!(
+        triples(&r),
+        vec![
+            t(f, 1, "hash-collection"),
+            t(f, 3, "wall-clock"),
+            t(f, 5, "hash-collection"),
+            t(f, 5, "hash-collection"),
+            t(f, 6, "env-read"),
+            t(f, 7, "wall-clock"),
+        ]
+    );
+}
+
+#[test]
+fn bad_panics_reports_each_site() {
+    let r = scan("bad_panics");
+    let f = "crates/core/src/service/handler.rs";
+    assert_eq!(
+        triples(&r),
+        vec![
+            t(f, 2, "service-index"),
+            t(f, 3, "service-unwrap"),
+            t(f, 5, "service-expect"),
+            t(f, 7, "service-panic"),
+        ]
+    );
+}
+
+/// The acceptance criterion for the lock checker: a seeded
+/// cache-then-queue vs queue-then-cache cycle must fail the scan, as a
+/// cycle and as two forbidden cache+queue nestings.
+#[test]
+fn seeded_lock_cycle_is_detected() {
+    let r = scan("lock_cycle");
+    let f = "crates/core/src/service/svc.rs";
+    assert_eq!(
+        triples(&r),
+        vec![
+            t(f, 6, "lock-cycle"),
+            t(f, 6, "lock-nesting"),
+            t(f, 19, "lock-nesting"),
+        ]
+    );
+    let cycle = &r.diagnostics[0];
+    assert!(
+        cycle.message.contains("cache -> queue -> cache"),
+        "cycle message should spell the path: {}",
+        cycle.message
+    );
+}
+
+/// A waiver with an empty (or missing) reason is a hard error and does
+/// not suppress anything.
+#[test]
+fn empty_or_missing_waiver_reason_is_a_hard_error() {
+    let r = scan("bad_waiver");
+    let f = "crates/core/src/engine.rs";
+    assert_eq!(
+        triples(&r),
+        vec![
+            t(f, 1, "invalid-waiver"),
+            t(f, 2, "hash-collection"),
+            t(f, 3, "invalid-waiver"),
+            t(f, 4, "hash-collection"),
+            t(f, 5, "hash-collection"),
+        ]
+    );
+    assert!(
+        r.diagnostics[0].message.contains("empty reason"),
+        "{}",
+        r.diagnostics[0].message
+    );
+    // Neither malformed directive made it into the census.
+    assert!(r.waivers.is_empty());
+}
+
+#[test]
+fn waiver_that_suppresses_nothing_is_flagged() {
+    let r = scan("unused_waiver");
+    let f = "crates/core/src/service/handler.rs";
+    assert_eq!(triples(&r), vec![t(f, 1, "unused-waiver")]);
+}
+
+#[test]
+fn bad_consistency_reports_pins_manifests_and_variants() {
+    let r = scan("bad_consistency");
+    let ci = ".github/workflows/ci.yml";
+    assert_eq!(
+        triples(&r),
+        vec![
+            t(ci, 7, "ci-pin"),
+            t(ci, 10, "ci-pin"),
+            t("README.md", 4, "missing-manifest"),
+            t("crates/core/src/errors.rs", 6, "undocumented-variant"),
+        ]
+    );
+    assert!(r.diagnostics[0].message.contains("`unpinned`"));
+    assert!(r.diagnostics[1].message.contains("checks/renamed_away.rs"));
+    assert!(r.diagnostics[3].message.contains("LoadError::Corrupt"));
+}
+
+/// The known-good fixture exercises every lint's happy path — BTree
+/// collections, poison-recovering lock handling in a consistent order,
+/// valid pins, existing manifests, documented variants, one justified
+/// waiver — and must scan completely clean.
+#[test]
+fn good_fixture_is_silent_and_its_waiver_is_used() {
+    let r = scan("good");
+    assert!(r.is_clean(), "unexpected diagnostics: {:?}", r.diagnostics);
+    assert!(r.files_scanned >= 3);
+    assert_eq!(r.waivers.len(), 1, "census: {:?}", r.waivers);
+    let w = &r.waivers[0];
+    assert_eq!(w.lint, "wall-clock");
+    assert!(w.used, "the good fixture's waiver must actually fire");
+    assert!(!w.reason.is_empty());
+}
+
+/// The JSON report is machine-parseable in shape: one object with the
+/// diagnostics, the waiver census and the scan size.
+#[test]
+fn json_report_carries_diagnostics_and_census() {
+    let r = scan("bad_waiver");
+    let js = r.to_json();
+    assert!(js.contains("\"diagnostics\""));
+    assert!(js.contains("\"invalid-waiver\""));
+    assert!(js.contains("\"files_scanned\": 1"));
+    let g = scan("good");
+    let js = g.to_json();
+    assert!(js.contains("\"used\": true"));
+}

@@ -1,0 +1,2 @@
+//! Target of the `pinned` job's `# pins:` comment.
+pub fn present() {}

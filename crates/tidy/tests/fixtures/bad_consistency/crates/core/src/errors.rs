@@ -1,0 +1,7 @@
+/// Errors loading a fixture.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file was not found.
+    Missing,
+    Corrupt(u32),
+}

@@ -1,0 +1,8 @@
+use std::collections::HashMap;
+pub fn plan() {
+    let started = std::time::Instant::now();
+    let _ = started;
+    let _m: HashMap<u32, u32> = HashMap::new();
+    let _mode = std::env::var("GEMINI_MODE");
+    let _stamp = std::time::SystemTime::now();
+}

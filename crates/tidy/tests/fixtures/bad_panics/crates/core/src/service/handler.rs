@@ -1,0 +1,10 @@
+pub fn handle(v: &[u32]) -> u32 {
+    let first = v[0];
+    let parsed: u32 = "7".parse().unwrap();
+    let opt: Option<u32> = None;
+    let x = opt.expect("value");
+    if x > 9 {
+        panic!("boom");
+    }
+    first + parsed + x
+}

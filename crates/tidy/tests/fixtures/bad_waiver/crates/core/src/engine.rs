@@ -1,0 +1,6 @@
+// tidy:allow(hash-collection, reason = "")
+use std::collections::HashMap;
+// tidy:allow(hash-collection)
+pub fn make() -> HashMap<u32, u32> {
+    HashMap::new()
+}

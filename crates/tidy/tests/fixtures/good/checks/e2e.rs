@@ -1,0 +1,2 @@
+//! Target of every job's `# pins:` comment in the good fixture.
+pub fn e2e() {}

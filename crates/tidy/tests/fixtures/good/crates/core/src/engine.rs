@@ -1,0 +1,27 @@
+//! Clean engine stand-in: deterministic collections, one justified
+//! waiver that is actually used, and a fully documented error enum.
+use std::collections::BTreeMap;
+
+/// Errors from the fixture engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The plan was empty.
+    Empty,
+    /// A layer index was out of range.
+    BadLayer(usize),
+}
+
+/// Builds a deterministic plan keyed by layer id.
+pub fn plan(n: usize) -> Result<BTreeMap<usize, u64>, EngineError> {
+    if n == 0 {
+        return Err(EngineError::Empty);
+    }
+    let mut m = BTreeMap::new();
+    for i in 0..n {
+        m.insert(i, i as u64 * 3);
+    }
+    // tidy:allow(wall-clock, reason = "diagnostic timing only; the value never reaches an artifact")
+    let t0 = std::time::Instant::now();
+    let _elapsed = t0.elapsed();
+    Ok(m)
+}

@@ -1,0 +1,29 @@
+//! Clean service stand-in: no panicking calls on the request path and
+//! a consistent state-then-log lock order in every function.
+use std::sync::Mutex;
+
+/// Shared state for the fixture service.
+pub struct Svc {
+    /// Request counter.
+    pub state: Mutex<u64>,
+    /// Event log.
+    pub log: Mutex<Vec<u64>>,
+}
+
+/// Handles one request: bump the counter, then append to the log.
+pub fn handle(s: &Svc) -> u64 {
+    let mut state_guard = s.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *state_guard += 1;
+    let n = *state_guard;
+    let mut log_guard = s.log.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    log_guard.push(n);
+    n
+}
+
+/// Snapshots the counter and log length in the same lock order.
+pub fn snapshot(s: &Svc) -> (u64, usize) {
+    let state_guard = s.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let n = *state_guard;
+    let log_guard = s.log.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    (n, log_guard.len())
+}

@@ -1,0 +1,25 @@
+pub fn warm(s: &S) {
+    let cache_guard = match s.cache.lock() {
+        Ok(g) => g,
+        Err(e) => e.into_inner(),
+    };
+    let queue_guard = match s.queue.lock() {
+        Ok(g) => g,
+        Err(e) => e.into_inner(),
+    };
+    drop(queue_guard);
+    drop(cache_guard);
+}
+
+pub fn drain(s: &S) {
+    let queue_guard = match s.queue.lock() {
+        Ok(g) => g,
+        Err(e) => e.into_inner(),
+    };
+    let cache_guard = match s.cache.lock() {
+        Ok(g) => g,
+        Err(e) => e.into_inner(),
+    };
+    drop(cache_guard);
+    drop(queue_guard);
+}
