@@ -89,7 +89,7 @@ pub(super) fn write_all(
         out.push_str(ARCH_COLS);
         out.push_str(
             ",mc,mc_silicon,mc_dram,mc_package,area_mm2,energy_j,delay_s,fluid_delay_s,\
-             worst_fluid,edp,pareto",
+             worst_fluid,edp,bound_edp_gap,pareto",
         );
         for o in &spec.objectives {
             out.push_str(",score_");
@@ -116,6 +116,8 @@ pub(super) fn write_all(
                 opt(c.worst_fluid),
                 fmt_f64(c.edp()),
             ));
+            out.push(',');
+            out.push_str(&fmt_f64(c.bound_edp_gap));
             out.push(',');
             out.push_str(if on_front(c) { "1" } else { "0" });
             for o in &spec.objectives {

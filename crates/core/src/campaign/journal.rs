@@ -34,7 +34,9 @@ use super::value::{parse_json, Value};
 use super::{CampaignError, CellResult, DnnCellMetrics};
 
 /// Journal format version (bump on incompatible line-schema changes).
-pub const JOURNAL_VERSION: u32 = 1;
+/// Version 2 added the required `bound_edp_gap` field (cell and
+/// per-workload) — version-1 journals must be deleted and re-run cold.
+pub const JOURNAL_VERSION: u32 = 2;
 
 fn io_err(e: impl std::fmt::Display) -> CampaignError {
     CampaignError::Io(e.to_string())
@@ -115,6 +117,7 @@ pub fn cell_to_json(c: &CellResult, arch_tuple: Option<&str>, batch: u32) -> Str
     if let Some(w) = c.worst_fluid {
         t.insert("worst_fluid".into(), Value::Num(w));
     }
+    t.insert("bound_edp_gap".into(), Value::Num(c.bound_edp_gap));
     t.insert(
         "per_dnn".into(),
         Value::List(
@@ -131,6 +134,7 @@ pub fn cell_to_json(c: &CellResult, arch_tuple: Option<&str>, batch: u32) -> Str
                     if let Some(w) = m.worst_fluid {
                         dt.insert("worst_fluid".into(), Value::Num(w));
                     }
+                    dt.insert("bound_edp_gap".into(), Value::Num(m.bound_edp_gap));
                     Value::Table(dt)
                 })
                 .collect(),
@@ -167,6 +171,7 @@ pub fn cell_from_json(line: &str) -> Result<CellResult, CampaignError> {
                     delay: get_num(d, "delay", "per_dnn")?,
                     fluid_delay: get_opt_num(d, "fluid_delay"),
                     worst_fluid: get_opt_num(d, "worst_fluid"),
+                    bound_edp_gap: get_num(d, "bound_edp_gap", "per_dnn")?,
                 })
             })
             .collect::<Result<Vec<_>, CampaignError>>()?,
@@ -186,6 +191,7 @@ pub fn cell_from_json(line: &str) -> Result<CellResult, CampaignError> {
         delay: get_num(&v, "delay", what)?,
         fluid_delay: get_opt_num(&v, "fluid_delay"),
         worst_fluid: get_opt_num(&v, "worst_fluid"),
+        bound_edp_gap: get_num(&v, "bound_edp_gap", what)?,
         per_dnn,
     })
 }
@@ -491,12 +497,14 @@ mod tests {
             delay: 2.5e-3,
             fluid_delay: fluid.then_some(2.6e-3),
             worst_fluid: fluid.then_some(1.17),
+            bound_edp_gap: 1.375,
             per_dnn: vec![DnnCellMetrics {
                 name: "two-conv".into(),
                 energy: 1.0 / 3.0,
                 delay: 2.5e-3,
                 fluid_delay: fluid.then_some(2.6e-3),
                 worst_fluid: fluid.then_some(1.17),
+                bound_edp_gap: 1.375,
             }],
         }
     }
@@ -766,7 +774,7 @@ preset = "s-arch"
         drop(w);
         let text = std::fs::read_to_string(&path)
             .unwrap()
-            .replace("\"version\":1", "\"version\":999");
+            .replace("\"version\":2", "\"version\":999");
         std::fs::write(&path, text).unwrap();
         match load(&path, &spec, 1, 1, 2) {
             Err(CampaignError::Journal(msg)) => assert!(msg.contains("version"), "{msg}"),

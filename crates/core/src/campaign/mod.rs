@@ -117,6 +117,10 @@ pub struct DnnCellMetrics {
     /// Worst per-group fluid/analytic ratio; `None` under
     /// [`CellFidelity::Analytic`].
     pub worst_fluid: Option<f64>,
+    /// Achieved analytic EDP over the rung-0 closed-form lower bound of
+    /// the same final mapping (`>= 1` up to float slack) — how far the
+    /// converged mapping sits from its provable optimum.
+    pub bound_edp_gap: f64,
 }
 
 /// One completed campaign cell: a (workload set, architecture, batch)
@@ -151,6 +155,9 @@ pub struct CellResult {
     pub fluid_delay: Option<f64>,
     /// Worst per-group fluid/analytic ratio across the set.
     pub worst_fluid: Option<f64>,
+    /// Geometric-mean bound-vs-achieved EDP gap over the set (see
+    /// [`DnnCellMetrics::bound_edp_gap`]).
+    pub bound_edp_gap: f64,
     /// Per-workload metrics, in workload-set member order.
     pub per_dnn: Vec<DnnCellMetrics>,
 }
@@ -371,6 +378,16 @@ fn evaluate_dnn(
         ..Default::default()
     };
     let mapped = engine.map(dnn, batch, &opts);
+    // Rung-0 convergence diagnostic: the closed-form lower bound of the
+    // *final* mapping against what the evaluator charged for it.
+    let gms = mapped.group_mappings(dnn);
+    let bound = gemini_sim::bound::dnn_bound(&ev, dnn, &gms, batch);
+    let achieved_edp = mapped.report.energy.total() * mapped.report.delay_s;
+    let bound_edp_gap = if bound.edp() > 0.0 {
+        achieved_edp / bound.edp()
+    } else {
+        1.0
+    };
     let (fluid_delay, worst_fluid) = match spec.fidelity {
         CellFidelity::Analytic => (None, None),
         CellFidelity::Fluid(cfg) => {
@@ -390,6 +407,7 @@ fn evaluate_dnn(
         delay: mapped.report.delay_s,
         fluid_delay,
         worst_fluid,
+        bound_edp_gap,
     }
 }
 
@@ -423,6 +441,7 @@ fn evaluate_cell(
     };
     let energy = geo(&|m| m.energy);
     let delay = geo(&|m| m.delay);
+    let bound_edp_gap = geo(&|m| m.bound_edp_gap);
     let has_fluid = per_dnn.iter().all(|m| m.fluid_delay.is_some());
     let fluid_delay = has_fluid.then(|| geo(&|m| m.fluid_delay.expect("checked")));
     let worst_fluid = has_fluid.then(|| {
@@ -446,6 +465,7 @@ fn evaluate_cell(
         delay,
         fluid_delay,
         worst_fluid,
+        bound_edp_gap,
         per_dnn,
     }
 }

@@ -224,6 +224,7 @@ mod tests {
             delay,
             fluid_delay: None,
             worst_fluid: None,
+            bound_edp_gap: 1.0,
             per_dnn: Vec::new(),
         }
     }

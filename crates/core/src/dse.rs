@@ -17,8 +17,10 @@ use gemini_cost::CostModel;
 use gemini_model::Dnn;
 use gemini_sim::Evaluator;
 
-use crate::engine::{MappingEngine, MappingOptions};
-use crate::fidelity::{DseReport, FidelityPolicy, FluidRescore};
+use crate::engine::{parse_all, MappingEngine, MappingOptions};
+use crate::fidelity::{BoundMode, BoundStats, DseReport, FidelityPolicy, FluidRescore};
+use crate::partition::partition_graph;
+use crate::stripe::stripe_lms;
 
 /// Objective exponents for `MC^alpha * E^beta * D^gamma`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -71,6 +73,15 @@ impl Objective {
     /// Scores a candidate.
     pub fn score(&self, mc: f64, e: f64, d: f64) -> f64 {
         mc.powf(self.alpha) * e.powf(self.beta) * d.powf(self.gamma)
+    }
+
+    /// Whether the score is monotone non-decreasing in each metric
+    /// (all exponents non-negative). Only then does a lower bound on
+    /// (E, D) yield a lower bound on the score, which is what lets the
+    /// rung-0 pre-filter prune: a negative exponent would invert the
+    /// comparison, so pruning is disabled for such objectives.
+    pub fn monotone(&self) -> bool {
+        self.alpha >= 0.0 && self.beta >= 0.0 && self.gamma >= 0.0
     }
 }
 
@@ -227,6 +238,29 @@ pub struct DseRecord {
     /// sims/reuses); the cost fields are zero — per-DNN costs live in
     /// `per_dnn`.
     pub sa_stats: crate::sa::SaStats,
+    /// Rung-0 bound diagnostics (`None` when the DSE ran with
+    /// [`BoundMode::Off`]).
+    pub bound: Option<RecordBound>,
+    /// Whether this candidate was pruned before SA: its bound already
+    /// lost to the achieved seed threshold, so `energy`/`delay`/`score`
+    /// hold the *bound* values (themselves worse than the winner),
+    /// `per_dnn` is empty and `sa_stats` is zeroed.
+    pub pruned: bool,
+}
+
+/// Rung-0 bound diagnostics of one DSE candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordBound {
+    /// Lower-bound objective score.
+    pub score: f64,
+    /// Geometric-mean lower-bound energy over the DNNs (J).
+    pub energy: f64,
+    /// Geometric-mean lower-bound delay over the DNNs (s).
+    pub delay: f64,
+    /// Achieved/bound score ratio (>= 1 up to float noise) — the
+    /// convergence diagnostic. `None` for pruned candidates (never
+    /// evaluated).
+    pub gap: Option<f64>,
 }
 
 impl DseRecord {
@@ -255,6 +289,11 @@ pub struct DseOptions {
     /// packet validation of the winner (see
     /// [`crate::fidelity::FidelityPolicy`]).
     pub fidelity: FidelityPolicy,
+    /// Rung-0 analytic-bound pre-filter: off, report-only, or prune
+    /// (see [`BoundMode`]). Pruning never changes the winner or the
+    /// fidelity top-K — it only skips SA on candidates whose bound
+    /// already loses to an achieved incumbent.
+    pub bound: BoundMode,
 }
 
 impl Default for DseOptions {
@@ -268,6 +307,7 @@ impl Default for DseOptions {
                 .unwrap_or(4),
             stride: 1,
             fidelity: FidelityPolicy::Analytic,
+            bound: BoundMode::Off,
         }
     }
 }
@@ -350,6 +390,134 @@ pub fn evaluate_candidate(
         per_dnn,
         fluid: None,
         sa_stats,
+        bound: None,
+        pruned: false,
+    }
+}
+
+/// Rung-0 bound of one candidate: the closed-form lower bound of
+/// [`gemini_sim::bound`] on the structural stripe mapping (flow
+/// selectors and batch units are invariant across the SA space, so the
+/// result bounds every mapping SA could reach), geometric-meaned over
+/// the DNNs and scored with the exact monetary cost.
+pub(crate) fn bound_candidate(
+    arch: &ArchConfig,
+    dnns: &[Dnn],
+    cost: &CostModel,
+    opts: &DseOptions,
+) -> CandidateBound {
+    let mc = cost.evaluate(arch).total();
+    let ev = Evaluator::new(arch);
+    let mut log_e = 0.0;
+    let mut log_d = 0.0;
+    for dnn in dnns {
+        let partition = partition_graph(dnn, arch, opts.batch, &opts.mapping.partition);
+        let lms: Vec<crate::encoding::Lms> = partition
+            .groups
+            .iter()
+            .map(|g| stripe_lms(dnn, arch, g))
+            .collect();
+        let gms = parse_all(dnn, &partition, &lms);
+        let b = gemini_sim::bound::dnn_bound(&ev, dnn, &gms, opts.batch);
+        log_e += b.energy_j.ln();
+        log_d += b.delay_s.ln();
+    }
+    let n = dnns.len().max(1) as f64;
+    let energy = (log_e / n).exp();
+    let delay = (log_d / n).exp();
+    CandidateBound {
+        score: opts.objective.score(mc, energy, delay),
+        energy,
+        delay,
+    }
+}
+
+/// One candidate's rung-0 bound metrics.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CandidateBound {
+    pub(crate) score: f64,
+    pub(crate) energy: f64,
+    pub(crate) delay: f64,
+}
+
+/// The rung-0 pre-filter plan: per-candidate bounds, the seed set that
+/// establishes the achieved threshold, and the prune mask. Identical
+/// between [`BoundMode::Report`] and [`BoundMode::Prune`] (the mask is
+/// computed either way; only `Prune` acts on it).
+pub(crate) struct BoundPlan {
+    pub(crate) bounds: Vec<CandidateBound>,
+    pub(crate) seed: Vec<bool>,
+    pub(crate) pruned: Vec<bool>,
+    pub(crate) threshold: f64,
+}
+
+impl BoundPlan {
+    /// Report statistics; `winner_gap` is the winner's achieved/bound
+    /// score ratio.
+    pub(crate) fn stats(&self, winner_achieved: f64, winner: usize) -> BoundStats {
+        let wb = self.bounds[winner].score;
+        BoundStats {
+            total: self.bounds.len(),
+            seeds: self.seed.iter().filter(|&&s| s).count(),
+            pruned: self.pruned.iter().filter(|&&p| p).count(),
+            threshold: self.threshold,
+            winner_gap: if wb > 0.0 { winner_achieved / wb } else { 1.0 },
+        }
+    }
+}
+
+/// How many best-bounded candidates are fully evaluated to establish
+/// the achieved prune threshold. Must be at least the fidelity
+/// re-rank's `k` so the achieved top-K provably survives pruning; the
+/// floor of 8 keeps the threshold honest on `analytic`-only sweeps.
+pub(crate) fn seed_count(policy: &FidelityPolicy, n: usize) -> usize {
+    let k = policy.rerank_params().map(|(k, _)| k).unwrap_or(0);
+    k.max(8).min(n.max(1))
+}
+
+/// How many evaluated candidates must provably rank at-or-below the
+/// prune threshold for pruning to be invisible: the fidelity re-rank
+/// consumes the achieved top-`k`, so `k` of them must survive; the
+/// plain analytic policy only needs the winner.
+pub(crate) fn survivors_needed(policy: &FidelityPolicy) -> usize {
+    policy.rerank_params().map(|(k, _)| k).unwrap_or(0).max(1)
+}
+
+/// Chooses the seed set: the best `seed_count` candidates by bound
+/// score, ties broken by index. A candidate is later flagged only when
+/// its bound *strictly* exceeds the [`survivors_needed`]-th best
+/// achieved seed score, so the true winner — whose achieved score is
+/// at most that threshold, hence also its bound — is never flagged,
+/// and neither is any candidate of the achieved top-K.
+pub(crate) fn bound_seed_mask(bounds: &[CandidateBound], n_seeds: usize) -> Vec<bool> {
+    let mut order: Vec<usize> = (0..bounds.len()).collect();
+    order.sort_by(|&a, &b| bounds[a].score.total_cmp(&bounds[b].score).then(a.cmp(&b)));
+    let mut seed = vec![false; bounds.len()];
+    for &i in order.iter().take(n_seeds) {
+        seed[i] = true;
+    }
+    seed
+}
+
+/// The record of a pruned candidate: exact monetary cost, bound
+/// metrics in place of achieved ones, no per-DNN data and zeroed SA
+/// counters. Its score is strictly worse than the achieved scores of
+/// at least [`survivors_needed`] evaluated seeds, so it can never be
+/// selected as winner or enter the fidelity top-K.
+fn pruned_record(arch: &ArchConfig, cost: &CostModel, cb: &CandidateBound) -> DseRecord {
+    let mc_rep = cost.evaluate(arch);
+    DseRecord {
+        arch: arch.clone(),
+        mc: mc_rep.total(),
+        mc_breakdown: (mc_rep.silicon, mc_rep.dram, mc_rep.package),
+        energy: cb.energy,
+        delay: cb.delay,
+        score: cb.score,
+        per_dnn: Vec::new(),
+        fluid: None,
+        sa_stats: crate::sa::SaStats::default(),
+        bound: None,
+        pruned: true,
     }
 }
 
@@ -381,23 +549,135 @@ pub fn run_dse(dnns: &[Dnn], spec: &DseSpec, opts: &DseOptions) -> DseResult {
 /// SA engine is deterministic at any thread count). The fidelity
 /// re-rank stage requested by [`DseOptions::fidelity`] fans out over
 /// the same worker pool with the same bit-identical guarantee.
+///
+/// Rung 0 ([`DseOptions::bound`]): before any SA runs, every candidate
+/// gets a closed-form lower bound; the best-bounded `seed_count` are
+/// evaluated first, their [`survivors_needed`]-th best achieved score
+/// becomes the threshold, and candidates whose *bound* already exceeds
+/// it are provably losers.
+/// `Prune` skips their SA; `Report` still evaluates everything but
+/// carries the identical plan and counters, so the [`DseReport`] is
+/// byte-identical between the two modes and the winner is byte-identical
+/// to `Off`.
 pub fn run_dse_over(candidates: &[ArchConfig], dnns: &[Dnn], opts: &DseOptions) -> DseResult {
     assert!(!candidates.is_empty(), "no valid DSE candidates");
     let cost = CostModel::default();
+    let n = candidates.len();
 
-    let workers = opts.threads.clamp(1, candidates.len());
+    let workers = opts.threads.clamp(1, n);
     let mut opts_inner = opts.clone();
     if workers > 1 && opts_inner.mapping.sa.threads == 0 {
         opts_inner.mapping.sa.threads = 1;
     }
-    let mut records: Vec<DseRecord> =
-        crate::pool::parallel_map_indexed(workers, candidates.len(), |i| {
-            evaluate_candidate(&candidates[i], dnns, &cost, &opts_inner)
+
+    let mut bound_plan: Option<BoundPlan> = None;
+    let mut records: Vec<DseRecord> = if opts.bound.active() {
+        // Rung 0, bound pass: closed-form lower bound per candidate.
+        let bounds: Vec<CandidateBound> = crate::pool::parallel_map_indexed(workers, n, |i| {
+            bound_candidate(&candidates[i], dnns, &cost, opts)
         });
-    let analytic_best = records
+        // A non-monotone objective inverts bound comparisons, so every
+        // candidate becomes a seed and nothing can be flagged.
+        let n_seeds = if opts.objective.monotone() {
+            seed_count(&opts.fidelity, n)
+        } else {
+            n
+        };
+        let seed = bound_seed_mask(&bounds, n_seeds);
+        // Phase A: evaluate the best-bounded seeds to establish an
+        // *achieved* incumbent threshold.
+        let seed_idx: Vec<usize> = (0..n).filter(|&i| seed[i]).collect();
+        let seed_records: Vec<DseRecord> = crate::pool::parallel_map_indexed(
+            workers.min(seed_idx.len()).max(1),
+            seed_idx.len(),
+            |j| evaluate_candidate(&candidates[seed_idx[j]], dnns, &cost, &opts_inner),
+        );
+        // The threshold is the `survivors_needed`-th best achieved
+        // seed score: a flagged candidate's achieved score is then
+        // strictly worse than at least that many evaluated candidates,
+        // so neither the winner nor any member of the achieved top-K
+        // (the re-rank input) can ever be flagged.
+        let mut achieved: Vec<f64> = seed_records.iter().map(|r| r.score).collect();
+        achieved.sort_by(f64::total_cmp);
+        let need = survivors_needed(&opts.fidelity).min(achieved.len());
+        let threshold = if need == 0 {
+            f64::INFINITY
+        } else {
+            achieved[need - 1]
+        };
+        // Strict >: a candidate whose bound merely ties the threshold is
+        // kept, so the true winner (achieved <= threshold, hence bound
+        // <= threshold) can never be flagged.
+        let pruned: Vec<bool> = (0..n)
+            .map(|i| !seed[i] && bounds[i].score > threshold)
+            .collect();
+        // Phase B: the rest. `Prune` skips the flagged candidates;
+        // `Report` evaluates them anyway (same plan, same counters —
+        // only the skipped work differs).
+        let rest: Vec<usize> = (0..n)
+            .filter(|&i| !(seed[i] || opts.bound.prunes() && pruned[i]))
+            .collect();
+        let rest_records: Vec<DseRecord> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            crate::pool::parallel_map_indexed(workers.min(rest.len()), rest.len(), |j| {
+                evaluate_candidate(&candidates[rest[j]], dnns, &cost, &opts_inner)
+            })
+        };
+        // Assemble in candidate order; flagged-and-skipped slots get a
+        // bound-valued stand-in record.
+        let mut slots: Vec<Option<DseRecord>> = (0..n).map(|_| None).collect();
+        for (i, r) in seed_idx.into_iter().zip(seed_records) {
+            slots[i] = Some(r);
+        }
+        for (i, r) in rest.into_iter().zip(rest_records) {
+            slots[i] = Some(r);
+        }
+        let recs: Vec<DseRecord> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut r = s.unwrap_or_else(|| pruned_record(&candidates[i], &cost, &bounds[i]));
+                let gap = if r.pruned || bounds[i].score <= 0.0 {
+                    None
+                } else {
+                    Some(r.score / bounds[i].score)
+                };
+                r.bound = Some(RecordBound {
+                    score: bounds[i].score,
+                    energy: bounds[i].energy,
+                    delay: bounds[i].delay,
+                    gap,
+                });
+                r
+            })
+            .collect();
+        bound_plan = Some(BoundPlan {
+            bounds,
+            seed,
+            pruned,
+            threshold,
+        });
+        recs
+    } else {
+        crate::pool::parallel_map_indexed(workers, n, |i| {
+            evaluate_candidate(&candidates[i], dnns, &cost, &opts_inner)
+        })
+    };
+
+    // Pruned stand-ins carry bound scores strictly worse than the
+    // achieved threshold (itself at least the winner's achieved score),
+    // so masking them to infinity cannot move the minimum — it only
+    // guarantees the fidelity top-K never touches a record without
+    // per-DNN data.
+    let scores: Vec<f64> = records
+        .iter()
+        .map(|r| if r.pruned { f64::INFINITY } else { r.score })
+        .collect();
+    let analytic_best = scores
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| a.score.total_cmp(&b.score))
+        .min_by(|(_, a), (_, b)| a.total_cmp(b))
         .map(|(i, _)| i)
         .expect("non-empty");
 
@@ -405,7 +685,6 @@ pub fn run_dse_over(candidates: &[ArchConfig], dnns: &[Dnn], opts: &DseOptions) 
     // re-rank of the top-K analytic survivors, then optional packet
     // validation of the winner. The SA engine is deterministic, so the
     // `remap` closure reproduces the analytic pass's mappings exactly.
-    let scores: Vec<f64> = records.iter().map(|r| r.score).collect();
     let mcs_energies: Vec<(f64, f64)> = records.iter().map(|r| (r.mc, r.energy)).collect();
     let (best, report, rescores) = crate::fidelity::run_fidelity_stage(
         &opts.fidelity,
@@ -427,6 +706,10 @@ pub fn run_dse_over(candidates: &[ArchConfig], dnns: &[Dnn], opts: &DseOptions) 
     );
     for (i, fr) in rescores {
         records[i].fluid = Some(fr);
+    }
+    let mut report = report;
+    if let Some(plan) = &bound_plan {
+        report.bound = Some(plan.stats(records[best].score, best));
     }
     DseResult {
         records,

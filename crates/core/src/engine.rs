@@ -15,7 +15,7 @@ use gemini_sim::{DnnReport, DramSel, Evaluator, GroupMapping};
 use crate::encoding::{flow_needs, Lms};
 use crate::partition::{partition_graph, GraphPartition, PartitionOptions};
 use crate::sa::{optimize, SaOptions, SaStats};
-use crate::stripe::stripe_lms;
+use crate::stripe::{bound_seed_lms, stripe_lms};
 
 /// Options for a full mapping run.
 #[derive(Debug, Clone, Default)]
@@ -120,7 +120,14 @@ impl<'a> MappingEngine<'a> {
         let init: Vec<Lms> = partition
             .groups
             .iter()
-            .map(|g| stripe_lms(dnn, arch, g))
+            .map(|g| {
+                let base = stripe_lms(dnn, arch, g);
+                if opts.sa.bound_seed {
+                    bound_seed_lms(dnn, g, base)
+                } else {
+                    base
+                }
+            })
             .collect();
         let out = optimize(dnn, self.ev, &partition, init, batch, &opts.sa);
         let report = self.evaluate(dnn, &partition, &out.lms, batch);
@@ -154,7 +161,14 @@ impl<'a> MappingEngine<'a> {
         let init: Vec<Lms> = partition
             .groups
             .iter()
-            .map(|g| crate::hetero_map::hetero_stripe_lms(dnn, arch, g, spec))
+            .map(|g| {
+                let base = crate::hetero_map::hetero_stripe_lms(dnn, arch, g, spec);
+                if opts.sa.bound_seed {
+                    bound_seed_lms(dnn, g, base)
+                } else {
+                    base
+                }
+            })
             .collect();
         let out = optimize(dnn, self.ev, &partition, init, batch, &opts.sa);
         let report = self.evaluate(dnn, &partition, &out.lms, batch);

@@ -130,6 +130,100 @@ impl FidelityPolicy {
     }
 }
 
+/// Rung-0 analytic-bound pre-filter mode of the DSE drivers
+/// ([`crate::dse::DseOptions::bound`]).
+///
+/// The bound pass computes, for every candidate, the closed-form lower
+/// bound of [`gemini_sim::bound`] on the structural stripe mapping
+/// (valid for the candidate's whole SA space), fully evaluates the
+/// best-bounded seed candidates to establish an *achieved* incumbent
+/// threshold, and flags every remaining candidate whose bound already
+/// exceeds that threshold as provably unable to win.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BoundMode {
+    /// No bound pass (the historic behavior).
+    #[default]
+    Off,
+    /// Run the bound pass and report gap diagnostics and the prune
+    /// counter, but still evaluate every candidate. The [`DseReport`]
+    /// (including [`BoundStats`]) is byte-identical to
+    /// [`BoundMode::Prune`]; only the per-record metrics of flagged
+    /// candidates differ (achieved here, bound values there).
+    Report,
+    /// Additionally skip full SA on flagged candidates. Never changes
+    /// the winner or the fidelity top-K: a pruned candidate's bound —
+    /// hence its achieved score — strictly exceeds the achieved scores
+    /// of at least as many evaluated seeds as the ladder consumes
+    /// (the re-rank `k`, or just the winner under `analytic`).
+    Prune,
+}
+
+impl BoundMode {
+    /// Whether the bound pass runs at all.
+    pub fn active(&self) -> bool {
+        !matches!(self, BoundMode::Off)
+    }
+
+    /// Whether flagged candidates actually skip evaluation.
+    pub fn prunes(&self) -> bool {
+        matches!(self, BoundMode::Prune)
+    }
+}
+
+/// Statistics of the rung-0 bound pre-filter, attached to the
+/// [`DseReport`] whenever [`BoundMode::active`]. Identical between
+/// [`BoundMode::Report`] and [`BoundMode::Prune`] by construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundStats {
+    /// Candidates bounded (the whole sweep).
+    pub total: usize,
+    /// Best-bounded candidates fully evaluated to establish the
+    /// achieved incumbent threshold.
+    pub seeds: usize,
+    /// Candidates whose bound exceeded the threshold (skipped under
+    /// [`BoundMode::Prune`]).
+    pub pruned: usize,
+    /// The achieved score a bound had to beat: the k-th best achieved
+    /// seed score, where k is what the fidelity ladder consumes (the
+    /// re-rank depth, or 1 under the plain analytic policy).
+    pub threshold: f64,
+    /// The winner's achieved/bound score ratio (a convergence
+    /// diagnostic: close to 1 means the analytic model is tight).
+    pub winner_gap: f64,
+}
+
+impl BoundStats {
+    /// Percentage of candidates pruned before SA.
+    pub fn prune_pct(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.pruned as f64 / self.total as f64
+        }
+    }
+}
+
+/// Parses a `--fidelity` string into a policy and a rung-0 bound mode:
+/// a base rung (`analytic` | `rerank` | `validate`, the latter two
+/// re-scoring `rerank_k` survivors) with an optional suffix `+bounds`
+/// (bound diagnostics, no skipping) or `+prune` (skip provably-losing
+/// candidates). Returns `None` on anything else.
+pub fn parse_policy(s: &str, rerank_k: usize) -> Option<(FidelityPolicy, BoundMode)> {
+    let (base, bound) = match s.split_once('+') {
+        Some((b, "bounds")) => (b, BoundMode::Report),
+        Some((b, "prune")) => (b, BoundMode::Prune),
+        Some(_) => return None,
+        None => (s, BoundMode::Off),
+    };
+    let policy = match base {
+        "analytic" => FidelityPolicy::Analytic,
+        "rerank" => FidelityPolicy::rerank(rerank_k),
+        "validate" => FidelityPolicy::validate(rerank_k),
+        _ => return None,
+    };
+    Some((policy, bound))
+}
+
 /// One group's analytic-vs-reference discrepancy on the final winner.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GroupDiscrepancy {
@@ -233,6 +327,11 @@ pub struct DseReport {
     /// weight ~0), and `None` when no group constrains it (e.g. fully
     /// compute-bound mappings).
     pub suggested_congestion_weight: Option<f64>,
+    /// Rung-0 bound pre-filter statistics (`None` when the DSE ran with
+    /// [`BoundMode::Off`]). Filled by the DSE drivers after the
+    /// fidelity stages; identical between [`BoundMode::Report`] and
+    /// [`BoundMode::Prune`].
+    pub bound: Option<BoundStats>,
 }
 
 impl DseReport {
@@ -245,6 +344,7 @@ impl DseReport {
             reranked: Vec::new(),
             winner_groups: Vec::new(),
             suggested_congestion_weight: None,
+            bound: None,
         }
     }
 
@@ -483,6 +583,7 @@ where
         reranked,
         winner_groups,
         suggested_congestion_weight: suggested,
+        bound: None,
     };
     let rescores = topk
         .iter()

@@ -19,9 +19,13 @@ use gemini_cost::CostModel;
 use gemini_model::Dnn;
 use gemini_sim::Evaluator;
 
-use crate::dse::{DseOptions, Objective};
-use crate::engine::MappingEngine;
+use crate::dse::{
+    bound_seed_mask, seed_count, survivors_needed, BoundPlan, CandidateBound, DseOptions,
+    Objective, RecordBound,
+};
+use crate::engine::{parse_all, MappingEngine};
 use crate::fidelity::{DseReport, FluidRescore};
+use crate::partition::partition_graph;
 
 /// The heterogeneous DSE grid: a fixed fabric whose chiplets each pick
 /// one of the candidate classes.
@@ -93,6 +97,13 @@ pub struct HeteroDseRecord {
     /// Congestion-aware re-score from the fidelity re-rank stage
     /// (`None` for assignments the policy did not re-score).
     pub fluid: Option<FluidRescore>,
+    /// Rung-0 bound diagnostics (`None` when the DSE ran with
+    /// [`crate::fidelity::BoundMode::Off`]).
+    pub bound: Option<RecordBound>,
+    /// Whether this assignment was pruned before SA (see
+    /// [`crate::dse::DseRecord::pruned`]): `energy`/`delay`/`score`
+    /// hold the bound values.
+    pub pruned: bool,
 }
 
 /// Result of a heterogeneous DSE.
@@ -159,6 +170,66 @@ pub fn evaluate_hetero_candidate(
         delay,
         score: opts.objective.score(mc, energy, delay),
         fluid: None,
+        bound: None,
+        pruned: false,
+    }
+}
+
+/// Rung-0 bound of one class assignment: the closed-form lower bound of
+/// [`gemini_sim::bound`] on the heterogeneity-aware stripe mapping (see
+/// [`crate::dse::bound_candidate`] — flow selectors and batch units are
+/// SA-invariant, so this bounds every reachable mapping).
+fn bound_hetero_candidate(
+    fabric: &ArchConfig,
+    spec: &HeteroSpec,
+    dnns: &[Dnn],
+    cost: &CostModel,
+    opts: &DseOptions,
+) -> CandidateBound {
+    let mc = cost.evaluate_hetero(fabric, spec).total();
+    let ev = Evaluator::hetero(fabric, spec);
+    let mut log_e = 0.0;
+    let mut log_d = 0.0;
+    for dnn in dnns {
+        let partition = partition_graph(dnn, fabric, opts.batch, &opts.mapping.partition);
+        let lms: Vec<crate::encoding::Lms> = partition
+            .groups
+            .iter()
+            .map(|g| crate::hetero_map::hetero_stripe_lms(dnn, fabric, g, spec))
+            .collect();
+        let gms = parse_all(dnn, &partition, &lms);
+        let b = gemini_sim::bound::dnn_bound(&ev, dnn, &gms, opts.batch);
+        log_e += b.energy_j.ln();
+        log_d += b.delay_s.ln();
+    }
+    let n = dnns.len().max(1) as f64;
+    let energy = (log_e / n).exp();
+    let delay = (log_d / n).exp();
+    CandidateBound {
+        score: opts.objective.score(mc, energy, delay),
+        energy,
+        delay,
+    }
+}
+
+/// The stand-in record of a pruned assignment (exact cost, bound
+/// metrics, no mapping data) — see [`crate::dse::DseRecord::pruned`].
+fn pruned_hetero_record(
+    fabric: &ArchConfig,
+    spec: &HeteroSpec,
+    cost: &CostModel,
+    cb: &CandidateBound,
+) -> HeteroDseRecord {
+    HeteroDseRecord {
+        spec: spec.clone(),
+        tops: spec.tops(fabric),
+        mc: cost.evaluate_hetero(fabric, spec).total(),
+        energy: cb.energy,
+        delay: cb.delay,
+        score: cb.score,
+        fluid: None,
+        bound: None,
+        pruned: true,
     }
 }
 
@@ -180,23 +251,121 @@ pub fn run_hetero_dse(dnns: &[Dnn], spec: &HeteroDseSpec, opts: &DseOptions) -> 
     assert!(!candidates.is_empty(), "no class assignments to explore");
     let cost = CostModel::default();
 
-    let workers = opts.threads.clamp(1, candidates.len());
+    let n = candidates.len();
+    let workers = opts.threads.clamp(1, n);
     let mut opts_inner = opts.clone();
     if workers > 1 && opts_inner.mapping.sa.threads == 0 {
         opts_inner.mapping.sa.threads = 1;
     }
-    let mut records: Vec<HeteroDseRecord> =
-        crate::pool::parallel_map_indexed(workers, candidates.len(), |i| {
-            evaluate_hetero_candidate(&spec.fabric, &candidates[i], dnns, &cost, &opts_inner)
+
+    // Rung 0 mirrors the homogeneous DSE (see
+    // [`crate::dse::run_dse_over`] for the soundness argument): bound
+    // everything, evaluate the best-bounded seeds, prune only
+    // assignments whose bound strictly exceeds the achieved threshold.
+    let mut bound_plan: Option<BoundPlan> = None;
+    let mut records: Vec<HeteroDseRecord> = if opts.bound.active() {
+        let bounds: Vec<CandidateBound> = crate::pool::parallel_map_indexed(workers, n, |i| {
+            bound_hetero_candidate(&spec.fabric, &candidates[i], dnns, &cost, opts)
         });
-    let analytic_best = records
+        let n_seeds = if opts.objective.monotone() {
+            seed_count(&opts.fidelity, n)
+        } else {
+            n
+        };
+        let seed = bound_seed_mask(&bounds, n_seeds);
+        let seed_idx: Vec<usize> = (0..n).filter(|&i| seed[i]).collect();
+        let seed_records: Vec<HeteroDseRecord> = crate::pool::parallel_map_indexed(
+            workers.min(seed_idx.len()).max(1),
+            seed_idx.len(),
+            |j| {
+                evaluate_hetero_candidate(
+                    &spec.fabric,
+                    &candidates[seed_idx[j]],
+                    dnns,
+                    &cost,
+                    &opts_inner,
+                )
+            },
+        );
+        let mut achieved: Vec<f64> = seed_records.iter().map(|r| r.score).collect();
+        achieved.sort_by(f64::total_cmp);
+        let need = survivors_needed(&opts.fidelity).min(achieved.len());
+        let threshold = if need == 0 {
+            f64::INFINITY
+        } else {
+            achieved[need - 1]
+        };
+        let pruned: Vec<bool> = (0..n)
+            .map(|i| !seed[i] && bounds[i].score > threshold)
+            .collect();
+        let rest: Vec<usize> = (0..n)
+            .filter(|&i| !(seed[i] || opts.bound.prunes() && pruned[i]))
+            .collect();
+        let rest_records: Vec<HeteroDseRecord> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            crate::pool::parallel_map_indexed(workers.min(rest.len()), rest.len(), |j| {
+                evaluate_hetero_candidate(
+                    &spec.fabric,
+                    &candidates[rest[j]],
+                    dnns,
+                    &cost,
+                    &opts_inner,
+                )
+            })
+        };
+        let mut slots: Vec<Option<HeteroDseRecord>> = (0..n).map(|_| None).collect();
+        for (i, r) in seed_idx.into_iter().zip(seed_records) {
+            slots[i] = Some(r);
+        }
+        for (i, r) in rest.into_iter().zip(rest_records) {
+            slots[i] = Some(r);
+        }
+        let recs: Vec<HeteroDseRecord> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut r = s.unwrap_or_else(|| {
+                    pruned_hetero_record(&spec.fabric, &candidates[i], &cost, &bounds[i])
+                });
+                let gap = if r.pruned || bounds[i].score <= 0.0 {
+                    None
+                } else {
+                    Some(r.score / bounds[i].score)
+                };
+                r.bound = Some(RecordBound {
+                    score: bounds[i].score,
+                    energy: bounds[i].energy,
+                    delay: bounds[i].delay,
+                    gap,
+                });
+                r
+            })
+            .collect();
+        bound_plan = Some(BoundPlan {
+            bounds,
+            seed,
+            pruned,
+            threshold,
+        });
+        recs
+    } else {
+        crate::pool::parallel_map_indexed(workers, n, |i| {
+            evaluate_hetero_candidate(&spec.fabric, &candidates[i], dnns, &cost, &opts_inner)
+        })
+    };
+
+    let scores: Vec<f64> = records
+        .iter()
+        .map(|r| if r.pruned { f64::INFINITY } else { r.score })
+        .collect();
+    let analytic_best = scores
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| a.score.total_cmp(&b.score))
+        .min_by(|(_, a), (_, b)| a.total_cmp(b))
         .map(|(i, _)| i)
         .expect("non-empty");
 
-    let scores: Vec<f64> = records.iter().map(|r| r.score).collect();
     let mcs_energies: Vec<(f64, f64)> = records.iter().map(|r| (r.mc, r.energy)).collect();
     let (best, report, rescores) = crate::fidelity::run_fidelity_stage(
         &opts.fidelity,
@@ -219,6 +388,10 @@ pub fn run_hetero_dse(dnns: &[Dnn], spec: &HeteroDseSpec, opts: &DseOptions) -> 
     );
     for (i, fr) in rescores {
         records[i].fluid = Some(fr);
+    }
+    let mut report = report;
+    if let Some(plan) = &bound_plan {
+        report.bound = Some(plan.stats(records[best].score, best));
     }
     HeteroDseResult {
         records,

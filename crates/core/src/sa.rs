@@ -100,6 +100,15 @@ pub struct SaOptions {
     /// knob too only moves wall-clock time; it exists for the
     /// delta-vs-full comparison in the `micro` bench (`BENCH_sa.json`).
     pub delta: bool,
+    /// Seed the per-group chain's initial scheme from the rung-0
+    /// bound-achieving mapping ([`crate::stripe::bound_seed_lms`]):
+    /// GEMM-shaped members start from the output-channel-major split
+    /// that meets the analytic DRAM-traffic bound exactly, the rest
+    /// keep the stripe heuristic. Off by default. The chain's RNG
+    /// stream is untouched, so results stay bit-identical at any
+    /// thread count, and SA still never returns worse than its
+    /// (re-seeded) initial scheme.
+    pub bound_seed: bool,
 }
 
 impl Default for SaOptions {
@@ -115,6 +124,7 @@ impl Default for SaOptions {
             threads: 0,
             cache: true,
             delta: true,
+            bound_seed: false,
         }
     }
 }

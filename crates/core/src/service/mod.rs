@@ -53,7 +53,6 @@ use crate::campaign::{
 };
 use crate::dse::{run_dse, DseOptions, DseResult, DseSpec, Objective};
 use crate::engine::{MappingEngine, MappingOptions};
-use crate::fidelity::FidelityPolicy;
 use crate::sa::{SaOptions, SaStats};
 
 /// Default [`EvalCache`] entry cap for a serving process. One-shot runs
@@ -133,6 +132,24 @@ pub fn sa_counter_line(s: &SaStats) -> String {
          layer records reused {reuse_pct:.1}% ({}/{})",
         s.cache_hits, s.delta_hits, s.full_evals, s.member_reuses, members
     )
+}
+
+/// The rung-0 bound counter line of a DSE report (nothing under
+/// [`crate::fidelity::BoundMode::Off`]). Identical between the
+/// report-only and pruning modes — the plan is computed either way.
+fn bound_counter_line(res: &DseResult, lines: &mut Vec<String>) {
+    if let Some(b) = &res.report.bound {
+        lines.push(format!(
+            "bound prune: {}/{} candidate(s) pruned ({:.1}%), {} seed(s), \
+             threshold {:.4e}, winner gap {:.2}x",
+            b.pruned,
+            b.total,
+            b.prune_pct(),
+            b.seeds,
+            b.threshold,
+            b.winner_gap
+        ));
+    }
 }
 
 /// The fidelity-ladder section of a DSE report, one entry per line
@@ -491,15 +508,12 @@ impl ServiceState {
     }
 
     fn dse_payload(&self, p: &DseParams) -> Result<Value, ServiceError> {
-        let fidelity = match p.fidelity.as_str() {
-            "analytic" => FidelityPolicy::Analytic,
-            "rerank" => FidelityPolicy::rerank(p.rerank_k),
-            "validate" => FidelityPolicy::validate(p.rerank_k),
-            other => {
-                return Err(ServiceError::bad_request(format!(
-                    "unknown fidelity policy '{other}'; use analytic|rerank|validate"
-                )))
-            }
+        let Some((fidelity, bound)) = crate::fidelity::parse_policy(&p.fidelity, p.rerank_k) else {
+            return Err(ServiceError::bad_request(format!(
+                "unknown fidelity policy '{}'; use analytic|rerank|validate, \
+                 optionally suffixed +bounds or +prune",
+                p.fidelity
+            )));
         };
         let mut k = BTreeMap::new();
         k.insert("verb".to_string(), Value::from("dse"));
@@ -536,6 +550,7 @@ impl ServiceState {
                 },
                 stride: p.stride,
                 fidelity,
+                bound,
                 ..Default::default()
             };
             if let Some(t) = p.threads {
@@ -561,6 +576,7 @@ impl ServiceState {
                 best.delay * 1e3
             ));
             lines.push(sa_counter_line(&best.sa_stats));
+            bound_counter_line(&res, &mut lines);
             fidelity_report_lines(&res, &mut lines);
 
             let mut out = BTreeMap::new();
@@ -575,6 +591,16 @@ impl ServiceState {
             out.insert("mc".to_string(), Value::Num(best.mc));
             out.insert("energy_j".to_string(), Value::Num(best.energy));
             out.insert("delay_s".to_string(), Value::Num(best.delay));
+            // Rung-0 counters, only when the bound pre-filter ran (the
+            // fields stay absent under `BoundMode::Off`, like every
+            // other only-when-present payload field).
+            if let Some(b) = &res.report.bound {
+                out.insert("bound_total".to_string(), Value::from(b.total));
+                out.insert("bound_seeds".to_string(), Value::from(b.seeds));
+                out.insert("bound_pruned".to_string(), Value::from(b.pruned));
+                out.insert("bound_threshold".to_string(), Value::Num(b.threshold));
+                out.insert("bound_winner_gap".to_string(), Value::Num(b.winner_gap));
+            }
             out.insert("report".to_string(), Value::from(lines.join("\n")));
             Value::Table(out)
         }))

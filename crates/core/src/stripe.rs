@@ -155,6 +155,34 @@ pub fn stripe_lms_with(
     Lms { schemes }
 }
 
+/// Rung-0 bound-seeded initial scheme: the baseline `Lms` (stripe or
+/// hetero-stripe) with every GEMM-shaped member's [`Part`] swapped for
+/// the output-channel-major factorization of its core count.
+///
+/// For GEMM-shaped layers (FC / weight matmul / 1x1 convolution,
+/// [`gemini_sim::bound::gemm_shaped`]) that split makes every part need
+/// the identical (whole) input — fetched once via the multicast dedup —
+/// while weight and output slices are disjoint covers, which is exactly
+/// the DRAM-traffic lower bound of [`gemini_sim::bound::group_bound`].
+/// Core groups and flow-of-data entries are untouched, so the result
+/// validates whenever the baseline does.
+pub fn bound_seed_lms(dnn: &Dnn, spec: &GroupSpec, mut base: Lms) -> Lms {
+    for (ms, &id) in base.schemes.iter_mut().zip(&spec.members) {
+        let l = dnn.layer(id);
+        if !gemini_sim::bound::gemm_shaped(l) {
+            continue;
+        }
+        let n = ms.cg.0.len() as u32;
+        if let Some(p) = crate::factor::factorizations(n, l.ofmap, spec.batch_unit)
+            .into_iter()
+            .max_by_key(|p| (p.k, p.b, p.h, p.w))
+        {
+            ms.part = p;
+        }
+    }
+    base
+}
+
 /// Convenience: the default all-interleaved FD for a layer in a group.
 pub fn default_fd(dnn: &Dnn, spec: &GroupSpec, id: gemini_model::LayerId) -> FlowOfData {
     let needs = flow_needs(dnn, spec, id);

@@ -20,6 +20,7 @@
 //! mappings (`gemini-core`): the mapping engine parses its layer-centric
 //! encoding into a [`GroupMapping`] and hands it to the [`Evaluator`].
 
+pub mod bound;
 pub mod cache;
 pub mod delta;
 pub mod energy;
@@ -31,6 +32,9 @@ pub mod program;
 pub mod stats;
 pub mod workload;
 
+pub use bound::{
+    bound_achieving_mapping, dnn_bound, gemm_shaped, group_bound, DnnBound, GroupBound,
+};
 pub use cache::{EvalCache, MissKey};
 pub use delta::{DeltaProposal, DeltaStats, GroupEvalState};
 pub use energy::{D2dEnergyModel, EnergyBreakdown, EnergyModel};

@@ -44,6 +44,7 @@ pub const DETERMINISM_SCOPES: &[&str] = &[
     "crates/core/src/artifacts.rs",
     "crates/sim/src/delta.rs",
     "crates/sim/src/cache.rs",
+    "crates/sim/src/bound.rs",
 ];
 
 /// Path prefix of the service request path — the panic-safety and

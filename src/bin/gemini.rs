@@ -8,12 +8,16 @@
 //!   print the comparison (`--stats` adds per-group utilization and the
 //!   packet-level fidelity ladder);
 //! * `gemini dse [--tops T] [--stride N] [--batch N] [--iters N]
-//!   [--fidelity analytic|rerank|validate] [--rerank-k K]` — run the
-//!   Table-I DSE and print the best architecture; `--fidelity rerank`
-//!   re-scores the top-K analytic survivors with the max-min fluid NoC
-//!   simulator (congestion-aware re-rank), `--fidelity validate`
-//!   additionally replays the winner through the flit-granular packet
-//!   simulator and prints the calibrated congestion-surcharge weight;
+//!   [--fidelity analytic|rerank|validate[+bounds|+prune]] [--rerank-k K]`
+//!   — run the Table-I DSE and print the best architecture; `--fidelity
+//!   rerank` re-scores the top-K analytic survivors with the max-min
+//!   fluid NoC simulator (congestion-aware re-rank), `--fidelity
+//!   validate` additionally replays the winner through the flit-granular
+//!   packet simulator and prints the calibrated congestion-surcharge
+//!   weight; a `+bounds` suffix reports rung-0 analytic lower-bound
+//!   counters, `+prune` additionally skips SA for candidates whose
+//!   bound already loses to an evaluated seed (never changes the
+//!   winner);
 //! * `gemini hetero <model> [--batch N] [--iters N]` — exhaustive
 //!   per-chiplet class-assignment DSE on a 4-chiplet fabric (Sec. V-D);
 //! * `gemini campaign <manifest> [--resume] [--threads N]` — run a
@@ -78,7 +82,7 @@ fn usage() -> ExitCode {
         "usage:\n  gemini models [--detail]\n  gemini archs\n  gemini cost <preset>\n  \
          gemini map <model> [--arch <preset>] [--batch N] [--iters N] [--threads N] [--stats]\n  \
          gemini dse [--tops T] [--stride N] [--batch N] [--iters N] [--threads N] \
-[--fidelity analytic|rerank|validate] [--rerank-k K]\n  \
+[--fidelity analytic|rerank|validate[+bounds|+prune]] [--rerank-k K]\n  \
          gemini hetero <model> [--batch N] [--iters N]\n  \
          gemini heatmap <model> [--batch N] [--iters N]\n  \
          gemini campaign <manifest.toml|.json> [--resume] [--threads N] [--out DIR] \

@@ -84,9 +84,11 @@ pub mod prelude {
         merge_shards, run_campaign, run_campaign_file, run_campaign_shard, shard_of,
         CampaignOptions, CampaignResult, CampaignSpec, ShardRunResult, ShardSpec,
     };
-    pub use gemini_core::dse::{run_dse, DseOptions, DseSpec, Objective};
+    pub use gemini_core::dse::{run_dse, DseOptions, DseSpec, Objective, RecordBound};
     pub use gemini_core::engine::{MappedDnn, MappingEngine, MappingOptions};
-    pub use gemini_core::fidelity::{DseReport, FidelityPolicy, FluidConfig};
+    pub use gemini_core::fidelity::{
+        parse_policy, BoundMode, BoundStats, DseReport, FidelityPolicy, FluidConfig,
+    };
     pub use gemini_core::sa::{SaOptions, SaOutcome, SaStats};
     pub use gemini_core::service::{
         CampaignParams, DseParams, ErrorCode, MapParams, Request, RequestBody, Response,
@@ -94,6 +96,7 @@ pub mod prelude {
     };
     pub use gemini_cost::CostModel;
     pub use gemini_model::{Dnn, DnnBuilder, FmapShape, LayerKind};
+    pub use gemini_sim::bound::{dnn_bound, group_bound, DnnBound, GroupBound};
     pub use gemini_sim::{EvalCache, Evaluator};
     pub use gemini_tangram::{compare_mappings, TangramMapper};
 }

@@ -1,0 +1,174 @@
+//! Property-test harness for rung-0 soundness: the closed-form lower
+//! bounds of `gemini_sim::bound` must never exceed what the evaluator
+//! reports — for latency, energy and EDP, on any workload,
+//! architecture point and mapping.
+//!
+//! Two layers of coverage:
+//!
+//! * a deterministic grid over zoo workloads x architecture points x
+//!   SA seeds x batch sizes, counting every group-level and
+//!   network-level comparison as one sample and asserting at least
+//!   1000 of them ran;
+//! * a proptest sweep over randomly *generated* CNNs (shapes the zoo
+//!   does not contain) on random architecture points, reusing the
+//!   `random_networks` generator via `tests/common`.
+//!
+//! A violation names the (workload, architecture, mapping) triple —
+//! model name, `paper_tuple`, SA seed, batch and group index — so the
+//! failing sample can be replayed in isolation.
+
+mod common;
+
+use proptest::prelude::*;
+
+use gemini::core::engine::{MappingEngine, MappingOptions};
+use gemini::core::sa::SaOptions;
+use gemini::prelude::*;
+use gemini::sim::bound::{dnn_bound, group_bound};
+
+/// Architecture points spanning the shapes the bound must survive:
+/// the paper's G-Arch, a monolithic die, a fully-cut low-bandwidth
+/// fabric and a small-core high-cut point.
+fn arch_points() -> Vec<ArchConfig> {
+    vec![
+        gemini::arch::presets::g_arch_72(),
+        ArchConfig::builder()
+            .cores(4, 4)
+            .cuts(1, 1)
+            .build()
+            .expect("monolithic"),
+        ArchConfig::builder()
+            .cores(4, 4)
+            .cuts(2, 2)
+            .noc_bw(16.0)
+            .dram_bw(32.0)
+            .build()
+            .expect("low-bw"),
+        ArchConfig::builder()
+            .cores(6, 4)
+            .cuts(3, 2)
+            .glb_kb(512)
+            .macs_per_core(512)
+            .build()
+            .expect("small-core"),
+    ]
+}
+
+/// Maps `dnn` on `arch` with one SA seed and checks every group bound
+/// plus the whole-network bound against the evaluator. Returns the
+/// number of bound-vs-achieved comparisons performed; panics with the
+/// (workload, architecture, mapping) triple on a violation.
+fn check_sound(dnn: &Dnn, arch: &ArchConfig, seed: u64, iters: u32, batch: u32) -> usize {
+    let ev = Evaluator::new(arch);
+    let engine = MappingEngine::new(&ev);
+    let opts = MappingOptions {
+        sa: SaOptions {
+            iters,
+            seed,
+            threads: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let m = engine.map(dnn, batch, &opts);
+    let gms = m.group_mappings(dnn);
+    let triple = |scope: &str| {
+        format!(
+            "workload={} arch={} sa_seed={seed} batch={batch} mapping={scope}",
+            dnn.name(),
+            arch.paper_tuple()
+        )
+    };
+    let mut samples = 0;
+    for (gi, gm) in gms.iter().enumerate() {
+        let b = group_bound(&ev, dnn, gm, batch);
+        let r = ev.evaluate_group(dnn, gm, batch);
+        let e = r.energy.total();
+        let at = triple(&format!("group {gi} of {}", gms.len()));
+        assert!(
+            b.delay_s <= r.delay_s,
+            "latency bound violated at {at}: bound {} > achieved {}",
+            b.delay_s,
+            r.delay_s
+        );
+        assert!(
+            b.energy_j <= e,
+            "energy bound violated at {at}: bound {} > achieved {}",
+            b.energy_j,
+            e
+        );
+        assert!(
+            b.edp() <= r.delay_s * e,
+            "EDP bound violated at {at}: bound {} > achieved {}",
+            b.edp(),
+            r.delay_s * e
+        );
+        samples += 1;
+    }
+    let nb = dnn_bound(&ev, dnn, &gms, batch);
+    let rep = ev.evaluate_dnn(dnn, &gms, batch);
+    let e = rep.energy.total();
+    let at = triple("whole network");
+    assert!(
+        nb.delay_s <= rep.delay_s,
+        "latency bound violated at {at}: bound {} > achieved {}",
+        nb.delay_s,
+        rep.delay_s
+    );
+    assert!(
+        nb.energy_j <= e,
+        "energy bound violated at {at}: bound {} > achieved {}",
+        nb.energy_j,
+        e
+    );
+    assert!(
+        nb.edp() <= rep.delay_s * e,
+        "EDP bound violated at {at}: bound {} > achieved {}",
+        nb.edp(),
+        rep.delay_s * e
+    );
+    samples + 1
+}
+
+/// The deterministic harness: >= 1000 (workload, architecture,
+/// mapping) samples, every one asserting `bound <= achieved` on
+/// latency, energy and EDP. SA seeds vary the mapping per sample (part
+/// shapes, core orders, flow selectors all move under annealing).
+#[test]
+fn bound_sound_over_zoo_arch_seed_grid() {
+    let archs = arch_points();
+    let mut samples = 0;
+    for name in ["two-conv", "tiny-resnet"] {
+        let dnn = gemini::model::zoo::by_name(name).expect("zoo workload");
+        for arch in &archs {
+            for seed in 0..35u64 {
+                for batch in [1u32, 3] {
+                    samples += check_sound(&dnn, arch, seed, 10, batch);
+                }
+            }
+        }
+    }
+    assert!(
+        samples >= 1000,
+        "property harness must cover >= 1000 samples, got {samples}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Random CNNs (generator shared with `random_networks`) on random
+    /// architecture points: the bound survives shapes the zoo does not
+    /// contain — strided halos, residual joins, degenerate 1x1 heads.
+    #[test]
+    fn bound_sound_on_random_cnns(
+        cnn in common::cnn_strategy(),
+        seed in 0u64..1_000,
+        arch_idx in 0usize..4,
+        batch in 1u32..4,
+    ) {
+        let dnn = common::build_cnn(&cnn);
+        let archs = arch_points();
+        check_sound(&dnn, &archs[arch_idx], seed, 10, batch);
+    }
+}

@@ -70,6 +70,48 @@ fn artifacts_byte_identical_at_1_and_4_threads() {
     let _ = fs::remove_dir_all(&r4);
 }
 
+/// Every cell reports its rung-0 bound gap: `cells.csv` carries a
+/// `bound_edp_gap` column, and — because the bound lower-bounds the
+/// evaluator on the cell's final mapping — every value is at least 1
+/// (up to the bound's relative slack margin).
+#[test]
+fn cells_csv_reports_bound_edp_gap_at_least_one() {
+    let spec = ci_tiny();
+    let root = temp_root("gap");
+    let res = run(&spec, &root, 2, false);
+    let csv = fs::read_to_string(res.dir.join("cells.csv")).expect("cells.csv");
+    let header = csv.lines().next().expect("header");
+    let col = header
+        .split(',')
+        .position(|c| c == "bound_edp_gap")
+        .expect("cells.csv has a bound_edp_gap column");
+    for line in csv.lines().skip(1) {
+        let v: f64 = line
+            .split(',')
+            .nth(col)
+            .expect("row has the gap column")
+            .parse()
+            .expect("gap parses as a float");
+        assert!(
+            v >= 1.0 - 1e-6,
+            "bound EDP gap below 1 in cells.csv: {v} ({line})"
+        );
+        assert!(v.is_finite(), "non-finite bound EDP gap: {v}");
+    }
+    // The in-memory metrics agree with the artifact.
+    for c in &res.cells {
+        assert!(c.bound_edp_gap >= 1.0 - 1e-6);
+        for m in &c.per_dnn {
+            assert!(
+                m.bound_edp_gap >= 1.0 - 1e-6,
+                "per-dnn gap below 1: {}",
+                m.bound_edp_gap
+            );
+        }
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
 #[test]
 fn resume_from_truncated_journal_reproduces_cold_artifacts() {
     let spec = ci_tiny();

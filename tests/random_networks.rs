@@ -4,133 +4,15 @@
 //! mapping, SA, parsing, evaluation and instruction generation — with
 //! all invariants intact.
 
+mod common;
+
 use proptest::prelude::*;
 
+use common::{build_cnn as build, cnn_strategy};
 use gemini::core::engine::{MappingEngine, MappingOptions};
 use gemini::core::sa::SaOptions;
-use gemini::model::layer::{ActKind, ConvParams, PoolKind, PoolParams};
-use gemini::model::{DnnBuilder, FmapShape, LayerKind};
 use gemini::prelude::*;
 use gemini::sim::{generate_program, validate_program};
-
-/// A compact encoding of one randomly-generated CNN.
-#[derive(Debug, Clone)]
-struct RandomCnn {
-    input_hw: u32,
-    stem_c: u32,
-    /// Per block: (channel multiplier x4, stride-2?, residual?).
-    blocks: Vec<(bool, bool, bool)>,
-}
-
-fn cnn_strategy() -> impl Strategy<Value = RandomCnn> {
-    (
-        prop::sample::select(vec![16u32, 24, 32, 48]),
-        prop::sample::select(vec![8u32, 16, 24]),
-        prop::collection::vec((any::<bool>(), any::<bool>(), any::<bool>()), 1..6),
-    )
-        .prop_map(|(input_hw, stem_c, blocks)| RandomCnn {
-            input_hw,
-            stem_c,
-            blocks,
-        })
-}
-
-fn build(cnn: &RandomCnn) -> gemini::model::Dnn {
-    let mut b = DnnBuilder::new("random-cnn");
-    let mut shape = FmapShape::new(cnn.input_hw, cnn.input_hw, 3);
-    let input = b.input(shape);
-    let mut cur = b
-        .add(
-            "stem",
-            LayerKind::Conv(ConvParams::dense((3, 3), (1, 1), (1, 1), 3)),
-            FmapShape::new(shape.h, shape.w, cnn.stem_c),
-            &[input],
-        )
-        .expect("stem");
-    shape = FmapShape::new(shape.h, shape.w, cnn.stem_c);
-
-    for (i, &(widen, downsample, residual)) in cnn.blocks.iter().enumerate() {
-        let cout = if widen { shape.c * 2 } else { shape.c };
-        let stride = if downsample && shape.h >= 4 { 2 } else { 1 };
-        let oh = (shape.h + 2 - 3) / stride + 1;
-        let conv = b
-            .add(
-                format!("b{i}_conv"),
-                LayerKind::Conv(ConvParams {
-                    kernel: (3, 3),
-                    stride: (stride, stride),
-                    pad: (1, 1),
-                    groups: 1,
-                    cin: shape.c,
-                }),
-                FmapShape::new(oh, oh, cout),
-                &[cur],
-            )
-            .expect("conv");
-        let out_shape = FmapShape::new(oh, oh, cout);
-        cur = if residual {
-            // Projection shortcut keeps shapes legal for any combo.
-            let proj = b
-                .add(
-                    format!("b{i}_proj"),
-                    LayerKind::Conv(ConvParams {
-                        kernel: (1, 1),
-                        stride: (stride, stride),
-                        pad: (0, 0),
-                        groups: 1,
-                        cin: shape.c,
-                    }),
-                    out_shape,
-                    &[cur],
-                )
-                .expect("proj");
-            b.add(
-                format!("b{i}_add"),
-                LayerKind::Eltwise { n_inputs: 2 },
-                out_shape,
-                &[conv, proj],
-            )
-            .expect("add")
-        } else {
-            b.add(
-                format!("b{i}_relu"),
-                LayerKind::Activation(ActKind::Relu),
-                out_shape,
-                &[conv],
-            )
-            .expect("relu")
-        };
-        shape = out_shape;
-    }
-    // Head: pool + classifier.
-    if shape.h >= 2 {
-        let ph = shape.h / 2;
-        cur = b
-            .add(
-                "head_pool",
-                LayerKind::Pool(PoolParams {
-                    kernel: (2, 2),
-                    stride: (2, 2),
-                    pad: (0, 0),
-                    kind: PoolKind::Max,
-                }),
-                FmapShape::new(ph, ph, shape.c),
-                &[cur],
-            )
-            .expect("pool");
-        shape = FmapShape::new(ph, ph, shape.c);
-    }
-    b.add(
-        "fc",
-        LayerKind::Fc {
-            cin: shape.elems() as u32,
-        },
-        FmapShape::new(1, 1, 10),
-        &[cur],
-    )
-    .expect("fc");
-    b.build()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
