@@ -292,7 +292,7 @@ fn bench_sa_delta(c: &mut Criterion) {
         return;
     }
     let arch = presets::g_arch_72();
-    let dnn = zoo::by_name("gn").expect("googlenet in the zoo");
+    let dnn = zoo::by_name("gn").expect("googlenet in the zoo").graph;
     let ev = Evaluator::new(&arch);
     let engine = MappingEngine::new(&ev);
     let batch = 8;

@@ -136,7 +136,7 @@ pub(super) fn write_all(
         out.push_str("group,wset,batch,cell");
         for a in archive.axes() {
             out.push(',');
-            out.push_str(a.name());
+            out.push_str(&a.name());
         }
         out.push(',');
         out.push_str(ARCH_COLS);
@@ -200,7 +200,7 @@ pub(super) fn write_all(
                                         );
                                         let mut ct = BTreeMap::new();
                                         for (a, v) in archive.axes().iter().zip(&p.coords) {
-                                            ct.insert(a.name().into(), Value::Num(*v));
+                                            ct.insert(a.name(), Value::Num(*v));
                                         }
                                         pt.insert("coords".into(), Value::Table(ct));
                                         Value::Table(pt)

@@ -86,7 +86,7 @@ pub enum CellFidelity {
 }
 
 /// An axis of the multi-objective Pareto archive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ParetoAxis {
     /// End-to-end delay in seconds (the congestion-corrected delay when
     /// the cell ran the fluid rung).
@@ -99,29 +99,78 @@ pub enum ParetoAxis {
     Cost,
     /// Total silicon area in mm².
     Area,
+    /// Served tail latency under load: the `percentile`-th latency of
+    /// the canonical serving scenario at `rate_rps` (seconds).
+    Tail {
+        /// Offered load (requests per second).
+        rate_rps: f64,
+        /// Percentile in `(0, 100]`.
+        percentile: f64,
+    },
+    /// SLA miss rate under load: `1 - goodput` within `budget_ms` at
+    /// `rate_rps` (lower is better, like every axis).
+    SlaMiss {
+        /// Offered load (requests per second).
+        rate_rps: f64,
+        /// Served-latency budget (milliseconds).
+        budget_ms: f64,
+    },
 }
 
 impl ParetoAxis {
     /// Canonical lowercase name (CSV/JSON column).
-    pub fn name(&self) -> &'static str {
-        match self {
-            Self::Latency => "latency",
-            Self::Energy => "energy",
-            Self::Edp => "edp",
-            Self::Cost => "mc",
-            Self::Area => "area",
+    pub fn name(&self) -> String {
+        match *self {
+            Self::Latency => "latency".into(),
+            Self::Energy => "energy".into(),
+            Self::Edp => "edp".into(),
+            Self::Cost => "mc".into(),
+            Self::Area => "area".into(),
+            Self::Tail {
+                rate_rps,
+                percentile,
+            } => format!("p{percentile}@{rate_rps}"),
+            Self::SlaMiss {
+                rate_rps,
+                budget_ms,
+            } => {
+                format!("slamiss@{rate_rps}:{budget_ms}ms")
+            }
         }
     }
 
     fn parse(s: &str) -> Result<Self, ManifestError> {
-        match s.to_ascii_lowercase().as_str() {
-            "latency" | "delay" | "d" => Ok(Self::Latency),
-            "energy" | "e" => Ok(Self::Energy),
-            "edp" => Ok(Self::Edp),
-            "mc" | "cost" => Ok(Self::Cost),
-            "area" => Ok(Self::Area),
-            other => err(format!(
-                "unknown pareto axis '{other}' (use latency|energy|edp|mc|area)"
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "latency" | "delay" | "d" => return Ok(Self::Latency),
+            "energy" | "e" => return Ok(Self::Energy),
+            "edp" => return Ok(Self::Edp),
+            "mc" | "cost" => return Ok(Self::Cost),
+            "area" => return Ok(Self::Area),
+            _ => {}
+        }
+        // The traffic axes borrow the objective grammar: `p99@500`
+        // maps to Tail, `goodput@500:25ms` (or its axis-native alias
+        // `slamiss@...`) to SlaMiss.
+        let spelling = lower.replacen("slamiss@", "goodput@", 1);
+        match crate::objective::ObjectiveSpec::parse(&spelling) {
+            Ok(crate::objective::ObjectiveSpec::TailLatency {
+                rate_rps,
+                percentile,
+            }) => Ok(Self::Tail {
+                rate_rps,
+                percentile,
+            }),
+            Ok(crate::objective::ObjectiveSpec::SlaGoodput {
+                rate_rps,
+                budget_ms,
+            }) => Ok(Self::SlaMiss {
+                rate_rps,
+                budget_ms,
+            }),
+            _ => err(format!(
+                "unknown pareto axis '{s}' (use latency|energy|edp|mc|area, \
+                 p<pct>@<rate>, or slamiss@<rate>:<budget>ms)"
             )),
         }
     }
@@ -298,14 +347,14 @@ impl CampaignSpec {
         };
         let mut workloads = Vec::with_capacity(names.len());
         for n in &names {
-            let Some(dnn) = gemini_model::zoo::by_name(n) else {
+            let Some(w) = gemini_model::zoo::by_name(n) else {
                 return err(format!(
                     "unknown workload '{n}' (try `gemini models` for the zoo list)"
                 ));
             };
             // Normalize to the zoo's own name so the fingerprint does
             // not depend on which alias the manifest used.
-            workloads.push(dnn.name().to_string());
+            workloads.push(w.graph.name().to_string());
         }
         for (i, n) in workloads.iter().enumerate() {
             if workloads[..i].contains(n) {
@@ -441,12 +490,35 @@ impl CampaignSpec {
                 self.objectives
                     .iter()
                     .map(|o| {
-                        Value::List(vec![
-                            Value::from(o.label.as_str()),
-                            Value::Num(o.objective.alpha),
-                            Value::Num(o.objective.beta),
-                            Value::Num(o.objective.gamma),
-                        ])
+                        // The Edp shape predates the traffic
+                        // objectives; it must stay `[label, a, b, g]`
+                        // so pre-existing campaign fingerprints hold.
+                        Value::List(match o.objective {
+                            Objective::Edp { alpha, beta, gamma } => vec![
+                                Value::from(o.label.as_str()),
+                                Value::Num(alpha),
+                                Value::Num(beta),
+                                Value::Num(gamma),
+                            ],
+                            Objective::TailLatency {
+                                rate_rps,
+                                percentile,
+                            } => vec![
+                                Value::from(o.label.as_str()),
+                                Value::from("tail"),
+                                Value::Num(rate_rps),
+                                Value::Num(percentile),
+                            ],
+                            Objective::SlaGoodput {
+                                rate_rps,
+                                budget_ms,
+                            } => vec![
+                                Value::from(o.label.as_str()),
+                                Value::from("goodput"),
+                                Value::Num(rate_rps),
+                                Value::Num(budget_ms),
+                            ],
+                        })
                     })
                     .collect(),
             ),
@@ -719,22 +791,16 @@ fn decode_arch_entry(
 fn parse_objective(v: &Value) -> Result<NamedObjective, ManifestError> {
     match v {
         Value::Str(s) => {
-            let objective = match s.as_str() {
-                "mc-e-d" => Objective::mc_e_d(),
-                "e-d" | "edp" => Objective::e_d(),
-                "d" | "delay" | "latency" => Objective::d_only(),
-                "e" | "energy" => Objective::e_only(),
-                other => {
-                    return err(format!(
-                        "unknown objective '{other}' (use mc-e-d|e-d|d|e or [alpha, beta, gamma])"
-                    ))
-                }
-            };
+            // One canonical spelling grammar for the whole repo; the
+            // label keeps the manifest's own spelling so fingerprints
+            // do not depend on alias choice being normalized.
+            let objective = Objective::parse(s).map_err(|e| ManifestError(e.0))?;
             Ok(NamedObjective {
                 label: s.clone(),
                 objective,
             })
         }
+        // Deprecated alias of the Edp variant: a bare exponent triple.
         Value::List(l) if l.len() == 3 => {
             let mut x = [0.0; 3];
             for (i, item) in l.iter().enumerate() {
@@ -744,14 +810,17 @@ fn parse_objective(v: &Value) -> Result<NamedObjective, ManifestError> {
             }
             Ok(NamedObjective {
                 label: format!("mc^{}*e^{}*d^{}", x[0], x[1], x[2]),
-                objective: Objective {
+                objective: Objective::Edp {
                     alpha: x[0],
                     beta: x[1],
                     gamma: x[2],
                 },
             })
         }
-        _ => err("objectives entries must be names or [alpha, beta, gamma] triples"),
+        _ => err(format!(
+            "objectives entries must be names ({}) or deprecated [alpha, beta, gamma] triples",
+            crate::objective::VALID_FORMS
+        )),
     }
 }
 
@@ -876,7 +945,10 @@ macs = 1024
         assert_eq!(s.batches, vec![2]);
         assert_eq!(s.objectives.len(), 3);
         assert_eq!(s.objectives[2].label, "mc^0*e^1*d^2");
-        assert_eq!(s.objectives[2].objective.gamma, 2.0);
+        let Objective::Edp { alpha, beta, gamma } = s.objectives[2].objective else {
+            panic!("a bare triple parses to the Edp variant");
+        };
+        assert_eq!((alpha, beta, gamma), (0.0, 1.0, 2.0));
         assert!(matches!(s.fidelity, CellFidelity::Fluid(_)));
         assert_eq!(s.workloads, vec!["two-conv", "tiny-resnet"]);
         assert_eq!(s.workload_mode, WorkloadMode::Each);

@@ -191,6 +191,22 @@ impl CellResult {
             ParetoAxis::Edp => self.edp(),
             ParetoAxis::Cost => self.mc,
             ParetoAxis::Area => self.area_mm2,
+            // Traffic axes replay the canonical serving scenario on
+            // demand from the effective delay — nothing new is stored
+            // per cell, so journals keep their shape.
+            ParetoAxis::Tail {
+                rate_rps,
+                percentile,
+            } => {
+                crate::traffic::serve_at(rate_rps, self.eff_delay().max(1e-30)).quantile(percentile)
+            }
+            ParetoAxis::SlaMiss {
+                rate_rps,
+                budget_ms,
+            } => {
+                1.0 - crate::traffic::serve_at(rate_rps, self.eff_delay().max(1e-30))
+                    .goodput(budget_ms / 1e3)
+            }
         }
     }
 
@@ -487,7 +503,11 @@ impl Axes {
         let dnns = spec
             .workloads
             .iter()
-            .map(|n| gemini_model::zoo::by_name(n).expect("spec validated workload names"))
+            .map(|n| {
+                gemini_model::zoo::by_name(n)
+                    .expect("spec validated workload names")
+                    .graph
+            })
             .collect();
         let sets = spec.workload_sets();
         let archs = spec.arch_candidates();

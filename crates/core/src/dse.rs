@@ -22,68 +22,12 @@ use crate::fidelity::{BoundMode, BoundStats, DseReport, FidelityPolicy, FluidRes
 use crate::partition::partition_graph;
 use crate::stripe::stripe_lms;
 
-/// Objective exponents for `MC^alpha * E^beta * D^gamma`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct Objective {
-    /// Monetary-cost exponent.
-    pub alpha: f64,
-    /// Energy exponent.
-    pub beta: f64,
-    /// Delay exponent.
-    pub gamma: f64,
-}
-
-impl Objective {
-    /// The paper's default DSE objective `MC * E * D`.
-    pub fn mc_e_d() -> Self {
-        Self {
-            alpha: 1.0,
-            beta: 1.0,
-            gamma: 1.0,
-        }
-    }
-
-    /// Energy-delay product (mapping-level objective).
-    pub fn e_d() -> Self {
-        Self {
-            alpha: 0.0,
-            beta: 1.0,
-            gamma: 1.0,
-        }
-    }
-
-    /// Delay only.
-    pub fn d_only() -> Self {
-        Self {
-            alpha: 0.0,
-            beta: 0.0,
-            gamma: 1.0,
-        }
-    }
-
-    /// Energy only.
-    pub fn e_only() -> Self {
-        Self {
-            alpha: 0.0,
-            beta: 1.0,
-            gamma: 0.0,
-        }
-    }
-
-    /// Scores a candidate.
-    pub fn score(&self, mc: f64, e: f64, d: f64) -> f64 {
-        mc.powf(self.alpha) * e.powf(self.beta) * d.powf(self.gamma)
-    }
-
-    /// Whether the score is monotone non-decreasing in each metric
-    /// (all exponents non-negative). Only then does a lower bound on
-    /// (E, D) yield a lower bound on the score, which is what lets the
-    /// rung-0 pre-filter prune: a negative exponent would invert the
-    /// comparison, so pruning is disabled for such objectives.
-    pub fn monotone(&self) -> bool {
-        self.alpha >= 0.0 && self.beta >= 0.0 && self.gamma >= 0.0
-    }
-}
+/// The objective type lives in [`crate::objective`]; `Objective` is the
+/// historical name of [`ObjectiveSpec`], kept so existing imports
+/// (`gemini_core::dse::Objective`) keep compiling.
+pub use crate::objective::{
+    ObjectiveParseError, ObjectiveSpec, ObjectiveSpec as Objective, VALID_FORMS,
+};
 
 /// The DSE parameter grid (Table I of the paper).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -485,7 +429,7 @@ pub(crate) fn survivors_needed(policy: &FidelityPolicy) -> usize {
 
 /// Chooses the seed set: the best `seed_count` candidates by bound
 /// score, ties broken by index. A candidate is later flagged only when
-/// its bound *strictly* exceeds the [`survivors_needed`]-th best
+/// its bound *strictly* exceeds the `survivors_needed`-th best
 /// achieved seed score, so the true winner — whose achieved score is
 /// at most that threshold, hence also its bound — is never flagged,
 /// and neither is any candidate of the achieved top-K.
@@ -502,7 +446,7 @@ pub(crate) fn bound_seed_mask(bounds: &[CandidateBound], n_seeds: usize) -> Vec<
 /// The record of a pruned candidate: exact monetary cost, bound
 /// metrics in place of achieved ones, no per-DNN data and zeroed SA
 /// counters. Its score is strictly worse than the achieved scores of
-/// at least [`survivors_needed`] evaluated seeds, so it can never be
+/// at least `survivors_needed` evaluated seeds, so it can never be
 /// selected as winner or enter the fidelity top-K.
 fn pruned_record(arch: &ArchConfig, cost: &CostModel, cb: &CandidateBound) -> DseRecord {
     let mc_rep = cost.evaluate(arch);
@@ -552,7 +496,7 @@ pub fn run_dse(dnns: &[Dnn], spec: &DseSpec, opts: &DseOptions) -> DseResult {
 ///
 /// Rung 0 ([`DseOptions::bound`]): before any SA runs, every candidate
 /// gets a closed-form lower bound; the best-bounded `seed_count` are
-/// evaluated first, their [`survivors_needed`]-th best achieved score
+/// evaluated first, their `survivors_needed`-th best achieved score
 /// becomes the threshold, and candidates whose *bound* already exceeds
 /// it are provably losers.
 /// `Prune` skips their SA; `Report` still evaluates everything but

@@ -56,6 +56,7 @@ pub mod fidelity;
 pub mod hetero_dse;
 pub mod hetero_map;
 pub mod joint;
+pub mod objective;
 pub mod partition;
 pub(crate) mod pool;
 pub mod report;
@@ -63,6 +64,7 @@ pub mod sa;
 pub mod service;
 pub mod space;
 pub mod stripe;
+pub mod traffic;
 
 pub use campaign::{
     run_campaign, run_campaign_file, CampaignError, CampaignOptions, CampaignResult, CampaignSpec,
@@ -78,6 +80,7 @@ pub use fidelity::{
 pub use hetero_dse::{run_hetero_dse, HeteroDseRecord, HeteroDseResult, HeteroDseSpec};
 pub use hetero_map::{hetero_stripe_lms, weighted_allocation};
 pub use joint::{optimize_joint, JointOptions, JointOutcome};
+pub use objective::{ObjectiveParseError, ObjectiveSpec};
 pub use partition::{partition_graph, GraphPartition, PartitionOptions};
 pub use sa::{optimize, SaOptions, SaOutcome, SaStats};
 pub use service::{

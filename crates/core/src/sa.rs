@@ -1229,7 +1229,7 @@ mod tests {
         // GoogLeNet partitions into several groups here, so the chain
         // fan-out (and the worker pool with fewer threads than chains)
         // is genuinely exercised.
-        let dnn = zoo::by_name("gn").expect("googlenet in the zoo");
+        let dnn = zoo::by_name("gn").expect("googlenet in the zoo").graph;
         let arch = presets::g_arch_72();
         let ev = Evaluator::new(&arch);
         let partition = partition_graph(&dnn, &arch, 8, &PartitionOptions::default());
@@ -1314,7 +1314,7 @@ mod tests {
         // nothing but wall-clock time — cost, schemes, move statistics
         // and cache counters all match. Use GoogLeNet so groups have
         // several members and the delta path genuinely skips work.
-        let dnn = zoo::by_name("gn").expect("googlenet in the zoo");
+        let dnn = zoo::by_name("gn").expect("googlenet in the zoo").graph;
         let arch = presets::g_arch_72();
         let ev = Evaluator::new(&arch);
         let partition = partition_graph(&dnn, &arch, 8, &PartitionOptions::default());

@@ -390,7 +390,7 @@ impl ServiceState {
     }
 
     fn map_payload(&self, p: &MapParams) -> Result<Value, ServiceError> {
-        let Some(dnn) = gemini_model::zoo::by_name(&p.model) else {
+        let Some(dnn) = gemini_model::zoo::by_name(&p.model).map(|w| w.graph) else {
             return Err(ServiceError::bad_request(
                 "unknown model; try `gemini models`",
             ));
@@ -515,6 +515,8 @@ impl ServiceState {
                 p.fidelity
             )));
         };
+        let objective =
+            Objective::parse(&p.objective).map_err(|e| ServiceError::bad_request(e.0))?;
         let mut k = BTreeMap::new();
         k.insert("verb".to_string(), Value::from("dse"));
         k.insert("tops".to_string(), Value::Num(p.tops));
@@ -524,6 +526,8 @@ impl ServiceState {
         k.insert("seed".to_string(), Value::Num(p.seed as f64));
         k.insert("fidelity".to_string(), Value::from(p.fidelity.as_str()));
         k.insert("rerank_k".to_string(), Value::from(p.rerank_k));
+        // The canonical spelling, so alias requests share a memo entry.
+        k.insert("objective".to_string(), Value::from(objective.canonical()));
         let key = Value::Table(k).to_json();
 
         Ok(self.request_memo.get_or_eval(key, || {
@@ -542,7 +546,7 @@ impl ServiceState {
             }
             let spec = DseSpec::table1(p.tops);
             let mut opts = DseOptions {
-                objective: Objective::mc_e_d(),
+                objective,
                 batch: p.batch,
                 mapping: MappingOptions {
                     sa,
@@ -568,7 +572,11 @@ impl ServiceState {
             let dnns = vec![gemini_model::zoo::transformer_base()];
             let res = run_dse(&dnns, &spec, &opts);
             let best = res.best_record();
-            lines.push(format!("best under MC*E*D: {}", best.arch.paper_tuple()));
+            lines.push(format!(
+                "best under {}: {}",
+                objective.canonical(),
+                best.arch.paper_tuple()
+            ));
             lines.push(format!(
                 "MC ${:.2}  E {:.3} mJ  D {:.3} ms",
                 best.mc,
@@ -584,6 +592,7 @@ impl ServiceState {
             out.insert("stride".to_string(), Value::from(p.stride));
             out.insert("batch".to_string(), Value::from(p.batch));
             out.insert("iters".to_string(), Value::from(p.iters));
+            out.insert("objective".to_string(), Value::from(objective.canonical()));
             out.insert(
                 "best_arch".to_string(),
                 Value::from(best.arch.paper_tuple()),
@@ -829,9 +838,27 @@ mod tests {
                 rerank_k: 4,
                 threads: None,
                 sa_threads: 1,
+                objective: "mc-e-d".to_string(),
             }))
             .unwrap_err();
         assert!(e.detail.contains("unknown fidelity policy"), "{}", e.detail);
+        let e = state
+            .handle(&RequestBody::Dse(DseParams {
+                tops: 72.0,
+                stride: 400,
+                batch: 2,
+                iters: 10,
+                seed: 0,
+                fidelity: "analytic".to_string(),
+                rerank_k: 4,
+                threads: None,
+                sa_threads: 1,
+                objective: "warp-speed".to_string(),
+            }))
+            .unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        assert!(e.detail.contains("unknown objective"), "{}", e.detail);
+        assert!(e.detail.contains("p<pct>@<rate>"), "{}", e.detail);
     }
 
     #[test]

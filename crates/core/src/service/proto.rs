@@ -123,6 +123,10 @@ pub struct DseParams {
     /// `GEMINI_SA_THREADS` into this field so the daemon never reads
     /// the environment per request).
     pub sa_threads: usize,
+    /// Objective spelling ([`crate::objective::VALID_FORMS`]):
+    /// `mc-e-d` (default), `e-d`, `d`, `e`, `p99@500`,
+    /// `goodput@500:25ms`, ….
+    pub objective: String,
 }
 
 /// `gemini campaign` parameters.
@@ -356,6 +360,7 @@ impl Request {
                 rerank_k: get_uint(t, "rerank_k", &id, &verb)?.unwrap_or(8) as usize,
                 threads: get_uint(t, "threads", &id, &verb)?.map(|n| n as usize),
                 sa_threads: get_uint(t, "sa_threads", &id, &verb)?.unwrap_or(0) as usize,
+                objective: get_str(t, "objective", &id, &verb)?.unwrap_or_else(|| "mc-e-d".into()),
             }),
             "campaign" => {
                 let Some(manifest) = get_str(t, "manifest", &id, &verb)? else {

@@ -1,0 +1,42 @@
+//! The dynamic batcher's knobs.
+
+use serde::{Deserialize, Serialize};
+
+/// How the server groups queued requests into batches.
+///
+/// A batch launches at the earliest instant at which the server is free
+/// and either (a) `max_batch` requests are queued, or (b) the oldest
+/// queued request has waited `max_queue_delay_s`, or (c) no further
+/// arrivals exist. Requests that arrive before the launch instant join
+/// the batch (up to `max_batch`), FCFS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatcherConfig {
+    /// Largest batch the server executes at once (>= 1).
+    pub max_batch: usize,
+    /// Longest the queue head may wait for co-batched requests before
+    /// the batch launches anyway (seconds).
+    pub max_queue_delay_s: f64,
+}
+
+impl Default for BatcherConfig {
+    /// Batch up to 8 requests, holding the queue head at most 2 ms.
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            max_queue_delay_s: 2e-3,
+        }
+    }
+}
+
+impl BatcherConfig {
+    /// A batcher scaled to an offered rate: batch up to 8, hold the
+    /// queue head for at most four mean inter-arrival gaps. Used by the
+    /// serving objectives so the only free parameter is the rate.
+    pub fn for_rate(rate_rps: f64) -> Self {
+        assert!(rate_rps > 0.0, "rate must be positive, got {rate_rps}");
+        Self {
+            max_batch: 8,
+            max_queue_delay_s: 4.0 / rate_rps,
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Serving-traffic model: arrivals, batching, and queueing replay for
+//! LLM-decode workloads (docs/CAMPAIGNS.md, "Objectives").
+//!
+//! The paper's objectives price one isolated inference; a serving
+//! deployment instead sees a *stream* of requests whose tail latency is
+//! dominated by queueing and batching, not by the mapped step latency
+//! alone. This module closes that gap with a deliberately small model:
+//!
+//! * [`arrivals`] — deterministic arrival streams: seeded Poisson
+//!   (splitmix64, no wall clock) or a trace file;
+//! * [`batcher`] — the dynamic batcher policy (max batch size, max
+//!   queue delay);
+//! * [`queue`] — an FCFS discrete-event replay of the stream against a
+//!   fixed batch service time, yielding the served-latency
+//!   distribution ([`ServedStats`]: p50/p95/p99, goodput, queue depth).
+//!
+//! Everything here is a pure function of its inputs, so traffic-derived
+//! objective values inherit the campaign layer's bit-identical
+//! determinism across runs, machines and thread counts.
+//!
+//! [`serve_at`] is the canonical scenario the SLA-aware objectives
+//! evaluate (`p99@rate`, `goodput@rate:budget` — see
+//! [`crate::objective::ObjectiveSpec`]); [`decode_latency_curve`] maps
+//! a decode workload once and sweeps its sequence positions to produce
+//! the latency-vs-position curve the step latency is drawn from.
+
+pub mod arrivals;
+pub mod batcher;
+pub mod queue;
+
+pub use arrivals::{ArrivalSpec, PoissonSpec};
+pub use batcher::BatcherConfig;
+pub use queue::{replay, ServedStats};
+
+use gemini_model::zoo::decoder::{self, DecodeSpec};
+use gemini_model::Dnn;
+use gemini_sim::{sweep_positions, Evaluator, SweepStats};
+
+use crate::engine::{parse_all, MappingEngine, MappingOptions};
+
+/// Requests in the canonical objective scenario: enough for a stable
+/// nearest-rank p99 (the top 1% is ~5 requests) while keeping the
+/// replay far cheaper than the mapping it scores.
+pub const DEFAULT_REQUESTS: usize = 512;
+
+/// Decode steps per request in the canonical scenario — a short
+/// generation, so batch service time is `steps x step latency`.
+pub const DEFAULT_STEPS_PER_REQUEST: usize = 32;
+
+/// Arrival seed of the canonical scenario. Fixed so every objective
+/// evaluation replays the same stream; campaign fingerprints depend on
+/// it.
+pub const DEFAULT_SEED: u64 = 0x6765_6d69_6e69;
+
+/// Replays an arrival stream against a mapped per-step latency:
+/// requests of `steps_per_request` decode steps, batched by `cfg`.
+///
+/// # Panics
+///
+/// Panics when the inputs are degenerate (see [`queue::replay`] and
+/// [`ArrivalSpec::times`]).
+pub fn serve(
+    arrivals: &ArrivalSpec,
+    cfg: &BatcherConfig,
+    step_latency_s: f64,
+    steps_per_request: usize,
+) -> ServedStats {
+    assert!(steps_per_request > 0, "requests must take at least a step");
+    let times = arrivals.times();
+    queue::replay(&times, cfg, step_latency_s * steps_per_request as f64)
+}
+
+/// The canonical serving scenario behind the `p99@rate` and
+/// `goodput@rate:budget` objectives: [`DEFAULT_REQUESTS`] Poisson
+/// arrivals at `rate_rps` (seed [`DEFAULT_SEED`]),
+/// [`DEFAULT_STEPS_PER_REQUEST`]-step requests, batcher
+/// [`BatcherConfig::for_rate`].
+///
+/// A pure function of `(rate_rps, step_latency_s)` — the determinism
+/// anchor that keeps traffic-scored campaigns bit-identical.
+pub fn serve_at(rate_rps: f64, step_latency_s: f64) -> ServedStats {
+    serve(
+        &ArrivalSpec::poisson(rate_rps, DEFAULT_REQUESTS, DEFAULT_SEED),
+        &BatcherConfig::for_rate(rate_rps),
+        step_latency_s,
+        DEFAULT_STEPS_PER_REQUEST,
+    )
+}
+
+/// One point of a latency-vs-position curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Sequence position (KV-cache rows per block).
+    pub seq_pos: u32,
+    /// Mapped decode-step latency at this position (seconds).
+    pub delay_s: f64,
+    /// Mapped decode-step energy at this position (joules).
+    pub energy_j: f64,
+}
+
+/// The mapped latency-vs-position curve of a decode workload, plus the
+/// member-record reuse telemetry of the sweep.
+#[derive(Debug, Clone)]
+pub struct LatencyCurve {
+    /// One point per requested position, in input order.
+    pub points: Vec<CurvePoint>,
+    /// How much of the reference mapping's evaluation was reused.
+    pub stats: SweepStats,
+}
+
+impl LatencyCurve {
+    /// The curve point at `seq_pos`.
+    pub fn at(&self, seq_pos: u32) -> Option<&CurvePoint> {
+        self.points.iter().find(|p| p.seq_pos == seq_pos)
+    }
+}
+
+/// Maps a decode workload once — at the **largest** requested position,
+/// where the KV-cache working set peaks — and evaluates every listed
+/// position by transplanting that mapping and reusing untouched member
+/// records ([`gemini_sim::sweep_positions`]).
+///
+/// # Panics
+///
+/// Panics when `positions` is empty or contains a zero.
+pub fn decode_latency_curve(
+    ev: &Evaluator,
+    base: &str,
+    spec: &DecodeSpec,
+    positions: &[u32],
+    batch: u32,
+    opts: &MappingOptions,
+) -> LatencyCurve {
+    assert!(!positions.is_empty(), "need at least one position");
+    assert!(
+        positions.iter().all(|&p| p > 0),
+        "sequence positions start at 1"
+    );
+    let graphs: Vec<Dnn> = positions
+        .iter()
+        .map(|&p| decoder::decode_step(base, &spec.at(p)))
+        .collect();
+    let ref_idx = positions
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &p)| p)
+        .map(|(i, _)| i)
+        .expect("positions is non-empty");
+    let engine = MappingEngine::new(ev);
+    let mapped = engine.map(&graphs[ref_idx], batch, opts);
+    let ref_gms = parse_all(&graphs[ref_idx], &mapped.partition, &mapped.lms);
+    let pairs: Vec<(u32, &Dnn)> = positions.iter().copied().zip(graphs.iter()).collect();
+    let (evals, stats) = sweep_positions(ev, &pairs, ref_idx, &ref_gms, batch);
+    LatencyCurve {
+        points: evals
+            .iter()
+            .map(|e| CurvePoint {
+                seq_pos: e.seq_pos,
+                delay_s: e.report.delay_s,
+                energy_j: e.report.energy.total(),
+            })
+            .collect(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_at_is_deterministic_and_bounded_below() {
+        let a = serve_at(300.0, 0.0001);
+        let b = serve_at(300.0, 0.0001);
+        assert_eq!(a, b);
+        // `(start + service) - arrival` can round one ULP below the
+        // service time, so the floor holds to a relative epsilon.
+        let floor = 0.0001 * DEFAULT_STEPS_PER_REQUEST as f64 * (1.0 - 1e-12);
+        assert_eq!(a.served(), DEFAULT_REQUESTS);
+        assert!(a.latencies_s.iter().all(|&l| l >= floor));
+        assert!(a.p99() >= a.p50() && a.p50() >= floor);
+    }
+
+    #[test]
+    fn served_latency_is_monotone_in_step_latency() {
+        // The FCFS replay is pointwise monotone in service time — the
+        // property that keeps the traffic objectives sound under the
+        // DSE's rung-0 bound pruning.
+        let slow = serve_at(200.0, 0.0002);
+        let fast = serve_at(200.0, 0.0001);
+        assert!(slow.p50() >= fast.p50());
+        assert!(slow.p99() >= fast.p99());
+        assert!(slow.goodput(0.02) <= fast.goodput(0.02));
+    }
+
+    #[test]
+    fn heavier_step_latency_degrades_goodput_to_zero() {
+        // A service time far beyond the arrival gap drives the queue
+        // into overload: goodput under any finite budget collapses.
+        let s = serve_at(1000.0, 0.01);
+        assert!(s.goodput(0.5) < 1.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Discrete-event queueing replay of an arrival stream against mapped
+//! per-step latencies.
+//!
+//! The model is one accelerator running one workload: requests arrive
+//! (see [`super::arrivals`]), the dynamic batcher groups them (see
+//! [`super::batcher`]), and each batch occupies the accelerator for its
+//! service time — `steps_per_request` decode steps at the mapped
+//! per-step latency. Batches do not admit late joiners once launched
+//! (no continuous batching), and every request in a batch completes
+//! when the batch does, so a request's served latency is queueing wait
+//! plus batch service.
+//!
+//! The replay is a pure function of its inputs — no wall clock, no
+//! global state — so served-latency distributions are bit-identical
+//! across runs, machines and thread counts.
+
+use serde::{Deserialize, Serialize};
+
+use super::batcher::BatcherConfig;
+
+/// The served-latency distribution and queue telemetry of one replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServedStats {
+    /// Per-request served latencies (completion minus arrival), sorted
+    /// ascending.
+    pub latencies_s: Vec<f64>,
+    /// Number of batches launched.
+    pub batches: usize,
+    /// Deepest the arrived-but-unserved queue ever got (measured at
+    /// batch launches, including the batch being launched).
+    pub max_queue_depth: usize,
+    /// Completion instant of the last batch (seconds).
+    pub makespan_s: f64,
+}
+
+impl ServedStats {
+    /// Requests served.
+    pub fn served(&self) -> usize {
+        self.latencies_s.len()
+    }
+
+    /// Nearest-rank quantile of the served latency, `p` in `(0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no request was served or `p` is out of range.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(
+            p > 0.0 && p <= 100.0,
+            "quantile must be in (0, 100], got {p}"
+        );
+        let n = self.latencies_s.len();
+        assert!(n > 0, "no served requests");
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.latencies_s[rank.clamp(1, n) - 1]
+    }
+
+    /// Median served latency.
+    pub fn p50(&self) -> f64 {
+        self.quantile(50.0)
+    }
+
+    /// 95th-percentile served latency.
+    pub fn p95(&self) -> f64 {
+        self.quantile(95.0)
+    }
+
+    /// 99th-percentile served latency.
+    pub fn p99(&self) -> f64 {
+        self.quantile(99.0)
+    }
+
+    /// Mean served latency.
+    pub fn mean(&self) -> f64 {
+        let n = self.latencies_s.len().max(1) as f64;
+        self.latencies_s.iter().sum::<f64>() / n
+    }
+
+    /// Fraction of requests served within `budget_s` (the SLA goodput,
+    /// in `[0, 1]`).
+    pub fn goodput(&self, budget_s: f64) -> f64 {
+        if self.latencies_s.is_empty() {
+            return 0.0;
+        }
+        let ok = self.latencies_s.partition_point(|&l| l <= budget_s);
+        ok as f64 / self.latencies_s.len() as f64
+    }
+}
+
+/// Replays `times` (sorted arrival instants) through the batcher at a
+/// fixed batch service time and returns the served distribution.
+///
+/// # Panics
+///
+/// Panics when `service_s` is not positive and finite or the arrival
+/// instants are not sorted.
+pub fn replay(times: &[f64], cfg: &BatcherConfig, service_s: f64) -> ServedStats {
+    assert!(
+        service_s > 0.0 && service_s.is_finite(),
+        "batch service time must be positive and finite, got {service_s}"
+    );
+    assert!(
+        times.windows(2).all(|w| w[0] <= w[1]),
+        "arrival instants must be sorted"
+    );
+    let n = times.len();
+    let cap = cfg.max_batch.max(1);
+    let mut latencies = Vec::with_capacity(n);
+    let mut free = 0.0f64;
+    let mut head = 0usize;
+    let mut batches = 0usize;
+    let mut max_depth = 0usize;
+    while head < n {
+        // The batcher's release instant: the arrival that fills the
+        // batch, or the queue head's deadline, or (when fewer than a
+        // full batch remain) the final arrival — whichever is earliest.
+        let fill = head + cap - 1;
+        let deadline = times[head] + cfg.max_queue_delay_s;
+        let trigger = if fill < n {
+            times[fill].min(deadline)
+        } else {
+            times[n - 1].min(deadline)
+        };
+        let start = free.max(trigger);
+        // FCFS members: everyone who arrived by the launch instant,
+        // capped at the batch size. `times[head] <= trigger <= start`
+        // guarantees at least one member.
+        let mut count = 0usize;
+        while head + count < n && count < cap && times[head + count] <= start {
+            count += 1;
+        }
+        let mut arrived = head + count;
+        while arrived < n && times[arrived] <= start {
+            arrived += 1;
+        }
+        max_depth = max_depth.max(arrived - head);
+        let done = start + service_s;
+        for &t in &times[head..head + count] {
+            latencies.push(done - t);
+        }
+        free = done;
+        head += count;
+        batches += 1;
+    }
+    latencies.sort_by(f64::total_cmp);
+    ServedStats {
+        latencies_s: latencies,
+        batches,
+        max_queue_depth: max_depth,
+        makespan_s: free,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::arrivals::ArrivalSpec;
+
+    fn cfg(max_batch: usize, delay: f64) -> BatcherConfig {
+        BatcherConfig {
+            max_batch,
+            max_queue_delay_s: delay,
+        }
+    }
+
+    #[test]
+    fn uncontended_requests_see_service_time_only() {
+        // Arrivals far apart, batcher releases immediately.
+        let times = [0.0, 10.0, 20.0];
+        let s = replay(&times, &cfg(4, 0.0), 1.0);
+        assert_eq!(s.served(), 3);
+        assert_eq!(s.batches, 3);
+        assert!(s.latencies_s.iter().all(|&l| (l - 1.0).abs() < 1e-12));
+        assert_eq!(s.max_queue_depth, 1);
+        assert!((s.makespan_s - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_batches_launch_without_waiting_for_the_deadline() {
+        // Four simultaneous arrivals, batch of four: one batch at t=0.
+        let times = [0.0, 0.0, 0.0, 0.0];
+        let s = replay(&times, &cfg(4, 100.0), 2.0);
+        assert_eq!(s.batches, 1);
+        assert!(s.latencies_s.iter().all(|&l| (l - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn queue_head_deadline_bounds_the_wait() {
+        // One lonely request, huge batch: launches at its deadline.
+        let times = [1.0];
+        let s = replay(&times, &cfg(8, 0.5), 1.0);
+        assert_eq!(s.batches, 1);
+        // Rule (c): the final arrival releases the batch immediately —
+        // the deadline (1.5) never binds because no co-batched request
+        // can still arrive.
+        assert!((s.latencies_s[0] - 1.0).abs() < 1e-12);
+        // Two requests spaced wider than the deadline: the head waits
+        // out its full deadline before launching alone.
+        let times = [0.0, 10.0];
+        let s = replay(&times, &cfg(8, 0.5), 1.0);
+        assert_eq!(s.batches, 2);
+        assert!(
+            (s.latencies_s[1] - 1.5).abs() < 1e-12,
+            "{:?}",
+            s.latencies_s
+        );
+    }
+
+    #[test]
+    fn busy_server_backlog_is_drained_in_full_batches() {
+        // 8 arrivals at t=0, batch of 2, service 1s: 4 sequential
+        // batches; the last pair waits 3s.
+        let times = [0.0; 8];
+        let s = replay(&times, &cfg(2, 100.0), 1.0);
+        assert_eq!(s.batches, 4);
+        assert_eq!(s.max_queue_depth, 8);
+        assert!((s.quantile(100.0) - 4.0).abs() < 1e-12);
+        assert!((s.p50() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_goodput_counts_within_budget() {
+        let arr = ArrivalSpec::poisson(200.0, 512, 11).times();
+        let s = replay(&arr, &BatcherConfig::for_rate(200.0), 0.01);
+        assert_eq!(s.served(), 512);
+        assert!(s.p99() >= s.p95() && s.p95() >= s.p50());
+        assert!(s.p50() >= 0.01, "latency is bounded below by service");
+        let g_all = s.goodput(f64::INFINITY);
+        assert!((g_all - 1.0).abs() < 1e-12);
+        let g_none = s.goodput(0.0);
+        assert_eq!(g_none, 0.0);
+        let g_mid = s.goodput(s.p50());
+        assert!((0.5..=1.0).contains(&g_mid));
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let arr = ArrivalSpec::poisson(150.0, 256, 99).times();
+        let a = replay(&arr, &BatcherConfig::default(), 0.004);
+        let b = replay(&arr, &BatcherConfig::default(), 0.004);
+        assert_eq!(a, b);
+        assert!(a
+            .latencies_s
+            .iter()
+            .zip(&b.latencies_s)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+}

@@ -1,0 +1,223 @@
+//! GPT-style decode-step workloads.
+//!
+//! One graph models **one autoregressive decode step** at a given
+//! sequence position: the new token's Q/K/V projections, attention
+//! against the accumulated KV cache, and the MLP stack. The KV cache is
+//! explicit — per block, two [`crate::layer::LayerKind::Input`]
+//! pseudo-layers of shape `(seq_pos, 1, d_model)` that reside in DRAM
+//! and are read by the attention matmuls — so the workload's DRAM read
+//! traffic grows linearly with `seq_pos` while its compute stays nearly
+//! flat. That position-dependence is what distinguishes serving a
+//! decoder from the paper's static encoder transformer, and is tagged
+//! on the zoo entry as [`super::WorkloadKind::Decode`].
+//!
+//! Two substitutions mirror `zoo::transformer`: attention heads are
+//! folded into a single attention map per block (the per-head split is
+//! a parallelization detail below this IR's granularity), and the new
+//! token's K/V rows are modeled as cache-append outputs (dead-end
+//! projections): their MACs and weight traffic are priced, while the
+//! appended row's DRAM write — `d_model` bytes against the cache's
+//! `seq_pos * d_model`-byte read — is negligible and not modeled.
+//!
+//! The byte model of the mapped graph is int8 (the repo-wide element
+//! width); `kv_dtype` scales the *accounted* cache footprint
+//! ([`DecodeSpec::kv_bytes`]) for wider cache types, which the mapped
+//! DRAM traffic does not track (see docs/CONCORDANCE.md).
+
+use crate::graph::Dnn;
+use crate::layer::{ActKind, MatmulOperand};
+use crate::region::FmapShape;
+
+use super::Net;
+
+/// Element type of the KV cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KvDtype {
+    /// 8-bit cache entries (the repo's native element width).
+    Int8,
+    /// 16-bit cache entries (doubles [`DecodeSpec::kv_bytes`]).
+    Fp16,
+}
+
+impl KvDtype {
+    /// Bytes per cache element.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Self::Int8 => 1,
+            Self::Fp16 => 2,
+        }
+    }
+}
+
+/// Parameters of one decode step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecodeSpec {
+    /// Model width.
+    pub d_model: u32,
+    /// Attention heads (folded into one attention map per block; must
+    /// divide `d_model`).
+    pub heads: u32,
+    /// Decoder blocks.
+    pub layers: u32,
+    /// Sequence position of the step: the KV cache holds this many
+    /// rows per block.
+    pub seq_pos: u32,
+    /// KV-cache element type.
+    pub kv_dtype: KvDtype,
+}
+
+impl DecodeSpec {
+    /// The same spec at another sequence position.
+    #[must_use]
+    pub fn at(mut self, seq_pos: u32) -> Self {
+        self.seq_pos = seq_pos;
+        self
+    }
+
+    /// MLP hidden width (the conventional `4 * d_model`).
+    pub fn d_ff(&self) -> u32 {
+        4 * self.d_model
+    }
+
+    /// Total KV-cache footprint at this position: K and V rows for
+    /// every block, `seq_pos x d_model` each, at the cache element
+    /// width. This is the per-step DRAM read volume the cache adds.
+    pub fn kv_bytes(&self) -> u64 {
+        2 * self.layers as u64 * self.seq_pos as u64 * self.d_model as u64 * self.kv_dtype.bytes()
+    }
+}
+
+/// The GPT-2 (124M) decode step: 12 blocks, width 768, 12 heads.
+/// Default position 512 — mid-context for its 1024-token window.
+pub fn gpt2_spec() -> DecodeSpec {
+    DecodeSpec {
+        d_model: 768,
+        heads: 12,
+        layers: 12,
+        seq_pos: 512,
+        kv_dtype: KvDtype::Int8,
+    }
+}
+
+/// A two-block miniature for tests and CI campaigns.
+pub fn decode_tiny_spec() -> DecodeSpec {
+    DecodeSpec {
+        d_model: 128,
+        heads: 4,
+        layers: 2,
+        seq_pos: 64,
+        kv_dtype: KvDtype::Int8,
+    }
+}
+
+/// Builds the decode-step graph for `spec`, named `{base}@{seq_pos}`
+/// (the canonical spelling [`super::by_name`] resolves).
+///
+/// # Panics
+///
+/// Panics when the spec is degenerate (zero dims, position 0, or heads
+/// not dividing `d_model`).
+pub fn decode_step(base: &str, spec: &DecodeSpec) -> Dnn {
+    assert!(
+        spec.d_model > 0 && spec.layers > 0 && spec.seq_pos > 0,
+        "degenerate decode spec {spec:?}"
+    );
+    assert!(
+        spec.heads > 0 && spec.d_model % spec.heads == 0,
+        "heads must divide d_model, got {}/{}",
+        spec.d_model,
+        spec.heads
+    );
+    let mut n = Net::new(&format!("{base}@{}", spec.seq_pos));
+    // The step processes one token; batching across concurrent
+    // sequences is the evaluator's batch dimension.
+    let tok = n.input(FmapShape::new(1, 1, spec.d_model));
+    let mut cur = tok;
+    for li in 0..spec.layers {
+        let p = |s: &str| format!("l{li}_{s}");
+        let q = n.conv(&p("q"), cur, spec.d_model, 1, 1, 0);
+        // Cache appends: computed each step, consumed by *future* steps
+        // (graph outputs here).
+        let _k_new = n.conv(&p("k"), cur, spec.d_model, 1, 1, 0);
+        let _v_new = n.conv(&p("v"), cur, spec.d_model, 1, 1, 0);
+        // The accumulated cache, resident in DRAM.
+        let k_cache = n.input(FmapShape::new(spec.seq_pos, 1, spec.d_model));
+        let v_cache = n.input(FmapShape::new(spec.seq_pos, 1, spec.d_model));
+        // q · K^T over the cache rows: one attention row per step.
+        let scores = n.matmul(
+            &p("qkt"),
+            q,
+            k_cache,
+            MatmulOperand::ActRowSlice,
+            FmapShape::new(1, 1, spec.seq_pos),
+        );
+        let probs = n.activation(&p("softmax"), scores, ActKind::Softmax);
+        // attention · V back to model width.
+        let ctx = n.matmul(
+            &p("av"),
+            probs,
+            v_cache,
+            MatmulOperand::ActChanSlice,
+            FmapShape::new(1, 1, spec.d_model),
+        );
+        let proj = n.conv(&p("proj"), ctx, spec.d_model, 1, 1, 0);
+        let add1 = n.eltwise(&p("add1"), &[proj, cur]);
+        let ln1 = n.activation(&p("ln1"), add1, ActKind::LayerNorm);
+        let ff1 = n.conv(&p("ff1"), ln1, spec.d_ff(), 1, 1, 0);
+        let gelu = n.activation(&p("gelu"), ff1, ActKind::Gelu);
+        let ff2 = n.conv(&p("ff2"), gelu, spec.d_model, 1, 1, 0);
+        let add2 = n.eltwise(&p("add2"), &[ff2, ln1]);
+        cur = n.activation(&p("ln2"), add2, ActKind::LayerNorm);
+    }
+    n.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_step_census() {
+        // Per block: q, k, v, k-cache, v-cache, qkt, softmax, av, proj,
+        // add1, ln1, ff1, gelu, ff2, add2, ln2 = 16 layers, plus the
+        // token input.
+        let d = decode_step("decode-tiny", &decode_tiny_spec());
+        assert_eq!(d.name(), "decode-tiny@64");
+        assert_eq!(d.layers().len(), 1 + 16 * 2);
+        // One token input + two cache inputs per block.
+        assert_eq!(d.inputs().len(), 1 + 2 * 2);
+    }
+
+    #[test]
+    fn compute_grows_linearly_with_position() {
+        let spec = decode_tiny_spec();
+        let m64 = decode_step("decode-tiny", &spec.at(64)).total_macs(1);
+        let m128 = decode_step("decode-tiny", &spec.at(128)).total_macs(1);
+        // Only the attention matmuls scale with position: 2 matmuls x
+        // d_model MACs per extra cache row per block.
+        let expect = 2 * 2 * 64 * 128;
+        assert_eq!(m128 - m64, expect as u64);
+    }
+
+    #[test]
+    fn kv_bytes_track_position_and_dtype() {
+        let spec = decode_tiny_spec();
+        assert_eq!(spec.kv_bytes(), 2 * 2 * 64 * 128);
+        assert_eq!(spec.at(256).kv_bytes(), 2 * 2 * 256 * 128);
+        let wide = DecodeSpec {
+            kv_dtype: KvDtype::Fp16,
+            ..spec
+        };
+        assert_eq!(wide.kv_bytes(), 2 * spec.kv_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "heads must divide")]
+    fn bad_heads_rejected() {
+        let spec = DecodeSpec {
+            heads: 5,
+            ..decode_tiny_spec()
+        };
+        let _ = decode_step("x", &spec);
+    }
+}

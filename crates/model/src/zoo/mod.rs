@@ -10,12 +10,14 @@
 //! at construction time.
 
 mod classic;
+pub mod decoder;
 mod inception;
 mod pnasnet;
 mod resnet;
 mod transformer;
 
 pub use classic::{densenet121, efficientnet_b0, mobilenet_v2, vgg16};
+pub use decoder::{decode_step, decode_tiny_spec, gpt2_spec, DecodeSpec, KvDtype};
 pub use inception::{googlenet, inception_resnet_v1};
 pub use pnasnet::pnasnet;
 pub use resnet::{resnet50, resnext50};
@@ -46,7 +48,48 @@ pub fn paper_workloads() -> Vec<Dnn> {
     ]
 }
 
-/// Looks a model up by the abbreviation used in the paper's figures.
+/// A zoo entry: the graph, how its working set behaves, and the alias
+/// spellings that resolve to it.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The workload graph.
+    pub graph: Dnn,
+    /// Whether the working set is fixed or position-dependent.
+    pub kind: WorkloadKind,
+    /// The spellings [`by_name`] resolves to this entry (the first is
+    /// the canonical base name).
+    pub aliases: &'static [&'static str],
+}
+
+/// How a workload's working set behaves across invocations — the tag
+/// evaluators use to tell steady-state workloads from decode steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Fixed working set (CNNs, encoder transformers).
+    Static,
+    /// One LLM decode step: the KV cache carried in the spec makes the
+    /// working set grow with sequence position.
+    Decode(DecodeSpec),
+}
+
+const RN50_ALIASES: &[&str] = &["rn-50", "rn50", "resnet50", "resnet-50"];
+const RNX_ALIASES: &[&str] = &["rnx", "resnext", "resnext50", "resnext-50"];
+const IRES_ALIASES: &[&str] = &["ires", "inception-resnet", "inception-resnet-v1"];
+const PNAS_ALIASES: &[&str] = &["pnas", "pnasnet"];
+const TF_ALIASES: &[&str] = &["tf", "transformer", "transformer-base"];
+const TF_LARGE_ALIASES: &[&str] = &["tf-large", "transformer-large"];
+const GN_ALIASES: &[&str] = &["gn", "googlenet"];
+const DN121_ALIASES: &[&str] = &["dn-121", "densenet", "densenet121", "densenet-121"];
+const MBV2_ALIASES: &[&str] = &["mbv2", "mobilenet", "mobilenetv2", "mobilenet-v2"];
+const VGG_ALIASES: &[&str] = &["vgg", "vgg16", "vgg-16"];
+const EFFNET_ALIASES: &[&str] = &["effnet", "effnet-b0", "efficientnet", "efficientnet-b0"];
+const BERT_ALIASES: &[&str] = &["bert", "bert-base"];
+const TWO_CONV_ALIASES: &[&str] = &["two-conv", "twoconv"];
+const TINY_RESNET_ALIASES: &[&str] = &["tiny-resnet", "tinyresnet"];
+const GPT2_DECODE_ALIASES: &[&str] = &["gpt2-decode", "gpt2"];
+const DECODE_TINY_ALIASES: &[&str] = &["decode-tiny", "tiny-decode"];
+
+/// Looks a workload up by the abbreviation used in the paper's figures.
 ///
 /// Lookup is case- and separator-insensitive: names are lowercased and
 /// `_`, ` ` and `.` all normalize to `-`, so `bert-base`, `BERT_base`
@@ -56,38 +99,85 @@ pub fn paper_workloads() -> Vec<Dnn> {
 ///
 /// Recognized abbreviations: `rn-50`, `rnx`, `ires`, `pnas`, `tf`,
 /// `tf-large`, `bert`, `gn`, `dn-121`, `mbv2`, `effnet`, `vgg` — plus
-/// the test networks `two-conv` and `tiny-resnet`.
+/// the test networks `two-conv` and `tiny-resnet`, and the decode
+/// workloads `gpt2-decode` and `decode-tiny`. Decode names accept an
+/// optional `@<pos>` suffix selecting the sequence position
+/// (`decode-tiny@128`); static names reject it.
 ///
 /// ```
 /// use gemini_model::zoo;
 ///
 /// let a = zoo::by_name("bert-base").expect("canonical");
 /// let b = zoo::by_name("BERT_Base").expect("alias");
-/// assert_eq!(a.name(), b.name());
+/// assert_eq!(a.graph.name(), b.graph.name());
+/// assert_eq!(a.kind, zoo::WorkloadKind::Static);
 /// assert!(zoo::by_name("alexnet").is_none());
+///
+/// let d = zoo::by_name("decode-tiny@128").expect("decode at position");
+/// assert_eq!(d.graph.name(), "decode-tiny@128");
+/// assert!(matches!(d.kind, zoo::WorkloadKind::Decode(s) if s.seq_pos == 128));
+/// assert!(zoo::by_name("rn-50@128").is_none(), "static names reject @pos");
 /// ```
-pub fn by_name(name: &str) -> Option<Dnn> {
+pub fn by_name(name: &str) -> Option<Workload> {
     let normalized: String = name
         .trim()
         .to_ascii_lowercase()
         .chars()
         .map(|c| if matches!(c, '_' | ' ' | '.') { '-' } else { c })
         .collect();
-    match normalized.as_str() {
-        "rn-50" | "rn50" | "resnet50" | "resnet-50" => Some(resnet50()),
-        "rnx" | "resnext" | "resnext50" | "resnext-50" => Some(resnext50()),
-        "ires" | "inception-resnet" | "inception-resnet-v1" => Some(inception_resnet_v1()),
-        "pnas" | "pnasnet" => Some(pnasnet()),
-        "tf" | "transformer" | "transformer-base" => Some(transformer_base()),
-        "tf-large" | "transformer-large" => Some(transformer_large()),
-        "gn" | "googlenet" => Some(googlenet()),
-        "dn-121" | "densenet" | "densenet121" | "densenet-121" => Some(densenet121()),
-        "mbv2" | "mobilenet" | "mobilenetv2" | "mobilenet-v2" => Some(mobilenet_v2()),
-        "vgg" | "vgg16" | "vgg-16" => Some(vgg16()),
-        "effnet" | "effnet-b0" | "efficientnet" | "efficientnet-b0" => Some(efficientnet_b0()),
-        "bert" | "bert-base" => Some(bert_base()),
-        "two-conv" | "twoconv" => Some(two_conv_example()),
-        "tiny-resnet" | "tinyresnet" => Some(tiny_resnet()),
+    let (base, pos) = match normalized.split_once('@') {
+        Some((b, p)) => (b, Some(p.parse::<u32>().ok().filter(|&v| v > 0)?)),
+        None => (normalized.as_str(), None),
+    };
+    let decode = |spec: DecodeSpec, aliases: &'static [&'static str]| {
+        let spec = match pos {
+            Some(p) => spec.at(p),
+            None => spec,
+        };
+        Some(Workload {
+            graph: decoder::decode_step(aliases[0], &spec),
+            kind: WorkloadKind::Decode(spec),
+            aliases,
+        })
+    };
+    match base {
+        "gpt2-decode" | "gpt2" => return decode(gpt2_spec(), GPT2_DECODE_ALIASES),
+        "decode-tiny" | "tiny-decode" => return decode(decode_tiny_spec(), DECODE_TINY_ALIASES),
+        _ => {}
+    }
+    if pos.is_some() {
+        return None; // `@pos` is only meaningful on decode workloads
+    }
+    let fixed = |graph: Dnn, aliases: &'static [&'static str]| {
+        Some(Workload {
+            graph,
+            kind: WorkloadKind::Static,
+            aliases,
+        })
+    };
+    match base {
+        "rn-50" | "rn50" | "resnet50" | "resnet-50" => fixed(resnet50(), RN50_ALIASES),
+        "rnx" | "resnext" | "resnext50" | "resnext-50" => fixed(resnext50(), RNX_ALIASES),
+        "ires" | "inception-resnet" | "inception-resnet-v1" => {
+            fixed(inception_resnet_v1(), IRES_ALIASES)
+        }
+        "pnas" | "pnasnet" => fixed(pnasnet(), PNAS_ALIASES),
+        "tf" | "transformer" | "transformer-base" => fixed(transformer_base(), TF_ALIASES),
+        "tf-large" | "transformer-large" => fixed(transformer_large(), TF_LARGE_ALIASES),
+        "gn" | "googlenet" => fixed(googlenet(), GN_ALIASES),
+        "dn-121" | "densenet" | "densenet121" | "densenet-121" => {
+            fixed(densenet121(), DN121_ALIASES)
+        }
+        "mbv2" | "mobilenet" | "mobilenetv2" | "mobilenet-v2" => {
+            fixed(mobilenet_v2(), MBV2_ALIASES)
+        }
+        "vgg" | "vgg16" | "vgg-16" => fixed(vgg16(), VGG_ALIASES),
+        "effnet" | "effnet-b0" | "efficientnet" | "efficientnet-b0" => {
+            fixed(efficientnet_b0(), EFFNET_ALIASES)
+        }
+        "bert" | "bert-base" => fixed(bert_base(), BERT_ALIASES),
+        "two-conv" | "twoconv" => fixed(two_conv_example(), TWO_CONV_ALIASES),
+        "tiny-resnet" | "tinyresnet" => fixed(tiny_resnet(), TINY_RESNET_ALIASES),
         _ => None,
     }
 }
@@ -474,6 +564,47 @@ mod tests {
     }
 
     #[test]
+    fn by_name_resolves_decode_workloads_and_positions() {
+        let d = by_name("decode-tiny").expect("decode base name");
+        assert_eq!(d.graph.name(), "decode-tiny@64", "default position");
+        assert_eq!(d.aliases[0], "decode-tiny");
+        let WorkloadKind::Decode(spec) = d.kind else {
+            panic!("decode-tiny must be tagged Decode, got {:?}", d.kind);
+        };
+        assert_eq!(spec, decode_tiny_spec());
+        // `@pos` picks the position; the graph name round-trips.
+        let at = by_name("decode-tiny@128").expect("explicit position");
+        assert!(matches!(at.kind, WorkloadKind::Decode(s) if s.seq_pos == 128));
+        assert_eq!(at.graph.name(), "decode-tiny@128");
+        let back = by_name(at.graph.name()).expect("round-trip");
+        assert_eq!(back.graph.name(), at.graph.name());
+        assert_eq!(back.graph.total_macs(1), at.graph.total_macs(1));
+        // Aliases and normalization apply to decode names too.
+        assert_eq!(
+            by_name("Tiny_Decode@128").expect("alias").graph.name(),
+            "decode-tiny@128"
+        );
+        assert!(by_name("gpt2").is_some());
+        // Degenerate or misplaced positions are rejected.
+        assert!(by_name("decode-tiny@0").is_none());
+        assert!(by_name("decode-tiny@x").is_none());
+        assert!(by_name("rn-50@64").is_none(), "static names reject @pos");
+    }
+
+    #[test]
+    fn static_workloads_are_tagged_static() {
+        for n in ["rn-50", "tf", "bert", "tiny-resnet"] {
+            let w = by_name(n).expect("zoo workload");
+            assert_eq!(w.kind, WorkloadKind::Static, "{n}");
+            assert!(
+                w.aliases.contains(&n),
+                "{n} missing from its own alias list {:?}",
+                w.aliases
+            );
+        }
+    }
+
+    #[test]
     fn by_name_is_case_and_separator_insensitive() {
         for (a, b) in [
             ("bert-base", "BERT_Base"),
@@ -484,8 +615,8 @@ mod tests {
         ] {
             let ca = by_name(a).unwrap_or_else(|| panic!("{a} not found"));
             let cb = by_name(b).unwrap_or_else(|| panic!("{b} not found"));
-            assert_eq!(ca.name(), cb.name(), "{a} vs {b}");
-            assert_eq!(ca.len(), cb.len());
+            assert_eq!(ca.graph.name(), cb.graph.name(), "{a} vs {b}");
+            assert_eq!(ca.graph.len(), cb.graph.len());
         }
     }
 
@@ -509,9 +640,9 @@ mod tests {
             assert_eq!(dnn.name(), name);
             let back = by_name(dnn.name())
                 .unwrap_or_else(|| panic!("{} does not round-trip by_name", dnn.name()));
-            assert_eq!(back.name(), dnn.name());
-            assert_eq!(back.len(), dnn.len(), "{name} layer count unstable");
-            assert_eq!(back.total_macs(1), dnn.total_macs(1));
+            assert_eq!(back.graph.name(), dnn.name());
+            assert_eq!(back.graph.len(), dnn.len(), "{name} layer count unstable");
+            assert_eq!(back.graph.total_macs(1), dnn.total_macs(1));
             assert_eq!(dnn.len(), layers, "{name} golden layer count");
             assert_eq!(dnn.total_macs(1), macs, "{name} golden MAC count");
         }

@@ -451,7 +451,9 @@ mod tests {
 
     #[test]
     fn bound_achieving_mapping_rejects_windowed_layers() {
-        let dnn = gemini_model::zoo::by_name("resnet50").expect("zoo workload");
+        let dnn = gemini_model::zoo::by_name("resnet50")
+            .expect("zoo workload")
+            .graph;
         let arch = g_arch_72();
         let cores: Vec<_> = arch.cores().collect();
         let mut some = false;

@@ -22,6 +22,7 @@
 
 pub mod bound;
 pub mod cache;
+pub mod decode;
 pub mod delta;
 pub mod energy;
 pub mod evaluate;
@@ -36,6 +37,7 @@ pub use bound::{
     bound_achieving_mapping, dnn_bound, gemm_shaped, group_bound, DnnBound, GroupBound,
 };
 pub use cache::{EvalCache, MissKey};
+pub use decode::{sweep_positions, transplant_mappings, PositionEval, SweepStats};
 pub use delta::{DeltaProposal, DeltaStats, GroupEvalState};
 pub use energy::{D2dEnergyModel, EnergyBreakdown, EnergyModel};
 pub use evaluate::{DnnReport, EvalOptions, Evaluator, GroupReport, StageBottleneck};

@@ -37,6 +37,7 @@ use source::SourceFile;
 /// artifact/fingerprint path — the determinism lints apply here.
 pub const DETERMINISM_SCOPES: &[&str] = &[
     "crates/core/src/campaign/",
+    "crates/core/src/traffic/",
     "crates/core/src/sa.rs",
     "crates/core/src/joint.rs",
     "crates/core/src/engine.rs",

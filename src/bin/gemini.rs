@@ -8,8 +8,12 @@
 //!   print the comparison (`--stats` adds per-group utilization and the
 //!   packet-level fidelity ladder);
 //! * `gemini dse [--tops T] [--stride N] [--batch N] [--iters N]
-//!   [--fidelity analytic|rerank|validate[+bounds|+prune]] [--rerank-k K]`
-//!   — run the Table-I DSE and print the best architecture; `--fidelity
+//!   [--fidelity analytic|rerank|validate[+bounds|+prune]] [--rerank-k K]
+//!   [--objective SPEC]` — run the Table-I DSE and print the best
+//!   architecture under `SPEC` (`mc-e-d` default, `e-d`, `d`, `e`, or
+//!   the serving objectives `p99@<rate>` / `goodput@<rate>:<budget>ms`,
+//!   which replay the canonical traffic scenario against each
+//!   candidate's mapped step latency); `--fidelity
 //!   rerank` re-scores the top-K analytic survivors with the max-min
 //!   fluid NoC simulator (congestion-aware re-rank), `--fidelity
 //!   validate` additionally replays the winner through the flit-granular
@@ -82,7 +86,7 @@ fn usage() -> ExitCode {
         "usage:\n  gemini models [--detail]\n  gemini archs\n  gemini cost <preset>\n  \
          gemini map <model> [--arch <preset>] [--batch N] [--iters N] [--threads N] [--stats]\n  \
          gemini dse [--tops T] [--stride N] [--batch N] [--iters N] [--threads N] \
-[--fidelity analytic|rerank|validate[+bounds|+prune]] [--rerank-k K]\n  \
+[--fidelity analytic|rerank|validate[+bounds|+prune]] [--rerank-k K] [--objective SPEC]\n  \
          gemini hetero <model> [--batch N] [--iters N]\n  \
          gemini heatmap <model> [--batch N] [--iters N]\n  \
          gemini campaign <manifest.toml|.json> [--resume] [--threads N] [--out DIR] \
@@ -152,11 +156,21 @@ fn main() -> ExitCode {
                 ("mbv2", "MobileNetV2"),
                 ("effnet", "EfficientNet-B0 (SE omitted)"),
                 ("vgg", "VGG-16"),
+                (
+                    "gpt2-decode",
+                    "GPT-2 decode step (12 blocks, d768; @pos, default 512)",
+                ),
+                (
+                    "decode-tiny",
+                    "Two-block decode step (d128; @pos, default 64)",
+                ),
             ];
             let detail = args.iter().any(|a| a == "--detail");
             for (abbr, desc) in names {
                 if detail {
-                    let dnn = gemini::model::zoo::by_name(abbr).expect("listed model exists");
+                    let dnn = gemini::model::zoo::by_name(abbr)
+                        .expect("listed model exists")
+                        .graph;
                     println!("{abbr:<9} {}", dnn.summary());
                 } else {
                     println!("{abbr:<9} {desc}");
@@ -165,7 +179,11 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("heatmap") => {
-            let Some(dnn) = args.get(1).and_then(|m| gemini::model::zoo::by_name(m)) else {
+            let Some(dnn) = args
+                .get(1)
+                .and_then(|m| gemini::model::zoo::by_name(m))
+                .map(|w| w.graph)
+            else {
                 eprintln!("unknown model; try `gemini models`");
                 return ExitCode::FAILURE;
             };
@@ -249,7 +267,7 @@ fn main() -> ExitCode {
                 eprintln!("unknown model; try `gemini models`");
                 return ExitCode::FAILURE;
             };
-            let Some(dnn) = gemini::model::zoo::by_name(&model) else {
+            let Some(dnn) = gemini::model::zoo::by_name(&model).map(|w| w.graph) else {
                 eprintln!("unknown model; try `gemini models`");
                 return ExitCode::FAILURE;
             };
@@ -283,7 +301,11 @@ fn main() -> ExitCode {
             }))
         }
         Some("hetero") => {
-            let Some(dnn) = args.get(1).and_then(|m| gemini::model::zoo::by_name(m)) else {
+            let Some(dnn) = args
+                .get(1)
+                .and_then(|m| gemini::model::zoo::by_name(m))
+                .map(|w| w.graph)
+            else {
                 eprintln!("unknown model; try `gemini models`");
                 return ExitCode::FAILURE;
             };
@@ -426,6 +448,7 @@ fn main() -> ExitCode {
                 rerank_k,
                 threads: cli_threads,
                 sa_threads: sa.threads,
+                objective: flag(&args, "--objective").unwrap_or_else(|| "mc-e-d".to_string()),
             }))
         }
         Some("serve") => {

@@ -89,10 +89,14 @@ pub mod prelude {
     pub use gemini_core::fidelity::{
         parse_policy, BoundMode, BoundStats, DseReport, FidelityPolicy, FluidConfig,
     };
+    pub use gemini_core::objective::{ObjectiveParseError, ObjectiveSpec};
     pub use gemini_core::sa::{SaOptions, SaOutcome, SaStats};
     pub use gemini_core::service::{
         CampaignParams, DseParams, ErrorCode, MapParams, Request, RequestBody, Response,
         ServeOptions, Server, ServiceError, ServiceState,
+    };
+    pub use gemini_core::traffic::{
+        decode_latency_curve, serve_at, ArrivalSpec, BatcherConfig, LatencyCurve, ServedStats,
     };
     pub use gemini_cost::CostModel;
     pub use gemini_model::{Dnn, DnnBuilder, FmapShape, LayerKind};

@@ -16,7 +16,9 @@ use gemini::sim::bound::dnn_bound;
 /// scheme, parse, closed-form bound — no SA anywhere, so the result is
 /// a pure function of (workload, architecture, batch).
 fn structural_bound(name: &str, batch: u32) -> gemini::sim::bound::DnnBound {
-    let dnn = gemini::model::zoo::by_name(name).expect("zoo workload");
+    let dnn = gemini::model::zoo::by_name(name)
+        .expect("zoo workload")
+        .graph;
     let arch = gemini::arch::presets::g_arch_72();
     let ev = Evaluator::new(&arch);
     let partition = partition_graph(&dnn, &arch, batch, &Default::default());

@@ -139,7 +139,9 @@ fn bound_sound_over_zoo_arch_seed_grid() {
     let archs = arch_points();
     let mut samples = 0;
     for name in ["two-conv", "tiny-resnet"] {
-        let dnn = gemini::model::zoo::by_name(name).expect("zoo workload");
+        let dnn = gemini::model::zoo::by_name(name)
+            .expect("zoo workload")
+            .graph;
         for arch in &archs {
             for seed in 0..35u64 {
                 for batch in [1u32, 3] {
